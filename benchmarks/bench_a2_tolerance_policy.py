@@ -1,0 +1,61 @@
+"""A2 — ablation: tolerance policy (absolute gap vs ratio threshold).
+
+DESIGN.md calls out the verdict-policy choice: an absolute-gap tolerance
+and the four-fifths ratio rule can disagree — at low selection rates a
+small absolute gap is a large relative one (ratio fails, gap passes) and
+at high rates the reverse.  This bench maps the disagreement region.
+"""
+
+import numpy as np
+
+from repro.core import demographic_parity, four_fifths_rule
+
+from benchmarks.conftest import report
+
+
+def _scenario(base_rate: float, gap: float, n_per_group: int = 1000):
+    rate_a = base_rate
+    rate_b = max(base_rate - gap, 0.0)
+    predictions = np.concatenate([
+        np.ones(int(rate_a * n_per_group)),
+        np.zeros(n_per_group - int(rate_a * n_per_group)),
+        np.ones(int(rate_b * n_per_group)),
+        np.zeros(n_per_group - int(rate_b * n_per_group)),
+    ]).astype(int)
+    groups = np.array(["a"] * n_per_group + ["b"] * n_per_group)
+    return predictions, groups
+
+
+def test_a2_gap_vs_ratio_policies(benchmark):
+    def experiment():
+        rows = []
+        for base_rate in (0.1, 0.3, 0.5, 0.8):
+            for gap in (0.02, 0.05, 0.1):
+                predictions, groups = _scenario(base_rate, gap)
+                dp = demographic_parity(predictions, groups, tolerance=0.05)
+                ff = four_fifths_rule(dp.rates())
+                rows.append((
+                    base_rate, gap,
+                    dp.satisfied, round(ff.ratio, 3), ff.passes,
+                    dp.satisfied != ff.passes,
+                ))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=2, iterations=1)
+    report("A2 tolerance policy: absolute gap (0.05) vs four-fifths ratio", [
+        ("base rate", "true gap", "gap policy ok",
+         "ratio", "ratio policy ok", "policies disagree")
+    ] + rows)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # low base rate: a 0.05 absolute gap passes the gap policy but the
+    # ratio collapses → four-fifths fails (disagreement)
+    assert by_key[(0.1, 0.05)][2] is True
+    assert by_key[(0.1, 0.05)][4] is False
+    assert by_key[(0.1, 0.05)][5] is True
+    # high base rate: a 0.1 absolute gap fails the gap policy but the
+    # ratio stays above 0.8 → four-fifths passes (opposite disagreement)
+    assert by_key[(0.8, 0.1)][2] is False
+    assert by_key[(0.8, 0.1)][4] is True
+    # mid rates with tiny gaps: both policies agree fair
+    assert by_key[(0.5, 0.02)][2] is True and by_key[(0.5, 0.02)][4] is True

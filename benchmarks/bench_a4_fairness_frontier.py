@@ -1,0 +1,51 @@
+"""A4 — ablation: the fairness/accuracy frontier and the price of parity.
+
+Sweeps per-group decision thresholds on the biased hiring workload and
+traces the Pareto frontier of (DP gap, accuracy) operating points.
+Expected shape: the frontier is monotone (more allowed gap → weakly more
+accuracy), it contains a near-zero-gap point, and the price of exact
+parity is a small, quantified accuracy sacrifice.
+"""
+
+from repro.core import fairness_frontier
+from repro.data import make_hiring
+from repro.models import LogisticRegression, Standardizer
+
+from benchmarks.conftest import report
+
+
+def test_a4_frontier(benchmark):
+    def experiment():
+        data = make_hiring(
+            n=3000, direct_bias=2.0, proxy_strength=0.9, random_state=43
+        )
+        X = Standardizer().fit_transform(data.feature_matrix())
+        model = LogisticRegression(max_iter=800).fit(X, data.labels())
+        probabilities = model.predict_proba(X)
+        return fairness_frontier(
+            probabilities, data.column("sex"), data.labels(),
+            n_thresholds=15,
+        )
+
+    frontier = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [("max gap allowed", "best accuracy", "price of fairness")]
+    for max_gap in (0.0, 0.02, 0.05, 0.1, 0.2):
+        try:
+            point = frontier.best_accuracy_within(max_gap)
+            rows.append((
+                max_gap,
+                round(point.accuracy, 3),
+                round(frontier.price_of_fairness(max_gap), 3),
+            ))
+        except Exception:
+            rows.append((max_gap, "unreachable", "—"))
+    report("A4 fairness/accuracy frontier", rows)
+
+    gaps = [p.dp_gap for p in frontier.points]
+    accs = [p.accuracy for p in frontier.points]
+    assert gaps == sorted(gaps)
+    assert accs == sorted(accs)
+    assert frontier.points[0].dp_gap < 0.03   # near-parity is reachable
+    # parity costs something but not everything
+    price = frontier.price_of_fairness(0.02)
+    assert 0.0 <= price < 0.2

@@ -1,0 +1,95 @@
+"""C1 — paper §IV.A: equal treatment vs equal outcome disagree.
+
+Claim reproduced: on merit-skewed data (a real qualification gap between
+groups, honestly labelled), equal-treatment metrics (equal opportunity /
+equalized odds) pass while equal-outcome metrics (demographic parity,
+four-fifths) fail; a quota post-processor restores equal outcome at a
+measurable accuracy cost — the IV.A trade-off made quantitative.
+"""
+
+import numpy as np
+
+from repro.core import (
+    demographic_parity,
+    disparate_impact_ratio,
+    equal_opportunity,
+    equalized_odds,
+)
+from repro.data import Column, Schema, TabularDataset
+from repro.mitigation import quota_selector
+from repro.models import LogisticRegression, Standardizer, accuracy
+
+from benchmarks.conftest import report
+
+
+def _merit_skewed_dataset(n=4000, seed=0):
+    """Groups differ in (honestly labelled) qualification distribution."""
+    rng = np.random.default_rng(seed)
+    group = np.where(rng.random(n) < 0.5, "g1", "g2")
+    merit = rng.normal(0, 1, n) + np.where(group == "g2", -0.8, 0.0)
+    feature = merit + rng.normal(0, 0.4, n)
+    qualified = (merit > 0).astype(int)
+    schema = Schema((
+        Column("feature", kind="numeric"),
+        Column("group", kind="categorical", role="protected",
+               categories=("g1", "g2")),
+        Column("qualified", kind="binary", role="label"),
+    ))
+    return TabularDataset(schema, {
+        "feature": feature, "group": group, "qualified": qualified,
+    })
+
+
+def test_c1_disagreement_and_quota(benchmark):
+    def experiment():
+        data = _merit_skewed_dataset()
+        train, test = data.split(test_fraction=0.3, random_state=0,
+                                 stratify_by="group")
+        scaler = Standardizer()
+        model = LogisticRegression(max_iter=600).fit(
+            scaler.fit_transform(train.feature_matrix()), train.labels()
+        )
+        X_test = scaler.transform(test.feature_matrix())
+        preds = model.predict(X_test)
+        groups = test.column("group")
+        labels = test.labels()
+
+        rows = [(
+            "merit model",
+            round(equal_opportunity(labels, preds, groups).gap, 3),
+            round(equalized_odds(labels, preds, groups).gap, 3),
+            round(demographic_parity(preds, groups).gap, 3),
+            round(disparate_impact_ratio(preds, groups).ratio, 3),
+            round(accuracy(labels, preds), 3),
+        )]
+
+        # quota selection: same number of hires, proportional per group
+        scores = model.predict_proba(X_test)
+        quota_preds = quota_selector(
+            scores, groups, n_select=int(preds.sum())
+        )
+        rows.append((
+            "quota (IV.A positive action)",
+            round(equal_opportunity(labels, quota_preds, groups).gap, 3),
+            round(equalized_odds(labels, quota_preds, groups).gap, 3),
+            round(demographic_parity(quota_preds, groups).gap, 3),
+            round(disparate_impact_ratio(quota_preds, groups).ratio, 3),
+            round(accuracy(labels, quota_preds), 3),
+        ))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=3, iterations=1)
+    report("C1 equal treatment vs equal outcome", [
+        ("policy", "EO gap", "EOdds gap", "DP gap", "DI ratio", "accuracy")
+    ] + rows)
+
+    merit, quota = rows
+    # merit model: treatment metrics ~fair, outcome metrics violated
+    assert merit[1] < 0.1
+    assert merit[3] > 0.15
+    assert merit[4] < 0.8  # fails four-fifths
+    # quota: outcome restored, treatment degraded, accuracy cost bounded
+    assert quota[3] < merit[3]
+    assert quota[4] > merit[4]
+    assert quota[1] > merit[1]
+    assert quota[5] > merit[5] - 0.15

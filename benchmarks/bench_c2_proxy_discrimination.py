@@ -1,0 +1,96 @@
+"""C2 — paper §IV.B: proxy discrimination defeats unawareness.
+
+Claim reproduced: with biased labels and a sex-encoding proxy, removing
+the sensitive attribute leaves the selection-rate gap largely intact;
+without the proxy, removal works.  The proxy detector ranks the planted
+proxy first.
+"""
+
+from repro.data import make_hiring
+from repro.proxy import ProxyDetector, fairness_through_unawareness
+
+from benchmarks.conftest import report
+
+STRENGTHS = [0.0, 0.5, 0.95]
+
+
+def test_c2_unawareness_sweep(benchmark):
+    def experiment():
+        rows = []
+        for strength in STRENGTHS:
+            data = make_hiring(
+                n=3000, direct_bias=2.5, proxy_strength=strength,
+                random_state=0,
+            )
+            unaware = fairness_through_unawareness(data, "sex",
+                                                   random_state=0)
+            scan = ProxyDetector(random_state=0).scan(data, "sex")
+            rows.append((
+                strength,
+                round(unaware.gap_aware, 3),
+                round(unaware.gap_unaware, 3),
+                scan.ranked()[0].feature,
+                round(scan.full_model_power, 3),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=2, iterations=1)
+    report("C2 proxy discrimination vs unawareness", [
+        ("proxy_strength", "gap (aware)", "gap (unaware)",
+         "top proxy", "reconstruction power")
+    ] + rows)
+
+    by_strength = {row[0]: row for row in rows}
+    # no proxy: unawareness fixes the gap
+    assert by_strength[0.0][2] < 0.1
+    # strong proxy: the gap survives attribute removal (paper IV.B)
+    assert by_strength[0.95][2] > 0.1
+    # the detector names the planted proxy and reconstruction succeeds
+    assert by_strength[0.95][3] == "university"
+    assert by_strength[0.95][4] > 0.85
+    # the strong proxy retains far more of the gap than either weaker
+    # configuration (retention is not strictly monotone at moderate
+    # strengths: a weak proxy is too noisy for the model to exploit)
+    assert by_strength[0.95][2] > 2 * max(
+        by_strength[0.0][2], by_strength[0.5][2]
+    )
+
+
+def test_c2b_discrimination_by_association(benchmark):
+    """C2b — the IV.B spill-over: proxy-sharing non-members are harmed."""
+    from repro.models import LogisticRegression, Standardizer
+    from repro.proxy import association_harm
+
+    def experiment():
+        rows = []
+        for strength in (0.0, 0.85):
+            data = make_hiring(
+                n=5000, direct_bias=2.5, proxy_strength=strength,
+                random_state=51,
+            )
+            X = Standardizer().fit_transform(data.feature_matrix())
+            model = LogisticRegression(max_iter=800).fit(X, data.labels())
+            report = association_harm(
+                data, "sex", "university", model.predict(X),
+                disadvantaged_group="female",
+            )
+            rows.append((
+                strength,
+                report.associated_value,
+                round(report.rate_associated, 3),
+                round(report.rate_not_associated, 3),
+                round(report.harm, 3),
+                report.is_harmful(),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report("C2b discrimination by association (males only)", [
+        ("proxy_strength", "assoc. value", "rate assoc.",
+         "rate not assoc.", "harm", "harmful")
+    ] + rows)
+
+    by_strength = {r[0]: r for r in rows}
+    assert by_strength[0.85][5] is True      # spill-over with the proxy
+    assert by_strength[0.85][4] > 0.1
+    assert by_strength[0.0][5] is False      # none without it

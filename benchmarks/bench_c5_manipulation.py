@@ -1,0 +1,85 @@
+"""C5 — paper §IV.E: adversarial concealment fools explainers, not outcomes.
+
+Claim reproduced (Dimanov et al., cited by the paper): retraining with a
+suppression penalty keeps accuracy within a point and drives the
+explainer-reported sensitive-attribute importance to ≈ 0, yet the
+demographic-parity gap of the outputs persists — so an outcome-based
+audit still detects the bias while the explanation-based audit is evaded.
+"""
+
+from repro.data import make_hiring
+from repro.data.schema import ColumnRole
+from repro.manipulation import (
+    ConcealmentAttack,
+    coefficient_importance,
+    manipulation_report,
+    normalize_importances,
+    permutation_importance,
+)
+from repro.models import LogisticRegression, Standardizer, accuracy
+
+from benchmarks.conftest import report
+
+
+def test_c5_concealment(benchmark):
+    def experiment():
+        data = make_hiring(
+            n=3000, direct_bias=2.5, proxy_strength=0.95, random_state=5
+        )
+        aware = data.with_role("sex", ColumnRole.FEATURE)
+        X = Standardizer().fit_transform(aware.feature_matrix())
+        y = aware.labels()
+        names = aware.feature_matrix_names()
+        sensitive = [i for i, n in enumerate(names) if n.startswith("sex=")]
+
+        original = LogisticRegression(max_iter=1000).fit(X, y)
+        concealed = ConcealmentAttack(suppression=50.0).run(
+            original, X, sensitive
+        )
+
+        def describe(model):
+            coef_share = float(
+                normalize_importances(coefficient_importance(model))[
+                    sensitive
+                ].sum()
+            )
+            perm = normalize_importances(
+                permutation_importance(model, X, y, random_state=0)
+            )
+            perm_share = float(perm[sensitive].sum())
+            audit = manipulation_report(
+                model, X, data.column("sex"), sensitive
+            )
+            return (
+                round(accuracy(y, model.predict(X)), 3),
+                round(coef_share, 3),
+                round(perm_share, 3),
+                round(audit.outcome_gap, 3),
+                audit.verdicts_diverge,
+            )
+
+        return {
+            "original": describe(original),
+            "concealed": describe(concealed.model),
+            "fidelity": concealed.fidelity,
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [("model", "accuracy", "coef share", "perm share",
+             "outcome gap", "diverge")]
+    for name in ("original", "concealed"):
+        rows.append((name,) + results[name])
+    rows.append(("prediction fidelity", round(results["fidelity"], 3)))
+    report("C5 concealment attack vs audits", rows)
+
+    orig = results["original"]
+    hidden = results["concealed"]
+    # accuracy within a point (the attack's selling point)
+    assert abs(hidden[0] - orig[0]) < 0.02
+    # explainer-visible importance collapses
+    assert hidden[1] < 0.02 < orig[1]
+    assert hidden[2] < orig[2]
+    # outcome disparity persists — the outcome audit still catches it
+    assert hidden[3] > 0.5 * orig[3]
+    assert hidden[4] is True  # the divergence red flag fires
+    assert results["fidelity"] > 0.95

@@ -1,0 +1,42 @@
+"""E1 — paper §III.A worked example: demographic parity.
+
+Paper's row: with 10 female / 20 male applicants and 10 males hired,
+the model is fair iff exactly 5 females are hired; fewer is bias against
+females, more is bias against males.
+"""
+
+from repro.core import demographic_parity
+
+from benchmarks.conftest import report
+
+
+def _scenario(blocks, females_hired):
+    predictions = blocks((1, 10), (0, 10), (1, females_hired),
+                         (0, 10 - females_hired))
+    groups = blocks(("male", 20), ("female", 10))
+    return predictions, groups
+
+
+def test_e1_sweep(benchmark, blocks):
+    def sweep():
+        rows = []
+        for hired in range(11):
+            predictions, groups = _scenario(blocks, hired)
+            result = demographic_parity(predictions, groups)
+            rows.append((hired, result.satisfied,
+                         result.disadvantaged_group() if not result.satisfied
+                         else "—"))
+        return rows
+
+    rows = benchmark(sweep)
+    report("E1 demographic parity: females hired → verdict", [
+        ("females_hired", "fair", "disadvantaged")
+    ] + rows)
+
+    verdicts = {hired: fair for hired, fair, __ in rows}
+    assert verdicts[5] is True
+    assert all(verdicts[h] is False for h in range(5))
+    assert all(verdicts[h] is False for h in range(6, 11))
+    against = {hired: who for hired, __, who in rows}
+    assert all(against[h] == "female" for h in range(5))
+    assert all(against[h] == "male" for h in range(6, 11))

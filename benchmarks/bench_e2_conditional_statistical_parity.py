@@ -1,0 +1,53 @@
+"""E2 — paper §III.B worked example: conditional statistical parity.
+
+Paper's row: among young applicants, 5 of 10 young males are hired; the
+model is fair iff 3 of the 6 young females are hired.
+"""
+
+import numpy as np
+
+from repro.core import conditional_statistical_parity
+
+from benchmarks.conftest import report
+
+
+def _scenario(blocks, young_females_hired):
+    predictions = np.concatenate([
+        blocks((1, 5), (0, 5)),        # young males
+        blocks((0, 10)),               # old males
+        blocks((1, young_females_hired), (0, 6 - young_females_hired)),
+        blocks((0, 4)),                # old females
+    ])
+    groups = blocks(("male", 20), ("female", 10))
+    strata = np.concatenate([
+        blocks(("young", 10), ("old", 10)),
+        blocks(("young", 6), ("old", 4)),
+    ])
+    return predictions, groups, strata
+
+
+def test_e2_sweep(benchmark, blocks):
+    def sweep():
+        rows = []
+        for hired in range(7):
+            predictions, groups, strata = _scenario(blocks, hired)
+            result = conditional_statistical_parity(
+                predictions, groups, strata
+            )
+            young = result.strata["young"]
+            rows.append((hired, young.satisfied,
+                         young.disadvantaged_group() if not young.satisfied
+                         else "—"))
+        return rows
+
+    rows = benchmark(sweep)
+    report("E2 conditional statistical parity (young stratum)", [
+        ("young_females_hired", "fair", "disadvantaged")
+    ] + rows)
+
+    verdicts = {h: fair for h, fair, __ in rows}
+    assert verdicts[3] is True
+    assert all(verdicts[h] is False for h in (0, 1, 2, 4, 5, 6))
+    against = {h: who for h, __, who in rows}
+    assert all(against[h] == "female" for h in (0, 1, 2))
+    assert all(against[h] == "male" for h in (4, 5, 6))

@@ -1,0 +1,51 @@
+"""E3 — paper §III.C worked example: equal opportunity.
+
+Paper's row: 10 qualified males (5 hired) and 6 qualified females; the
+model is fair iff 3 qualified females are hired (TPR 0.5 each).
+"""
+
+import numpy as np
+
+from repro.core import equal_opportunity
+
+from benchmarks.conftest import report
+
+
+def _scenario(blocks, qualified_females_hired):
+    y_true = np.concatenate([
+        blocks((1, 10), (0, 10)),
+        blocks((1, 6), (0, 4)),
+    ])
+    predictions = np.concatenate([
+        blocks((1, 5), (0, 5), (0, 10)),
+        blocks((1, qualified_females_hired),
+               (0, 6 - qualified_females_hired), (0, 4)),
+    ])
+    groups = blocks(("male", 20), ("female", 10))
+    return y_true, predictions, groups
+
+
+def test_e3_sweep(benchmark, blocks):
+    def sweep():
+        rows = []
+        for hired in range(7):
+            y_true, predictions, groups = _scenario(blocks, hired)
+            result = equal_opportunity(y_true, predictions, groups)
+            rows.append((
+                hired,
+                round(result.rate_of("male"), 3),
+                round(result.rate_of("female"), 3),
+                result.satisfied,
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    report("E3 equal opportunity: TPR by group", [
+        ("qualified_females_hired", "tpr_male", "tpr_female", "fair")
+    ] + rows)
+
+    verdicts = {h: fair for h, __, __, fair in rows}
+    assert verdicts[3] is True
+    assert all(verdicts[h] is False for h in (0, 1, 2, 4, 5, 6))
+    # male TPR pinned at 0.5 throughout, as the paper sets up
+    assert all(row[1] == 0.5 for row in rows)

@@ -1,0 +1,61 @@
+"""E4 — paper §III.D worked example: equalized odds.
+
+Paper's row: 6 female / 12 male applicants; 6 qualified males and 3
+qualified females; 9 hires, 9 rejections.  With perfect male
+classification, fairness requires hiring all 3 qualified females and
+rejecting all 3 unqualified ones; any deviation breaks TPR or FPR parity.
+"""
+
+import numpy as np
+
+from repro.core import equalized_odds
+
+from benchmarks.conftest import report
+
+
+def _scenario(blocks, pattern):
+    y_true = np.concatenate([
+        blocks((1, 6), (0, 6)),
+        blocks((1, 3), (0, 3)),
+    ])
+    male_preds = blocks((1, 6), (0, 6))
+    female_preds = {
+        "paper (perfect)": blocks((1, 3), (0, 3)),
+        "miss 1 qualified": blocks((1, 2), (0, 1), (0, 3)),
+        "hire 1 unqualified": blocks((1, 3), (1, 1), (0, 2)),
+    }[pattern]
+    predictions = np.concatenate([male_preds, female_preds])
+    groups = blocks(("male", 12), ("female", 6))
+    return y_true, predictions, groups
+
+
+def test_e4_patterns(benchmark, blocks):
+    patterns = ["paper (perfect)", "miss 1 qualified", "hire 1 unqualified"]
+
+    def evaluate():
+        rows = []
+        for pattern in patterns:
+            y_true, predictions, groups = _scenario(blocks, pattern)
+            result = equalized_odds(y_true, predictions, groups)
+            rows.append((
+                pattern,
+                round(result.details["tpr_gap"], 3),
+                round(result.details["fpr_gap"], 3),
+                result.satisfied,
+                int(predictions.sum()),
+            ))
+        return rows
+
+    rows = benchmark(evaluate)
+    report("E4 equalized odds", [
+        ("female pattern", "tpr_gap", "fpr_gap", "fair", "total_hired")
+    ] + rows)
+
+    by_pattern = {row[0]: row for row in rows}
+    perfect = by_pattern["paper (perfect)"]
+    assert perfect[3] is True
+    assert perfect[4] == 9  # the paper's 9 hires / 9 rejections
+    assert by_pattern["miss 1 qualified"][3] is False
+    assert by_pattern["miss 1 qualified"][1] > 0.3
+    assert by_pattern["hire 1 unqualified"][3] is False
+    assert by_pattern["hire 1 unqualified"][2] > 0.3

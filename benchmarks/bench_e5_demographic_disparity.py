@@ -1,0 +1,30 @@
+"""E5 — paper §III.E worked example: demographic disparity.
+
+Paper's row: with 10 female applicants the model is fair towards females
+iff at least as many are hired as rejected; more than 5 rejections is
+unfair.
+"""
+
+from repro.core import demographic_disparity
+
+from benchmarks.conftest import report
+
+
+def test_e5_sweep(benchmark, blocks):
+    def sweep():
+        rows = []
+        for hired in range(11):
+            predictions = blocks((1, hired), (0, 10 - hired))
+            groups = blocks(("female", 10))
+            result = demographic_disparity(predictions, groups)
+            rows.append((hired, 10 - hired, result.satisfied))
+        return rows
+
+    rows = benchmark(sweep)
+    report("E5 demographic disparity (10 female applicants)", [
+        ("hired", "rejected", "fair")
+    ] + rows)
+
+    verdicts = {hired: fair for hired, __, fair in rows}
+    assert all(verdicts[h] is True for h in range(5, 11))
+    assert all(verdicts[h] is False for h in range(5))

@@ -1,0 +1,53 @@
+"""E6 — paper §III.F worked example: conditional demographic disparity.
+
+Paper's row: 100 females over 5 jobs, 40 hired / 60 rejected overall —
+unfair by the unconditional III.E definition; but all are accepted in
+jobs 1–4 and all rejected in job 5, so CDD is fair on jobs 1–4 and unfair
+only on job 5.
+"""
+
+import numpy as np
+
+from repro.core import (
+    conditional_demographic_disparity,
+    demographic_disparity,
+)
+
+from benchmarks.conftest import report
+
+
+def _scenario(blocks):
+    predictions = np.concatenate(
+        [blocks((1, 10)) for __ in range(4)] + [blocks((0, 60))]
+    )
+    groups = blocks(("female", 100))
+    strata = np.concatenate(
+        [blocks((f"job{j}", 10)) for j in range(1, 5)]
+        + [blocks(("job5", 60))]
+    )
+    return predictions, groups, strata
+
+
+def test_e6_paper_scenario(benchmark, blocks):
+    def evaluate():
+        predictions, groups, strata = _scenario(blocks)
+        unconditional = demographic_disparity(predictions, groups)
+        conditional = conditional_demographic_disparity(
+            predictions, groups, strata
+        )
+        rows = [("overall", round(unconditional.rate_of("female"), 2),
+                 unconditional.satisfied)]
+        for job in sorted(conditional.strata):
+            sub = conditional.strata[job]
+            rows.append((job, round(sub.rate_of("female"), 2), sub.satisfied))
+        return rows, unconditional, conditional
+
+    (rows, unconditional, conditional) = benchmark(evaluate)
+    report("E6 conditional demographic disparity", [
+        ("slice", "female hire rate", "fair")
+    ] + rows)
+
+    assert not unconditional.satisfied          # 40/100 overall: unfair
+    for job in ("job1", "job2", "job3", "job4"):
+        assert conditional.strata[job].satisfied
+    assert conditional.violating_strata() == ["job5"]

@@ -1,0 +1,43 @@
+"""S1 — scalability: audit-battery runtime vs dataset size.
+
+Section IV.F ends on runtime complexity; this bench measures the wall
+time of the full audit battery (all Section III metrics + four-fifths +
+significance tests) at growing dataset sizes and asserts near-linear
+scaling — the audit itself must not become the bottleneck it warns
+about.
+"""
+
+import time
+
+from repro.core import FairnessAudit
+from repro.data import make_hiring
+
+from benchmarks.conftest import report
+
+SIZES = (5_000, 20_000, 80_000)
+
+
+def _run_audit(n: int) -> float:
+    data = make_hiring(
+        n=n, direct_bias=1.5, proxy_strength=0.8, random_state=0
+    )
+    start = time.perf_counter()
+    FairnessAudit(data, tolerance=0.05, strata="university").run()
+    return time.perf_counter() - start
+
+
+def test_s1_audit_scaling(benchmark):
+    def experiment():
+        return [(n, _run_audit(n)) for n in SIZES]
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    report("S1 audit-battery runtime vs n", [
+        ("n", "seconds")
+    ] + [(n, round(t, 4)) for n, t in rows])
+
+    times = dict(rows)
+    # 16x data should cost far less than 64x time (i.e. subquadratic);
+    # generous bound to stay robust on loaded CI machines
+    assert times[80_000] < 40 * max(times[5_000], 1e-3)
+    # and the largest size still completes fast in absolute terms
+    assert times[80_000] < 10.0

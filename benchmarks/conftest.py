@@ -1,0 +1,33 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each ``bench_*`` module regenerates one experiment from DESIGN.md's
+per-experiment index (E1–E7 = the paper's Section III worked examples;
+C1–C6 = the Section IV criteria phenomena; M1 = the mitigation ladder).
+The ``benchmark`` fixture times the experiment kernel; the printed table
+is the "row the paper reports" — compare against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def report(experiment: str, rows: list[tuple]) -> None:
+    """Print an experiment's result rows in a uniform format."""
+    print(f"\n[{experiment}]")
+    for row in rows:
+        print("   " + " | ".join(str(cell) for cell in row))
+
+
+@pytest.fixture
+def blocks():
+    """(value, count) block concatenation helper, as in the unit tests."""
+
+    def build(*pairs):
+        out = []
+        for value, count in pairs:
+            out.extend([value] * count)
+        return np.array(out)
+
+    return build

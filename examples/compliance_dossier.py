@@ -1,0 +1,61 @@
+"""Full Section V compliance workflow: from use case to dossier.
+
+Run with::
+
+    python examples/compliance_dossier.py
+
+Executes the paper's closing call — systematic guidelines for the
+design, deployment and assessment of fairness methods — as a single
+function call: describe the use case, hand over the data and the model's
+decisions, receive a reviewable dossier that chains statutes (II),
+criteria-driven metric selection (IV), the audit battery (III), and the
+cross-cutting risk flags (IV.B–F), headlined by the verdict on the
+criteria-selected primary metric.
+"""
+
+from repro.core import UseCaseProfile
+from repro.data import make_hiring
+from repro.models import LogisticRegression, Standardizer
+from repro.workflow import run_compliance_workflow
+
+
+def main() -> None:
+    profile = UseCaseProfile(
+        name="graduate hiring recommender (EU, positive-action policy)",
+        sector="employment",
+        jurisdiction="eu",
+        structural_bias_recognized=True,
+        affirmative_action_mandated=True,
+        labels_available=True,
+        ground_truth_reliable=False,    # historical decisions are biased
+        legitimate_factors=("university",),
+        proxy_risk=True,
+        feedback_loop_risk=True,
+    )
+
+    data = make_hiring(
+        n=3000, direct_bias=2.0, proxy_strength=0.9, random_state=11
+    )
+    scaler = Standardizer()
+    model = LogisticRegression(max_iter=800)
+    model.fit(scaler.fit_transform(data.feature_matrix()), data.labels())
+
+    dossier = run_compliance_workflow(
+        data,
+        profile,
+        predictions=model.predict(
+            scaler.transform(data.feature_matrix())
+        ),
+        probabilities=model.predict_proba(
+            scaler.transform(data.feature_matrix())
+        ),
+        tolerance=0.05,
+        strata="university",
+    )
+    print(dossier.to_markdown())
+    print(f"\n>>> headline verdict: {dossier.verdict.upper()} on "
+          f"{dossier.primary_metric}")
+
+
+if __name__ == "__main__":
+    main()

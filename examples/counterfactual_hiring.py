@@ -1,0 +1,72 @@
+"""Counterfactual fairness on a hiring SCM (paper Section III.G).
+
+Run with::
+
+    python examples/counterfactual_hiring.py
+
+Builds the paper's III.G scenario on an explicit structural causal model
+in which sex causally depresses the observable merit features.  Three
+predictors are audited by flipping each applicant's sex *through the
+SCM* (so downstream features adjust, exactly as the paper prescribes):
+
+* a naive feature-threshold predictor — unfair (features carry the sex
+  effect);
+* the same predictor after a naive attribute swap that does NOT adjust
+  features — reports a fake zero flip rate, the mistake the SCM approach
+  exists to avoid;
+* a predictor on the deconfounded merit component — counterfactually
+  fair.
+"""
+
+import numpy as np
+
+from repro.causal import biased_hiring_scm, counterfactual_flip_rate
+from repro.core import counterfactual_fairness
+
+EXPERIENCE_EFFECT = -2.0
+SKILL_EFFECT = -10.0
+
+
+def main() -> None:
+    scm = biased_hiring_scm(
+        sex_effect_experience=EXPERIENCE_EFFECT,
+        sex_effect_skill=SKILL_EFFECT,
+    )
+    observed = scm.sample(5000, random_state=0)
+
+    def feature_predictor(values):
+        return (
+            0.4 * values["experience"] + 0.1 * values["skill_score"] > 9.0
+        ).astype(int)
+
+    print("— Audit 1: feature-threshold predictor, SCM counterfactuals")
+    result = counterfactual_fairness(
+        scm, observed, "sex",
+        counterfactual_value=1.0 - observed["sex"],
+        predictor=feature_predictor,
+    )
+    print(f"  flip rate = {result.details['flip_rate']:.3f} "
+          f"→ {'FAIR' if result.satisfied else 'UNFAIR'}")
+
+    print("\n— Audit 2: same predictor, naive attribute swap (no adjustment)")
+    naive_factual = feature_predictor(observed)
+    naive_counter = feature_predictor(observed)  # features unchanged!
+    flips = float(np.mean(naive_factual != naive_counter))
+    print(f"  flip rate = {flips:.3f} → naively looks FAIR; the swap "
+          "failed to adjust the features the paper says must change")
+
+    print("\n— Audit 3: deconfounded-merit predictor")
+
+    def merit_predictor(values):
+        merit = values["experience"] - EXPERIENCE_EFFECT * values["sex"]
+        return (merit > 5.0).astype(int)
+
+    fair = counterfactual_flip_rate(
+        scm, observed, "sex", 1.0 - observed["sex"], merit_predictor
+    )
+    print(f"  flip rate = {fair.flip_rate:.3f} "
+          f"→ {'FAIR' if fair.is_fair else 'UNFAIR'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""ECOA credit-scoring scenario: disparate impact and its mitigation.
+
+Run with::
+
+    python examples/credit_scoring_ecoa.py
+
+A lender's approval model is trained on a population with a structural
+income gap and a redlined ``zip_region`` proxy for race.  The example:
+
+1. audits the model under the US four-fifths rule (ECOA / disparate
+   impact framing);
+2. compares three mitigation placements — reweighing (pre), a fairness
+   penalty (in), and group thresholds (post) — on the gap/accuracy
+   trade-off, the paper's IV.A equal-treatment vs equal-outcome tension
+   made quantitative;
+3. runs the EU-style proportionality scaffold on the lender's proposed
+   justification.
+"""
+
+from repro import FairnessAudit, make_credit
+from repro.core import ProportionalityTest, demographic_parity
+from repro.mitigation import (
+    FairLogisticRegression,
+    GroupThresholds,
+    reweighing,
+)
+from repro.models import LogisticRegression, Standardizer, accuracy
+
+
+def main() -> None:
+    data = make_credit(
+        n=6000, income_gap=1.2, redlining_strength=0.85, random_state=11
+    )
+    train, test = data.split(test_fraction=0.3, random_state=11,
+                             stratify_by="race")
+    scaler = Standardizer()
+    X_train = scaler.fit_transform(train.feature_matrix())
+    X_test = scaler.transform(test.feature_matrix())
+    race_train = train.column("race")
+    race_test = test.column("race")
+
+    print("— Baseline model audit (four-fifths screen)")
+    baseline = LogisticRegression(max_iter=800).fit(X_train, train.labels())
+    preds = baseline.predict(X_test)
+    report = FairnessAudit(test, predictions=preds, tolerance=0.05).run()
+    di = report.finding("race", "disparate_impact_ratio")
+    print(f"  selection rates: {di.result.rates()}")
+    print(f"  four-fifths: {di.four_fifths}\n")
+
+    print("— Mitigation ladder (gap vs accuracy)")
+    rows = []
+    rows.append(("baseline", preds))
+
+    weights = reweighing(train, "race")
+    pre = LogisticRegression(max_iter=800).fit(
+        X_train, train.labels(), sample_weight=weights
+    )
+    rows.append(("reweighing (pre)", pre.predict(X_test)))
+
+    fair = FairLogisticRegression(fairness_weight=30.0, max_iter=800)
+    fair.fit(X_train, train.labels(), groups=race_train)
+    rows.append(("penalty (in)", fair.predict(X_test)))
+
+    post = GroupThresholds("demographic_parity").fit(
+        baseline.predict_proba(X_train), race_train
+    )
+    rows.append(
+        ("thresholds (post)", post.predict(baseline.predict_proba(X_test),
+                                           race_test))
+    )
+
+    print(f"  {'method':<20} {'DP gap':>8} {'accuracy':>9}")
+    for name, decisions in rows:
+        gap = demographic_parity(decisions, race_test).gap
+        acc = accuracy(test.labels(), decisions)
+        print(f"  {name:<20} {gap:>8.3f} {acc:>9.3f}")
+
+    print("\n— EU proportionality test on the lender's justification")
+    test_result = ProportionalityTest(
+        aim="price credit risk accurately using repayment-predictive factors",
+        legitimate_aim=True,
+        suitable=True,
+        # income requirements predict repayment, but a less-discriminatory
+        # model (above) achieves similar accuracy: necessity fails
+        necessary=False,
+        proportionate=False,
+        rationale={
+            "necessary": "group-threshold variant reaches near-identical "
+            "accuracy with a fraction of the disparity",
+        },
+    )
+    print(" ", test_result.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Intersectional fairness audit (paper Section IV.C), the promotion case.
+
+Run with::
+
+    python examples/intersectional_promotion.py
+
+Builds the paper's exact IV.C scenario: a promotion system audited on
+gender and race separately looks fair, yet non-Caucasian males and
+Caucasian females are disproportionally unfavoured.  The example shows:
+
+1. marginal audits passing on both attributes;
+2. the exhaustive subgroup scan exposing the two crossed subgroups, with
+   Wilson intervals and significance (the sparsity caveat, quantified);
+3. the gerrymandering auditor finding the same region without
+   enumeration;
+4. the exponential cost of deeper drill-downs, computed explicitly.
+"""
+
+from repro import FairnessAudit, make_intersectional
+from repro.subgroup import (
+    GerrymanderingAuditor,
+    adjust_for_multiple_testing,
+    audit_subgroups,
+    subgroup_space_size,
+)
+
+
+def main() -> None:
+    data = make_intersectional(
+        n=8000, subgroup_penalty=0.3, random_state=0
+    )
+    labels = data.labels()
+
+    print("— Marginal audits (gender alone, race alone)")
+    report = FairnessAudit(data, tolerance=0.05).run()
+    for attribute in ("gender", "race"):
+        finding = report.finding(attribute, "demographic_parity")
+        verdict = "PASS" if finding.satisfied else "VIOLATED"
+        print(f"  {attribute:<8} demographic parity: {verdict} "
+              f"(gap {finding.result.gap:.3f})")
+
+    print("\n— Exhaustive intersectional scan (order ≤ 2, Holm-corrected)")
+    findings = adjust_for_multiple_testing(audit_subgroups(
+        labels, data, attributes=["gender", "race"], max_order=2
+    ))
+    for f in findings[:4]:
+        print(f"  {f.subgroup.label():<38} rate={f.rate:.3f} "
+              f"vs rest={f.complement_rate:.3f} gap={f.gap:+.3f} "
+              f"CI=({f.ci_low:.3f},{f.ci_high:.3f}) "
+              f"p_adj={f.adjusted_p_value:.2e} "
+              f"{'SIGNIFICANT' if f.significant() else 'n.s.'}")
+
+    print("\n— Gerrymandering auditor (no enumeration)")
+    worst = GerrymanderingAuditor(max_depth=3).find_worst_subgroup(
+        labels, data
+    )
+    print(f"  worst subgroup: {worst.subgroup.label() or '(leaf region)'} "
+          f"gap={worst.gap:+.3f} n={worst.subgroup.size} "
+          f"p={worst.p_value:.2e}")
+
+    print("\n— The exponential wall (paper IV.C)")
+    for k, categories in ((3, 4), (6, 4), (10, 5)):
+        size = subgroup_space_size([categories] * k, max_order=k)
+        print(f"  {k} attributes × {categories} categories, full drill-down: "
+              f"{size:,} subgroups")
+
+
+if __name__ == "__main__":
+    main()

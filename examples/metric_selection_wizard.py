@@ -1,0 +1,78 @@
+"""Criteria-driven metric selection (paper Section IV), as a wizard.
+
+Run with::
+
+    python examples/metric_selection_wizard.py
+
+Describes two contrasting use cases as :class:`UseCaseProfile` objects —
+an EU graduate-hiring system under a positive-action policy, and a US
+credit scorer with trusted repayment labels — and prints the ranked
+metric recommendations with the paper-derived rationale, plus the
+cross-cutting risk flags (IV.B–IV.F) each deployment must address.
+"""
+
+from repro import UseCaseProfile, recommend_metrics, risk_flags
+from repro.core import statutes_protecting
+
+
+def describe(profile: UseCaseProfile) -> None:
+    print("=" * 72)
+    print(f"Use case: {profile.name}  [{profile.jurisdiction.upper()}, "
+          f"{profile.sector}]")
+    print("=" * 72)
+
+    print("\nApplicable statutes for 'sex' in this sector:")
+    for statute in statutes_protecting(
+        "sex", sector=profile.sector, jurisdiction=profile.jurisdiction
+    ):
+        print(f"  - {statute.name} ({statute.year})")
+
+    print("\nRanked metric recommendations:")
+    for rec in recommend_metrics(profile):
+        marker = " " if rec.feasible else "✗"
+        print(f" {marker} {rec.score:+5.1f}  {rec.metric} "
+              f"[{rec.equality_concept}]")
+        for reason in rec.rationale[:2]:
+            print(f"          · {reason}")
+        for blocker in rec.blockers:
+            print(f"          ✗ {blocker}")
+
+    print("\nRisk flags:")
+    for flag in risk_flags(profile):
+        print(f"  [{flag.paper_section}] {flag.risk}: {flag.advice[:90]}...")
+    print()
+
+
+def main() -> None:
+    eu_hiring = UseCaseProfile(
+        name="graduate hiring with a board-mandated gender quota",
+        sector="employment",
+        jurisdiction="eu",
+        structural_bias_recognized=True,
+        affirmative_action_mandated=True,
+        labels_available=True,
+        ground_truth_reliable=False,  # past hiring decisions are biased
+        legitimate_factors=("job_family",),
+        causal_model_available=False,
+        proxy_risk=True,
+        feedback_loop_risk=True,
+    )
+    describe(eu_hiring)
+
+    us_credit = UseCaseProfile(
+        name="consumer credit scoring with observed repayment outcomes",
+        sector="credit",
+        jurisdiction="us",
+        structural_bias_recognized=False,
+        labels_available=True,
+        ground_truth_reliable=True,  # repayment is objectively observed
+        punitive_context=False,
+        n_protected_attributes=2,
+        proxy_risk=True,
+        small_subgroups_expected=True,
+    )
+    describe(us_credit)
+
+
+if __name__ == "__main__":
+    main()

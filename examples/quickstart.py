@@ -1,0 +1,54 @@
+"""Quickstart: audit a biased hiring dataset and a model trained on it.
+
+Run with::
+
+    python examples/quickstart.py
+
+Walks the paper's core loop end to end: generate a hiring population with
+historical label bias and a proxy feature, train a model that never sees
+the protected attribute, audit it with every Section III definition, and
+print the markdown report.
+"""
+
+from repro import FairnessAudit, make_hiring
+from repro.models import LogisticRegression, Standardizer
+
+
+def main() -> None:
+    # A hiring population with direct label bias against women and a
+    # university feature that strongly encodes sex (the IV.B proxy).
+    data = make_hiring(
+        n=4000,
+        direct_bias=2.0,
+        proxy_strength=0.9,
+        random_state=42,
+    )
+    train, test = data.split(test_fraction=0.3, random_state=42,
+                             stratify_by="sex")
+
+    # Train a classifier.  Protected columns are never model features, so
+    # this model is "fair through unawareness" — which the audit below
+    # shows to be an empty guarantee.
+    scaler = Standardizer()
+    model = LogisticRegression(max_iter=800)
+    model.fit(scaler.fit_transform(train.feature_matrix()), train.labels())
+    predictions = model.predict(scaler.transform(test.feature_matrix()))
+    probabilities = model.predict_proba(scaler.transform(test.feature_matrix()))
+
+    # Audit the model's decisions on held-out applicants.
+    audit = FairnessAudit(
+        test,
+        predictions=predictions,
+        probabilities=probabilities,
+        tolerance=0.05,
+        strata="university",
+    )
+    report = audit.run()
+    print(report.to_markdown())
+
+    print("Violated metrics:",
+          sorted({f.metric for f in report.violations()}))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Punitive-context auditing: recidivism risk scores (COMPAS-style).
+
+Run with::
+
+    python examples/recidivism_punitive.py
+
+In punitive settings a *positive* prediction harms the individual, which
+changes the metric choice (paper Section IV criteria): false-positive
+balance and calibration matter, not selection rates.  This example:
+
+1. lets the criteria engine rank metrics for a punitive US use case —
+   equalized odds and calibration rise to the top;
+2. trains a risk model on labels inflated by measurement bias against
+   the minority group and audits it;
+3. repairs the error-rate imbalance with the exact (randomised)
+   equalized-odds post-processor;
+4. repairs group calibration with per-group Platt maps, and shows the
+   two fixes address different failures.
+"""
+
+import numpy as np
+
+from repro.core import (
+    UseCaseProfile,
+    calibration_within_groups,
+    equalized_odds,
+    recommend_metrics,
+)
+from repro.data import make_recidivism
+from repro.mitigation import EqualizedOddsPostProcessor, GroupCalibrator
+from repro.models import LogisticRegression, Standardizer, accuracy
+
+
+def main() -> None:
+    print("— Step 1: metric selection for a punitive use case")
+    profile = UseCaseProfile(
+        name="pretrial risk scoring",
+        sector="federally_funded_programs",
+        jurisdiction="us",
+        structural_bias_recognized=False,
+        ground_truth_reliable=False,   # arrests ≠ offences
+        punitive_context=True,
+        proxy_risk=True,
+    )
+    for rec in recommend_metrics(profile)[:4]:
+        print(f"  {rec.score:+5.1f} {rec.metric}")
+
+    print("\n— Step 2: train on measurement-biased labels and audit")
+    data = make_recidivism(
+        n=8000, measurement_bias=0.25, random_state=9
+    )
+    # ground truth: the true propensity, not the recorded re-arrest
+    truly_high_risk = (
+        data.column("propensity")
+        > float(np.median(data.column("propensity")))
+    ).astype(int)
+
+    # a race-AWARE deployment: the recorded labels are inflated for the
+    # minority group, and with race visible the model learns to act on it
+    aware = data.with_role("race", "feature")
+    scaler = Standardizer()
+    X = scaler.fit_transform(aware.feature_matrix())
+    model = LogisticRegression(max_iter=800).fit(X, aware.labels())
+    preds = model.predict(X)
+    probs = model.predict_proba(X)
+    race = data.column("race")
+
+    before = equalized_odds(truly_high_risk, preds, race)
+    print(f"  equalized odds vs true risk: gap={before.gap:.3f} "
+          f"(FPR gap {before.details['fpr_gap']:.3f}) — the minority "
+          "group absorbs extra false positives")
+
+    print("\n— Step 3: exact equalized-odds post-processing")
+    post = EqualizedOddsPostProcessor(random_state=0).fit(
+        truly_high_risk, preds, race
+    )
+    derived = post.predict(preds, race)
+    after = equalized_odds(truly_high_risk, derived, race)
+    print(f"  gap {before.gap:.3f} → {after.gap:.3f}; accuracy "
+          f"{accuracy(truly_high_risk, preds):.3f} → "
+          f"{accuracy(truly_high_risk, derived):.3f} "
+          "(randomised decisions — disclose this procedurally)")
+
+    print("\n— Step 4: group calibration of the risk scores")
+    cal_before = calibration_within_groups(
+        truly_high_risk, probs, race, tolerance=0.05
+    )
+    repaired = GroupCalibrator().fit_transform(probs, race, truly_high_risk)
+    cal_after = calibration_within_groups(
+        truly_high_risk, repaired, race, tolerance=0.05
+    )
+    print(f"  worst-group ECE {cal_before.gap:.3f} → {cal_after.gap:.3f} "
+          f"({'PASS' if cal_after.satisfied else 'still violated'})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — fairness auditing at the intersection of algorithms and law.
+
+A faithful, self-contained reproduction of *"Fairness in AI: challenges
+in bridging the gap between algorithms and law"* (Giannopoulos et al.,
+Fairness in AI Workshop @ ICDE 2024): every fairness definition of the
+paper's Section III, every selection criterion of Section IV, and the
+legal mapping of Section II, as executable, tested code.
+
+Quickstart
+----------
+>>> from repro import make_hiring, FairnessAudit
+>>> data = make_hiring(n=2000, direct_bias=1.5, random_state=0)
+>>> report = FairnessAudit(data, tolerance=0.05).run()
+>>> report.is_clean
+False
+
+See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
+full system inventory.
+"""
+
+from repro.core import (
+    METRIC_CATALOG,
+    AuditReport,
+    ConditionalMetricResult,
+    EqualityConcept,
+    FairnessAudit,
+    MetricResult,
+    Recommendation,
+    UseCaseProfile,
+    calibration_within_groups,
+    conditional_demographic_disparity,
+    conditional_statistical_parity,
+    counterfactual_fairness,
+    demographic_disparity,
+    demographic_parity,
+    disparate_impact_ratio,
+    equal_opportunity,
+    equalized_odds,
+    four_fifths_rule,
+    predictive_parity,
+    recommend_metrics,
+    risk_flags,
+)
+from repro.data import (
+    Column,
+    PopulationMarginals,
+    Schema,
+    TabularDataset,
+    make_credit,
+    make_hiring,
+    make_housing,
+    make_intersectional,
+    make_recidivism,
+)
+from repro.workflow import ComplianceDossier, run_compliance_workflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data
+    "Column",
+    "Schema",
+    "TabularDataset",
+    "PopulationMarginals",
+    "make_hiring",
+    "make_credit",
+    "make_housing",
+    "make_recidivism",
+    "make_intersectional",
+    # metrics
+    "demographic_parity",
+    "conditional_statistical_parity",
+    "equal_opportunity",
+    "equalized_odds",
+    "demographic_disparity",
+    "conditional_demographic_disparity",
+    "counterfactual_fairness",
+    "calibration_within_groups",
+    "predictive_parity",
+    "disparate_impact_ratio",
+    "METRIC_CATALOG",
+    "MetricResult",
+    "ConditionalMetricResult",
+    "EqualityConcept",
+    # legal / criteria / audit
+    "four_fifths_rule",
+    "UseCaseProfile",
+    "Recommendation",
+    "recommend_metrics",
+    "risk_flags",
+    "FairnessAudit",
+    "AuditReport",
+    "ComplianceDossier",
+    "run_compliance_workflow",
+]

@@ -1,0 +1,159 @@
+"""Shared argument-validation helpers.
+
+These helpers centralise the defensive checks performed at public API
+boundaries so that error messages are uniform across the library.  They
+raise :class:`repro.exceptions.ValidationError` on failure and return the
+(possibly converted) value on success, which lets callers write::
+
+    y = check_binary_array(y, "y_true")
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "check_array_1d",
+    "check_binary_array",
+    "check_matrix_2d",
+    "check_same_length",
+    "check_probability",
+    "check_positive_int",
+    "check_nonnegative",
+    "check_in_range",
+    "check_random_state",
+    "check_membership",
+    "check_nonempty",
+]
+
+
+def check_array_1d(values: object, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array.
+
+    Raises :class:`ValidationError` when the input is scalar, empty of
+    shape information, or has more than one dimension.
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        raise ValidationError(f"{name} must be 1-dimensional, got a scalar")
+    if arr.ndim != 1:
+        raise ValidationError(
+            f"{name} must be 1-dimensional, got shape {arr.shape}"
+        )
+    return arr
+
+
+def check_binary_array(values: object, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D integer array containing only 0 and 1."""
+    arr = check_array_1d(values, name)
+    if arr.dtype == bool:
+        return arr.astype(np.int64)
+    try:
+        as_int = arr.astype(np.int64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"{name} must contain binary (0/1) values, got dtype {arr.dtype}"
+        ) from exc
+    if arr.dtype.kind == "f" and not np.allclose(arr, as_int):
+        raise ValidationError(f"{name} contains non-integer float values")
+    bad = set(np.unique(as_int)) - {0, 1}
+    if bad:
+        raise ValidationError(
+            f"{name} must contain only 0/1 values, found {sorted(bad)}"
+        )
+    return as_int
+
+
+def check_matrix_2d(values: object, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 2-D float numpy array."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValidationError(
+            f"{name} must be 2-dimensional, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_same_length(*named_arrays: tuple[str, Sequence]) -> None:
+    """Raise unless all (name, array) pairs share the same length."""
+    lengths = {name: len(arr) for name, arr in named_arrays}
+    if len(set(lengths.values())) > 1:
+        detail = ", ".join(f"{k}={v}" for k, v in lengths.items())
+        raise ValidationError(f"length mismatch: {detail}")
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_positive_int(value: object, name: str) -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_nonnegative(value: float, name: str) -> float:
+    """Validate that ``value`` is a non-negative number."""
+    value = float(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float
+) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    value = float(value)
+    if not low <= value <= high:
+        raise ValidationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+    return value
+
+
+def check_random_state(
+    seed: int | np.random.Generator | None,
+) -> np.random.Generator:
+    """Normalise a seed or generator into a :class:`numpy.random.Generator`."""
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"random_state must be None, an int, or a Generator, got {seed!r}"
+    )
+
+
+def check_membership(value: object, name: str, allowed: Iterable) -> object:
+    """Validate that ``value`` is one of ``allowed``."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ValidationError(
+            f"{name} must be one of {allowed}, got {value!r}"
+        )
+    return value
+
+
+def check_nonempty(values: Sequence, name: str) -> Sequence:
+    """Validate that a sequence is non-empty."""
+    if len(values) == 0:
+        raise ValidationError(f"{name} must not be empty")
+    return values

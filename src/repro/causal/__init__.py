@@ -1,0 +1,22 @@
+"""Causal substrate: structural causal models and counterfactuals."""
+
+from repro.causal.counterfactual import (
+    CounterfactualResult,
+    counterfactual_flip_rate,
+    generate_counterfactual_pairs,
+)
+from repro.causal.effects import EffectDecomposition, effect_decomposition
+from repro.causal.scm import StructuralCausalModel, Variable
+from repro.causal.zoo import biased_hiring_scm, law_school_scm
+
+__all__ = [
+    "StructuralCausalModel",
+    "Variable",
+    "CounterfactualResult",
+    "counterfactual_flip_rate",
+    "generate_counterfactual_pairs",
+    "EffectDecomposition",
+    "effect_decomposition",
+    "biased_hiring_scm",
+    "law_school_scm",
+]

@@ -1,0 +1,123 @@
+"""Counterfactual generation and counterfactual-fairness auditing.
+
+Implements the paper's Section III.G procedure literally: *"We change the
+gender of the male individual to female (adjusting other features to this
+change) and let the model predict again."*  The "adjusting other features"
+step is what distinguishes a genuine counterfactual (computed through a
+structural causal model) from the naive attribute flip of
+:func:`repro.data.bias.swap_protected_values`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import numpy as np
+
+from repro._validation import check_probability
+from repro.causal.scm import StructuralCausalModel
+from repro.exceptions import CausalModelError
+
+__all__ = ["CounterfactualResult", "counterfactual_flip_rate", "generate_counterfactual_pairs"]
+
+
+class CounterfactualResult:
+    """Outcome of a counterfactual-fairness audit.
+
+    Attributes
+    ----------
+    flip_rate:
+        Fraction of audited units whose prediction changed under the
+        counterfactual protected value.
+    flipped_mask:
+        Boolean array marking the units that flipped.
+    factual_predictions / counterfactual_predictions:
+        The two binary prediction arrays being compared.
+    """
+
+    def __init__(
+        self,
+        factual_predictions: np.ndarray,
+        counterfactual_predictions: np.ndarray,
+        tolerance: float,
+    ):
+        self.factual_predictions = np.asarray(factual_predictions).astype(int)
+        self.counterfactual_predictions = np.asarray(
+            counterfactual_predictions
+        ).astype(int)
+        if self.factual_predictions.shape != self.counterfactual_predictions.shape:
+            raise CausalModelError("prediction arrays must have equal shape")
+        self.flipped_mask = (
+            self.factual_predictions != self.counterfactual_predictions
+        )
+        self.flip_rate = float(np.mean(self.flipped_mask)) if len(
+            self.flipped_mask
+        ) else 0.0
+        self.tolerance = tolerance
+
+    @property
+    def is_fair(self) -> bool:
+        """True when the flip rate does not exceed the tolerance."""
+        return self.flip_rate <= self.tolerance
+
+    def __repr__(self) -> str:
+        verdict = "fair" if self.is_fair else "unfair"
+        return (
+            f"CounterfactualResult(flip_rate={self.flip_rate:.4f}, "
+            f"tolerance={self.tolerance}, verdict={verdict!r})"
+        )
+
+
+def generate_counterfactual_pairs(
+    scm: StructuralCausalModel,
+    observed: Mapping[str, np.ndarray],
+    protected: str,
+    counterfactual_value,
+) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+    """(factual, counterfactual) variable dictionaries for each unit.
+
+    The factual world is ``observed`` itself; the counterfactual world is
+    computed by abduction–action–prediction with ``do(protected := value)``,
+    so every descendant of the protected attribute is adjusted consistently.
+    """
+    counterfactuals = scm.counterfactual(
+        observed, {protected: counterfactual_value}
+    )
+    factual = {k: np.asarray(v) for k, v in observed.items()}
+    return factual, counterfactuals
+
+
+def counterfactual_flip_rate(
+    scm: StructuralCausalModel,
+    observed: Mapping[str, np.ndarray],
+    protected: str,
+    counterfactual_value,
+    predictor: Callable[[Mapping[str, np.ndarray]], np.ndarray],
+    tolerance: float = 0.0,
+) -> CounterfactualResult:
+    """Audit a predictor for counterfactual fairness.
+
+    Parameters
+    ----------
+    scm:
+        The assumed structural causal model of the domain.
+    observed:
+        Observed variable arrays (all endogenous variables present).
+    protected:
+        Name of the protected attribute to intervene on.
+    counterfactual_value:
+        Value assigned by the intervention (scalar or per-unit array).
+    predictor:
+        Callable mapping a dict of variable arrays to binary predictions —
+        typically a closure over a fitted classifier that assembles its
+        feature matrix from the dict.
+    tolerance:
+        Maximum acceptable flip rate (0 = the paper's strict definition).
+    """
+    check_probability(tolerance, "tolerance")
+    factual, counterfactual = generate_counterfactual_pairs(
+        scm, observed, protected, counterfactual_value
+    )
+    factual_pred = np.asarray(predictor(factual)).astype(int)
+    counter_pred = np.asarray(predictor(counterfactual)).astype(int)
+    return CounterfactualResult(factual_pred, counter_pred, tolerance)

@@ -1,0 +1,254 @@
+"""Structural causal models over a networkx DAG.
+
+A :class:`StructuralCausalModel` is a set of variables, each either
+*exogenous* (a noise source with a sampling function) or *endogenous*
+(a deterministic structural equation of its parents).  The model supports
+the three operations counterfactual fairness needs (Kusner et al. 2017):
+
+1. **sampling** — draw observational data;
+2. **intervention** — ``do(A := a)``: replace a structural equation with a
+   constant and recompute descendants;
+3. **counterfactual** — abduction / action / prediction: recover each
+   unit's exogenous noise from observed data (possible here because noise
+   terms are explicit), intervene, and recompute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+import networkx as nx
+import numpy as np
+
+from repro._validation import check_positive_int, check_random_state
+from repro.exceptions import CausalModelError
+
+__all__ = ["StructuralCausalModel", "Variable"]
+
+
+class Variable:
+    """One SCM variable.
+
+    Exogenous variables carry a ``sampler(rng, n) -> array``.  Endogenous
+    variables carry an ``equation(parent_values: dict) -> array`` plus the
+    tuple of parent names the equation reads.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parents: tuple[str, ...] = (),
+        equation: Callable[[Mapping[str, np.ndarray]], np.ndarray] | None = None,
+        sampler: Callable[[np.random.Generator, int], np.ndarray] | None = None,
+    ):
+        if (equation is None) == (sampler is None):
+            raise CausalModelError(
+                f"variable {name!r} must have exactly one of equation/sampler"
+            )
+        if sampler is not None and parents:
+            raise CausalModelError(
+                f"exogenous variable {name!r} cannot have parents"
+            )
+        self.name = name
+        self.parents = tuple(parents)
+        self.equation = equation
+        self.sampler = sampler
+
+    @property
+    def is_exogenous(self) -> bool:
+        return self.sampler is not None
+
+
+class StructuralCausalModel:
+    """A collection of :class:`Variable` objects forming a DAG."""
+
+    def __init__(self, variables: list[Variable]):
+        self._variables = {v.name: v for v in variables}
+        if len(self._variables) != len(variables):
+            names = [v.name for v in variables]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise CausalModelError(f"duplicate variable names: {dupes}")
+        self._graph = nx.DiGraph()
+        self._graph.add_nodes_from(self._variables)
+        for var in variables:
+            for parent in var.parents:
+                if parent not in self._variables:
+                    raise CausalModelError(
+                        f"variable {var.name!r} references unknown parent "
+                        f"{parent!r}"
+                    )
+                self._graph.add_edge(parent, var.name)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise CausalModelError(f"structural equations contain a cycle: {cycle}")
+        self._order = list(nx.topological_sort(self._graph))
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def variable_names(self) -> list[str]:
+        """All variable names in topological order."""
+        return list(self._order)
+
+    @property
+    def exogenous_names(self) -> list[str]:
+        return [n for n in self._order if self._variables[n].is_exogenous]
+
+    @property
+    def endogenous_names(self) -> list[str]:
+        return [n for n in self._order if not self._variables[n].is_exogenous]
+
+    def graph(self) -> nx.DiGraph:
+        """A copy of the causal DAG."""
+        return self._graph.copy()
+
+    def descendants(self, name: str) -> set[str]:
+        """Strict descendants of a variable in the DAG."""
+        self._require(name)
+        return set(nx.descendants(self._graph, name))
+
+    def _require(self, name: str) -> Variable:
+        if name not in self._variables:
+            raise CausalModelError(
+                f"unknown variable {name!r}; known: {sorted(self._variables)}"
+            )
+        return self._variables[name]
+
+    # -- simulation --------------------------------------------------------------
+
+    def sample(
+        self,
+        n: int,
+        random_state: int | np.random.Generator | None = None,
+        interventions: Mapping[str, object] | None = None,
+        noise: Mapping[str, np.ndarray] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Draw ``n`` units from the (possibly intervened) model.
+
+        Parameters
+        ----------
+        interventions:
+            Mapping ``{variable: value}`` implementing ``do(variable := value)``.
+            Values may be scalars (broadcast) or length-``n`` arrays.
+        noise:
+            Pre-drawn exogenous values, overriding the samplers; used by the
+            abduction step of counterfactual inference.
+        """
+        n = check_positive_int(n, "n")
+        rng = check_random_state(random_state)
+        interventions = dict(interventions or {})
+        for name in interventions:
+            self._require(name)
+        noise = dict(noise or {})
+
+        values: dict[str, np.ndarray] = {}
+        for name in self._order:
+            var = self._variables[name]
+            if name in interventions:
+                values[name] = np.broadcast_to(
+                    np.asarray(interventions[name]), (n,)
+                ).copy()
+            elif var.is_exogenous:
+                if name in noise:
+                    provided = np.asarray(noise[name])
+                    if provided.shape != (n,):
+                        raise CausalModelError(
+                            f"noise for {name!r} must have shape ({n},), "
+                            f"got {provided.shape}"
+                        )
+                    values[name] = provided.copy()
+                else:
+                    values[name] = np.asarray(var.sampler(rng, n))
+            else:
+                parent_values = {p: values[p] for p in var.parents}
+                result = np.asarray(var.equation(parent_values))
+                if result.shape != (n,):
+                    raise CausalModelError(
+                        f"equation for {name!r} returned shape {result.shape}, "
+                        f"expected ({n},)"
+                    )
+                values[name] = result
+        return values
+
+    def intervene(
+        self,
+        n: int,
+        interventions: Mapping[str, object],
+        random_state: int | np.random.Generator | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Convenience alias for :meth:`sample` with interventions."""
+        return self.sample(n, random_state=random_state, interventions=interventions)
+
+    # -- counterfactuals ----------------------------------------------------------
+
+    def abduct(self, observed: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Recover exogenous noise from fully observed endogenous values.
+
+        Requires invertible additive structure: each endogenous variable's
+        equation must be writable as ``f(parents) + u`` where ``u`` is the
+        unit's idiosyncratic deviation.  We recover ``u`` as the residual
+        ``observed − f(parents)`` evaluated at the observed parent values.
+        Exogenous variables present in ``observed`` are passed through.
+        """
+        observed = {k: np.asarray(v) for k, v in observed.items()}
+        lengths = {k: len(v) for k, v in observed.items()}
+        if len(set(lengths.values())) > 1:
+            raise CausalModelError(f"observed arrays differ in length: {lengths}")
+        missing = [n for n in self.endogenous_names if n not in observed]
+        if missing:
+            raise CausalModelError(
+                f"abduction requires all endogenous variables observed; "
+                f"missing {missing}"
+            )
+
+        noise: dict[str, np.ndarray] = {}
+        for name in self.exogenous_names:
+            if name in observed:
+                noise[name] = observed[name]
+                continue
+            # The exogenous term must feed exactly one endogenous variable
+            # additively for residual recovery to be well-defined.
+            children = list(self._graph.successors(name))
+            if len(children) != 1:
+                raise CausalModelError(
+                    f"cannot abduce exogenous {name!r}: expected exactly one "
+                    f"child, found {children}"
+                )
+            child = self._variables[children[0]]
+            parent_values = {}
+            for parent in child.parents:
+                if parent == name:
+                    parent_values[parent] = np.zeros_like(
+                        observed[child.name], dtype=float
+                    )
+                elif parent in observed:
+                    parent_values[parent] = observed[parent]
+                elif parent in noise:
+                    parent_values[parent] = noise[parent]
+                else:
+                    raise CausalModelError(
+                        f"abduction of {name!r} needs observed parent {parent!r}"
+                    )
+            baseline = np.asarray(child.equation(parent_values), dtype=float)
+            noise[name] = np.asarray(observed[child.name], dtype=float) - baseline
+        return noise
+
+    def counterfactual(
+        self,
+        observed: Mapping[str, np.ndarray],
+        interventions: Mapping[str, object],
+    ) -> dict[str, np.ndarray]:
+        """Unit-level counterfactuals via abduction → action → prediction.
+
+        Returns the full set of variable values each unit *would* have had
+        under the intervention, holding its exogenous noise fixed.
+        """
+        observed = {k: np.asarray(v) for k, v in observed.items()}
+        n = len(next(iter(observed.values())))
+        noise = self.abduct(observed)
+        return self.sample(
+            n,
+            random_state=0,  # no randomness is actually consumed: all noise given
+            interventions=interventions,
+            noise=noise,
+        )

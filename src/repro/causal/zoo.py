@@ -1,0 +1,101 @@
+"""Canonical structural causal models used by examples and benchmarks.
+
+Every model here keeps its exogenous noise terms explicit and additive so
+that :meth:`StructuralCausalModel.abduct` can recover them exactly.
+"""
+
+from __future__ import annotations
+
+from repro.causal.scm import StructuralCausalModel, Variable
+
+__all__ = ["biased_hiring_scm", "law_school_scm", "HIRING_VARIABLES"]
+
+#: variable names of :func:`biased_hiring_scm`, in topological order
+HIRING_VARIABLES = (
+    "sex",
+    "u_experience",
+    "u_skill",
+    "experience",
+    "skill_score",
+)
+
+
+def biased_hiring_scm(
+    sex_effect_experience: float = -1.0,
+    sex_effect_skill: float = -5.0,
+    female_fraction: float = 0.5,
+) -> StructuralCausalModel:
+    """Hiring SCM in which sex causally influences the observed merit features.
+
+    ``sex`` is exogenous binary (1 = female).  Experience and skill score
+    each combine a sex effect (representing structural disadvantage, e.g.
+    career interruptions) with independent noise:
+
+    .. math::
+
+        \\text{experience} = 5 + e_x \\cdot \\text{sex} + U_e,\\qquad
+        \\text{skill} = 70 + e_s \\cdot \\text{sex} + U_s
+
+    A predictor using experience/skill alone is therefore *not*
+    counterfactually fair whenever the effects are non-zero: flipping sex
+    changes the features, which changes the prediction.
+    """
+    return StructuralCausalModel([
+        Variable(
+            "sex",
+            sampler=lambda rng, n: (rng.random(n) < female_fraction).astype(float),
+        ),
+        Variable("u_experience", sampler=lambda rng, n: rng.normal(0, 1.5, n)),
+        Variable("u_skill", sampler=lambda rng, n: rng.normal(0, 8.0, n)),
+        Variable(
+            "experience",
+            parents=("sex", "u_experience"),
+            equation=lambda v: 5.0
+            + sex_effect_experience * v["sex"]
+            + v["u_experience"],
+        ),
+        Variable(
+            "skill_score",
+            parents=("sex", "u_skill"),
+            equation=lambda v: 70.0 + sex_effect_skill * v["sex"] + v["u_skill"],
+        ),
+    ])
+
+
+def law_school_scm(
+    race_effect_gpa: float = -0.3,
+    race_effect_lsat: float = -4.0,
+    minority_fraction: float = 0.3,
+) -> StructuralCausalModel:
+    """Law-school-style SCM (Kusner et al.'s running example, simplified).
+
+    Latent ``knowledge`` drives both GPA and LSAT; ``race`` (1 = minority)
+    additionally shifts both observed scores, modelling structurally biased
+    measurement.  A counterfactually fair predictor must rely on the part
+    of GPA/LSAT attributable to knowledge, not to race.
+    """
+    return StructuralCausalModel([
+        Variable(
+            "race",
+            sampler=lambda rng, n: (rng.random(n) < minority_fraction).astype(float),
+        ),
+        Variable("knowledge", sampler=lambda rng, n: rng.normal(0, 1, n)),
+        Variable("u_gpa", sampler=lambda rng, n: rng.normal(0, 0.3, n)),
+        Variable("u_lsat", sampler=lambda rng, n: rng.normal(0, 3.0, n)),
+        Variable(
+            "gpa",
+            parents=("knowledge", "race", "u_gpa"),
+            equation=lambda v: 3.0
+            + 0.5 * v["knowledge"]
+            + race_effect_gpa * v["race"]
+            + v["u_gpa"],
+        ),
+        Variable(
+            "lsat",
+            parents=("knowledge", "race", "u_lsat"),
+            equation=lambda v: 35.0
+            + 5.0 * v["knowledge"]
+            + race_effect_lsat * v["race"]
+            + v["u_lsat"],
+        ),
+    ])

@@ -1,0 +1,327 @@
+"""Command-line interface: generate workloads, audit files, get advice.
+
+Usage::
+
+    python -m repro generate --workload hiring --n 2000 --out data.csv
+    python -m repro audit --data data.csv --tolerance 0.05 --format json
+    python -m repro recommend --sector employment --jurisdiction eu \\
+        --structural-bias --no-reliable-labels
+    python -m repro statutes --attribute sex --sector employment \\
+        --jurisdiction us
+
+Every subcommand prints to stdout; exit code 1 on an audit that found
+violations (so CI pipelines can gate on fairness), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.audit import FairnessAudit
+from repro.core.criteria import UseCaseProfile, recommend_metrics, risk_flags
+from repro.core.legal import statutes_protecting
+from repro.core.report import render_markdown, render_text
+from repro.core.serialize import report_to_json
+from repro.data.generators import (
+    make_credit,
+    make_hiring,
+    make_housing,
+    make_intersectional,
+    make_recidivism,
+)
+from repro.data.io import load_dataset, save_dataset
+from repro.exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "hiring": make_hiring,
+    "credit": make_credit,
+    "housing": make_housing,
+    "recidivism": make_recidivism,
+    "intersectional": make_intersectional,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fairness auditing at the intersection of algorithms "
+        "and law (ICDE 2024 workshop paper reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic workload")
+    gen.add_argument("--workload", choices=sorted(_WORKLOADS), required=True)
+    gen.add_argument("--n", type=int, default=2000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--bias", type=float, default=0.0,
+                     help="direct label-bias strength (hiring workload)")
+    gen.add_argument("--proxy", type=float, default=0.0,
+                     help="proxy strength (hiring workload)")
+    gen.add_argument("--out", required=True,
+                     help="CSV output path (schema sidecar written next to it)")
+
+    audit = sub.add_parser("audit", help="audit a dataset CSV")
+    audit.add_argument("--data", required=True, help="CSV written by generate")
+    audit.add_argument("--schema", default=None,
+                       help="schema JSON (default: <data>.schema.json)")
+    audit.add_argument("--tolerance", type=float, default=0.05)
+    audit.add_argument("--strata", default=None,
+                       help="legitimate conditioning column")
+    audit.add_argument("--format", choices=("markdown", "text", "json"),
+                       default="markdown")
+
+    rec = sub.add_parser("recommend",
+                         help="rank fairness metrics for a use case")
+    rec.add_argument("--name", default="cli use case")
+    rec.add_argument("--sector", default="employment")
+    rec.add_argument("--jurisdiction", choices=("eu", "us"), default="eu")
+    rec.add_argument("--structural-bias", action="store_true")
+    rec.add_argument("--affirmative-action", action="store_true")
+    rec.add_argument("--no-labels", action="store_true")
+    rec.add_argument("--no-reliable-labels", action="store_true")
+    rec.add_argument("--legitimate-factor", action="append", default=[])
+    rec.add_argument("--causal-model", action="store_true")
+    rec.add_argument("--punitive", action="store_true")
+    rec.add_argument("--protected-attributes", type=int, default=1)
+    rec.add_argument("--proxy-risk", action="store_true")
+    rec.add_argument("--feedback-risk", action="store_true")
+    rec.add_argument("--manipulation-risk", action="store_true")
+
+    stat = sub.add_parser("statutes",
+                          help="look up statutes protecting an attribute")
+    stat.add_argument("--attribute", required=True)
+    stat.add_argument("--sector", default=None)
+    stat.add_argument("--jurisdiction", choices=("eu", "us"), default=None)
+
+    train = sub.add_parser("train", help="train a linear model on a CSV")
+    train.add_argument("--data", required=True)
+    train.add_argument("--schema", default=None)
+    train.add_argument("--model-out", required=True,
+                       help="JSON output path for the fitted pipeline")
+    train.add_argument("--max-iter", type=int, default=800)
+
+    predict = sub.add_parser(
+        "predict",
+        help="score a CSV with a trained model and audit the decisions",
+    )
+    predict.add_argument("--data", required=True)
+    predict.add_argument("--schema", default=None)
+    predict.add_argument("--model", required=True,
+                         help="JSON pipeline written by train")
+    predict.add_argument("--tolerance", type=float, default=0.05)
+    predict.add_argument("--format", choices=("markdown", "text", "json"),
+                         default="markdown")
+
+    definition = sub.add_parser(
+        "define", help="look up a legal/technical term from the paper"
+    )
+    definition.add_argument("term", nargs="+",
+                            help="the term, e.g. 'disparate impact'")
+
+    wf = sub.add_parser(
+        "workflow",
+        help="run the full compliance workflow on a dataset CSV",
+    )
+    wf.add_argument("--data", required=True)
+    wf.add_argument("--schema", default=None)
+    wf.add_argument("--tolerance", type=float, default=0.05)
+    wf.add_argument("--strata", default=None)
+    wf.add_argument("--name", default="cli use case")
+    wf.add_argument("--sector", default="employment")
+    wf.add_argument("--jurisdiction", choices=("eu", "us"), default="eu")
+    wf.add_argument("--structural-bias", action="store_true")
+    wf.add_argument("--affirmative-action", action="store_true")
+    wf.add_argument("--no-reliable-labels", action="store_true")
+    wf.add_argument("--proxy-risk", action="store_true")
+
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    factory = _WORKLOADS[args.workload]
+    kwargs = {"n": args.n, "random_state": args.seed}
+    if args.workload == "hiring":
+        kwargs["direct_bias"] = args.bias
+        kwargs["proxy_strength"] = args.proxy
+    dataset = factory(**kwargs)
+    save_dataset(dataset, args.out)
+    print(f"wrote {dataset.n_rows} rows to {args.out} "
+          f"(+ schema sidecar)")
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    dataset = load_dataset(args.data, args.schema)
+    report = FairnessAudit(
+        dataset, tolerance=args.tolerance, strata=args.strata
+    ).run()
+    if args.format == "json":
+        print(report_to_json(report))
+    elif args.format == "text":
+        print(render_text(report))
+    else:
+        print(render_markdown(report))
+    return 0 if report.is_clean else 1
+
+
+def _cmd_recommend(args) -> int:
+    profile = UseCaseProfile(
+        name=args.name,
+        sector=args.sector,
+        jurisdiction=args.jurisdiction,
+        structural_bias_recognized=args.structural_bias,
+        affirmative_action_mandated=args.affirmative_action,
+        labels_available=not args.no_labels,
+        ground_truth_reliable=not args.no_reliable_labels,
+        legitimate_factors=tuple(args.legitimate_factor),
+        causal_model_available=args.causal_model,
+        punitive_context=args.punitive,
+        n_protected_attributes=args.protected_attributes,
+        proxy_risk=args.proxy_risk,
+        feedback_loop_risk=args.feedback_risk,
+        manipulation_risk=args.manipulation_risk,
+    )
+    print(f"Recommendations for {profile.name!r}:")
+    for rec in recommend_metrics(profile):
+        marker = " " if rec.feasible else "✗"
+        print(f" {marker} {rec.score:+5.1f}  {rec.metric} "
+              f"[{rec.equality_concept}]")
+        for reason in rec.rationale:
+            print(f"          · {reason}")
+        for blocker in rec.blockers:
+            print(f"          ✗ {blocker}")
+    print("\nRisk flags:")
+    for flag in risk_flags(profile):
+        print(f"  [{flag.paper_section}] {flag.risk}: {flag.advice}")
+    return 0
+
+
+def _cmd_statutes(args) -> int:
+    statutes = statutes_protecting(
+        args.attribute, sector=args.sector, jurisdiction=args.jurisdiction
+    )
+    if not statutes:
+        print(f"no cataloged statute protects {args.attribute!r} "
+              f"(sector={args.sector}, jurisdiction={args.jurisdiction})")
+        return 0
+    for statute in statutes:
+        sectors = ", ".join(statute.sectors) if statute.sectors else "general"
+        print(f"- [{statute.jurisdiction.upper()}] {statute.name} "
+              f"({statute.year}); sectors: {sectors}")
+        if statute.notes:
+            print(f"    {statute.notes}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.models.persistence import LinearPipeline
+
+    dataset = load_dataset(args.data, args.schema)
+    pipeline = LinearPipeline(max_iter=args.max_iter).fit(dataset)
+    pipeline.save(args.model_out)
+    preds = pipeline.predict(dataset)
+    train_accuracy = float((preds == dataset.labels()).mean())
+    print(f"trained on {dataset.n_rows} rows "
+          f"({len(pipeline.feature_names)} feature columns); "
+          f"training accuracy {train_accuracy:.3f}; "
+          f"model written to {args.model_out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.models.persistence import LinearPipeline
+
+    dataset = load_dataset(args.data, args.schema)
+    pipeline = LinearPipeline.load(args.model)
+    predictions = pipeline.predict(dataset)
+    probabilities = pipeline.predict_proba(dataset)
+    report = FairnessAudit(
+        dataset,
+        predictions=predictions,
+        probabilities=probabilities,
+        tolerance=args.tolerance,
+    ).run()
+    if args.format == "json":
+        print(report_to_json(report))
+    elif args.format == "text":
+        print(render_text(report))
+    else:
+        print(render_markdown(report))
+    return 0 if report.is_clean else 1
+
+
+def _cmd_define(args) -> int:
+    from repro.core.glossary import define, related_terms
+
+    term = " ".join(args.term)
+    entry = define(term)
+    print(f"{entry.term}  [{entry.discipline}; paper §{entry.paper_section}]")
+    print(f"  {entry.definition}")
+    related = related_terms(entry.term)
+    if related:
+        print("  see also: " + ", ".join(e.term for e in related))
+    return 0
+
+
+def _cmd_workflow(args) -> int:
+    from repro.core.criteria import UseCaseProfile
+    from repro.workflow import run_compliance_workflow
+
+    dataset = load_dataset(args.data, args.schema)
+    legitimate = (args.strata,) if args.strata else ()
+    profile = UseCaseProfile(
+        name=args.name,
+        sector=args.sector,
+        jurisdiction=args.jurisdiction,
+        structural_bias_recognized=args.structural_bias,
+        affirmative_action_mandated=args.affirmative_action,
+        ground_truth_reliable=not args.no_reliable_labels,
+        legitimate_factors=legitimate,
+        n_protected_attributes=max(
+            1, len(dataset.schema.protected_names)
+        ),
+        proxy_risk=args.proxy_risk,
+    )
+    dossier = run_compliance_workflow(
+        dataset, profile, tolerance=args.tolerance, strata=args.strata
+    )
+    print(dossier.to_markdown())
+    return 0 if dossier.verdict == "pass" else 1
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "audit": _cmd_audit,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "recommend": _cmd_recommend,
+    "statutes": _cmd_statutes,
+    "define": _cmd_define,
+    "workflow": _cmd_workflow,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    import json
+
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: malformed JSON input: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,386 @@
+"""Fairness audit engine: metric batteries over datasets and models.
+
+A :class:`FairnessAudit` evaluates a configurable battery of the paper's
+metrics over every protected attribute of a dataset (and, when more than
+one protected attribute exists, over their intersection — the Section
+IV.C drill-down), attaching statistical significance and legal screens to
+each finding.  The output :class:`AuditReport` renders to markdown via
+:mod:`repro.core.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import check_binary_array, check_probability
+from repro.core.legal import four_fifths_rule
+from repro.core.metrics import (
+    calibration_within_groups,
+    conditional_demographic_disparity,
+    conditional_statistical_parity,
+    demographic_disparity,
+    demographic_parity,
+    disparate_impact_ratio,
+    equal_opportunity,
+    equalized_odds,
+    false_positive_rate_parity,
+    overall_accuracy_equality,
+    predictive_parity,
+    treatment_equality,
+)
+from repro.core.types import ConditionalMetricResult, MetricResult
+from repro.data.dataset import TabularDataset
+from repro.exceptions import AuditError, InsufficientDataError, MetricError
+from repro.stats.tests import min_detectable_gap
+
+__all__ = ["AuditFinding", "AuditReport", "FairnessAudit", "intersection_column"]
+
+#: metrics runnable from (y_true, predictions, protected, strata) data alone
+_BATTERY = (
+    "demographic_parity",
+    "conditional_statistical_parity",
+    "equal_opportunity",
+    "equalized_odds",
+    "demographic_disparity",
+    "conditional_demographic_disparity",
+    "predictive_parity",
+    "treatment_equality",
+    "false_positive_rate_parity",
+    "overall_accuracy_equality",
+    "disparate_impact_ratio",
+    "calibration_within_groups",
+)
+
+#: battery metrics that compare predictions against ground-truth labels
+_LABEL_METRICS = {
+    "equal_opportunity": equal_opportunity,
+    "equalized_odds": equalized_odds,
+    "predictive_parity": predictive_parity,
+    "treatment_equality": treatment_equality,
+    "false_positive_rate_parity": false_positive_rate_parity,
+    "overall_accuracy_equality": overall_accuracy_equality,
+}
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One (attribute, metric) evaluation within an audit.
+
+    ``status`` is ``"ok"`` when the metric evaluated, ``"skipped"`` when it
+    could not be computed (with the reason recorded) — audits never let a
+    sparse subgroup abort the whole battery, they surface it.
+    """
+
+    attribute: str
+    metric: str
+    status: str
+    result: MetricResult | ConditionalMetricResult | None = None
+    reason: str = ""
+    four_fifths: object = None
+
+    @property
+    def satisfied(self) -> bool | None:
+        """Metric verdict; None when the finding was skipped."""
+        if self.result is None:
+            return None
+        return self.result.satisfied
+
+
+@dataclass
+class AuditReport:
+    """All findings of one audit run, with convenience accessors."""
+
+    dataset_summary: dict
+    tolerance: float
+    findings: list = field(default_factory=list)
+    intersectional_findings: list = field(default_factory=list)
+    power_notes: dict = field(default_factory=dict)
+
+    def all_findings(self) -> list[AuditFinding]:
+        return list(self.findings) + list(self.intersectional_findings)
+
+    def violations(self) -> list[AuditFinding]:
+        """Findings whose metric evaluated and is violated."""
+        return [f for f in self.all_findings() if f.satisfied is False]
+
+    def passes(self) -> list[AuditFinding]:
+        return [f for f in self.all_findings() if f.satisfied is True]
+
+    def skipped(self) -> list[AuditFinding]:
+        return [f for f in self.all_findings() if f.status == "skipped"]
+
+    def finding(self, attribute: str, metric: str) -> AuditFinding:
+        """Look up one finding by attribute and metric name."""
+        for f in self.all_findings():
+            if f.attribute == attribute and f.metric == metric:
+                return f
+        raise AuditError(
+            f"no finding for attribute={attribute!r}, metric={metric!r}"
+        )
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no evaluated metric is violated."""
+        return not self.violations()
+
+    def to_markdown(self) -> str:
+        """Render via :func:`repro.core.report.render_markdown`."""
+        from repro.core.report import render_markdown
+
+        return render_markdown(self)
+
+
+def intersection_column(
+    dataset: TabularDataset, attributes: list[str], separator: str = "×"
+) -> np.ndarray:
+    """Combine protected columns into one subgroup label per row.
+
+    ``["gender", "race"]`` → values like ``"female×caucasian"``.
+    """
+    if len(attributes) < 2:
+        raise AuditError("intersection requires at least two attributes")
+    parts = [dataset.column(a).astype(str) for a in attributes]
+    combined = parts[0]
+    for part in parts[1:]:
+        combined = np.char.add(np.char.add(combined, separator), part)
+    return combined
+
+
+class FairnessAudit:
+    """Configure and run a fairness-metric battery.
+
+    Parameters
+    ----------
+    dataset:
+        The audited dataset; protected attributes are taken from its
+        schema.
+    predictions:
+        Binary model outputs aligned with the dataset rows.  When omitted,
+        the audit evaluates the dataset's *labels* instead — a data audit
+        rather than a model audit (detects historical bias in Y itself).
+    tolerance:
+        Gap accepted as fair for every parity metric.
+    strata:
+        Name of a legitimate conditioning column for the conditional
+        definitions; they are skipped when absent.
+    probabilities:
+        Optional model scores enabling the calibration metric.
+    min_stratum_group_size:
+        Minimum per-group count within a stratum (Section IV.C guard).
+    """
+
+    def __init__(
+        self,
+        dataset: TabularDataset,
+        predictions=None,
+        tolerance: float = 0.05,
+        strata: str | None = None,
+        probabilities=None,
+        min_stratum_group_size: int = 5,
+    ):
+        self.dataset = dataset
+        self.protected_attributes = dataset.schema.protected_names
+        if not self.protected_attributes:
+            raise AuditError("dataset declares no protected attributes")
+        if predictions is None:
+            if dataset.schema.label_name is None:
+                raise AuditError(
+                    "no predictions given and dataset has no label column"
+                )
+            predictions = dataset.labels()
+            self.audits_labels = True
+        else:
+            self.audits_labels = False
+        self.predictions = check_binary_array(predictions, "predictions")
+        if len(self.predictions) != dataset.n_rows:
+            raise AuditError(
+                f"predictions length {len(self.predictions)} != dataset rows "
+                f"{dataset.n_rows}"
+            )
+        self.tolerance = check_probability(tolerance, "tolerance")
+        if strata is not None and strata not in dataset.schema:
+            raise AuditError(f"strata column {strata!r} not in dataset")
+        self.strata = strata
+        self.probabilities = (
+            None if probabilities is None else np.asarray(probabilities, float)
+        )
+        if (
+            self.probabilities is not None
+            and len(self.probabilities) != dataset.n_rows
+        ):
+            raise AuditError("probabilities length does not match dataset")
+        self.min_stratum_group_size = int(min_stratum_group_size)
+
+    @classmethod
+    def from_prediction_column(
+        cls,
+        dataset: TabularDataset,
+        prediction_column: str = "prediction",
+        **kwargs,
+    ) -> "FairnessAudit":
+        """Audit predictions stored as a dataset column.
+
+        Convenience for datasets built with
+        :meth:`TabularDataset.with_predictions`: the named column is used
+        as the audited outcomes and excluded from the label side.
+        """
+        if prediction_column not in dataset.schema:
+            raise AuditError(
+                f"dataset has no column {prediction_column!r}"
+            )
+        return cls(
+            dataset, predictions=dataset.column(prediction_column), **kwargs
+        )
+
+    # -- battery pieces ------------------------------------------------------
+
+    def _labels(self) -> np.ndarray | None:
+        name = self.dataset.schema.label_name
+        return None if name is None else self.dataset.labels()
+
+    def _evaluate(self, metric: str, attribute: str) -> AuditFinding:
+        groups = self.dataset.column(attribute)
+        strata = (
+            self.dataset.column(self.strata) if self.strata is not None else None
+        )
+        labels = self._labels()
+        tol = self.tolerance
+        try:
+            if metric == "demographic_parity":
+                result = demographic_parity(
+                    self.predictions, groups, tolerance=tol, with_significance=True
+                )
+            elif metric == "conditional_statistical_parity":
+                if strata is None:
+                    return AuditFinding(
+                        attribute, metric, "skipped",
+                        reason="no strata column configured",
+                    )
+                result = conditional_statistical_parity(
+                    self.predictions, groups, strata, tolerance=tol,
+                    min_stratum_group_size=self.min_stratum_group_size,
+                )
+            elif metric in _LABEL_METRICS:
+                if labels is None or self.audits_labels:
+                    return AuditFinding(
+                        attribute, metric, "skipped",
+                        reason="requires ground-truth labels distinct from "
+                        "the audited outcomes",
+                    )
+                if metric == "equal_opportunity":
+                    result = equal_opportunity(
+                        labels, self.predictions, groups, tolerance=tol,
+                        with_significance=True,
+                    )
+                else:
+                    result = _LABEL_METRICS[metric](
+                        labels, self.predictions, groups, tolerance=tol
+                    )
+            elif metric == "demographic_disparity":
+                result = demographic_disparity(
+                    self.predictions, groups, tolerance=tol
+                )
+            elif metric == "conditional_demographic_disparity":
+                if strata is None:
+                    return AuditFinding(
+                        attribute, metric, "skipped",
+                        reason="no strata column configured",
+                    )
+                result = conditional_demographic_disparity(
+                    self.predictions, groups, strata, tolerance=tol,
+                    min_stratum_group_size=self.min_stratum_group_size,
+                )
+            elif metric == "disparate_impact_ratio":
+                result = disparate_impact_ratio(self.predictions, groups)
+                return AuditFinding(
+                    attribute, metric, "ok", result=result,
+                    four_fifths=four_fifths_rule(result.rates()),
+                )
+            elif metric == "calibration_within_groups":
+                if self.probabilities is None or labels is None:
+                    return AuditFinding(
+                        attribute, metric, "skipped",
+                        reason="requires probability scores and labels",
+                    )
+                result = calibration_within_groups(
+                    labels, self.probabilities, groups
+                )
+            else:
+                raise AuditError(f"unknown battery metric {metric!r}")
+        except (InsufficientDataError, MetricError) as exc:
+            return AuditFinding(attribute, metric, "skipped", reason=str(exc))
+        return AuditFinding(attribute, metric, "ok", result=result)
+
+    def _power_note(self, attribute: str) -> dict:
+        """Minimum detectable gap for this attribute's two largest groups."""
+        values, counts = np.unique(
+            self.dataset.column(attribute), return_counts=True
+        )
+        if len(counts) < 2:
+            return {}
+        top = np.sort(counts)[-2:]
+        base_rate = float(np.mean(self.predictions))
+        base_rate = min(max(base_rate, 0.05), 0.95)
+        return {
+            "n_a": int(top[1]),
+            "n_b": int(top[0]),
+            "min_detectable_gap": min_detectable_gap(
+                int(top[1]), int(top[0]), base_rate=base_rate
+            ),
+        }
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self, metrics: tuple = _BATTERY) -> AuditReport:
+        """Execute the battery and return an :class:`AuditReport`."""
+        report = AuditReport(
+            dataset_summary={
+                "n_rows": self.dataset.n_rows,
+                "protected_attributes": list(self.protected_attributes),
+                "audits_labels": self.audits_labels,
+                "strata": self.strata,
+            },
+            tolerance=self.tolerance,
+        )
+        for attribute in self.protected_attributes:
+            for metric in metrics:
+                report.findings.append(self._evaluate(metric, attribute))
+            report.power_notes[attribute] = self._power_note(attribute)
+
+        if len(self.protected_attributes) >= 2:
+            report.intersectional_findings.extend(self._intersectional(metrics))
+        return report
+
+    def _intersectional(self, metrics: tuple) -> list[AuditFinding]:
+        """Re-run the outcome metrics over the crossed subgroups (IV.C)."""
+        combined = intersection_column(self.dataset, self.protected_attributes)
+        name = "×".join(self.protected_attributes)
+        findings = []
+        wanted = [
+            m
+            for m in ("demographic_parity", "disparate_impact_ratio")
+            if m in metrics
+        ]
+        for metric in wanted:
+            try:
+                if metric == "demographic_parity":
+                    result = demographic_parity(
+                        self.predictions, combined, tolerance=self.tolerance,
+                        with_significance=True,
+                    )
+                    findings.append(AuditFinding(name, metric, "ok", result=result))
+                else:
+                    result = disparate_impact_ratio(self.predictions, combined)
+                    findings.append(
+                        AuditFinding(
+                            name, metric, "ok", result=result,
+                            four_fifths=four_fifths_rule(result.rates()),
+                        )
+                    )
+            except (InsufficientDataError, MetricError) as exc:
+                findings.append(
+                    AuditFinding(name, metric, "skipped", reason=str(exc))
+                )
+        return findings

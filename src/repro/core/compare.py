@@ -1,0 +1,157 @@
+"""Compare audit reports across model versions or mitigations.
+
+Fairness work is iterative: audit, mitigate, re-audit.  A
+:class:`ReportComparison` lines up two :class:`~repro.core.audit.AuditReport`
+objects finding-by-finding and classifies each metric as improved,
+regressed, unchanged, newly fixed, or newly broken — the diff a
+compliance reviewer actually wants to read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditReport
+from repro.core.types import ConditionalMetricResult, MetricResult
+from repro.exceptions import AuditError
+
+__all__ = ["MetricDelta", "ReportComparison", "compare_reports"]
+
+#: |gap| change below which a metric is reported as unchanged
+_NOISE_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """Change in one (attribute, metric) between two audits."""
+
+    attribute: str
+    metric: str
+    gap_before: float | None
+    gap_after: float | None
+    satisfied_before: bool | None
+    satisfied_after: bool | None
+
+    @property
+    def classification(self) -> str:
+        """One of fixed / broken / improved / regressed / unchanged /
+        incomparable."""
+        if self.gap_before is None or self.gap_after is None:
+            return "incomparable"
+        if not self.satisfied_before and self.satisfied_after:
+            return "fixed"
+        if self.satisfied_before and not self.satisfied_after:
+            return "broken"
+        change = self.gap_after - self.gap_before
+        if abs(change) <= _NOISE_FLOOR:
+            return "unchanged"
+        return "improved" if change < 0 else "regressed"
+
+    @property
+    def gap_change(self) -> float | None:
+        if self.gap_before is None or self.gap_after is None:
+            return None
+        return self.gap_after - self.gap_before
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricDelta({self.attribute}/{self.metric}: "
+            f"{self.classification}, gap {self.gap_before} → "
+            f"{self.gap_after})"
+        )
+
+
+def _gap_and_verdict(finding) -> tuple[float | None, bool | None]:
+    result = finding.result
+    if isinstance(result, (MetricResult, ConditionalMetricResult)):
+        return float(result.gap), bool(result.satisfied)
+    return None, None
+
+
+@dataclass
+class ReportComparison:
+    """All metric deltas between a *before* and an *after* report."""
+
+    deltas: list
+
+    def by_classification(self, classification: str) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.classification == classification]
+
+    @property
+    def fixed(self) -> list[MetricDelta]:
+        return self.by_classification("fixed")
+
+    @property
+    def broken(self) -> list[MetricDelta]:
+        return self.by_classification("broken")
+
+    @property
+    def improved(self) -> list[MetricDelta]:
+        return self.by_classification("improved")
+
+    @property
+    def regressed(self) -> list[MetricDelta]:
+        return self.by_classification("regressed")
+
+    @property
+    def is_strict_improvement(self) -> bool:
+        """No metric broke or regressed, and at least one improved/fixed."""
+        return (
+            not self.broken
+            and not self.regressed
+            and bool(self.fixed or self.improved)
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the diff."""
+        parts = []
+        for label in ("fixed", "broken", "improved", "regressed",
+                      "unchanged"):
+            members = self.by_classification(label)
+            if members:
+                names = ", ".join(
+                    f"{d.attribute}/{d.metric}" for d in members
+                )
+                parts.append(f"{label}: {names}")
+        return "; ".join(parts) if parts else "no comparable findings"
+
+
+def compare_reports(
+    before: AuditReport, after: AuditReport
+) -> ReportComparison:
+    """Line up two audit reports finding-by-finding.
+
+    Findings are matched on (attribute, metric).  A finding present in
+    only one report, or skipped in either, yields an ``incomparable``
+    delta rather than being dropped silently.
+    """
+    if not isinstance(before, AuditReport) or not isinstance(after, AuditReport):
+        raise AuditError("compare_reports expects two AuditReport objects")
+
+    def index(report: AuditReport) -> dict:
+        return {
+            (f.attribute, f.metric): f for f in report.all_findings()
+        }
+
+    before_index = index(before)
+    after_index = index(after)
+    deltas = []
+    for key in sorted(set(before_index) | set(after_index)):
+        attribute, metric = key
+        gap_b, ok_b = (
+            _gap_and_verdict(before_index[key])
+            if key in before_index else (None, None)
+        )
+        gap_a, ok_a = (
+            _gap_and_verdict(after_index[key])
+            if key in after_index else (None, None)
+        )
+        deltas.append(MetricDelta(
+            attribute=attribute,
+            metric=metric,
+            gap_before=gap_b,
+            gap_after=gap_a,
+            satisfied_before=ok_b,
+            satisfied_after=ok_a,
+        ))
+    return ReportComparison(deltas=deltas)

@@ -1,0 +1,410 @@
+"""Criteria for selecting fairness methods (paper Section IV).
+
+The paper's central practical contribution is a set of criteria a
+practitioner must weigh when choosing a fairness definition for a
+real-world use case.  This module turns those criteria into an executable
+decision procedure:
+
+1. describe the use case as a :class:`UseCaseProfile` (the questionnaire
+   in Section IV.A: *"is structural bias recognized? ... are there
+   directives, in the form of positive actions, that impose specific
+   quota? Are there specific sensitive attributes that ... need to be
+   taken into account and, vice versa, other ones that need to be
+   ignored?"*);
+2. call :func:`recommend_metrics` to obtain a ranked list of
+   :class:`Recommendation` objects, each carrying a written rationale
+   tracing back to the paper's criteria;
+3. call :func:`risk_flags` for the cross-cutting risks of Sections
+   IV.B–IV.F (proxies, intersectionality, feedback loops, manipulation,
+   sampling) that apply regardless of the metric chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.legal import Jurisdiction
+from repro.core.metrics import METRIC_CATALOG
+from repro.core.types import EqualityConcept
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "UseCaseProfile",
+    "Recommendation",
+    "RiskFlag",
+    "recommend_metrics",
+    "risk_flags",
+]
+
+
+@dataclass(frozen=True)
+class UseCaseProfile:
+    """Answers to the paper's Section IV selection questionnaire.
+
+    Parameters
+    ----------
+    name:
+        Human-readable use-case label ("graduate hiring at AcmeCorp").
+    sector:
+        Legal sector tag: ``employment``, ``credit``, ``housing``, ...
+    jurisdiction:
+        ``"eu"`` or ``"us"`` (affects doctrine emphasis).
+    structural_bias_recognized:
+        IV.A: is there acknowledged structural/historical inequality that
+        the deployment should *compensate for* (not merely avoid adding to)?
+    affirmative_action_mandated:
+        IV.A: do directives or policies impose quotas / positive action?
+    labels_available:
+        Do we possess ground-truth outcomes Y at audit time?
+    ground_truth_reliable:
+        Are the labels themselves trusted to be unbiased?  Historically
+        biased labels poison equal-treatment metrics, which condition on Y.
+    legitimate_factors:
+        Names of attributes that are lawful, job-related conditioning
+        factors (enables the conditional definitions III.B / III.F).
+    causal_model_available:
+        Can a defensible structural causal model of the domain be built
+        (enables counterfactual fairness, III.G)?
+    punitive_context:
+        Do positive predictions *harm* the individual (bail, fraud
+        flagging)?  False-positive balance then matters, favouring
+        equalized odds over equal opportunity.
+    n_protected_attributes:
+        How many protected attributes are in scope (>1 triggers the
+        intersectional machinery of Section IV.C).
+    proxy_risk:
+        Are plausible proxies for protected attributes present (IV.B)?
+    small_subgroups_expected:
+        Will intersectional subgroups be sparse (IV.C)?
+    feedback_loop_risk:
+        Will model outputs feed future training data or applicant
+        behaviour (IV.D)?
+    manipulation_risk:
+        Could the model owner be motivated to mask bias (IV.E)?
+    """
+
+    name: str
+    sector: str = "employment"
+    jurisdiction: str = Jurisdiction.EU
+    structural_bias_recognized: bool = False
+    affirmative_action_mandated: bool = False
+    labels_available: bool = True
+    ground_truth_reliable: bool = True
+    legitimate_factors: tuple = ()
+    causal_model_available: bool = False
+    punitive_context: bool = False
+    n_protected_attributes: int = 1
+    proxy_risk: bool = False
+    small_subgroups_expected: bool = False
+    feedback_loop_risk: bool = False
+    manipulation_risk: bool = False
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValidationError("use case name must be non-empty")
+        if self.jurisdiction not in Jurisdiction.ALL:
+            raise ValidationError(
+                f"jurisdiction must be one of {Jurisdiction.ALL}, got "
+                f"{self.jurisdiction!r}"
+            )
+        if self.n_protected_attributes < 1:
+            raise ValidationError(
+                "n_protected_attributes must be at least 1, got "
+                f"{self.n_protected_attributes}"
+            )
+        if self.affirmative_action_mandated and not self.structural_bias_recognized:
+            raise ValidationError(
+                "affirmative action presupposes recognized structural bias "
+                "(paper IV.A: positive action is the instrument for "
+                "recognized structural inequality)"
+            )
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One metric recommendation with its criteria-derived rationale."""
+
+    metric: str
+    score: float
+    equality_concept: str
+    rationale: tuple
+    feasible: bool = True
+    blockers: tuple = ()
+
+    def __repr__(self) -> str:
+        tag = "" if self.feasible else " [INFEASIBLE]"
+        return f"Recommendation({self.metric}, score={self.score:+.1f}{tag})"
+
+
+@dataclass(frozen=True)
+class RiskFlag:
+    """A cross-cutting risk (Sections IV.B–IV.F) with mitigation advice."""
+
+    risk: str
+    paper_section: str
+    advice: str
+    tooling: tuple = ()
+
+
+def recommend_metrics(profile: UseCaseProfile) -> list[Recommendation]:
+    """Rank every cataloged metric for a use case.
+
+    Scores are additive over the paper's criteria; rationale strings cite
+    the criterion behind each contribution.  Metrics whose data
+    requirements the profile cannot meet are marked infeasible (score
+    forced to the bottom) with explicit blockers rather than silently
+    dropped — the practitioner should see *why* an option is off the
+    table.
+    """
+    recommendations = []
+    for metric, info in METRIC_CATALOG.items():
+        score = 0.0
+        rationale: list[str] = []
+        blockers: list[str] = []
+        concept = info["equality_concept"]
+
+        # -- feasibility ------------------------------------------------
+        if info["needs_labels"] and not profile.labels_available:
+            blockers.append(
+                "requires ground-truth labels, which this use case lacks"
+            )
+        if info["needs_strata"] and not profile.legitimate_factors:
+            blockers.append(
+                "requires declared legitimate conditioning factors "
+                "(paper III.B/III.F)"
+            )
+        if info["needs_scm"] and not profile.causal_model_available:
+            blockers.append(
+                "requires a defensible structural causal model (paper III.G)"
+            )
+
+        # -- IV.A: equal treatment vs equal outcome ----------------------
+        if profile.structural_bias_recognized:
+            if concept == EqualityConcept.EQUAL_OUTCOME:
+                score += 2.0
+                rationale.append(
+                    "IV.A: structural bias is recognized, favouring "
+                    "equal-outcome definitions that compensate for it"
+                )
+            elif concept == EqualityConcept.EQUAL_TREATMENT:
+                score -= 1.0
+                rationale.append(
+                    "IV.A: equal-treatment definitions preserve structural "
+                    "bias baked into the status quo (bias preservation, "
+                    "Wachter et al.)"
+                )
+        else:
+            if concept == EqualityConcept.EQUAL_TREATMENT:
+                score += 2.0
+                rationale.append(
+                    "IV.A: no recognized structural bias, so formal equality "
+                    "(the merit principle) favours equal-treatment "
+                    "definitions"
+                )
+            elif concept == EqualityConcept.EQUAL_OUTCOME:
+                score -= 1.0
+                rationale.append(
+                    "IV.A: without recognized structural bias, enforcing "
+                    "equal outcomes conflicts with merit-based selection"
+                )
+
+        if profile.affirmative_action_mandated and concept == (
+            EqualityConcept.EQUAL_OUTCOME
+        ):
+            score += 2.0
+            rationale.append(
+                "IV.A: positive-action directives impose outcome quotas, "
+                "which equal-outcome definitions directly express"
+            )
+
+        # -- label trust --------------------------------------------------
+        if info["needs_labels"]:
+            if profile.ground_truth_reliable:
+                score += 1.0
+                rationale.append(
+                    "labels are trusted, so conditioning on actual outcomes "
+                    "(Y) is meaningful"
+                )
+            else:
+                score -= 2.5
+                rationale.append(
+                    "IV.B/IV.D: labels carry historical bias; metrics that "
+                    "condition on Y inherit and launder that bias"
+                )
+
+        # -- conditional variants -----------------------------------------
+        if info["needs_strata"] and profile.legitimate_factors:
+            score += 1.5
+            rationale.append(
+                "III.B/III.F: legitimate factors "
+                f"{list(profile.legitimate_factors)} are declared, and "
+                "conditioning on them avoids penalising lawful distinctions"
+            )
+
+        # -- counterfactual fairness ---------------------------------------
+        if info["needs_scm"] and profile.causal_model_available:
+            score += 2.5
+            rationale.append(
+                "V: counterfactual fairness is singled out as expressive "
+                "enough to represent substantive equality, in the spirit of "
+                "EU law, when a causal model is defensible"
+            )
+
+        # -- punitive context -----------------------------------------------
+        if profile.punitive_context:
+            if metric == "equalized_odds":
+                score += 1.5
+                rationale.append(
+                    "positive predictions are punitive here, so false-"
+                    "positive balance matters: equalized odds constrains "
+                    "both error rates"
+                )
+            if metric == "equal_opportunity":
+                score -= 0.5
+                rationale.append(
+                    "equal opportunity ignores false positives, which carry "
+                    "the harm in punitive contexts"
+                )
+            if metric == "calibration_within_groups":
+                score += 1.0
+                rationale.append(
+                    "risk scores drive punitive decisions, so scores must "
+                    "mean the same thing across groups (calibration)"
+                )
+
+        # -- jurisdiction emphasis --------------------------------------------
+        if profile.jurisdiction == Jurisdiction.EU:
+            if metric == "conditional_demographic_disparity":
+                score += 1.0
+                rationale.append(
+                    "V: CDD is highlighted by EU-focused scholarship "
+                    "(Wachter et al.) as matching the Court of Justice's "
+                    "framing of prima facie indirect discrimination"
+                )
+            if metric == "counterfactual_fairness":
+                score += 0.5
+                rationale.append(
+                    "V: part of the literature considers counterfactual "
+                    "fairness the best representation of EU substantive "
+                    "equality"
+                )
+        else:
+            if metric == "disparate_impact_ratio":
+                score += 1.5
+                rationale.append(
+                    "II.B/IV.A: US enforcement screens disparate impact "
+                    "with the EEOC four-fifths rule on selection-rate ratios"
+                )
+
+        feasible = not blockers
+        if not feasible:
+            score = -10.0 + score * 0.0  # fixed bottom score for infeasible
+        recommendations.append(
+            Recommendation(
+                metric=metric,
+                score=round(score, 2),
+                equality_concept=concept,
+                rationale=tuple(rationale),
+                feasible=feasible,
+                blockers=tuple(blockers),
+            )
+        )
+    recommendations.sort(key=lambda r: (-r.score, r.metric))
+    return recommendations
+
+
+def risk_flags(profile: UseCaseProfile) -> list[RiskFlag]:
+    """Cross-cutting risks (IV.B–IV.F) the deployment must address."""
+    flags = []
+    if profile.proxy_risk:
+        flags.append(
+            RiskFlag(
+                risk="proxy_discrimination",
+                paper_section="IV.B",
+                advice=(
+                    "Removing the sensitive attribute does not remove bias: "
+                    "correlated proxies (university, residence, maternity "
+                    "leave) let models reconstruct it. Audit outcomes, not "
+                    "inputs, and measure proxy power explicitly."
+                ),
+                tooling=("repro.proxy.ProxyDetector", "repro.proxy.unawareness_report"),
+            )
+        )
+    if profile.n_protected_attributes > 1:
+        flags.append(
+            RiskFlag(
+                risk="intersectional_discrimination",
+                paper_section="IV.C",
+                advice=(
+                    "Marginal fairness on each attribute does not imply "
+                    "fairness on their intersections; audit subgroups, and "
+                    "treat small-sample findings with significance tests."
+                ),
+                tooling=(
+                    "repro.subgroup.audit_subgroups",
+                    "repro.subgroup.GerrymanderingAuditor",
+                ),
+            )
+        )
+    if profile.small_subgroups_expected:
+        flags.append(
+            RiskFlag(
+                risk="subgroup_sparsity",
+                paper_section="IV.C",
+                advice=(
+                    "Sparse subgroups make bias estimates unreliable; attach "
+                    "confidence intervals and report the minimum detectable "
+                    "gap instead of asserting 'no disparity found'."
+                ),
+                tooling=(
+                    "repro.stats.wilson_interval",
+                    "repro.stats.min_detectable_gap",
+                ),
+            )
+        )
+    if profile.feedback_loop_risk:
+        flags.append(
+            RiskFlag(
+                risk="feedback_loops",
+                paper_section="IV.D",
+                advice=(
+                    "Outputs that re-enter training data or discourage "
+                    "applicants compound bias round over round; simulate "
+                    "the deployment loop before going live and monitor "
+                    "drift after."
+                ),
+                tooling=("repro.feedback.FeedbackLoopSimulator",),
+            )
+        )
+    if profile.manipulation_risk:
+        flags.append(
+            RiskFlag(
+                risk="audit_manipulation",
+                paper_section="IV.E",
+                advice=(
+                    "Explanation-based audits can be fooled by adversarial "
+                    "retraining that hides the sensitive attribute's "
+                    "contribution while preserving biased outputs; base "
+                    "audits on outcome disparities, which concealment "
+                    "cannot remove."
+                ),
+                tooling=(
+                    "repro.manipulation.ConcealmentAttack",
+                    "repro.manipulation.outcome_based_defense",
+                ),
+            )
+        )
+    flags.append(
+        RiskFlag(
+            risk="sampling_requirements",
+            paper_section="IV.F",
+            advice=(
+                "Bias estimates carry sampling error that shrinks roughly "
+                "as n^(-1/2); size the audit sample for the disparity "
+                "magnitude that matters legally, and prefer distances with "
+                "known sample complexity."
+            ),
+            tooling=("repro.stats.sample_complexity_curve",),
+        )
+    )
+    return flags

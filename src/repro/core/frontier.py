@@ -1,0 +1,135 @@
+"""Fairness/accuracy frontier analysis.
+
+The criteria discussion of Section IV.A implies a *quantitative*
+trade-off question every deployment faces: how much accuracy does each
+unit of parity cost?  :func:`fairness_frontier` answers it for threshold
+classifiers: it sweeps a per-group threshold pair over the score
+distribution and returns the Pareto frontier of (demographic-parity gap,
+accuracy) operating points — the menu of defensible configurations a
+policy choice then selects from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_positive_int,
+    check_same_length,
+)
+from repro.core.metrics import demographic_parity
+from repro.exceptions import MetricError
+from repro.models.metrics import accuracy
+
+__all__ = ["OperatingPoint", "FairnessFrontier", "fairness_frontier"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One (threshold per group) configuration and its outcomes."""
+
+    thresholds: dict
+    dp_gap: float
+    accuracy: float
+    selection_rate: float
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatingPoint(gap={self.dp_gap:.3f}, "
+            f"acc={self.accuracy:.3f}, thresholds={self.thresholds})"
+        )
+
+
+@dataclass(frozen=True)
+class FairnessFrontier:
+    """The Pareto-efficient operating points, sorted by gap ascending."""
+
+    points: tuple
+
+    def best_accuracy_within(self, max_gap: float) -> OperatingPoint:
+        """The most accurate point whose gap is within ``max_gap``."""
+        eligible = [p for p in self.points if p.dp_gap <= max_gap + 1e-12]
+        if not eligible:
+            raise MetricError(
+                f"no frontier point achieves a gap within {max_gap}; "
+                f"smallest achievable is {min(p.dp_gap for p in self.points):.4f}"
+            )
+        return max(eligible, key=lambda p: p.accuracy)
+
+    def price_of_fairness(self, max_gap: float) -> float:
+        """Accuracy sacrificed to meet ``max_gap`` vs the unconstrained best."""
+        unconstrained = max(self.points, key=lambda p: p.accuracy)
+        constrained = self.best_accuracy_within(max_gap)
+        return unconstrained.accuracy - constrained.accuracy
+
+
+def fairness_frontier(
+    probabilities,
+    groups,
+    y_true,
+    n_thresholds: int = 21,
+) -> FairnessFrontier:
+    """Sweep per-group thresholds and keep the Pareto frontier.
+
+    Parameters
+    ----------
+    probabilities:
+        Model scores in [0, 1].
+    groups:
+        Binary protected attribute (exactly two groups).
+    y_true:
+        Labels used for the accuracy axis.
+    n_thresholds:
+        Grid resolution per group (the sweep is the full
+        ``n_thresholds²`` grid of threshold pairs).
+    """
+    probabilities = check_array_1d(probabilities, "probabilities").astype(float)
+    groups = check_array_1d(groups, "groups")
+    y_true = check_binary_array(y_true, "y_true")
+    check_same_length(
+        ("probabilities", probabilities), ("groups", groups),
+        ("y_true", y_true),
+    )
+    check_positive_int(n_thresholds, "n_thresholds")
+    unique = np.unique(groups)
+    if len(unique) != 2:
+        raise MetricError(
+            f"fairness_frontier requires exactly two groups, got "
+            f"{unique.tolist()}"
+        )
+
+    grid = np.linspace(0.0, 1.0, n_thresholds)
+    mask_a = groups == unique[0]
+    mask_b = ~mask_a
+
+    candidates: list[OperatingPoint] = []
+    for t_a in grid:
+        for t_b in grid:
+            decisions = np.where(
+                mask_a, probabilities >= t_a, probabilities >= t_b
+            ).astype(int)
+            if decisions.min() == decisions.max():
+                # degenerate all-same decisions: DP gap 0 by construction
+                gap = 0.0
+            else:
+                gap = demographic_parity(decisions, groups).gap
+            candidates.append(OperatingPoint(
+                thresholds={unique[0]: float(t_a), unique[1]: float(t_b)},
+                dp_gap=float(gap),
+                accuracy=float(accuracy(y_true, decisions)),
+                selection_rate=float(decisions.mean()),
+            ))
+
+    # Pareto filter: keep points not dominated in (gap ↓, accuracy ↑).
+    candidates.sort(key=lambda p: (p.dp_gap, -p.accuracy))
+    frontier: list[OperatingPoint] = []
+    best_accuracy = -1.0
+    for point in candidates:
+        if point.accuracy > best_accuracy + 1e-12:
+            frontier.append(point)
+            best_accuracy = point.accuracy
+    return FairnessFrontier(points=tuple(frontier))

@@ -1,0 +1,296 @@
+"""Machine-readable glossary of the paper's legal/technical vocabulary.
+
+The paper's stated goal is communicating algorithmic fairness "to
+non-technical audiences" and legal doctrine to technical ones.  This
+glossary carries that bridge in code: every term the paper defines, with
+its definition, the paper section it comes from, its discipline of
+origin, and cross-references — used by report renderers and the CLI,
+and testable against the catalog (every metric and doctrine used
+elsewhere in the library must have an entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LegalCatalogError
+
+__all__ = ["GlossaryEntry", "GLOSSARY", "define", "terms_in_section", "related_terms"]
+
+
+@dataclass(frozen=True)
+class GlossaryEntry:
+    """One glossary term."""
+
+    term: str
+    definition: str
+    paper_section: str
+    discipline: str  # "law", "ml", or "bridge"
+    related: tuple = ()
+
+
+_ENTRIES = [
+    GlossaryEntry(
+        term="direct discrimination",
+        definition=(
+            "A person is treated less favourably based on a protected "
+            "attribute they possess, in a protected sector. Grounded in "
+            "the Aristotelian postulate of treating like cases alike "
+            "(formal equality / the merit principle). US counterpart: "
+            "disparate treatment."
+        ),
+        paper_section="II.A.3",
+        discipline="law",
+        related=("disparate treatment", "formal equality"),
+    ),
+    GlossaryEntry(
+        term="indirect discrimination",
+        definition=(
+            "Ostensibly neutral provisions or practices, universally "
+            "applied, disproportionately disadvantage individuals with "
+            "protected characteristics. May be justified by a legitimate "
+            "aim passing the proportionality test. US counterpart: "
+            "disparate impact."
+        ),
+        paper_section="II.A.3",
+        discipline="law",
+        related=("disparate impact", "proportionality test",
+                 "proxy discrimination"),
+    ),
+    GlossaryEntry(
+        term="disparate treatment",
+        definition=(
+            "Intentional differential treatment based on a protected "
+            "characteristic; requires showing the characteristic was a "
+            "motivating factor or but-for cause of the adverse decision "
+            "(Title VII)."
+        ),
+        paper_section="II.B.4",
+        discipline="law",
+        related=("direct discrimination",),
+    ),
+    GlossaryEntry(
+        term="disparate impact",
+        definition=(
+            "Unintentional discrimination: facially neutral practices "
+            "with disproportionate adverse effect on a protected class. "
+            "No intent element; analysed through burden-shifting and "
+            "screened in enforcement practice by the four-fifths rule."
+        ),
+        paper_section="II.B.4",
+        discipline="law",
+        related=("indirect discrimination", "four-fifths rule"),
+    ),
+    GlossaryEntry(
+        term="formal equality",
+        definition=(
+            "Equality achieved by treating like cases alike — the merit "
+            "principle. The notion behind equal-treatment fairness "
+            "definitions (equal opportunity, equalized odds)."
+        ),
+        paper_section="II.A.3/IV.A",
+        discipline="bridge",
+        related=("equal treatment", "substantive equality"),
+    ),
+    GlossaryEntry(
+        term="substantive equality",
+        definition=(
+            "Equality that accounts for and corrects historical and "
+            "structural disadvantage, rather than merely applying the "
+            "same rule to everyone. The paper positions counterfactual "
+            "fairness as able to express it in the spirit of EU law."
+        ),
+        paper_section="IV.A/V",
+        discipline="bridge",
+        related=("equal outcome", "affirmative action",
+                 "counterfactual fairness"),
+    ),
+    GlossaryEntry(
+        term="equal treatment",
+        definition=(
+            "All individuals are given the same chances to achieve a "
+            "favourable outcome; decisions rest on objective criteria "
+            "ignoring the sensitive attribute. Metrics: equal "
+            "opportunity, equalized odds, calibration, predictive parity."
+        ),
+        paper_section="IV.A",
+        discipline="bridge",
+        related=("formal equality", "equal outcome"),
+    ),
+    GlossaryEntry(
+        term="equal outcome",
+        definition=(
+            "Protected (sub)groups obtain the favourable outcome "
+            "equally/proportionally, even against the model's raw "
+            "ranking. Metrics: demographic parity, conditional "
+            "statistical parity, demographic disparity, CDD, "
+            "disparate-impact ratio."
+        ),
+        paper_section="IV.A",
+        discipline="bridge",
+        related=("substantive equality", "affirmative action"),
+    ),
+    GlossaryEntry(
+        term="affirmative action",
+        definition=(
+            "Positive action / positive discrimination: instruments "
+            "(e.g. minimum quotas) that compensate recognised structural "
+            "inequality against sensitive subpopulations."
+        ),
+        paper_section="IV.A",
+        discipline="law",
+        related=("equal outcome", "substantive equality"),
+    ),
+    GlossaryEntry(
+        term="proxy discrimination",
+        definition=(
+            "Bias expressed not via sensitive attributes directly but "
+            "via correlated proxy variables (height or maternity leave "
+            "for sex; residence for race). The mechanism by which "
+            "fairness through unawareness fails."
+        ),
+        paper_section="IV.B",
+        discipline="bridge",
+        related=("fairness through unawareness", "indirect discrimination",
+                 "discrimination by association"),
+    ),
+    GlossaryEntry(
+        term="fairness through unawareness",
+        definition=(
+            "The misconception that excluding sensitive attributes from "
+            "training ensures fairness; defeated by redundant encodings "
+            "in the remaining features."
+        ),
+        paper_section="IV.B",
+        discipline="ml",
+        related=("proxy discrimination",),
+    ),
+    GlossaryEntry(
+        term="discrimination by association",
+        definition=(
+            "Individuals mistakenly treated as members of a protected "
+            "group (e.g. via a shared proxy value, such as attending a "
+            "predominantly female university) suffer that group's "
+            "discrimination."
+        ),
+        paper_section="IV.B",
+        discipline="law",
+        related=("proxy discrimination",),
+    ),
+    GlossaryEntry(
+        term="intersectional discrimination",
+        definition=(
+            "Discrimination against subgroups defined by more than one "
+            "attribute (subgroup fairness, multi-dimensional "
+            "discrimination): marginal fairness on each attribute does "
+            "not imply fairness on intersections; sparse subgroups make "
+            "findings statistically uncertain and drill-down is "
+            "exponentially costly."
+        ),
+        paper_section="IV.C",
+        discipline="bridge",
+        related=("fairness gerrymandering",),
+    ),
+    GlossaryEntry(
+        term="fairness gerrymandering",
+        definition=(
+            "Satisfying fairness constraints on marginal groups while "
+            "violating them on structured subgroups; audited by learned-"
+            "oracle subgroup search (Kearns et al.)."
+        ),
+        paper_section="IV.C/IV.E",
+        discipline="ml",
+        related=("intersectional discrimination",),
+    ),
+    GlossaryEntry(
+        term="feedback loop",
+        definition=(
+            "Self-repeating process reinforcing preexisting bias: model "
+            "outputs re-enter training data, and persistent rejection "
+            "discourages protected-group members from applying at all."
+        ),
+        paper_section="IV.D",
+        discipline="bridge",
+    ),
+    GlossaryEntry(
+        term="four-fifths rule",
+        definition=(
+            "US EEOC screen for adverse impact: a group's selection rate "
+            "below 80% of the highest group's rate is prima facie "
+            "evidence of disparate impact."
+        ),
+        paper_section="IV.A (legal practice)",
+        discipline="law",
+        related=("disparate impact",),
+    ),
+    GlossaryEntry(
+        term="proportionality test",
+        definition=(
+            "EU justification framework for indirect discrimination: a "
+            "legitimate aim pursued through suitable, necessary, and "
+            "proportionate means."
+        ),
+        paper_section="II.A.3",
+        discipline="law",
+        related=("indirect discrimination",),
+    ),
+    GlossaryEntry(
+        term="counterfactual fairness",
+        definition=(
+            "A predictor is fair toward an individual when changing their "
+            "sensitive attribute — adjusting causally downstream features "
+            "accordingly — leaves the prediction unchanged. Requires a "
+            "structural causal model; considered by part of the "
+            "literature expressive enough to represent substantive "
+            "equality."
+        ),
+        paper_section="III.G/V",
+        discipline="ml",
+        related=("substantive equality",),
+    ),
+    GlossaryEntry(
+        term="sample complexity of bias detection",
+        definition=(
+            "The relationship between the number of samples and the "
+            "error in estimating bias via distribution distances "
+            "(Hellinger, TV, Wasserstein, MMD); governs how large an "
+            "audit sample must be for a finding to mean anything."
+        ),
+        paper_section="IV.F",
+        discipline="ml",
+    ),
+]
+
+#: term → entry, lower-cased keys
+GLOSSARY: dict[str, GlossaryEntry] = {e.term: e for e in _ENTRIES}
+
+
+def define(term: str) -> GlossaryEntry:
+    """Look up a term (case-insensitive)."""
+    key = term.strip().lower()
+    for name, entry in GLOSSARY.items():
+        if name.lower() == key:
+            return entry
+    raise LegalCatalogError(
+        f"unknown glossary term {term!r}; known: {sorted(GLOSSARY)}"
+    )
+
+
+def terms_in_section(section_prefix: str) -> list[GlossaryEntry]:
+    """Entries whose paper section starts with ``section_prefix``."""
+    return [
+        entry for entry in GLOSSARY.values()
+        if entry.paper_section.startswith(section_prefix)
+    ]
+
+
+def related_terms(term: str) -> list[GlossaryEntry]:
+    """Entries cross-referenced by a term (unknown references skipped)."""
+    entry = define(term)
+    out = []
+    for name in entry.related:
+        try:
+            out.append(define(name))
+        except LegalCatalogError:
+            continue
+    return out

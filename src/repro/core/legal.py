@@ -1,0 +1,542 @@
+"""Legal layer: statutes, doctrines, and metric↔law mappings.
+
+This module encodes Section II of the paper (EU and US anti-discrimination
+law) as a queryable catalog, and Section IV.A's classification of each
+fairness definition as *equal treatment* vs *equal outcome*, together with
+the operational rules courts and agencies actually apply:
+
+* :func:`four_fifths_rule` — the US EEOC 80% rule on selection-rate ratios
+  (the standard prima facie disparate-impact screen);
+* :class:`ProportionalityTest` — the EU justified-indirect-discrimination
+  scaffold (legitimate aim, suitability, necessity, proportionality);
+* :func:`doctrines_for_metric` / :func:`metrics_for_doctrine` — which
+  algorithmic definitions evidence which legal theory;
+* :func:`statutes_protecting` — which statutes cover a protected attribute
+  in a given sector and jurisdiction.
+
+The catalog is data, not law: it reflects the paper's presentation and is
+not legal advice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import EqualityConcept
+from repro.exceptions import LegalCatalogError
+
+__all__ = [
+    "Jurisdiction",
+    "Doctrine",
+    "Statute",
+    "STATUTES",
+    "statutes_protecting",
+    "protected_attributes_in",
+    "doctrines_for_metric",
+    "metrics_for_doctrine",
+    "equality_concept_of",
+    "four_fifths_rule",
+    "FourFifthsFinding",
+    "ProportionalityTest",
+]
+
+
+class Jurisdiction:
+    """Jurisdiction tags used by the statute catalog."""
+
+    EU = "eu"
+    US = "us"
+
+    ALL = (EU, US)
+
+
+class Doctrine:
+    """The two discrimination theories the paper contrasts (II.A.3, II.B.4).
+
+    EU ``direct``/``indirect`` discrimination map onto US ``disparate
+    treatment``/``disparate impact`` respectively; the catalog stores the
+    EU-side names and exposes the US aliases.
+    """
+
+    DIRECT = "direct_discrimination"  # US: disparate treatment
+    INDIRECT = "indirect_discrimination"  # US: disparate impact
+
+    US_ALIASES = {
+        DIRECT: "disparate_treatment",
+        INDIRECT: "disparate_impact",
+    }
+
+    ALL = (DIRECT, INDIRECT)
+
+
+@dataclass(frozen=True)
+class Statute:
+    """One legal instrument from the paper's Section II inventory."""
+
+    key: str
+    name: str
+    jurisdiction: str
+    year: int
+    protected_attributes: tuple
+    sectors: tuple
+    doctrines: tuple = (Doctrine.DIRECT, Doctrine.INDIRECT)
+    notes: str = ""
+
+    def protects(self, attribute: str, sector: str | None = None) -> bool:
+        """Does this statute protect ``attribute`` (optionally in ``sector``)?"""
+        if attribute not in self.protected_attributes:
+            return False
+        if sector is not None and self.sectors and sector not in self.sectors:
+            return False
+        return True
+
+
+#: the paper's Section II statute inventory, keyed by short identifier
+STATUTES: dict[str, Statute] = {
+    statute.key: statute
+    for statute in [
+        # --- EU (Section II.A) ------------------------------------------
+        Statute(
+            key="echr_art14",
+            name="European Convention on Human Rights, Article 14",
+            jurisdiction=Jurisdiction.EU,
+            year=1950,
+            protected_attributes=(
+                "sex", "race", "colour", "language", "religion",
+                "political_opinion", "national_origin", "social_origin",
+                "national_minority", "property", "birth", "other_status",
+            ),
+            sectors=(),
+            notes="Prohibition accessory to Convention rights; Protocol 12 "
+            "(2000) generalises it to any right set forth by law.",
+        ),
+        Statute(
+            key="esc_art_e",
+            name="European Social Charter (revised), Part V Article E",
+            jurisdiction=Jurisdiction.EU,
+            year=1996,
+            protected_attributes=(
+                "race", "colour", "sex", "language", "religion",
+                "political_opinion", "national_origin", "social_origin",
+                "health", "national_minority", "birth", "other_status",
+            ),
+            sectors=(),
+        ),
+        Statute(
+            key="eu_charter_art21",
+            name="Charter of Fundamental Rights of the EU, Article 21",
+            jurisdiction=Jurisdiction.EU,
+            year=2000,
+            protected_attributes=(
+                "sex", "race", "colour", "ethnic_origin", "social_origin",
+                "genetic_features", "language", "religion", "belief",
+                "political_opinion", "national_minority", "property",
+                "birth", "disability", "age", "sexual_orientation",
+            ),
+            sectors=(),
+            notes="Arts. 20/22/23 add equality before the law, diversity, "
+            "and gender equality.",
+        ),
+        Statute(
+            key="eu_2000_43",
+            name="Council Directive 2000/43/EC (Racial Equality Directive)",
+            jurisdiction=Jurisdiction.EU,
+            year=2000,
+            protected_attributes=("race", "ethnic_origin"),
+            sectors=(
+                "employment", "goods_services", "education", "housing",
+                "social_protection",
+            ),
+        ),
+        Statute(
+            key="eu_2000_78",
+            name="Council Directive 2000/78/EC (Employment Equality Directive)",
+            jurisdiction=Jurisdiction.EU,
+            year=2000,
+            protected_attributes=(
+                "religion", "belief", "disability", "age", "sexual_orientation",
+            ),
+            sectors=("employment",),
+        ),
+        Statute(
+            key="eu_2004_113",
+            name="Council Directive 2004/113/EC (Gender Goods & Services)",
+            jurisdiction=Jurisdiction.EU,
+            year=2004,
+            protected_attributes=("sex",),
+            sectors=("goods_services",),
+        ),
+        Statute(
+            key="eu_2006_54",
+            name="Directive 2006/54/EC (Gender Equality, Employment — recast)",
+            jurisdiction=Jurisdiction.EU,
+            year=2006,
+            protected_attributes=("sex",),
+            sectors=("employment",),
+        ),
+        # --- US (Section II.B) ------------------------------------------
+        Statute(
+            key="title_vii",
+            name="Title VII of the Civil Rights Act of 1964",
+            jurisdiction=Jurisdiction.US,
+            year=1964,
+            protected_attributes=(
+                "race", "colour", "religion", "national_origin", "sex",
+            ),
+            sectors=("employment",),
+            notes="Addresses disparate treatment and disparate impact; "
+            "forbids retaliation.",
+        ),
+        Statute(
+            key="ecoa",
+            name="Equal Credit Opportunity Act",
+            jurisdiction=Jurisdiction.US,
+            year=1974,
+            protected_attributes=(
+                "race", "colour", "religion", "national_origin", "sex",
+                "marital_status", "age", "public_assistance",
+            ),
+            sectors=("credit",),
+        ),
+        Statute(
+            key="fha",
+            name="Title VIII of the Civil Rights Act of 1968 (Fair Housing Act)",
+            jurisdiction=Jurisdiction.US,
+            year=1968,
+            protected_attributes=(
+                "race", "colour", "religion", "sex", "familial_status",
+                "national_origin", "disability",
+            ),
+            sectors=("housing",),
+        ),
+        Statute(
+            key="title_vi",
+            name="Title VI of the Civil Rights Act of 1964",
+            jurisdiction=Jurisdiction.US,
+            year=1964,
+            protected_attributes=("race", "colour", "national_origin"),
+            sectors=("federally_funded_programs",),
+        ),
+        Statute(
+            key="pda",
+            name="Pregnancy Discrimination Act of 1978",
+            jurisdiction=Jurisdiction.US,
+            year=1978,
+            protected_attributes=("pregnancy",),
+            sectors=("employment",),
+            notes="Amendment to Title VII.",
+        ),
+        Statute(
+            key="epa",
+            name="Equal Pay Act of 1963",
+            jurisdiction=Jurisdiction.US,
+            year=1963,
+            protected_attributes=("sex",),
+            sectors=("employment",),
+            notes="Sex-based wage discrimination for equal work.",
+        ),
+        Statute(
+            key="adea",
+            name="Age Discrimination in Employment Act of 1967",
+            jurisdiction=Jurisdiction.US,
+            year=1967,
+            protected_attributes=("age",),
+            sectors=("employment",),
+            notes="Protects individuals aged 40 or older.",
+        ),
+        Statute(
+            key="ada_title_i",
+            name="Title I of the Americans with Disabilities Act of 1990",
+            jurisdiction=Jurisdiction.US,
+            year=1990,
+            protected_attributes=("disability",),
+            sectors=("employment",),
+        ),
+        Statute(
+            key="cra_1991",
+            name="Civil Rights Act of 1991, Sections 102–103",
+            jurisdiction=Jurisdiction.US,
+            year=1991,
+            protected_attributes=(
+                "race", "colour", "religion", "national_origin", "sex",
+                "disability",
+            ),
+            sectors=("employment",),
+            doctrines=(Doctrine.DIRECT,),
+            notes="Jury trials and damages for intentional discrimination.",
+        ),
+        Statute(
+            key="rehab_501_505",
+            name="Rehabilitation Act of 1973, Sections 501 and 505",
+            jurisdiction=Jurisdiction.US,
+            year=1973,
+            protected_attributes=("disability",),
+            sectors=("federal_government",),
+        ),
+        Statute(
+            key="gina",
+            name="Genetic Information Nondiscrimination Act of 2008",
+            jurisdiction=Jurisdiction.US,
+            year=2008,
+            protected_attributes=("genetic_features",),
+            sectors=("employment", "health_insurance"),
+        ),
+        Statute(
+            key="pwfa",
+            name="Pregnant Workers Fairness Act of 2022",
+            jurisdiction=Jurisdiction.US,
+            year=2022,
+            protected_attributes=("pregnancy",),
+            sectors=("employment",),
+            notes="Reasonable accommodations absent undue hardship.",
+        ),
+        Statute(
+            key="ina_1965",
+            name="Immigration and Nationality Act of 1965",
+            jurisdiction=Jurisdiction.US,
+            year=1965,
+            protected_attributes=("national_origin",),
+            sectors=("immigration",),
+            notes="Abolished national-origin quota system.",
+        ),
+    ]
+}
+
+
+def statutes_protecting(
+    attribute: str,
+    sector: str | None = None,
+    jurisdiction: str | None = None,
+) -> list[Statute]:
+    """Statutes protecting ``attribute``, optionally filtered.
+
+    >>> [s.key for s in statutes_protecting("sex", sector="employment",
+    ...                                     jurisdiction="us")]
+    ['title_vii', 'epa', 'cra_1991']
+    """
+    if jurisdiction is not None and jurisdiction not in Jurisdiction.ALL:
+        raise LegalCatalogError(
+            f"unknown jurisdiction {jurisdiction!r}; use one of "
+            f"{Jurisdiction.ALL}"
+        )
+    hits = []
+    for statute in STATUTES.values():
+        if jurisdiction is not None and statute.jurisdiction != jurisdiction:
+            continue
+        if statute.protects(attribute, sector):
+            hits.append(statute)
+    return hits
+
+
+def protected_attributes_in(
+    sector: str, jurisdiction: str | None = None
+) -> set[str]:
+    """Union of attributes protected in a sector (for audit planning)."""
+    attributes: set[str] = set()
+    for statute in STATUTES.values():
+        if jurisdiction is not None and statute.jurisdiction != jurisdiction:
+            continue
+        if not statute.sectors or sector in statute.sectors:
+            attributes.update(statute.protected_attributes)
+    return attributes
+
+
+# ---------------------------------------------------------------------------
+# Metric ↔ doctrine / equality-concept mappings (paper Section IV.A)
+# ---------------------------------------------------------------------------
+
+#: Section IV.A: "definitions A, B, E and F align with equal outcome,
+#: while C and D with equal treatment. Definition G comprises a middle
+#: ground".
+_EQUALITY_CONCEPTS: dict[str, str] = {
+    "demographic_parity": EqualityConcept.EQUAL_OUTCOME,
+    "conditional_statistical_parity": EqualityConcept.EQUAL_OUTCOME,
+    "equal_opportunity": EqualityConcept.EQUAL_TREATMENT,
+    "equalized_odds": EqualityConcept.EQUAL_TREATMENT,
+    "demographic_disparity": EqualityConcept.EQUAL_OUTCOME,
+    "conditional_demographic_disparity": EqualityConcept.EQUAL_OUTCOME,
+    "counterfactual_fairness": EqualityConcept.HYBRID,
+    "calibration_within_groups": EqualityConcept.EQUAL_TREATMENT,
+    "predictive_parity": EqualityConcept.EQUAL_TREATMENT,
+    "treatment_equality": EqualityConcept.EQUAL_TREATMENT,
+    "false_positive_rate_parity": EqualityConcept.EQUAL_TREATMENT,
+    "overall_accuracy_equality": EqualityConcept.EQUAL_TREATMENT,
+    "disparate_impact_ratio": EqualityConcept.EQUAL_OUTCOME,
+}
+
+#: which doctrine each metric evidences: outcome-rate metrics evidence
+#: indirect discrimination / disparate impact; error-rate and
+#: counterfactual metrics speak to (absence of) direct discrimination as
+#: well because they condition on legitimate qualification.
+_METRIC_DOCTRINES: dict[str, tuple] = {
+    "demographic_parity": (Doctrine.INDIRECT,),
+    "conditional_statistical_parity": (Doctrine.INDIRECT,),
+    "equal_opportunity": (Doctrine.INDIRECT, Doctrine.DIRECT),
+    "equalized_odds": (Doctrine.INDIRECT, Doctrine.DIRECT),
+    "demographic_disparity": (Doctrine.INDIRECT,),
+    "conditional_demographic_disparity": (Doctrine.INDIRECT,),
+    "counterfactual_fairness": (Doctrine.DIRECT, Doctrine.INDIRECT),
+    "calibration_within_groups": (Doctrine.INDIRECT,),
+    "predictive_parity": (Doctrine.INDIRECT,),
+    "treatment_equality": (Doctrine.INDIRECT,),
+    "false_positive_rate_parity": (Doctrine.INDIRECT,),
+    "overall_accuracy_equality": (Doctrine.INDIRECT,),
+    "disparate_impact_ratio": (Doctrine.INDIRECT,),
+}
+
+
+def equality_concept_of(metric: str) -> str:
+    """Section IV.A classification of a metric (outcome/treatment/hybrid)."""
+    try:
+        return _EQUALITY_CONCEPTS[metric]
+    except KeyError:
+        raise LegalCatalogError(
+            f"unknown metric {metric!r}; known: {sorted(_EQUALITY_CONCEPTS)}"
+        ) from None
+
+
+def doctrines_for_metric(metric: str) -> tuple:
+    """Doctrines a metric's violation can evidence."""
+    try:
+        return _METRIC_DOCTRINES[metric]
+    except KeyError:
+        raise LegalCatalogError(
+            f"unknown metric {metric!r}; known: {sorted(_METRIC_DOCTRINES)}"
+        ) from None
+
+
+def metrics_for_doctrine(doctrine: str) -> list[str]:
+    """Metrics whose violation evidences the given doctrine."""
+    if doctrine in Doctrine.US_ALIASES.values():
+        reverse = {v: k for k, v in Doctrine.US_ALIASES.items()}
+        doctrine = reverse[doctrine]
+    if doctrine not in Doctrine.ALL:
+        raise LegalCatalogError(
+            f"unknown doctrine {doctrine!r}; use one of {Doctrine.ALL} or "
+            f"{tuple(Doctrine.US_ALIASES.values())}"
+        )
+    return sorted(
+        metric
+        for metric, doctrines in _METRIC_DOCTRINES.items()
+        if doctrine in doctrines
+    )
+
+
+# ---------------------------------------------------------------------------
+# The four-fifths (80%) rule
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FourFifthsFinding:
+    """Outcome of the EEOC four-fifths screen."""
+
+    ratio: float
+    threshold: float
+    passes: bool
+    disadvantaged_group: object
+    reference_group: object
+
+    def __repr__(self) -> str:
+        verdict = "passes" if self.passes else "FAILS"
+        return (
+            f"FourFifthsFinding(ratio={self.ratio:.3f}, threshold="
+            f"{self.threshold}, {verdict}; {self.disadvantaged_group!r} vs "
+            f"{self.reference_group!r})"
+        )
+
+
+def four_fifths_rule(
+    selection_rates: dict,
+    threshold: float = 0.8,
+) -> FourFifthsFinding:
+    """EEOC 80% rule on a group→selection-rate mapping.
+
+    The screen compares each group's selection rate to the highest group's
+    rate; a ratio below ``threshold`` is prima facie evidence of adverse
+    (disparate) impact.
+    """
+    if not selection_rates:
+        raise LegalCatalogError("selection_rates must be non-empty")
+    for group, rate in selection_rates.items():
+        if not 0.0 <= float(rate) <= 1.0:
+            raise LegalCatalogError(
+                f"selection rate for {group!r} must be in [0, 1], got {rate}"
+            )
+    reference = max(selection_rates, key=lambda g: selection_rates[g])
+    worst = min(selection_rates, key=lambda g: selection_rates[g])
+    ref_rate = selection_rates[reference]
+    if ref_rate == 0:
+        ratio = 1.0  # nobody is selected: no group is relatively disadvantaged
+    else:
+        ratio = selection_rates[worst] / ref_rate
+    return FourFifthsFinding(
+        ratio=float(ratio),
+        threshold=float(threshold),
+        # small numeric slack so a mathematically exact 0.8 boundary is
+        # not failed by floating-point rounding
+        passes=bool(ratio >= threshold - 1e-12),
+        disadvantaged_group=worst,
+        reference_group=reference,
+    )
+
+
+# ---------------------------------------------------------------------------
+# EU proportionality test (justified indirect discrimination)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProportionalityTest:
+    """Structured record of the EU justified-indirect-discrimination test.
+
+    The paper (II.A.3): a practice with disparate effect can be lawful if
+    it pursues a *legitimate aim* through means that are *appropriate*
+    (suitable), *necessary* (no less-discriminatory alternative), and
+    *proportionate stricto sensu*.  This class documents each prong and
+    derives the verdict; it is a structured-reasoning aid, not a court.
+    """
+
+    aim: str
+    legitimate_aim: bool
+    suitable: bool
+    necessary: bool
+    proportionate: bool
+    rationale: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.aim:
+            raise LegalCatalogError("a stated aim is required")
+
+    @property
+    def justified(self) -> bool:
+        """All four prongs must hold for the practice to be justified."""
+        return (
+            self.legitimate_aim
+            and self.suitable
+            and self.necessary
+            and self.proportionate
+        )
+
+    def failing_prongs(self) -> list[str]:
+        """Names of the prongs that fail, in test order."""
+        prongs = [
+            ("legitimate_aim", self.legitimate_aim),
+            ("suitable", self.suitable),
+            ("necessary", self.necessary),
+            ("proportionate", self.proportionate),
+        ]
+        return [name for name, value in prongs if not value]
+
+    def summary(self) -> str:
+        """One-paragraph textual summary of the test outcome."""
+        if self.justified:
+            return (
+                f"The practice pursuing the aim {self.aim!r} passes the "
+                "proportionality test: the aim is legitimate and the means "
+                "are suitable, necessary, and proportionate."
+            )
+        failing = ", ".join(self.failing_prongs())
+        return (
+            f"The practice pursuing the aim {self.aim!r} FAILS the "
+            f"proportionality test on: {failing}. Indirect discrimination "
+            "is not justified."
+        )

@@ -1,0 +1,143 @@
+"""Render audit reports as markdown or plain text.
+
+Reports are written for the paper's target audience — "non-technical
+audiences" bridging law and algorithms — so every metric line carries its
+equality-concept tag (equal treatment vs equal outcome, Section IV.A) and
+significance/power caveats (Section IV.C/IV.F).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import ConditionalMetricResult, MetricResult
+
+__all__ = ["render_markdown", "render_text", "format_metric_line"]
+
+_CONCEPT_LABELS = {
+    "equal_outcome": "equal outcome",
+    "equal_treatment": "equal treatment",
+    "hybrid": "hybrid (treatment/outcome middle ground)",
+}
+
+
+def format_metric_line(result: MetricResult) -> str:
+    """One-line summary of a MetricResult."""
+    verdict = "PASS" if result.satisfied else "VIOLATED"
+    rates = ", ".join(
+        f"{gs.group}={gs.rate:.3f} (n={gs.n})" for gs in result.group_stats
+    )
+    concept = _CONCEPT_LABELS.get(result.equality_concept, result.equality_concept)
+    line = (
+        f"**{result.metric}** [{concept}]: {verdict} — gap {result.gap:.3f} "
+        f"(tolerance {result.tolerance:g}); rates: {rates}"
+    )
+    if result.significance is not None:
+        line += (
+            f"; significance p={result.significance.p_value:.4f} "
+            f"({result.significance.method})"
+        )
+    return line
+
+
+def _conditional_block(result: ConditionalMetricResult) -> list[str]:
+    verdict = "PASS" if result.satisfied else "VIOLATED"
+    lines = [
+        f"**{result.metric}** (conditioned on {result.condition}): {verdict} "
+        f"— worst stratum gap {result.gap:.3f}"
+    ]
+    for stratum, sub in result.strata.items():
+        flag = "ok" if sub.satisfied else "VIOLATED"
+        rates = ", ".join(
+            f"{gs.group}={gs.rate:.3f}" for gs in sub.group_stats
+        )
+        lines.append(f"  - stratum `{stratum}`: {flag} (gap {sub.gap:.3f}; {rates})")
+    if result.skipped_strata:
+        lines.append(
+            f"  - skipped strata (insufficient group representation, "
+            f"paper IV.C): {list(result.skipped_strata)}"
+        )
+    return lines
+
+
+def render_markdown(report) -> str:
+    """Full markdown rendering of an :class:`repro.core.audit.AuditReport`."""
+    summary = report.dataset_summary
+    lines = [
+        "# Fairness audit report",
+        "",
+        f"- rows audited: {summary.get('n_rows')}",
+        f"- protected attributes: {summary.get('protected_attributes')}",
+        f"- audited outcomes: "
+        f"{'dataset labels (data audit)' if summary.get('audits_labels') else 'model predictions'}",
+        f"- gap tolerance: {report.tolerance:g}",
+        "",
+        f"**Overall: {'CLEAN' if report.is_clean else 'VIOLATIONS FOUND'}** "
+        f"({len(report.violations())} violated, {len(report.passes())} passed, "
+        f"{len(report.skipped())} skipped)",
+        "",
+    ]
+
+    by_attribute: dict[str, list] = {}
+    for finding in report.findings:
+        by_attribute.setdefault(finding.attribute, []).append(finding)
+
+    for attribute, findings in by_attribute.items():
+        lines.append(f"## Attribute `{attribute}`")
+        lines.append("")
+        power = report.power_notes.get(attribute) or {}
+        if power:
+            lines.append(
+                f"_Statistical power: with group sizes {power['n_a']} vs "
+                f"{power['n_b']}, gaps below "
+                f"{power['min_detectable_gap']:.3f} are undetectable at "
+                "α=0.05 / power 0.8 (paper IV.C/IV.F)._"
+            )
+            lines.append("")
+        for finding in findings:
+            if finding.status == "skipped":
+                lines.append(
+                    f"- {finding.metric}: SKIPPED — {finding.reason}"
+                )
+            elif isinstance(finding.result, ConditionalMetricResult):
+                block = _conditional_block(finding.result)
+                lines.append(f"- {block[0]}")
+                lines.extend(f"  {extra}" for extra in block[1:])
+            else:
+                lines.append(f"- {format_metric_line(finding.result)}")
+                if finding.four_fifths is not None:
+                    ff = finding.four_fifths
+                    verdict = "passes" if ff.passes else "FAILS"
+                    lines.append(
+                        f"  - four-fifths rule: ratio {ff.ratio:.3f} "
+                        f"{verdict} the {ff.threshold:g} threshold "
+                        f"({ff.disadvantaged_group} vs {ff.reference_group})"
+                    )
+        lines.append("")
+
+    if report.intersectional_findings:
+        lines.append("## Intersectional subgroups (paper IV.C)")
+        lines.append("")
+        for finding in report.intersectional_findings:
+            if finding.status == "skipped":
+                lines.append(f"- {finding.metric}: SKIPPED — {finding.reason}")
+            else:
+                lines.append(f"- {format_metric_line(finding.result)}")
+                if finding.four_fifths is not None:
+                    ff = finding.four_fifths
+                    verdict = "passes" if ff.passes else "FAILS"
+                    lines.append(
+                        f"  - four-fifths rule: ratio {ff.ratio:.3f} {verdict} "
+                        f"the {ff.threshold:g} threshold"
+                    )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_text(report) -> str:
+    """Plain-text rendering (markdown stripped of emphasis markers)."""
+    markdown = render_markdown(report)
+    return (
+        markdown.replace("**", "")
+        .replace("`", "")
+        .replace("## ", "")
+        .replace("# ", "")
+    )

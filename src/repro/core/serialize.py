@@ -1,0 +1,137 @@
+"""JSON serialisation of metric results and audit reports.
+
+Audit findings must survive outside a Python session — attached to
+compliance tickets, archived for regulators, or diffed between model
+versions.  These helpers produce plain JSON-able dictionaries (no numpy
+scalars) for every result type.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.audit import AuditFinding, AuditReport
+from repro.core.types import ConditionalMetricResult, MetricResult
+
+__all__ = [
+    "metric_result_to_dict",
+    "conditional_result_to_dict",
+    "finding_to_dict",
+    "report_to_dict",
+    "report_to_json",
+]
+
+
+def _plain(value):
+    """Convert numpy scalars to native Python for JSON."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def metric_result_to_dict(result: MetricResult) -> dict:
+    """JSON-able dict of one MetricResult."""
+    payload = {
+        "metric": result.metric,
+        "gap": _plain(result.gap),
+        "ratio": _plain(result.ratio),
+        "tolerance": _plain(result.tolerance),
+        "satisfied": bool(result.satisfied),
+        "equality_concept": result.equality_concept,
+        "groups": [
+            {
+                "group": _plain(gs.group),
+                "n": int(gs.n),
+                "positives": int(gs.positives),
+                "rate": _plain(gs.rate),
+            }
+            for gs in result.group_stats
+        ],
+        "details": _plain(result.details),
+    }
+    if result.significance is not None:
+        payload["significance"] = {
+            "statistic": _plain(result.significance.statistic),
+            "p_value": _plain(result.significance.p_value),
+            "method": result.significance.method,
+        }
+    return payload
+
+
+def conditional_result_to_dict(result: ConditionalMetricResult) -> dict:
+    """JSON-able dict of a per-stratum conditional result."""
+    return {
+        "metric": result.metric,
+        "condition": result.condition,
+        "tolerance": _plain(result.tolerance),
+        "satisfied": bool(result.satisfied),
+        "worst_gap": _plain(result.gap),
+        "equality_concept": result.equality_concept,
+        "skipped_strata": [_plain(s) for s in result.skipped_strata],
+        "strata": {
+            str(stratum): metric_result_to_dict(sub)
+            for stratum, sub in result.strata.items()
+        },
+    }
+
+
+def finding_to_dict(finding: AuditFinding) -> dict:
+    """JSON-able dict of one audit finding."""
+    payload = {
+        "attribute": finding.attribute,
+        "metric": finding.metric,
+        "status": finding.status,
+        "reason": finding.reason,
+    }
+    if isinstance(finding.result, ConditionalMetricResult):
+        payload["result"] = conditional_result_to_dict(finding.result)
+    elif isinstance(finding.result, MetricResult):
+        payload["result"] = metric_result_to_dict(finding.result)
+    else:
+        payload["result"] = None
+    if finding.four_fifths is not None:
+        ff = finding.four_fifths
+        payload["four_fifths"] = {
+            "ratio": _plain(ff.ratio),
+            "threshold": _plain(ff.threshold),
+            "passes": bool(ff.passes),
+            "disadvantaged_group": _plain(ff.disadvantaged_group),
+            "reference_group": _plain(ff.reference_group),
+        }
+    return payload
+
+
+def report_to_dict(report: AuditReport) -> dict:
+    """JSON-able dict of a full audit report."""
+    return {
+        "dataset_summary": _plain(report.dataset_summary),
+        "tolerance": _plain(report.tolerance),
+        "is_clean": bool(report.is_clean),
+        "counts": {
+            "violations": len(report.violations()),
+            "passes": len(report.passes()),
+            "skipped": len(report.skipped()),
+        },
+        "findings": [finding_to_dict(f) for f in report.findings],
+        "intersectional_findings": [
+            finding_to_dict(f) for f in report.intersectional_findings
+        ],
+        "power_notes": _plain(report.power_notes),
+    }
+
+
+def report_to_json(report: AuditReport, indent: int = 2) -> str:
+    """The audit report as a JSON string."""
+    return json.dumps(report_to_dict(report), indent=indent)

@@ -1,0 +1,215 @@
+"""Result types shared by all fairness metrics.
+
+Every metric returns a :class:`MetricResult` carrying, per protected
+group, the relevant rate(s), plus the derived *gap* (max − min rate) and
+*ratio* (min / max rate).  The gap supports tolerance-based verdicts, and
+the ratio supports the four-fifths rule of :mod:`repro.core.legal`.
+
+Conditional metrics (conditional statistical parity, conditional
+demographic disparity) return a :class:`ConditionalMetricResult` holding
+one :class:`MetricResult` per stratum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import MetricError
+from repro.stats.tests import TestResult
+
+__all__ = [
+    "EqualityConcept",
+    "GroupStats",
+    "MetricResult",
+    "ConditionalMetricResult",
+]
+
+
+class EqualityConcept:
+    """The paper's Section IV.A taxonomy of what a metric equalises."""
+
+    EQUAL_OUTCOME = "equal_outcome"
+    EQUAL_TREATMENT = "equal_treatment"
+    HYBRID = "hybrid"
+
+    ALL = (EQUAL_OUTCOME, EQUAL_TREATMENT, HYBRID)
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Per-group evidence behind a metric value.
+
+    ``rate`` is the metric-specific quantity being equalised across groups
+    (selection rate for demographic parity, TPR for equal opportunity, ...).
+    """
+
+    group: object
+    n: int
+    positives: int
+    rate: float
+
+    def __post_init__(self):
+        if self.n < 0 or self.positives < 0:
+            raise MetricError("group counts must be non-negative")
+        if self.positives > self.n:
+            raise MetricError(
+                f"group {self.group!r}: positives ({self.positives}) exceed "
+                f"size ({self.n})"
+            )
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """Outcome of one fairness-metric evaluation.
+
+    Attributes
+    ----------
+    metric:
+        Machine-readable metric identifier (e.g. ``"demographic_parity"``).
+    group_stats:
+        Tuple of :class:`GroupStats`, one per protected group.
+    gap:
+        Max minus min group rate (0 = perfect parity).  For multi-rate
+        metrics (equalized odds) this is the worst gap over the rates.
+    ratio:
+        Min over max group rate (1 = perfect parity); ``nan`` when the max
+        rate is 0.  The four-fifths rule thresholds this value.
+    tolerance:
+        Maximum gap accepted as fair.
+    satisfied:
+        ``gap <= tolerance`` (with a small numeric slack).
+    equality_concept:
+        The Section IV.A classification of this metric.
+    significance:
+        Optional hypothesis-test result for the observed gap.
+    details:
+        Metric-specific extras (e.g. separate TPR/FPR gaps).
+    """
+
+    metric: str
+    group_stats: tuple
+    gap: float
+    ratio: float
+    tolerance: float
+    satisfied: bool
+    equality_concept: str
+    significance: TestResult | None = None
+    details: dict = field(default_factory=dict)
+
+    def rate_of(self, group) -> float:
+        """The rate of one named group."""
+        for gs in self.group_stats:
+            if gs.group == group:
+                return gs.rate
+        known = [gs.group for gs in self.group_stats]
+        raise MetricError(f"unknown group {group!r}; known: {known}")
+
+    def rates(self) -> dict:
+        """group → rate mapping."""
+        return {gs.group: gs.rate for gs in self.group_stats}
+
+    def counts(self) -> dict:
+        """group → size mapping."""
+        return {gs.group: gs.n for gs in self.group_stats}
+
+    def disadvantaged_group(self):
+        """The group with the lowest rate (ties broken by group order)."""
+        if not self.group_stats:
+            raise MetricError("metric has no groups")
+        return min(self.group_stats, key=lambda gs: gs.rate).group
+
+    def advantaged_group(self):
+        """The group with the highest rate (ties broken by group order)."""
+        if not self.group_stats:
+            raise MetricError("metric has no groups")
+        return max(self.group_stats, key=lambda gs: gs.rate).group
+
+    def __repr__(self) -> str:
+        verdict = "satisfied" if self.satisfied else "violated"
+        rates = ", ".join(
+            f"{gs.group!r}: {gs.rate:.3f}" for gs in self.group_stats
+        )
+        return (
+            f"MetricResult({self.metric}, gap={self.gap:.4f}, "
+            f"tolerance={self.tolerance}, {verdict}; rates={{{rates}}})"
+        )
+
+
+@dataclass(frozen=True)
+class ConditionalMetricResult:
+    """Per-stratum results of a conditional metric.
+
+    ``satisfied`` requires every stratum to be satisfied — conditional
+    statistical parity demands parity *within each* legitimate stratum.
+    """
+
+    metric: str
+    condition: str
+    strata: dict  # stratum value -> MetricResult
+    tolerance: float
+    equality_concept: str
+    skipped_strata: tuple = ()
+
+    @property
+    def satisfied(self) -> bool:
+        return all(r.satisfied for r in self.strata.values())
+
+    @property
+    def gap(self) -> float:
+        """Worst gap over strata (0 when there are no usable strata)."""
+        if not self.strata:
+            return 0.0
+        return max(r.gap for r in self.strata.values())
+
+    def violating_strata(self) -> list:
+        """Stratum values whose within-stratum parity is violated."""
+        return [s for s, r in self.strata.items() if not r.satisfied]
+
+    def __repr__(self) -> str:
+        verdict = "satisfied" if self.satisfied else "violated"
+        return (
+            f"ConditionalMetricResult({self.metric} | {self.condition}, "
+            f"strata={len(self.strata)}, worst_gap={self.gap:.4f}, {verdict})"
+        )
+
+
+def build_result(
+    metric: str,
+    group_stats: list[GroupStats],
+    tolerance: float,
+    equality_concept: str,
+    significance: TestResult | None = None,
+    details: dict | None = None,
+    rate_values: list[float] | None = None,
+) -> MetricResult:
+    """Assemble a :class:`MetricResult` from per-group stats.
+
+    ``rate_values`` overrides the rates used for gap/ratio computation
+    (used by equalized odds where the gap spans two rate families).
+    """
+    if not group_stats:
+        raise MetricError(f"{metric}: no groups to compare")
+    rates = (
+        rate_values
+        if rate_values is not None
+        else [gs.rate for gs in group_stats]
+    )
+    finite = [r for r in rates if not np.isnan(r)]
+    if not finite:
+        raise MetricError(f"{metric}: all group rates are undefined")
+    gap = float(max(finite) - min(finite))
+    max_rate = max(finite)
+    ratio = float(min(finite) / max_rate) if max_rate > 0 else float("nan")
+    return MetricResult(
+        metric=metric,
+        group_stats=tuple(group_stats),
+        gap=gap,
+        ratio=ratio,
+        tolerance=float(tolerance),
+        satisfied=bool(gap <= tolerance + 1e-12),
+        equality_concept=equality_concept,
+        significance=significance,
+        details=details or {},
+    )

@@ -1,0 +1,41 @@
+"""Tabular data substrate: schemas, datasets, generators, bias injectors."""
+
+from repro.data.admissions import ETHNICITY_GROUPS, make_admissions
+from repro.data.bias import (
+    inject_label_bias,
+    inject_measurement_noise,
+    inject_proxy_column,
+    inject_representation_bias,
+    swap_protected_values,
+)
+from repro.data.dataset import TabularDataset
+from repro.data.generators import (
+    make_credit,
+    make_hiring,
+    make_housing,
+    make_intersectional,
+    make_recidivism,
+)
+from repro.data.marginals import PopulationMarginals
+from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
+
+__all__ = [
+    "Column",
+    "ColumnKind",
+    "ColumnRole",
+    "Schema",
+    "TabularDataset",
+    "PopulationMarginals",
+    "make_hiring",
+    "make_credit",
+    "make_housing",
+    "make_recidivism",
+    "make_intersectional",
+    "make_admissions",
+    "ETHNICITY_GROUPS",
+    "inject_label_bias",
+    "inject_representation_bias",
+    "inject_proxy_column",
+    "inject_measurement_noise",
+    "swap_protected_values",
+]

@@ -1,0 +1,115 @@
+"""Multi-group admissions generator: 3-category protected attribute.
+
+Most fairness tutorials stop at binary groups; real statutes protect
+multi-valued attributes (race/ethnicity categories, age bands), and the
+paper's metrics quantify over *all* group pairs (``∀ a, b ∈ A``).
+:func:`make_admissions` produces a university-admissions population with
+a three-category ethnicity attribute and a binary sex attribute, with
+independently tunable per-group label bias — the workload for testing
+metrics, audits, and mitigations beyond the two-group case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+from repro.data.dataset import TabularDataset
+from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
+from repro.exceptions import ValidationError
+
+__all__ = ["make_admissions", "ETHNICITY_GROUPS"]
+
+ETHNICITY_GROUPS = ("group_x", "group_y", "group_z")
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+def make_admissions(
+    n: int = 3000,
+    ethnicity_shares: tuple = (0.6, 0.25, 0.15),
+    ethnicity_bias: tuple = (0.0, 0.0, 0.0),
+    sex_bias: float = 0.0,
+    label_noise: float = 0.05,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """University-admissions population with two protected attributes.
+
+    Parameters
+    ----------
+    ethnicity_shares:
+        Population shares of the three ethnicity groups (must sum to 1).
+    ethnicity_bias:
+        Per-group amount subtracted from the admission logit — direct
+        label bias, independently tunable per group (e.g. ``(0, 0.8,
+        1.6)`` disadvantages group_y mildly and group_z strongly).
+    sex_bias:
+        Amount subtracted from female applicants' logits.
+    """
+    n = check_positive_int(n, "n")
+    if len(ethnicity_shares) != 3 or len(ethnicity_bias) != 3:
+        raise ValidationError(
+            "ethnicity_shares and ethnicity_bias must have three entries"
+        )
+    shares = np.asarray(ethnicity_shares, dtype=float)
+    if np.any(shares < 0) or not np.isclose(shares.sum(), 1.0, atol=1e-6):
+        raise ValidationError("ethnicity_shares must be non-negative and sum to 1")
+    check_probability(label_noise, "label_noise")
+    rng = check_random_state(random_state)
+
+    ethnicity_idx = rng.choice(3, size=n, p=shares / shares.sum())
+    ethnicity = np.array(ETHNICITY_GROUPS)[ethnicity_idx]
+    sex = np.where(rng.random(n) < 0.5, "female", "male")
+    is_female = sex == "female"
+
+    aptitude = rng.normal(0.0, 1.0, n)
+    gpa = np.clip(3.0 + 0.5 * aptitude + rng.normal(0, 0.25, n), 0.0, 4.0)
+    test_score = np.clip(
+        1000 + 150 * aptitude + rng.normal(0, 80, n), 400, 1600
+    )
+    essays = np.clip(
+        np.rint(3 + aptitude + rng.normal(0, 0.8, n)), 1, 6
+    ).astype(float)
+
+    bias_per_row = np.asarray(ethnicity_bias, dtype=float)[ethnicity_idx]
+    logit = 2.0 * aptitude - bias_per_row - sex_bias * is_female
+    admitted = (rng.random(n) < _sigmoid(logit)).astype(int)
+    flip = rng.random(n) < label_noise
+    admitted = np.where(flip, 1 - admitted, admitted)
+
+    schema = Schema((
+        Column("gpa", kind=ColumnKind.NUMERIC),
+        Column("test_score", kind=ColumnKind.NUMERIC),
+        Column("essays", kind=ColumnKind.NUMERIC),
+        Column(
+            "ethnicity",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=ETHNICITY_GROUPS,
+            statute_tags=("title_vi", "eu_2000_43"),
+        ),
+        Column(
+            "sex",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("male", "female"),
+            statute_tags=("title_vii", "eu_2006_54"),
+        ),
+        Column("aptitude", kind=ColumnKind.NUMERIC, role=ColumnRole.METADATA),
+        Column("admitted", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "gpa": gpa,
+        "test_score": test_score,
+        "essays": essays,
+        "ethnicity": ethnicity,
+        "sex": sex,
+        "aptitude": aptitude,
+        "admitted": admitted,
+    })

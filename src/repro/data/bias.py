@@ -1,0 +1,196 @@
+"""Bias injectors: controlled corruption of otherwise clean datasets.
+
+The paper's Section IV argues that different *mechanisms* of bias (label
+bias, under-representation, proxy encoding, measurement bias) demand
+different detection and mitigation strategies.  These injectors apply each
+mechanism in isolation so experiments can attribute observed disparities
+to a single cause.
+
+All injectors are pure functions: they take a :class:`TabularDataset` and
+return a new one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_in_range,
+    check_probability,
+    check_random_state,
+)
+from repro.data.dataset import TabularDataset
+from repro.data.schema import Column, ColumnKind, ColumnRole
+from repro.exceptions import DatasetError, ValidationError
+
+__all__ = [
+    "inject_label_bias",
+    "inject_representation_bias",
+    "inject_proxy_column",
+    "inject_measurement_noise",
+    "swap_protected_values",
+]
+
+
+def _require_discrete_protected(dataset: TabularDataset, attribute: str) -> None:
+    column = dataset.schema[attribute]
+    if column.role != ColumnRole.PROTECTED:
+        raise DatasetError(f"column {attribute!r} is not a protected attribute")
+    if not column.is_discrete:
+        raise DatasetError(f"protected column {attribute!r} must be discrete")
+
+
+def inject_label_bias(
+    dataset: TabularDataset,
+    attribute: str,
+    group,
+    flip_positive_to_negative: float = 0.0,
+    flip_negative_to_positive: float = 0.0,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Flip labels of one protected group with given probabilities.
+
+    ``flip_positive_to_negative`` models *historical* bias in which
+    deserving members of ``group`` were recorded with the unfavourable
+    outcome; ``flip_negative_to_positive`` models favouritism.
+
+    Returns a dataset with the same schema and corrupted labels.
+    """
+    _require_discrete_protected(dataset, attribute)
+    check_probability(flip_positive_to_negative, "flip_positive_to_negative")
+    check_probability(flip_negative_to_positive, "flip_negative_to_positive")
+    rng = check_random_state(random_state)
+
+    label_name = dataset.schema.label_name
+    if label_name is None:
+        raise DatasetError("dataset has no label column to bias")
+    labels = dataset.column(label_name).astype(int).copy()
+    members = dataset.column(attribute) == group
+    if not members.any():
+        raise DatasetError(f"group {group!r} is empty in column {attribute!r}")
+
+    draw = rng.random(dataset.n_rows)
+    demote = members & (labels == 1) & (draw < flip_positive_to_negative)
+    promote = members & (labels == 0) & (draw < flip_negative_to_positive)
+    labels[demote] = 0
+    labels[promote] = 1
+    return dataset.with_column(dataset.schema[label_name], labels)
+
+
+def inject_representation_bias(
+    dataset: TabularDataset,
+    attribute: str,
+    group,
+    keep_fraction: float,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Under-sample one protected group to a fraction of its members.
+
+    Models the Section IV.C observation that small subgroups are often
+    under-represented in training data, which both magnifies bias and
+    makes audits statistically uncertain.
+    """
+    _require_discrete_protected(dataset, attribute)
+    check_in_range(keep_fraction, "keep_fraction", 0.0, 1.0)
+    rng = check_random_state(random_state)
+
+    members = np.flatnonzero(dataset.column(attribute) == group)
+    others = np.flatnonzero(dataset.column(attribute) != group)
+    if len(members) == 0:
+        raise DatasetError(f"group {group!r} is empty in column {attribute!r}")
+    n_keep = int(round(keep_fraction * len(members)))
+    kept = rng.choice(members, size=n_keep, replace=False) if n_keep else np.array([], dtype=int)
+    indices = np.sort(np.concatenate([others, kept.astype(int)]))
+    return dataset.take(indices)
+
+
+def inject_proxy_column(
+    dataset: TabularDataset,
+    attribute: str,
+    proxy_name: str,
+    strength: float,
+    categories: tuple = ("p0", "p1"),
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Add a categorical feature correlated with a binary protected group.
+
+    With probability ``strength`` the proxy value deterministically encodes
+    group membership; otherwise it is uniform over ``categories``.  This is
+    the redundant-encoding mechanism behind proxy discrimination
+    (Section IV.B).
+    """
+    _require_discrete_protected(dataset, attribute)
+    check_probability(strength, "strength")
+    if len(categories) != 2:
+        raise ValidationError("proxy categories must be a 2-tuple")
+    if proxy_name in dataset.schema:
+        raise DatasetError(f"column {proxy_name!r} already exists")
+    rng = check_random_state(random_state)
+
+    values = dataset.column(attribute)
+    groups = dataset.schema[attribute].categories
+    if len(groups) != 2:
+        raise DatasetError(
+            f"proxy injection requires a binary protected column, "
+            f"{attribute!r} has categories {groups}"
+        )
+    membership = (values == groups[1]).astype(int)
+    reveal = rng.random(dataset.n_rows) < strength
+    random_code = rng.integers(0, 2, dataset.n_rows)
+    code = np.where(reveal, membership, random_code)
+    proxy = np.where(code == 1, categories[1], categories[0])
+    column = Column(
+        proxy_name,
+        kind=ColumnKind.CATEGORICAL,
+        role=ColumnRole.FEATURE,
+        categories=tuple(categories),
+    )
+    return dataset.with_column(column, proxy)
+
+
+def inject_measurement_noise(
+    dataset: TabularDataset,
+    feature: str,
+    attribute: str,
+    group,
+    noise_std: float,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Add extra Gaussian noise to one group's numeric feature.
+
+    Models group-dependent measurement quality (e.g. credit histories that
+    are thinner and noisier for one population).
+    """
+    _require_discrete_protected(dataset, attribute)
+    if noise_std < 0:
+        raise ValidationError(f"noise_std must be non-negative, got {noise_std}")
+    column = dataset.schema[feature]
+    if column.kind != ColumnKind.NUMERIC:
+        raise DatasetError(f"feature {feature!r} must be numeric")
+    rng = check_random_state(random_state)
+
+    values = dataset.column(feature).astype(float).copy()
+    members = dataset.column(attribute) == group
+    values[members] += rng.normal(0.0, noise_std, int(members.sum()))
+    return dataset.with_column(column, values)
+
+
+def swap_protected_values(
+    dataset: TabularDataset, attribute: str
+) -> TabularDataset:
+    """Flip a binary protected column (group a ↔ group b) row-wise.
+
+    A naive "observational" counterfactual used as a baseline against the
+    SCM-based counterfactuals of :mod:`repro.causal` — it changes the
+    attribute without propagating effects to descendants, which is exactly
+    the mistake the counterfactual-fairness literature warns about.
+    """
+    _require_discrete_protected(dataset, attribute)
+    groups = dataset.schema[attribute].categories
+    if len(groups) != 2:
+        raise DatasetError(
+            f"swap requires a binary protected column, got categories {groups}"
+        )
+    values = dataset.column(attribute)
+    swapped = np.where(values == groups[0], groups[1], groups[0])
+    return dataset.with_column(dataset.schema[attribute], swapped)

@@ -1,0 +1,417 @@
+"""Synthetic workload generators for fairness experiments.
+
+The paper motivates every criterion with hiring, credit, and housing
+scenarios; these generators produce the corresponding datasets with
+*explicit, controllable* bias so that experiments can dial each phenomenon
+in or out:
+
+* :func:`make_hiring` — the paper's running example: applicants with a
+  latent qualification, a protected ``sex`` attribute, optional direct
+  label bias, and optional proxy columns correlated with sex.
+* :func:`make_credit` — an ECOA-style credit-scoring population.
+* :func:`make_housing` — an FHA-style rental-application population.
+* :func:`make_recidivism` — a COMPAS-style risk-scoring population.
+* :func:`make_intersectional` — a population that is marginally fair on
+  each of two protected attributes but unfair on their intersection
+  (the Section IV.C construction).
+
+Every generator takes a ``random_state`` and is fully deterministic given
+a seed, as required for reproducible benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_in_range,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+)
+from repro.data.dataset import TabularDataset
+from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
+
+__all__ = [
+    "make_hiring",
+    "make_credit",
+    "make_housing",
+    "make_recidivism",
+    "make_intersectional",
+]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35, 35)))
+
+
+def make_hiring(
+    n: int = 2000,
+    female_fraction: float = 0.5,
+    direct_bias: float = 0.0,
+    proxy_strength: float = 0.0,
+    label_noise: float = 0.05,
+    base_rate: float = 0.5,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Hiring population: the paper's running example.
+
+    Each applicant has a latent qualification ``q ~ N(0, 1)`` from which
+    observable merit features derive (``experience``, ``skill_score``,
+    ``education``).  The hiring label is a noisy threshold on ``q``.
+
+    Parameters
+    ----------
+    direct_bias:
+        Amount subtracted from the label logit of female applicants —
+        direct (disparate-treatment-style) label bias.  0 means labels
+        depend on qualification alone.
+    proxy_strength:
+        In [0, 1]; correlation strength between the ``university`` proxy
+        column and ``sex``.  At 1, university deterministically encodes
+        sex (the Section IV.B construction); at 0 it is independent.
+    label_noise:
+        Probability of flipping each label, independent of group.
+    base_rate:
+        Target overall positive rate of the *unbiased* labels.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(female_fraction, "female_fraction")
+    check_probability(proxy_strength, "proxy_strength")
+    check_probability(label_noise, "label_noise")
+    check_in_range(base_rate, "base_rate", 0.01, 0.99)
+    rng = check_random_state(random_state)
+
+    sex = np.where(rng.random(n) < female_fraction, "female", "male")
+    is_female = sex == "female"
+    qualification = rng.normal(0.0, 1.0, n)
+
+    experience = np.clip(4.0 + 2.0 * qualification + rng.normal(0, 1.0, n), 0, None)
+    skill_score = np.clip(
+        60.0 + 12.0 * qualification + rng.normal(0, 6.0, n), 0, 100
+    )
+    education = np.clip(
+        np.rint(2.0 + 0.8 * qualification + rng.normal(0, 0.7, n)), 0, 5
+    ).astype(float)
+
+    # A proxy column: with probability proxy_strength the university group
+    # reveals sex exactly; otherwise it is assigned uniformly at random.
+    reveal = rng.random(n) < proxy_strength
+    random_univ = rng.integers(0, 2, n)
+    univ_code = np.where(reveal, is_female.astype(int), random_univ)
+    university = np.where(univ_code == 1, "u_alpha", "u_beta")
+
+    threshold = float(np.quantile(qualification, 1.0 - base_rate))
+    logit = 3.0 * (qualification - threshold)
+    logit = logit - direct_bias * is_female
+    hired = (rng.random(n) < _sigmoid(logit)).astype(int)
+    flip = rng.random(n) < label_noise
+    hired = np.where(flip, 1 - hired, hired)
+
+    schema = Schema((
+        Column("experience", kind=ColumnKind.NUMERIC),
+        Column("skill_score", kind=ColumnKind.NUMERIC),
+        Column("education", kind=ColumnKind.NUMERIC),
+        Column(
+            "university",
+            kind=ColumnKind.CATEGORICAL,
+            categories=("u_beta", "u_alpha"),
+        ),
+        Column(
+            "sex",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("male", "female"),
+            statute_tags=("title_vii", "eu_2006_54"),
+        ),
+        Column("qualification", kind=ColumnKind.NUMERIC, role=ColumnRole.METADATA),
+        Column("hired", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "experience": experience,
+        "skill_score": skill_score,
+        "education": education,
+        "university": university,
+        "sex": sex,
+        "qualification": qualification,
+        "hired": hired,
+    })
+
+
+def make_credit(
+    n: int = 2000,
+    minority_fraction: float = 0.3,
+    redlining_strength: float = 0.0,
+    income_gap: float = 0.0,
+    label_noise: float = 0.05,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """ECOA-style credit population with optional structural bias.
+
+    Parameters
+    ----------
+    redlining_strength:
+        In [0, 1]; correlation between ``zip_region`` and ``race`` — the
+        classic residence-as-race proxy the paper cites (Section IV.B).
+    income_gap:
+        Mean income shortfall (in z-score units) applied to the minority
+        group, modelling *structural* inequality: creditworthiness labels
+        then disadvantage the group through a facially neutral feature.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(minority_fraction, "minority_fraction")
+    check_probability(redlining_strength, "redlining_strength")
+    check_probability(label_noise, "label_noise")
+    rng = check_random_state(random_state)
+
+    race = np.where(rng.random(n) < minority_fraction, "minority", "majority")
+    is_minority = race == "minority"
+
+    creditworthiness = rng.normal(0.0, 1.0, n)
+    income_z = creditworthiness * 0.7 + rng.normal(0, 0.7, n)
+    income_z = income_z - income_gap * is_minority
+    income = np.clip(45000 + 18000 * income_z, 5000, None)
+    debt_ratio = np.clip(
+        0.35 - 0.1 * creditworthiness + rng.normal(0, 0.08, n), 0.0, 1.0
+    )
+    history_years = np.clip(
+        8 + 3 * creditworthiness + rng.normal(0, 2.0, n), 0, None
+    )
+
+    reveal = rng.random(n) < redlining_strength
+    random_region = rng.integers(0, 2, n)
+    region_code = np.where(reveal, is_minority.astype(int), random_region)
+    zip_region = np.where(region_code == 1, "region_a", "region_b")
+
+    logit = 2.2 * creditworthiness + 0.8 * income_z - 1.5 * (debt_ratio - 0.35)
+    approved = (rng.random(n) < _sigmoid(logit)).astype(int)
+    flip = rng.random(n) < label_noise
+    approved = np.where(flip, 1 - approved, approved)
+
+    schema = Schema((
+        Column("income", kind=ColumnKind.NUMERIC),
+        Column("debt_ratio", kind=ColumnKind.NUMERIC),
+        Column("history_years", kind=ColumnKind.NUMERIC),
+        Column(
+            "zip_region",
+            kind=ColumnKind.CATEGORICAL,
+            categories=("region_b", "region_a"),
+        ),
+        Column(
+            "race",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("majority", "minority"),
+            statute_tags=("ecoa", "eu_2000_43"),
+        ),
+        Column(
+            "creditworthiness", kind=ColumnKind.NUMERIC, role=ColumnRole.METADATA
+        ),
+        Column("approved", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "income": income,
+        "debt_ratio": debt_ratio,
+        "history_years": history_years,
+        "zip_region": zip_region,
+        "race": race,
+        "creditworthiness": creditworthiness,
+        "approved": approved,
+    })
+
+
+def make_housing(
+    n: int = 2000,
+    protected_fraction: float = 0.25,
+    familial_penalty: float = 0.0,
+    label_noise: float = 0.05,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """FHA-style rental application population.
+
+    ``familial_penalty`` injects direct label bias against applicants with
+    children (familial status is FHA-protected), holding ability-to-pay
+    fixed.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(protected_fraction, "protected_fraction")
+    check_probability(label_noise, "label_noise")
+    rng = check_random_state(random_state)
+
+    familial = np.where(
+        rng.random(n) < protected_fraction, "with_children", "no_children"
+    )
+    has_children = familial == "with_children"
+
+    ability = rng.normal(0.0, 1.0, n)
+    income = np.clip(40000 + 15000 * ability + rng.normal(0, 5000, n), 8000, None)
+    rent_ratio = np.clip(
+        0.3 - 0.05 * ability + rng.normal(0, 0.05, n), 0.05, 0.95
+    )
+    references = np.clip(
+        np.rint(2 + ability + rng.normal(0, 0.8, n)), 0, 5
+    ).astype(float)
+
+    logit = 2.0 * ability - familial_penalty * has_children
+    accepted = (rng.random(n) < _sigmoid(logit)).astype(int)
+    flip = rng.random(n) < label_noise
+    accepted = np.where(flip, 1 - accepted, accepted)
+
+    schema = Schema((
+        Column("income", kind=ColumnKind.NUMERIC),
+        Column("rent_ratio", kind=ColumnKind.NUMERIC),
+        Column("references", kind=ColumnKind.NUMERIC),
+        Column(
+            "familial_status",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("no_children", "with_children"),
+            statute_tags=("fha",),
+        ),
+        Column("ability", kind=ColumnKind.NUMERIC, role=ColumnRole.METADATA),
+        Column("accepted", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "income": income,
+        "rent_ratio": rent_ratio,
+        "references": references,
+        "familial_status": familial,
+        "ability": ability,
+        "accepted": accepted,
+    })
+
+
+def make_recidivism(
+    n: int = 2000,
+    minority_fraction: float = 0.4,
+    measurement_bias: float = 0.0,
+    label_noise: float = 0.05,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """COMPAS-style recidivism population.
+
+    ``measurement_bias`` raises the *recorded* re-arrest probability of the
+    minority group over its true re-offence probability — modelling the
+    well-known gap between offence and arrest data.  The true propensity
+    is retained as metadata so experiments can compare labels against
+    ground truth.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(minority_fraction, "minority_fraction")
+    check_probability(measurement_bias, "measurement_bias")
+    check_probability(label_noise, "label_noise")
+    rng = check_random_state(random_state)
+
+    race = np.where(rng.random(n) < minority_fraction, "minority", "majority")
+    is_minority = race == "minority"
+
+    propensity = rng.normal(0.0, 1.0, n)
+    priors = np.clip(
+        np.rint(1.5 + 1.2 * propensity + rng.normal(0, 1.0, n)), 0, None
+    ).astype(float)
+    age = np.clip(35 - 4 * propensity + rng.normal(0, 7, n), 18, 80)
+    charge_severity = np.clip(
+        2 + propensity + rng.normal(0, 0.8, n), 0, 6
+    )
+
+    true_prob = _sigmoid(1.6 * propensity - 0.4)
+    recorded_prob = np.clip(true_prob + measurement_bias * is_minority, 0, 1)
+    rearrested = (rng.random(n) < recorded_prob).astype(int)
+    flip = rng.random(n) < label_noise
+    rearrested = np.where(flip, 1 - rearrested, rearrested)
+
+    schema = Schema((
+        Column("priors", kind=ColumnKind.NUMERIC),
+        Column("age", kind=ColumnKind.NUMERIC),
+        Column("charge_severity", kind=ColumnKind.NUMERIC),
+        Column(
+            "race",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("majority", "minority"),
+            statute_tags=("title_vi", "eu_2000_43"),
+        ),
+        Column("propensity", kind=ColumnKind.NUMERIC, role=ColumnRole.METADATA),
+        Column("rearrested", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "priors": priors,
+        "age": age,
+        "charge_severity": charge_severity,
+        "race": race,
+        "propensity": propensity,
+        "rearrested": rearrested,
+    })
+
+
+def make_intersectional(
+    n: int = 4000,
+    subgroup_penalty: float = 0.35,
+    base_rate: float = 0.5,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """The Section IV.C construction: fair marginals, unfair intersection.
+
+    Gender and race are independent fair coins.  The positive rate of the
+    *crossed* subgroups (non-Caucasian male, Caucasian female) is lowered
+    by ``subgroup_penalty`` while the other two subgroups are raised by
+    the same amount, so that both marginal positive rates stay at
+    ``base_rate`` exactly in expectation:
+
+    ====================  =================
+    subgroup              P(promoted)
+    ====================  =================
+    Caucasian male        base_rate + p
+    non-Caucasian male    base_rate - p
+    Caucasian female      base_rate - p
+    non-Caucasian female  base_rate + p
+    ====================  =================
+
+    Auditing either attribute alone finds parity; auditing the
+    intersection finds a 2p gap.
+    """
+    n = check_positive_int(n, "n")
+    check_probability(base_rate, "base_rate")
+    check_in_range(
+        subgroup_penalty, "subgroup_penalty", 0.0, min(base_rate, 1 - base_rate)
+    )
+    rng = check_random_state(random_state)
+
+    gender = np.where(rng.random(n) < 0.5, "female", "male")
+    race = np.where(rng.random(n) < 0.5, "non_caucasian", "caucasian")
+    score = rng.normal(0.0, 1.0, n)
+    tenure = np.clip(5 + 2 * score + rng.normal(0, 1.5, n), 0, None)
+
+    crossed = (
+        ((gender == "male") & (race == "non_caucasian"))
+        | ((gender == "female") & (race == "caucasian"))
+    )
+    prob = np.where(crossed, base_rate - subgroup_penalty, base_rate + subgroup_penalty)
+    promoted = (rng.random(n) < prob).astype(int)
+
+    schema = Schema((
+        Column("score", kind=ColumnKind.NUMERIC),
+        Column("tenure", kind=ColumnKind.NUMERIC),
+        Column(
+            "gender",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("male", "female"),
+            statute_tags=("title_vii", "eu_2006_54"),
+        ),
+        Column(
+            "race",
+            kind=ColumnKind.CATEGORICAL,
+            role=ColumnRole.PROTECTED,
+            categories=("caucasian", "non_caucasian"),
+            statute_tags=("title_vii", "eu_2000_43"),
+        ),
+        Column("promoted", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+    ))
+    return TabularDataset(schema, {
+        "score": score,
+        "tenure": tenure,
+        "gender": gender,
+        "race": race,
+        "promoted": promoted,
+    })

@@ -1,0 +1,87 @@
+"""Dataset and schema file I/O.
+
+Schemas serialise to JSON sidecar files; data serialises to CSV.  The
+pair round-trips through :func:`save_dataset` / :func:`load_dataset`,
+which is what the command-line interface uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.dataset import TabularDataset
+from repro.data.schema import Column, Schema
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "save_dataset",
+    "load_dataset",
+]
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    """JSON-able representation of a schema."""
+    return {
+        "columns": [
+            {
+                "name": col.name,
+                "kind": col.kind,
+                "role": col.role,
+                "categories": list(col.categories),
+                "statute_tags": list(col.statute_tags),
+                "favorable_value": col.favorable_value,
+            }
+            for col in schema
+        ]
+    }
+
+
+def schema_from_dict(payload: dict) -> Schema:
+    """Rebuild a schema from :func:`schema_to_dict` output."""
+    if "columns" not in payload:
+        raise SchemaError("schema payload lacks a 'columns' key")
+    columns = []
+    for entry in payload["columns"]:
+        try:
+            columns.append(
+                Column(
+                    name=entry["name"],
+                    kind=entry.get("kind", "numeric"),
+                    role=entry.get("role", "feature"),
+                    categories=tuple(entry.get("categories", ())),
+                    statute_tags=tuple(entry.get("statute_tags", ())),
+                    favorable_value=entry.get("favorable_value", 1),
+                )
+            )
+        except KeyError as exc:
+            raise SchemaError(
+                f"schema column entry missing required key: {exc}"
+            ) from None
+    return Schema(tuple(columns))
+
+
+def save_dataset(dataset: TabularDataset, data_path, schema_path=None) -> None:
+    """Write a dataset to CSV plus a JSON schema sidecar.
+
+    ``schema_path`` defaults to the data path with a ``.schema.json``
+    suffix.
+    """
+    data_path = Path(data_path)
+    if schema_path is None:
+        schema_path = data_path.with_suffix(data_path.suffix + ".schema.json")
+    data_path.write_text(dataset.to_csv())
+    Path(schema_path).write_text(
+        json.dumps(schema_to_dict(dataset.schema), indent=2)
+    )
+
+
+def load_dataset(data_path, schema_path=None) -> TabularDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    data_path = Path(data_path)
+    if schema_path is None:
+        schema_path = data_path.with_suffix(data_path.suffix + ".schema.json")
+    schema = schema_from_dict(json.loads(Path(schema_path).read_text()))
+    return TabularDataset.from_csv(schema, data_path.read_text())

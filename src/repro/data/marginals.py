@@ -1,0 +1,113 @@
+"""Population marginals of protected attributes.
+
+Section IV.F of the paper highlights *group-blind* repair methods that
+need only population-wide marginals of the protected attribute (widely
+available from censuses) rather than per-record protected values.
+:class:`PopulationMarginals` is the carrier object for that information:
+a distribution over the categories of one protected attribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.data.dataset import TabularDataset
+from repro.exceptions import ValidationError
+
+__all__ = ["PopulationMarginals"]
+
+
+class PopulationMarginals:
+    """A normalised categorical distribution over protected-group values.
+
+    Parameters
+    ----------
+    attribute:
+        Name of the protected attribute the marginals describe.
+    proportions:
+        Mapping from group value to population proportion.  Proportions
+        must be non-negative and sum to 1 (within tolerance); they are
+        re-normalised exactly on construction.
+    """
+
+    def __init__(self, attribute: str, proportions: Mapping[object, float]):
+        if not attribute:
+            raise ValidationError("attribute name must be non-empty")
+        if not proportions:
+            raise ValidationError("proportions must be non-empty")
+        values = np.array([float(v) for v in proportions.values()])
+        if np.any(values < 0):
+            raise ValidationError("proportions must be non-negative")
+        total = float(values.sum())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValidationError(
+                f"proportions must sum to 1, got {total:.6f}"
+            )
+        self.attribute = attribute
+        self._proportions = {
+            group: float(v) / total for group, v in proportions.items()
+        }
+
+    @classmethod
+    def from_dataset(
+        cls, dataset: TabularDataset, attribute: str
+    ) -> "PopulationMarginals":
+        """Empirical marginals of ``attribute`` in ``dataset``."""
+        values = dataset.column(attribute)
+        groups, counts = np.unique(values, return_counts=True)
+        proportions = {
+            g: c / dataset.n_rows for g, c in zip(groups.tolist(), counts.tolist())
+        }
+        return cls(attribute, proportions)
+
+    @property
+    def groups(self) -> list:
+        """Group values, in insertion order."""
+        return list(self._proportions)
+
+    def proportion(self, group) -> float:
+        """Population proportion of one group."""
+        if group not in self._proportions:
+            raise ValidationError(
+                f"unknown group {group!r}; known: {self.groups}"
+            )
+        return self._proportions[group]
+
+    def as_dict(self) -> dict:
+        """Plain-dict copy of the proportions."""
+        return dict(self._proportions)
+
+    def expected_counts(self, n: int) -> dict:
+        """Expected group counts in a sample of size ``n``."""
+        return {g: p * n for g, p in self._proportions.items()}
+
+    def representation_gap(self, dataset: TabularDataset) -> dict:
+        """Observed-minus-expected proportion per group.
+
+        Positive values mean the group is over-represented in the dataset
+        relative to the population; negative means under-represented —
+        the Section IV.F sampling-bias signal.
+        """
+        observed = PopulationMarginals.from_dataset(dataset, self.attribute)
+        gaps = {}
+        for group, expected in self._proportions.items():
+            actual = observed._proportions.get(group, 0.0)
+            gaps[group] = actual - expected
+        return gaps
+
+    def total_variation_gap(self, dataset: TabularDataset) -> float:
+        """Total-variation distance between dataset and population marginals."""
+        gaps = self.representation_gap(dataset)
+        observed = PopulationMarginals.from_dataset(dataset, self.attribute)
+        extra = [
+            observed._proportions[g]
+            for g in observed.groups
+            if g not in self._proportions
+        ]
+        return 0.5 * (sum(abs(v) for v in gaps.values()) + sum(extra))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{g!r}: {p:.3f}" for g, p in self._proportions.items())
+        return f"PopulationMarginals({self.attribute!r}, {{{body}}})"

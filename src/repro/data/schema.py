@@ -1,0 +1,194 @@
+"""Typed column schemas for tabular fairness datasets.
+
+A :class:`Schema` records, for every column, its kind (numeric,
+categorical, or binary) and its *role* in a fairness analysis:
+
+* ``feature`` — an ordinary model input;
+* ``protected`` — a legally protected attribute (sex, race, age band, ...);
+* ``label`` — the ground-truth outcome ``Y``;
+* ``prediction`` — a model output ``R`` stored alongside the data;
+* ``metadata`` — carried along but never fed to a model.
+
+Fairness law distinguishes attributes by the statute that protects them;
+the schema therefore lets a protected column carry a free-form
+``statute_tags`` tuple (e.g. ``("title_vii", "eu_2000_78")``) which the
+legal layer in :mod:`repro.core.legal` resolves against its catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import SchemaError
+
+__all__ = ["ColumnKind", "ColumnRole", "Column", "Schema"]
+
+
+class ColumnKind:
+    """Enumeration of supported column kinds (plain strings)."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    BINARY = "binary"
+
+    ALL = (NUMERIC, CATEGORICAL, BINARY)
+
+
+class ColumnRole:
+    """Enumeration of column roles in a fairness analysis."""
+
+    FEATURE = "feature"
+    PROTECTED = "protected"
+    LABEL = "label"
+    PREDICTION = "prediction"
+    METADATA = "metadata"
+
+    ALL = (FEATURE, PROTECTED, LABEL, PREDICTION, METADATA)
+
+
+@dataclass(frozen=True)
+class Column:
+    """Description of a single dataset column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a schema.
+    kind:
+        One of :class:`ColumnKind` — numeric, categorical, or binary.
+    role:
+        One of :class:`ColumnRole`.
+    categories:
+        For categorical/binary columns, the ordered tuple of admissible
+        values.  Binary columns default to ``(0, 1)``.
+    statute_tags:
+        For protected columns, identifiers of the statutes under which the
+        attribute is protected (resolved by :mod:`repro.core.legal`).
+    favorable_value:
+        For label/prediction columns, the value regarded as the positive
+        ("favourable") outcome; defaults to ``1``.
+    """
+
+    name: str
+    kind: str = ColumnKind.NUMERIC
+    role: str = ColumnRole.FEATURE
+    categories: tuple = ()
+    statute_tags: tuple = ()
+    favorable_value: object = 1
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"column name must be a non-empty string, got {self.name!r}")
+        if self.kind not in ColumnKind.ALL:
+            raise SchemaError(
+                f"column {self.name!r}: kind must be one of {ColumnKind.ALL}, got {self.kind!r}"
+            )
+        if self.role not in ColumnRole.ALL:
+            raise SchemaError(
+                f"column {self.name!r}: role must be one of {ColumnRole.ALL}, got {self.role!r}"
+            )
+        if self.kind == ColumnKind.BINARY and not self.categories:
+            object.__setattr__(self, "categories", (0, 1))
+        if self.kind == ColumnKind.CATEGORICAL and not self.categories:
+            raise SchemaError(
+                f"categorical column {self.name!r} must declare its categories"
+            )
+        if self.categories and len(set(self.categories)) != len(self.categories):
+            raise SchemaError(
+                f"column {self.name!r} has duplicate categories: {self.categories}"
+            )
+
+    @property
+    def is_discrete(self) -> bool:
+        """True for categorical and binary columns."""
+        return self.kind in (ColumnKind.CATEGORICAL, ColumnKind.BINARY)
+
+    def with_role(self, role: str) -> "Column":
+        """Return a copy of this column with a different role."""
+        return replace(self, role=role)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, validated collection of :class:`Column` objects."""
+
+    columns: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        cols = tuple(self.columns)
+        object.__setattr__(self, "columns", cols)
+        names = [c.name for c in cols]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names: {sorted(duplicates)}")
+        labels = [c for c in cols if c.role == ColumnRole.LABEL]
+        if len(labels) > 1:
+            raise SchemaError(
+                f"at most one label column allowed, got {[c.name for c in labels]}"
+            )
+
+    # -- lookup ----------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.columns)
+
+    def __getitem__(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(
+            f"unknown column {name!r}; available: {self.names()}"
+        )
+
+    def names(self) -> list[str]:
+        """Names of all columns, in order."""
+        return [c.name for c in self.columns]
+
+    def by_role(self, role: str) -> list[Column]:
+        """All columns with the given role, in order."""
+        return [c for c in self.columns if c.role == role]
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [c.name for c in self.by_role(ColumnRole.FEATURE)]
+
+    @property
+    def protected_names(self) -> list[str]:
+        return [c.name for c in self.by_role(ColumnRole.PROTECTED)]
+
+    @property
+    def label_name(self) -> str | None:
+        labels = self.by_role(ColumnRole.LABEL)
+        return labels[0].name if labels else None
+
+    @property
+    def prediction_names(self) -> list[str]:
+        return [c.name for c in self.by_role(ColumnRole.PREDICTION)]
+
+    # -- transformation --------------------------------------------------
+
+    def add(self, column: Column) -> "Schema":
+        """Return a new schema with ``column`` appended."""
+        return Schema(self.columns + (column,))
+
+    def drop(self, name: str) -> "Schema":
+        """Return a new schema without the named column."""
+        self[name]  # raises SchemaError when absent
+        return Schema(tuple(c for c in self.columns if c.name != name))
+
+    def replace_column(self, column: Column) -> "Schema":
+        """Return a new schema with the same-named column replaced."""
+        self[column.name]
+        return Schema(
+            tuple(column if c.name == column.name else c for c in self.columns)
+        )
+
+    def select(self, names: list[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple(self[name] for name in names))

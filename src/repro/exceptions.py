@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while still letting programming errors
+(``TypeError`` from misuse of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SchemaError",
+    "DatasetError",
+    "NotFittedError",
+    "ConvergenceError",
+    "CausalModelError",
+    "MetricError",
+    "InsufficientDataError",
+    "AuditError",
+    "LegalCatalogError",
+    "MitigationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or value)."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema is inconsistent or a column reference is invalid."""
+
+
+class DatasetError(ReproError):
+    """A dataset operation failed (bad slice, mismatched lengths, ...)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class CausalModelError(ReproError):
+    """A structural causal model is malformed or a query is unanswerable."""
+
+
+class MetricError(ReproError):
+    """A fairness metric could not be computed on the given inputs."""
+
+
+class InsufficientDataError(MetricError):
+    """A (sub)group is empty or too small for the requested computation."""
+
+    def __init__(self, message: str, group: object = None, count: int = 0):
+        super().__init__(message)
+        self.group = group
+        self.count = count
+
+
+class AuditError(ReproError):
+    """A fairness audit could not be assembled or executed."""
+
+
+class LegalCatalogError(ReproError):
+    """A legal statute, doctrine, or attribute lookup failed."""
+
+
+class MitigationError(ReproError):
+    """A bias-mitigation procedure failed or was misconfigured."""

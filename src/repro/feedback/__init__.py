@@ -1,0 +1,9 @@
+"""Feedback-loop simulation (paper Section IV.D)."""
+
+from repro.feedback.simulator import (
+    FeedbackHistory,
+    FeedbackLoopSimulator,
+    RoundRecord,
+)
+
+__all__ = ["FeedbackLoopSimulator", "FeedbackHistory", "RoundRecord"]

@@ -1,0 +1,205 @@
+"""Feedback-loop simulation (paper Section IV.D).
+
+The paper describes the self-reinforcing hiring loop: a model trained on
+biased data makes biased recommendations; those recommendations re-enter
+the training data; and rejected groups are discouraged from applying,
+shrinking their future representation.  :class:`FeedbackLoopSimulator`
+implements that loop round by round:
+
+1. train the model on the accumulated training data;
+2. draw a fresh applicant cohort (whose group mix reflects accumulated
+   discouragement);
+3. score the cohort, record fairness metrics;
+4. append the cohort *with the model's own decisions as labels* to the
+   training data (the self-labelling mechanism);
+5. update each group's application propensity from its acceptance rate.
+
+An optional intervention hook transforms each round's decisions before
+they are recorded and appended — the paper's "if no fairness-correcting
+action is taken" counterfactual is the hook left empty.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import (
+    check_in_range,
+    check_positive_int,
+    check_random_state,
+)
+from repro.core.metrics import demographic_parity
+from repro.data.dataset import TabularDataset
+from repro.data.generators import make_hiring
+from repro.exceptions import ValidationError
+from repro.models.base import Classifier
+from repro.models.logistic import LogisticRegression
+from repro.models.preprocessing import Standardizer
+
+__all__ = ["RoundRecord", "FeedbackHistory", "FeedbackLoopSimulator"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics captured at the end of one simulation round."""
+
+    round_index: int
+    dp_gap: float
+    hire_rates: dict
+    application_shares: dict
+    training_size: int
+
+
+@dataclass
+class FeedbackHistory:
+    """Full trajectory of a feedback-loop simulation."""
+
+    records: list = field(default_factory=list)
+
+    def dp_gaps(self) -> list[float]:
+        return [r.dp_gap for r in self.records]
+
+    def application_share(self, group) -> list[float]:
+        return [r.application_shares.get(group, 0.0) for r in self.records]
+
+    def hire_rate(self, group) -> list[float]:
+        return [r.hire_rates.get(group, float("nan")) for r in self.records]
+
+    @property
+    def amplification(self) -> float:
+        """Final DP gap minus initial DP gap (positive = loop amplified bias)."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].dp_gap - self.records[0].dp_gap
+
+
+class FeedbackLoopSimulator:
+    """Multi-round retraining loop over a hiring market.
+
+    Parameters
+    ----------
+    initial_data:
+        Seed training dataset (typically biased, via
+        :func:`repro.data.generators.make_hiring` with ``direct_bias``).
+    model_factory:
+        Zero-argument callable producing a fresh classifier each round.
+    cohort_size:
+        Applicants drawn per round.
+    discouragement:
+        In [0, 1]: how strongly a group's application propensity tracks
+        its acceptance-rate ratio.  0 disables the discouragement channel;
+        1 means a group accepted at half the top group's rate applies at
+        half its base rate next round.
+    intervention:
+        Optional ``f(decisions, cohort) -> decisions`` applied each round
+        before decisions are recorded and appended (a mitigation hook).
+    proxy_strength:
+        Proxy strength passed to the cohort generator, so self-labelling
+        can transmit bias even without the protected attribute as a
+        feature.
+    """
+
+    def __init__(
+        self,
+        initial_data: TabularDataset | None = None,
+        model_factory: Callable[[], Classifier] | None = None,
+        cohort_size: int = 500,
+        discouragement: float = 0.0,
+        intervention: Callable[[np.ndarray, TabularDataset], np.ndarray] | None = None,
+        proxy_strength: float = 0.8,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self._rng = check_random_state(random_state)
+        if initial_data is None:
+            initial_data = make_hiring(
+                n=1500,
+                direct_bias=2.0,
+                proxy_strength=proxy_strength,
+                random_state=self._rng,
+            )
+        if initial_data.schema.label_name is None:
+            raise ValidationError("initial_data must carry labels")
+        self.initial_data = initial_data
+        self.model_factory = model_factory or (
+            lambda: LogisticRegression(max_iter=600)
+        )
+        self.cohort_size = check_positive_int(cohort_size, "cohort_size")
+        self.discouragement = check_in_range(
+            discouragement, "discouragement", 0.0, 1.0
+        )
+        self.intervention = intervention
+        self.proxy_strength = proxy_strength
+
+    # -- one round ------------------------------------------------------------
+
+    def _draw_cohort(self, female_share: float) -> TabularDataset:
+        return make_hiring(
+            n=self.cohort_size,
+            female_fraction=female_share,
+            direct_bias=0.0,  # fresh applicants are unbiased; bias lives in the model
+            proxy_strength=self.proxy_strength,
+            random_state=self._rng,
+        )
+
+    def run(self, n_rounds: int = 10) -> FeedbackHistory:
+        """Simulate ``n_rounds`` of the retrain/decide/append loop."""
+        check_positive_int(n_rounds, "n_rounds")
+        history = FeedbackHistory()
+        training = self.initial_data
+        base_female_share = float(
+            np.mean(self.initial_data.column("sex") == "female")
+        )
+        female_share = base_female_share
+
+        for round_index in range(n_rounds):
+            scaler = Standardizer()
+            X_train = scaler.fit_transform(training.feature_matrix())
+            model = self.model_factory()
+            model.fit(X_train, training.labels())
+
+            cohort = self._draw_cohort(female_share)
+            decisions = model.predict(scaler.transform(cohort.feature_matrix()))
+            if self.intervention is not None:
+                decisions = np.asarray(
+                    self.intervention(decisions, cohort)
+                ).astype(int)
+
+            sex = cohort.column("sex")
+            dp = demographic_parity(decisions, sex)
+            shares = {
+                "female": float(np.mean(sex == "female")),
+                "male": float(np.mean(sex == "male")),
+            }
+            history.records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    dp_gap=dp.gap,
+                    hire_rates=dp.rates(),
+                    application_shares=shares,
+                    training_size=training.n_rows,
+                )
+            )
+
+            # Self-labelling: the model's decisions become training labels.
+            label_name = cohort.schema.label_name
+            relabeled = cohort.with_column(
+                cohort.schema[label_name], decisions
+            )
+            training = training.concat(relabeled)
+
+            # Discouragement: the female application share drifts toward
+            # its acceptance-rate ratio against the best-treated group.
+            if self.discouragement > 0:
+                rates = dp.rates()
+                top = max(rates.values())
+                ratio = rates.get("female", 0.0) / top if top > 0 else 1.0
+                target = base_female_share * ratio
+                female_share = (
+                    (1 - self.discouragement) * female_share
+                    + self.discouragement * target
+                )
+                female_share = float(np.clip(female_share, 0.02, 0.98))
+        return history

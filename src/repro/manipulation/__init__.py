@@ -1,0 +1,28 @@
+"""Robustness to manipulation (paper Section IV.E)."""
+
+from repro.manipulation.attack import ConcealedModel, ConcealmentAttack
+from repro.manipulation.defense import (
+    ManipulationReport,
+    explainer_based_audit,
+    manipulation_report,
+    outcome_based_audit,
+)
+from repro.manipulation.explainers import (
+    coefficient_importance,
+    loco_importance,
+    normalize_importances,
+    permutation_importance,
+)
+
+__all__ = [
+    "ConcealmentAttack",
+    "ConcealedModel",
+    "coefficient_importance",
+    "permutation_importance",
+    "loco_importance",
+    "normalize_importances",
+    "ManipulationReport",
+    "explainer_based_audit",
+    "outcome_based_audit",
+    "manipulation_report",
+]

@@ -1,0 +1,140 @@
+"""Concealment attack: hide a sensitive attribute from explainers.
+
+Reproduces the qualitative result of Dimanov et al. (SafeAI@AAAI 2020),
+cited by the paper's Section IV.E: retrain a classifier with an extra
+penalty that drives the sensitive feature's contribution toward zero
+while a fidelity term keeps the outputs (and hence accuracy *and bias*)
+close to the original model's.  When proxies correlated with the
+sensitive attribute exist, the retrained model routes its reliance
+through them: explainers report the sensitive feature as unimportant,
+yet the demographic-parity gap persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    check_matrix_2d,
+    check_nonnegative,
+    check_positive_int,
+)
+from repro.exceptions import ValidationError
+from repro.models.logistic import LogisticRegression, sigmoid
+
+__all__ = ["ConcealedModel", "ConcealmentAttack"]
+
+
+@dataclass(frozen=True)
+class ConcealedModel:
+    """The attack's output: the retrained model plus bookkeeping."""
+
+    model: LogisticRegression
+    original: LogisticRegression
+    sensitive_indices: tuple
+    fidelity: float  # agreement with the original model's predictions
+
+    def sensitive_weight_share(self) -> float:
+        """Share of |weight| mass on the sensitive columns after the attack."""
+        weights = np.abs(self.model.coef_)
+        total = weights.sum()
+        if total == 0:
+            return 0.0
+        return float(weights[list(self.sensitive_indices)].sum() / total)
+
+
+class ConcealmentAttack:
+    """Adversarially retrain a logistic model to mask sensitive reliance.
+
+    Parameters
+    ----------
+    suppression:
+        Strength of the L2 penalty on the sensitive columns' weights.
+        Large values force those weights to ≈ 0.
+    distill:
+        Weight of the fidelity term: the retrained model is fitted to the
+        *original model's* probabilistic outputs (knowledge distillation),
+        which is what preserves the biased behaviour.
+    """
+
+    def __init__(
+        self,
+        suppression: float = 50.0,
+        distill: float = 1.0,
+        learning_rate: float = 0.5,
+        max_iter: int = 3000,
+    ):
+        self.suppression = check_nonnegative(suppression, "suppression")
+        self.distill = check_nonnegative(distill, "distill")
+        self.learning_rate = check_nonnegative(learning_rate, "learning_rate")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+
+    def run(
+        self,
+        original: LogisticRegression,
+        X,
+        sensitive_indices: list[int],
+    ) -> ConcealedModel:
+        """Execute the attack against a fitted model on training inputs X."""
+        if not original.is_fitted:
+            raise ValidationError("original model must be fitted")
+        X = check_matrix_2d(X, "X")
+        d = X.shape[1]
+        if original.coef_ is None or len(original.coef_) != d:
+            raise ValidationError(
+                f"X has {d} columns but the model was fitted with "
+                f"{len(original.coef_) if original.coef_ is not None else 0}"
+            )
+        sensitive_indices = sorted(set(int(i) for i in sensitive_indices))
+        if not sensitive_indices:
+            raise ValidationError("sensitive_indices must be non-empty")
+        if min(sensitive_indices) < 0 or max(sensitive_indices) >= d:
+            raise ValidationError(
+                f"sensitive_indices must lie in [0, {d - 1}]"
+            )
+
+        targets = original.predict_proba(X)  # soft labels for distillation
+        n = len(X)
+        weights = original.coef_.copy()
+        intercept = float(original.intercept_)
+        mask = np.zeros(d)
+        mask[sensitive_indices] = 1.0
+
+        # The suppression penalty is applied as a proximal (implicit)
+        # shrinkage step: w_s <- w_s / (1 + lr * suppression).  Unlike an
+        # explicit gradient step this is stable for arbitrarily large
+        # suppression strengths.
+        shrink = 1.0 / (1.0 + self.learning_rate * self.suppression)
+        for __ in range(self.max_iter):
+            probs = sigmoid(X @ weights + intercept)
+            error = self.distill * (probs - targets)
+            grad_w = X.T @ error / n
+            grad_b = float(error.sum() / n)
+            previous = weights.copy()
+            weights = weights - self.learning_rate * grad_w
+            weights = np.where(mask > 0, weights * shrink, weights)
+            intercept -= self.learning_rate * grad_b
+            step = max(
+                float(np.max(np.abs(weights - previous), initial=0.0)),
+                abs(self.learning_rate * grad_b),
+            )
+            if step < 1e-8:
+                break
+
+        concealed = LogisticRegression()
+        concealed.coef_ = weights
+        concealed.intercept_ = intercept
+        concealed._n_features = d
+        concealed._fitted = True
+
+        fidelity = float(
+            np.mean(concealed.predict(X) == original.predict(X))
+        )
+        return ConcealedModel(
+            model=concealed,
+            original=original,
+            sensitive_indices=tuple(sensitive_indices),
+            fidelity=fidelity,
+        )

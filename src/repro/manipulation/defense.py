@@ -1,0 +1,112 @@
+"""Defences against audit manipulation (paper Section IV.E).
+
+Two audit strategies are compared:
+
+* **explainer-based** — trust a feature-importance method: declare the
+  model fair when the sensitive feature's importance share is small.
+  This is the audit the concealment attack defeats.
+* **outcome-based** — ignore the model's internals entirely and measure
+  the disparity of its *outputs* (demographic parity / four-fifths).
+  Concealment cannot move this number because preserving the outputs is
+  the attack's own objective.
+
+:func:`manipulation_report` runs both audits against a model and reports
+whether their verdicts diverge — divergence being the manipulation
+red flag the paper calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_probability
+from repro.core.metrics import demographic_parity
+from repro.manipulation.explainers import (
+    coefficient_importance,
+    normalize_importances,
+)
+from repro.models.logistic import LogisticRegression
+
+__all__ = ["ManipulationReport", "explainer_based_audit", "outcome_based_audit", "manipulation_report"]
+
+
+@dataclass(frozen=True)
+class ManipulationReport:
+    """Joint verdicts of the explainer-based and outcome-based audits."""
+
+    explainer_share: float
+    explainer_verdict_fair: bool
+    outcome_gap: float
+    outcome_verdict_fair: bool
+
+    @property
+    def verdicts_diverge(self) -> bool:
+        """Explainer says fair but outcomes are biased — the attack signature."""
+        return self.explainer_verdict_fair and not self.outcome_verdict_fair
+
+    def summary(self) -> str:
+        if self.verdicts_diverge:
+            return (
+                "MANIPULATION SUSPECTED: the explainer attributes only "
+                f"{self.explainer_share:.1%} of importance to the sensitive "
+                f"feature, yet the outcome gap is {self.outcome_gap:.3f}. "
+                "Explanation-based audits are being evaded; trust the "
+                "outcome audit (paper IV.E)."
+            )
+        if self.outcome_verdict_fair:
+            return (
+                "Both audits agree the model is fair on the measured "
+                "criteria."
+            )
+        return (
+            "Both audits agree the model is unfair; the sensitive "
+            "reliance is visible to the explainer."
+        )
+
+
+def explainer_based_audit(
+    model: LogisticRegression,
+    sensitive_indices: list[int],
+    importance_threshold: float = 0.05,
+) -> tuple[float, bool]:
+    """(sensitive importance share, fair-verdict) from coefficients."""
+    check_probability(importance_threshold, "importance_threshold")
+    shares = normalize_importances(coefficient_importance(model))
+    share = float(shares[list(sensitive_indices)].sum())
+    return share, share < importance_threshold
+
+
+def outcome_based_audit(
+    predictions,
+    protected,
+    tolerance: float = 0.05,
+) -> tuple[float, bool]:
+    """(demographic-parity gap, fair-verdict) from outputs alone."""
+    result = demographic_parity(predictions, protected, tolerance=tolerance)
+    return result.gap, result.satisfied
+
+
+def manipulation_report(
+    model: LogisticRegression,
+    X,
+    protected,
+    sensitive_indices: list[int],
+    importance_threshold: float = 0.05,
+    gap_tolerance: float = 0.05,
+) -> ManipulationReport:
+    """Run both audits on one model and combine their verdicts."""
+    share, explainer_fair = explainer_based_audit(
+        model, sensitive_indices, importance_threshold
+    )
+    predictions = model.predict(np.asarray(X, dtype=float))
+    gap, outcome_fair = outcome_based_audit(
+        predictions, protected, tolerance=gap_tolerance
+    )
+    return ManipulationReport(
+        explainer_share=share,
+        explainer_verdict_fair=explainer_fair,
+        outcome_gap=gap,
+        outcome_verdict_fair=outcome_fair,
+    )

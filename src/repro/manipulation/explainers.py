@@ -1,0 +1,111 @@
+"""Feature-importance explainers used as (foolable) fairness auditors.
+
+Section IV.E of the paper cites Dimanov et al.: a model can be retrained
+so that explainability methods report near-zero importance for the
+sensitive attribute while its outputs remain biased.  These are the
+explainers that get fooled; they are standard, correct implementations —
+the attack exploits what they measure, not bugs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro._validation import (
+    check_binary_array,
+    check_matrix_2d,
+    check_positive_int,
+    check_random_state,
+    check_same_length,
+)
+from repro.exceptions import ValidationError
+from repro.models.base import Classifier
+from repro.models.logistic import LogisticRegression
+from repro.models.metrics import accuracy
+
+__all__ = [
+    "coefficient_importance",
+    "permutation_importance",
+    "loco_importance",
+    "normalize_importances",
+]
+
+
+def coefficient_importance(model: LogisticRegression) -> np.ndarray:
+    """|weight| per feature of a fitted linear model (the simplest explainer)."""
+    if not isinstance(model, LogisticRegression):
+        raise ValidationError(
+            "coefficient_importance requires a LogisticRegression"
+        )
+    model._check_fitted()
+    return np.abs(model.coef_.copy())
+
+
+def permutation_importance(
+    model: Classifier,
+    X,
+    y,
+    n_repeats: int = 5,
+    random_state: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Mean accuracy drop when each feature column is shuffled."""
+    X = check_matrix_2d(X, "X")
+    y = check_binary_array(y, "y")
+    check_same_length(("X", X), ("y", y))
+    check_positive_int(n_repeats, "n_repeats")
+    rng = check_random_state(random_state)
+
+    baseline = accuracy(y, model.predict(X))
+    importances = np.zeros(X.shape[1])
+    for j in range(X.shape[1]):
+        drops = np.empty(n_repeats)
+        for r in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, j] = rng.permutation(shuffled[:, j])
+            drops[r] = baseline - accuracy(y, model.predict(shuffled))
+        importances[j] = drops.mean()
+    return importances
+
+
+def loco_importance(
+    model_factory: Callable[[], Classifier],
+    X_train,
+    y_train,
+    X_test,
+    y_test,
+) -> np.ndarray:
+    """Leave-one-covariate-out: retrain without each feature, measure drop.
+
+    The most expensive but least gameable of the three — still fooled by
+    concealment when a proxy can replace the removed column.
+    """
+    X_train = check_matrix_2d(X_train, "X_train")
+    X_test = check_matrix_2d(X_test, "X_test")
+    y_train = check_binary_array(y_train, "y_train")
+    y_test = check_binary_array(y_test, "y_test")
+
+    base_model = model_factory()
+    base_model.fit(X_train, y_train)
+    baseline = accuracy(y_test, base_model.predict(X_test))
+
+    importances = np.zeros(X_train.shape[1])
+    for j in range(X_train.shape[1]):
+        keep = [k for k in range(X_train.shape[1]) if k != j]
+        reduced = model_factory()
+        reduced.fit(X_train[:, keep], y_train)
+        importances[j] = baseline - accuracy(
+            y_test, reduced.predict(X_test[:, keep])
+        )
+    return importances
+
+
+def normalize_importances(importances) -> np.ndarray:
+    """Scale importances to sum to 1 (zero-safe), for cross-explainer
+    comparison of *shares* of attributed importance."""
+    importances = np.abs(np.asarray(importances, dtype=float))
+    total = importances.sum()
+    if total == 0:
+        return np.zeros_like(importances)
+    return importances / total

@@ -1,0 +1,29 @@
+"""Bias mitigation: pre-, in-, and post-processing, plus OT repair."""
+
+from repro.mitigation.calibration_repair import GroupCalibrator
+from repro.mitigation.equalized_odds_post import EqualizedOddsPostProcessor
+from repro.mitigation.feature_repair import DisparateImpactRemover
+from repro.mitigation.inprocessing import FairLogisticRegression
+from repro.mitigation.ot_repair import GroupBlindRepair, QuantileRepair
+from repro.mitigation.postprocessing import GroupThresholds, quota_selector
+from repro.mitigation.preprocessing import (
+    massaging,
+    reweighing,
+    uniform_resampling,
+)
+from repro.mitigation.reject_option import RejectOptionClassifier
+
+__all__ = [
+    "reweighing",
+    "massaging",
+    "uniform_resampling",
+    "DisparateImpactRemover",
+    "FairLogisticRegression",
+    "GroupThresholds",
+    "quota_selector",
+    "RejectOptionClassifier",
+    "EqualizedOddsPostProcessor",
+    "GroupCalibrator",
+    "QuantileRepair",
+    "GroupBlindRepair",
+]

@@ -1,0 +1,218 @@
+"""Exact equalized-odds post-processing (Hardt, Price & Srebro 2016).
+
+Unlike the threshold search of :class:`repro.mitigation.postprocessing.
+GroupThresholds`, this implements the original randomised construction:
+for each group, the derived predictor flips the base predictor's output
+with probabilities chosen so that every group's (FPR, TPR) point lands
+on the *same* target — the intersection of the groups' feasible
+polytopes.  Exactness comes at the price of randomisation: individual
+decisions depend on coin flips, an aspect with its own legal salience
+(procedural fairness) that the audit report should disclose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_random_state,
+    check_same_length,
+)
+from repro.exceptions import MitigationError, NotFittedError
+from repro.models.metrics import confusion_matrix
+
+__all__ = ["EqualizedOddsPostProcessor"]
+
+
+def _rates(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[float, float]:
+    cm = confusion_matrix(y_true, y_pred)
+    return cm.false_positive_rate, cm.recall
+
+
+class EqualizedOddsPostProcessor:
+    """Randomised derived predictor achieving equalized odds exactly.
+
+    For each group g the derived predictor keeps the base prediction
+    with probability ``p_keep[ŷ]`` and replaces it by the constant
+    ``ŷ = 1`` with the remaining probability, where the two mixing
+    weights (one per base output) are solved so the group's ROC point
+    moves to the common target.  The target is the vertex-wise midpoint
+    of the groups' achievable segments — always feasible because each
+    group's achievable set is the segment from (0,0) to (1,1) through
+    its own (FPR, TPR) point.
+    """
+
+    def __init__(self, random_state: int | np.random.Generator | None = None):
+        self._rng = check_random_state(random_state)
+        self.mixing_: dict | None = None
+        self.target_: tuple[float, float] | None = None
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, y_true, y_pred, groups) -> "EqualizedOddsPostProcessor":
+        """Solve the mixing weights on calibration data."""
+        y_true = check_binary_array(y_true, "y_true")
+        y_pred = check_binary_array(y_pred, "y_pred")
+        groups = check_array_1d(groups, "groups")
+        check_same_length(
+            ("y_true", y_true), ("y_pred", y_pred), ("groups", groups)
+        )
+        unique = np.unique(groups).tolist()
+        if len(unique) < 2:
+            raise MitigationError("need at least two groups")
+
+        points = {}
+        for group in unique:
+            mask = groups == group
+            if len(np.unique(y_true[mask])) < 2:
+                raise MitigationError(
+                    f"group {group!r} lacks both outcome classes in the "
+                    "calibration data"
+                )
+            points[group] = _rates(y_true[mask], y_pred[mask])
+
+        # Feasible common target: component-wise minimum of the group ROC
+        # points. Each group can reach any point on the segment from
+        # (0, 0) to its own (FPR, TPR) by mixing its predictor with the
+        # constant-0 predictor; the scaled-down target (min FPR, min TPR
+        # scaled consistently) is reachable by all groups.
+        # We target t = alpha_g * (FPR_g, TPR_g) with alpha_g chosen so
+        # all groups land on the same point; that requires the target to
+        # be proportional to each group's point, which generally fails.
+        # Instead we mix each group's predictor with BOTH constants
+        # (always-0 and always-1), whose achievable set is the full
+        # triangle {(0,0), (1,1), (FPR_g, TPR_g)}; the intersection of
+        # these triangles is non-empty (it contains the diagonal), and we
+        # pick the best common point: the one maximising TPR − FPR among
+        # pairwise segment intersections, falling back to the diagonal
+        # midpoint of the worst group.
+        self.target_ = self._common_target(points)
+        self.mixing_ = {
+            group: self._solve_mixing(points[group], self.target_)
+            for group in unique
+        }
+        return self
+
+    @staticmethod
+    def _common_target(points: dict) -> tuple[float, float]:
+        """A (FPR, TPR) point inside every group's achievable triangle.
+
+        Candidates, in decreasing order of utility (tpr − fpr): every
+        group's own ROC point, pairwise midpoints, the component-wise
+        minimum, and finally the diagonal fallback (always feasible, but
+        a random predictor — chosen only when nothing better intersects
+        all triangles).
+        """
+
+        def inside(q, p):
+            # barycentric test for triangle (0,0), (1,1), p
+            (x, y), (px, py) = q, p
+            denom = py - px
+            if abs(denom) < 1e-12:
+                return abs(y - x) < 1e-9
+            w_p = (y - x) / denom
+            w_diag = x - w_p * px
+            w_origin = 1.0 - w_p - w_diag
+            return (
+                -1e-9 <= w_p <= 1 + 1e-9
+                and -1e-9 <= w_diag <= 1 + 1e-9
+                and -1e-9 <= w_origin <= 1 + 1e-9
+            )
+
+        def segment_intersection(a1, a2, b1, b2):
+            """Intersection point of segments a1-a2 and b1-b2, or None."""
+            d1 = (a2[0] - a1[0], a2[1] - a1[1])
+            d2 = (b2[0] - b1[0], b2[1] - b1[1])
+            denom = d1[0] * d2[1] - d1[1] * d2[0]
+            if abs(denom) < 1e-12:
+                return None
+            t = (
+                (b1[0] - a1[0]) * d2[1] - (b1[1] - a1[1]) * d2[0]
+            ) / denom
+            s = (
+                (b1[0] - a1[0]) * d1[1] - (b1[1] - a1[1]) * d1[0]
+            ) / denom
+            if -1e-9 <= t <= 1 + 1e-9 and -1e-9 <= s <= 1 + 1e-9:
+                return (a1[0] + t * d1[0], a1[1] + t * d1[1])
+            return None
+
+        group_points = list(points.values())
+        candidates = list(group_points)
+        origin, one = (0.0, 0.0), (1.0, 1.0)
+        for i, a in enumerate(group_points):
+            for b in group_points[i + 1:]:
+                candidates.append(((a[0] + b[0]) / 2, (a[1] + b[1]) / 2))
+                # boundary crossings: one group's lower chord against the
+                # other's upper chord — where the best feasible utility
+                # typically lives when the triangles only partially overlap
+                for p, q in ((a, b), (b, a)):
+                    hit = segment_intersection(origin, p, q, one)
+                    if hit is not None:
+                        candidates.append(hit)
+        candidates.append((
+            min(p[0] for p in group_points),
+            min(p[1] for p in group_points),
+        ))
+
+        feasible = [
+            q for q in candidates
+            if all(inside(q, p) for p in group_points)
+        ]
+        if feasible:
+            return max(feasible, key=lambda q: q[1] - q[0])
+        level = (
+            min(p[0] for p in group_points)
+            + min(p[1] for p in group_points)
+        ) / 2.0
+        return (level, level)
+
+    @staticmethod
+    def _solve_mixing(point: tuple[float, float], target: tuple[float, float]):
+        """Convex weights over {base, always-0, always-1} hitting target."""
+        px, py = point
+        tx, ty = target
+        # Solve w_base * (px, py) + w_one * (1, 1) = (tx, ty),
+        # w_zero = 1 − w_base − w_one, all weights in [0, 1].
+        denom = px - py
+        if abs(denom) < 1e-12:
+            # degenerate base predictor on the diagonal: use constants only
+            w_base = 0.0
+            w_one = tx if abs(tx - ty) < 1e-9 else (tx + ty) / 2.0
+        else:
+            w_base = (tx - ty) / denom
+            w_one = tx - w_base * px
+        w_base = float(np.clip(w_base, 0.0, 1.0))
+        w_one = float(np.clip(w_one, 0.0, 1.0 - w_base))
+        w_zero = 1.0 - w_base - w_one
+        return {"base": w_base, "one": w_one, "zero": w_zero}
+
+    # -- application ---------------------------------------------------------
+
+    def predict(self, y_pred, groups) -> np.ndarray:
+        """Randomised derived predictions for new data."""
+        if self.mixing_ is None:
+            raise NotFittedError("EqualizedOddsPostProcessor must be fitted")
+        y_pred = check_binary_array(y_pred, "y_pred")
+        groups = check_array_1d(groups, "groups")
+        check_same_length(("y_pred", y_pred), ("groups", groups))
+
+        out = np.empty(len(y_pred), dtype=int)
+        for group in np.unique(groups):
+            if group not in self.mixing_:
+                raise MitigationError(
+                    f"group {group!r} was not seen at fit time"
+                )
+            weights = self.mixing_[group]
+            mask = groups == group
+            n = int(mask.sum())
+            choice = self._rng.choice(
+                3, size=n,
+                p=[weights["base"], weights["one"], weights["zero"]],
+            )
+            base = y_pred[mask]
+            out[mask] = np.where(
+                choice == 0, base, np.where(choice == 1, 1, 0)
+            )
+        return out

@@ -1,0 +1,102 @@
+"""In-processing mitigation: fairness-penalised training.
+
+:class:`FairLogisticRegression` augments the logistic log-loss with a
+squared demographic-parity penalty on the model's *scores*:
+
+.. math::
+
+    L(w) = \\text{log loss} + \\frac{\\lambda}{2}
+           \\bigl(\\bar p_{A=1} - \\bar p_{A=0}\\bigr)^2
+
+where :math:`\\bar p_g` is the mean predicted probability in group g.
+The penalty's gradient is exact (it flows through the sigmoid), so the
+fairness/accuracy trade-off is controlled by a single dial ``fairness_weight``
+— the ablation axis of benchmark M1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_nonnegative,
+    check_same_length,
+)
+from repro.exceptions import ValidationError
+from repro.models.logistic import LogisticRegression, sigmoid
+
+__all__ = ["FairLogisticRegression"]
+
+
+class FairLogisticRegression(LogisticRegression):
+    """Logistic regression with a demographic-parity score penalty.
+
+    Use :meth:`fit` with the additional ``groups`` array (binary group
+    membership).  ``fairness_weight`` = 0 recovers the plain model.
+    """
+
+    def __init__(
+        self,
+        fairness_weight: float = 5.0,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 2000,
+        tol: float = 1e-6,
+    ):
+        super().__init__(
+            l2=l2, learning_rate=learning_rate, max_iter=max_iter, tol=tol
+        )
+        self.fairness_weight = check_nonnegative(
+            fairness_weight, "fairness_weight"
+        )
+        self._groups: np.ndarray | None = None
+        self._X_for_penalty: np.ndarray | None = None
+
+    def fit(self, X, y, groups=None, sample_weight=None) -> "FairLogisticRegression":
+        """Fit with a fairness penalty between the two ``groups`` values."""
+        if groups is None:
+            raise ValidationError(
+                "FairLogisticRegression.fit requires a groups array"
+            )
+        groups = check_array_1d(groups, "groups")
+        X_arr = np.asarray(X, dtype=float)
+        if X_arr.ndim == 1:
+            X_arr = X_arr.reshape(-1, 1)
+        check_same_length(("X", X_arr), ("groups", groups))
+        values = np.unique(groups)
+        if len(values) != 2:
+            raise ValidationError(
+                f"groups must be binary, got values {values.tolist()}"
+            )
+        mask1 = groups == values[1]
+        mask0 = ~mask1
+        n1, n0 = int(mask1.sum()), int(mask0.sum())
+        if n1 == 0 or n0 == 0:
+            raise ValidationError("both groups must be non-empty")
+
+        self._X_for_penalty = X_arr
+        self._mask1, self._mask0 = mask1, mask0
+
+        def penalty_gradient(weights, intercept):
+            probs = sigmoid(X_arr @ weights + intercept)
+            d = probs * (1.0 - probs)
+            mean1 = probs[mask1].mean()
+            mean0 = probs[mask0].mean()
+            gap = mean1 - mean0
+            # d(mean_g)/dw = mean over g of p(1-p) x
+            dmean1_w = (d[mask1][:, None] * X_arr[mask1]).mean(axis=0)
+            dmean0_w = (d[mask0][:, None] * X_arr[mask0]).mean(axis=0)
+            dmean1_b = d[mask1].mean()
+            dmean0_b = d[mask0].mean()
+            grad_w = self.fairness_weight * gap * (dmean1_w - dmean0_w)
+            grad_b = self.fairness_weight * gap * (dmean1_b - dmean0_b)
+            return grad_w, float(grad_b)
+
+        self._extra_gradient = penalty_gradient
+        try:
+            super().fit(X_arr, y, sample_weight=sample_weight)
+        finally:
+            self._extra_gradient = None
+            self._X_for_penalty = None
+        return self

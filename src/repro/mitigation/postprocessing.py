@@ -1,0 +1,185 @@
+"""Post-processing mitigations: adjust decisions, not the model.
+
+* :class:`GroupThresholds` — per-group decision thresholds achieving
+  demographic parity or equal opportunity on calibration data (the Hardt
+  et al. post-processing idea, threshold-search form);
+* :func:`quota_selector` — affirmative-action selection: fill a fixed
+  number of positions with per-group quotas (paper IV.A: *"affirmative
+  action or a company's policy would require a minimum quota in female
+  acceptances"*).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_membership,
+    check_positive_int,
+    check_same_length,
+)
+from repro.exceptions import MitigationError, NotFittedError, ValidationError
+
+__all__ = ["GroupThresholds", "quota_selector"]
+
+
+class GroupThresholds:
+    """Per-group probability thresholds fitted to a fairness target.
+
+    Parameters
+    ----------
+    target:
+        ``"demographic_parity"`` — each group's selection rate matches the
+        overall base selection rate of the calibration scores; or
+        ``"equal_opportunity"`` — each group's TPR matches the overall TPR
+        at threshold 0.5 (requires ``y_true`` at fit time).
+
+    The search scans each group's score quantiles for the threshold whose
+    achieved rate is closest to the target — exact up to the granularity
+    of the group's score distribution (ties broken toward the lower
+    threshold, favouring inclusion).
+    """
+
+    TARGETS = ("demographic_parity", "equal_opportunity")
+
+    def __init__(self, target: str = "demographic_parity"):
+        check_membership(target, "target", self.TARGETS)
+        self.target = target
+        self.thresholds_: dict | None = None
+        self.target_rate_: float | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, probabilities, groups, y_true=None) -> "GroupThresholds":
+        """Learn per-group thresholds on calibration data."""
+        probabilities = check_array_1d(probabilities, "probabilities").astype(
+            float
+        )
+        groups = check_array_1d(groups, "groups")
+        check_same_length(("probabilities", probabilities), ("groups", groups))
+        if np.any((probabilities < 0) | (probabilities > 1)):
+            raise ValidationError("probabilities must lie in [0, 1]")
+
+        if self.target == "equal_opportunity":
+            if y_true is None:
+                raise MitigationError(
+                    "equal_opportunity target requires y_true at fit time"
+                )
+            y_true = check_binary_array(y_true, "y_true")
+            check_same_length(("probabilities", probabilities), ("y_true", y_true))
+            positives = y_true == 1
+            if not positives.any():
+                raise MitigationError("no actual positives in calibration data")
+            target_rate = float(
+                np.mean(probabilities[positives] >= 0.5)
+            )
+        else:
+            target_rate = float(np.mean(probabilities >= 0.5))
+
+        thresholds: dict = {}
+        for group in np.unique(groups):
+            mask = groups == group
+            if self.target == "equal_opportunity":
+                mask = mask & (y_true == 1)
+                if not mask.any():
+                    raise MitigationError(
+                        f"group {group!r} has no actual positives to "
+                        "calibrate on"
+                    )
+            scores = np.sort(probabilities[mask])
+            candidates = np.unique(np.concatenate([[0.0], scores, [1.0 + 1e-9]]))
+            best_threshold, best_error = 0.5, float("inf")
+            for threshold in candidates:
+                rate = float(np.mean(probabilities[mask] >= threshold))
+                error = abs(rate - target_rate)
+                if error < best_error - 1e-12:
+                    best_error = error
+                    best_threshold = float(threshold)
+            thresholds[group] = best_threshold
+        self.thresholds_ = thresholds
+        self.target_rate_ = target_rate
+        return self
+
+    # -- application -----------------------------------------------------------
+
+    def predict(self, probabilities, groups) -> np.ndarray:
+        """Apply the fitted per-group thresholds."""
+        if self.thresholds_ is None:
+            raise NotFittedError("GroupThresholds must be fitted first")
+        probabilities = check_array_1d(probabilities, "probabilities").astype(
+            float
+        )
+        groups = check_array_1d(groups, "groups")
+        check_same_length(("probabilities", probabilities), ("groups", groups))
+        decisions = np.zeros(len(probabilities), dtype=int)
+        for group in np.unique(groups):
+            if group not in self.thresholds_:
+                raise MitigationError(
+                    f"group {group!r} was not seen at fit time; known: "
+                    f"{sorted(self.thresholds_, key=repr)}"
+                )
+            mask = groups == group
+            decisions[mask] = (
+                probabilities[mask] >= self.thresholds_[group]
+            ).astype(int)
+        return decisions
+
+
+def quota_selector(
+    scores,
+    groups,
+    n_select: int,
+    quotas: dict | None = None,
+) -> np.ndarray:
+    """Select ``n_select`` candidates under per-group quotas.
+
+    ``quotas`` maps group → minimum *proportion* of selections reserved
+    for it; defaults to each group's share of the candidate pool
+    (proportional representation, the paper's IV.A example).  Within each
+    group, selection is by descending score; any seats left after quotas
+    are filled go to the best remaining candidates regardless of group.
+
+    Returns a binary selection array aligned with the inputs.
+    """
+    scores = check_array_1d(scores, "scores").astype(float)
+    groups = check_array_1d(groups, "groups")
+    check_same_length(("scores", scores), ("groups", groups))
+    check_positive_int(n_select, "n_select")
+    if n_select > len(scores):
+        raise MitigationError(
+            f"cannot select {n_select} from {len(scores)} candidates"
+        )
+
+    unique_groups = np.unique(groups).tolist()
+    if quotas is None:
+        quotas = {
+            g: float(np.mean(groups == g)) for g in unique_groups
+        }
+    for group, proportion in quotas.items():
+        if group not in unique_groups:
+            raise MitigationError(f"quota group {group!r} not in candidates")
+        if proportion < 0:
+            raise MitigationError("quota proportions must be non-negative")
+    if sum(quotas.values()) > 1.0 + 1e-9:
+        raise MitigationError(
+            f"quota proportions sum to {sum(quotas.values()):.3f} > 1"
+        )
+
+    selected = np.zeros(len(scores), dtype=int)
+    remaining = n_select
+    # Reserved seats per group, floor-rounded; leftovers filled on merit.
+    for group in unique_groups:
+        reserve = int(np.floor(quotas.get(group, 0.0) * n_select))
+        members = np.flatnonzero(groups == group)
+        take = min(reserve, len(members), remaining)
+        if take > 0:
+            best = members[np.argsort(-scores[members])][:take]
+            selected[best] = 1
+            remaining -= take
+    if remaining > 0:
+        pool = np.flatnonzero(selected == 0)
+        best = pool[np.argsort(-scores[pool])][:remaining]
+        selected[best] = 1
+    return selected

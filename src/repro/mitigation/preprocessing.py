@@ -1,0 +1,153 @@
+"""Pre-processing mitigations: fix the data before training.
+
+* :func:`reweighing` — Kamiran & Calders instance weights that decouple
+  the protected attribute from the label in expectation;
+* :func:`massaging` — minimally relabel borderline instances to equalise
+  group positive rates (the classic "massaging" repair);
+* :func:`uniform_resampling` — resample so every (group, label) cell has
+  its independence-expected share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_random_state
+from repro.data.dataset import TabularDataset
+from repro.exceptions import MitigationError
+from repro.models.base import Classifier
+from repro.models.logistic import LogisticRegression
+from repro.models.preprocessing import Standardizer
+
+__all__ = ["reweighing", "massaging", "uniform_resampling"]
+
+
+def _groups_and_labels(
+    dataset: TabularDataset, attribute: str
+) -> tuple[np.ndarray, np.ndarray]:
+    if dataset.schema.label_name is None:
+        raise MitigationError("dataset must carry labels")
+    if attribute not in dataset.schema:
+        raise MitigationError(f"unknown attribute {attribute!r}")
+    return dataset.column(attribute), dataset.labels().astype(int)
+
+
+def reweighing(dataset: TabularDataset, attribute: str) -> np.ndarray:
+    """Kamiran–Calders reweighing: w(a, y) = P(a)·P(y) / P(a, y).
+
+    Training any weight-aware classifier with these weights makes the
+    protected attribute and the label statistically independent in the
+    weighted empirical distribution, removing the incentive to learn the
+    historical association (including through proxies).
+    """
+    groups, labels = _groups_and_labels(dataset, attribute)
+    n = dataset.n_rows
+    weights = np.zeros(n, dtype=float)
+    for group in np.unique(groups):
+        p_group = float(np.mean(groups == group))
+        for label in (0, 1):
+            cell = (groups == group) & (labels == label)
+            p_cell = float(np.mean(cell))
+            if p_cell == 0:
+                continue
+            p_label = float(np.mean(labels == label))
+            weights[cell] = p_group * p_label / p_cell
+    if np.any(weights <= 0):
+        raise MitigationError(
+            "reweighing produced non-positive weights; a (group, label) "
+            "cell is empty"
+        )
+    return weights
+
+
+def massaging(
+    dataset: TabularDataset,
+    attribute: str,
+    ranker: Classifier | None = None,
+) -> TabularDataset:
+    """Relabel borderline instances to equalise group positive rates.
+
+    Promotes the highest-scored negatives of the disadvantaged group and
+    demotes the lowest-scored positives of the advantaged group, in equal
+    numbers, until the positive rates match as closely as integer counts
+    allow.  ``ranker`` scores "deservingness" (defaults to a logistic
+    regression fitted on the dataset's features).
+
+    Only binary protected attributes are supported (the classic setting).
+    """
+    groups, labels = _groups_and_labels(dataset, attribute)
+    values = np.unique(groups)
+    if len(values) != 2:
+        raise MitigationError(
+            f"massaging requires a binary attribute, got {values.tolist()}"
+        )
+
+    rates = {v: float(labels[groups == v].mean()) for v in values}
+    disadvantaged = min(values, key=lambda v: rates[v])
+    advantaged = max(values, key=lambda v: rates[v])
+    if rates[disadvantaged] == rates[advantaged]:
+        return dataset
+
+    if ranker is None:
+        ranker = LogisticRegression(max_iter=600)
+    scaler = Standardizer()
+    X = scaler.fit_transform(dataset.feature_matrix())
+    if not ranker.is_fitted:
+        ranker.fit(X, labels)
+    scores = ranker.predict_proba(X)
+
+    n_dis = int(np.sum(groups == disadvantaged))
+    n_adv = int(np.sum(groups == advantaged))
+    pos_dis = int(labels[groups == disadvantaged].sum())
+    pos_adv = int(labels[groups == advantaged].sum())
+    # Swapping m labels moves the rates toward each other; solve for the m
+    # that best equalises (pos_dis + m)/n_dis ≈ (pos_adv − m)/n_adv.
+    m_star = (pos_adv * n_dis - pos_dis * n_adv) / (n_dis + n_adv)
+    promotable = np.flatnonzero((groups == disadvantaged) & (labels == 0))
+    demotable = np.flatnonzero((groups == advantaged) & (labels == 1))
+    m = int(round(max(0.0, m_star)))
+    m = min(m, len(promotable), len(demotable))
+
+    new_labels = labels.copy()
+    if m > 0:
+        promote = promotable[np.argsort(-scores[promotable])][:m]
+        demote = demotable[np.argsort(scores[demotable])][:m]
+        new_labels[promote] = 1
+        new_labels[demote] = 0
+    label_col = dataset.schema[dataset.schema.label_name]
+    return dataset.with_column(label_col, new_labels)
+
+
+def uniform_resampling(
+    dataset: TabularDataset,
+    attribute: str,
+    random_state: int | np.random.Generator | None = None,
+) -> TabularDataset:
+    """Resample to the independence-expected (group, label) cell sizes.
+
+    Keeps the dataset size constant; cells above their expected share are
+    sub-sampled without replacement, cells below it are over-sampled with
+    replacement.
+    """
+    groups, labels = _groups_and_labels(dataset, attribute)
+    rng = check_random_state(random_state)
+    n = dataset.n_rows
+    chosen: list[int] = []
+    for group in np.unique(groups):
+        p_group = float(np.mean(groups == group))
+        for label in (0, 1):
+            p_label = float(np.mean(labels == label))
+            members = np.flatnonzero((groups == group) & (labels == label))
+            target = int(round(p_group * p_label * n))
+            if target == 0:
+                continue
+            if len(members) == 0:
+                raise MitigationError(
+                    f"cell (group={group!r}, label={label}) is empty; "
+                    "cannot resample to independence"
+                )
+            replace = target > len(members)
+            chosen.extend(
+                rng.choice(members, size=target, replace=replace).tolist()
+            )
+    return dataset.take(np.sort(chosen))

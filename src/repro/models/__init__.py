@@ -1,0 +1,70 @@
+"""From-scratch supervised-learning substrate (no external ML deps)."""
+
+from repro.models.base import Classifier, ConstantClassifier
+from repro.models.boosting import GradientBoosting
+from repro.models.calibration import (
+    CalibratedClassifier,
+    PlattCalibrator,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.models.forest import RandomForest
+from repro.models.knn import KNearestNeighbors
+from repro.models.logistic import LogisticRegression, sigmoid
+from repro.models.metrics import (
+    ConfusionMatrix,
+    accuracy,
+    balanced_accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    log_loss,
+    precision,
+    recall,
+    roc_auc,
+    roc_curve,
+)
+from repro.models.naive_bayes import GaussianNaiveBayes
+from repro.models.persistence import LinearPipeline
+from repro.models.preprocessing import OneHotEncoder, Standardizer
+from repro.models.selection import (
+    CrossValidationResult,
+    FoldResult,
+    cross_validate_fairness,
+)
+from repro.models.tree import DecisionTree
+
+__all__ = [
+    "Classifier",
+    "ConstantClassifier",
+    "GradientBoosting",
+    "LinearPipeline",
+    "LogisticRegression",
+    "GaussianNaiveBayes",
+    "DecisionTree",
+    "RandomForest",
+    "KNearestNeighbors",
+    "CalibratedClassifier",
+    "PlattCalibrator",
+    "reliability_curve",
+    "expected_calibration_error",
+    "Standardizer",
+    "OneHotEncoder",
+    "CrossValidationResult",
+    "FoldResult",
+    "cross_validate_fairness",
+    "sigmoid",
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "false_positive_rate",
+    "f1_score",
+    "balanced_accuracy",
+    "roc_curve",
+    "roc_auc",
+    "log_loss",
+    "brier_score",
+]

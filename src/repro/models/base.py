@@ -1,0 +1,158 @@
+"""Base classes for the from-scratch ML substrate.
+
+The library cannot rely on scikit-learn, so a minimal but complete
+supervised-learning stack is implemented locally.  All classifiers follow
+the familiar fit/predict/predict_proba contract and operate on plain
+float matrices; :meth:`Classifier.fit_dataset` bridges from
+:class:`~repro.data.dataset.TabularDataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_binary_array,
+    check_matrix_2d,
+    check_same_length,
+)
+from repro.data.dataset import TabularDataset
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["Classifier", "ConstantClassifier"]
+
+
+class Classifier:
+    """Abstract binary classifier.
+
+    Subclasses implement :meth:`_fit` and :meth:`_predict_proba`; this base
+    class handles input validation, the fitted-state protocol, thresholding,
+    and dataset convenience wrappers.
+    """
+
+    #: probability threshold used by :meth:`predict`
+    threshold: float = 0.5
+
+    def __init__(self):
+        self._fitted = False
+        self._n_features: int | None = None
+
+    # -- subclass contract -------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API ----------------------------------------------------------
+
+    def fit(self, X, y, sample_weight=None) -> "Classifier":
+        """Fit on a float matrix ``X`` and binary labels ``y``.
+
+        ``sample_weight`` (optional, non-negative) supports the reweighing
+        mitigation of :mod:`repro.mitigation.preprocessing`.
+        """
+        X = check_matrix_2d(X, "X")
+        y = check_binary_array(y, "y")
+        check_same_length(("X", X), ("y", y))
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            check_same_length(("X", X), ("sample_weight", sample_weight))
+            if np.any(sample_weight < 0):
+                raise ValidationError("sample_weight must be non-negative")
+            if not np.any(sample_weight > 0):
+                raise ValidationError("sample_weight must not be all zero")
+        if len(np.unique(y)) < 2:
+            raise ValidationError(
+                "fit requires both classes present in y "
+                f"(got only class {int(y[0]) if len(y) else '<empty>'})"
+            )
+        self._n_features = X.shape[1]
+        self._fit(X, y, sample_weight)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """P(y=1 | x) for each row of ``X``."""
+        self._check_fitted()
+        X = check_matrix_2d(X, "X")
+        if X.shape[1] != self._n_features:
+            raise ValidationError(
+                f"X has {X.shape[1]} features, model was fitted with "
+                f"{self._n_features}"
+            )
+        probs = self._predict_proba(X)
+        return np.clip(probs, 0.0, 1.0)
+
+    def predict(self, X) -> np.ndarray:
+        """Binary predictions via :attr:`threshold` on predict_proba."""
+        return (self.predict_proba(X) >= self.threshold).astype(int)
+
+    def score(self, X, y) -> float:
+        """Plain accuracy on (X, y)."""
+        y = check_binary_array(y, "y")
+        return float(np.mean(self.predict(X) == y))
+
+    # -- dataset bridges -----------------------------------------------------
+
+    def fit_dataset(
+        self, dataset: TabularDataset, sample_weight=None
+    ) -> "Classifier":
+        """Fit on a dataset's feature matrix and label column.
+
+        Only ``feature``-role columns are used; protected columns are
+        excluded unless their role has been changed explicitly (see
+        :meth:`TabularDataset.with_role`), mirroring the paper's
+        fairness-through-unawareness discussion.
+        """
+        return self.fit(dataset.feature_matrix(), dataset.labels(), sample_weight)
+
+    def predict_dataset(self, dataset: TabularDataset) -> np.ndarray:
+        """Binary predictions for each dataset row."""
+        return self.predict(dataset.feature_matrix())
+
+    def predict_proba_dataset(self, dataset: TabularDataset) -> np.ndarray:
+        """P(y=1 | x) for each dataset row."""
+        return self.predict_proba(dataset.feature_matrix())
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+
+class ConstantClassifier(Classifier):
+    """Predicts a fixed probability for every input; a degenerate baseline."""
+
+    def __init__(self, probability: float = 0.5):
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise ValidationError(
+                f"probability must be in [0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+
+    def _fit(self, X, y, sample_weight) -> None:
+        pass
+
+    def fit(self, X, y, sample_weight=None) -> "ConstantClassifier":
+        # The single-class restriction does not apply to a constant model.
+        X = check_matrix_2d(X, "X")
+        y = check_binary_array(y, "y")
+        check_same_length(("X", X), ("y", y))
+        self._n_features = X.shape[1]
+        self._fitted = True
+        return self
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return np.full(len(X), self.probability)

@@ -1,0 +1,155 @@
+"""Gradient boosting with shallow regression-tree base learners.
+
+A compact gradient-boosting implementation for the logistic loss: each
+round fits a depth-limited regression tree (weighted MSE splits) to the
+negative gradient.  Exists so fairness experiments can show their
+conclusions are not artifacts of one model family — the audit layer
+treats every classifier identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_in_range, check_positive_int
+from repro.models.base import Classifier
+from repro.models.logistic import sigmoid
+
+__all__ = ["GradientBoosting"]
+
+
+class _RegressionTree:
+    """Depth-limited regression tree minimising weighted MSE.
+
+    Internal nodes are (feature, threshold); leaves predict the weighted
+    mean residual of their region.
+    """
+
+    def __init__(self, max_depth: int):
+        self.max_depth = max_depth
+        self.feature: int | None = None
+        self.threshold: float = 0.0
+        self.value: float = 0.0
+        self.left: "_RegressionTree | None" = None
+        self.right: "_RegressionTree | None" = None
+
+    def fit(self, X: np.ndarray, residuals: np.ndarray, w: np.ndarray) -> None:
+        total_w = w.sum()
+        self.value = float((w * residuals).sum() / total_w) if total_w > 0 else 0.0
+        if self.max_depth <= 0 or len(residuals) < 2:
+            return
+        split = self._best_split(X, residuals, w)
+        if split is None:
+            return
+        self.feature, self.threshold = split
+        mask = X[:, self.feature] <= self.threshold
+        self.left = _RegressionTree(self.max_depth - 1)
+        self.right = _RegressionTree(self.max_depth - 1)
+        self.left.fit(X[mask], residuals[mask], w[mask])
+        self.right.fit(X[~mask], residuals[~mask], w[~mask])
+
+    @staticmethod
+    def _best_split(
+        X: np.ndarray, residuals: np.ndarray, w: np.ndarray
+    ) -> tuple[int, float] | None:
+        n, d = X.shape
+        total_w = w.sum()
+        total_rw = (w * residuals).sum()
+        parent_score = total_rw**2 / total_w if total_w > 0 else 0.0
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        for j in range(d):
+            order = np.argsort(X[:, j], kind="mergesort")
+            xs = X[order, j]
+            rw = (w * residuals)[order]
+            ws = w[order]
+            cum_rw = np.cumsum(rw)
+            cum_w = np.cumsum(ws)
+            distinct = np.flatnonzero(np.diff(xs) > 0)
+            for i in distinct:
+                left_w, left_rw = cum_w[i], cum_rw[i]
+                right_w = total_w - left_w
+                right_rw = total_rw - left_rw
+                if left_w <= 0 or right_w <= 0:
+                    continue
+                gain = (
+                    left_rw**2 / left_w + right_rw**2 / right_w
+                ) - parent_score
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(j), float((xs[i] + xs[i + 1]) / 2))
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.feature is None:
+            return np.full(len(X), self.value)
+        mask = X[:, self.feature] <= self.threshold
+        out = np.empty(len(X))
+        out[mask] = self.left.predict(X[mask])
+        out[~mask] = self.right.predict(X[~mask])
+        return out
+
+
+class GradientBoosting(Classifier):
+    """Logit-loss gradient boosting over shallow regression trees.
+
+    Parameters
+    ----------
+    n_rounds:
+        Number of boosting rounds (trees).
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    max_depth:
+        Depth of each base tree.  Depth 1 gives additive (stump)
+        boosting; depth ≥ 2 captures feature interactions (XOR-like
+        structure).
+    """
+
+    def __init__(
+        self,
+        n_rounds: int = 100,
+        learning_rate: float = 0.3,
+        max_depth: int = 2,
+    ):
+        super().__init__()
+        self.n_rounds = check_positive_int(n_rounds, "n_rounds")
+        self.learning_rate = check_in_range(
+            learning_rate, "learning_rate", 1e-6, 10.0
+        )
+        self.max_depth = check_positive_int(max_depth, "max_depth")
+        self.trees_: list[_RegressionTree] = []
+        self.base_score_: float = 0.0
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        w = sample_weight / sample_weight.sum()
+        positive = float((w * y).sum())
+        positive = min(max(positive, 1e-6), 1 - 1e-6)
+        self.base_score_ = float(np.log(positive / (1 - positive)))
+        raw = np.full(len(y), self.base_score_)
+
+        self.trees_ = []
+        for __ in range(self.n_rounds):
+            residuals = y - sigmoid(raw)
+            tree = _RegressionTree(self.max_depth)
+            tree.fit(X, residuals, w)
+            raw = raw + self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raw = np.full(len(X), self.base_score_)
+        for tree in self.trees_:
+            raw = raw + self.learning_rate * tree.predict(X)
+        return sigmoid(raw)
+
+    def staged_scores(self, X) -> np.ndarray:
+        """(n_rounds, n) matrix of probabilities after each round."""
+        self._check_fitted()
+        from repro._validation import check_matrix_2d
+
+        X = check_matrix_2d(X, "X")
+        raw = np.full(len(X), self.base_score_)
+        stages = np.empty((len(self.trees_), len(X)))
+        for r, tree in enumerate(self.trees_):
+            raw = raw + self.learning_rate * tree.predict(X)
+            stages[r] = sigmoid(raw)
+        return stages

@@ -1,0 +1,128 @@
+"""Probability calibration: Platt scaling, reliability curves, ECE.
+
+Calibration-within-groups is one of the fairness definitions the paper's
+discussion section singles out as legally relevant; the primitives here
+back :func:`repro.core.metrics.calibration_within_groups`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_positive_int,
+    check_same_length,
+)
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models.base import Classifier
+from repro.models.logistic import sigmoid
+
+__all__ = [
+    "PlattCalibrator",
+    "CalibratedClassifier",
+    "reliability_curve",
+    "expected_calibration_error",
+]
+
+
+class PlattCalibrator:
+    """Univariate logistic (Platt) recalibration of scores.
+
+    Fits ``P(y=1|s) = sigmoid(a*s + b)`` by gradient descent on log loss.
+    """
+
+    def __init__(self, learning_rate: float = 0.5, max_iter: int = 3000):
+        self.learning_rate = float(learning_rate)
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    def fit(self, scores, y) -> "PlattCalibrator":
+        scores = check_array_1d(scores, "scores").astype(float)
+        y = check_binary_array(y, "y")
+        check_same_length(("scores", scores), ("y", y))
+        if len(np.unique(y)) < 2:
+            raise ValidationError("calibration requires both classes in y")
+        a, b = 1.0, 0.0
+        n = len(y)
+        for __ in range(self.max_iter):
+            p = sigmoid(a * scores + b)
+            error = p - y
+            grad_a = float((error * scores).sum() / n)
+            grad_b = float(error.sum() / n)
+            a -= self.learning_rate * grad_a
+            b -= self.learning_rate * grad_b
+            if max(abs(grad_a), abs(grad_b)) < 1e-7:
+                break
+        self.a_, self.b_ = a, b
+        return self
+
+    def transform(self, scores) -> np.ndarray:
+        if self.a_ is None:
+            raise NotFittedError("PlattCalibrator must be fitted first")
+        scores = check_array_1d(scores, "scores").astype(float)
+        return sigmoid(self.a_ * scores + self.b_)
+
+
+class CalibratedClassifier(Classifier):
+    """Wrap a fitted classifier with a Platt recalibration layer.
+
+    ``fit`` recalibrates on the provided (held-out) data; the base model
+    itself is not refitted.
+    """
+
+    def __init__(self, base: Classifier):
+        super().__init__()
+        if not base.is_fitted:
+            raise NotFittedError("base classifier must be fitted before wrapping")
+        self.base = base
+        self._calibrator = PlattCalibrator()
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        raw = self.base.predict_proba(X)
+        self._calibrator.fit(raw, y)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return self._calibrator.transform(self.base.predict_proba(X))
+
+
+def reliability_curve(
+    y_true, probabilities, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(bin mean predicted prob, bin observed positive rate, bin counts).
+
+    Bins are equal-width over [0, 1]; empty bins are dropped.
+    """
+    y = check_binary_array(y_true, "y_true")
+    p = check_array_1d(probabilities, "probabilities").astype(float)
+    check_same_length(("y_true", y), ("probabilities", p))
+    n_bins = check_positive_int(n_bins, "n_bins")
+    if np.any((p < 0) | (p > 1)):
+        raise ValidationError("probabilities must lie in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_index = np.clip(np.digitize(p, edges[1:-1]), 0, n_bins - 1)
+    mean_pred, observed, counts = [], [], []
+    for b in range(n_bins):
+        mask = bin_index == b
+        if not mask.any():
+            continue
+        mean_pred.append(float(p[mask].mean()))
+        observed.append(float(y[mask].mean()))
+        counts.append(int(mask.sum()))
+    return np.array(mean_pred), np.array(observed), np.array(counts)
+
+
+def expected_calibration_error(
+    y_true, probabilities, n_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |predicted − observed| over bins."""
+    mean_pred, observed, counts = reliability_curve(
+        y_true, probabilities, n_bins=n_bins
+    )
+    if counts.sum() == 0:
+        return 0.0
+    weights = counts / counts.sum()
+    return float(np.sum(weights * np.abs(mean_pred - observed)))

@@ -1,0 +1,76 @@
+"""Random forest: bagged decision trees with feature subsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_random_state
+from repro.models.base import Classifier
+from repro.models.tree import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest(Classifier):
+    """Bootstrap-aggregated :class:`DecisionTree` ensemble.
+
+    Probabilities are the mean of per-tree leaf probabilities.  Feature
+    subsampling defaults to ``ceil(sqrt(d))`` per split.
+    """
+
+    def __init__(
+        self,
+        n_trees: int = 25,
+        max_depth: int = 8,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.n_trees = check_positive_int(n_trees, "n_trees")
+        self.max_depth = check_positive_int(max_depth, "max_depth")
+        self.min_samples_leaf = check_positive_int(
+            min_samples_leaf, "min_samples_leaf"
+        )
+        self.max_features = max_features
+        self._rng = check_random_state(random_state)
+        self.trees_: list[DecisionTree] = []
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        n, d = X.shape
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.ceil(np.sqrt(d))))
+        probabilities = sample_weight / sample_weight.sum()
+
+        self.trees_ = []
+        attempts = 0
+        while len(self.trees_) < self.n_trees:
+            attempts += 1
+            if attempts > 20 * self.n_trees:
+                break  # pathological data: give up adding more trees
+            indices = self._rng.choice(n, size=n, replace=True, p=probabilities)
+            if len(np.unique(y[indices])) < 2:
+                continue  # bootstrap drew a single class; redraw
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=self._rng,
+            )
+            tree.fit(X[indices], y[indices])
+            self.trees_.append(tree)
+        if not self.trees_:
+            # Fall back to one unbagged tree so the model is usable.
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                random_state=self._rng,
+            )
+            tree.fit(X, y, sample_weight)
+            self.trees_.append(tree)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        stacked = np.stack([tree.predict_proba(X) for tree in self.trees_])
+        return stacked.mean(axis=0)

@@ -1,0 +1,48 @@
+"""k-nearest-neighbours classifier (Euclidean, weighted votes)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_positive_int
+from repro.models.base import Classifier
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors(Classifier):
+    """Plain kNN: P(y=1|x) is the weighted positive fraction among the
+    ``k`` nearest training points (sample weights act as vote weights)."""
+
+    def __init__(self, k: int = 15):
+        super().__init__()
+        self.k = check_positive_int(k, "k")
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._w: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        self._X = X
+        self._y = y.astype(float)
+        self._w = sample_weight
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        k = min(self.k, len(self._X))
+        probs = np.empty(len(X))
+        # Chunked distance computation keeps memory bounded on large inputs.
+        chunk = max(1, 2_000_000 // max(len(self._X), 1))
+        for start in range(0, len(X), chunk):
+            block = X[start : start + chunk]
+            d2 = (
+                (block**2).sum(axis=1)[:, None]
+                - 2.0 * block @ self._X.T
+                + (self._X**2).sum(axis=1)[None, :]
+            )
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i, row in enumerate(nearest):
+                w = self._w[row]
+                total = w.sum()
+                probs[start + i] = (
+                    float((w * self._y[row]).sum() / total) if total > 0 else 0.5
+                )
+        return probs

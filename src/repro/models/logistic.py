@@ -1,0 +1,109 @@
+"""Logistic regression trained by full-batch gradient descent.
+
+Supports L2 regularisation, per-sample weights (for the reweighing
+mitigation), and an optional extra penalty term hook used by the
+fairness-regularised model in :mod:`repro.mitigation.inprocessing` and
+the concealment attack in :mod:`repro.manipulation.attack`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_positive_int
+from repro.exceptions import ConvergenceError
+from repro.models.base import Classifier
+
+__all__ = ["LogisticRegression", "sigmoid"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically clipped logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression(Classifier):
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    l2:
+        L2 regularisation strength on the weights (not the intercept).
+    learning_rate:
+        Gradient-descent step size.
+    max_iter:
+        Iteration budget.
+    tol:
+        Stop when the max absolute parameter update falls below this.
+    raise_on_no_convergence:
+        When True, failing to reach ``tol`` raises
+        :class:`~repro.exceptions.ConvergenceError` instead of returning
+        the best-so-far parameters.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iter: int = 2000,
+        tol: float = 1e-6,
+        raise_on_no_convergence: bool = False,
+    ):
+        super().__init__()
+        self.l2 = check_nonnegative(l2, "l2")
+        self.learning_rate = check_nonnegative(learning_rate, "learning_rate")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.tol = check_nonnegative(tol, "tol")
+        self.raise_on_no_convergence = bool(raise_on_no_convergence)
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    # extra_gradient hook: callable(weights, intercept) -> (grad_w, grad_b)
+    # added to the loss gradient each step.  Used by in-processing
+    # mitigations; None for the plain model.
+    _extra_gradient = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        n, d = X.shape
+        weights = np.zeros(d)
+        intercept = 0.0
+        sw = sample_weight / sample_weight.sum() * n
+
+        converged = False
+        for iteration in range(1, self.max_iter + 1):
+            probs = sigmoid(X @ weights + intercept)
+            error = (probs - y) * sw
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = float(error.sum() / n)
+            if self._extra_gradient is not None:
+                extra_w, extra_b = self._extra_gradient(weights, intercept)
+                grad_w = grad_w + extra_w
+                grad_b = grad_b + extra_b
+            step_w = self.learning_rate * grad_w
+            step_b = self.learning_rate * grad_b
+            weights -= step_w
+            intercept -= step_b
+            self.n_iter_ = iteration
+            if max(np.max(np.abs(step_w), initial=0.0), abs(step_b)) < self.tol:
+                converged = True
+                break
+
+        if not converged and self.raise_on_no_convergence:
+            raise ConvergenceError(
+                f"logistic regression did not converge in {self.max_iter} "
+                f"iterations (tol={self.tol})"
+            )
+        self.coef_ = weights
+        self.intercept_ = float(intercept)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return sigmoid(X @ self.coef_ + self.intercept_)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw logits for each row of ``X``."""
+        self._check_fitted()
+        from repro._validation import check_matrix_2d
+
+        X = check_matrix_2d(X, "X")
+        return X @ self.coef_ + self.intercept_

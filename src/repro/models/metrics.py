@@ -1,0 +1,182 @@
+"""Standard (fairness-agnostic) classification metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_same_length,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "ConfusionMatrix",
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "false_positive_rate",
+    "f1_score",
+    "balanced_accuracy",
+    "roc_curve",
+    "roc_auc",
+    "log_loss",
+    "brier_score",
+]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Binary confusion-matrix counts with derived rates.
+
+    Rates on empty denominators are returned as ``nan`` rather than
+    raising, because audits routinely slice into small subgroups where a
+    cell can legitimately be empty (the Section IV.C sparsity issue).
+    """
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def n(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.n if self.n else float("nan")
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else float("nan")
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else float("nan")
+
+    # true-positive rate is recall; alias for fairness-metric readability
+    true_positive_rate = recall
+
+    @property
+    def false_positive_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.fp / denom if denom else float("nan")
+
+    @property
+    def false_negative_rate(self) -> float:
+        denom = self.tp + self.fn
+        return self.fn / denom if denom else float("nan")
+
+    @property
+    def true_negative_rate(self) -> float:
+        denom = self.fp + self.tn
+        return self.tn / denom if denom else float("nan")
+
+    @property
+    def positive_rate(self) -> float:
+        """P(prediction = +): the selection rate used by parity metrics."""
+        return (self.tp + self.fp) / self.n if self.n else float("nan")
+
+
+def confusion_matrix(y_true, y_pred) -> ConfusionMatrix:
+    """Counts of TP/FP/TN/FN for binary arrays."""
+    y_true = check_binary_array(y_true, "y_true")
+    y_pred = check_binary_array(y_pred, "y_pred")
+    check_same_length(("y_true", y_true), ("y_pred", y_pred))
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return ConfusionMatrix(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    return confusion_matrix(y_true, y_pred).accuracy
+
+
+def precision(y_true, y_pred) -> float:
+    """TP / (TP + FP); nan when nothing is predicted positive."""
+    return confusion_matrix(y_true, y_pred).precision
+
+
+def recall(y_true, y_pred) -> float:
+    """TP / (TP + FN); nan when there are no actual positives."""
+    return confusion_matrix(y_true, y_pred).recall
+
+
+def false_positive_rate(y_true, y_pred) -> float:
+    """FP / (FP + TN); nan when there are no actual negatives."""
+    return confusion_matrix(y_true, y_pred).false_positive_rate
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall."""
+    cm = confusion_matrix(y_true, y_pred)
+    p, r = cm.precision, cm.recall
+    if np.isnan(p) or np.isnan(r) or (p + r) == 0:
+        return float("nan")
+    return 2.0 * p * r / (p + r)
+
+
+def balanced_accuracy(y_true, y_pred) -> float:
+    """Mean of TPR and TNR; robust to class imbalance."""
+    cm = confusion_matrix(y_true, y_pred)
+    return (cm.recall + cm.true_negative_rate) / 2.0
+
+
+def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) sweeping the decision threshold.
+
+    Thresholds are the distinct score values in decreasing order, with a
+    leading ``inf`` so the curve starts at (0, 0).
+    """
+    y = check_binary_array(y_true, "y_true")
+    s = check_array_1d(scores, "scores").astype(float)
+    check_same_length(("y_true", y), ("scores", s))
+    n_pos = int(y.sum())
+    n_neg = len(y) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_curve requires both classes in y_true")
+
+    order = np.argsort(-s, kind="mergesort")
+    sorted_scores = s[order]
+    sorted_y = y[order]
+    distinct = np.flatnonzero(np.diff(sorted_scores) != 0)
+    cut_points = np.concatenate([distinct, [len(y) - 1]])
+    tps = np.cumsum(sorted_y)[cut_points]
+    fps = (cut_points + 1) - tps
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_points]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(y_true, scores) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, __ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def log_loss(y_true, probabilities, eps: float = 1e-12) -> float:
+    """Mean negative log likelihood of binary labels under probabilities."""
+    y = check_binary_array(y_true, "y_true")
+    p = check_array_1d(probabilities, "probabilities").astype(float)
+    check_same_length(("y_true", y), ("probabilities", p))
+    p = np.clip(p, eps, 1.0 - eps)
+    return float(-np.mean(y * np.log(p) + (1 - y) * np.log(1 - p)))
+
+
+def brier_score(y_true, probabilities) -> float:
+    """Mean squared error between probabilities and binary labels."""
+    y = check_binary_array(y_true, "y_true")
+    p = check_array_1d(probabilities, "probabilities").astype(float)
+    check_same_length(("y_true", y), ("probabilities", p))
+    return float(np.mean((p - y) ** 2))

@@ -1,0 +1,69 @@
+"""Gaussian naive Bayes for continuous feature matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_nonnegative
+from repro.models.base import Classifier
+
+__all__ = ["GaussianNaiveBayes"]
+
+
+class GaussianNaiveBayes(Classifier):
+    """Naive Bayes with per-class Gaussian feature likelihoods.
+
+    ``var_smoothing`` adds a fraction of the largest feature variance to
+    all variances, preventing degenerate zero-variance likelihoods.
+    Sample weights scale each observation's contribution to the class
+    priors and the per-class moments.
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        super().__init__()
+        self.var_smoothing = check_nonnegative(var_smoothing, "var_smoothing")
+        self.class_prior_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None  # (2, d) means
+        self.var_: np.ndarray | None = None  # (2, d) variances
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        d = X.shape[1]
+        self.theta_ = np.zeros((2, d))
+        self.var_ = np.zeros((2, d))
+        priors = np.zeros(2)
+        for cls in (0, 1):
+            mask = y == cls
+            w = sample_weight[mask]
+            total = w.sum()
+            priors[cls] = total
+            if total == 0:
+                # Guarded by base-class both-classes check, but a class can
+                # still receive zero total weight; fall back to unweighted.
+                w = np.ones(mask.sum())
+                total = float(mask.sum())
+            Xc = X[mask]
+            mean = (w[:, None] * Xc).sum(axis=0) / total
+            var = (w[:, None] * (Xc - mean) ** 2).sum(axis=0) / total
+            self.theta_[cls] = mean
+            self.var_[cls] = var
+        max_var = float(self.var_.max(initial=0.0))
+        epsilon = self.var_smoothing * max(max_var, 1.0)
+        self.var_ = self.var_ + max(epsilon, 1e-12)
+        self.class_prior_ = priors / priors.sum()
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        jll = np.zeros((len(X), 2))
+        for cls in (0, 1):
+            log_prior = np.log(self.class_prior_[cls] + 1e-300)
+            diff = X - self.theta_[cls]
+            log_lik = -0.5 * (
+                np.log(2.0 * np.pi * self.var_[cls]) + diff**2 / self.var_[cls]
+            ).sum(axis=1)
+            jll[:, cls] = log_prior + log_lik
+        return jll
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        likes = np.exp(jll)
+        return likes[:, 1] / likes.sum(axis=1)

@@ -1,0 +1,127 @@
+"""Model persistence: a JSON-serialisable linear scoring pipeline.
+
+Audits outlive Python sessions; so must the models they audited.
+:class:`LinearPipeline` bundles the standardiser and logistic regression
+used throughout the examples into one object with an exact JSON
+round-trip — enough for the CLI's train/predict loop and for archiving
+the model a compliance dossier refers to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.data.dataset import TabularDataset
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models.logistic import LogisticRegression
+from repro.models.preprocessing import Standardizer
+
+__all__ = ["LinearPipeline"]
+
+_FORMAT = "repro.linear_pipeline.v1"
+
+
+class LinearPipeline:
+    """Standardizer + LogisticRegression with JSON round-trip.
+
+    The pipeline records the feature-column layout it was fitted on
+    (including one-hot expansion), so loading and applying it to a
+    dataset with a different schema fails loudly instead of silently
+    mis-aligning columns.
+    """
+
+    def __init__(self, l2: float = 1e-3, max_iter: int = 800):
+        self._scaler = Standardizer()
+        self._model = LogisticRegression(l2=l2, max_iter=max_iter)
+        self._feature_names: list[str] | None = None
+
+    # -- training / scoring ------------------------------------------------
+
+    def fit(self, dataset: TabularDataset) -> "LinearPipeline":
+        """Fit on a dataset's features and labels."""
+        if dataset.schema.label_name is None:
+            raise ValidationError("dataset must carry labels to train on")
+        X = self._scaler.fit_transform(dataset.feature_matrix())
+        self._model.fit(X, dataset.labels())
+        self._feature_names = dataset.feature_matrix_names()
+        return self
+
+    def _check_layout(self, dataset: TabularDataset) -> None:
+        if self._feature_names is None:
+            raise NotFittedError("LinearPipeline must be fitted first")
+        names = dataset.feature_matrix_names()
+        if names != self._feature_names:
+            raise ValidationError(
+                "dataset feature layout does not match the fitted model: "
+                f"expected {self._feature_names}, got {names}"
+            )
+
+    def predict_proba(self, dataset: TabularDataset) -> np.ndarray:
+        self._check_layout(dataset)
+        X = self._scaler.transform(dataset.feature_matrix())
+        return self._model.predict_proba(X)
+
+    def predict(self, dataset: TabularDataset) -> np.ndarray:
+        return (self.predict_proba(dataset) >= self._model.threshold).astype(int)
+
+    @property
+    def feature_names(self) -> list[str]:
+        if self._feature_names is None:
+            raise NotFittedError("LinearPipeline must be fitted first")
+        return list(self._feature_names)
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Exact JSON-able representation of the fitted pipeline."""
+        if self._feature_names is None:
+            raise NotFittedError("cannot serialise an unfitted pipeline")
+        return {
+            "format": _FORMAT,
+            "feature_names": self._feature_names,
+            "scaler": {
+                "mean": self._scaler._mean.tolist(),
+                "scale": self._scaler._scale.tolist(),
+            },
+            "model": {
+                "coef": self._model.coef_.tolist(),
+                "intercept": self._model.intercept_,
+                "threshold": self._model.threshold,
+                "l2": self._model.l2,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LinearPipeline":
+        """Rebuild a pipeline saved by :meth:`to_dict`."""
+        if payload.get("format") != _FORMAT:
+            raise ValidationError(
+                f"unsupported model payload format {payload.get('format')!r}; "
+                f"expected {_FORMAT!r}"
+            )
+        pipeline = cls(l2=float(payload["model"].get("l2", 1e-3)))
+        pipeline._feature_names = list(payload["feature_names"])
+        pipeline._scaler._mean = np.asarray(payload["scaler"]["mean"], float)
+        pipeline._scaler._scale = np.asarray(payload["scaler"]["scale"], float)
+        model = pipeline._model
+        model.coef_ = np.asarray(payload["model"]["coef"], float)
+        model.intercept_ = float(payload["model"]["intercept"])
+        model.threshold = float(payload["model"].get("threshold", 0.5))
+        model._n_features = len(model.coef_)
+        model._fitted = True
+        return pipeline
+
+    def save(self, path) -> None:
+        """Write the pipeline to a JSON file."""
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "LinearPipeline":
+        """Read a pipeline written by :meth:`save`."""
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,89 @@
+"""Feature preprocessing: standardisation and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_array_1d, check_matrix_2d
+from repro.exceptions import NotFittedError, ValidationError
+
+__all__ = ["Standardizer", "OneHotEncoder"]
+
+
+class Standardizer:
+    """Column-wise z-score scaling fitted on training data.
+
+    Columns with zero variance are left centred but unscaled, so constant
+    features do not produce NaNs.
+    """
+
+    def __init__(self):
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    def fit(self, X) -> "Standardizer":
+        X = check_matrix_2d(X, "X")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._scale = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self._mean is None:
+            raise NotFittedError("Standardizer must be fitted before transform")
+        X = check_matrix_2d(X, "X")
+        if X.shape[1] != len(self._mean):
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, fitted with {len(self._mean)}"
+            )
+        return (X - self._mean) / self._scale
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X) -> np.ndarray:
+        if self._mean is None:
+            raise NotFittedError("Standardizer must be fitted before transform")
+        X = check_matrix_2d(X, "X")
+        return X * self._scale + self._mean
+
+
+class OneHotEncoder:
+    """One-hot encoding of a single categorical array.
+
+    Unknown categories at transform time raise by default; pass
+    ``ignore_unknown=True`` to map them to the all-zero row instead.
+    """
+
+    def __init__(self, ignore_unknown: bool = False):
+        self.ignore_unknown = bool(ignore_unknown)
+        self._categories: list | None = None
+
+    def fit(self, values) -> "OneHotEncoder":
+        values = check_array_1d(values, "values")
+        self._categories = sorted(np.unique(values).tolist(), key=repr)
+        return self
+
+    @property
+    def categories(self) -> list:
+        if self._categories is None:
+            raise NotFittedError("OneHotEncoder must be fitted first")
+        return list(self._categories)
+
+    def transform(self, values) -> np.ndarray:
+        if self._categories is None:
+            raise NotFittedError("OneHotEncoder must be fitted before transform")
+        values = check_array_1d(values, "values")
+        known = set(self._categories)
+        unknown = set(np.unique(values).tolist()) - known
+        if unknown and not self.ignore_unknown:
+            raise ValidationError(
+                f"unknown categories at transform time: {sorted(unknown, key=repr)}"
+            )
+        out = np.zeros((len(values), len(self._categories)))
+        for j, cat in enumerate(self._categories):
+            out[:, j] = (values == cat).astype(float)
+        return out
+
+    def fit_transform(self, values) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,142 @@
+"""Fairness-aware model evaluation: cross-validation with joint metrics.
+
+Model selection that looks only at accuracy silently picks the most
+biased model whenever bias is predictive (which biased labels make it).
+:func:`cross_validate_fairness` evaluates a model factory with k-fold
+cross-validation, reporting accuracy *and* demographic-parity gap (and
+equal-opportunity gap when labels are trusted) per fold, so the
+selection decision can weigh both — the IV.A trade-off at model-choice
+time rather than after deployment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_random_state
+from repro.data.dataset import TabularDataset
+from repro.exceptions import InsufficientDataError, MetricError, ValidationError
+from repro.models.base import Classifier
+from repro.models.metrics import accuracy
+from repro.models.preprocessing import Standardizer
+
+__all__ = ["FoldResult", "CrossValidationResult", "cross_validate_fairness"]
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    """Metrics of one cross-validation fold."""
+
+    fold: int
+    accuracy: float
+    dp_gap: float
+    eo_gap: float | None
+
+
+@dataclass(frozen=True)
+class CrossValidationResult:
+    """Aggregated k-fold results."""
+
+    folds: tuple = field(default_factory=tuple)
+
+    def mean_accuracy(self) -> float:
+        return float(np.mean([f.accuracy for f in self.folds]))
+
+    def mean_dp_gap(self) -> float:
+        return float(np.mean([f.dp_gap for f in self.folds]))
+
+    def mean_eo_gap(self) -> float:
+        values = [f.eo_gap for f in self.folds if f.eo_gap is not None]
+        return float(np.mean(values)) if values else float("nan")
+
+    def std_dp_gap(self) -> float:
+        return float(np.std([f.dp_gap for f in self.folds]))
+
+    def dominates(self, other: "CrossValidationResult",
+                  slack: float = 0.0) -> bool:
+        """Weakly better on both axes (accuracy ↑, DP gap ↓), strictly on
+        one; ``slack`` tolerates noise-level differences."""
+        acc_ge = self.mean_accuracy() >= other.mean_accuracy() - slack
+        gap_le = self.mean_dp_gap() <= other.mean_dp_gap() + slack
+        strictly = (
+            self.mean_accuracy() > other.mean_accuracy() + slack
+            or self.mean_dp_gap() < other.mean_dp_gap() - slack
+        )
+        return acc_ge and gap_le and strictly
+
+
+def cross_validate_fairness(
+    model_factory: Callable[[], Classifier],
+    dataset: TabularDataset,
+    attribute: str | None = None,
+    n_folds: int = 5,
+    random_state: int | np.random.Generator | None = None,
+) -> CrossValidationResult:
+    """k-fold CV reporting accuracy and fairness gaps per fold.
+
+    Folds are stratified by the protected attribute so every fold
+    contains both groups.  The equal-opportunity gap is reported per
+    fold when computable (both groups have actual positives in the
+    fold), else None for that fold.
+    """
+    # Imported here rather than at module level: repro.core.metrics
+    # itself imports from repro.models (calibration), so a top-level
+    # import would create a package-initialisation cycle.
+    from repro.core.metrics import demographic_parity, equal_opportunity
+
+    check_positive_int(n_folds, "n_folds")
+    if n_folds < 2:
+        raise ValidationError("n_folds must be at least 2")
+    if dataset.schema.label_name is None:
+        raise ValidationError("dataset must carry labels")
+    if attribute is None:
+        protected = dataset.schema.protected_names
+        if len(protected) != 1:
+            raise ValidationError(
+                "attribute must be named when the dataset has "
+                f"{len(protected)} protected columns"
+            )
+        attribute = protected[0]
+    rng = check_random_state(random_state)
+
+    groups = dataset.column(attribute)
+    # stratified fold assignment: shuffle within each group, deal in
+    # round-robin so group shares match across folds
+    assignment = np.empty(dataset.n_rows, dtype=int)
+    for value in np.unique(groups):
+        members = rng.permutation(np.flatnonzero(groups == value))
+        assignment[members] = np.arange(len(members)) % n_folds
+
+    folds = []
+    for fold in range(n_folds):
+        test_mask = assignment == fold
+        train = dataset.take(~test_mask)
+        test = dataset.take(test_mask)
+        if test.n_rows == 0 or train.n_rows == 0:
+            raise ValidationError(
+                f"fold {fold} is empty; reduce n_folds for this dataset"
+            )
+        scaler = Standardizer()
+        model = model_factory()
+        model.fit(
+            scaler.fit_transform(train.feature_matrix()), train.labels()
+        )
+        preds = model.predict(scaler.transform(test.feature_matrix()))
+        fold_groups = test.column(attribute)
+        fold_labels = test.labels()
+
+        dp_gap = demographic_parity(preds, fold_groups).gap
+        try:
+            eo_gap = equal_opportunity(fold_labels, preds, fold_groups).gap
+        except (InsufficientDataError, MetricError):
+            eo_gap = None
+        folds.append(FoldResult(
+            fold=fold,
+            accuracy=float(accuracy(fold_labels, preds)),
+            dp_gap=float(dp_gap),
+            eo_gap=None if eo_gap is None else float(eo_gap),
+        ))
+    return CrossValidationResult(folds=tuple(folds))

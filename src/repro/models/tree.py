@@ -1,0 +1,210 @@
+"""CART-style decision tree classifier (binary labels, numeric features).
+
+The implementation is a straightforward recursive splitter minimising
+weighted Gini impurity, with the usual structural regularisers
+(``max_depth``, ``min_samples_split``, ``min_samples_leaf``) and optional
+per-split feature subsampling (used by the random forest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive_int, check_random_state
+from repro.models.base import Classifier
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """One tree node; a leaf iff ``feature`` is None."""
+
+    probability: float
+    n_samples: int
+    feature: int | None = None
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _weighted_gini(pos_weight: float, total_weight: float) -> float:
+    if total_weight <= 0:
+        return 0.0
+    p = pos_weight / total_weight
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree(Classifier):
+    """Binary CART tree on numeric features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum depth; the root is depth 0.
+    min_samples_split:
+        Minimum number of samples a node needs to be considered for a split.
+    min_samples_leaf:
+        Minimum number of samples in each child after a split.
+    max_features:
+        Number of candidate features per split (None = all); when smaller
+        than the feature count, candidates are drawn at random — the
+        random-forest de-correlation trick.
+    random_state:
+        Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.max_depth = check_positive_int(max_depth, "max_depth")
+        self.min_samples_split = check_positive_int(
+            min_samples_split, "min_samples_split"
+        )
+        self.min_samples_leaf = check_positive_int(
+            min_samples_leaf, "min_samples_leaf"
+        )
+        if max_features is not None:
+            max_features = check_positive_int(max_features, "max_features")
+        self.max_features = max_features
+        self._rng = check_random_state(random_state)
+        self._root: _Node | None = None
+
+    # -- fitting ------------------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray) -> None:
+        self._root = self._build(X, y.astype(float), sample_weight, depth=0)
+
+    def _leaf(self, y: np.ndarray, w: np.ndarray) -> _Node:
+        total = w.sum()
+        prob = float((w * y).sum() / total) if total > 0 else 0.5
+        return _Node(probability=prob, n_samples=len(y))
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> _Node:
+        node = self._leaf(y, w)
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.probability in (0.0, 1.0)
+        ):
+            return node
+        split = self._best_split(X, y, w)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _candidate_features(self, d: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        return self._rng.choice(d, size=self.max_features, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray
+    ) -> tuple[int, float] | None:
+        total_w = w.sum()
+        total_pos = (w * y).sum()
+        parent_impurity = _weighted_gini(total_pos, total_w)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+
+        for feature in self._candidate_features(X.shape[1]):
+            column = X[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            xs, ys, ws = column[order], y[order], w[order]
+            cum_w = np.cumsum(ws)
+            cum_pos = np.cumsum(ws * ys)
+            # Splits are allowed only between distinct consecutive values.
+            distinct = np.flatnonzero(np.diff(xs) > 0)
+            for i in distinct:
+                n_left = i + 1
+                n_right = len(xs) - n_left
+                if (
+                    n_left < self.min_samples_leaf
+                    or n_right < self.min_samples_leaf
+                ):
+                    continue
+                left_w = cum_w[i]
+                right_w = total_w - left_w
+                left_pos = cum_pos[i]
+                right_pos = total_pos - left_pos
+                child_impurity = (
+                    left_w * _weighted_gini(left_pos, left_w)
+                    + right_w * _weighted_gini(right_pos, right_w)
+                ) / total_w
+                gain = parent_impurity - child_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+        return best
+
+    # -- prediction -----------------------------------------------------------
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        probs = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            probs[i] = node.probability
+        return probs
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        self._check_fitted()
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._root)
+
+    def feature_split_counts(self) -> dict[int, int]:
+        """How many internal nodes split on each feature index."""
+        self._check_fitted()
+        counts: dict[int, int] = {}
+
+        def walk(node: _Node) -> None:
+            if node.is_leaf:
+                return
+            counts[node.feature] = counts.get(node.feature, 0) + 1
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._root)
+        return counts

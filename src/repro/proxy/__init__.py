@@ -1,0 +1,33 @@
+"""Proxy-discrimination detection (paper Section IV.B)."""
+
+from repro.proxy.associations import (
+    correlation_ratio,
+    cramers_v,
+    discretize,
+    mutual_information,
+    point_biserial,
+)
+from repro.proxy.association_harm import (
+    AssociationHarmReport,
+    association_harm,
+)
+from repro.proxy.detector import ProxyDetector, ProxyReport, ProxyScore
+from repro.proxy.unawareness import (
+    UnawarenessReport,
+    fairness_through_unawareness,
+)
+
+__all__ = [
+    "cramers_v",
+    "point_biserial",
+    "mutual_information",
+    "correlation_ratio",
+    "discretize",
+    "ProxyDetector",
+    "ProxyReport",
+    "ProxyScore",
+    "UnawarenessReport",
+    "fairness_through_unawareness",
+    "AssociationHarmReport",
+    "association_harm",
+]

@@ -1,0 +1,168 @@
+"""Discrimination by association (paper Section IV.B).
+
+The paper: *"individuals ... mistakenly categorized as part of a
+protected group ... consequently experience the same type of
+discrimination. In our example, the training data, and the derived ML
+model are biased towards female individuals and, by correlation, also
+towards individuals that have attended the specific universities, even
+if they are males."*
+
+:func:`association_harm` measures exactly that spill-over: among
+individuals *outside* the disadvantaged group, compare the outcome rate
+of those who share the disadvantaged group's typical proxy value against
+those who do not.  A gap there is harm transmitted purely by
+association — its victims have no protected-group membership to point
+to, which is why the doctrine matters legally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_binary_array
+from repro.data.dataset import TabularDataset
+from repro.data.schema import ColumnRole
+from repro.exceptions import DatasetError, InsufficientDataError
+from repro.stats.tests import TestResult, two_proportion_z_test
+
+__all__ = ["AssociationHarmReport", "association_harm"]
+
+
+@dataclass(frozen=True)
+class AssociationHarmReport:
+    """Spill-over discrimination evidence for one proxy column.
+
+    All rates are computed among NON-members of the disadvantaged group.
+    """
+
+    attribute: str
+    disadvantaged_group: object
+    proxy: str
+    associated_value: object
+    rate_associated: float
+    rate_not_associated: float
+    n_associated: int
+    n_not_associated: int
+    significance: TestResult
+
+    @property
+    def harm(self) -> float:
+        """Outcome-rate shortfall of associated non-members (positive =
+        harmed by association)."""
+        return self.rate_not_associated - self.rate_associated
+
+    def is_harmful(self, tolerance: float = 0.05, alpha: float = 0.05) -> bool:
+        """Harm exceeds tolerance and is statistically significant."""
+        return self.harm > tolerance and self.significance.p_value < alpha
+
+    def summary(self) -> str:
+        if self.harm <= 0:
+            return (
+                f"No association harm detected: non-{self.disadvantaged_group}"
+                f" individuals with {self.proxy}={self.associated_value!r} "
+                f"fare no worse ({self.rate_associated:.3f} vs "
+                f"{self.rate_not_associated:.3f})."
+            )
+        return (
+            f"Discrimination by association (paper IV.B): individuals who "
+            f"are NOT {self.disadvantaged_group!r} but share "
+            f"{self.proxy}={self.associated_value!r} receive the positive "
+            f"outcome at {self.rate_associated:.3f} vs "
+            f"{self.rate_not_associated:.3f} for other non-members "
+            f"(harm {self.harm:+.3f}, p={self.significance.p_value:.4f})."
+        )
+
+
+def association_harm(
+    dataset: TabularDataset,
+    attribute: str,
+    proxy: str,
+    outcomes,
+    disadvantaged_group=None,
+) -> AssociationHarmReport:
+    """Measure outcome spill-over onto proxy-sharing non-members.
+
+    Parameters
+    ----------
+    dataset:
+        Carries the protected ``attribute`` and the ``proxy`` column.
+    outcomes:
+        Binary outcomes to audit (typically model predictions).
+    disadvantaged_group:
+        The group whose typical proxy value transmits the harm; defaults
+        to the group with the lower outcome rate.
+
+    Notes
+    -----
+    The *associated value* is the proxy value over-represented among the
+    disadvantaged group (highest group share).  The comparison is then
+    entirely within non-members: associated vs not.
+    """
+    column = dataset.schema[attribute]
+    if column.role != ColumnRole.PROTECTED:
+        raise DatasetError(f"column {attribute!r} is not protected")
+    if proxy not in dataset.schema:
+        raise DatasetError(f"unknown proxy column {proxy!r}")
+    if not dataset.schema[proxy].is_discrete:
+        raise DatasetError(f"proxy column {proxy!r} must be discrete")
+    outcomes = check_binary_array(outcomes, "outcomes")
+    if len(outcomes) != dataset.n_rows:
+        raise DatasetError("outcomes length does not match dataset")
+
+    groups = dataset.column(attribute)
+    proxies = dataset.column(proxy)
+
+    if disadvantaged_group is None:
+        rates = {
+            g: float(outcomes[groups == g].mean())
+            for g in np.unique(groups)
+        }
+        disadvantaged_group = min(rates, key=rates.get)
+    members = groups == disadvantaged_group
+    if not members.any():
+        raise DatasetError(
+            f"group {disadvantaged_group!r} absent from {attribute!r}"
+        )
+
+    # proxy value most over-represented among the disadvantaged group
+    values = np.unique(proxies)
+    member_share = {}
+    for value in values:
+        holders = proxies == value
+        if not holders.any():
+            continue
+        member_share[value] = float(members[holders].mean())
+    associated_value = max(member_share, key=member_share.get)
+
+    non_members = ~members
+    associated = non_members & (proxies == associated_value)
+    not_associated = non_members & (proxies != associated_value)
+    if not associated.any() or not not_associated.any():
+        raise InsufficientDataError(
+            "association-harm comparison needs non-members on both sides "
+            f"of proxy value {associated_value!r}"
+        )
+
+    n_assoc = int(associated.sum())
+    n_other = int(not_associated.sum())
+    pos_assoc = int(outcomes[associated].sum())
+    pos_other = int(outcomes[not_associated].sum())
+    significance = two_proportion_z_test(
+        pos_assoc, n_assoc, pos_other, n_other
+    )
+    def _native(value):
+        return value.item() if isinstance(value, np.generic) else value
+
+    return AssociationHarmReport(
+        attribute=attribute,
+        disadvantaged_group=_native(disadvantaged_group),
+        proxy=proxy,
+        associated_value=_native(associated_value),
+        rate_associated=pos_assoc / n_assoc,
+        rate_not_associated=pos_other / n_other,
+        n_associated=n_assoc,
+        n_not_associated=n_other,
+        significance=significance,
+    )

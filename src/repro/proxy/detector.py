@@ -1,0 +1,197 @@
+"""Proxy-discrimination detection (paper Section IV.B).
+
+A feature is a *proxy* for a protected attribute when it is associated
+with the attribute strongly enough for a model to reconstruct the
+attribute — and hence its biases — after the attribute itself is removed.
+:class:`ProxyDetector` scores every feature of a dataset on two axes:
+
+* **association** — the appropriate statistical association measure for
+  the feature/attribute kind combination (:mod:`repro.proxy.associations`);
+* **reconstruction power** — the balanced accuracy with which an adversary
+  model predicts the protected attribute from that feature alone (0.5 =
+  chance = no proxy; 1.0 = perfect redundant encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_probability, check_random_state
+from repro.data.dataset import TabularDataset
+from repro.data.schema import ColumnKind, ColumnRole
+from repro.exceptions import DatasetError
+from repro.models.logistic import LogisticRegression
+from repro.models.metrics import balanced_accuracy
+from repro.models.preprocessing import OneHotEncoder, Standardizer
+from repro.proxy.associations import (
+    cramers_v,
+    mutual_information,
+    point_biserial,
+)
+
+__all__ = ["ProxyScore", "ProxyReport", "ProxyDetector"]
+
+
+@dataclass(frozen=True)
+class ProxyScore:
+    """Proxy evidence for one feature."""
+
+    feature: str
+    association: float
+    association_measure: str
+    mutual_information: float
+    reconstruction_power: float
+
+    @property
+    def combined(self) -> float:
+        """Headline score: max of association and scaled reconstruction.
+
+        Reconstruction power is rescaled from [0.5, 1] onto [0, 1] so the
+        two axes share a scale.
+        """
+        rescaled = max(0.0, (self.reconstruction_power - 0.5) * 2.0)
+        return max(self.association, rescaled)
+
+
+@dataclass(frozen=True)
+class ProxyReport:
+    """Ranked proxy evidence for all features of a dataset."""
+
+    attribute: str
+    scores: tuple
+    full_model_power: float
+    threshold: float
+
+    def ranked(self) -> list[ProxyScore]:
+        """Scores sorted by combined proxy strength, strongest first."""
+        return sorted(self.scores, key=lambda s: -s.combined)
+
+    def proxies(self) -> list[ProxyScore]:
+        """Features whose combined score exceeds the report threshold."""
+        return [s for s in self.ranked() if s.combined >= self.threshold]
+
+    @property
+    def attribute_is_reconstructible(self) -> bool:
+        """Can the attribute be predicted from all features jointly?
+
+        True when the full-feature adversary beats chance by the report
+        threshold — the precondition for proxy discrimination even when no
+        single feature is a strong proxy on its own.
+        """
+        return (self.full_model_power - 0.5) * 2.0 >= self.threshold
+
+
+class ProxyDetector:
+    """Score every feature of a dataset as a potential proxy.
+
+    Parameters
+    ----------
+    threshold:
+        Combined score at or above which a feature is flagged (default
+        0.3 — a moderate association).
+    random_state:
+        Seed for the adversary train/test split.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.3,
+        test_fraction: float = 0.3,
+        random_state: int | np.random.Generator | None = None,
+    ):
+        self.threshold = check_probability(threshold, "threshold")
+        self.test_fraction = check_probability(test_fraction, "test_fraction")
+        self._rng = check_random_state(random_state)
+
+    # -- adversary ------------------------------------------------------------
+
+    def _reconstruction_power(
+        self, features: np.ndarray, membership: np.ndarray
+    ) -> float:
+        """Balanced accuracy of an adversary predicting group membership."""
+        n = len(membership)
+        if len(np.unique(membership)) < 2 or n < 20:
+            return 0.5
+        order = self._rng.permutation(n)
+        n_test = max(1, int(round(self.test_fraction * n)))
+        test_idx, train_idx = order[:n_test], order[n_test:]
+        if len(np.unique(membership[train_idx])) < 2:
+            return 0.5
+        scaler = Standardizer()
+        X_train = scaler.fit_transform(features[train_idx])
+        X_test = scaler.transform(features[test_idx])
+        adversary = LogisticRegression(max_iter=500)
+        adversary.fit(X_train, membership[train_idx])
+        predicted = adversary.predict(X_test)
+        if len(np.unique(membership[test_idx])) < 2:
+            return 0.5
+        score = balanced_accuracy(membership[test_idx], predicted)
+        if np.isnan(score):
+            return 0.5
+        return float(max(score, 1.0 - score))
+
+    def _feature_block(
+        self, dataset: TabularDataset, feature: str
+    ) -> np.ndarray:
+        column = dataset.schema[feature]
+        values = dataset.column(feature)
+        if column.kind == ColumnKind.CATEGORICAL:
+            return OneHotEncoder().fit_transform(values)
+        return values.astype(float).reshape(-1, 1)
+
+    # -- the scan ---------------------------------------------------------------
+
+    def scan(self, dataset: TabularDataset, attribute: str) -> ProxyReport:
+        """Score every feature column against one protected attribute."""
+        column = dataset.schema[attribute]
+        if column.role != ColumnRole.PROTECTED:
+            raise DatasetError(f"column {attribute!r} is not protected")
+        groups = dataset.column(attribute)
+        categories = list(np.unique(groups))
+        if len(categories) != 2:
+            raise DatasetError(
+                "ProxyDetector requires a binary protected attribute; "
+                f"{attribute!r} has values {categories}"
+            )
+        membership = (groups == categories[1]).astype(int)
+
+        scores = []
+        for feature_col in dataset.schema.by_role(ColumnRole.FEATURE):
+            feature = feature_col.name
+            values = dataset.column(feature)
+            if feature_col.kind == ColumnKind.NUMERIC:
+                association = point_biserial(values.astype(float), membership)
+                measure = "point_biserial"
+                mi = mutual_information(values.astype(float), membership)
+            elif len(categories) == 2 and feature_col.kind == ColumnKind.BINARY:
+                association = cramers_v(values, membership)
+                measure = "cramers_v"
+                mi = mutual_information(values, membership)
+            else:
+                association = cramers_v(values, groups)
+                measure = "cramers_v"
+                mi = mutual_information(values, groups)
+            power = self._reconstruction_power(
+                self._feature_block(dataset, feature), membership
+            )
+            scores.append(
+                ProxyScore(
+                    feature=feature,
+                    association=float(association),
+                    association_measure=measure,
+                    mutual_information=float(mi),
+                    reconstruction_power=float(power),
+                )
+            )
+
+        full_power = self._reconstruction_power(
+            dataset.feature_matrix(), membership
+        )
+        return ProxyReport(
+            attribute=attribute,
+            scores=tuple(scores),
+            full_model_power=float(full_power),
+            threshold=self.threshold,
+        )

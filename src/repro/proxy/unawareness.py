@@ -1,0 +1,129 @@
+"""Fairness through unawareness, demonstrated to fail (paper Section IV.B).
+
+The paper: *"Due to the commonly encountered misunderstanding that, upon
+sensitive attributes are excluded from an AI model's training, fairness
+is ensured (also called fairness by unawareness), bias can be perpetuated
+via proxy discrimination."*
+
+:func:`fairness_through_unawareness` runs the experiment end to end:
+train one model that *sees* the protected attribute and one that does
+not, then compare their demographic-parity gaps on held-out data.  When
+the training labels are biased and proxies exist, the unaware model's gap
+barely moves — the Section IV.B claim, reproduced by experiment C2.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_probability, check_random_state
+from repro.core.metrics import demographic_parity
+from repro.data.dataset import TabularDataset
+from repro.data.schema import ColumnRole
+from repro.exceptions import DatasetError
+from repro.models.base import Classifier
+from repro.models.logistic import LogisticRegression
+from repro.models.metrics import accuracy
+from repro.models.preprocessing import Standardizer
+
+__all__ = ["UnawarenessReport", "fairness_through_unawareness"]
+
+
+@dataclass(frozen=True)
+class UnawarenessReport:
+    """Side-by-side comparison of an aware and an unaware model."""
+
+    attribute: str
+    gap_aware: float
+    gap_unaware: float
+    accuracy_aware: float
+    accuracy_unaware: float
+
+    @property
+    def gap_reduction(self) -> float:
+        """Absolute gap removed by dropping the attribute (can be ≈ 0)."""
+        return self.gap_aware - self.gap_unaware
+
+    def unawareness_sufficient(self, tolerance: float = 0.05) -> bool:
+        """Did removal actually achieve parity (gap within tolerance)?"""
+        return self.gap_unaware <= tolerance
+
+    def conclusion(self) -> str:
+        """Plain-language verdict in the paper's terms."""
+        if self.gap_unaware <= 0.05:
+            return (
+                f"Removing {self.attribute!r} brought the selection-rate gap "
+                f"to {self.gap_unaware:.3f}; no strong proxies appear to "
+                "remain."
+            )
+        retained = (
+            self.gap_unaware / self.gap_aware if self.gap_aware > 0 else 1.0
+        )
+        return (
+            f"Fairness through unawareness FAILS here: removing "
+            f"{self.attribute!r} leaves a {self.gap_unaware:.3f} selection-"
+            f"rate gap ({retained:.0%} of the aware model's "
+            f"{self.gap_aware:.3f}); proxies carry the bias (paper IV.B)."
+        )
+
+
+def _fit_and_gap(
+    train: TabularDataset,
+    test: TabularDataset,
+    attribute: str,
+    model_factory: Callable[[], Classifier],
+) -> tuple[float, float]:
+    scaler = Standardizer()
+    X_train = scaler.fit_transform(train.feature_matrix())
+    X_test = scaler.transform(test.feature_matrix())
+    model = model_factory()
+    model.fit(X_train, train.labels())
+    predictions = model.predict(X_test)
+    gap = demographic_parity(predictions, test.column(attribute)).gap
+    return gap, accuracy(test.labels(), predictions)
+
+
+def fairness_through_unawareness(
+    dataset: TabularDataset,
+    attribute: str,
+    model_factory: Callable[[], Classifier] | None = None,
+    test_fraction: float = 0.3,
+    random_state: int | np.random.Generator | None = None,
+) -> UnawarenessReport:
+    """Compare an attribute-aware model against an unaware one.
+
+    The *aware* model receives the protected attribute as a feature; the
+    *unaware* model trains on the dataset as-is (protected columns are
+    never features).  Both are evaluated on the same held-out split.
+    """
+    if dataset.schema[attribute].role != ColumnRole.PROTECTED:
+        raise DatasetError(f"column {attribute!r} is not protected")
+    if dataset.schema.label_name is None:
+        raise DatasetError("dataset needs labels to train on")
+    check_probability(test_fraction, "test_fraction")
+    rng = check_random_state(random_state)
+    if model_factory is None:
+        model_factory = lambda: LogisticRegression(max_iter=800)
+
+    train, test = dataset.split(
+        test_fraction=test_fraction, random_state=rng, stratify_by=attribute
+    )
+
+    aware_train = train.with_role(attribute, ColumnRole.FEATURE)
+    aware_test = test.with_role(attribute, ColumnRole.FEATURE)
+    gap_aware, acc_aware = _fit_and_gap(
+        aware_train, aware_test, attribute, model_factory
+    )
+    gap_unaware, acc_unaware = _fit_and_gap(
+        train, test, attribute, model_factory
+    )
+    return UnawarenessReport(
+        attribute=attribute,
+        gap_aware=float(gap_aware),
+        gap_unaware=float(gap_unaware),
+        accuracy_aware=float(acc_aware),
+        accuracy_unaware=float(acc_unaware),
+    )

@@ -1,0 +1,17 @@
+"""Exposure-based ranking fairness (adjacent setting the paper cites)."""
+
+from repro.ranking.exposure import (
+    exposure_parity,
+    group_exposure,
+    position_weights,
+    representation_at_k,
+)
+from repro.ranking.rerank import fair_rerank
+
+__all__ = [
+    "position_weights",
+    "group_exposure",
+    "exposure_parity",
+    "representation_at_k",
+    "fair_rerank",
+]

@@ -1,0 +1,134 @@
+"""Fairness metrics for rankings (exposure-based).
+
+The paper points to fairness in rankings and recommendations (Pitoura
+et al., cited as [18]) as the adjacent setting where the same
+equal-treatment/equal-outcome tension plays out: position in a ranking
+determines *exposure*, and exposure — not just inclusion — is the
+resource courts would ask about in, say, a job-candidate ranking
+product.  This module provides:
+
+* :func:`position_weights` — the standard logarithmic position discount;
+* :func:`group_exposure` — each group's share of total exposure;
+* :func:`exposure_parity` — exposure share vs population share, as a
+  :class:`~repro.core.types.MetricResult`;
+* :func:`representation_at_k` — prefix representation (the "top-k
+  screenful" question).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_array_1d, check_positive_int, check_probability
+from repro.core.types import EqualityConcept, GroupStats, MetricResult
+from repro.exceptions import MetricError
+
+__all__ = [
+    "position_weights",
+    "group_exposure",
+    "exposure_parity",
+    "representation_at_k",
+]
+
+
+def position_weights(n: int) -> np.ndarray:
+    """Logarithmic position discount: w_i = 1 / log2(i + 2), i zero-based.
+
+    The DCG discount; position 0 gets weight 1, decaying slowly so deep
+    positions still carry some exposure.
+    """
+    check_positive_int(n, "n")
+    return 1.0 / np.log2(np.arange(n) + 2.0)
+
+
+def group_exposure(ranked_groups) -> dict:
+    """Share of total position-discounted exposure received per group.
+
+    ``ranked_groups`` lists each ranked item's group, best position
+    first.  Shares sum to 1.
+    """
+    ranked_groups = check_array_1d(ranked_groups, "ranked_groups")
+    if len(ranked_groups) == 0:
+        raise MetricError("ranking must be non-empty")
+    weights = position_weights(len(ranked_groups))
+    total = float(weights.sum())
+    shares = {}
+    for group in np.unique(ranked_groups):
+        shares[group] = float(weights[ranked_groups == group].sum() / total)
+    return shares
+
+
+def exposure_parity(
+    ranked_groups,
+    population_shares: dict | None = None,
+    tolerance: float = 0.0,
+) -> MetricResult:
+    """Exposure share vs entitlement per group.
+
+    Each group's *entitlement* defaults to its share of the ranked items
+    (proportional exposure); pass ``population_shares`` to measure
+    against an external population instead.  The result's ``gap`` is the
+    worst absolute shortfall ``max(0, entitlement − exposure)`` over
+    groups — over-exposure is not penalised, under-exposure is (the
+    disparate-impact framing).
+    """
+    ranked_groups = check_array_1d(ranked_groups, "ranked_groups")
+    check_probability(tolerance, "tolerance")
+    if len(ranked_groups) == 0:
+        raise MetricError("ranking must be non-empty")
+    exposure = group_exposure(ranked_groups)
+    if population_shares is None:
+        population_shares = {
+            g: float(np.mean(ranked_groups == g))
+            for g in np.unique(ranked_groups)
+        }
+    missing = set(exposure) - set(population_shares)
+    if missing:
+        raise MetricError(
+            f"population_shares lacks groups {sorted(missing, key=repr)}"
+        )
+
+    stats = []
+    shortfalls = {}
+    for group in sorted(exposure, key=repr):
+        share = exposure[group]
+        entitlement = float(population_shares[group])
+        shortfalls[group] = max(0.0, entitlement - share)
+        n_members = int(np.sum(ranked_groups == group))
+        stats.append(GroupStats(
+            group=group, n=n_members,
+            positives=n_members,  # every ranked member "participates"
+            rate=share,
+        ))
+    worst = max(shortfalls.values())
+    entitled = {g: float(population_shares[g]) for g in exposure}
+    return MetricResult(
+        metric="exposure_parity",
+        group_stats=tuple(stats),
+        gap=float(worst),
+        ratio=float(
+            min(
+                exposure[g] / entitled[g]
+                for g in exposure if entitled[g] > 0
+            )
+        ) if any(entitled[g] > 0 for g in exposure) else float("nan"),
+        tolerance=float(tolerance),
+        satisfied=bool(worst <= tolerance + 1e-12),
+        equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        details={"exposure": exposure, "entitlement": entitled,
+                 "shortfalls": shortfalls},
+    )
+
+
+def representation_at_k(ranked_groups, k: int) -> dict:
+    """Each group's share of the top-k positions."""
+    ranked_groups = check_array_1d(ranked_groups, "ranked_groups")
+    check_positive_int(k, "k")
+    if k > len(ranked_groups):
+        raise MetricError(
+            f"k={k} exceeds ranking length {len(ranked_groups)}"
+        )
+    top = ranked_groups[:k]
+    return {
+        g: float(np.mean(top == g)) for g in np.unique(ranked_groups)
+    }

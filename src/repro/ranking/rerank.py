@@ -1,0 +1,98 @@
+"""Fair re-ranking: enforce group representation at every prefix.
+
+A simplified FA*IR-style greedy re-ranker: walk positions top to bottom,
+at each prefix check which groups are *behind* their target proportion,
+and, when any are, place the best remaining candidate from the most
+underrepresented such group; otherwise place the best remaining
+candidate overall.  Within each group the original score order is always
+respected, so the intervention is a controlled merge, not a shuffle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_array_1d, check_same_length
+from repro.exceptions import MitigationError
+
+__all__ = ["fair_rerank"]
+
+
+def fair_rerank(
+    scores,
+    groups,
+    target_proportions: dict | None = None,
+) -> np.ndarray:
+    """Return indices of a re-ranked order satisfying prefix fairness.
+
+    Parameters
+    ----------
+    scores:
+        Relevance scores; higher is better.
+    groups:
+        Group label per candidate.
+    target_proportions:
+        group → minimum proportion at every prefix.  Defaults to each
+        group's overall share.  Proportions must sum to ≤ 1.
+
+    Returns
+    -------
+    An index array ``order`` such that ``scores[order]`` is the re-ranked
+    list (best position first).
+    """
+    scores = check_array_1d(scores, "scores").astype(float)
+    groups = check_array_1d(groups, "groups")
+    check_same_length(("scores", scores), ("groups", groups))
+    if len(scores) == 0:
+        raise MitigationError("nothing to rank")
+
+    unique = np.unique(groups).tolist()
+    if target_proportions is None:
+        target_proportions = {
+            g: float(np.mean(groups == g)) for g in unique
+        }
+    for group, proportion in target_proportions.items():
+        if group not in unique:
+            raise MitigationError(f"target group {group!r} has no candidates")
+        if proportion < 0:
+            raise MitigationError("target proportions must be non-negative")
+    if sum(target_proportions.values()) > 1.0 + 1e-9:
+        raise MitigationError(
+            f"target proportions sum to {sum(target_proportions.values()):.3f} > 1"
+        )
+
+    # Per-group queues in descending score order.
+    queues = {
+        g: list(np.flatnonzero(groups == g)[
+            np.argsort(-scores[groups == g], kind="stable")
+        ])
+        for g in unique
+    }
+    placed = {g: 0 for g in unique}
+    order: list[int] = []
+
+    for position in range(len(scores)):
+        prefix = position + 1
+        # groups behind target that still have candidates
+        behind = [
+            g for g in unique
+            if queues[g]
+            and placed[g] < np.floor(target_proportions.get(g, 0.0) * prefix)
+        ]
+        if behind:
+            # most underrepresented first (largest deficit)
+            chosen_group = max(
+                behind,
+                key=lambda g: target_proportions.get(g, 0.0) * prefix
+                - placed[g],
+            )
+        else:
+            # merit: best head-of-queue score among remaining groups
+            candidates = [g for g in unique if queues[g]]
+            chosen_group = max(
+                candidates, key=lambda g: scores[queues[g][0]]
+            )
+        index = queues[chosen_group].pop(0)
+        placed[chosen_group] += 1
+        order.append(index)
+    return np.array(order, dtype=int)

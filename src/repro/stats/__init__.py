@@ -1,0 +1,64 @@
+"""Statistical substrate: distances, hypothesis tests, sample complexity."""
+
+from repro.stats.distances import (
+    DISTANCE_REGISTRY,
+    align_distributions,
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    mmd_rbf,
+    sinkhorn_plan,
+    total_variation_distance,
+    wasserstein1_empirical,
+    wasserstein_discrete,
+)
+from repro.stats.sampling import (
+    SampleComplexityCurve,
+    SampleComplexityPoint,
+    dkw_sample_bound,
+    empirical_distribution,
+    estimate_required_samples,
+    hoeffding_sample_bound,
+    sample_complexity_curve,
+    sample_from_distribution,
+)
+from repro.stats.multiple_testing import benjamini_hochberg, holm_bonferroni
+from repro.stats.tests import (
+    TestResult,
+    bootstrap_ci,
+    chi_square_independence,
+    min_detectable_gap,
+    permutation_test,
+    two_proportion_z_test,
+    wilson_interval,
+)
+
+__all__ = [
+    "align_distributions",
+    "hellinger_distance",
+    "total_variation_distance",
+    "kl_divergence",
+    "js_divergence",
+    "wasserstein1_empirical",
+    "wasserstein_discrete",
+    "sinkhorn_plan",
+    "mmd_rbf",
+    "DISTANCE_REGISTRY",
+    "TestResult",
+    "two_proportion_z_test",
+    "chi_square_independence",
+    "permutation_test",
+    "bootstrap_ci",
+    "wilson_interval",
+    "min_detectable_gap",
+    "empirical_distribution",
+    "sample_from_distribution",
+    "SampleComplexityPoint",
+    "SampleComplexityCurve",
+    "sample_complexity_curve",
+    "estimate_required_samples",
+    "hoeffding_sample_bound",
+    "dkw_sample_bound",
+    "holm_bonferroni",
+    "benjamini_hochberg",
+]

@@ -1,0 +1,72 @@
+"""Multiple-testing corrections for subgroup scans (paper Section IV.C).
+
+An intersectional audit tests tens or hundreds of subgroups; at α = 0.05
+a clean model still "fails" several of them by chance.  The paper's
+sparsity warning therefore needs family-wise control:
+
+* :func:`holm_bonferroni` — strong FWER control, no independence
+  assumptions (the defensible default for legal findings);
+* :func:`benjamini_hochberg` — FDR control, more powerful when many
+  subgroups are genuinely disparate.
+
+Both return adjusted p-values aligned with the input order, so callers
+can simply compare against their original α.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_array_1d
+from repro.exceptions import ValidationError
+
+__all__ = ["holm_bonferroni", "benjamini_hochberg"]
+
+
+def _validated(p_values) -> np.ndarray:
+    p = check_array_1d(p_values, "p_values").astype(float)
+    if len(p) == 0:
+        raise ValidationError("p_values must be non-empty")
+    if np.any((p < 0) | (p > 1)) or np.any(np.isnan(p)):
+        raise ValidationError("p_values must lie in [0, 1]")
+    return p
+
+
+def holm_bonferroni(p_values) -> np.ndarray:
+    """Holm's step-down adjusted p-values (strong FWER control).
+
+    adjusted_(i) = max over j ≤ i of min(1, (m − j + 1) · p_(j))
+    where p_(1) ≤ … ≤ p_(m).
+    """
+    p = _validated(p_values)
+    m = len(p)
+    order = np.argsort(p, kind="mergesort")
+    adjusted_sorted = np.empty(m)
+    running_max = 0.0
+    for rank, index in enumerate(order):
+        value = min(1.0, (m - rank) * p[index])
+        running_max = max(running_max, value)
+        adjusted_sorted[rank] = running_max
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return adjusted
+
+
+def benjamini_hochberg(p_values) -> np.ndarray:
+    """Benjamini–Hochberg adjusted p-values (FDR control).
+
+    adjusted_(i) = min over j ≥ i of min(1, m · p_(j) / j).
+    """
+    p = _validated(p_values)
+    m = len(p)
+    order = np.argsort(p, kind="mergesort")
+    adjusted_sorted = np.empty(m)
+    running_min = 1.0
+    for rank in range(m - 1, -1, -1):
+        index = order[rank]
+        value = min(1.0, m * p[index] / (rank + 1))
+        running_min = min(running_min, value)
+        adjusted_sorted[rank] = running_min
+    adjusted = np.empty(m)
+    adjusted[order] = adjusted_sorted
+    return adjusted

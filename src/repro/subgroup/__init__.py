@@ -1,0 +1,23 @@
+"""Intersectional / subgroup fairness (paper Section IV.C)."""
+
+from repro.subgroup.auditor import (
+    GerrymanderingAuditor,
+    SubgroupFinding,
+    adjust_for_multiple_testing,
+    audit_subgroups,
+)
+from repro.subgroup.enumeration import (
+    Subgroup,
+    enumerate_subgroups,
+    subgroup_space_size,
+)
+
+__all__ = [
+    "Subgroup",
+    "enumerate_subgroups",
+    "subgroup_space_size",
+    "SubgroupFinding",
+    "audit_subgroups",
+    "adjust_for_multiple_testing",
+    "GerrymanderingAuditor",
+]

@@ -1,0 +1,266 @@
+"""Intersectional subgroup auditing (paper Section IV.C).
+
+Two complementary strategies:
+
+* :func:`audit_subgroups` — exhaustive scan over enumerated attribute
+  conjunctions, each finding carrying a Wilson confidence interval and a
+  two-proportion significance test against the complement (the paper's
+  sparsity caveat, made explicit);
+* :class:`GerrymanderingAuditor` — a learned-oracle search in the spirit
+  of Kearns et al.'s fairness-gerrymandering auditor: instead of
+  enumerating conjunctions, fit a shallow decision tree to the model's
+  outputs over the protected attributes and read the most disparate
+  leaves as candidate subgroups.  Scales past the exponential enumeration
+  wall at the cost of completeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    check_binary_array,
+    check_positive_int,
+    check_probability,
+)
+from repro.data.dataset import TabularDataset
+from repro.exceptions import AuditError
+from repro.models.preprocessing import OneHotEncoder
+from repro.models.tree import DecisionTree
+from repro.stats.tests import two_proportion_z_test, wilson_interval
+from repro.subgroup.enumeration import Subgroup, enumerate_subgroups
+
+__all__ = [
+    "SubgroupFinding",
+    "audit_subgroups",
+    "adjust_for_multiple_testing",
+    "GerrymanderingAuditor",
+]
+
+
+@dataclass(frozen=True)
+class SubgroupFinding:
+    """Disparity evidence for one subgroup versus its complement.
+
+    ``adjusted_p_value`` is populated by
+    :func:`adjust_for_multiple_testing`; when present, it is what
+    :meth:`significant` checks — a scan over many subgroups must not
+    treat raw per-test p-values as findings (paper IV.C).
+    """
+
+    subgroup: Subgroup
+    rate: float
+    complement_rate: float
+    gap: float
+    ci_low: float
+    ci_high: float
+    p_value: float
+    adjusted_p_value: float | None = None
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Is the disparity significant at ``alpha`` (adjusted when
+        available)?"""
+        p = self.p_value if self.adjusted_p_value is None else self.adjusted_p_value
+        return p < alpha
+
+    def __repr__(self) -> str:
+        return (
+            f"SubgroupFinding({self.subgroup.label()}, rate={self.rate:.3f} "
+            f"vs {self.complement_rate:.3f}, gap={self.gap:+.3f}, "
+            f"p={self.p_value:.4f})"
+        )
+
+
+def audit_subgroups(
+    predictions,
+    dataset: TabularDataset,
+    attributes: list[str] | None = None,
+    max_order: int = 2,
+    min_size: int = 10,
+    alpha: float = 0.05,
+) -> list[SubgroupFinding]:
+    """Exhaustive subgroup disparity scan, most disparate first.
+
+    Each subgroup's selection rate is compared to the rate of everyone
+    *outside* the subgroup; gaps are signed (negative = subgroup
+    disadvantaged).  Subgroups below ``min_size`` are not audited at all:
+    the paper's Section IV.C position is that findings on such groups are
+    statistically meaningless, so we surface the threshold rather than
+    the noise.
+    """
+    predictions = check_binary_array(predictions, "predictions")
+    if len(predictions) != dataset.n_rows:
+        raise AuditError("predictions length does not match dataset")
+    check_probability(alpha, "alpha")
+    if attributes is None:
+        attributes = dataset.schema.protected_names
+    if not attributes:
+        raise AuditError("no attributes to audit")
+
+    findings = []
+    for subgroup in enumerate_subgroups(
+        dataset, attributes, max_order=max_order, min_size=min_size
+    ):
+        inside = predictions[subgroup.mask]
+        outside = predictions[~subgroup.mask]
+        if len(outside) == 0:
+            continue
+        rate = float(inside.mean())
+        complement = float(outside.mean())
+        test = two_proportion_z_test(
+            int(inside.sum()), len(inside), int(outside.sum()), len(outside)
+        )
+        lo, hi = wilson_interval(int(inside.sum()), len(inside))
+        findings.append(
+            SubgroupFinding(
+                subgroup=subgroup,
+                rate=rate,
+                complement_rate=complement,
+                gap=rate - complement,
+                ci_low=lo,
+                ci_high=hi,
+                p_value=test.p_value,
+            )
+        )
+    findings.sort(key=lambda f: (-abs(f.gap), f.subgroup.label()))
+    return findings
+
+
+def adjust_for_multiple_testing(
+    findings: list[SubgroupFinding], method: str = "holm"
+) -> list[SubgroupFinding]:
+    """Attach multiplicity-adjusted p-values to a subgroup scan.
+
+    ``method`` is ``"holm"`` (family-wise control; the defensible default
+    for legal findings) or ``"bh"`` (Benjamini–Hochberg FDR control).
+    Returns new findings in the original order; ``significant()`` then
+    checks the adjusted values.
+    """
+    from dataclasses import replace
+
+    from repro.stats.multiple_testing import (
+        benjamini_hochberg,
+        holm_bonferroni,
+    )
+
+    if not findings:
+        return []
+    if method == "holm":
+        adjusted = holm_bonferroni([f.p_value for f in findings])
+    elif method == "bh":
+        adjusted = benjamini_hochberg([f.p_value for f in findings])
+    else:
+        raise AuditError(
+            f"unknown correction method {method!r}; use 'holm' or 'bh'"
+        )
+    return [
+        replace(finding, adjusted_p_value=float(p))
+        for finding, p in zip(findings, adjusted)
+    ]
+
+
+class GerrymanderingAuditor:
+    """Learned-oracle subgroup search (Kearns et al. style).
+
+    Fits a shallow :class:`DecisionTree` to the audited predictions using
+    one-hot encodings of the protected attributes as inputs; tree leaves
+    are regions of the protected space where the model's selection rate is
+    internally homogeneous and maximally different from elsewhere — i.e.
+    candidate gerrymandered subgroups.  The most disparate leaf is
+    returned as the audit's certificate.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_leaf_fraction: float = 0.02,
+    ):
+        self.max_depth = check_positive_int(max_depth, "max_depth")
+        self.min_leaf_fraction = check_probability(
+            min_leaf_fraction, "min_leaf_fraction"
+        )
+
+    def find_worst_subgroup(
+        self,
+        predictions,
+        dataset: TabularDataset,
+        attributes: list[str] | None = None,
+    ) -> SubgroupFinding:
+        """The leaf subgroup with the largest absolute selection-rate gap."""
+        predictions = check_binary_array(predictions, "predictions")
+        if len(predictions) != dataset.n_rows:
+            raise AuditError("predictions length does not match dataset")
+        if attributes is None:
+            attributes = dataset.schema.protected_names
+        if not attributes:
+            raise AuditError("no attributes to audit")
+
+        blocks, encoders = [], {}
+        feature_names: list[tuple[str, object]] = []
+        for attribute in attributes:
+            encoder = OneHotEncoder()
+            blocks.append(encoder.fit_transform(dataset.column(attribute)))
+            encoders[attribute] = encoder
+            feature_names.extend(
+                (attribute, category) for category in encoder.categories
+            )
+        X = np.hstack(blocks)
+
+        min_leaf = max(1, int(self.min_leaf_fraction * dataset.n_rows))
+        oracle = DecisionTree(
+            max_depth=self.max_depth, min_samples_leaf=min_leaf
+        )
+        if len(np.unique(predictions)) < 2:
+            raise AuditError(
+                "predictions are constant; no subgroup disparity can exist"
+            )
+        oracle.fit(X, predictions)
+
+        # Assign every row to its leaf and compare leaf rates.
+        leaf_probs = oracle.predict_proba(X)
+        best: SubgroupFinding | None = None
+        for leaf_value in np.unique(leaf_probs):
+            mask = leaf_probs == leaf_value
+            inside = predictions[mask]
+            outside = predictions[~mask]
+            if len(inside) < min_leaf or len(outside) == 0:
+                continue
+            rate = float(inside.mean())
+            complement = float(outside.mean())
+            gap = rate - complement
+            test = two_proportion_z_test(
+                int(inside.sum()), len(inside), int(outside.sum()), len(outside)
+            )
+            lo, hi = wilson_interval(int(inside.sum()), len(inside))
+            conditions = self._describe_leaf(X, mask, feature_names)
+            finding = SubgroupFinding(
+                subgroup=Subgroup(
+                    conditions=conditions, size=int(mask.sum()), mask=mask
+                ),
+                rate=rate,
+                complement_rate=complement,
+                gap=gap,
+                ci_low=lo,
+                ci_high=hi,
+                p_value=test.p_value,
+            )
+            if best is None or abs(finding.gap) > abs(best.gap):
+                best = finding
+        if best is None:
+            raise AuditError("oracle produced no usable leaves")
+        return best
+
+    @staticmethod
+    def _describe_leaf(
+        X: np.ndarray, mask: np.ndarray, feature_names: list
+    ) -> tuple:
+        """Conditions (attribute, value) constant across all leaf members."""
+        conditions = []
+        members = X[mask]
+        for j, (attribute, value) in enumerate(feature_names):
+            column = members[:, j]
+            if np.all(column == 1.0):
+                conditions.append((attribute, value))
+        return tuple(conditions)

@@ -1,0 +1,196 @@
+"""Compliance workflow: the paper's Section V best practices, end to end.
+
+The paper closes by calling for "a set of systematic guidelines for the
+design, deployment and assessment of fairness methods on AI systems, on
+real-world use cases."  :func:`run_compliance_workflow` is that
+guideline as a function.  Given a use-case profile, a dataset, and
+(optionally) model outputs, it:
+
+1. resolves the applicable statutes for every protected attribute
+   (Section II);
+2. ranks fairness definitions for the use case with written rationale
+   (Section IV criteria) and lists the cross-cutting risk flags;
+3. runs the full audit battery, intersections included (Section III
+   definitions + IV.C drill-down);
+4. cross-checks the audit against the recommendation — the headline
+   verdict is driven by the metrics the criteria engine ranked for
+   *this* use case, not by a fixed default;
+5. assembles everything into a :class:`ComplianceDossier` that renders
+   to a single markdown document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditReport, FairnessAudit
+from repro.core.criteria import (
+    UseCaseProfile,
+    recommend_metrics,
+    risk_flags,
+)
+from repro.core.legal import statutes_protecting
+from repro.core.report import render_markdown
+from repro.data.dataset import TabularDataset
+from repro.exceptions import AuditError
+
+__all__ = ["ComplianceDossier", "run_compliance_workflow"]
+
+
+@dataclass
+class ComplianceDossier:
+    """Everything a fairness review of one deployment produces."""
+
+    profile: UseCaseProfile
+    statutes: dict  # attribute -> list[Statute]
+    recommendations: list
+    risks: list
+    audit: AuditReport
+    primary_metric: str
+    primary_finding_satisfied: bool | None
+
+    @property
+    def verdict(self) -> str:
+        """``"pass"``, ``"fail"``, or ``"inconclusive"`` on the primary
+        (criteria-recommended) metric."""
+        if self.primary_finding_satisfied is None:
+            return "inconclusive"
+        return "pass" if self.primary_finding_satisfied else "fail"
+
+    def to_markdown(self) -> str:
+        """Render the dossier as one reviewable document."""
+        lines = [
+            f"# Compliance dossier — {self.profile.name}",
+            "",
+            f"- sector: {self.profile.sector}",
+            f"- jurisdiction: {self.profile.jurisdiction.upper()}",
+            f"- primary metric (criteria-selected): `{self.primary_metric}`",
+            f"- **verdict on primary metric: {self.verdict.upper()}**",
+            "",
+            "## Applicable statutes (paper §II)",
+            "",
+        ]
+        for attribute, statutes in self.statutes.items():
+            lines.append(f"### Protected attribute `{attribute}`")
+            if not statutes:
+                lines.append(
+                    "- no cataloged statute matches this attribute/sector; "
+                    "verify the attribute naming against the catalog"
+                )
+            for statute in statutes:
+                lines.append(f"- {statute.name} ({statute.year})")
+            lines.append("")
+
+        lines.append("## Metric selection (paper §IV criteria)")
+        lines.append("")
+        for rec in self.recommendations:
+            marker = "" if rec.feasible else " **[infeasible]**"
+            lines.append(
+                f"- {rec.score:+.1f} `{rec.metric}` "
+                f"[{rec.equality_concept}]{marker}"
+            )
+            for reason in rec.rationale:
+                lines.append(f"  - {reason}")
+            for blocker in rec.blockers:
+                lines.append(f"  - blocked: {blocker}")
+        lines.append("")
+
+        lines.append("## Cross-cutting risks (paper §IV.B–IV.F)")
+        lines.append("")
+        for flag in self.risks:
+            lines.append(f"- **[{flag.paper_section}] {flag.risk}** — "
+                         f"{flag.advice}")
+            if flag.tooling:
+                lines.append(f"  - tooling: {', '.join(flag.tooling)}")
+        lines.append("")
+
+        lines.append("## Audit")
+        lines.append("")
+        lines.append(render_markdown(self.audit))
+        return "\n".join(lines)
+
+
+def run_compliance_workflow(
+    dataset: TabularDataset,
+    profile: UseCaseProfile,
+    predictions=None,
+    probabilities=None,
+    tolerance: float = 0.05,
+    strata: str | None = None,
+) -> ComplianceDossier:
+    """Execute the full Section V workflow on one deployment.
+
+    The *primary metric* is the highest-ranked feasible recommendation
+    that the audit battery can actually evaluate on this dataset; its
+    verdict headlines the dossier.
+    """
+    statutes = {}
+    for attribute in dataset.schema.protected_names:
+        column = dataset.schema[attribute]
+        hits = []
+        seen = set()
+        # Attribute names double as protected-attribute terms ("sex",
+        # "race"), and schema statute_tags name statute keys directly.
+        for statute in statutes_protecting(
+            attribute, sector=profile.sector,
+            jurisdiction=None,
+        ):
+            if statute.key not in seen:
+                hits.append(statute)
+                seen.add(statute.key)
+        from repro.core.legal import STATUTES
+
+        for tag in column.statute_tags:
+            statute = STATUTES.get(tag)
+            if statute is not None and statute.key not in seen:
+                hits.append(statute)
+                seen.add(statute.key)
+        statutes[attribute] = hits
+
+    recommendations = recommend_metrics(profile)
+    risks = risk_flags(profile)
+
+    audit = FairnessAudit(
+        dataset,
+        predictions=predictions,
+        probabilities=probabilities,
+        tolerance=tolerance,
+        strata=strata,
+    ).run()
+
+    primary_metric, satisfied = _primary_verdict(recommendations, audit)
+    return ComplianceDossier(
+        profile=profile,
+        statutes=statutes,
+        recommendations=recommendations,
+        risks=risks,
+        audit=audit,
+        primary_metric=primary_metric,
+        primary_finding_satisfied=satisfied,
+    )
+
+
+def _primary_verdict(
+    recommendations: list, audit: AuditReport
+) -> tuple[str, bool | None]:
+    """First feasible recommendation the audit evaluated, and its verdict.
+
+    When the top recommendation was skipped by the audit (e.g. the
+    counterfactual metric, which the battery cannot run without an SCM),
+    fall through to the next; a dossier with *no* evaluable recommended
+    metric is a configuration error worth raising, not hiding.
+    """
+    for rec in recommendations:
+        if not rec.feasible:
+            continue
+        verdicts = [
+            f.satisfied
+            for f in audit.all_findings()
+            if f.metric == rec.metric and f.satisfied is not None
+        ]
+        if verdicts:
+            return rec.metric, all(verdicts)
+    raise AuditError(
+        "no criteria-recommended metric could be evaluated by the audit; "
+        "check the dataset roles and audit configuration"
+    )

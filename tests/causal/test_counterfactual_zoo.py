@@ -1,0 +1,100 @@
+"""Tests for counterfactual auditing and the SCM zoo."""
+
+import numpy as np
+import pytest
+
+from repro.causal import (
+    CounterfactualResult,
+    biased_hiring_scm,
+    counterfactual_flip_rate,
+    generate_counterfactual_pairs,
+    law_school_scm,
+)
+from repro.exceptions import CausalModelError
+
+
+class TestCounterfactualResult:
+    def test_flip_rate(self):
+        result = CounterfactualResult(
+            np.array([1, 0, 1, 0]), np.array([1, 1, 1, 0]), tolerance=0.0
+        )
+        assert result.flip_rate == pytest.approx(0.25)
+        assert not result.is_fair
+
+    def test_tolerance_allows_small_flips(self):
+        result = CounterfactualResult(
+            np.array([1, 0, 1, 0]), np.array([1, 1, 1, 0]), tolerance=0.3
+        )
+        assert result.is_fair
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CausalModelError, match="equal shape"):
+            CounterfactualResult(np.array([1, 0]), np.array([1]), 0.0)
+
+
+class TestHiringScm:
+    def test_sex_effect_shifts_features(self):
+        scm = biased_hiring_scm(sex_effect_experience=-2.0)
+        data = scm.sample(20000, random_state=0)
+        female = data["sex"] == 1.0
+        gap = data["experience"][~female].mean() - data["experience"][female].mean()
+        assert gap == pytest.approx(2.0, abs=0.1)
+
+    def test_zero_effect_no_gap(self):
+        scm = biased_hiring_scm(sex_effect_experience=0.0, sex_effect_skill=0.0)
+        data = scm.sample(20000, random_state=0)
+        female = data["sex"] == 1.0
+        gap = abs(
+            data["skill_score"][~female].mean()
+            - data["skill_score"][female].mean()
+        )
+        assert gap < 0.5
+
+
+class TestLawSchoolScm:
+    def test_knowledge_drives_both_scores(self):
+        scm = law_school_scm()
+        data = scm.sample(20000, random_state=0)
+        corr = np.corrcoef(data["gpa"], data["lsat"])[0, 1]
+        assert corr > 0.4
+
+    def test_race_effect_on_lsat(self):
+        scm = law_school_scm(race_effect_lsat=-5.0)
+        data = scm.sample(30000, random_state=0)
+        minority = data["race"] == 1.0
+        gap = data["lsat"][~minority].mean() - data["lsat"][minority].mean()
+        assert gap == pytest.approx(5.0, abs=0.3)
+
+
+class TestFlipRateAudit:
+    def test_pairs_share_noise(self):
+        scm = biased_hiring_scm()
+        observed = scm.sample(300, random_state=0)
+        factual, counter = generate_counterfactual_pairs(
+            scm, observed, "sex", 1.0 - observed["sex"]
+        )
+        # exogenous noise is held fixed: counterfactual experience differs
+        # from factual by exactly the sex effect
+        delta = counter["experience"] - factual["experience"]
+        expected = -1.0 * (1.0 - 2.0 * factual["sex"])
+        np.testing.assert_allclose(delta, expected, atol=1e-10)
+
+    def test_flip_rate_increases_with_effect_size(self):
+        rates = []
+        for effect in (0.0, -2.0, -6.0):
+            scm = biased_hiring_scm(
+                sex_effect_experience=effect, sex_effect_skill=3 * effect
+            )
+            observed = scm.sample(2000, random_state=1)
+
+            def predictor(values):
+                return (
+                    values["experience"] + 0.1 * values["skill_score"] > 11.5
+                ).astype(int)
+
+            result = counterfactual_flip_rate(
+                scm, observed, "sex", 1.0 - observed["sex"], predictor
+            )
+            rates.append(result.flip_rate)
+        assert rates[0] == pytest.approx(0.0)
+        assert rates[0] < rates[1] < rates[2]

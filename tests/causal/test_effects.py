@@ -1,0 +1,107 @@
+"""Tests for repro.causal.effects — direct vs indirect decomposition."""
+
+import pytest
+
+from repro.causal import biased_hiring_scm, effect_decomposition
+from repro.exceptions import CausalModelError
+
+EXPERIENCE_EFFECT = -2.0
+SKILL_EFFECT = -8.0
+
+
+@pytest.fixture(scope="module")
+def scm():
+    return biased_hiring_scm(
+        sex_effect_experience=EXPERIENCE_EFFECT,
+        sex_effect_skill=SKILL_EFFECT,
+    )
+
+
+def _feature_predictor(values):
+    """Reads only the mediators, never sex."""
+    return (
+        0.4 * values["experience"] + 0.1 * values["skill_score"] > 9.0
+    ).astype(int)
+
+
+def _direct_predictor(values):
+    """Reads sex directly AND the mediators."""
+    return (
+        0.4 * values["experience"]
+        + 0.1 * values["skill_score"]
+        - 2.0 * values["sex"]
+        > 9.0
+    ).astype(int)
+
+
+class TestDecomposition:
+    def test_unaware_predictor_has_zero_nde(self, scm):
+        decomp = effect_decomposition(
+            scm, "sex", _feature_predictor, n=8000, random_state=0
+        )
+        assert decomp.natural_direct_effect == pytest.approx(0.0)
+        assert decomp.total_effect < -0.05  # females disadvantaged
+        assert decomp.natural_indirect_effect == pytest.approx(
+            decomp.total_effect
+        )
+        assert decomp.indirect_share == pytest.approx(1.0)
+        assert decomp.dominant_channel() == "indirect"
+
+    def test_direct_predictor_has_nonzero_nde(self, scm):
+        decomp = effect_decomposition(
+            scm, "sex", _direct_predictor, n=8000, random_state=0
+        )
+        assert decomp.natural_direct_effect < -0.05
+        assert abs(decomp.total_effect) > abs(decomp.natural_direct_effect)
+
+    def test_te_is_sum_of_nde_and_nie(self, scm):
+        decomp = effect_decomposition(
+            scm, "sex", _direct_predictor, n=4000, random_state=1
+        )
+        assert decomp.total_effect == pytest.approx(
+            decomp.natural_direct_effect + decomp.natural_indirect_effect
+        )
+
+    def test_no_causal_effect_no_te(self):
+        neutral = biased_hiring_scm(
+            sex_effect_experience=0.0, sex_effect_skill=0.0
+        )
+        decomp = effect_decomposition(
+            neutral, "sex", _feature_predictor, n=8000, random_state=0
+        )
+        assert abs(decomp.total_effect) < 0.02
+
+    def test_direct_only_predictor_dominant_direct(self):
+        neutral = biased_hiring_scm(
+            sex_effect_experience=0.0, sex_effect_skill=0.0
+        )
+
+        def sexist(values):
+            return (values["sex"] < 0.5).astype(int)  # hires only males
+
+        decomp = effect_decomposition(
+            neutral, "sex", sexist, n=4000, random_state=0
+        )
+        assert decomp.total_effect == pytest.approx(-1.0)
+        assert decomp.dominant_channel() == "direct"
+        assert decomp.indirect_share == pytest.approx(0.0, abs=1e-9)
+
+    def test_rates_are_probabilities(self, scm):
+        decomp = effect_decomposition(
+            scm, "sex", _feature_predictor, n=2000, random_state=2
+        )
+        assert 0.0 <= decomp.baseline_rate <= 1.0
+        assert 0.0 <= decomp.treated_rate <= 1.0
+
+    def test_unknown_protected_raises(self, scm):
+        with pytest.raises(CausalModelError, match="unknown protected"):
+            effect_decomposition(scm, "ghost", _feature_predictor)
+
+    def test_deterministic_given_seed(self, scm):
+        a = effect_decomposition(
+            scm, "sex", _feature_predictor, n=2000, random_state=9
+        )
+        b = effect_decomposition(
+            scm, "sex", _feature_predictor, n=2000, random_state=9
+        )
+        assert a.total_effect == b.total_effect

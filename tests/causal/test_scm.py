@@ -1,0 +1,147 @@
+"""Tests for repro.causal.scm."""
+
+import numpy as np
+import pytest
+
+from repro.causal import StructuralCausalModel, Variable
+from repro.exceptions import CausalModelError
+
+
+def _chain_scm():
+    """u -> x -> y with additive noise on x; y = 2x deterministic."""
+    return StructuralCausalModel([
+        Variable("u", sampler=lambda rng, n: rng.normal(0, 1, n)),
+        Variable("a", sampler=lambda rng, n: (rng.random(n) < 0.5).astype(float)),
+        Variable("x", parents=("a", "u"),
+                 equation=lambda v: 3.0 * v["a"] + v["u"]),
+        Variable("y", parents=("x",), equation=lambda v: 2.0 * v["x"]),
+    ])
+
+
+class TestConstruction:
+    def test_variable_needs_exactly_one_of_equation_sampler(self):
+        with pytest.raises(CausalModelError, match="exactly one"):
+            Variable("x")
+        with pytest.raises(CausalModelError, match="exactly one"):
+            Variable("x", equation=lambda v: v, sampler=lambda r, n: None)
+
+    def test_exogenous_cannot_have_parents(self):
+        with pytest.raises(CausalModelError, match="cannot have parents"):
+            Variable("x", parents=("y",), sampler=lambda r, n: None)
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(CausalModelError, match="unknown parent"):
+            StructuralCausalModel([
+                Variable("x", parents=("ghost",), equation=lambda v: v["ghost"]),
+            ])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CausalModelError, match="cycle"):
+            StructuralCausalModel([
+                Variable("x", parents=("y",), equation=lambda v: v["y"]),
+                Variable("y", parents=("x",), equation=lambda v: v["x"]),
+            ])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CausalModelError, match="duplicate"):
+            StructuralCausalModel([
+                Variable("x", sampler=lambda r, n: r.normal(0, 1, n)),
+                Variable("x", sampler=lambda r, n: r.normal(0, 1, n)),
+            ])
+
+    def test_topological_order(self):
+        scm = _chain_scm()
+        order = scm.variable_names
+        assert order.index("x") > order.index("a")
+        assert order.index("y") > order.index("x")
+
+    def test_descendants(self):
+        scm = _chain_scm()
+        assert scm.descendants("a") == {"x", "y"}
+        assert scm.descendants("y") == set()
+
+
+class TestSampling:
+    def test_structural_equations_hold(self):
+        scm = _chain_scm()
+        values = scm.sample(500, random_state=0)
+        np.testing.assert_allclose(
+            values["x"], 3.0 * values["a"] + values["u"]
+        )
+        np.testing.assert_allclose(values["y"], 2.0 * values["x"])
+
+    def test_deterministic_given_seed(self):
+        scm = _chain_scm()
+        a = scm.sample(100, random_state=7)
+        b = scm.sample(100, random_state=7)
+        np.testing.assert_allclose(a["y"], b["y"])
+
+    def test_intervention_overrides_equation(self):
+        scm = _chain_scm()
+        values = scm.intervene(200, {"x": 1.5}, random_state=0)
+        np.testing.assert_allclose(values["x"], 1.5)
+        np.testing.assert_allclose(values["y"], 3.0)
+
+    def test_intervention_does_not_affect_ancestors(self):
+        scm = _chain_scm()
+        plain = scm.sample(300, random_state=5)
+        dosed = scm.sample(300, random_state=5, interventions={"x": 0.0})
+        np.testing.assert_allclose(plain["a"], dosed["a"])
+        np.testing.assert_allclose(plain["u"], dosed["u"])
+
+    def test_intervention_array_value(self):
+        scm = _chain_scm()
+        values = scm.intervene(4, {"x": np.array([1.0, 2.0, 3.0, 4.0])})
+        np.testing.assert_allclose(values["y"], [2.0, 4.0, 6.0, 8.0])
+
+    def test_unknown_intervention_target_raises(self):
+        with pytest.raises(CausalModelError, match="unknown variable"):
+            _chain_scm().intervene(10, {"ghost": 1.0})
+
+    def test_provided_noise_is_used(self):
+        scm = _chain_scm()
+        noise = {
+            "u": np.ones(5),
+            "a": np.zeros(5),
+        }
+        values = scm.sample(5, noise=noise)
+        np.testing.assert_allclose(values["x"], 1.0)
+
+    def test_wrong_noise_shape_raises(self):
+        scm = _chain_scm()
+        with pytest.raises(CausalModelError, match="shape"):
+            scm.sample(5, noise={"u": np.ones(3), "a": np.zeros(5)})
+
+
+class TestAbductionAndCounterfactuals:
+    def test_abduction_recovers_noise(self):
+        scm = _chain_scm()
+        data = scm.sample(300, random_state=0)
+        observed = {k: data[k] for k in ("a", "x", "y")}
+        noise = scm.abduct(observed)
+        np.testing.assert_allclose(noise["u"], data["u"], atol=1e-10)
+
+    def test_abduction_requires_all_endogenous(self):
+        scm = _chain_scm()
+        data = scm.sample(10, random_state=0)
+        with pytest.raises(CausalModelError, match="missing"):
+            scm.abduct({"a": data["a"], "x": data["x"]})
+
+    def test_counterfactual_consistency(self):
+        # intervening with the factual value reproduces the observation
+        scm = _chain_scm()
+        data = scm.sample(200, random_state=1)
+        observed = {k: data[k] for k in ("a", "x", "y")}
+        cf = scm.counterfactual(observed, {"a": data["a"]})
+        np.testing.assert_allclose(cf["x"], data["x"], atol=1e-10)
+        np.testing.assert_allclose(cf["y"], data["y"], atol=1e-10)
+
+    def test_counterfactual_effect_propagates(self):
+        scm = _chain_scm()
+        data = scm.sample(200, random_state=2)
+        observed = {k: data[k] for k in ("a", "x", "y")}
+        cf = scm.counterfactual(observed, {"a": 1.0 - data["a"]})
+        # flipping a changes x by ±3 while keeping u fixed
+        delta = cf["x"] - data["x"]
+        expected = 3.0 * (1.0 - 2.0 * data["a"])
+        np.testing.assert_allclose(delta, expected, atol=1e-10)

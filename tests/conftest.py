@@ -1,0 +1,59 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Column, Schema, TabularDataset, make_hiring
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_schema():
+    """Minimal schema: one numeric feature, one protected, one label."""
+    return Schema((
+        Column("score", kind="numeric"),
+        Column(
+            "sex",
+            kind="categorical",
+            role="protected",
+            categories=("male", "female"),
+        ),
+        Column("hired", kind="binary", role="label"),
+    ))
+
+
+@pytest.fixture
+def tiny_dataset(tiny_schema):
+    return TabularDataset(tiny_schema, {
+        "score": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        "sex": ["male", "female", "male", "female", "male", "female"],
+        "hired": [1, 0, 1, 1, 0, 0],
+    })
+
+
+@pytest.fixture
+def biased_hiring():
+    """A mid-sized hiring dataset with direct label bias and a strong proxy."""
+    return make_hiring(
+        n=1200, direct_bias=1.5, proxy_strength=0.85, random_state=7
+    )
+
+
+@pytest.fixture
+def clean_hiring():
+    """An unbiased hiring dataset (labels driven by qualification only)."""
+    return make_hiring(n=1200, direct_bias=0.0, proxy_strength=0.0, random_state=7)
+
+
+@pytest.fixture
+def paper_e1_arrays():
+    """The paper's III.A example: 20 males (10 hired), 10 females (5 hired)."""
+    predictions = [1] * 10 + [0] * 10 + [1] * 5 + [0] * 5
+    groups = ["male"] * 20 + ["female"] * 10
+    return np.array(predictions), np.array(groups)

@@ -1,0 +1,130 @@
+"""Tests for the companion metrics: treatment equality, FPR parity,
+overall accuracy equality."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FairnessAudit,
+    equalized_odds,
+    false_positive_rate_parity,
+    overall_accuracy_equality,
+    treatment_equality,
+)
+from repro.data import make_hiring
+from repro.exceptions import InsufficientDataError
+from repro.models import LogisticRegression, Standardizer
+
+
+def _blocks(*pairs):
+    out = []
+    for value, count in pairs:
+        out.extend([value] * count)
+    return np.array(out)
+
+
+class TestTreatmentEquality:
+    def test_balanced_errors_satisfy(self):
+        # both groups: 2 FN, 2 FP
+        y_true = _blocks((1, 4), (0, 4), (1, 4), (0, 4))
+        preds = np.concatenate([
+            _blocks((1, 2), (0, 2), (0, 2), (1, 2)),
+            _blocks((1, 2), (0, 2), (0, 2), (1, 2)),
+        ])
+        groups = _blocks(("a", 8), ("b", 8))
+        result = treatment_equality(y_true, preds, groups)
+        assert result.satisfied
+        assert result.rate_of("a") == pytest.approx(0.5)
+
+    def test_skewed_error_types_violate(self):
+        # group a: all errors are FNs; group b: all errors are FPs
+        y_true = _blocks((1, 4), (0, 4), (1, 4), (0, 4))
+        preds = np.concatenate([
+            _blocks((0, 4), (0, 4)),   # a: 4 FN, 0 FP
+            _blocks((1, 4), (1, 4)),   # b: 0 FN, 4 FP
+        ])
+        groups = _blocks(("a", 8), ("b", 8))
+        result = treatment_equality(y_true, preds, groups)
+        assert not result.satisfied
+        assert result.rate_of("a") == 1.0
+        assert result.rate_of("b") == 0.0
+
+    def test_error_free_group_raises(self):
+        y_true = _blocks((1, 2), (0, 2), (1, 2), (0, 2))
+        preds = np.concatenate([
+            _blocks((1, 2), (0, 2)),   # a: perfect
+            _blocks((0, 2), (1, 2)),   # b: all wrong
+        ])
+        groups = _blocks(("a", 4), ("b", 4))
+        with pytest.raises(InsufficientDataError, match="no errors"):
+            treatment_equality(y_true, preds, groups)
+
+
+class TestFprParity:
+    def test_half_of_equalized_odds(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        groups = np.where(rng.random(n) < 0.5, "a", "b")
+        y_true = rng.integers(0, 2, n)
+        # equal TPR but unequal FPR between groups
+        preds = np.where(
+            y_true == 1,
+            (rng.random(n) < 0.8).astype(int),
+            np.where(groups == "a",
+                     (rng.random(n) < 0.3).astype(int),
+                     (rng.random(n) < 0.05).astype(int)),
+        )
+        fpr = false_positive_rate_parity(y_true, preds, groups)
+        eodds = equalized_odds(y_true, preds, groups)
+        assert not fpr.satisfied
+        assert fpr.gap == pytest.approx(eodds.details["fpr_gap"], abs=1e-12)
+
+    def test_no_negatives_in_group_raises(self):
+        with pytest.raises(InsufficientDataError, match="no.*negatives"):
+            false_positive_rate_parity(
+                [1, 1, 0, 1], [1, 0, 0, 1], ["a", "a", "b", "b"]
+            )
+
+
+class TestOverallAccuracyEquality:
+    def test_equal_accuracy_satisfies(self):
+        y_true = _blocks((1, 5), (0, 5), (1, 5), (0, 5))
+        preds = np.concatenate([
+            _blocks((1, 4), (0, 1), (0, 5)),   # a: 1 FN → 9/10 correct
+            _blocks((1, 5), (1, 1), (0, 4)),   # b: 1 FP → 9/10 correct
+        ])
+        groups = _blocks(("a", 10), ("b", 10))
+        result = overall_accuracy_equality(y_true, preds, groups)
+        assert result.satisfied
+        assert result.rate_of("a") == pytest.approx(0.9)
+
+    def test_weaker_than_equalized_odds(self):
+        # equal accuracy can coexist with violated equalized odds
+        y_true = _blocks((1, 5), (0, 5), (1, 5), (0, 5))
+        preds = np.concatenate([
+            _blocks((0, 1), (1, 4), (0, 5)),   # a: misses 1 positive
+            _blocks((1, 5), (1, 1), (0, 4)),   # b: 1 false positive
+        ])
+        groups = _blocks(("a", 10), ("b", 10))
+        acc = overall_accuracy_equality(y_true, preds, groups)
+        eodds = equalized_odds(y_true, preds, groups)
+        assert acc.satisfied
+        assert not eodds.satisfied
+
+
+class TestAuditIntegration:
+    def test_new_metrics_run_in_model_audit(self):
+        ds = make_hiring(n=1500, direct_bias=1.5, random_state=3)
+        X = Standardizer().fit_transform(ds.feature_matrix())
+        model = LogisticRegression(max_iter=500).fit(X, ds.labels())
+        report = FairnessAudit(ds, predictions=model.predict(X)).run()
+        for metric in ("treatment_equality", "false_positive_rate_parity",
+                       "overall_accuracy_equality"):
+            finding = report.finding("sex", metric)
+            assert finding.status == "ok", metric
+
+    def test_new_metrics_skipped_in_label_audit(self):
+        ds = make_hiring(n=500, random_state=3)
+        report = FairnessAudit(ds).run()
+        finding = report.finding("sex", "treatment_equality")
+        assert finding.status == "skipped"

@@ -1,0 +1,165 @@
+"""Tests for repro.core.criteria — the Section IV selection engine."""
+
+import pytest
+
+from repro.core import UseCaseProfile, recommend_metrics, risk_flags
+from repro.core.types import EqualityConcept
+from repro.exceptions import ValidationError
+
+
+def _profile(**overrides):
+    defaults = dict(name="test case")
+    defaults.update(overrides)
+    return UseCaseProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_name_required(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            UseCaseProfile(name="")
+
+    def test_jurisdiction_checked(self):
+        with pytest.raises(ValidationError, match="jurisdiction"):
+            _profile(jurisdiction="atlantis")
+
+    def test_affirmative_action_requires_structural_bias(self):
+        with pytest.raises(ValidationError, match="presupposes"):
+            _profile(affirmative_action_mandated=True,
+                     structural_bias_recognized=False)
+
+    def test_protected_attribute_count(self):
+        with pytest.raises(ValidationError, match="at least 1"):
+            _profile(n_protected_attributes=0)
+
+
+class TestRecommendations:
+    def test_all_catalog_metrics_ranked(self):
+        from repro.core import METRIC_CATALOG
+
+        recs = recommend_metrics(_profile())
+        assert len(recs) == len(METRIC_CATALOG)
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_structural_bias_favours_equal_outcome(self):
+        recs = recommend_metrics(_profile(structural_bias_recognized=True))
+        top_feasible = [r for r in recs if r.feasible][0]
+        assert top_feasible.equality_concept == EqualityConcept.EQUAL_OUTCOME
+
+    def test_no_structural_bias_favours_equal_treatment(self):
+        recs = recommend_metrics(
+            _profile(structural_bias_recognized=False,
+                     ground_truth_reliable=True)
+        )
+        top_feasible = [r for r in recs if r.feasible][0]
+        assert top_feasible.equality_concept == EqualityConcept.EQUAL_TREATMENT
+
+    def test_unreliable_labels_penalise_treatment_metrics(self):
+        reliable = {r.metric: r.score for r in recommend_metrics(
+            _profile(ground_truth_reliable=True)
+        )}
+        unreliable = {r.metric: r.score for r in recommend_metrics(
+            _profile(ground_truth_reliable=False)
+        )}
+        assert unreliable["equal_opportunity"] < reliable["equal_opportunity"]
+        assert unreliable["equalized_odds"] < reliable["equalized_odds"]
+        # outcome metrics unaffected by label trust
+        assert unreliable["demographic_parity"] == reliable["demographic_parity"]
+
+    def test_missing_labels_make_treatment_metrics_infeasible(self):
+        recs = {r.metric: r for r in recommend_metrics(
+            _profile(labels_available=False)
+        )}
+        assert not recs["equal_opportunity"].feasible
+        assert recs["equal_opportunity"].blockers
+        assert recs["demographic_parity"].feasible
+
+    def test_no_scm_blocks_counterfactual(self):
+        recs = {r.metric: r for r in recommend_metrics(
+            _profile(causal_model_available=False)
+        )}
+        assert not recs["counterfactual_fairness"].feasible
+
+    def test_scm_boosts_counterfactual(self):
+        recs = {r.metric: r for r in recommend_metrics(
+            _profile(causal_model_available=True)
+        )}
+        assert recs["counterfactual_fairness"].feasible
+        assert recs["counterfactual_fairness"].score > 0
+
+    def test_strata_enable_conditional_metrics(self):
+        without = {r.metric: r for r in recommend_metrics(_profile())}
+        with_strata = {r.metric: r for r in recommend_metrics(
+            _profile(legitimate_factors=("seniority",))
+        )}
+        assert not without["conditional_statistical_parity"].feasible
+        assert with_strata["conditional_statistical_parity"].feasible
+
+    def test_punitive_context_boosts_equalized_odds(self):
+        plain = {r.metric: r.score for r in recommend_metrics(_profile())}
+        punitive = {r.metric: r.score for r in recommend_metrics(
+            _profile(punitive_context=True)
+        )}
+        assert punitive["equalized_odds"] > plain["equalized_odds"]
+        assert punitive["equal_opportunity"] < plain["equal_opportunity"]
+
+    def test_us_jurisdiction_boosts_disparate_impact_ratio(self):
+        eu = {r.metric: r.score for r in recommend_metrics(
+            _profile(jurisdiction="eu")
+        )}
+        us = {r.metric: r.score for r in recommend_metrics(
+            _profile(jurisdiction="us")
+        )}
+        assert us["disparate_impact_ratio"] > eu["disparate_impact_ratio"]
+
+    def test_eu_jurisdiction_boosts_cdd(self):
+        eu = {r.metric: r.score for r in recommend_metrics(
+            _profile(jurisdiction="eu", legitimate_factors=("job",))
+        )}
+        us = {r.metric: r.score for r in recommend_metrics(
+            _profile(jurisdiction="us", legitimate_factors=("job",))
+        )}
+        assert eu["conditional_demographic_disparity"] > us[
+            "conditional_demographic_disparity"
+        ]
+
+    def test_every_recommendation_has_rationale_or_blockers(self):
+        for rec in recommend_metrics(_profile(causal_model_available=True)):
+            assert rec.rationale or rec.blockers
+
+
+class TestRiskFlags:
+    def test_sampling_flag_always_present(self):
+        flags = risk_flags(_profile())
+        assert any(f.risk == "sampling_requirements" for f in flags)
+
+    def test_proxy_flag(self):
+        flags = risk_flags(_profile(proxy_risk=True))
+        proxy = [f for f in flags if f.risk == "proxy_discrimination"]
+        assert len(proxy) == 1
+        assert proxy[0].paper_section == "IV.B"
+        assert proxy[0].tooling
+
+    def test_intersectional_flag_from_attribute_count(self):
+        flags = risk_flags(_profile(n_protected_attributes=2))
+        assert any(f.risk == "intersectional_discrimination" for f in flags)
+        flags_single = risk_flags(_profile(n_protected_attributes=1))
+        assert not any(
+            f.risk == "intersectional_discrimination" for f in flags_single
+        )
+
+    def test_feedback_and_manipulation_flags(self):
+        flags = risk_flags(_profile(feedback_loop_risk=True,
+                                    manipulation_risk=True))
+        risks = {f.risk for f in flags}
+        assert "feedback_loops" in risks
+        assert "audit_manipulation" in risks
+
+    def test_all_flags_cite_paper_sections(self):
+        profile = _profile(
+            proxy_risk=True, n_protected_attributes=3,
+            small_subgroups_expected=True, feedback_loop_risk=True,
+            manipulation_risk=True,
+        )
+        for flag in risk_flags(profile):
+            assert flag.paper_section.startswith("IV.")

@@ -1,0 +1,71 @@
+"""Tests for repro.core.glossary."""
+
+import pytest
+
+from repro.core.glossary import (
+    GLOSSARY,
+    define,
+    related_terms,
+    terms_in_section,
+)
+from repro.exceptions import LegalCatalogError
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        entry = define("Disparate Impact")
+        assert entry.term == "disparate impact"
+        assert "neutral practices" in entry.definition
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(LegalCatalogError, match="unknown glossary term"):
+            define("vibes")
+
+    def test_every_entry_has_section_and_discipline(self):
+        for entry in GLOSSARY.values():
+            assert entry.paper_section
+            assert entry.discipline in ("law", "ml", "bridge")
+            assert len(entry.definition) > 40
+
+    def test_core_paper_terms_present(self):
+        for term in (
+            "direct discrimination", "indirect discrimination",
+            "disparate treatment", "disparate impact",
+            "equal treatment", "equal outcome", "affirmative action",
+            "proxy discrimination", "fairness through unawareness",
+            "discrimination by association", "intersectional discrimination",
+            "feedback loop", "four-fifths rule", "proportionality test",
+            "counterfactual fairness",
+        ):
+            define(term)
+
+
+class TestCrossReferences:
+    def test_related_terms_resolve(self):
+        related = related_terms("proxy discrimination")
+        names = {e.term for e in related}
+        assert "fairness through unawareness" in names
+
+    def test_all_related_references_valid(self):
+        # every cross-reference must resolve to an existing entry
+        for entry in GLOSSARY.values():
+            for name in entry.related:
+                define(name)
+
+    def test_doctrine_pairs_cross_reference_each_other(self):
+        eu_direct = define("direct discrimination")
+        assert "disparate treatment" in eu_direct.related
+        us_impact = define("disparate impact")
+        assert "indirect discrimination" in us_impact.related
+
+
+class TestSections:
+    def test_section_iv_terms(self):
+        terms = {e.term for e in terms_in_section("IV")}
+        assert "proxy discrimination" in terms
+        assert "feedback loop" in terms
+
+    def test_section_ii_terms(self):
+        terms = {e.term for e in terms_in_section("II")}
+        assert "direct discrimination" in terms
+        assert "disparate treatment" in terms

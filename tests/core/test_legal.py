@@ -1,0 +1,173 @@
+"""Tests for repro.core.legal."""
+
+import pytest
+
+from repro.core.legal import (
+    Doctrine,
+    ProportionalityTest,
+    STATUTES,
+    doctrines_for_metric,
+    equality_concept_of,
+    four_fifths_rule,
+    metrics_for_doctrine,
+    protected_attributes_in,
+    statutes_protecting,
+)
+from repro.core.types import EqualityConcept
+from repro.exceptions import LegalCatalogError
+
+
+class TestStatuteCatalog:
+    def test_paper_inventory_present(self):
+        # the paper's II.B enumerates 13 US instruments; all are cataloged
+        us_keys = {
+            "title_vii", "ecoa", "fha", "title_vi", "pda", "epa", "adea",
+            "ada_title_i", "cra_1991", "rehab_501_505", "gina", "pwfa",
+            "ina_1965",
+        }
+        assert us_keys <= set(STATUTES)
+        # and the EU instruments of II.A
+        eu_keys = {
+            "echr_art14", "esc_art_e", "eu_charter_art21", "eu_2000_43",
+            "eu_2000_78", "eu_2004_113", "eu_2006_54",
+        }
+        assert eu_keys <= set(STATUTES)
+
+    def test_title_vii_attributes(self):
+        title_vii = STATUTES["title_vii"]
+        assert title_vii.protects("sex", "employment")
+        assert title_vii.protects("race", "employment")
+        assert not title_vii.protects("age", "employment")
+        assert not title_vii.protects("sex", "housing")
+
+    def test_adea_is_age_only(self):
+        adea = STATUTES["adea"]
+        assert adea.protects("age", "employment")
+        assert not adea.protects("sex", "employment")
+
+    def test_fha_familial_status(self):
+        assert STATUTES["fha"].protects("familial_status", "housing")
+
+    def test_echr_has_no_sector_restriction(self):
+        assert STATUTES["echr_art14"].protects("sex", "anything_at_all")
+
+
+class TestStatutesProtecting:
+    def test_sex_in_us_employment(self):
+        keys = {s.key for s in statutes_protecting(
+            "sex", sector="employment", jurisdiction="us"
+        )}
+        assert keys == {"title_vii", "epa", "cra_1991"}
+
+    def test_race_in_eu(self):
+        keys = {s.key for s in statutes_protecting("race", jurisdiction="eu")}
+        assert "eu_2000_43" in keys
+        assert "echr_art14" in keys
+
+    def test_unknown_jurisdiction_raises(self):
+        with pytest.raises(LegalCatalogError, match="unknown jurisdiction"):
+            statutes_protecting("sex", jurisdiction="mars")
+
+    def test_unprotected_attribute_empty(self):
+        assert statutes_protecting("favorite_color") == []
+
+    def test_protected_attributes_in_credit_us(self):
+        attrs = protected_attributes_in("credit", jurisdiction="us")
+        assert "marital_status" in attrs
+        assert "race" in attrs
+
+
+class TestMetricMappings:
+    def test_paper_iva_classification(self):
+        # "definitions A, B, E and F align with equal outcome, while C and
+        # D with equal treatment. Definition G comprises a middle ground."
+        assert equality_concept_of("demographic_parity") == EqualityConcept.EQUAL_OUTCOME
+        assert equality_concept_of("conditional_statistical_parity") == EqualityConcept.EQUAL_OUTCOME
+        assert equality_concept_of("demographic_disparity") == EqualityConcept.EQUAL_OUTCOME
+        assert equality_concept_of("conditional_demographic_disparity") == EqualityConcept.EQUAL_OUTCOME
+        assert equality_concept_of("equal_opportunity") == EqualityConcept.EQUAL_TREATMENT
+        assert equality_concept_of("equalized_odds") == EqualityConcept.EQUAL_TREATMENT
+        assert equality_concept_of("counterfactual_fairness") == EqualityConcept.HYBRID
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(LegalCatalogError, match="unknown metric"):
+            equality_concept_of("vibes_parity")
+
+    def test_doctrines_for_metric(self):
+        assert Doctrine.INDIRECT in doctrines_for_metric("demographic_parity")
+        assert Doctrine.DIRECT in doctrines_for_metric("counterfactual_fairness")
+
+    def test_metrics_for_doctrine_accepts_us_aliases(self):
+        eu = metrics_for_doctrine(Doctrine.INDIRECT)
+        us = metrics_for_doctrine("disparate_impact")
+        assert eu == us
+        assert "demographic_parity" in eu
+
+    def test_unknown_doctrine_raises(self):
+        with pytest.raises(LegalCatalogError, match="unknown doctrine"):
+            metrics_for_doctrine("vibes")
+
+
+class TestFourFifthsRule:
+    def test_passes_at_exact_boundary(self):
+        finding = four_fifths_rule({"a": 1.0, "b": 0.8})
+        assert finding.passes
+        assert finding.ratio == pytest.approx(0.8)
+
+    def test_fails_below(self):
+        finding = four_fifths_rule({"a": 0.5, "b": 0.25})
+        assert not finding.passes
+        assert finding.disadvantaged_group == "b"
+        assert finding.reference_group == "a"
+
+    def test_nobody_selected_is_not_disparate(self):
+        finding = four_fifths_rule({"a": 0.0, "b": 0.0})
+        assert finding.passes
+        assert finding.ratio == 1.0
+
+    def test_custom_threshold(self):
+        finding = four_fifths_rule({"a": 1.0, "b": 0.85}, threshold=0.9)
+        assert not finding.passes
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(LegalCatalogError, match=r"\[0, 1\]"):
+            four_fifths_rule({"a": 1.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(LegalCatalogError, match="non-empty"):
+            four_fifths_rule({})
+
+    def test_three_groups_uses_extremes(self):
+        finding = four_fifths_rule({"a": 0.9, "b": 0.6, "c": 0.85})
+        assert finding.reference_group == "a"
+        assert finding.disadvantaged_group == "b"
+        assert finding.ratio == pytest.approx(0.6 / 0.9)
+
+
+class TestProportionalityTest:
+    def test_all_prongs_pass(self):
+        test = ProportionalityTest(
+            aim="assess job-relevant coding skill",
+            legitimate_aim=True, suitable=True, necessary=True,
+            proportionate=True,
+        )
+        assert test.justified
+        assert test.failing_prongs() == []
+        assert "passes" in test.summary()
+
+    def test_failing_prong_reported_in_order(self):
+        test = ProportionalityTest(
+            aim="reduce costs",
+            legitimate_aim=True, suitable=True, necessary=False,
+            proportionate=False,
+        )
+        assert not test.justified
+        assert test.failing_prongs() == ["necessary", "proportionate"]
+        assert "FAILS" in test.summary()
+
+    def test_requires_stated_aim(self):
+        with pytest.raises(LegalCatalogError, match="aim"):
+            ProportionalityTest(
+                aim="", legitimate_aim=True, suitable=True,
+                necessary=True, proportionate=True,
+            )

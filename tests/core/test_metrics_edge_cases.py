@@ -1,0 +1,205 @@
+"""Edge-case and validation tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    calibration_within_groups,
+    conditional_demographic_disparity,
+    conditional_statistical_parity,
+    demographic_disparity,
+    demographic_parity,
+    disparate_impact_ratio,
+    equal_opportunity,
+    equalized_odds,
+    predictive_parity,
+)
+from repro.core.types import EqualityConcept
+from repro.exceptions import InsufficientDataError, MetricError, ValidationError
+
+
+class TestValidation:
+    def test_empty_inputs_rejected(self):
+        with pytest.raises((MetricError, ValidationError)):
+            demographic_parity([], [])
+
+    def test_single_group_rejected_for_parity(self):
+        with pytest.raises(MetricError, match="at least two groups"):
+            demographic_parity([1, 0], ["a", "a"])
+
+    def test_single_group_allowed_for_disparity(self):
+        result = demographic_disparity([1, 1, 0], ["a", "a", "a"])
+        assert result.satisfied
+
+    def test_nonbinary_predictions_rejected(self):
+        with pytest.raises(ValidationError):
+            demographic_parity([0, 1, 2], ["a", "b", "a"])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="length mismatch"):
+            demographic_parity([0, 1], ["a", "b", "a"])
+
+    def test_tolerance_out_of_range(self):
+        with pytest.raises(ValidationError):
+            demographic_parity([0, 1], ["a", "b"], tolerance=2.0)
+
+
+class TestTolerance:
+    def test_gap_within_tolerance_passes(self):
+        # rates 0.50 vs 0.45 → gap 0.05
+        preds = [1] * 10 + [0] * 10 + [1] * 9 + [0] * 11
+        groups = ["a"] * 20 + ["b"] * 20
+        assert demographic_parity(preds, groups, tolerance=0.05).satisfied
+        assert not demographic_parity(preds, groups, tolerance=0.01).satisfied
+
+    def test_gap_and_ratio_consistency(self):
+        preds = [1, 1, 1, 0, 1, 0, 0, 0]
+        groups = ["a"] * 4 + ["b"] * 4
+        result = demographic_parity(preds, groups)
+        assert result.gap == pytest.approx(0.5)
+        assert result.ratio == pytest.approx(0.25 / 0.75)
+
+
+class TestInsufficientData:
+    def test_equal_opportunity_no_positives_in_group(self):
+        y_true = [1, 1, 0, 0]
+        preds = [1, 0, 1, 0]
+        groups = ["a", "a", "b", "b"]
+        with pytest.raises(InsufficientDataError, match="no actual positives"):
+            equal_opportunity(y_true, preds, groups)
+
+    def test_equalized_odds_no_negatives_in_group(self):
+        y_true = [1, 1, 1, 0]
+        preds = [1, 0, 1, 0]
+        groups = ["a", "a", "b", "b"]
+        with pytest.raises(InsufficientDataError, match="no actual negatives"):
+            equalized_odds(y_true, preds, groups)
+
+    def test_predictive_parity_no_positive_predictions(self):
+        y_true = [1, 0, 1, 0]
+        preds = [0, 0, 1, 1]
+        groups = ["a", "a", "b", "b"]
+        with pytest.raises(InsufficientDataError, match="no positive"):
+            predictive_parity(y_true, preds, groups)
+
+    def test_csp_all_strata_skipped_raises(self):
+        preds = [1, 0, 1, 0]
+        groups = ["a", "a", "b", "b"]
+        strata = ["s1", "s1", "s2", "s2"]  # no stratum has both groups
+        with pytest.raises(InsufficientDataError, match="skipped"):
+            conditional_statistical_parity(
+                preds, groups, strata, min_stratum_group_size=1
+            )
+
+    def test_csp_records_skipped_strata(self):
+        preds = [1, 0, 1, 0, 1, 0]
+        groups = ["a", "b", "a", "b", "a", "a"]
+        strata = ["s1", "s1", "s1", "s1", "s2", "s2"]
+        result = conditional_statistical_parity(
+            preds, groups, strata, min_stratum_group_size=1
+        )
+        assert result.skipped_strata == ("s2",)
+        assert "s1" in result.strata
+
+
+class TestSignificance:
+    def test_two_group_significance_attached(self):
+        rng = np.random.default_rng(0)
+        groups = np.array(["a"] * 500 + ["b"] * 500)
+        preds = np.concatenate([
+            (rng.random(500) < 0.7).astype(int),
+            (rng.random(500) < 0.3).astype(int),
+        ])
+        result = demographic_parity(preds, groups, with_significance=True)
+        assert result.significance is not None
+        assert result.significance.p_value < 1e-6
+
+    def test_three_group_significance_is_chi_square(self):
+        rng = np.random.default_rng(0)
+        groups = np.array(["a"] * 300 + ["b"] * 300 + ["c"] * 300)
+        preds = (rng.random(900) < 0.5).astype(int)
+        result = demographic_parity(preds, groups, with_significance=True)
+        assert result.significance.method == "chi_square"
+
+    def test_no_significance_by_default(self):
+        result = demographic_parity([1, 0], ["a", "b"])
+        assert result.significance is None
+
+
+class TestDisparateImpactRatio:
+    def test_reference_defaults_to_highest(self):
+        preds = [1] * 8 + [0] * 2 + [1] * 4 + [0] * 6
+        groups = ["a"] * 10 + ["b"] * 10
+        result = disparate_impact_ratio(preds, groups)
+        assert result.details["reference_group"] == "a"
+        assert result.ratio == pytest.approx(0.5)
+        assert not result.satisfied  # 0.5 < 0.8
+
+    def test_explicit_reference(self):
+        preds = [1] * 8 + [0] * 2 + [1] * 4 + [0] * 6
+        groups = ["a"] * 10 + ["b"] * 10
+        result = disparate_impact_ratio(preds, groups, reference_group="b")
+        assert result.details["reference_group"] == "b"
+        assert result.details["ratios"]["a"] == pytest.approx(2.0)
+
+    def test_unknown_reference_raises(self):
+        with pytest.raises(MetricError, match="not present"):
+            disparate_impact_ratio([1, 0], ["a", "b"], reference_group="z")
+
+    def test_zero_reference_rate_gives_nan(self):
+        result = disparate_impact_ratio([0, 0, 0, 0], ["a", "a", "b", "b"])
+        assert np.isnan(result.ratio)
+        assert not result.satisfied
+
+    def test_four_fifths_boundary(self):
+        # rates 0.8 vs 1.0 → ratio exactly 0.8, passes
+        preds = [1] * 10 + [1] * 8 + [0] * 2
+        groups = ["a"] * 10 + ["b"] * 10
+        result = disparate_impact_ratio(preds, groups)
+        assert result.satisfied
+
+
+class TestCalibrationWithinGroups:
+    def test_calibrated_groups_pass(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        probs = rng.uniform(0.05, 0.95, n)
+        y = (rng.random(n) < probs).astype(int)
+        groups = np.where(rng.random(n) < 0.5, "a", "b")
+        result = calibration_within_groups(y, probs, groups, tolerance=0.1)
+        assert result.satisfied
+
+    def test_miscalibrated_group_fails(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        probs = rng.uniform(0.05, 0.95, n)
+        groups = np.where(rng.random(n) < 0.5, "a", "b")
+        true_probs = np.where(groups == "a", probs, np.clip(probs - 0.4, 0, 1))
+        y = (rng.random(n) < true_probs).astype(int)
+        result = calibration_within_groups(y, probs, groups, tolerance=0.1)
+        assert not result.satisfied
+        assert result.details["ece"]["b"] > result.details["ece"]["a"]
+
+
+class TestEqualityConceptTags:
+    @pytest.mark.parametrize("builder,expected", [
+        (lambda: demographic_parity([1, 0], ["a", "b"]),
+         EqualityConcept.EQUAL_OUTCOME),
+        (lambda: demographic_disparity([1, 0], ["a", "b"]),
+         EqualityConcept.EQUAL_OUTCOME),
+        (lambda: equal_opportunity([1, 1], [1, 0], ["a", "b"]),
+         EqualityConcept.EQUAL_TREATMENT),
+    ])
+    def test_tags_match_paper_iva(self, builder, expected):
+        assert builder().equality_concept == expected
+
+
+class TestConditionalDD:
+    def test_mixed_strata(self):
+        preds = [1, 1, 0, 0, 0, 0]
+        groups = ["f"] * 6
+        strata = ["j1", "j1", "j1", "j2", "j2", "j2"]
+        result = conditional_demographic_disparity(preds, groups, strata)
+        assert result.strata["j1"].satisfied  # 2/3 hired
+        assert not result.strata["j2"].satisfied  # 0/3 hired
+        assert result.gap == pytest.approx(0.5)

@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the fairness metrics.
+
+Invariants checked:
+
+* gaps are in [0, 1] and invariant to group relabeling and row order;
+* perfect parity ⇔ gap 0 at tolerance 0;
+* demographic parity is invariant under duplicating the whole sample;
+* tolerance monotonicity: if satisfied at t, satisfied at every t' > t;
+* equalized-odds gap upper-bounds the equal-opportunity gap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    demographic_parity,
+    equal_opportunity,
+    equalized_odds,
+)
+
+
+@st.composite
+def predictions_and_groups(draw, min_per_group=1):
+    """Binary predictions with two groups, each non-empty."""
+    n_a = draw(st.integers(min_per_group, 40))
+    n_b = draw(st.integers(min_per_group, 40))
+    preds = draw(
+        st.lists(st.integers(0, 1), min_size=n_a + n_b, max_size=n_a + n_b)
+    )
+    groups = ["a"] * n_a + ["b"] * n_b
+    return np.array(preds), np.array(groups)
+
+
+@st.composite
+def labeled_predictions(draw):
+    """(y_true, preds, groups) with every (group, label) cell non-empty."""
+    blocks = []
+    for group in ("a", "b"):
+        for label in (0, 1):
+            count = draw(st.integers(1, 15))
+            preds = draw(
+                st.lists(st.integers(0, 1), min_size=count, max_size=count)
+            )
+            blocks.append((group, label, preds))
+    y_true, predictions, groups = [], [], []
+    for group, label, preds in blocks:
+        for p in preds:
+            y_true.append(label)
+            predictions.append(p)
+            groups.append(group)
+    return np.array(y_true), np.array(predictions), np.array(groups)
+
+
+class TestDemographicParityProperties:
+    @given(predictions_and_groups())
+    @settings(max_examples=80, deadline=None)
+    def test_gap_in_unit_interval(self, data):
+        preds, groups = data
+        result = demographic_parity(preds, groups)
+        assert 0.0 <= result.gap <= 1.0
+
+    @given(predictions_and_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_to_row_permutation(self, data):
+        preds, groups = data
+        rng = np.random.default_rng(0)
+        order = rng.permutation(len(preds))
+        a = demographic_parity(preds, groups)
+        b = demographic_parity(preds[order], groups[order])
+        assert a.gap == pytest.approx(b.gap)
+        assert a.rates() == pytest.approx(b.rates())
+
+    @given(predictions_and_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_to_group_relabeling(self, data):
+        preds, groups = data
+        relabeled = np.where(groups == "a", "zebra", "yak")
+        a = demographic_parity(preds, groups)
+        b = demographic_parity(preds, relabeled)
+        assert a.gap == pytest.approx(b.gap)
+
+    @given(predictions_and_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_duplication_invariance(self, data):
+        preds, groups = data
+        a = demographic_parity(preds, groups)
+        b = demographic_parity(
+            np.concatenate([preds, preds]), np.concatenate([groups, groups])
+        )
+        assert a.gap == pytest.approx(b.gap)
+
+    @given(predictions_and_groups(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_tolerance_monotonicity(self, data, t1, t2):
+        preds, groups = data
+        low, high = min(t1, t2), max(t1, t2)
+        if demographic_parity(preds, groups, tolerance=low).satisfied:
+            assert demographic_parity(preds, groups, tolerance=high).satisfied
+
+    @given(predictions_and_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_gap_iff_equal_rates(self, data):
+        preds, groups = data
+        result = demographic_parity(preds, groups)
+        rates = list(result.rates().values())
+        if result.gap == 0:
+            assert rates[0] == pytest.approx(rates[1])
+        else:
+            assert rates[0] != pytest.approx(rates[1])
+
+    @given(predictions_and_groups())
+    @settings(max_examples=60, deadline=None)
+    def test_all_same_prediction_is_fair(self, data):
+        __, groups = data
+        ones = np.ones(len(groups), dtype=int)
+        assert demographic_parity(ones, groups).gap == 0.0
+        zeros = np.zeros(len(groups), dtype=int)
+        assert demographic_parity(zeros, groups).gap == 0.0
+
+
+class TestErrorRateMetricProperties:
+    @given(labeled_predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_equalized_odds_gap_bounds_equal_opportunity_gap(self, data):
+        y_true, preds, groups = data
+        eo = equal_opportunity(y_true, preds, groups)
+        eodds = equalized_odds(y_true, preds, groups)
+        assert eodds.gap >= eo.gap - 1e-12
+
+    @given(labeled_predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_equalized_odds_satisfied_implies_eo_satisfied(self, data):
+        y_true, preds, groups = data
+        if equalized_odds(y_true, preds, groups, tolerance=0.1).satisfied:
+            assert equal_opportunity(
+                y_true, preds, groups, tolerance=0.1
+            ).satisfied
+
+    @given(labeled_predictions())
+    @settings(max_examples=60, deadline=None)
+    def test_perfect_predictor_satisfies_equalized_odds(self, data):
+        y_true, __, groups = data
+        result = equalized_odds(y_true, y_true, groups)
+        assert result.satisfied
+        assert result.gap == 0.0
+
+    @given(labeled_predictions())
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_flip_swaps_tpr_to_one_minus_fnr(self, data):
+        y_true, preds, groups = data
+        flipped = 1 - preds
+        original = equalized_odds(y_true, preds, groups)
+        inverted = equalized_odds(y_true, flipped, groups)
+        for group in ("a", "b"):
+            assert inverted.details["tpr"][group] == pytest.approx(
+                1.0 - original.details["tpr"][group]
+            )

@@ -1,0 +1,326 @@
+"""The paper's Section III worked examples, reproduced exactly (E1–E7).
+
+Each test builds the precise scenario from the paper's text (same
+applicant counts, same hire counts) and asserts the same fair/unfair
+verdict the paper states.
+"""
+
+import numpy as np
+import pytest
+
+from repro.causal import biased_hiring_scm
+from repro.core import (
+    conditional_demographic_disparity,
+    conditional_statistical_parity,
+    counterfactual_fairness,
+    demographic_disparity,
+    demographic_parity,
+    equal_opportunity,
+    equalized_odds,
+)
+
+
+def _arrays(*blocks):
+    """Concatenate (value, count) blocks into one array."""
+    out = []
+    for value, count in blocks:
+        out.extend([value] * count)
+    return np.array(out)
+
+
+class TestE1DemographicParity:
+    """III.A: 10 female / 20 male applicants; 10 males hired (rate 0.5)."""
+
+    def _scenario(self, females_hired: int):
+        predictions = _arrays((1, 10), (0, 10), (1, females_hired),
+                              (0, 10 - females_hired))
+        groups = _arrays(("male", 20), ("female", 10))
+        return predictions, groups
+
+    def test_exactly_five_hired_females_is_fair(self):
+        predictions, groups = self._scenario(5)
+        result = demographic_parity(predictions, groups)
+        assert result.satisfied
+        assert result.rate_of("male") == pytest.approx(0.5)
+        assert result.rate_of("female") == pytest.approx(0.5)
+        assert result.gap == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("females_hired", [0, 1, 2, 3, 4])
+    def test_fewer_than_five_biased_against_females(self, females_hired):
+        predictions, groups = self._scenario(females_hired)
+        result = demographic_parity(predictions, groups)
+        assert not result.satisfied
+        assert result.disadvantaged_group() == "female"
+
+    @pytest.mark.parametrize("females_hired", [6, 7, 8, 9, 10])
+    def test_more_than_five_biased_against_males(self, females_hired):
+        predictions, groups = self._scenario(females_hired)
+        result = demographic_parity(predictions, groups)
+        assert not result.satisfied
+        assert result.disadvantaged_group() == "male"
+
+
+class TestE2ConditionalStatisticalParity:
+    """III.B: 10 young males (5 hired) and 6 young females; fair iff 3 hired."""
+
+    def _scenario(self, young_females_hired: int):
+        # young males: 10 (5 hired); old males: 10 (0 hired for simplicity)
+        # young females: 6 (k hired); old females: 4 (0 hired)
+        predictions = np.concatenate([
+            _arrays((1, 5), (0, 5)),            # young males
+            _arrays((0, 10)),                    # old males
+            _arrays((1, young_females_hired),    # young females
+                    (0, 6 - young_females_hired)),
+            _arrays((0, 4)),                     # old females
+        ])
+        groups = _arrays(("male", 20), ("female", 10))
+        strata = np.concatenate([
+            _arrays(("young", 10), ("old", 10)),
+            _arrays(("young", 6), ("old", 4)),
+        ])
+        return predictions, groups, strata
+
+    def test_three_young_females_hired_is_fair_within_young(self):
+        predictions, groups, strata = self._scenario(3)
+        result = conditional_statistical_parity(predictions, groups, strata)
+        assert result.strata["young"].satisfied
+        assert result.strata["young"].rate_of("female") == pytest.approx(0.5)
+        assert result.strata["young"].rate_of("male") == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("hired", [0, 1, 2])
+    def test_fewer_than_three_biased_against_young_females(self, hired):
+        predictions, groups, strata = self._scenario(hired)
+        result = conditional_statistical_parity(predictions, groups, strata)
+        young = result.strata["young"]
+        assert not young.satisfied
+        assert young.disadvantaged_group() == "female"
+
+    @pytest.mark.parametrize("hired", [4, 5, 6])
+    def test_more_than_three_biased_against_young_males(self, hired):
+        predictions, groups, strata = self._scenario(hired)
+        result = conditional_statistical_parity(predictions, groups, strata)
+        young = result.strata["young"]
+        assert not young.satisfied
+        assert young.disadvantaged_group() == "male"
+
+
+class TestE3EqualOpportunity:
+    """III.C: 10 qualified males (5 hired), 6 qualified females; fair iff 3."""
+
+    def _scenario(self, qualified_females_hired: int):
+        # males: 10 qualified (5 hired), 10 unqualified (0 hired)
+        # females: 6 qualified (k hired), 4 unqualified (0 hired)
+        y_true = np.concatenate([
+            _arrays((1, 10), (0, 10)),
+            _arrays((1, 6), (0, 4)),
+        ])
+        predictions = np.concatenate([
+            _arrays((1, 5), (0, 5), (0, 10)),
+            _arrays((1, qualified_females_hired),
+                    (0, 6 - qualified_females_hired), (0, 4)),
+        ])
+        groups = _arrays(("male", 20), ("female", 10))
+        return y_true, predictions, groups
+
+    def test_three_hired_is_fair(self):
+        y_true, predictions, groups = self._scenario(3)
+        result = equal_opportunity(y_true, predictions, groups)
+        assert result.satisfied
+        assert result.rate_of("male") == pytest.approx(0.5)
+        assert result.rate_of("female") == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("hired", [0, 1, 2])
+    def test_fewer_biased_against_females(self, hired):
+        y_true, predictions, groups = self._scenario(hired)
+        result = equal_opportunity(y_true, predictions, groups)
+        assert not result.satisfied
+        assert result.disadvantaged_group() == "female"
+
+    @pytest.mark.parametrize("hired", [4, 5, 6])
+    def test_more_biased_against_males(self, hired):
+        y_true, predictions, groups = self._scenario(hired)
+        result = equal_opportunity(y_true, predictions, groups)
+        assert not result.satisfied
+        assert result.disadvantaged_group() == "male"
+
+    def test_unconditional_rates_may_differ(self):
+        # Equal opportunity ignores base rates: overall male hire rate is
+        # 5/20 vs female 3/10 yet the metric is satisfied.
+        y_true, predictions, groups = self._scenario(3)
+        assert equal_opportunity(y_true, predictions, groups).satisfied
+        assert not demographic_parity(predictions, groups).satisfied
+
+
+class TestE4EqualizedOdds:
+    """III.D: 6 female / 12 male; 6 qualified males, 3 qualified females."""
+
+    def _scenario(self, females_pattern: str):
+        """females_pattern: 'perfect' | 'miss_one' | 'false_positive'."""
+        y_true = np.concatenate([
+            _arrays((1, 6), (0, 6)),   # males: 6 good, 6 bad
+            _arrays((1, 3), (0, 3)),   # females: 3 good, 3 bad
+        ])
+        male_preds = _arrays((1, 6), (0, 6))  # perfect male classification
+        if females_pattern == "perfect":
+            female_preds = _arrays((1, 3), (0, 3))
+        elif females_pattern == "miss_one":
+            female_preds = _arrays((1, 2), (0, 1), (0, 3))
+        else:  # false_positive: hires one unqualified female
+            female_preds = _arrays((1, 3), (1, 1), (0, 2))
+        predictions = np.concatenate([male_preds, female_preds])
+        groups = _arrays(("male", 12), ("female", 6))
+        return y_true, predictions, groups
+
+    def test_paper_scenario_is_fair(self):
+        y_true, predictions, groups = self._scenario("perfect")
+        result = equalized_odds(y_true, predictions, groups)
+        assert result.satisfied
+        assert result.details["tpr"]["male"] == pytest.approx(1.0)
+        assert result.details["tpr"]["female"] == pytest.approx(1.0)
+        assert result.details["fpr"]["male"] == pytest.approx(0.0)
+        assert result.details["fpr"]["female"] == pytest.approx(0.0)
+        # 9 hired, 9 rejected in total, as the paper sets up
+        assert predictions.sum() == 9
+
+    def test_missing_a_qualified_female_violates_tpr(self):
+        y_true, predictions, groups = self._scenario("miss_one")
+        result = equalized_odds(y_true, predictions, groups)
+        assert not result.satisfied
+        assert result.details["tpr_gap"] > 0.3
+        assert result.details["fpr_gap"] == pytest.approx(0.0)
+
+    def test_hiring_an_unqualified_female_violates_fpr(self):
+        y_true, predictions, groups = self._scenario("false_positive")
+        result = equalized_odds(y_true, predictions, groups)
+        assert not result.satisfied
+        assert result.details["tpr_gap"] == pytest.approx(0.0)
+        assert result.details["fpr_gap"] > 0.3
+
+    def test_stricter_than_equal_opportunity(self):
+        y_true, predictions, groups = self._scenario("false_positive")
+        assert equal_opportunity(y_true, predictions, groups).satisfied
+        assert not equalized_odds(y_true, predictions, groups).satisfied
+
+
+class TestE5DemographicDisparity:
+    """III.E: 10 females; unfair iff more than 5 rejected."""
+
+    def _scenario(self, females_hired: int):
+        predictions = _arrays((1, females_hired), (0, 10 - females_hired))
+        groups = _arrays(("female", 10))
+        return predictions, groups
+
+    @pytest.mark.parametrize("hired", [5, 6, 7, 8, 9, 10])
+    def test_at_least_half_hired_is_fair(self, hired):
+        predictions, groups = self._scenario(hired)
+        assert demographic_disparity(predictions, groups).satisfied
+
+    @pytest.mark.parametrize("hired", [0, 1, 2, 3, 4])
+    def test_more_than_five_rejected_is_unfair(self, hired):
+        predictions, groups = self._scenario(hired)
+        result = demographic_disparity(predictions, groups)
+        assert not result.satisfied
+        assert result.details["shortfalls"]["female"] > 0
+
+
+class TestE6ConditionalDemographicDisparity:
+    """III.F: 100 females over 5 jobs; 40 hired overall.
+
+    All females accepted in jobs 1–4 (10 each = 40 hired), all rejected in
+    job 5 (60 applicants).  Unconditionally unfair; conditionally fair on
+    jobs 1–4 and unfair on job 5 — the paper's exact narrative.
+    """
+
+    def _scenario(self):
+        predictions = np.concatenate([
+            _arrays((1, 10)) for __ in range(4)
+        ] + [_arrays((0, 60))])
+        groups = _arrays(("female", 100))
+        strata = np.concatenate([
+            _arrays((f"job{j}", 10)) for j in range(1, 5)
+        ] + [_arrays(("job5", 60))])
+        return predictions, groups, strata
+
+    def test_unconditional_disparity_flags_unfair(self):
+        predictions, groups, __ = self._scenario()
+        result = demographic_disparity(predictions, groups)
+        assert not result.satisfied
+        assert result.rate_of("female") == pytest.approx(0.4)
+
+    def test_conditional_is_fair_on_first_four_jobs(self):
+        predictions, groups, strata = self._scenario()
+        result = conditional_demographic_disparity(predictions, groups, strata)
+        for job in ("job1", "job2", "job3", "job4"):
+            assert result.strata[job].satisfied, job
+
+    def test_conditional_is_unfair_on_fifth_job(self):
+        predictions, groups, strata = self._scenario()
+        result = conditional_demographic_disparity(predictions, groups, strata)
+        assert not result.strata["job5"].satisfied
+        assert result.violating_strata() == ["job5"]
+        assert not result.satisfied
+
+
+class TestE7CounterfactualFairness:
+    """III.G: flip the protected attribute through the SCM; the prediction
+    must not change."""
+
+    def _observed(self, scm, n=400, seed=0):
+        return scm.sample(n, random_state=seed)
+
+    def test_biased_scm_plus_feature_predictor_is_unfair(self):
+        # Sex causally shifts experience/skill; a predictor thresholding
+        # those features flips when sex flips.
+        scm = biased_hiring_scm(
+            sex_effect_experience=-2.5, sex_effect_skill=-12.0
+        )
+        observed = self._observed(scm)
+
+        def predictor(values):
+            return (
+                0.3 * values["experience"] + 0.1 * values["skill_score"] > 8.0
+            ).astype(int)
+
+        result = counterfactual_fairness(
+            scm, observed, "sex",
+            counterfactual_value=1.0 - observed["sex"],
+            predictor=predictor,
+        )
+        assert not result.satisfied
+        assert result.details["flip_rate"] > 0.05
+
+    def test_no_causal_effect_means_fair(self):
+        scm = biased_hiring_scm(sex_effect_experience=0.0, sex_effect_skill=0.0)
+        observed = self._observed(scm)
+
+        def predictor(values):
+            return (values["experience"] > 5.0).astype(int)
+
+        result = counterfactual_fairness(
+            scm, observed, "sex",
+            counterfactual_value=1.0 - observed["sex"],
+            predictor=predictor,
+        )
+        assert result.satisfied
+        assert result.details["flip_rate"] == pytest.approx(0.0)
+
+    def test_predictor_on_noise_only_is_fair_even_under_bias(self):
+        # A predictor using only the exogenous merit noise is
+        # counterfactually fair regardless of the structural bias.
+        scm = biased_hiring_scm(
+            sex_effect_experience=-2.5, sex_effect_skill=-12.0
+        )
+        observed = self._observed(scm)
+
+        def predictor(values):
+            # experience minus the sex effect recovers 5 + u_experience
+            return (
+                values["experience"] - (-2.5) * values["sex"] > 5.0
+            ).astype(int)
+
+        result = counterfactual_fairness(
+            scm, observed, "sex",
+            counterfactual_value=1.0 - observed["sex"],
+            predictor=predictor,
+        )
+        assert result.satisfied

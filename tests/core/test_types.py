@@ -1,0 +1,121 @@
+"""Unit tests for repro.core.types result objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import (
+    ConditionalMetricResult,
+    EqualityConcept,
+    GroupStats,
+    MetricResult,
+    build_result,
+)
+from repro.exceptions import MetricError
+
+
+def _stats(rates: dict) -> list[GroupStats]:
+    return [
+        GroupStats(group=g, n=100, positives=int(r * 100), rate=r)
+        for g, r in rates.items()
+    ]
+
+
+class TestGroupStats:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(MetricError):
+            GroupStats(group="a", n=-1, positives=0, rate=0.0)
+
+    def test_rejects_positives_above_n(self):
+        with pytest.raises(MetricError, match="exceed"):
+            GroupStats(group="a", n=2, positives=3, rate=1.5)
+
+
+class TestBuildResult:
+    def test_gap_and_ratio(self):
+        result = build_result(
+            "m", _stats({"a": 0.8, "b": 0.4}), tolerance=0.1,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+        assert result.gap == pytest.approx(0.4)
+        assert result.ratio == pytest.approx(0.5)
+        assert not result.satisfied
+
+    def test_satisfied_within_tolerance(self):
+        result = build_result(
+            "m", _stats({"a": 0.5, "b": 0.45}), tolerance=0.05,
+            equality_concept=EqualityConcept.EQUAL_TREATMENT,
+        )
+        assert result.satisfied
+
+    def test_zero_max_rate_nan_ratio(self):
+        result = build_result(
+            "m", _stats({"a": 0.0, "b": 0.0}), tolerance=0.0,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+        assert np.isnan(result.ratio)
+        assert result.gap == 0.0
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(MetricError, match="no groups"):
+            build_result("m", [], 0.0, EqualityConcept.EQUAL_OUTCOME)
+
+    def test_rate_values_override(self):
+        result = build_result(
+            "m", _stats({"a": 0.5, "b": 0.5}), tolerance=0.0,
+            equality_concept=EqualityConcept.EQUAL_TREATMENT,
+            rate_values=[0.9, 0.1],
+        )
+        assert result.gap == pytest.approx(0.8)
+
+
+class TestMetricResultAccessors:
+    @pytest.fixture
+    def result(self):
+        return build_result(
+            "m", _stats({"a": 0.7, "b": 0.3, "c": 0.5}), tolerance=0.0,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+
+    def test_rate_of(self, result):
+        assert result.rate_of("b") == pytest.approx(0.3)
+        with pytest.raises(MetricError, match="unknown group"):
+            result.rate_of("z")
+
+    def test_rates_and_counts(self, result):
+        assert result.rates() == {"a": 0.7, "b": 0.3, "c": 0.5}
+        assert result.counts() == {"a": 100, "b": 100, "c": 100}
+
+    def test_extreme_groups(self, result):
+        assert result.disadvantaged_group() == "b"
+        assert result.advantaged_group() == "a"
+
+    def test_repr_mentions_verdict(self, result):
+        assert "violated" in repr(result)
+
+
+class TestConditionalMetricResult:
+    def _sub(self, gap, satisfied):
+        return MetricResult(
+            metric="m", group_stats=tuple(_stats({"a": 0.5})),
+            gap=gap, ratio=1.0, tolerance=0.0, satisfied=satisfied,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+
+    def test_satisfied_requires_all_strata(self):
+        result = ConditionalMetricResult(
+            metric="m", condition="s",
+            strata={"s1": self._sub(0.0, True), "s2": self._sub(0.2, False)},
+            tolerance=0.0,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+        assert not result.satisfied
+        assert result.gap == pytest.approx(0.2)
+        assert result.violating_strata() == ["s2"]
+
+    def test_empty_strata_gap_zero(self):
+        result = ConditionalMetricResult(
+            metric="m", condition="s", strata={}, tolerance=0.0,
+            equality_concept=EqualityConcept.EQUAL_OUTCOME,
+        )
+        assert result.satisfied
+        assert result.gap == 0.0

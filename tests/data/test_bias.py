@@ -1,0 +1,150 @@
+"""Tests for repro.data.bias injectors."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    inject_label_bias,
+    inject_measurement_noise,
+    inject_proxy_column,
+    inject_representation_bias,
+    swap_protected_values,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def clean(clean_hiring):
+    return clean_hiring
+
+
+class TestLabelBias:
+    def test_demotion_lowers_group_rate(self, clean):
+        biased = inject_label_bias(
+            clean, "sex", "female",
+            flip_positive_to_negative=0.5, random_state=0,
+        )
+        sex = clean.column("sex")
+        before = clean.labels()[sex == "female"].mean()
+        after = biased.labels()[sex == "female"].mean()
+        assert after < before * 0.75
+        # other group untouched
+        np.testing.assert_array_equal(
+            clean.labels()[sex == "male"], biased.labels()[sex == "male"]
+        )
+
+    def test_promotion_raises_group_rate(self, clean):
+        biased = inject_label_bias(
+            clean, "sex", "female",
+            flip_negative_to_positive=0.5, random_state=0,
+        )
+        sex = clean.column("sex")
+        assert (
+            biased.labels()[sex == "female"].mean()
+            > clean.labels()[sex == "female"].mean()
+        )
+
+    def test_zero_probability_is_identity(self, clean):
+        same = inject_label_bias(clean, "sex", "female", random_state=0)
+        np.testing.assert_array_equal(same.labels(), clean.labels())
+
+    def test_original_untouched(self, clean):
+        before = clean.labels().copy()
+        inject_label_bias(
+            clean, "sex", "female",
+            flip_positive_to_negative=1.0, random_state=0,
+        )
+        np.testing.assert_array_equal(clean.labels(), before)
+
+    def test_unknown_group_raises(self, clean):
+        with pytest.raises(DatasetError, match="empty"):
+            inject_label_bias(clean, "sex", "robot",
+                              flip_positive_to_negative=0.5)
+
+    def test_non_protected_attribute_raises(self, clean):
+        with pytest.raises(DatasetError, match="not a protected attribute"):
+            inject_label_bias(clean, "experience", 1.0)
+
+
+class TestRepresentationBias:
+    def test_undersampling(self, clean):
+        reduced = inject_representation_bias(
+            clean, "sex", "female", keep_fraction=0.25, random_state=0
+        )
+        n_female_before = int((clean.column("sex") == "female").sum())
+        n_female_after = int((reduced.column("sex") == "female").sum())
+        assert n_female_after == round(0.25 * n_female_before)
+        n_male_before = int((clean.column("sex") == "male").sum())
+        n_male_after = int((reduced.column("sex") == "male").sum())
+        assert n_male_after == n_male_before
+
+    def test_keep_all_is_identity_size(self, clean):
+        same = inject_representation_bias(
+            clean, "sex", "female", keep_fraction=1.0, random_state=0
+        )
+        assert same.n_rows == clean.n_rows
+
+    def test_keep_none_removes_group(self, clean):
+        gone = inject_representation_bias(
+            clean, "sex", "female", keep_fraction=0.0, random_state=0
+        )
+        assert not (gone.column("sex") == "female").any()
+
+
+class TestProxyColumn:
+    def test_perfect_proxy(self, clean):
+        ds = inject_proxy_column(
+            clean, "sex", "neighborhood", strength=1.0, random_state=0
+        )
+        membership = ds.column("sex") == ds.schema["sex"].categories[1]
+        proxy = ds.column("neighborhood") == "p1"
+        assert np.array_equal(membership, proxy)
+
+    def test_zero_strength_uncorrelated(self, clean):
+        ds = inject_proxy_column(
+            clean, "sex", "neighborhood", strength=0.0, random_state=0
+        )
+        membership = (ds.column("sex") == "female").astype(float)
+        proxy = (ds.column("neighborhood") == "p1").astype(float)
+        assert abs(np.corrcoef(membership, proxy)[0, 1]) < 0.08
+
+    def test_proxy_is_a_feature(self, clean):
+        ds = inject_proxy_column(clean, "sex", "nb", strength=0.5, random_state=0)
+        assert "nb" in [c.name for c in ds.schema.by_role("feature")]
+
+    def test_existing_name_raises(self, clean):
+        with pytest.raises(DatasetError, match="already exists"):
+            inject_proxy_column(clean, "sex", "experience", strength=0.5)
+
+
+class TestMeasurementNoise:
+    def test_noise_increases_group_variance(self, clean):
+        noisy = inject_measurement_noise(
+            clean, "skill_score", "sex", "female", noise_std=20.0,
+            random_state=0,
+        )
+        sex = clean.column("sex")
+        var_before = clean.column("skill_score")[sex == "female"].var()
+        var_after = noisy.column("skill_score")[sex == "female"].var()
+        assert var_after > var_before * 1.5
+        np.testing.assert_array_equal(
+            clean.column("skill_score")[sex == "male"],
+            noisy.column("skill_score")[sex == "male"],
+        )
+
+    def test_non_numeric_feature_raises(self, clean):
+        with pytest.raises(DatasetError, match="must be numeric"):
+            inject_measurement_noise(clean, "university", "sex", "female", 1.0)
+
+
+class TestSwapProtected:
+    def test_swap_is_involution(self, clean):
+        swapped = swap_protected_values(clean, "sex")
+        double = swap_protected_values(swapped, "sex")
+        np.testing.assert_array_equal(
+            double.column("sex"), clean.column("sex")
+        )
+
+    def test_swap_flips_every_row(self, clean):
+        swapped = swap_protected_values(clean, "sex")
+        assert not (swapped.column("sex") == clean.column("sex")).any()

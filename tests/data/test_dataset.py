@@ -1,0 +1,208 @@
+"""Tests for repro.data.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import Column, Schema, TabularDataset
+from repro.data.schema import ColumnKind, ColumnRole
+from repro.exceptions import DatasetError, SchemaError
+
+
+class TestConstruction:
+    def test_basic(self, tiny_dataset):
+        assert tiny_dataset.n_rows == 6
+        assert len(tiny_dataset) == 6
+        assert "score" in tiny_dataset
+
+    def test_missing_column_rejected(self, tiny_schema):
+        with pytest.raises(DatasetError, match="missing columns"):
+            TabularDataset(tiny_schema, {"score": [1.0], "sex": ["male"]})
+
+    def test_extra_column_rejected(self, tiny_schema):
+        with pytest.raises(DatasetError, match="absent from schema"):
+            TabularDataset(tiny_schema, {
+                "score": [1.0], "sex": ["male"], "hired": [1], "zzz": [0],
+            })
+
+    def test_mismatched_lengths_rejected(self, tiny_schema):
+        with pytest.raises(DatasetError, match="mismatched lengths"):
+            TabularDataset(tiny_schema, {
+                "score": [1.0, 2.0], "sex": ["male"], "hired": [1],
+            })
+
+    def test_out_of_category_values_rejected(self, tiny_schema):
+        with pytest.raises(DatasetError, match="outside its declared"):
+            TabularDataset(tiny_schema, {
+                "score": [1.0], "sex": ["alien"], "hired": [1],
+            })
+
+    def test_binary_label_values_validated(self, tiny_schema):
+        with pytest.raises(DatasetError, match="outside its declared"):
+            TabularDataset(tiny_schema, {
+                "score": [1.0], "sex": ["male"], "hired": [2],
+            })
+
+    def test_columns_are_readonly(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            tiny_dataset.column("score")[0] = 99.0
+
+
+class TestAccess:
+    def test_labels(self, tiny_dataset):
+        assert tiny_dataset.labels().tolist() == [1, 0, 1, 1, 0, 0]
+
+    def test_protected_default(self, tiny_dataset):
+        assert set(tiny_dataset.protected()) == {"male", "female"}
+
+    def test_protected_named_non_protected_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError, match="not protected"):
+            tiny_dataset.protected("score")
+
+    def test_unknown_column_raises(self, tiny_dataset):
+        with pytest.raises(SchemaError, match="unknown column"):
+            tiny_dataset.column("nope")
+
+    def test_feature_matrix_excludes_protected_and_label(self, tiny_dataset):
+        X = tiny_dataset.feature_matrix()
+        assert X.shape == (6, 1)
+        assert X[:, 0].tolist() == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_feature_matrix_one_hot(self):
+        schema = Schema((
+            Column("city", kind=ColumnKind.CATEGORICAL,
+                   categories=("paris", "rome")),
+            Column("y", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+        ))
+        ds = TabularDataset(schema, {"city": ["rome", "paris"], "y": [0, 1]})
+        X = ds.feature_matrix()
+        assert X.shape == (2, 2)
+        assert X.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+        assert ds.feature_matrix_names() == ["city=paris", "city=rome"]
+
+    def test_rate(self, tiny_dataset):
+        assert tiny_dataset.rate("hired") == pytest.approx(0.5)
+        mask = tiny_dataset.column("sex") == "male"
+        assert tiny_dataset.rate("hired", where=mask) == pytest.approx(2 / 3)
+
+    def test_rate_empty_selection_raises(self, tiny_dataset):
+        with pytest.raises(DatasetError, match="empty selection"):
+            tiny_dataset.rate("hired", where=np.zeros(6, dtype=bool))
+
+
+class TestRowOps:
+    def test_take_indices(self, tiny_dataset):
+        sub = tiny_dataset.take([0, 2])
+        assert sub.n_rows == 2
+        assert sub.column("score").tolist() == [1.0, 3.0]
+
+    def test_take_boolean_mask(self, tiny_dataset):
+        sub = tiny_dataset.take(tiny_dataset.column("sex") == "female")
+        assert sub.n_rows == 3
+
+    def test_take_bad_mask_length(self, tiny_dataset):
+        with pytest.raises(DatasetError, match="mask length"):
+            tiny_dataset.take(np.array([True, False]))
+
+    def test_filter(self, tiny_dataset):
+        sub = tiny_dataset.filter(sex="female", hired=1)
+        assert sub.n_rows == 1
+        assert sub.column("score")[0] == 4.0
+
+    def test_split_partitions(self, biased_hiring):
+        train, test = biased_hiring.split(test_fraction=0.25, random_state=3)
+        assert train.n_rows + test.n_rows == biased_hiring.n_rows
+        assert test.n_rows == pytest.approx(0.25 * biased_hiring.n_rows, abs=2)
+
+    def test_split_stratified_preserves_shares(self, biased_hiring):
+        train, test = biased_hiring.split(
+            test_fraction=0.3, random_state=3, stratify_by="sex"
+        )
+        overall = np.mean(biased_hiring.column("sex") == "female")
+        test_share = np.mean(test.column("sex") == "female")
+        assert test_share == pytest.approx(overall, abs=0.02)
+
+    def test_split_deterministic_given_seed(self, biased_hiring):
+        a1, b1 = biased_hiring.split(random_state=11)
+        a2, b2 = biased_hiring.split(random_state=11)
+        assert a1.column("score" if "score" in a1 else "experience").tolist() == \
+            a2.column("score" if "score" in a2 else "experience").tolist()
+        assert b1.n_rows == b2.n_rows
+
+    def test_groupby(self, tiny_dataset):
+        groups = dict(tiny_dataset.groupby("sex"))
+        assert set(groups) == {"male", "female"}
+        assert groups["male"].n_rows == 3
+
+    def test_concat(self, tiny_dataset):
+        doubled = tiny_dataset.concat(tiny_dataset)
+        assert doubled.n_rows == 12
+
+    def test_concat_mismatched_schema_raises(self, tiny_dataset):
+        other = tiny_dataset.drop_column("score")
+        with pytest.raises(DatasetError, match="different columns"):
+            tiny_dataset.concat(other)
+
+
+class TestColumnOps:
+    def test_with_column_adds(self, tiny_dataset):
+        ds = tiny_dataset.with_column(Column("bonus"), [0.0] * 6)
+        assert "bonus" in ds
+        assert "bonus" not in tiny_dataset
+
+    def test_with_column_replaces(self, tiny_dataset):
+        ds = tiny_dataset.with_column(
+            tiny_dataset.schema["score"], [9.0] * 6
+        )
+        assert ds.column("score").tolist() == [9.0] * 6
+
+    def test_with_predictions(self, tiny_dataset):
+        ds = tiny_dataset.with_predictions([1, 1, 0, 0, 1, 0])
+        assert ds.schema["prediction"].role == ColumnRole.PREDICTION
+
+    def test_drop_column(self, tiny_dataset):
+        ds = tiny_dataset.drop_column("score")
+        assert "score" not in ds
+        assert ds.n_rows == 6
+
+    def test_with_role(self, tiny_dataset):
+        ds = tiny_dataset.with_role("sex", ColumnRole.FEATURE)
+        assert ds.schema["sex"].role == ColumnRole.FEATURE
+        # unawareness direction: feature matrix now includes the one-hot sex
+        assert ds.feature_matrix().shape[1] == 3
+
+
+class TestInterchange:
+    def test_csv_roundtrip(self, tiny_dataset):
+        text = tiny_dataset.to_csv()
+        back = TabularDataset.from_csv(tiny_dataset.schema, text)
+        assert back.n_rows == tiny_dataset.n_rows
+        assert back.column("sex").tolist() == tiny_dataset.column("sex").tolist()
+        assert back.column("hired").tolist() == tiny_dataset.column("hired").tolist()
+        np.testing.assert_allclose(
+            back.column("score"), tiny_dataset.column("score")
+        )
+
+    def test_from_csv_rejects_wrong_header(self, tiny_dataset):
+        with pytest.raises(DatasetError, match="does not match schema"):
+            TabularDataset.from_csv(tiny_dataset.schema, "a,b,c\n1,2,3\n")
+
+    def test_from_csv_rejects_empty(self, tiny_schema):
+        with pytest.raises(DatasetError, match="empty"):
+            TabularDataset.from_csv(tiny_schema, "")
+
+    def test_from_rows(self, tiny_schema):
+        ds = TabularDataset.from_rows(tiny_schema, [
+            {"score": 1.0, "sex": "male", "hired": 1},
+            {"score": 2.0, "sex": "female", "hired": 0},
+        ])
+        assert ds.n_rows == 2
+
+    def test_to_dict(self, tiny_dataset):
+        d = tiny_dataset.to_dict()
+        assert set(d) == {"score", "sex", "hired"}
+        assert d["hired"] == [1, 0, 1, 1, 0, 0]
+
+    def test_describe(self, tiny_dataset):
+        summary = tiny_dataset.describe()
+        assert summary["sex"]["counts"] == {"male": 3, "female": 3}
+        assert summary["score"]["mean"] == pytest.approx(3.5)

@@ -1,0 +1,176 @@
+"""Tests for repro.data.generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    make_credit,
+    make_hiring,
+    make_housing,
+    make_intersectional,
+    make_recidivism,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMakeHiring:
+    def test_shape_and_schema(self):
+        ds = make_hiring(n=300, random_state=0)
+        assert ds.n_rows == 300
+        assert ds.schema.label_name == "hired"
+        assert ds.schema.protected_names == ["sex"]
+        assert "university" in ds.schema.feature_names
+
+    def test_deterministic_given_seed(self):
+        a = make_hiring(n=200, random_state=42)
+        b = make_hiring(n=200, random_state=42)
+        np.testing.assert_array_equal(a.column("hired"), b.column("hired"))
+        np.testing.assert_allclose(a.column("experience"), b.column("experience"))
+
+    def test_different_seeds_differ(self):
+        a = make_hiring(n=200, random_state=1)
+        b = make_hiring(n=200, random_state=2)
+        assert not np.array_equal(a.column("hired"), b.column("hired"))
+
+    def test_direct_bias_lowers_female_rate(self):
+        biased = make_hiring(n=6000, direct_bias=2.0, random_state=0)
+        sex = biased.column("sex")
+        hired = biased.column("hired")
+        female_rate = hired[sex == "female"].mean()
+        male_rate = hired[sex == "male"].mean()
+        assert male_rate - female_rate > 0.15
+
+    def test_no_bias_gives_near_parity(self):
+        clean = make_hiring(n=8000, direct_bias=0.0, random_state=0)
+        sex = clean.column("sex")
+        hired = clean.column("hired")
+        gap = abs(hired[sex == "female"].mean() - hired[sex == "male"].mean())
+        assert gap < 0.04
+
+    def test_proxy_strength_controls_university_sex_correlation(self):
+        strong = make_hiring(n=5000, proxy_strength=1.0, random_state=0)
+        agreement = np.mean(
+            (strong.column("university") == "u_alpha")
+            == (strong.column("sex") == "female")
+        )
+        assert agreement == 1.0
+        weak = make_hiring(n=5000, proxy_strength=0.0, random_state=0)
+        agreement = np.mean(
+            (weak.column("university") == "u_alpha")
+            == (weak.column("sex") == "female")
+        )
+        assert 0.4 < agreement < 0.6
+
+    def test_base_rate_respected(self):
+        ds = make_hiring(n=8000, base_rate=0.3, label_noise=0.0, random_state=0)
+        assert ds.column("hired").mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_female_fraction(self):
+        ds = make_hiring(n=5000, female_fraction=0.2, random_state=0)
+        assert np.mean(ds.column("sex") == "female") == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValidationError):
+            make_hiring(n=0)
+        with pytest.raises(ValidationError):
+            make_hiring(female_fraction=1.5)
+        with pytest.raises(ValidationError):
+            make_hiring(base_rate=0.0)
+
+
+class TestMakeCredit:
+    def test_schema(self):
+        ds = make_credit(n=200, random_state=0)
+        assert ds.schema.label_name == "approved"
+        assert ds.schema.protected_names == ["race"]
+
+    def test_redlining_strength(self):
+        ds = make_credit(n=5000, redlining_strength=1.0, random_state=0)
+        agreement = np.mean(
+            (ds.column("zip_region") == "region_a")
+            == (ds.column("race") == "minority")
+        )
+        assert agreement == 1.0
+
+    def test_income_gap_lowers_minority_approval(self):
+        gapped = make_credit(n=8000, income_gap=1.0, random_state=0)
+        race = gapped.column("race")
+        approved = gapped.column("approved")
+        assert (
+            approved[race == "majority"].mean()
+            - approved[race == "minority"].mean()
+        ) > 0.05
+
+    def test_income_positive(self):
+        ds = make_credit(n=500, random_state=0)
+        assert np.all(ds.column("income") > 0)
+
+
+class TestMakeHousing:
+    def test_schema(self):
+        ds = make_housing(n=200, random_state=0)
+        assert ds.schema.label_name == "accepted"
+        assert ds.schema.protected_names == ["familial_status"]
+
+    def test_familial_penalty_bias(self):
+        ds = make_housing(n=8000, familial_penalty=2.0, random_state=0)
+        fam = ds.column("familial_status")
+        accepted = ds.column("accepted")
+        gap = (
+            accepted[fam == "no_children"].mean()
+            - accepted[fam == "with_children"].mean()
+        )
+        assert gap > 0.15
+
+
+class TestMakeRecidivism:
+    def test_schema(self):
+        ds = make_recidivism(n=200, random_state=0)
+        assert ds.schema.label_name == "rearrested"
+        assert ds.schema.protected_names == ["race"]
+
+    def test_measurement_bias_raises_minority_label_rate(self):
+        ds = make_recidivism(n=8000, measurement_bias=0.3, random_state=0)
+        race = ds.column("race")
+        labels = ds.column("rearrested")
+        gap = labels[race == "minority"].mean() - labels[race == "majority"].mean()
+        assert gap > 0.15
+
+    def test_age_bounds(self):
+        ds = make_recidivism(n=1000, random_state=0)
+        assert ds.column("age").min() >= 18
+        assert ds.column("age").max() <= 80
+
+
+class TestMakeIntersectional:
+    def test_marginals_fair_intersection_unfair(self):
+        ds = make_intersectional(n=30000, subgroup_penalty=0.3, random_state=0)
+        gender = ds.column("gender")
+        race = ds.column("race")
+        promoted = ds.column("promoted")
+
+        gender_gap = abs(
+            promoted[gender == "female"].mean()
+            - promoted[gender == "male"].mean()
+        )
+        race_gap = abs(
+            promoted[race == "caucasian"].mean()
+            - promoted[race == "non_caucasian"].mean()
+        )
+        assert gender_gap < 0.03
+        assert race_gap < 0.03
+
+        crossed = (
+            ((gender == "male") & (race == "non_caucasian"))
+            | ((gender == "female") & (race == "caucasian"))
+        )
+        subgroup_gap = promoted[~crossed].mean() - promoted[crossed].mean()
+        assert subgroup_gap > 0.5  # 2 * penalty = 0.6, sampling noise aside
+
+    def test_two_protected_attributes_declared(self):
+        ds = make_intersectional(n=100, random_state=0)
+        assert set(ds.schema.protected_names) == {"gender", "race"}
+
+    def test_penalty_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            make_intersectional(subgroup_penalty=0.9, base_rate=0.5)

@@ -1,0 +1,65 @@
+"""Tests for repro.data.marginals."""
+
+import pytest
+
+from repro.data import PopulationMarginals, make_hiring
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = PopulationMarginals("sex", {"male": 0.5, "female": 0.5})
+        assert m.proportion("male") == 0.5
+        assert set(m.groups) == {"male", "female"}
+
+    def test_renormalises_tiny_drift(self):
+        m = PopulationMarginals("sex", {"a": 0.5000004, "b": 0.4999996})
+        assert m.proportion("a") + m.proportion("b") == pytest.approx(1.0)
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValidationError, match="sum to 1"):
+            PopulationMarginals("sex", {"a": 0.7, "b": 0.7})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            PopulationMarginals("sex", {"a": -0.2, "b": 1.2})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            PopulationMarginals("sex", {})
+
+    def test_unknown_group_lookup_raises(self):
+        m = PopulationMarginals("sex", {"a": 0.5, "b": 0.5})
+        with pytest.raises(ValidationError, match="unknown group"):
+            m.proportion("c")
+
+
+class TestFromDataset:
+    def test_empirical(self):
+        ds = make_hiring(n=4000, female_fraction=0.3, random_state=0)
+        m = PopulationMarginals.from_dataset(ds, "sex")
+        assert m.proportion("female") == pytest.approx(0.3, abs=0.03)
+
+    def test_expected_counts(self):
+        m = PopulationMarginals("sex", {"male": 0.6, "female": 0.4})
+        counts = m.expected_counts(100)
+        assert counts["male"] == pytest.approx(60)
+
+
+class TestGaps:
+    def test_representation_gap_detects_undersampling(self):
+        population = PopulationMarginals("sex", {"male": 0.5, "female": 0.5})
+        sample = make_hiring(n=4000, female_fraction=0.2, random_state=0)
+        gaps = population.representation_gap(sample)
+        assert gaps["female"] < -0.2
+        assert gaps["male"] > 0.2
+
+    def test_tv_gap_zero_for_matching(self):
+        population = PopulationMarginals("sex", {"male": 0.5, "female": 0.5})
+        sample = make_hiring(n=20000, female_fraction=0.5, random_state=0)
+        assert population.total_variation_gap(sample) < 0.02
+
+    def test_tv_gap_large_for_skew(self):
+        population = PopulationMarginals("sex", {"male": 0.5, "female": 0.5})
+        sample = make_hiring(n=4000, female_fraction=0.05, random_state=0)
+        assert population.total_variation_gap(sample) > 0.4

@@ -1,0 +1,125 @@
+"""Tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
+from repro.exceptions import SchemaError
+
+
+class TestColumn:
+    def test_defaults(self):
+        col = Column("age")
+        assert col.kind == ColumnKind.NUMERIC
+        assert col.role == ColumnRole.FEATURE
+        assert not col.is_discrete
+
+    def test_binary_gets_default_categories(self):
+        col = Column("hired", kind=ColumnKind.BINARY)
+        assert col.categories == (0, 1)
+        assert col.is_discrete
+
+    def test_categorical_requires_categories(self):
+        with pytest.raises(SchemaError, match="must declare its categories"):
+            Column("city", kind=ColumnKind.CATEGORICAL)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(SchemaError, match="kind must be one of"):
+            Column("x", kind="weird")
+
+    def test_rejects_bad_role(self):
+        with pytest.raises(SchemaError, match="role must be one of"):
+            Column("x", role="weird")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError, match="non-empty string"):
+            Column("")
+
+    def test_rejects_duplicate_categories(self):
+        with pytest.raises(SchemaError, match="duplicate categories"):
+            Column("c", kind=ColumnKind.CATEGORICAL, categories=("a", "a"))
+
+    def test_with_role_returns_new_column(self):
+        col = Column("sex", kind=ColumnKind.CATEGORICAL,
+                     role=ColumnRole.PROTECTED, categories=("m", "f"))
+        feature = col.with_role(ColumnRole.FEATURE)
+        assert feature.role == ColumnRole.FEATURE
+        assert col.role == ColumnRole.PROTECTED
+        assert feature.categories == col.categories
+
+    def test_statute_tags_carried(self):
+        col = Column("sex", kind=ColumnKind.CATEGORICAL,
+                     role=ColumnRole.PROTECTED, categories=("m", "f"),
+                     statute_tags=("title_vii",))
+        assert "title_vii" in col.statute_tags
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema((
+            Column("a"),
+            Column("sex", kind=ColumnKind.CATEGORICAL,
+                   role=ColumnRole.PROTECTED, categories=("m", "f")),
+            Column("y", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+        ))
+
+    def test_lookup_and_contains(self):
+        schema = self._schema()
+        assert "a" in schema
+        assert "missing" not in schema
+        assert schema["sex"].role == ColumnRole.PROTECTED
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            self._schema()["nope"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate column names"):
+            Schema((Column("a"), Column("a")))
+
+    def test_at_most_one_label(self):
+        with pytest.raises(SchemaError, match="at most one label"):
+            Schema((
+                Column("y1", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+                Column("y2", kind=ColumnKind.BINARY, role=ColumnRole.LABEL),
+            ))
+
+    def test_role_accessors(self):
+        schema = self._schema()
+        assert schema.feature_names == ["a"]
+        assert schema.protected_names == ["sex"]
+        assert schema.label_name == "y"
+        assert schema.prediction_names == []
+
+    def test_label_name_none_when_absent(self):
+        schema = Schema((Column("a"),))
+        assert schema.label_name is None
+
+    def test_add_and_drop(self):
+        schema = self._schema()
+        bigger = schema.add(Column("b"))
+        assert "b" in bigger
+        assert "b" not in schema
+        smaller = bigger.drop("b")
+        assert "b" not in smaller
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().drop("nope")
+
+    def test_replace_column(self):
+        schema = self._schema()
+        replaced = schema.replace_column(
+            schema["sex"].with_role(ColumnRole.FEATURE)
+        )
+        assert replaced["sex"].role == ColumnRole.FEATURE
+        assert replaced.names() == schema.names()
+
+    def test_select_preserves_order(self):
+        schema = self._schema()
+        sub = schema.select(["y", "a"])
+        assert sub.names() == ["y", "a"]
+
+    def test_iteration_and_len(self):
+        schema = self._schema()
+        assert len(schema) == 3
+        assert [c.name for c in schema] == ["a", "sex", "y"]

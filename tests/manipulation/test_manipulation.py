@@ -1,0 +1,136 @@
+"""Tests for repro.manipulation (Section IV.E, Dimanov-style concealment)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hiring
+from repro.data.schema import ColumnRole
+from repro.exceptions import ValidationError
+from repro.manipulation import (
+    ConcealmentAttack,
+    coefficient_importance,
+    explainer_based_audit,
+    loco_importance,
+    manipulation_report,
+    normalize_importances,
+    outcome_based_audit,
+    permutation_importance,
+)
+from repro.models import LogisticRegression, Standardizer
+
+
+@pytest.fixture(scope="module")
+def attack_setup():
+    """A model trained WITH the sensitive attribute visible, plus a proxy."""
+    ds = make_hiring(
+        n=3000, direct_bias=2.5, proxy_strength=0.95, random_state=5
+    )
+    aware = ds.with_role("sex", ColumnRole.FEATURE)
+    X = Standardizer().fit_transform(aware.feature_matrix())
+    y = aware.labels()
+    names = aware.feature_matrix_names()
+    sensitive_idx = [
+        i for i, name in enumerate(names) if name.startswith("sex=")
+    ]
+    model = LogisticRegression(max_iter=1200).fit(X, y)
+    return ds, X, y, names, sensitive_idx, model
+
+
+class TestExplainers:
+    def test_coefficient_importance_shape(self, attack_setup):
+        __, X, __, names, __, model = attack_setup
+        imp = coefficient_importance(model)
+        assert imp.shape == (X.shape[1],)
+        assert np.all(imp >= 0)
+
+    def test_permutation_importance_finds_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (800, 3))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        imp = permutation_importance(model, X, y, random_state=0)
+        assert imp[0] > imp[1] + 0.1
+        assert imp[0] > imp[2] + 0.1
+
+    def test_loco_importance_finds_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (800, 3))
+        y = (X[:, 0] > 0).astype(int)
+        imp = loco_importance(
+            lambda: LogisticRegression(max_iter=500),
+            X[:600], y[:600], X[600:], y[600:],
+        )
+        assert imp[0] > max(imp[1], imp[2]) + 0.1
+
+    def test_normalize_importances(self):
+        shares = normalize_importances([1.0, 3.0])
+        np.testing.assert_allclose(shares, [0.25, 0.75])
+        np.testing.assert_allclose(normalize_importances([0.0, 0.0]), [0, 0])
+
+
+class TestConcealmentAttack:
+    def test_attack_suppresses_sensitive_weights(self, attack_setup):
+        __, X, __, __, sensitive_idx, model = attack_setup
+        before_share = normalize_importances(
+            coefficient_importance(model)
+        )[sensitive_idx].sum()
+        concealed = ConcealmentAttack(suppression=50.0).run(
+            model, X, sensitive_idx
+        )
+        assert concealed.sensitive_weight_share() < 0.02
+        assert concealed.sensitive_weight_share() < before_share
+
+    def test_attack_preserves_predictions(self, attack_setup):
+        __, X, __, __, sensitive_idx, model = attack_setup
+        concealed = ConcealmentAttack().run(model, X, sensitive_idx)
+        assert concealed.fidelity > 0.92
+
+    def test_attack_preserves_outcome_bias(self, attack_setup):
+        ds, X, __, __, sensitive_idx, model = attack_setup
+        concealed = ConcealmentAttack().run(model, X, sensitive_idx)
+        gap_before, __ = outcome_based_audit(
+            model.predict(X), ds.column("sex")
+        )
+        gap_after, fair_after = outcome_based_audit(
+            concealed.model.predict(X), ds.column("sex")
+        )
+        assert gap_after > 0.5 * gap_before
+        assert not fair_after
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(ValidationError, match="fitted"):
+            ConcealmentAttack().run(LogisticRegression(), np.zeros((3, 2)), [0])
+
+    def test_bad_indices_rejected(self, attack_setup):
+        __, X, __, __, __, model = attack_setup
+        with pytest.raises(ValidationError):
+            ConcealmentAttack().run(model, X, [])
+        with pytest.raises(ValidationError):
+            ConcealmentAttack().run(model, X, [999])
+
+
+class TestDefense:
+    def test_explainer_fooled_outcome_not(self, attack_setup):
+        ds, X, __, __, sensitive_idx, model = attack_setup
+        concealed = ConcealmentAttack().run(model, X, sensitive_idx)
+        report = manipulation_report(
+            concealed.model, X, ds.column("sex"), sensitive_idx
+        )
+        # the paper's IV.E signature: explainer says fair, outcomes say not
+        assert report.explainer_verdict_fair
+        assert not report.outcome_verdict_fair
+        assert report.verdicts_diverge
+        assert "MANIPULATION SUSPECTED" in report.summary()
+
+    def test_honest_model_verdicts_agree(self, attack_setup):
+        ds, X, __, __, sensitive_idx, model = attack_setup
+        report = manipulation_report(
+            model, X, ds.column("sex"), sensitive_idx
+        )
+        # the honest biased model relies on sex visibly: no divergence
+        assert not report.verdicts_diverge
+
+    def test_explainer_audit_values(self, attack_setup):
+        __, __, __, __, sensitive_idx, model = attack_setup
+        share, fair = explainer_based_audit(model, sensitive_idx)
+        assert 0.0 <= share <= 1.0

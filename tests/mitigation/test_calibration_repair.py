@@ -1,0 +1,71 @@
+"""Tests for group-wise calibration repair."""
+
+import numpy as np
+import pytest
+
+from repro.core import calibration_within_groups
+from repro.exceptions import MitigationError, NotFittedError
+from repro.mitigation import GroupCalibrator
+from repro.models import sigmoid
+
+
+@pytest.fixture(scope="module")
+def miscalibrated():
+    """Scores calibrated for group a, badly over-confident for group b."""
+    rng = np.random.default_rng(0)
+    n = 6000
+    groups = np.where(rng.random(n) < 0.5, "a", "b")
+    logits = rng.normal(0, 1.5, n)
+    true_probs = np.where(
+        groups == "a", sigmoid(logits), sigmoid(0.4 * logits - 0.8)
+    )
+    y = (rng.random(n) < true_probs).astype(int)
+    scores = sigmoid(logits)  # correct for a, distorted for b
+    return scores, groups, y
+
+
+class TestGroupCalibrator:
+    def test_closes_calibration_gap(self, miscalibrated):
+        scores, groups, y = miscalibrated
+        before = calibration_within_groups(y, scores, groups, tolerance=0.05)
+        assert not before.satisfied
+        repaired = GroupCalibrator().fit_transform(scores, groups, y)
+        after = calibration_within_groups(y, repaired, groups, tolerance=0.05)
+        assert after.gap < before.gap
+        assert after.satisfied
+
+    def test_calibrated_group_barely_changes(self, miscalibrated):
+        scores, groups, y = miscalibrated
+        repaired = GroupCalibrator().fit_transform(scores, groups, y)
+        mask = groups == "a"
+        # group a was already calibrated: its scores move little
+        assert np.mean(np.abs(repaired[mask] - scores[mask])) < 0.05
+
+    def test_output_in_unit_interval(self, miscalibrated):
+        scores, groups, y = miscalibrated
+        repaired = GroupCalibrator().fit_transform(scores, groups, y)
+        assert np.all((repaired >= 0) & (repaired <= 1))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            GroupCalibrator().transform([0.5], ["a"])
+
+    def test_unseen_group_raises(self, miscalibrated):
+        scores, groups, y = miscalibrated
+        calibrator = GroupCalibrator().fit(scores, groups, y)
+        with pytest.raises(MitigationError, match="not seen"):
+            calibrator.transform([0.5], ["z"])
+
+    def test_single_class_group_raises(self):
+        scores = np.array([0.2, 0.8, 0.3, 0.7])
+        groups = np.array(["a", "a", "b", "b"])
+        y = np.array([0, 1, 1, 1])  # group b has only positives
+        with pytest.raises(MitigationError, match="both outcome classes"):
+            GroupCalibrator().fit(scores, groups, y)
+
+    def test_single_group_raises(self):
+        scores = np.array([0.2, 0.8, 0.3, 0.7])
+        groups = np.array(["a"] * 4)
+        y = np.array([0, 1, 0, 1])
+        with pytest.raises(MitigationError, match="two groups"):
+            GroupCalibrator().fit(scores, groups, y)

@@ -1,0 +1,154 @@
+"""Tests for in-processing and post-processing mitigations."""
+
+import numpy as np
+import pytest
+
+from repro.core import demographic_parity, equal_opportunity
+from repro.data import make_hiring
+from repro.exceptions import MitigationError, NotFittedError, ValidationError
+from repro.mitigation import (
+    FairLogisticRegression,
+    GroupThresholds,
+    quota_selector,
+)
+from repro.models import LogisticRegression, Standardizer, accuracy
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = make_hiring(
+        n=3000, direct_bias=2.0, proxy_strength=0.9, random_state=13
+    )
+    X = Standardizer().fit_transform(ds.feature_matrix())
+    return ds, X, ds.labels(), ds.column("sex")
+
+
+class TestFairLogisticRegression:
+    def test_requires_groups(self, setup):
+        __, X, y, __ = setup
+        with pytest.raises(ValidationError, match="groups"):
+            FairLogisticRegression().fit(X, y)
+
+    def test_penalty_reduces_gap(self, setup):
+        __, X, y, groups = setup
+        plain = LogisticRegression(max_iter=800).fit(X, y)
+        fair = FairLogisticRegression(fairness_weight=30.0, max_iter=800)
+        fair.fit(X, y, groups=groups)
+        gap_plain = demographic_parity(plain.predict(X), groups).gap
+        gap_fair = demographic_parity(fair.predict(X), groups).gap
+        assert gap_fair < gap_plain * 0.6
+
+    def test_zero_weight_matches_plain(self, setup):
+        __, X, y, groups = setup
+        plain = LogisticRegression(max_iter=500).fit(X, y)
+        fair = FairLogisticRegression(fairness_weight=0.0, max_iter=500)
+        fair.fit(X, y, groups=groups)
+        np.testing.assert_allclose(fair.coef_, plain.coef_, atol=1e-6)
+
+    def test_accuracy_cost_is_bounded(self, setup):
+        __, X, y, groups = setup
+        plain = LogisticRegression(max_iter=800).fit(X, y)
+        fair = FairLogisticRegression(fairness_weight=30.0, max_iter=800)
+        fair.fit(X, y, groups=groups)
+        assert accuracy(y, fair.predict(X)) > accuracy(y, plain.predict(X)) - 0.15
+
+    def test_non_binary_groups_rejected(self, setup):
+        __, X, y, __ = setup
+        bad_groups = np.array(["a", "b", "c"] * (len(y) // 3 + 1))[: len(y)]
+        with pytest.raises(ValidationError, match="binary"):
+            FairLogisticRegression().fit(X, y, groups=bad_groups)
+
+
+class TestGroupThresholds:
+    def test_dp_target_equalises_selection_rates(self, setup):
+        __, X, y, groups = setup
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        probs = model.predict_proba(X)
+        gap_before = demographic_parity(model.predict(X), groups).gap
+        post = GroupThresholds("demographic_parity").fit(probs, groups)
+        decisions = post.predict(probs, groups)
+        gap_after = demographic_parity(decisions, groups).gap
+        assert gap_after < 0.03
+        assert gap_after < gap_before
+
+    def test_eo_target_equalises_tpr(self, setup):
+        __, X, y, groups = setup
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        probs = model.predict_proba(X)
+        post = GroupThresholds("equal_opportunity").fit(probs, groups, y_true=y)
+        decisions = post.predict(probs, groups)
+        result = equal_opportunity(y, decisions, groups)
+        assert result.gap < 0.06
+
+    def test_eo_requires_labels(self, setup):
+        __, X, y, groups = setup
+        probs = np.linspace(0.1, 0.9, len(y))
+        with pytest.raises(MitigationError, match="y_true"):
+            GroupThresholds("equal_opportunity").fit(probs, groups)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValidationError):
+            GroupThresholds("vibes")
+
+    def test_predict_before_fit_raises(self, setup):
+        __, __, y, groups = setup
+        with pytest.raises(NotFittedError):
+            GroupThresholds().predict(np.full(len(y), 0.5), groups)
+
+    def test_unseen_group_at_predict_raises(self, setup):
+        __, X, y, groups = setup
+        post = GroupThresholds().fit(np.linspace(0, 1, len(y)), groups)
+        with pytest.raises(MitigationError, match="not seen"):
+            post.predict([0.5], ["martian"])
+
+    def test_out_of_range_probabilities_rejected(self, setup):
+        __, __, __, groups = setup
+        with pytest.raises(ValidationError):
+            GroupThresholds().fit(np.full(len(groups), 1.5), groups)
+
+
+class TestQuotaSelector:
+    def test_selects_exactly_n(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(100)
+        groups = np.array(["a"] * 70 + ["b"] * 30)
+        selected = quota_selector(scores, groups, n_select=20)
+        assert selected.sum() == 20
+
+    def test_proportional_default_quota(self):
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([rng.random(70) + 1.0, rng.random(30)])
+        groups = np.array(["a"] * 70 + ["b"] * 30)
+        # group b scores strictly lower; without quotas b gets nothing
+        selected = quota_selector(scores, groups, n_select=20)
+        b_selected = selected[groups == "b"].sum()
+        assert b_selected >= 6  # floor(0.3 * 20) = 6 reserved seats
+
+    def test_explicit_quota(self):
+        rng = np.random.default_rng(0)
+        scores = np.concatenate([rng.random(70) + 1.0, rng.random(30)])
+        groups = np.array(["a"] * 70 + ["b"] * 30)
+        selected = quota_selector(
+            scores, groups, n_select=20, quotas={"b": 0.5}
+        )
+        assert selected[groups == "b"].sum() >= 10
+
+    def test_merit_within_group(self):
+        scores = np.array([0.9, 0.1, 0.8, 0.2])
+        groups = np.array(["a", "a", "b", "b"])
+        selected = quota_selector(scores, groups, n_select=2,
+                                  quotas={"a": 0.5, "b": 0.5})
+        np.testing.assert_array_equal(selected, [1, 0, 1, 0])
+
+    def test_overfull_quota_rejected(self):
+        with pytest.raises(MitigationError, match="> 1"):
+            quota_selector([1.0, 2.0], ["a", "b"], 1,
+                           quotas={"a": 0.8, "b": 0.8})
+
+    def test_too_many_selections_rejected(self):
+        with pytest.raises(MitigationError, match="cannot select"):
+            quota_selector([1.0], ["a"], 5)
+
+    def test_unknown_quota_group_rejected(self):
+        with pytest.raises(MitigationError, match="not in candidates"):
+            quota_selector([1.0, 2.0], ["a", "a"], 1, quotas={"z": 0.5})

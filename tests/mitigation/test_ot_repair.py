@@ -1,0 +1,128 @@
+"""Tests for repro.mitigation.ot_repair (group-aware and group-blind)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MitigationError, NotFittedError
+from repro.mitigation import GroupBlindRepair, QuantileRepair
+from repro.stats import wasserstein1_empirical
+
+
+def _two_group_scores(n=4000, shift=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    groups = np.where(rng.random(n) < 0.5, "a", "b")
+    values = rng.normal(0, 1, n)
+    values[groups == "b"] -= shift
+    return values, groups
+
+
+class TestQuantileRepair:
+    def test_total_repair_removes_w1_gap(self):
+        values, groups = _two_group_scores()
+        repaired = QuantileRepair(amount=1.0).fit_transform(values, groups)
+        gap = wasserstein1_empirical(
+            repaired[groups == "a"], repaired[groups == "b"]
+        )
+        assert gap < 0.1
+
+    def test_zero_amount_is_identity(self):
+        values, groups = _two_group_scores()
+        repaired = QuantileRepair(amount=0.0).fit_transform(values, groups)
+        np.testing.assert_allclose(repaired, values)
+
+    def test_partial_repair_in_between(self):
+        values, groups = _two_group_scores()
+        before = wasserstein1_empirical(
+            values[groups == "a"], values[groups == "b"]
+        )
+        half = QuantileRepair(amount=0.5).fit_transform(values, groups)
+        gap_half = wasserstein1_empirical(
+            half[groups == "a"], half[groups == "b"]
+        )
+        assert 0.1 < gap_half < before
+
+    def test_preserves_within_group_order(self):
+        values, groups = _two_group_scores(n=500)
+        repaired = QuantileRepair().fit_transform(values, groups)
+        for g in ("a", "b"):
+            order_before = np.argsort(values[groups == g], kind="stable")
+            order_after = np.argsort(repaired[groups == g], kind="stable")
+            np.testing.assert_array_equal(order_before, order_after)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            QuantileRepair().transform([1.0], ["a"])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(MitigationError, match="two groups"):
+            QuantileRepair().fit([1.0, 2.0], ["a", "a"])
+
+    def test_unseen_group_rejected(self):
+        repair = QuantileRepair().fit([1.0, 2.0], ["a", "b"])
+        with pytest.raises(MitigationError, match="not seen"):
+            repair.transform([1.0], ["c"])
+
+
+class TestGroupBlindRepair:
+    def _references(self, shift=2.0, seed=1):
+        rng = np.random.default_rng(seed)
+        return {
+            "a": rng.normal(0, 1, 3000),
+            "b": rng.normal(-shift, 1, 3000),
+        }
+
+    def test_reduces_gap_without_labels(self):
+        values, groups = _two_group_scores(shift=2.0, seed=2)
+        repair = GroupBlindRepair(
+            self._references(2.0), marginals={"a": 0.5, "b": 0.5}
+        )
+        diag = repair.gap_reduction(values, groups)
+        assert diag["w1_before"] > 1.5
+        assert diag["w1_after"] < diag["w1_before"]
+        assert diag["relative_reduction"] > 0.1
+
+    def test_transform_needs_no_group_labels(self):
+        values, __ = _two_group_scores()
+        repair = GroupBlindRepair(self._references())
+        repaired = repair.transform(values)
+        assert repaired.shape == values.shape
+        assert np.all(np.isfinite(repaired))
+
+    def test_monotone_map(self):
+        values, __ = _two_group_scores(n=800)
+        repair = GroupBlindRepair(self._references())
+        repaired = repair.transform(values)
+        order = np.argsort(values, kind="stable")
+        diffs = np.diff(repaired[order])
+        assert np.all(diffs >= -1e-9)
+
+    def test_zero_amount_identity(self):
+        values, __ = _two_group_scores(n=300)
+        repair = GroupBlindRepair(self._references(), amount=0.0)
+        np.testing.assert_allclose(repair.transform(values), values)
+
+    def test_group_aware_beats_group_blind(self):
+        # the information hierarchy: per-record labels allow full repair,
+        # marginals only allow partial — the paper's IV.F trade-off
+        values, groups = _two_group_scores(shift=2.0, seed=3)
+        aware = QuantileRepair().fit_transform(values, groups)
+        gap_aware = wasserstein1_empirical(
+            aware[groups == "a"], aware[groups == "b"]
+        )
+        blind = GroupBlindRepair(self._references(2.0))
+        gap_blind = blind.gap_reduction(values, groups)["w1_after"]
+        assert gap_aware < gap_blind
+
+    def test_marginals_must_match_groups(self):
+        with pytest.raises(MitigationError, match="cover exactly"):
+            GroupBlindRepair(self._references(), marginals={"a": 1.0})
+
+    def test_requires_two_reference_groups(self):
+        with pytest.raises(MitigationError, match="two groups"):
+            GroupBlindRepair({"a": [1.0, 2.0]})
+
+    def test_two_group_diagnostic_only(self):
+        values = np.array([1.0, 2.0, 3.0])
+        repair = GroupBlindRepair(self._references())
+        with pytest.raises(MitigationError, match="exactly two"):
+            repair.gap_reduction(values, ["a", "b", "c"])

@@ -1,0 +1,236 @@
+"""Tests for reject-option, exact equalized-odds post-processing, and
+the disparate-impact remover."""
+
+import numpy as np
+import pytest
+
+from repro.core import demographic_parity, equalized_odds
+from repro.data import make_hiring
+from repro.exceptions import MitigationError, NotFittedError, ValidationError
+from repro.mitigation import (
+    DisparateImpactRemover,
+    EqualizedOddsPostProcessor,
+    RejectOptionClassifier,
+)
+from repro.models import LogisticRegression, Standardizer, accuracy
+from repro.proxy import ProxyDetector
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    ds = make_hiring(
+        n=4000, direct_bias=2.0, proxy_strength=0.9, random_state=23
+    )
+    X = Standardizer().fit_transform(ds.feature_matrix())
+    model = LogisticRegression(max_iter=800).fit(X, ds.labels())
+    probs = model.predict_proba(X)
+    return ds, X, probs
+
+
+class TestRejectOption:
+    def test_band_zero_is_identity(self, fitted):
+        ds, __, probs = fitted
+        roc = RejectOptionClassifier("female", band=0.0)
+        decisions = roc.predict(probs, ds.column("sex"))
+        # only exact-0.5 scores would be flipped; virtually none exist
+        plain = (probs >= 0.5).astype(int)
+        assert np.mean(decisions != plain) < 0.01
+
+    def test_band_flips_in_favor_of_disadvantaged(self, fitted):
+        ds, __, probs = fitted
+        sex = ds.column("sex")
+        gap_before = demographic_parity(
+            (probs >= 0.5).astype(int), sex
+        ).gap
+        roc = RejectOptionClassifier("female", band=0.15)
+        decisions = roc.predict(probs, sex)
+        gap_after = demographic_parity(decisions, sex).gap
+        assert gap_after < gap_before
+
+    def test_wider_band_flips_more(self, fitted):
+        ds, __, probs = fitted
+        narrow = RejectOptionClassifier("female", band=0.05)
+        wide = RejectOptionClassifier("female", band=0.25)
+        assert wide.band_size(probs) > narrow.band_size(probs)
+
+    def test_widen_until_fair(self, fitted):
+        ds, __, probs = fitted
+        sex = ds.column("sex")
+        roc = RejectOptionClassifier("female")
+        band = roc.widen_until_fair(probs, sex, tolerance=0.05)
+        decisions = roc.predict(probs, sex)
+        assert demographic_parity(decisions, sex, tolerance=0.05).satisfied
+        assert 0.0 <= band <= 0.5
+
+    def test_unknown_group_rejected(self, fitted):
+        ds, __, probs = fitted
+        roc = RejectOptionClassifier("martian", band=0.1)
+        with pytest.raises(MitigationError, match="absent"):
+            roc.predict(probs, ds.column("sex"))
+
+    def test_invalid_probabilities_rejected(self):
+        roc = RejectOptionClassifier("a", band=0.1)
+        with pytest.raises(ValidationError):
+            roc.predict([1.5], ["a"])
+
+
+class TestEqualizedOddsPostProcessor:
+    def _setup(self, seed=0):
+        ds = make_hiring(
+            n=6000, direct_bias=2.0, proxy_strength=0.9, random_state=seed
+        )
+        # ground truth = true qualification, predictions = biased model
+        qualified = (
+            ds.column("qualification")
+            > float(np.median(ds.column("qualification")))
+        ).astype(int)
+        X = Standardizer().fit_transform(ds.feature_matrix())
+        model = LogisticRegression(max_iter=800).fit(X, ds.labels())
+        preds = model.predict(X)
+        return qualified, preds, ds.column("sex")
+
+    def test_achieves_equalized_odds_in_expectation(self):
+        y_true, preds, groups = self._setup()
+        before = equalized_odds(y_true, preds, groups).gap
+        post = EqualizedOddsPostProcessor(random_state=0).fit(
+            y_true, preds, groups
+        )
+        derived = post.predict(preds, groups)
+        after = equalized_odds(y_true, derived, groups).gap
+        assert after < before
+        assert after < 0.08  # sampling noise around the exact target
+
+    def test_mixing_weights_are_convex(self):
+        y_true, preds, groups = self._setup()
+        post = EqualizedOddsPostProcessor(random_state=0).fit(
+            y_true, preds, groups
+        )
+        for weights in post.mixing_.values():
+            total = weights["base"] + weights["one"] + weights["zero"]
+            assert total == pytest.approx(1.0)
+            assert all(v >= -1e-12 for v in weights.values())
+
+    def test_target_is_feasible_point(self):
+        y_true, preds, groups = self._setup()
+        post = EqualizedOddsPostProcessor(random_state=0).fit(
+            y_true, preds, groups
+        )
+        fpr, tpr = post.target_
+        assert 0.0 <= fpr <= 1.0
+        assert 0.0 <= tpr <= 1.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            EqualizedOddsPostProcessor().predict([1, 0], ["a", "b"])
+
+    def test_single_group_rejected(self):
+        with pytest.raises(MitigationError, match="two groups"):
+            EqualizedOddsPostProcessor().fit([1, 0], [1, 0], ["a", "a"])
+
+    def test_deterministic_given_seed(self):
+        y_true, preds, groups = self._setup()
+        a = EqualizedOddsPostProcessor(random_state=9).fit(
+            y_true, preds, groups
+        ).predict(preds, groups)
+        b = EqualizedOddsPostProcessor(random_state=9).fit(
+            y_true, preds, groups
+        ).predict(preds, groups)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDisparateImpactRemover:
+    def test_removes_proxy_capacity(self):
+        ds = make_hiring(
+            n=3000, direct_bias=2.0, proxy_strength=0.0, random_state=31
+        )
+        # make numeric features sex-dependent to create numeric proxies
+        sex = ds.column("sex")
+        shifted = ds.with_column(
+            ds.schema["experience"],
+            ds.column("experience") + 3.0 * (sex == "male"),
+        )
+        before = ProxyDetector(random_state=0).scan(shifted, "sex")
+        remover = DisparateImpactRemover(amount=1.0)
+        repaired = remover.fit_transform(shifted, "sex")
+        after = ProxyDetector(random_state=0).scan(repaired, "sex")
+        exp_before = [s for s in before.scores if s.feature == "experience"][0]
+        exp_after = [s for s in after.scores if s.feature == "experience"][0]
+        assert exp_after.association < exp_before.association * 0.3
+
+    def test_preserves_within_group_order(self):
+        ds = make_hiring(n=1000, random_state=0)
+        remover = DisparateImpactRemover(amount=1.0)
+        repaired = remover.fit_transform(ds, "sex")
+        sex = ds.column("sex")
+        for group in ("male", "female"):
+            mask = sex == group
+            before = np.argsort(ds.column("experience")[mask], kind="stable")
+            after = np.argsort(repaired.column("experience")[mask],
+                               kind="stable")
+            np.testing.assert_array_equal(before, after)
+
+    def test_amount_zero_is_identity(self):
+        ds = make_hiring(n=500, random_state=0)
+        repaired = DisparateImpactRemover(amount=0.0).fit_transform(ds, "sex")
+        np.testing.assert_allclose(
+            repaired.column("experience"), ds.column("experience")
+        )
+
+    def test_categoricals_untouched(self):
+        ds = make_hiring(n=500, proxy_strength=0.9, random_state=0)
+        remover = DisparateImpactRemover().fit(ds, "sex")
+        assert "university" not in remover.repaired_features
+        repaired = remover.transform(ds)
+        np.testing.assert_array_equal(
+            repaired.column("university"), ds.column("university")
+        )
+
+    def test_requires_protected_attribute(self):
+        ds = make_hiring(n=200, random_state=0)
+        with pytest.raises(MitigationError, match="not protected"):
+            DisparateImpactRemover().fit(ds, "experience")
+
+    def test_transform_before_fit_raises(self):
+        ds = make_hiring(n=200, random_state=0)
+        with pytest.raises(MitigationError, match="fitted"):
+            DisparateImpactRemover().transform(ds)
+
+    def test_accuracy_survives_repair(self):
+        ds = make_hiring(n=3000, direct_bias=0.0, random_state=2)
+        repaired = DisparateImpactRemover().fit_transform(ds, "sex")
+        X = Standardizer().fit_transform(repaired.feature_matrix())
+        model = LogisticRegression(max_iter=600).fit(X, repaired.labels())
+        assert accuracy(repaired.labels(), model.predict(X)) > 0.7
+
+
+class TestEqualizedOddsTargetQuality:
+    def test_partial_triangle_overlap_keeps_accuracy(self):
+        """Regression: when group ROC points differ a lot (one triangle
+        does not contain the other's point), the chosen common target
+        must sit at the chord intersection, not the random-diagonal
+        fallback — accuracy should stay well above chance."""
+        from repro.data import make_recidivism
+        from repro.models import accuracy as acc
+
+        data = make_recidivism(n=8000, measurement_bias=0.25, random_state=9)
+        truly = (
+            data.column("propensity")
+            > float(np.median(data.column("propensity")))
+        ).astype(int)
+        aware = data.with_role("race", "feature")
+        X = Standardizer().fit_transform(aware.feature_matrix())
+        model = LogisticRegression(max_iter=800).fit(X, aware.labels())
+        preds = model.predict(X)
+        race = data.column("race")
+
+        post = EqualizedOddsPostProcessor(random_state=0).fit(
+            truly, preds, race
+        )
+        derived = post.predict(preds, race)
+        after = equalized_odds(truly, derived, race)
+        assert after.gap < 0.05
+        # diagonal fallback would score ~0.5; chord intersection ~0.68
+        assert acc(truly, derived) > 0.6
+        # the target is off-diagonal (a useful predictor)
+        fpr, tpr = post.target_
+        assert tpr - fpr > 0.2

@@ -1,0 +1,94 @@
+"""Tests for repro.models.base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import ConstantClassifier, LogisticRegression
+
+
+def _linearly_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestFitContract:
+    def test_predict_before_fit_raises(self):
+        model = LogisticRegression()
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((3, 2)))
+
+    def test_fit_returns_self(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression()
+        assert model.fit(X, y) is model
+        assert model.is_fitted
+
+    def test_single_class_rejected(self):
+        X = np.zeros((10, 2))
+        with pytest.raises(ValidationError, match="both classes"):
+            LogisticRegression().fit(X, np.zeros(10))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="length mismatch"):
+            LogisticRegression().fit(np.zeros((5, 2)), np.array([0, 1]))
+
+    def test_nonbinary_labels_rejected(self):
+        with pytest.raises(ValidationError, match="0/1"):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_nan_features_rejected(self):
+        X = np.array([[np.nan, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValidationError, match="NaN"):
+            LogisticRegression().fit(X, np.array([0, 1]))
+
+    def test_feature_count_checked_at_predict(self):
+        X, y = _linearly_separable()
+        model = LogisticRegression().fit(X, y)
+        with pytest.raises(ValidationError, match="features"):
+            model.predict(np.zeros((3, 5)))
+
+    def test_negative_sample_weight_rejected(self):
+        X, y = _linearly_separable()
+        with pytest.raises(ValidationError, match="non-negative"):
+            LogisticRegression().fit(X, y, sample_weight=-np.ones(len(y)))
+
+    def test_all_zero_sample_weight_rejected(self):
+        X, y = _linearly_separable()
+        with pytest.raises(ValidationError, match="all zero"):
+            LogisticRegression().fit(X, y, sample_weight=np.zeros(len(y)))
+
+
+class TestDatasetBridge:
+    def test_fit_and_predict_dataset(self, biased_hiring):
+        model = LogisticRegression(max_iter=300)
+        model.fit_dataset(biased_hiring)
+        preds = model.predict_dataset(biased_hiring)
+        assert preds.shape == (biased_hiring.n_rows,)
+        assert set(np.unique(preds)) <= {0, 1}
+        probs = model.predict_proba_dataset(biased_hiring)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestConstantClassifier:
+    def test_constant_probability(self):
+        model = ConstantClassifier(probability=0.7)
+        model.fit(np.zeros((5, 1)), np.array([0, 1, 0, 1, 0]))
+        np.testing.assert_allclose(model.predict_proba(np.zeros((3, 1))), 0.7)
+        np.testing.assert_array_equal(model.predict(np.zeros((3, 1))), 1)
+
+    def test_accepts_single_class(self):
+        model = ConstantClassifier(0.1)
+        model.fit(np.zeros((4, 1)), np.zeros(4))
+        assert model.is_fitted
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            ConstantClassifier(probability=1.5)
+
+    def test_score(self):
+        X, y = _linearly_separable()
+        model = ConstantClassifier(0.9).fit(X, y)
+        assert model.score(X, y) == pytest.approx(np.mean(y == 1))

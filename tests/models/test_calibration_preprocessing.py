@@ -1,0 +1,146 @@
+"""Tests for calibration and preprocessing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import (
+    CalibratedClassifier,
+    LogisticRegression,
+    OneHotEncoder,
+    PlattCalibrator,
+    Standardizer,
+    expected_calibration_error,
+    reliability_curve,
+    sigmoid,
+)
+
+
+def _scored_labels(n=3000, seed=0, distortion=2.0):
+    """Labels generated from true probabilities; scores are distorted."""
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(0, 1.5, n)
+    probs = sigmoid(logits)
+    y = (rng.random(n) < probs).astype(int)
+    distorted = sigmoid(distortion * logits + 1.0)  # over-confident + shifted
+    return y, distorted, probs
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated(self):
+        y, __, true_probs = _scored_labels()
+        mean_pred, observed, counts = reliability_curve(y, true_probs, n_bins=10)
+        assert counts.sum() == len(y)
+        np.testing.assert_allclose(mean_pred, observed, atol=0.08)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            reliability_curve([0, 1], [0.5, 1.5])
+
+    def test_empty_bins_dropped(self):
+        y = [0, 1, 0, 1]
+        p = [0.45, 0.55, 0.48, 0.52]
+        mean_pred, observed, counts = reliability_curve(y, p, n_bins=10)
+        assert len(counts) <= 2
+
+
+class TestECE:
+    def test_zero_for_calibrated(self):
+        y, __, true_probs = _scored_labels()
+        assert expected_calibration_error(y, true_probs) < 0.03
+
+    def test_large_for_distorted(self):
+        y, distorted, __ = _scored_labels()
+        assert expected_calibration_error(y, distorted) > 0.08
+
+    def test_constant_half_probability(self):
+        y = np.array([1, 0, 1, 0])
+        assert expected_calibration_error(y, [0.5] * 4) == pytest.approx(0.0)
+
+
+class TestPlattCalibrator:
+    def test_reduces_ece(self):
+        y, distorted, __ = _scored_labels()
+        calibrator = PlattCalibrator().fit(distorted, y)
+        recalibrated = calibrator.transform(distorted)
+        assert expected_calibration_error(y, recalibrated) < (
+            expected_calibration_error(y, distorted) / 2
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            PlattCalibrator().transform([0.5])
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            PlattCalibrator().fit([0.2, 0.8], [1, 1])
+
+
+class TestCalibratedClassifier:
+    def test_wraps_and_improves(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(0, 1, (2000, 2))
+        y = (rng.random(2000) < sigmoid(3 * X[:, 0])).astype(int)
+        base = LogisticRegression(max_iter=50, learning_rate=0.05).fit(X, y)
+        wrapped = CalibratedClassifier(base)
+        wrapped.fit(X, y)
+        probs = wrapped.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_requires_fitted_base(self):
+        with pytest.raises(NotFittedError):
+            CalibratedClassifier(LogisticRegression())
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, (500, 3))
+        Z = Standardizer().fit_transform(X)
+        np.testing.assert_allclose(Z.mean(axis=0), 0, atol=1e-10)
+        np.testing.assert_allclose(Z.std(axis=0), 1, atol=1e-10)
+
+    def test_constant_column_no_nan(self):
+        X = np.hstack([np.ones((50, 1)), np.arange(50).reshape(-1, 1)])
+        Z = Standardizer().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        np.testing.assert_allclose(Z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(2, 4, (100, 2))
+        scaler = Standardizer().fit(X)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(X)), X
+        )
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+    def test_column_count_checked(self):
+        scaler = Standardizer().fit(np.zeros((3, 2)))
+        with pytest.raises(ValidationError, match="columns"):
+            scaler.transform(np.zeros((3, 5)))
+
+
+class TestOneHotEncoder:
+    def test_roundtrip_categories(self):
+        enc = OneHotEncoder()
+        out = enc.fit_transform(np.array(["b", "a", "b"]))
+        assert enc.categories == ["a", "b"]
+        np.testing.assert_array_equal(out, [[0, 1], [1, 0], [0, 1]])
+
+    def test_unknown_raises_by_default(self):
+        enc = OneHotEncoder().fit(np.array(["a", "b"]))
+        with pytest.raises(ValidationError, match="unknown categories"):
+            enc.transform(np.array(["c"]))
+
+    def test_unknown_ignored_when_requested(self):
+        enc = OneHotEncoder(ignore_unknown=True).fit(np.array(["a", "b"]))
+        out = enc.transform(np.array(["c"]))
+        np.testing.assert_array_equal(out, [[0, 0]])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(np.array(["a"]))

@@ -1,0 +1,90 @@
+"""Tests for repro.models.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError
+from repro.models import LogisticRegression, sigmoid
+
+
+def _make_problem(n=400, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, (n, 3))
+    logits = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+    probs = sigmoid(logits)
+    y = (rng.random(n) < probs).astype(int)
+    if noise:
+        flip = rng.random(n) < noise
+        y = np.where(flip, 1 - y, y)
+    return X, y
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow(self):
+        values = sigmoid(np.array([-1e9, 1e9]))
+        assert np.all(np.isfinite(values))
+
+
+class TestTraining:
+    def test_learns_separable_data(self):
+        X, y = _make_problem()
+        model = LogisticRegression(max_iter=1500).fit(X, y)
+        # labels are sampled from sigmoid probabilities, so Bayes accuracy
+        # is well below 1; the fitted model should approach it
+        assert model.score(X, y) > 0.72
+
+    def test_recovers_coefficient_signs(self):
+        X, y = _make_problem(n=3000)
+        model = LogisticRegression(max_iter=2000).fit(X, y)
+        assert model.coef_[0] > 0.5
+        assert model.coef_[1] < -0.2
+        assert abs(model.coef_[2]) < 0.3
+
+    def test_l2_shrinks_weights(self):
+        X, y = _make_problem()
+        loose = LogisticRegression(l2=0.0, max_iter=1500).fit(X, y)
+        tight = LogisticRegression(l2=1.0, max_iter=1500).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_sample_weight_shifts_decision(self):
+        # Weighting class-1 points heavily should raise predicted probabilities.
+        X, y = _make_problem(n=500, noise=0.2)
+        w_up = np.where(y == 1, 10.0, 1.0)
+        plain = LogisticRegression(max_iter=1000).fit(X, y)
+        upweighted = LogisticRegression(max_iter=1000).fit(X, y, sample_weight=w_up)
+        assert upweighted.predict_proba(X).mean() > plain.predict_proba(X).mean()
+
+    def test_convergence_error_when_requested(self):
+        X, y = _make_problem()
+        model = LogisticRegression(
+            max_iter=2, tol=1e-12, raise_on_no_convergence=True
+        )
+        with pytest.raises(ConvergenceError):
+            model.fit(X, y)
+
+    def test_no_error_by_default(self):
+        X, y = _make_problem()
+        model = LogisticRegression(max_iter=2, tol=1e-12).fit(X, y)
+        assert model.is_fitted
+        assert model.n_iter_ == 2
+
+    def test_decision_function_matches_proba(self):
+        X, y = _make_problem()
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        np.testing.assert_allclose(
+            sigmoid(model.decision_function(X)), model.predict_proba(X)
+        )
+
+    def test_threshold_attribute_changes_predictions(self):
+        X, y = _make_problem()
+        model = LogisticRegression(max_iter=800).fit(X, y)
+        model.threshold = 0.9
+        strict = model.predict(X).sum()
+        model.threshold = 0.1
+        lenient = model.predict(X).sum()
+        assert lenient > strict

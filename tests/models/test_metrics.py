@@ -1,0 +1,144 @@
+"""Tests for repro.models.metrics (standard classification metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.models import (
+    accuracy,
+    balanced_accuracy,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    false_positive_rate,
+    log_loss,
+    precision,
+    recall,
+    roc_auc,
+    roc_curve,
+)
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        cm = confusion_matrix([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+        assert (cm.tp, cm.fn, cm.tn, cm.fp) == (2, 1, 1, 1)
+        assert cm.n == 5
+
+    def test_rates(self):
+        cm = confusion_matrix([1, 1, 0, 0], [1, 0, 0, 0])
+        assert cm.recall == pytest.approx(0.5)
+        assert cm.true_positive_rate == pytest.approx(0.5)
+        assert cm.false_positive_rate == pytest.approx(0.0)
+        assert cm.positive_rate == pytest.approx(0.25)
+
+    def test_empty_denominators_are_nan(self):
+        cm = confusion_matrix([0, 0], [0, 0])
+        assert np.isnan(cm.recall)
+        assert np.isnan(cm.precision)
+        assert cm.accuracy == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([1, 0], [1])
+
+
+class TestScalarMetrics:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1, 0], [1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_f1_nan_when_degenerate(self):
+        assert np.isnan(f1_score([0, 0], [0, 0]))
+
+    def test_balanced_accuracy(self):
+        # perfect on negatives, half on positives
+        value = balanced_accuracy([1, 1, 0, 0], [1, 0, 0, 0])
+        assert value == pytest.approx(0.75)
+
+    def test_fpr(self):
+        assert false_positive_rate([0, 0, 1], [1, 0, 1]) == pytest.approx(0.5)
+
+
+class TestRoc:
+    def test_perfect_classifier_auc_1(self):
+        y = [0, 0, 1, 1]
+        scores = [0.1, 0.2, 0.8, 0.9]
+        assert roc_auc(y, scores) == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.04)
+
+    def test_inverted_scores_auc_0(self):
+        y = [0, 0, 1, 1]
+        scores = [0.9, 0.8, 0.2, 0.1]
+        assert roc_auc(y, scores) == pytest.approx(0.0)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 300)
+        scores = rng.random(300)
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0 and tpr[0] == 0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            roc_curve([1, 1, 1], [0.1, 0.5, 0.9])
+
+
+class TestProbabilisticMetrics:
+    def test_log_loss_perfect(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-10
+
+    def test_log_loss_uninformative(self):
+        assert log_loss([1, 0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_brier_bounds(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_confusion_counts_partition_n(self, pairs):
+        y_true = [p[0] for p in pairs]
+        y_pred = [p[1] for p in pairs]
+        cm = confusion_matrix(y_true, y_pred)
+        assert cm.tp + cm.fp + cm.tn + cm.fn == len(pairs)
+        assert 0.0 <= cm.accuracy <= 1.0
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=2, max_size=50),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_auc_invariant_to_monotone_score_transform(self, y, seed):
+        if len(set(y)) < 2:
+            return
+        rng = np.random.default_rng(seed)
+        scores = rng.random(len(y))
+        before = roc_auc(y, scores)
+        after = roc_auc(y, np.exp(3 * scores))  # strictly monotone transform
+        assert before == pytest.approx(after, abs=1e-9)

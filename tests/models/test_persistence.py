@@ -1,0 +1,98 @@
+"""Tests for LinearPipeline persistence and the train/predict CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import make_hiring
+from repro.exceptions import NotFittedError, ValidationError
+from repro.models import LinearPipeline
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(biased_hiring=None):
+    ds = make_hiring(n=1500, direct_bias=1.5, proxy_strength=0.8,
+                     random_state=71)
+    return ds, LinearPipeline(max_iter=500).fit(ds)
+
+
+class TestLinearPipeline:
+    def test_fit_predict(self, fitted_pipeline):
+        ds, pipeline = fitted_pipeline
+        preds = pipeline.predict(ds)
+        assert set(np.unique(preds)) <= {0, 1}
+        assert float((preds == ds.labels()).mean()) > 0.6
+
+    def test_json_roundtrip_exact(self, fitted_pipeline, tmp_path):
+        ds, pipeline = fitted_pipeline
+        path = tmp_path / "model.json"
+        pipeline.save(path)
+        loaded = LinearPipeline.load(path)
+        np.testing.assert_allclose(
+            loaded.predict_proba(ds), pipeline.predict_proba(ds)
+        )
+        assert loaded.feature_names == pipeline.feature_names
+
+    def test_payload_is_valid_json(self, fitted_pipeline):
+        __, pipeline = fitted_pipeline
+        payload = json.loads(json.dumps(pipeline.to_dict()))
+        assert payload["format"] == "repro.linear_pipeline.v1"
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValidationError, match="unsupported model"):
+            LinearPipeline.from_dict({"format": "something_else"})
+
+    def test_unfitted_serialisation_rejected(self):
+        with pytest.raises(NotFittedError):
+            LinearPipeline().to_dict()
+
+    def test_layout_mismatch_rejected(self, fitted_pipeline):
+        ds, pipeline = fitted_pipeline
+        reduced = ds.drop_column("education")
+        with pytest.raises(ValidationError, match="feature layout"):
+            pipeline.predict(reduced)
+
+    def test_requires_labels(self):
+        ds = make_hiring(n=100, random_state=0).drop_column("hired")
+        with pytest.raises(ValidationError, match="labels"):
+            LinearPipeline().fit(ds)
+
+
+class TestTrainPredictCli:
+    def test_train_then_predict(self, tmp_path, capsys):
+        data_path = tmp_path / "train.csv"
+        model_path = tmp_path / "model.json"
+        main(["generate", "--workload", "hiring", "--n", "1200",
+              "--bias", "2.0", "--proxy", "0.9", "--seed", "6",
+              "--out", str(data_path)])
+        capsys.readouterr()
+
+        code = main(["train", "--data", str(data_path),
+                     "--model-out", str(model_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert model_path.exists()
+        assert "training accuracy" in out
+
+        fresh_path = tmp_path / "fresh.csv"
+        main(["generate", "--workload", "hiring", "--n", "800",
+              "--bias", "0.0", "--proxy", "0.9", "--seed", "7",
+              "--out", str(fresh_path)])
+        capsys.readouterr()
+        code = main(["predict", "--data", str(fresh_path),
+                     "--model", str(model_path), "--format", "json"])
+        parsed = json.loads(capsys.readouterr().out)
+        # the model carries its training bias onto fresh applicants
+        assert code == 1
+        assert parsed["is_clean"] is False
+
+    def test_predict_missing_model_exits_2(self, tmp_path, capsys):
+        data_path = tmp_path / "d.csv"
+        main(["generate", "--workload", "hiring", "--n", "100",
+              "--seed", "1", "--out", str(data_path)])
+        capsys.readouterr()
+        code = main(["predict", "--data", str(data_path),
+                     "--model", str(tmp_path / "absent.json")])
+        assert code == 2

@@ -1,0 +1,100 @@
+"""Tests for fairness-aware cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hiring
+from repro.exceptions import ValidationError
+from repro.models import (
+    GradientBoosting,
+    LogisticRegression,
+    cross_validate_fairness,
+)
+
+
+@pytest.fixture(scope="module")
+def biased():
+    return make_hiring(
+        n=2000, direct_bias=2.0, proxy_strength=0.9, random_state=61
+    )
+
+
+class TestCrossValidation:
+    def test_fold_count_and_metrics(self, biased):
+        result = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=400), biased,
+            n_folds=4, random_state=0,
+        )
+        assert len(result.folds) == 4
+        for fold in result.folds:
+            assert 0.0 <= fold.accuracy <= 1.0
+            assert 0.0 <= fold.dp_gap <= 1.0
+
+    def test_biased_data_shows_gap(self, biased):
+        result = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=400), biased,
+            n_folds=4, random_state=0,
+        )
+        assert result.mean_dp_gap() > 0.05
+        assert result.mean_accuracy() > 0.6
+
+    def test_clean_data_near_parity(self):
+        clean = make_hiring(n=2000, direct_bias=0.0, random_state=61)
+        result = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=400), clean,
+            n_folds=4, random_state=0,
+        )
+        assert result.mean_dp_gap() < 0.07
+
+    def test_deterministic_given_seed(self, biased):
+        a = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=300), biased,
+            n_folds=3, random_state=5,
+        )
+        b = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=300), biased,
+            n_folds=3, random_state=5,
+        )
+        assert a.mean_accuracy() == b.mean_accuracy()
+        assert a.mean_dp_gap() == b.mean_dp_gap()
+
+    def test_works_with_boosting(self, biased):
+        result = cross_validate_fairness(
+            lambda: GradientBoosting(n_rounds=30), biased,
+            n_folds=3, random_state=0,
+        )
+        assert result.mean_accuracy() > 0.6
+
+    def test_dominates(self, biased):
+        good = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=400), biased,
+            n_folds=3, random_state=0,
+        )
+        # a deliberately terrible model: tiny budget, huge l2
+        bad = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=2, l2=100.0), biased,
+            n_folds=3, random_state=0,
+        )
+        # the good model is more accurate; dominance additionally needs
+        # no-worse gap, which biased data usually violates — so only
+        # check the accuracy direction plus the API contract
+        assert good.mean_accuracy() > bad.mean_accuracy()
+        assert not bad.dominates(good)
+
+    def test_eo_gap_reported_when_computable(self, biased):
+        result = cross_validate_fairness(
+            lambda: LogisticRegression(max_iter=400), biased,
+            n_folds=3, random_state=0,
+        )
+        assert not np.isnan(result.mean_eo_gap())
+
+    def test_validation(self, biased):
+        with pytest.raises(ValidationError):
+            cross_validate_fairness(
+                lambda: LogisticRegression(), biased, n_folds=1
+            )
+        unlabeled = biased.drop_column("hired")
+        with pytest.raises(ValidationError, match="labels"):
+            cross_validate_fairness(
+                lambda: LogisticRegression(), unlabeled
+            )

@@ -1,0 +1,156 @@
+"""Tests for the tree, forest, kNN, and naive Bayes classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    DecisionTree,
+    GaussianNaiveBayes,
+    KNearestNeighbors,
+    RandomForest,
+)
+
+
+def _xor_problem(n=400, seed=0):
+    """XOR data: linear models fail, trees/forests/kNN should succeed."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, (n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+def _gaussian_blobs(n=400, seed=0, gap=3.0):
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(0, 1, (n // 2, 2))
+    X1 = rng.normal(gap, 1, (n - n // 2, 2))
+    X = np.vstack([X0, X1])
+    y = np.concatenate([np.zeros(n // 2), np.ones(n - n // 2)]).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_solves_xor(self):
+        X, y = _xor_problem()
+        tree = DecisionTree(max_depth=4).fit(X, y)
+        assert tree.score(X, y) > 0.95
+
+    def test_max_depth_respected(self):
+        X, y = _xor_problem()
+        tree = DecisionTree(max_depth=2).fit(X, y)
+        assert tree.depth <= 2
+
+    def test_min_samples_leaf(self):
+        X, y = _xor_problem(n=200)
+        tree = DecisionTree(max_depth=10, min_samples_leaf=40).fit(X, y)
+        # every leaf must have >= 40 samples => at most 5 leaves
+        assert tree.n_leaves <= 5
+
+    def test_pure_node_stops(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTree(max_depth=10).fit(X, y)
+        assert tree.score(X, y) == 1.0
+        assert tree.depth == 1
+
+    def test_probabilities_are_leaf_rates(self):
+        X, y = _gaussian_blobs()
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        probs = tree.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_feature_split_counts(self):
+        X, y = _gaussian_blobs()
+        tree = DecisionTree(max_depth=3).fit(X, y)
+        counts = tree.feature_split_counts()
+        assert sum(counts.values()) >= 1
+        assert all(k in (0, 1) for k in counts)
+
+    def test_sample_weight_changes_tree(self):
+        X, y = _xor_problem(n=300, seed=1)
+        w = np.where(X[:, 0] > 0, 10.0, 0.1)
+        plain = DecisionTree(max_depth=3).fit(X, y)
+        weighted = DecisionTree(max_depth=3).fit(X, y, sample_weight=w)
+        assert not np.array_equal(
+            plain.predict_proba(X), weighted.predict_proba(X)
+        )
+
+
+class TestRandomForest:
+    def test_solves_xor(self):
+        X, y = _xor_problem()
+        forest = RandomForest(n_trees=15, max_depth=5, random_state=0).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_probability_averaging(self):
+        X, y = _gaussian_blobs()
+        forest = RandomForest(n_trees=5, random_state=0).fit(X, y)
+        probs = forest.predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_deterministic_given_seed(self):
+        X, y = _xor_problem()
+        a = RandomForest(n_trees=5, random_state=42).fit(X, y).predict_proba(X)
+        b = RandomForest(n_trees=5, random_state=42).fit(X, y).predict_proba(X)
+        np.testing.assert_allclose(a, b)
+
+    def test_n_trees(self):
+        X, y = _gaussian_blobs(n=100)
+        forest = RandomForest(n_trees=7, random_state=0).fit(X, y)
+        assert len(forest.trees_) == 7
+
+
+class TestKNN:
+    def test_separable_blobs(self):
+        X, y = _gaussian_blobs()
+        knn = KNearestNeighbors(k=5).fit(X, y)
+        assert knn.score(X, y) > 0.95
+
+    def test_k_larger_than_data_is_clamped(self):
+        X, y = _gaussian_blobs(n=10)
+        knn = KNearestNeighbors(k=100).fit(X, y)
+        probs = knn.predict_proba(X)
+        # all-neighbour vote = global positive rate
+        np.testing.assert_allclose(probs, np.mean(y))
+
+    def test_k1_memorises(self):
+        X, y = _gaussian_blobs(n=60, seed=3)
+        knn = KNearestNeighbors(k=1).fit(X, y)
+        assert knn.score(X, y) == 1.0
+
+    def test_weighted_votes(self):
+        X = np.array([[0.0], [0.1], [0.2]])
+        y = np.array([1, 0, 0])
+        w = np.array([100.0, 1.0, 1.0])
+        knn = KNearestNeighbors(k=3).fit(X, y, sample_weight=w)
+        assert knn.predict(np.array([[0.05]]))[0] == 1
+
+
+class TestGaussianNaiveBayes:
+    def test_separable_blobs(self):
+        X, y = _gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert nb.score(X, y) > 0.95
+
+    def test_learns_means(self):
+        X, y = _gaussian_blobs(n=2000, gap=4.0)
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert np.all(np.abs(nb.theta_[0]) < 0.3)
+        assert np.all(np.abs(nb.theta_[1] - 4.0) < 0.3)
+
+    def test_priors_sum_to_one(self):
+        X, y = _gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        assert nb.class_prior_.sum() == pytest.approx(1.0)
+
+    def test_constant_feature_does_not_crash(self):
+        X = np.hstack([_gaussian_blobs()[0], np.ones((400, 1))])
+        __, y = _gaussian_blobs()
+        nb = GaussianNaiveBayes().fit(X, y)
+        probs = nb.predict_proba(X)
+        assert np.all(np.isfinite(probs))
+
+    def test_sample_weight_shifts_prior(self):
+        X, y = _gaussian_blobs()
+        w = np.where(y == 1, 5.0, 1.0)
+        nb = GaussianNaiveBayes().fit(X, y, sample_weight=w)
+        assert nb.class_prior_[1] > 0.7

@@ -1,0 +1,86 @@
+"""Tests for discrimination by association (paper IV.B)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_hiring
+from repro.exceptions import DatasetError, InsufficientDataError
+from repro.models import LogisticRegression, Standardizer
+from repro.proxy import association_harm
+
+
+@pytest.fixture(scope="module")
+def model_outputs():
+    """Model predictions on a strongly proxied, biased hiring population."""
+    ds = make_hiring(
+        n=6000, direct_bias=2.5, proxy_strength=0.85, random_state=51
+    )
+    X = Standardizer().fit_transform(ds.feature_matrix())
+    model = LogisticRegression(max_iter=800).fit(X, ds.labels())
+    return ds, model.predict(X)
+
+
+class TestAssociationHarm:
+    def test_males_at_female_typical_university_are_harmed(self, model_outputs):
+        ds, preds = model_outputs
+        report = association_harm(ds, "sex", "university", preds)
+        # the disadvantaged group is female; its typical university is
+        # u_alpha (the generator encodes sex=female as u_alpha)
+        assert report.disadvantaged_group == "female"
+        assert report.associated_value == "u_alpha"
+        # the paper's claim: males at the female-typical university are
+        # hired at a lower rate than other males
+        assert report.harm > 0.05
+        assert report.is_harmful()
+        assert "Discrimination by association" in report.summary()
+
+    def test_no_harm_without_proxy_reliance(self):
+        # no proxy correlation: the model cannot route bias through the
+        # university, so no spill-over onto males
+        ds = make_hiring(
+            n=6000, direct_bias=2.5, proxy_strength=0.0, random_state=51
+        )
+        X = Standardizer().fit_transform(ds.feature_matrix())
+        model = LogisticRegression(max_iter=800).fit(X, ds.labels())
+        report = association_harm(
+            ds, "sex", "university", model.predict(X),
+            disadvantaged_group="female",
+        )
+        assert abs(report.harm) < 0.05
+        assert not report.is_harmful()
+
+    def test_explicit_disadvantaged_group(self, model_outputs):
+        ds, preds = model_outputs
+        report = association_harm(
+            ds, "sex", "university", preds, disadvantaged_group="female"
+        )
+        assert report.disadvantaged_group == "female"
+
+    def test_counts_partition_non_members(self, model_outputs):
+        ds, preds = model_outputs
+        report = association_harm(ds, "sex", "university", preds)
+        n_males = int((ds.column("sex") == "male").sum())
+        assert report.n_associated + report.n_not_associated == n_males
+
+    def test_non_protected_attribute_rejected(self, model_outputs):
+        ds, preds = model_outputs
+        with pytest.raises(DatasetError, match="not protected"):
+            association_harm(ds, "experience", "university", preds)
+
+    def test_numeric_proxy_rejected(self, model_outputs):
+        ds, preds = model_outputs
+        with pytest.raises(DatasetError, match="discrete"):
+            association_harm(ds, "sex", "experience", preds)
+
+    def test_length_mismatch_rejected(self, model_outputs):
+        ds, __ = model_outputs
+        with pytest.raises(DatasetError, match="length"):
+            association_harm(ds, "sex", "university", [1, 0])
+
+    def test_one_sided_proxy_raises(self):
+        # all non-members share the associated proxy value: no comparison
+        ds = make_hiring(n=2000, proxy_strength=0.0, random_state=0)
+        university = np.array(["u_alpha"] * ds.n_rows)
+        ds = ds.with_column(ds.schema["university"], university)
+        with pytest.raises(InsufficientDataError, match="both sides"):
+            association_harm(ds, "sex", "university", ds.labels())

@@ -1,0 +1,118 @@
+"""Tests for repro.proxy.associations."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.proxy import (
+    correlation_ratio,
+    cramers_v,
+    discretize,
+    mutual_information,
+    point_biserial,
+)
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        x = np.array(["a", "a", "b", "b"] * 50)
+        y = np.array(["u", "u", "v", "v"] * 50)
+        assert cramers_v(x, y) > 0.95
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.choice(["a", "b"], 2000)
+        y = rng.choice(["u", "v"], 2000)
+        assert cramers_v(x, y) < 0.1
+
+    def test_single_category_is_zero(self):
+        assert cramers_v(["a"] * 10, ["u", "v"] * 5) == 0.0
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        x = rng.choice(["a", "b", "c"], 500)
+        y = np.where(x == "a", "u", rng.choice(["u", "v"], 500))
+        assert cramers_v(x, y) == pytest.approx(cramers_v(y, x))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            cramers_v([], [])
+
+
+class TestPointBiserial:
+    def test_strong_association(self):
+        membership = np.array([0, 1] * 500)
+        values = membership * 5.0 + np.random.default_rng(0).normal(0, 0.5, 1000)
+        assert point_biserial(values, membership) > 0.9
+
+    def test_independence(self):
+        rng = np.random.default_rng(0)
+        assert point_biserial(rng.normal(0, 1, 2000),
+                              rng.integers(0, 2, 2000)) < 0.07
+
+    def test_constant_values_zero(self):
+        assert point_biserial([1.0] * 10, [0, 1] * 5) == 0.0
+
+    def test_single_group_zero(self):
+        assert point_biserial([1.0, 2.0, 3.0], [1, 1, 1]) == 0.0
+
+    def test_absolute_value(self):
+        membership = np.array([0, 1] * 500)
+        values = -membership * 5.0 + np.random.default_rng(0).normal(0, 0.5, 1000)
+        assert point_biserial(values, membership) > 0.9
+
+
+class TestMutualInformation:
+    def test_perfect_dependence(self):
+        x = np.array(["a", "b"] * 500)
+        y = np.array([0, 1] * 500)
+        assert mutual_information(x, y) > 0.95
+
+    def test_independence_near_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.choice(["a", "b"], 5000)
+        y = rng.integers(0, 2, 5000)
+        assert mutual_information(x, y) < 0.05
+
+    def test_numeric_inputs_binned(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 3000)
+        y = x + rng.normal(0, 0.1, 3000)
+        assert mutual_information(x, y) > 0.5
+
+    def test_unnormalised_option(self):
+        x = np.array(["a", "b"] * 500)
+        y = np.array([0, 1] * 500)
+        raw = mutual_information(x, y, normalized=False)
+        assert raw == pytest.approx(np.log(2), abs=0.01)
+
+
+class TestCorrelationRatio:
+    def test_group_means_differ(self):
+        groups = np.array(["a", "b", "c"] * 300)
+        values = np.where(groups == "a", 0.0,
+                          np.where(groups == "b", 5.0, 10.0))
+        values = values + np.random.default_rng(0).normal(0, 0.5, 900)
+        assert correlation_ratio(values, groups) > 0.95
+
+    def test_no_group_effect(self):
+        rng = np.random.default_rng(0)
+        groups = rng.choice(["a", "b"], 3000)
+        values = rng.normal(0, 1, 3000)
+        assert correlation_ratio(values, groups) < 0.07
+
+    def test_constant_values_zero(self):
+        assert correlation_ratio([2.0] * 10, ["a", "b"] * 5) == 0.0
+
+
+class TestDiscretize:
+    def test_equal_frequency_bins(self):
+        values = np.arange(1000, dtype=float)
+        codes = discretize(values, n_bins=10)
+        __, counts = np.unique(codes, return_counts=True)
+        assert len(counts) == 10
+        assert counts.min() >= 90
+
+    def test_few_distinct_values(self):
+        codes = discretize(np.array([1.0, 1.0, 2.0, 2.0]), n_bins=10)
+        assert len(np.unique(codes)) == 2

@@ -1,0 +1,82 @@
+"""Tests for ProxyDetector and fairness-through-unawareness (IV.B)."""
+
+import pytest
+
+from repro.data import make_hiring
+from repro.exceptions import DatasetError
+from repro.proxy import (
+    ProxyDetector,
+    fairness_through_unawareness,
+)
+
+
+class TestProxyDetector:
+    def test_strong_proxy_ranked_first(self):
+        ds = make_hiring(n=2500, proxy_strength=0.9, random_state=0)
+        report = ProxyDetector(random_state=0).scan(ds, "sex")
+        ranked = report.ranked()
+        assert ranked[0].feature == "university"
+        assert ranked[0].combined > 0.5
+        assert report.proxies()
+
+    def test_no_proxy_when_strength_zero(self):
+        ds = make_hiring(n=2500, proxy_strength=0.0, random_state=0)
+        report = ProxyDetector(random_state=0).scan(ds, "sex")
+        assert all(s.combined < 0.3 for s in report.scores)
+        assert not report.attribute_is_reconstructible
+
+    def test_reconstructibility_with_proxy(self):
+        ds = make_hiring(n=2500, proxy_strength=1.0, random_state=0)
+        report = ProxyDetector(random_state=0).scan(ds, "sex")
+        assert report.attribute_is_reconstructible
+        assert report.full_model_power > 0.9
+
+    def test_every_feature_scored(self):
+        ds = make_hiring(n=800, random_state=0)
+        report = ProxyDetector(random_state=0).scan(ds, "sex")
+        scored = {s.feature for s in report.scores}
+        assert scored == set(ds.schema.feature_names)
+
+    def test_non_protected_attribute_rejected(self):
+        ds = make_hiring(n=200, random_state=0)
+        with pytest.raises(DatasetError, match="not protected"):
+            ProxyDetector().scan(ds, "experience")
+
+    def test_reconstruction_power_bounded(self):
+        ds = make_hiring(n=1000, proxy_strength=0.5, random_state=1)
+        report = ProxyDetector(random_state=1).scan(ds, "sex")
+        for score in report.scores:
+            assert 0.5 <= score.reconstruction_power <= 1.0
+
+
+class TestFairnessThroughUnawareness:
+    def test_proxies_defeat_unawareness(self):
+        # Strong label bias + strong proxy: dropping `sex` barely helps.
+        ds = make_hiring(
+            n=4000, direct_bias=2.5, proxy_strength=0.95, random_state=0
+        )
+        report = fairness_through_unawareness(ds, "sex", random_state=0)
+        assert report.gap_unaware > 0.10
+        assert "FAILS" in report.conclusion()
+        assert not report.unawareness_sufficient()
+
+    def test_unawareness_works_without_proxies(self):
+        # Label bias but NO proxy: removing the attribute fixes most of it
+        # (the model has nothing sex-correlated to latch onto).
+        ds = make_hiring(
+            n=4000, direct_bias=2.5, proxy_strength=0.0, random_state=0
+        )
+        report = fairness_through_unawareness(ds, "sex", random_state=0)
+        assert report.gap_unaware < report.gap_aware
+        assert report.gap_unaware < 0.1
+
+    def test_accuracies_reported(self):
+        ds = make_hiring(n=1500, direct_bias=1.0, random_state=0)
+        report = fairness_through_unawareness(ds, "sex", random_state=0)
+        assert 0.4 < report.accuracy_aware <= 1.0
+        assert 0.4 < report.accuracy_unaware <= 1.0
+
+    def test_requires_protected_column(self):
+        ds = make_hiring(n=300, random_state=0)
+        with pytest.raises(DatasetError, match="not protected"):
+            fairness_through_unawareness(ds, "experience")

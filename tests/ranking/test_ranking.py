@@ -1,0 +1,150 @@
+"""Tests for repro.ranking (exposure fairness and fair re-ranking)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MetricError, MitigationError
+from repro.ranking import (
+    exposure_parity,
+    fair_rerank,
+    group_exposure,
+    position_weights,
+    representation_at_k,
+)
+
+
+class TestPositionWeights:
+    def test_decreasing(self):
+        weights = position_weights(20)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_first_weight_one(self):
+        assert position_weights(5)[0] == pytest.approx(1.0)
+
+
+class TestGroupExposure:
+    def test_shares_sum_to_one(self):
+        shares = group_exposure(["a", "b", "a", "b"])
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_top_positions_dominate(self):
+        # group a holds the top half, b the bottom half: a's exposure
+        # share must exceed its 50% headcount share
+        ranking = ["a"] * 10 + ["b"] * 10
+        shares = group_exposure(ranking)
+        assert shares["a"] > 0.5 > shares["b"]
+
+    def test_alternating_is_near_equal(self):
+        ranking = ["a", "b"] * 25
+        shares = group_exposure(ranking)
+        assert abs(shares["a"] - shares["b"]) < 0.06
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError, match="non-empty"):
+            group_exposure([])
+
+
+class TestExposureParity:
+    def test_blocked_ranking_violates(self):
+        ranking = ["a"] * 10 + ["b"] * 10
+        result = exposure_parity(ranking, tolerance=0.02)
+        assert not result.satisfied
+        assert result.details["shortfalls"]["b"] > 0.02
+        assert result.details["shortfalls"]["a"] == 0.0
+
+    def test_alternating_satisfies(self):
+        ranking = ["a", "b"] * 25
+        result = exposure_parity(ranking, tolerance=0.05)
+        assert result.satisfied
+
+    def test_external_population_shares(self):
+        # b is 30% of the ranking but 50% of the population: even an
+        # alternating ranking underexposes b relative to the population
+        ranking = ["a", "a", "b"] * 10
+        result = exposure_parity(
+            ranking, population_shares={"a": 0.5, "b": 0.5},
+            tolerance=0.05,
+        )
+        assert not result.satisfied
+
+    def test_missing_population_group_raises(self):
+        with pytest.raises(MetricError, match="lacks groups"):
+            exposure_parity(["a", "b"], population_shares={"a": 1.0})
+
+
+class TestRepresentationAtK:
+    def test_prefix_counts(self):
+        ranking = ["a", "a", "b", "b", "b"]
+        rep = representation_at_k(ranking, 2)
+        assert rep == {"a": 1.0, "b": 0.0}
+        rep5 = representation_at_k(ranking, 5)
+        assert rep5["b"] == pytest.approx(0.6)
+
+    def test_k_bounds_checked(self):
+        with pytest.raises(MetricError, match="exceeds"):
+            representation_at_k(["a"], 2)
+
+
+class TestFairRerank:
+    def _candidates(self, n=40, seed=0, score_gap=1.0):
+        rng = np.random.default_rng(seed)
+        groups = np.array(["maj"] * (n // 2) + ["min"] * (n // 2))
+        scores = rng.normal(0, 1, n)
+        scores[groups == "min"] -= score_gap  # minority scores lower
+        return scores, groups
+
+    def test_output_is_permutation(self):
+        scores, groups = self._candidates()
+        order = fair_rerank(scores, groups)
+        assert sorted(order.tolist()) == list(range(len(scores)))
+
+    def test_prefix_representation_enforced(self):
+        scores, groups = self._candidates(score_gap=2.0)
+        order = fair_rerank(scores, groups,
+                            target_proportions={"min": 0.5, "maj": 0.5})
+        ranked_groups = groups[order]
+        for k in range(2, len(scores) + 1):
+            min_share = np.mean(ranked_groups[:k] == "min")
+            assert min_share >= 0.5 - 1.0 / k - 1e-9
+
+    def test_improves_exposure(self):
+        scores, groups = self._candidates(score_gap=2.0)
+        merit_order = np.argsort(-scores)
+        merit_share = group_exposure(groups[merit_order])["min"]
+        fair_order = fair_rerank(scores, groups)
+        fair_share = group_exposure(groups[fair_order])["min"]
+        assert fair_share > merit_share
+
+    def test_within_group_order_preserved(self):
+        scores, groups = self._candidates()
+        order = fair_rerank(scores, groups)
+        for group in ("maj", "min"):
+            member_scores = scores[order][groups[order] == group]
+            assert np.all(np.diff(member_scores) <= 1e-12)
+
+    def test_no_targets_defaults_to_shares(self):
+        scores, groups = self._candidates()
+        order = fair_rerank(scores, groups)
+        assert len(order) == len(scores)
+
+    def test_overfull_targets_rejected(self):
+        with pytest.raises(MitigationError, match="> 1"):
+            fair_rerank([1.0, 2.0], ["a", "b"],
+                        target_proportions={"a": 0.7, "b": 0.7})
+
+    def test_unknown_target_group_rejected(self):
+        with pytest.raises(MitigationError, match="no candidates"):
+            fair_rerank([1.0], ["a"], target_proportions={"z": 0.5})
+
+    @given(st.integers(4, 30), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(0, 1, n)
+        groups = rng.choice(["a", "b"], n)
+        if len(np.unique(groups)) < 2:
+            return
+        order = fair_rerank(scores, groups)
+        assert sorted(order.tolist()) == list(range(n))

@@ -1,0 +1,230 @@
+"""Tests for repro.stats.distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.stats import (
+    align_distributions,
+    hellinger_distance,
+    js_divergence,
+    kl_divergence,
+    mmd_rbf,
+    sinkhorn_plan,
+    total_variation_distance,
+    wasserstein1_empirical,
+    wasserstein_discrete,
+)
+
+
+UNIFORM2 = np.array([0.5, 0.5])
+POINT = np.array([1.0, 0.0])
+
+
+class TestDiscreteDistances:
+    def test_identity_is_zero(self):
+        for dist in (hellinger_distance, total_variation_distance,
+                     kl_divergence, js_divergence):
+            assert dist(UNIFORM2, UNIFORM2) == pytest.approx(0.0, abs=1e-9)
+
+    def test_disjoint_supports_maximal(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert hellinger_distance(p, q) == pytest.approx(1.0)
+        assert total_variation_distance(p, q) == pytest.approx(1.0)
+        assert js_divergence(p, q) == pytest.approx(np.log(2))
+
+    def test_known_tv_value(self):
+        p = np.array([0.7, 0.3])
+        q = np.array([0.4, 0.6])
+        assert total_variation_distance(p, q) == pytest.approx(0.3)
+
+    def test_kl_asymmetric(self):
+        p = np.array([0.9, 0.1])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_accepts_dict_input(self):
+        assert total_variation_distance(
+            {"a": 0.7, "b": 0.3}, {"a": 0.4, "b": 0.6}
+        ) == pytest.approx(0.3)
+
+    def test_normalises_unnormalised_input(self):
+        assert total_variation_distance([7, 3], [4, 6]) == pytest.approx(0.3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValidationError, match="shape mismatch"):
+            hellinger_distance([0.5, 0.5], [0.3, 0.3, 0.4])
+
+    def test_negative_mass_raises(self):
+        with pytest.raises(ValidationError, match="negative"):
+            total_variation_distance([-0.5, 1.5], [0.5, 0.5])
+
+    def test_align_distributions(self):
+        p, q, support = align_distributions({"a": 0.5, "b": 0.5}, {"b": 1.0})
+        assert support == ["a", "b"]
+        np.testing.assert_allclose(p, [0.5, 0.5])
+        np.testing.assert_allclose(q, [0.0, 1.0])
+
+    @given(
+        st.lists(st.floats(0.01, 10), min_size=2, max_size=8),
+        st.lists(st.floats(0.01, 10), min_size=2, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_metric_properties(self, p_raw, q_raw):
+        size = min(len(p_raw), len(q_raw))
+        p = np.array(p_raw[:size])
+        q = np.array(q_raw[:size])
+        h = hellinger_distance(p, q)
+        tv = total_variation_distance(p, q)
+        assert 0.0 <= h <= 1.0 + 1e-9
+        assert 0.0 <= tv <= 1.0 + 1e-9
+        # symmetry
+        assert h == pytest.approx(hellinger_distance(q, p))
+        assert tv == pytest.approx(total_variation_distance(q, p))
+        # standard inequality: H^2 <= TV <= H * sqrt(2)
+        assert h**2 <= tv + 1e-9
+        assert tv <= h * np.sqrt(2) + 1e-9
+
+
+class TestWasserstein1Empirical:
+    def test_identical_samples(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert wasserstein1_empirical(x, x) == pytest.approx(0.0)
+
+    def test_constant_shift(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 4000)
+        assert wasserstein1_empirical(x, x + 2.5) == pytest.approx(2.5, abs=0.05)
+
+    def test_point_masses(self):
+        assert wasserstein1_empirical([0.0], [3.0]) == pytest.approx(3.0)
+
+    def test_different_sample_sizes(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 0.5, 1.0])
+        value = wasserstein1_empirical(x, y)
+        assert 0.0 <= value <= 0.5
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 500)
+        y = rng.normal(1, 2, 700)
+        assert wasserstein1_empirical(x, y) == pytest.approx(
+            wasserstein1_empirical(y, x)
+        )
+
+
+class TestDiscreteOT:
+    def test_lp_matches_manual(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.0, 1.0])
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        value, plan = wasserstein_discrete(p, q, cost)
+        assert value == pytest.approx(0.5)
+        np.testing.assert_allclose(plan.sum(axis=1), p, atol=1e-8)
+        np.testing.assert_allclose(plan.sum(axis=0), q, atol=1e-8)
+
+    def test_identity_zero_cost(self):
+        p = np.array([0.3, 0.7])
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        value, __ = wasserstein_discrete(p, p, cost)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_cost_shape_checked(self):
+        with pytest.raises(ValidationError, match="shape"):
+            wasserstein_discrete([0.5, 0.5], [0.5, 0.5], np.zeros((3, 2)))
+
+    def test_sinkhorn_approaches_exact(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(5)
+        q = rng.random(5)
+        grid = np.arange(5, dtype=float)
+        cost = np.abs(grid[:, None] - grid[None, :])
+        exact, __ = wasserstein_discrete(p, q, cost)
+        loose, __ = sinkhorn_plan(p, q, cost, epsilon=1.0)
+        tight, __ = sinkhorn_plan(p, q, cost, epsilon=0.01)
+        assert abs(tight - exact) < abs(loose - exact) + 1e-9
+        assert abs(tight - exact) < 0.05
+
+    def test_sinkhorn_marginals(self):
+        p = np.array([0.2, 0.8])
+        q = np.array([0.6, 0.4])
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        __, plan = sinkhorn_plan(p, q, cost, epsilon=0.1)
+        np.testing.assert_allclose(plan.sum(axis=1), p, atol=1e-6)
+        np.testing.assert_allclose(plan.sum(axis=0), q, atol=1e-6)
+
+    def test_sinkhorn_zero_epsilon_rejected(self):
+        with pytest.raises(ValidationError, match="positive"):
+            sinkhorn_plan([0.5, 0.5], [0.5, 0.5], np.zeros((2, 2)), epsilon=0.0)
+
+
+class TestMMD:
+    def test_identical_distributions_small(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 400)
+        y = rng.normal(0, 1, 400)
+        assert mmd_rbf(x, y) < 0.1
+
+    def test_separated_distributions_large(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 400)
+        y = rng.normal(5, 1, 400)
+        assert mmd_rbf(x, y) > 0.5
+
+    def test_monotone_in_separation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 300)
+        near = mmd_rbf(x, x + 0.5, bandwidth=1.0)
+        far = mmd_rbf(x, x + 3.0, bandwidth=1.0)
+        assert far > near
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            mmd_rbf([], [1.0])
+
+
+class TestOtProperties:
+    @given(
+        st.lists(st.floats(0.05, 10), min_size=2, max_size=6),
+        st.lists(st.floats(0.05, 10), min_size=2, max_size=6),
+        st.floats(0.05, 1.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sinkhorn_marginals_property(self, p_raw, q_raw, epsilon):
+        size = min(len(p_raw), len(q_raw))
+        p = np.array(p_raw[:size])
+        q = np.array(q_raw[:size])
+        grid = np.arange(size, dtype=float)
+        cost = np.abs(grid[:, None] - grid[None, :])
+        __, plan = sinkhorn_plan(p, q, cost, epsilon=epsilon, max_iter=8000)
+        np.testing.assert_allclose(plan.sum(axis=1), p / p.sum(), atol=1e-4)
+        np.testing.assert_allclose(plan.sum(axis=0), q / q.sum(), atol=1e-4)
+        assert np.all(plan >= -1e-12)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_w1_triangle_inequality(self, xs, ys, zs):
+        x, y, z = np.array(xs), np.array(ys), np.array(zs)
+        d_xy = wasserstein1_empirical(x, y)
+        d_yz = wasserstein1_empirical(y, z)
+        d_xz = wasserstein1_empirical(x, z)
+        assert d_xz <= d_xy + d_yz + 1e-6
+
+    @given(
+        st.lists(st.floats(-50, 50), min_size=2, max_size=40),
+        st.floats(-20, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_w1_translation_property(self, xs, shift):
+        x = np.array(xs)
+        assert wasserstein1_empirical(x, x + shift) == pytest.approx(
+            abs(shift), abs=1e-9
+        )

@@ -1,0 +1,160 @@
+"""Tests for repro.stats.tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.stats import (
+    bootstrap_ci,
+    chi_square_independence,
+    min_detectable_gap,
+    permutation_test,
+    two_proportion_z_test,
+    wilson_interval,
+)
+
+
+class TestTwoProportionZ:
+    def test_obvious_difference_significant(self):
+        result = two_proportion_z_test(90, 100, 10, 100)
+        assert result.significant()
+        assert result.p_value < 1e-10
+
+    def test_identical_proportions_not_significant(self):
+        result = two_proportion_z_test(50, 100, 50, 100)
+        assert not result.significant()
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_small_samples_wide(self):
+        # 2/3 vs 1/3 on three observations each: nowhere near significant
+        result = two_proportion_z_test(2, 3, 1, 3)
+        assert not result.significant()
+
+    def test_degenerate_all_same(self):
+        result = two_proportion_z_test(0, 10, 0, 10)
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            two_proportion_z_test(0, 0, 1, 2)
+        with pytest.raises(ValidationError, match="exceed"):
+            two_proportion_z_test(5, 3, 1, 2)
+        with pytest.raises(ValidationError, match="non-negative"):
+            two_proportion_z_test(-1, 3, 1, 2)
+
+
+class TestChiSquare:
+    def test_independent_table(self):
+        table = [[50, 50], [50, 50]]
+        result = chi_square_independence(table)
+        assert not result.significant()
+
+    def test_dependent_table(self):
+        table = [[90, 10], [10, 90]]
+        result = chi_square_independence(table)
+        assert result.significant()
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2x2"):
+            chi_square_independence([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError, match="observations"):
+            chi_square_independence([[0, 0], [0, 0]])
+
+
+class TestPermutationTest:
+    def test_shifted_samples_significant(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 80)
+        y = rng.normal(1.5, 1, 80)
+        result = permutation_test(x, y, random_state=1)
+        assert result.significant()
+
+    def test_same_distribution_not_significant(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 80)
+        y = rng.normal(0, 1, 80)
+        result = permutation_test(x, y, random_state=1)
+        assert result.p_value > 0.05
+
+    def test_p_value_never_zero(self):
+        result = permutation_test(
+            [0.0] * 20, [10.0] * 20, n_permutations=100, random_state=0
+        )
+        assert result.p_value > 0
+
+    def test_custom_statistic(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(0, 4, 60)  # same mean, different variance
+        mean_result = permutation_test(x, y, random_state=2)
+        var_result = permutation_test(
+            x, y,
+            statistic=lambda a, b: float(np.var(a) - np.var(b)),
+            random_state=2,
+        )
+        assert var_result.p_value < mean_result.p_value
+
+
+class TestBootstrapCI:
+    def test_covers_true_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 1.0, 400)
+        lo, hi = bootstrap_ci(values, random_state=1)
+        assert lo < 5.0 < hi
+        assert hi - lo < 0.5
+
+    def test_higher_confidence_wider(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 200)
+        lo90, hi90 = bootstrap_ci(values, confidence=0.90, random_state=1)
+        lo99, hi99 = bootstrap_ci(values, confidence=0.99, random_state=1)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_custom_statistic(self):
+        values = np.arange(100.0)
+        lo, hi = bootstrap_ci(
+            values, statistic=lambda a: float(np.median(a)), random_state=0
+        )
+        assert lo < 49.5 < hi
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_bounds_clipped(self):
+        lo, __ = wilson_interval(0, 10)
+        __, hi = wilson_interval(10, 10)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert hi == pytest.approx(1.0, abs=1e-12)
+
+    def test_narrows_with_n(self):
+        lo_s, hi_s = wilson_interval(5, 10)
+        lo_l, hi_l = wilson_interval(500, 1000)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValidationError):
+            wilson_interval(11, 10)
+
+
+class TestMinDetectableGap:
+    def test_shrinks_with_sample_size(self):
+        small = min_detectable_gap(50, 50)
+        large = min_detectable_gap(5000, 5000)
+        assert large < small
+
+    def test_reasonable_magnitude(self):
+        # ~0.28 for n=100 each at p=0.5
+        gap = min_detectable_gap(100, 100)
+        assert 0.15 < gap < 0.35
+
+    def test_unbalanced_groups_hurt(self):
+        balanced = min_detectable_gap(500, 500)
+        unbalanced = min_detectable_gap(950, 50)
+        assert unbalanced > balanced

@@ -1,0 +1,139 @@
+"""Cross-module property-based tests (hypothesis).
+
+Invariants spanning subsystems:
+
+* CSV round-trip preserves any schema-valid dataset;
+* SCM abduction inverts sampling for random additive chain models;
+* quota selection always selects exactly n and respects reserves;
+* reweighing always yields exact weighted independence.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.causal import StructuralCausalModel, Variable
+from repro.data import Column, Schema, TabularDataset
+from repro.mitigation import quota_selector, reweighing
+
+
+@st.composite
+def small_dataset(draw):
+    """A schema-valid dataset with numeric, categorical, and label data."""
+    n = draw(st.integers(1, 25))
+    numeric = draw(st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=n, max_size=n,
+    ))
+    categories = ("red", "blue", "green")
+    cats = draw(st.lists(st.sampled_from(categories), min_size=n, max_size=n))
+    labels = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    schema = Schema((
+        Column("value", kind="numeric"),
+        Column("color", kind="categorical", role="protected",
+               categories=categories),
+        Column("y", kind="binary", role="label"),
+    ))
+    return TabularDataset(schema, {
+        "value": numeric, "color": cats, "y": labels,
+    })
+
+
+class TestCsvRoundtripProperty:
+    @given(small_dataset())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_everything(self, dataset):
+        back = TabularDataset.from_csv(dataset.schema, dataset.to_csv())
+        assert back.n_rows == dataset.n_rows
+        np.testing.assert_array_equal(back.column("y"), dataset.column("y"))
+        np.testing.assert_array_equal(
+            back.column("color"), dataset.column("color")
+        )
+        np.testing.assert_allclose(
+            back.column("value"), dataset.column("value"), rtol=1e-12
+        )
+
+
+class TestScmAbductionProperty:
+    @given(
+        st.floats(-5, 5, allow_nan=False),
+        st.floats(0.1, 3.0, allow_nan=False),
+        st.integers(0, 10_000),
+        st.integers(5, 60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_abduction_inverts_sampling(self, effect, noise_scale, seed, n):
+        scm = StructuralCausalModel([
+            Variable("a", sampler=lambda rng, count: (
+                rng.random(count) < 0.5
+            ).astype(float)),
+            Variable("u", sampler=lambda rng, count, s=noise_scale: (
+                rng.normal(0, s, count)
+            )),
+            Variable("x", parents=("a", "u"),
+                     equation=lambda v, e=effect: e * v["a"] + v["u"]),
+            Variable("y", parents=("x",), equation=lambda v: 3.0 * v["x"]),
+        ])
+        world = scm.sample(n, random_state=seed)
+        observed = {k: world[k] for k in ("a", "x", "y")}
+        noise = scm.abduct(observed)
+        np.testing.assert_allclose(noise["u"], world["u"], atol=1e-9)
+        # consistency: counterfactual at the factual value reproduces data
+        cf = scm.counterfactual(observed, {"a": world["a"]})
+        np.testing.assert_allclose(cf["y"], world["y"], atol=1e-9)
+
+
+class TestQuotaProperty:
+    @given(
+        st.integers(4, 60),
+        st.integers(0, 10_000),
+        st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selects_exactly_n_and_respects_reserve(self, n, seed, quota_b):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(0, 1, n)
+        groups = np.array(["a"] * (n // 2) + ["b"] * (n - n // 2))
+        n_select = max(1, n // 3)
+        selected = quota_selector(
+            scores, groups, n_select, quotas={"b": quota_b}
+        )
+        assert selected.sum() == n_select
+        reserve = int(np.floor(quota_b * n_select))
+        available_b = int((groups == "b").sum())
+        assert selected[groups == "b"].sum() >= min(reserve, available_b, n_select)
+
+
+class TestReweighingProperty:
+    @given(st.integers(0, 10_000), st.integers(20, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_independence_exact(self, seed, n):
+        rng = np.random.default_rng(seed)
+        groups = rng.choice(["g1", "g2"], n)
+        labels = rng.integers(0, 2, n)
+        # every (group, label) cell must be non-empty for reweighing
+        assume(all(
+            ((groups == g) & (labels == l)).any()
+            for g in ("g1", "g2") for l in (0, 1)
+        ))
+        schema = Schema((
+            Column("f", kind="numeric"),
+            Column("g", kind="categorical", role="protected",
+                   categories=("g1", "g2")),
+            Column("y", kind="binary", role="label"),
+        ))
+        ds = TabularDataset(schema, {
+            "f": rng.normal(0, 1, n), "g": groups, "y": labels,
+        })
+        weights = reweighing(ds, "g")
+        rates = []
+        for g in ("g1", "g2"):
+            mask = groups == g
+            rates.append(
+                float((weights[mask] * labels[mask]).sum()
+                      / weights[mask].sum())
+            )
+        assert rates[0] == pytest.approx(rates[1], abs=1e-9)
+        # weighted total mass is preserved
+        assert weights.sum() == pytest.approx(n, rel=0.05)

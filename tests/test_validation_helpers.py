@@ -1,0 +1,163 @@
+"""Unit tests for repro._validation and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_array_1d,
+    check_binary_array,
+    check_in_range,
+    check_matrix_2d,
+    check_membership,
+    check_nonempty,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+    check_random_state,
+    check_same_length,
+)
+from repro.exceptions import (
+    AuditError,
+    CausalModelError,
+    DatasetError,
+    InsufficientDataError,
+    LegalCatalogError,
+    MetricError,
+    MitigationError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    ValidationError,
+)
+
+
+class TestArrayChecks:
+    def test_array_1d_accepts_lists(self):
+        arr = check_array_1d([1, 2, 3], "x")
+        assert arr.shape == (3,)
+
+    def test_array_1d_rejects_scalar(self):
+        with pytest.raises(ValidationError, match="scalar"):
+            check_array_1d(5, "x")
+
+    def test_array_1d_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-dimensional"):
+            check_array_1d(np.zeros((2, 2)), "x")
+
+    def test_binary_accepts_bools(self):
+        arr = check_binary_array([True, False], "y")
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 0]
+
+    def test_binary_accepts_integer_floats(self):
+        arr = check_binary_array([1.0, 0.0], "y")
+        assert arr.tolist() == [1, 0]
+
+    def test_binary_rejects_fractional_floats(self):
+        with pytest.raises(ValidationError, match="non-integer"):
+            check_binary_array([0.5, 1.0], "y")
+
+    def test_binary_rejects_other_integers(self):
+        with pytest.raises(ValidationError, match="0/1"):
+            check_binary_array([0, 1, 2], "y")
+
+    def test_binary_rejects_strings(self):
+        with pytest.raises(ValidationError, match="binary"):
+            check_binary_array(["a", "b"], "y")
+
+    def test_matrix_2d_reshapes_vectors(self):
+        arr = check_matrix_2d([1.0, 2.0], "X")
+        assert arr.shape == (2, 1)
+
+    def test_matrix_2d_rejects_3d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_matrix_2d(np.zeros((2, 2, 2)), "X")
+
+    def test_matrix_2d_rejects_nan_and_inf(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_matrix_2d([[np.inf, 0.0]], "X")
+
+    def test_same_length_reports_names(self):
+        with pytest.raises(ValidationError, match="a=2, b=3"):
+            check_same_length(("a", [1, 2]), ("b", [1, 2, 3]))
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+        with pytest.raises(ValidationError):
+            check_probability(1.1, "p")
+
+    def test_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "n")
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, "n")
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "n")  # bools are not counts
+
+    def test_nonnegative(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1e-9, "x")
+
+    def test_in_range(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            check_in_range(2.0, "x", 0, 1)
+
+    def test_membership(self):
+        assert check_membership("a", "x", ["a", "b"]) == "a"
+        with pytest.raises(ValidationError, match="one of"):
+            check_membership("c", "x", ["a", "b"])
+
+    def test_nonempty(self):
+        assert check_nonempty([1], "xs") == [1]
+        with pytest.raises(ValidationError, match="empty"):
+            check_nonempty([], "xs")
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(7).random(3)
+        b = check_random_state(7).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+        with pytest.raises(ValidationError):
+            check_random_state(True)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ValidationError, SchemaError, DatasetError, NotFittedError,
+        CausalModelError, MetricError, InsufficientDataError, AuditError,
+        LegalCatalogError, MitigationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_insufficient_data_carries_context(self):
+        exc = InsufficientDataError("empty", group="g", count=0)
+        assert exc.group == "g"
+        assert exc.count == 0
+        assert issubclass(InsufficientDataError, MetricError)
