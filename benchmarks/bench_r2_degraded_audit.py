@@ -1,0 +1,92 @@
+"""R2 — resilience overhead: supervised audit vs bare metric battery.
+
+The robustness engine (``repro.robustness.StageRunner``) wraps every
+(attribute, metric) evaluation in a supervised stage.  That wrapper must
+be close to free on the no-fault path — the paper's Section V argument
+for continuous auditing collapses if resilience makes routine audits
+measurably slower.  This bench times the supervised battery against a
+bare loop over the same internal evaluations and asserts the median
+overhead stays under 5%.  A second row records the degraded path (one
+injected per-metric fault) to show fault capture is also cheap.
+"""
+
+import statistics
+import time
+
+from repro.core import FairnessAudit
+from repro.core.audit import _BATTERY
+from repro.data import make_hiring
+from repro.robustness import FaultInjector
+
+from benchmarks.conftest import report
+
+ROUNDS = 7
+
+
+def _bare_battery(audit: FairnessAudit) -> float:
+    """The same evaluations ``run()`` performs, without the runner."""
+    start = time.perf_counter()
+    findings = []
+    for attribute in audit.protected_attributes:
+        for metric in _BATTERY:
+            findings.append(audit._evaluate(metric, attribute))
+        audit._power_note(attribute)
+    return time.perf_counter() - start
+
+
+def _supervised_battery(audit: FairnessAudit) -> float:
+    start = time.perf_counter()
+    audit.run()
+    return time.perf_counter() - start
+
+
+def _degraded_battery(data) -> float:
+    injector = FaultInjector()
+    injector.inject_error(
+        "audit:sex:treatment_equality", RuntimeError("chaos")
+    )
+    audit = FairnessAudit(
+        data, tolerance=0.05, strata="university", faults=injector
+    )
+    start = time.perf_counter()
+    audit.run()
+    return time.perf_counter() - start
+
+
+def test_r2_supervision_overhead(benchmark):
+    data = make_hiring(
+        n=20_000, direct_bias=1.5, proxy_strength=0.8, random_state=0
+    )
+
+    def experiment():
+        bare, supervised, degraded = [], [], []
+        for _ in range(ROUNDS):
+            audit = FairnessAudit(data, tolerance=0.05, strata="university")
+            bare.append(_bare_battery(audit))
+            audit = FairnessAudit(data, tolerance=0.05, strata="university")
+            supervised.append(_supervised_battery(audit))
+            degraded.append(_degraded_battery(data))
+        return (
+            statistics.median(bare),
+            statistics.median(supervised),
+            statistics.median(degraded),
+        )
+
+    bare, supervised, degraded = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+    overhead = supervised / bare - 1.0
+    report("R2 supervised-runner overhead (n=20k hiring)", [
+        ("path", "median seconds"),
+        ("bare battery", round(bare, 4)),
+        ("supervised battery", round(supervised, 4)),
+        ("degraded (1 fault)", round(degraded, 4)),
+        ("overhead", f"{overhead * 100:+.2f}%"),
+    ])
+
+    # the acceptance criterion: <5% on the no-fault path (an absolute
+    # floor keeps sub-millisecond jitter from flaking the ratio)
+    assert supervised - bare < max(0.05 * bare, 2e-3)
+    # fault capture must not blow the budget either: the degraded run
+    # does strictly less metric work, so it must stay near the bare time
+    assert degraded < supervised * 1.25

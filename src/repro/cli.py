@@ -8,9 +8,23 @@ Usage::
         --structural-bias --no-reliable-labels
     python -m repro statutes --attribute sex --sector employment \\
         --jurisdiction us
+    python -m repro subgroups --data data.csv --checkpoint scan.ckpt.json \\
+        --resume
 
-Every subcommand prints to stdout; exit code 1 on an audit that found
-violations (so CI pipelines can gate on fairness), 2 on usage errors.
+Every subcommand prints to stdout.  Exit codes:
+
+* ``0`` — clean completion;
+* ``1`` — the audit/workflow found violations (CI pipelines gate on it);
+* ``2`` — usage error, unreadable input, or a fail-closed abort
+  (:class:`~repro.exceptions.DegradedRunError` under ``--fail-fast``);
+* ``3`` — *completed degraded*: the run finished and found no violation,
+  but one or more stages errored or timed out, so the result is partial
+  evidence, not a clean pass.
+
+The audit-style subcommands accept an execution policy (``--deadline``
+seconds per stage, ``--retries`` for transient faults, ``--fail-fast``
+for fail-closed semantics); ``subgroups`` adds ``--checkpoint`` /
+``--resume`` for anytime enumeration.
 """
 
 from __future__ import annotations
@@ -32,8 +46,14 @@ from repro.data.generators import (
 )
 from repro.data.io import load_dataset, save_dataset
 from repro.exceptions import ReproError
+from repro.robustness import ExecutionPolicy
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_DEGRADED"]
+
+#: exit code for "completed, but degraded" — distinct from both a clean
+#: pass (0) and a fairness violation (1) so CI can treat partial
+#: evidence as its own signal.
+EXIT_DEGRADED = 3
 
 _WORKLOADS = {
     "hiring": make_hiring,
@@ -42,6 +62,40 @@ _WORKLOADS = {
     "recidivism": make_recidivism,
     "intersectional": make_intersectional,
 }
+
+
+def _add_policy_flags(sub) -> None:
+    """Execution-policy flags shared by the audit-style subcommands."""
+    sub.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per audit stage; hung stages are cut "
+        "off and reported as degradations",
+    )
+    sub.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries (with exponential backoff) for transient stage "
+        "failures such as convergence errors",
+    )
+    sub.add_argument(
+        "--fail-fast", action="store_true",
+        help="fail-closed: abort on the first stage failure instead of "
+        "degrading (exit code 2)",
+    )
+
+
+def _policy_from_args(args) -> ExecutionPolicy | None:
+    """Build a policy from CLI flags; None when every flag is default."""
+    if (
+        args.deadline is None
+        and args.retries == 0
+        and not args.fail_fast
+    ):
+        return None
+    return ExecutionPolicy(
+        deadline=args.deadline,
+        max_retries=args.retries,
+        fail_fast=args.fail_fast,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +126,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="legitimate conditioning column")
     audit.add_argument("--format", choices=("markdown", "text", "json"),
                        default="markdown")
+    _add_policy_flags(audit)
+
+    scan = sub.add_parser(
+        "subgroups",
+        help="exhaustive subgroup disparity scan with checkpoint/resume",
+    )
+    scan.add_argument("--data", required=True, help="CSV written by generate")
+    scan.add_argument("--schema", default=None,
+                      help="schema JSON (default: <data>.schema.json)")
+    scan.add_argument("--attribute", action="append", default=[],
+                      help="attribute to conjoin (repeatable; default: "
+                      "all protected attributes)")
+    scan.add_argument("--max-order", type=int, default=2)
+    scan.add_argument("--min-size", type=int, default=10)
+    scan.add_argument("--alpha", type=float, default=0.05)
+    scan.add_argument("--adjust", choices=("holm", "bh", "none"),
+                      default="holm",
+                      help="multiple-testing correction for significance")
+    scan.add_argument("--top", type=int, default=10,
+                      help="findings to print (most disparate first)")
+    scan.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="write an atomic JSON checkpoint here "
+                      "periodically (anytime scan)")
+    scan.add_argument("--checkpoint-every", type=int, default=64)
+    scan.add_argument("--resume", action="store_true",
+                      help="resume from --checkpoint after a killed run")
 
     rec = sub.add_parser("recommend",
                          help="rank fairness metrics for a use case")
@@ -114,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--tolerance", type=float, default=0.05)
     predict.add_argument("--format", choices=("markdown", "text", "json"),
                          default="markdown")
+    _add_policy_flags(predict)
 
     definition = sub.add_parser(
         "define", help="look up a legal/technical term from the paper"
@@ -136,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     wf.add_argument("--affirmative-action", action="store_true")
     wf.add_argument("--no-reliable-labels", action="store_true")
     wf.add_argument("--proxy-risk", action="store_true")
+    _add_policy_flags(wf)
 
     return parser
 
@@ -153,10 +235,18 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _report_exit_code(report) -> int:
+    """0 clean, 1 violations, EXIT_DEGRADED for errored-but-clean."""
+    if not report.is_clean:
+        return 1
+    return EXIT_DEGRADED if report.degraded else 0
+
+
 def _cmd_audit(args) -> int:
     dataset = load_dataset(args.data, args.schema)
     report = FairnessAudit(
-        dataset, tolerance=args.tolerance, strata=args.strata
+        dataset, tolerance=args.tolerance, strata=args.strata,
+        policy=_policy_from_args(args),
     ).run()
     if args.format == "json":
         print(report_to_json(report))
@@ -164,7 +254,40 @@ def _cmd_audit(args) -> int:
         print(render_text(report))
     else:
         print(render_markdown(report))
-    return 0 if report.is_clean else 1
+    return _report_exit_code(report)
+
+
+def _cmd_subgroups(args) -> int:
+    from repro.subgroup.auditor import (
+        adjust_for_multiple_testing,
+        audit_subgroups,
+    )
+
+    dataset = load_dataset(args.data, args.schema)
+    findings = audit_subgroups(
+        dataset.labels(),
+        dataset,
+        attributes=args.attribute or None,
+        max_order=args.max_order,
+        min_size=args.min_size,
+        alpha=args.alpha,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    if args.adjust != "none":
+        findings = adjust_for_multiple_testing(findings, method=args.adjust)
+    significant = [f for f in findings if f.significant(args.alpha)]
+    print(f"scanned {len(findings)} subgroups "
+          f"({len(significant)} significant at alpha={args.alpha:g}, "
+          f"{args.adjust} correction)")
+    for finding in findings[: args.top]:
+        flag = "!" if finding.significant(args.alpha) else " "
+        print(f" {flag} {finding.subgroup.label()}: "
+              f"rate {finding.rate:.3f} vs {finding.complement_rate:.3f} "
+              f"(gap {finding.gap:+.3f}, n={finding.subgroup.size}, "
+              f"p={finding.p_value:.4f})")
+    return 1 if significant else 0
 
 
 def _cmd_recommend(args) -> int:
@@ -243,6 +366,7 @@ def _cmd_predict(args) -> int:
         predictions=predictions,
         probabilities=probabilities,
         tolerance=args.tolerance,
+        policy=_policy_from_args(args),
     ).run()
     if args.format == "json":
         print(report_to_json(report))
@@ -250,7 +374,7 @@ def _cmd_predict(args) -> int:
         print(render_text(report))
     else:
         print(render_markdown(report))
-    return 0 if report.is_clean else 1
+    return _report_exit_code(report)
 
 
 def _cmd_define(args) -> int:
@@ -286,15 +410,21 @@ def _cmd_workflow(args) -> int:
         proxy_risk=args.proxy_risk,
     )
     dossier = run_compliance_workflow(
-        dataset, profile, tolerance=args.tolerance, strata=args.strata
+        dataset, profile, tolerance=args.tolerance, strata=args.strata,
+        policy=_policy_from_args(args),
     )
     print(dossier.to_markdown())
-    return 0 if dossier.verdict == "pass" else 1
+    if dossier.verdict == "fail":
+        return 1
+    if dossier.degraded or dossier.verdict == "inconclusive":
+        return EXIT_DEGRADED
+    return 0
 
 
 _COMMANDS = {
     "generate": _cmd_generate,
     "audit": _cmd_audit,
+    "subgroups": _cmd_subgroups,
     "train": _cmd_train,
     "predict": _cmd_predict,
     "recommend": _cmd_recommend,

@@ -33,6 +33,7 @@ from repro.core.metrics import (
 from repro.core.types import ConditionalMetricResult, MetricResult
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, InsufficientDataError, MetricError
+from repro.robustness import ExecutionPolicy, StageRunner
 from repro.stats.tests import min_detectable_gap
 
 __all__ = ["AuditFinding", "AuditReport", "FairnessAudit", "intersection_column"]
@@ -68,9 +69,11 @@ _LABEL_METRICS = {
 class AuditFinding:
     """One (attribute, metric) evaluation within an audit.
 
-    ``status`` is ``"ok"`` when the metric evaluated, ``"skipped"`` when it
-    could not be computed (with the reason recorded) — audits never let a
-    sparse subgroup abort the whole battery, they surface it.
+    ``status`` is ``"ok"`` when the metric evaluated, ``"skipped"`` when
+    it could not be computed (with the reason recorded), or ``"error"``
+    when the metric *raised* — the supervised runner isolates the fault,
+    captures its traceback here, and the rest of the battery continues.
+    Audits never let one metric abort the whole battery; they surface it.
     """
 
     attribute: str
@@ -79,6 +82,7 @@ class AuditFinding:
     result: MetricResult | ConditionalMetricResult | None = None
     reason: str = ""
     four_fifths: object = None
+    traceback: str = ""
 
     @property
     def satisfied(self) -> bool | None:
@@ -97,6 +101,7 @@ class AuditReport:
     findings: list = field(default_factory=list)
     intersectional_findings: list = field(default_factory=list)
     power_notes: dict = field(default_factory=dict)
+    degradations: list = field(default_factory=list)
 
     def all_findings(self) -> list[AuditFinding]:
         return list(self.findings) + list(self.intersectional_findings)
@@ -110,6 +115,16 @@ class AuditReport:
 
     def skipped(self) -> list[AuditFinding]:
         return [f for f in self.all_findings() if f.status == "skipped"]
+
+    def errors(self) -> list[AuditFinding]:
+        """Findings whose metric raised or timed out under supervision."""
+        return [f for f in self.all_findings() if f.status == "error"]
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage errored or timed out (paper V: a partial
+        audit must say so)."""
+        return bool(self.errors()) or bool(self.degradations)
 
     def finding(self, attribute: str, metric: str) -> AuditFinding:
         """Look up one finding by attribute and metric name."""
@@ -130,6 +145,15 @@ class AuditReport:
         from repro.core.report import render_markdown
 
         return render_markdown(self)
+
+
+def _skip_reason(exc: Exception) -> str:
+    """Human-readable skip reason, with the structured sparse-group
+    evidence (paper IV.C) that :class:`InsufficientDataError` carries."""
+    reason = str(exc)
+    if isinstance(exc, InsufficientDataError) and exc.group is not None:
+        reason += f" [group={exc.group}, n={exc.count}]"
+    return reason
 
 
 def intersection_column(
@@ -169,6 +193,15 @@ class FairnessAudit:
         Optional model scores enabling the calibration metric.
     min_stratum_group_size:
         Minimum per-group count within a stratum (Section IV.C guard).
+    policy:
+        :class:`~repro.robustness.ExecutionPolicy` supervising each
+        (attribute, metric) evaluation — deadline, retries, failure
+        budget, fail-open vs fail-closed.  Defaults to fail-open
+        isolation: a raising metric becomes a ``status="error"`` finding
+        instead of aborting the battery.
+    faults:
+        Optional :class:`~repro.robustness.FaultInjector` fired inside
+        each supervised stage (chaos-testing hook).
     """
 
     def __init__(
@@ -179,6 +212,8 @@ class FairnessAudit:
         strata: str | None = None,
         probabilities=None,
         min_stratum_group_size: int = 5,
+        policy: ExecutionPolicy | None = None,
+        faults=None,
     ):
         self.dataset = dataset
         self.protected_attributes = dataset.schema.protected_names
@@ -212,6 +247,8 @@ class FairnessAudit:
         ):
             raise AuditError("probabilities length does not match dataset")
         self.min_stratum_group_size = int(min_stratum_group_size)
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.faults = faults
 
     @classmethod
     def from_prediction_column(
@@ -310,7 +347,9 @@ class FairnessAudit:
             else:
                 raise AuditError(f"unknown battery metric {metric!r}")
         except (InsufficientDataError, MetricError) as exc:
-            return AuditFinding(attribute, metric, "skipped", reason=str(exc))
+            return AuditFinding(
+                attribute, metric, "skipped", reason=_skip_reason(exc)
+            )
         return AuditFinding(attribute, metric, "ok", result=result)
 
     def _power_note(self, attribute: str) -> dict:
@@ -334,7 +373,17 @@ class FairnessAudit:
     # -- the run -----------------------------------------------------------------
 
     def run(self, metrics: tuple = _BATTERY) -> AuditReport:
-        """Execute the battery and return an :class:`AuditReport`."""
+        """Execute the battery and return an :class:`AuditReport`.
+
+        Every (attribute, metric) evaluation runs as a supervised stage
+        under this audit's :class:`~repro.robustness.ExecutionPolicy`:
+        a raising metric becomes a ``status="error"`` finding (with
+        captured traceback) rather than aborting the battery, transient
+        failures are retried, and a deadline — when configured — cuts
+        off hangs.  Only a fail-closed policy (``fail_fast`` or an
+        exhausted ``max_failures`` budget) raises, as
+        :class:`~repro.exceptions.DegradedRunError`.
+        """
         report = AuditReport(
             dataset_summary={
                 "n_rows": self.dataset.n_rows,
@@ -344,13 +393,44 @@ class FairnessAudit:
             },
             tolerance=self.tolerance,
         )
+        runner = StageRunner(self.policy, faults=self.faults)
         for attribute in self.protected_attributes:
             for metric in metrics:
-                report.findings.append(self._evaluate(metric, attribute))
-            report.power_notes[attribute] = self._power_note(attribute)
+                outcome = runner.run(
+                    f"audit:{attribute}:{metric}",
+                    self._evaluate, metric, attribute,
+                )
+                if outcome.ok:
+                    report.findings.append(outcome.value)
+                else:
+                    report.findings.append(
+                        AuditFinding(
+                            attribute, metric, "error",
+                            reason=f"{outcome.error_type}: {outcome.error}",
+                            traceback=outcome.traceback,
+                        )
+                    )
+            note = runner.run(
+                f"power:{attribute}", self._power_note, attribute
+            )
+            report.power_notes[attribute] = note.value if note.ok else {}
 
         if len(self.protected_attributes) >= 2:
-            report.intersectional_findings.extend(self._intersectional(metrics))
+            name = "×".join(self.protected_attributes)
+            outcome = runner.run(
+                "audit:intersection", self._intersectional, metrics
+            )
+            if outcome.ok:
+                report.intersectional_findings.extend(outcome.value)
+            else:
+                report.intersectional_findings.append(
+                    AuditFinding(
+                        name, "intersection", "error",
+                        reason=f"{outcome.error_type}: {outcome.error}",
+                        traceback=outcome.traceback,
+                    )
+                )
+        report.degradations = runner.degradations
         return report
 
     def _intersectional(self, metrics: tuple) -> list[AuditFinding]:
@@ -381,6 +461,8 @@ class FairnessAudit:
                     )
             except (InsufficientDataError, MetricError) as exc:
                 findings.append(
-                    AuditFinding(name, metric, "skipped", reason=str(exc))
+                    AuditFinding(
+                        name, metric, "skipped", reason=_skip_reason(exc)
+                    )
                 )
         return findings

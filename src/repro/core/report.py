@@ -72,9 +72,15 @@ def render_markdown(report) -> str:
         "",
         f"**Overall: {'CLEAN' if report.is_clean else 'VIOLATIONS FOUND'}** "
         f"({len(report.violations())} violated, {len(report.passes())} passed, "
-        f"{len(report.skipped())} skipped)",
+        f"{len(report.skipped())} skipped, {len(report.errors())} errored)",
         "",
     ]
+    if report.degraded:
+        lines.append(
+            "**DEGRADED RUN** — some stages errored or timed out; this "
+            "report is partial evidence, not a clean audit (paper §V)."
+        )
+        lines.append("")
 
     by_attribute: dict[str, list] = {}
     for finding in report.findings:
@@ -96,6 +102,10 @@ def render_markdown(report) -> str:
             if finding.status == "skipped":
                 lines.append(
                     f"- {finding.metric}: SKIPPED — {finding.reason}"
+                )
+            elif finding.status == "error":
+                lines.append(
+                    f"- {finding.metric}: ERROR — {finding.reason}"
                 )
             elif isinstance(finding.result, ConditionalMetricResult):
                 block = _conditional_block(finding.result)
@@ -119,6 +129,8 @@ def render_markdown(report) -> str:
         for finding in report.intersectional_findings:
             if finding.status == "skipped":
                 lines.append(f"- {finding.metric}: SKIPPED — {finding.reason}")
+            elif finding.status == "error":
+                lines.append(f"- {finding.metric}: ERROR — {finding.reason}")
             else:
                 lines.append(f"- {format_metric_line(finding.result)}")
                 if finding.four_fifths is not None:

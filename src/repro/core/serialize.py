@@ -95,6 +95,8 @@ def finding_to_dict(finding: AuditFinding) -> dict:
         "status": finding.status,
         "reason": finding.reason,
     }
+    if finding.traceback:
+        payload["traceback"] = finding.traceback
     if isinstance(finding.result, ConditionalMetricResult):
         payload["result"] = conditional_result_to_dict(finding.result)
     elif isinstance(finding.result, MetricResult):
@@ -119,11 +121,14 @@ def report_to_dict(report: AuditReport) -> dict:
         "dataset_summary": _plain(report.dataset_summary),
         "tolerance": _plain(report.tolerance),
         "is_clean": bool(report.is_clean),
+        "degraded": bool(report.degraded),
         "counts": {
             "violations": len(report.violations()),
             "passes": len(report.passes()),
             "skipped": len(report.skipped()),
+            "errors": len(report.errors()),
         },
+        "degradations": _plain(report.degradations),
         "findings": [finding_to_dict(f) for f in report.findings],
         "intersectional_findings": [
             finding_to_dict(f) for f in report.intersectional_findings

@@ -3,16 +3,25 @@
 Schemas serialise to JSON sidecar files; data serialises to CSV.  The
 pair round-trips through :func:`save_dataset` / :func:`load_dataset`,
 which is what the command-line interface uses.
+
+Writes are atomic (write-to-temp + ``os.replace``) so a crash mid-save
+never leaves a truncated dataset on disk, and loads convert raw
+``json``/``ValueError`` failures into :class:`~repro.exceptions.
+DatasetError` carrying the file path and — where locatable — the byte
+offset of the corruption.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from pathlib import Path
 
 from repro.data.dataset import TabularDataset
 from repro.data.schema import Column, Schema
-from repro.exceptions import SchemaError
+from repro.exceptions import DatasetError, SchemaError
+from repro.robustness.checkpoint import atomic_write_text
 
 __all__ = [
     "schema_to_dict",
@@ -67,21 +76,74 @@ def save_dataset(dataset: TabularDataset, data_path, schema_path=None) -> None:
     """Write a dataset to CSV plus a JSON schema sidecar.
 
     ``schema_path`` defaults to the data path with a ``.schema.json``
-    suffix.
+    suffix.  Both files are written atomically: a crash mid-save leaves
+    either the previous version or the new one, never a truncated file.
     """
     data_path = Path(data_path)
     if schema_path is None:
         schema_path = data_path.with_suffix(data_path.suffix + ".schema.json")
-    data_path.write_text(dataset.to_csv())
-    Path(schema_path).write_text(
-        json.dumps(schema_to_dict(dataset.schema), indent=2)
+    atomic_write_text(data_path, dataset.to_csv())
+    atomic_write_text(
+        schema_path, json.dumps(schema_to_dict(dataset.schema), indent=2)
     )
 
 
+def _corrupt_row_offset(text: str, expected_fields: int) -> int | None:
+    """Byte offset of the first data row with the wrong field count.
+
+    Locates truncated/corrupt CSV input precisely enough to quote in a
+    :class:`DatasetError`; returns None when every row parses (the
+    corruption is then at cell level and the cause message says which).
+    """
+    offset = 0
+    for index, line in enumerate(text.splitlines(keepends=True)):
+        stripped = line.strip()
+        if index > 0 and stripped:
+            row = next(csv.reader(io.StringIO(line)))
+            if len(row) != expected_fields:
+                return offset
+        offset += len(line.encode())
+    return None
+
+
 def load_dataset(data_path, schema_path=None) -> TabularDataset:
-    """Load a dataset written by :func:`save_dataset`."""
+    """Load a dataset written by :func:`save_dataset`.
+
+    Missing or corrupt input raises :class:`~repro.exceptions.
+    DatasetError` naming the offending file — and, for truncated or
+    malformed content, the byte offset of the corruption — rather than
+    letting a raw ``json``/``ValueError`` escape into the audit.
+    """
     data_path = Path(data_path)
     if schema_path is None:
         schema_path = data_path.with_suffix(data_path.suffix + ".schema.json")
-    schema = schema_from_dict(json.loads(Path(schema_path).read_text()))
-    return TabularDataset.from_csv(schema, data_path.read_text())
+    schema_path = Path(schema_path)
+
+    try:
+        schema_text = schema_path.read_text()
+    except FileNotFoundError:
+        raise DatasetError(
+            f"schema sidecar {schema_path} not found "
+            f"(expected next to {data_path})"
+        ) from None
+    try:
+        payload = json.loads(schema_text)
+    except json.JSONDecodeError as exc:
+        raise DatasetError(
+            f"corrupt schema file {schema_path}: {exc.msg} "
+            f"at byte offset {exc.pos}"
+        ) from exc
+    schema = schema_from_dict(payload)
+
+    try:
+        text = data_path.read_text()
+    except FileNotFoundError:
+        raise DatasetError(f"dataset file {data_path} not found") from None
+    try:
+        return TabularDataset.from_csv(schema, text)
+    except (DatasetError, ValueError) as exc:
+        offset = _corrupt_row_offset(text, len(schema.names()))
+        where = "" if offset is None else f" at byte offset {offset}"
+        raise DatasetError(
+            f"corrupt or truncated dataset file {data_path}{where}: {exc}"
+        ) from exc

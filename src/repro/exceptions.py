@@ -21,6 +21,11 @@ __all__ = [
     "AuditError",
     "LegalCatalogError",
     "MitigationError",
+    "RobustnessError",
+    "StageTimeoutError",
+    "RetryExhaustedError",
+    "CheckpointError",
+    "DegradedRunError",
 ]
 
 
@@ -75,3 +80,61 @@ class LegalCatalogError(ReproError):
 
 class MitigationError(ReproError):
     """A bias-mitigation procedure failed or was misconfigured."""
+
+
+class RobustnessError(ReproError):
+    """Base class for failures of the resilient execution engine itself."""
+
+
+class StageTimeoutError(RobustnessError):
+    """A supervised stage exceeded its wall-clock deadline.
+
+    The stage's worker may still be running (Python threads cannot be
+    killed); the engine abandons it and records the timeout.
+    """
+
+    def __init__(self, message: str, stage: str = "", deadline: float = 0.0):
+        super().__init__(message)
+        self.stage = stage
+        self.deadline = deadline
+
+
+class RetryExhaustedError(RobustnessError):
+    """A transient failure persisted through every allowed retry.
+
+    ``last_error`` holds the final underlying exception; ``attempts`` the
+    total number of tries (initial call + retries).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        stage: str = "",
+        attempts: int = 0,
+        last_error: BaseException | None = None,
+    ):
+        super().__init__(message)
+        self.stage = stage
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CheckpointError(RobustnessError):
+    """A checkpoint file is missing, corrupt, or from a different run."""
+
+    def __init__(self, message: str, path: object = None):
+        super().__init__(message)
+        self.path = path
+
+
+class DegradedRunError(RobustnessError):
+    """A run exceeded its failure budget (or failed under fail-closed).
+
+    Raised when an :class:`~repro.robustness.ExecutionPolicy` says partial
+    results must not be silently returned — the fail-closed semantics a
+    legally-binding audit may require.
+    """
+
+    def __init__(self, message: str, outcomes: list | None = None):
+        super().__init__(message)
+        self.outcomes = list(outcomes or [])

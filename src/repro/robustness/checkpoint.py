@@ -1,0 +1,116 @@
+"""Atomic JSON checkpoints for resumable long-running audits.
+
+A checkpoint is a JSON file with a format version, a caller-supplied
+*fingerprint* of the run configuration, and an opaque payload.  Writes
+are atomic (write-to-temp then :func:`os.replace`), so a kill mid-write
+leaves the previous checkpoint intact rather than a truncated file.
+Loads verify both the JSON and the fingerprint and raise
+:class:`~repro.exceptions.CheckpointError` — with path and byte offset
+when the file is corrupt — instead of letting a raw ``json`` error
+escape into an audit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.exceptions import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "atomic_write_text",
+    "save_checkpoint",
+    "load_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def atomic_write_text(path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final rename
+    never crosses a filesystem boundary.
+    """
+    path = Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def save_checkpoint(path, payload: dict, fingerprint: str = "") -> None:
+    """Atomically persist ``payload`` with its run fingerprint."""
+    envelope = {
+        "version": CHECKPOINT_VERSION,
+        "fingerprint": fingerprint,
+        "payload": payload,
+    }
+    try:
+        text = json.dumps(envelope)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint payload is not JSON-serialisable: {exc}", path=path
+        ) from exc
+    atomic_write_text(path, text)
+
+
+def load_checkpoint(path, fingerprint: str | None = None) -> dict:
+    """Load and validate a checkpoint; return its payload.
+
+    Raises :class:`~repro.exceptions.CheckpointError` when the file is
+    missing, truncated/corrupt (message carries the byte offset), from an
+    incompatible format version, or — when ``fingerprint`` is given —
+    written by a run with different configuration.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise CheckpointError(
+            f"no checkpoint at {path}", path=path
+        ) from None
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {exc}", path=path
+        ) from exc
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {exc.msg} at byte offset {exc.pos}",
+            path=path,
+        ) from exc
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: not a checkpoint envelope",
+            path=path,
+        )
+    if envelope.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version "
+            f"{envelope.get('version')!r}; this build reads "
+            f"{CHECKPOINT_VERSION}",
+            path=path,
+        )
+    if fingerprint is not None and envelope.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"checkpoint {path} was written by a different run "
+            "configuration; refusing to resume from it",
+            path=path,
+        )
+    return envelope["payload"]

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for chaos-testing the execution engine.
+
+A :class:`FaultInjector` is installed into a :class:`~repro.robustness.
+runner.StageRunner` (or wrapped around any callable) and fires scripted
+faults — exceptions, hangs, corrupted return values — at named stages.
+Everything is counter-based and therefore fully deterministic: a fault
+declared with ``times=2`` fires on exactly the first two calls of its
+stage and never again, which is how the chaos suite asserts "transient
+fault retried, then succeeds".
+
+This module is shipped with the library (not buried in tests) so that
+downstream deployments can chaos-test their own audit pipelines — the
+guarantees only stay honest if they keep being exercised.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Fault", "FaultInjector"]
+
+
+@dataclass
+class Fault:
+    """One scripted fault bound to a stage name.
+
+    ``kind`` is one of:
+
+    * ``"error"`` — raise ``exception`` (a factory or an instance);
+    * ``"hang"`` — block for ``hang_seconds`` (interruptible by the
+      injector's :meth:`FaultInjector.release`), simulating a stuck
+      stage so deadline enforcement can be exercised;
+    * ``"corrupt"`` — pass the stage's return value through
+      ``corruptor`` before the caller sees it.
+
+    ``times`` bounds how many calls fire the fault (``None`` = every
+    call).  ``after`` skips that many initial calls before the fault
+    becomes active — "fail on the third subgroup", precisely.
+    """
+
+    stage: str
+    kind: str = "error"
+    exception: BaseException | Callable[[], BaseException] | None = None
+    hang_seconds: float = 30.0
+    corruptor: Callable | None = None
+    times: int | None = 1
+    after: int = 0
+    calls: int = field(default=0, init=False)
+    fired: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.kind not in ("error", "hang", "corrupt"):
+            raise ValidationError(
+                f"unknown fault kind {self.kind!r}; "
+                "use 'error', 'hang', or 'corrupt'"
+            )
+        if self.kind == "error" and self.exception is None:
+            raise ValidationError("error faults need an exception")
+        if self.kind == "corrupt" and self.corruptor is None:
+            raise ValidationError("corrupt faults need a corruptor")
+
+    def should_fire(self) -> bool:
+        if self.calls <= self.after:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        return True
+
+    def make_exception(self) -> BaseException:
+        exc = self.exception
+        return exc() if callable(exc) else exc
+
+
+class FaultInjector:
+    """Registry of scripted faults, fired by stage name.
+
+    Thread-safe; hangs wait on an internal event so a test teardown can
+    :meth:`release` every pending hang instead of leaking sleeping
+    threads.
+    """
+
+    def __init__(self):
+        self._faults: list[Fault] = []
+        self._lock = threading.Lock()
+        self._release = threading.Event()
+
+    # -- scripting -----------------------------------------------------------
+
+    def inject_error(
+        self, stage: str, exception, times: int | None = 1, after: int = 0
+    ) -> Fault:
+        """Raise ``exception`` on the next ``times`` calls of ``stage``."""
+        return self._add(Fault(stage, "error", exception=exception,
+                               times=times, after=after))
+
+    def inject_hang(
+        self,
+        stage: str,
+        seconds: float = 30.0,
+        times: int | None = 1,
+        after: int = 0,
+    ) -> Fault:
+        """Block ``stage`` for ``seconds`` (or until :meth:`release`)."""
+        return self._add(Fault(stage, "hang", hang_seconds=seconds,
+                               times=times, after=after))
+
+    def inject_corruption(
+        self, stage: str, corruptor, times: int | None = 1, after: int = 0
+    ) -> Fault:
+        """Mangle ``stage``'s return value through ``corruptor``."""
+        return self._add(Fault(stage, "corrupt", corruptor=corruptor,
+                               times=times, after=after))
+
+    def _add(self, fault: Fault) -> Fault:
+        with self._lock:
+            self._faults.append(fault)
+        return fault
+
+    # -- firing --------------------------------------------------------------
+
+    def _matching(self, stage: str) -> list[Fault]:
+        prefix = stage.split(":", 1)[0]
+        return [f for f in self._faults if f.stage in (stage, prefix)]
+
+    def fire(self, stage: str) -> None:
+        """Called at stage entry; raises or hangs per the script."""
+        for fault in self._matching(stage):
+            if fault.kind == "corrupt":
+                continue
+            with self._lock:
+                fault.calls += 1
+                fire = fault.should_fire()
+                if fire:
+                    fault.fired += 1
+            if not fire:
+                continue
+            if fault.kind == "error":
+                raise fault.make_exception()
+            if fault.kind == "hang":
+                self._release.wait(fault.hang_seconds)
+
+    def transform(self, stage: str, value):
+        """Called on stage success; corrupts the value per the script."""
+        for fault in self._matching(stage):
+            if fault.kind != "corrupt":
+                continue
+            with self._lock:
+                fault.calls += 1
+                fire = fault.should_fire()
+                if fire:
+                    fault.fired += 1
+            if fire:
+                value = fault.corruptor(value)
+        return value
+
+    def wrap(self, stage: str, fn: Callable) -> Callable:
+        """A callable that fires this injector's faults around ``fn``."""
+
+        def chaotic(*args, **kwargs):
+            self.fire(stage)
+            return self.transform(stage, fn(*args, **kwargs))
+
+        return chaotic
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def release(self) -> None:
+        """Unblock every pending and future hang (test teardown hook)."""
+        self._release.set()
+
+    def fired_count(self, stage: str | None = None) -> int:
+        """Total faults fired, optionally restricted to one stage."""
+        with self._lock:
+            return sum(
+                f.fired
+                for f in self._faults
+                if stage is None or f.stage == stage
+            )

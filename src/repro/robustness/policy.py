@@ -1,0 +1,141 @@
+"""Execution policies for supervised audit stages.
+
+An :class:`ExecutionPolicy` declares how much failure a run tolerates
+before it stops being evidence: per-stage wall-clock deadlines, retry
+budgets for transient faults (a :class:`~repro.exceptions.ConvergenceError`
+from a model fit or a resampling test is worth retrying; a
+:class:`~repro.exceptions.SchemaError` is not), a run-wide failure
+budget, and fail-open vs fail-closed semantics.
+
+The paper's framing makes the stakes concrete: an audit destined for a
+compliance dossier must either complete, or degrade *visibly* — a policy
+is the machine-readable version of that requirement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.exceptions import ConvergenceError, ValidationError
+
+__all__ = ["ExecutionPolicy", "TRANSIENT_ERRORS"]
+
+#: exception types retried by default — failures that can genuinely
+#: succeed on a second attempt (iterative fits, resampling draws, I/O).
+TRANSIENT_ERRORS: tuple = (ConvergenceError, OSError, TimeoutError)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How one stage (or a whole run) is supervised.
+
+    Parameters
+    ----------
+    deadline:
+        Per-stage wall-clock budget in seconds; ``None`` disables the
+        deadline (and its worker-thread overhead) entirely.
+    max_retries:
+        Extra attempts granted to a stage that fails with one of
+        ``retryable``.  ``0`` means a single attempt.
+    backoff_base:
+        Sleep before the first retry, in seconds; doubles (times
+        ``backoff_factor``) on each subsequent retry, capped at
+        ``backoff_cap``.
+    retryable:
+        Exception types considered transient.  Anything else fails the
+        stage on first raise.
+    max_failures:
+        Run-wide failure budget.  When more than this many stages fail,
+        the supervising runner raises
+        :class:`~repro.exceptions.DegradedRunError` instead of carrying
+        on.  ``None`` disables the budget.
+    fail_fast:
+        Fail-closed semantics: the *first* stage failure aborts the run
+        with :class:`~repro.exceptions.DegradedRunError`.  The default is
+        fail-open — failures become recorded degradations and the run
+        continues.
+    sleep:
+        Injectable sleep function (tests replace it to keep backoff
+        instantaneous and deterministic).
+    """
+
+    deadline: float | None = None
+    max_retries: int = 0
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    retryable: tuple = TRANSIENT_ERRORS
+    max_failures: int | None = None
+    fail_fast: bool = False
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+    stage_overrides: Mapping[str, "ExecutionPolicy"] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self):
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValidationError("deadline must be positive or None")
+        if self.max_retries < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if self.max_failures is not None and self.max_failures < 0:
+            raise ValidationError("max_failures must be >= 0 or None")
+        if self.backoff_base < 0 or self.backoff_factor < 1:
+            raise ValidationError(
+                "backoff_base must be >= 0 and backoff_factor >= 1"
+            )
+
+    # -- derived -------------------------------------------------------------
+
+    def for_stage(self, stage: str) -> "ExecutionPolicy":
+        """Effective policy for a named stage.
+
+        Overrides are matched on the stage name's prefix up to the first
+        ``":"`` (``"audit:sex:equalized_odds"`` matches an ``"audit"``
+        override) and then on the full name, most specific winning.
+        """
+        if not self.stage_overrides:
+            return self
+        prefix = stage.split(":", 1)[0]
+        override = self.stage_overrides.get(stage) or self.stage_overrides.get(
+            prefix
+        )
+        return self if override is None else override
+
+    def backoff(self, retry_index: int) -> float:
+        """Sleep duration before retry number ``retry_index`` (0-based)."""
+        return min(
+            self.backoff_base * self.backoff_factor**retry_index,
+            self.backoff_cap,
+        )
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, tuple(self.retryable))
+
+    def with_overrides(self, **kwargs) -> "ExecutionPolicy":
+        """A copy of this policy with fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- presets -------------------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "ExecutionPolicy":
+        """Fail-open isolation, no deadline, no retries.
+
+        The zero-overhead baseline: faults are isolated and reported but
+        nothing is retried or timed.
+        """
+        return cls()
+
+    @classmethod
+    def resilient(
+        cls, deadline: float | None = 30.0, max_retries: int = 2
+    ) -> "ExecutionPolicy":
+        """Retry transient faults, enforce a per-stage deadline."""
+        return cls(deadline=deadline, max_retries=max_retries)
+
+    @classmethod
+    def strict(cls, deadline: float | None = None) -> "ExecutionPolicy":
+        """Fail-closed: any stage failure aborts the whole run."""
+        return cls(deadline=deadline, fail_fast=True)

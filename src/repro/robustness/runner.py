@@ -1,0 +1,207 @@
+"""Supervised stage execution: isolation, deadlines, retries, budgets.
+
+A :class:`StageRunner` runs each unit of audit work as a *stage*: the
+stage's exceptions are captured (with traceback) instead of propagating,
+transient failures are retried with exponential backoff, a wall-clock
+deadline cuts off hangs, and a run-wide failure budget decides when
+"degraded" must become "aborted".  The runner's
+:attr:`~StageRunner.degradations` list is the audit trail of everything
+that went wrong — it feeds the ``degradations`` section of a
+:class:`~repro.workflow.ComplianceDossier`.
+
+Deadlines are enforced with a worker thread: Python cannot kill a stuck
+thread, so a timed-out stage is *abandoned* (daemon thread) and reported
+as a :class:`~repro.exceptions.StageTimeoutError`.  Stages should
+therefore be side-effect-free or idempotent — which audit metric
+evaluations are.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import (
+    DegradedRunError,
+    RetryExhaustedError,
+    StageTimeoutError,
+)
+from repro.robustness.policy import ExecutionPolicy
+
+__all__ = ["StageOutcome", "StageRunner"]
+
+
+@dataclass
+class StageOutcome:
+    """What happened to one supervised stage.
+
+    ``status`` is ``"ok"``, ``"error"`` (exception captured), or
+    ``"timeout"`` (deadline exceeded; the worker was abandoned).
+    """
+
+    stage: str
+    status: str
+    value: object = None
+    error: str = ""
+    error_type: str = ""
+    traceback: str = ""
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        """JSON-able summary (value omitted — it may not serialise)."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+class StageRunner:
+    """Run callables as supervised stages under an execution policy.
+
+    Parameters
+    ----------
+    policy:
+        The run-level :class:`ExecutionPolicy` (stage overrides apply
+        per stage; ``fail_fast`` / ``max_failures`` always read from the
+        run-level policy).
+    faults:
+        Optional :class:`~repro.robustness.faults.FaultInjector` whose
+        scripted faults fire inside each stage — the chaos-testing hook.
+    """
+
+    def __init__(
+        self,
+        policy: ExecutionPolicy | None = None,
+        faults=None,
+    ):
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.faults = faults
+        self.outcomes: list[StageOutcome] = []
+        self._failures = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def failures(self) -> int:
+        """Number of non-ok stages so far."""
+        return self._failures
+
+    @property
+    def degradations(self) -> list[dict]:
+        """JSON-able records of every non-ok stage, in run order."""
+        return [o.to_dict() for o in self.outcomes if not o.ok]
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, stage: str, fn: Callable, *args, **kwargs) -> StageOutcome:
+        """Execute ``fn`` as the named stage and record the outcome.
+
+        Never raises the stage's own exception; raises only
+        :class:`~repro.exceptions.DegradedRunError` when the run-level
+        policy's failure budget (or fail-closed semantics) says the run
+        must stop.
+        """
+        policy = self.policy.for_stage(stage)
+        call = self.faults.wrap(stage, fn) if self.faults is not None else fn
+        start = time.perf_counter()
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value = self._call(stage, call, args, kwargs, policy.deadline)
+            except StageTimeoutError as exc:
+                outcome = StageOutcome(
+                    stage, "timeout",
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    attempts=attempts,
+                    elapsed=time.perf_counter() - start,
+                )
+                break
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                if policy.is_retryable(exc) and attempts <= policy.max_retries:
+                    policy.sleep(policy.backoff(attempts - 1))
+                    continue
+                if policy.is_retryable(exc) and policy.max_retries > 0:
+                    exc = RetryExhaustedError(
+                        f"stage {stage!r} still failing after {attempts} "
+                        f"attempts: {exc}",
+                        stage=stage, attempts=attempts, last_error=exc,
+                    )
+                outcome = StageOutcome(
+                    stage, "error",
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    traceback=traceback_module.format_exc(),
+                    attempts=attempts,
+                    elapsed=time.perf_counter() - start,
+                )
+                break
+            else:
+                outcome = StageOutcome(
+                    stage, "ok", value=value, attempts=attempts,
+                    elapsed=time.perf_counter() - start,
+                )
+                break
+        self.outcomes.append(outcome)
+        if not outcome.ok:
+            self._failures += 1
+            self._enforce_budget(outcome)
+        return outcome
+
+    def _call(self, stage, fn, args, kwargs, deadline):
+        """One attempt, under the stage deadline (if any)."""
+        if deadline is None:
+            return fn(*args, **kwargs)
+        box: dict = {}
+        done = threading.Event()
+
+        def work():
+            try:
+                box["value"] = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — relayed below
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=work, daemon=True, name=f"stage:{stage}"
+        )
+        worker.start()
+        if not done.wait(deadline):
+            raise StageTimeoutError(
+                f"stage {stage!r} exceeded its {deadline:g}s deadline "
+                "and was abandoned",
+                stage=stage, deadline=deadline,
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    def _enforce_budget(self, outcome: StageOutcome) -> None:
+        if self.policy.fail_fast:
+            raise DegradedRunError(
+                f"stage {outcome.stage!r} failed under fail-closed policy: "
+                f"{outcome.error}",
+                outcomes=self.degradations,
+            )
+        budget = self.policy.max_failures
+        if budget is not None and self._failures > budget:
+            raise DegradedRunError(
+                f"failure budget exhausted: {self._failures} stages failed "
+                f"(budget {budget}); last: {outcome.stage!r} — "
+                f"{outcome.error}",
+                outcomes=self.degradations,
+            )

@@ -12,10 +12,19 @@ Two complementary strategies:
   outputs over the protected attributes and read the most disparate
   leaves as candidate subgroups.  Scales past the exponential enumeration
   wall at the cost of completeness.
+
+The exhaustive scan is *anytime*: pass ``checkpoint_path`` and it
+persists an atomic JSON checkpoint every ``checkpoint_every`` subgroups,
+so a killed enumeration resumed with ``resume=True`` picks up from its
+last frontier and produces the identical finding set as an uninterrupted
+run.  Checkpoints carry a fingerprint of the run configuration and are
+refused (``CheckpointError``) when data or parameters changed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,9 +35,10 @@ from repro._validation import (
     check_probability,
 )
 from repro.data.dataset import TabularDataset
-from repro.exceptions import AuditError
+from repro.exceptions import AuditError, CheckpointError
 from repro.models.preprocessing import OneHotEncoder
 from repro.models.tree import DecisionTree
+from repro.robustness.checkpoint import load_checkpoint, save_checkpoint
 from repro.stats.tests import two_proportion_z_test, wilson_interval
 from repro.subgroup.enumeration import Subgroup, enumerate_subgroups
 
@@ -73,6 +83,80 @@ class SubgroupFinding:
         )
 
 
+def _jsonable(value):
+    """Coerce numpy scalars to native Python for checkpoint payloads."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
+
+
+def _finding_to_payload(finding: SubgroupFinding) -> dict:
+    return {
+        "conditions": [
+            [attribute, _jsonable(value)]
+            for attribute, value in finding.subgroup.conditions
+        ],
+        "size": finding.subgroup.size,
+        "rate": finding.rate,
+        "complement_rate": finding.complement_rate,
+        "gap": finding.gap,
+        "ci_low": finding.ci_low,
+        "ci_high": finding.ci_high,
+        "p_value": finding.p_value,
+    }
+
+
+def _finding_from_payload(payload: dict, dataset: TabularDataset) -> SubgroupFinding:
+    conditions = tuple(
+        (attribute, value) for attribute, value in payload["conditions"]
+    )
+    mask = np.ones(dataset.n_rows, dtype=bool)
+    for attribute, value in conditions:
+        mask &= dataset.column(attribute) == value
+    return SubgroupFinding(
+        subgroup=Subgroup(
+            conditions=conditions, size=int(payload["size"]), mask=mask
+        ),
+        rate=float(payload["rate"]),
+        complement_rate=float(payload["complement_rate"]),
+        gap=float(payload["gap"]),
+        ci_low=float(payload["ci_low"]),
+        ci_high=float(payload["ci_high"]),
+        p_value=float(payload["p_value"]),
+    )
+
+
+def _scan_fingerprint(
+    predictions: np.ndarray,
+    dataset: TabularDataset,
+    attributes: list[str],
+    max_order: int,
+    min_size: int,
+) -> str:
+    """Hash of everything that determines the scan's enumeration order
+    and results — a checkpoint from a different run must not resume."""
+    digest = hashlib.sha256()
+    digest.update(
+        json.dumps(
+            {
+                "n_rows": dataset.n_rows,
+                "attributes": list(attributes),
+                "max_order": max_order,
+                "min_size": min_size,
+            },
+            sort_keys=True,
+        ).encode()
+    )
+    digest.update(np.ascontiguousarray(predictions).tobytes())
+    for attribute in attributes:
+        digest.update(np.asarray(dataset.column(attribute)).tobytes())
+    return digest.hexdigest()
+
+
 def audit_subgroups(
     predictions,
     dataset: TabularDataset,
@@ -80,6 +164,10 @@ def audit_subgroups(
     max_order: int = 2,
     min_size: int = 10,
     alpha: float = 0.05,
+    checkpoint_path=None,
+    checkpoint_every: int = 64,
+    resume: bool = False,
+    on_progress=None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
 
@@ -89,41 +177,104 @@ def audit_subgroups(
     the paper's Section IV.C position is that findings on such groups are
     statistically meaningless, so we surface the threshold rather than
     the noise.
+
+    Parameters
+    ----------
+    checkpoint_path:
+        When given, an atomic JSON checkpoint of the scan frontier is
+        written here every ``checkpoint_every`` subgroups, making the
+        scan *anytime* — a killed run loses at most one checkpoint
+        interval of work.
+    resume:
+        Restart from the checkpoint at ``checkpoint_path``.  A missing
+        checkpoint starts a fresh scan; a corrupt one, or one written by
+        a different configuration/dataset, raises
+        :class:`~repro.exceptions.CheckpointError` rather than silently
+        mixing runs.
+    on_progress:
+        Optional callable ``(evaluated, total)`` invoked after each
+        subgroup — a cancellation/reporting hook for long scans.
     """
     predictions = check_binary_array(predictions, "predictions")
     if len(predictions) != dataset.n_rows:
         raise AuditError("predictions length does not match dataset")
     check_probability(alpha, "alpha")
+    check_positive_int(checkpoint_every, "checkpoint_every")
     if attributes is None:
         attributes = dataset.schema.protected_names
     if not attributes:
         raise AuditError("no attributes to audit")
+    if resume and checkpoint_path is None:
+        raise CheckpointError("resume=True requires a checkpoint_path")
 
-    findings = []
-    for subgroup in enumerate_subgroups(
+    subgroups = enumerate_subgroups(
         dataset, attributes, max_order=max_order, min_size=min_size
-    ):
+    )
+    fingerprint = ""
+    if checkpoint_path is not None:
+        fingerprint = _scan_fingerprint(
+            predictions, dataset, attributes, max_order, min_size
+        )
+
+    start = 0
+    findings: list[SubgroupFinding] = []
+    if resume:
+        from pathlib import Path
+
+        # A missing checkpoint means nothing was saved yet: fresh scan.
+        # A corrupt or foreign checkpoint raises — never mix runs.
+        payload = (
+            load_checkpoint(checkpoint_path, fingerprint)
+            if Path(checkpoint_path).exists()
+            else None
+        )
+        if payload is not None:
+            start = int(payload["next_index"])
+            findings = [
+                _finding_from_payload(entry, dataset)
+                for entry in payload["findings"]
+            ]
+
+    for index in range(start, len(subgroups)):
+        subgroup = subgroups[index]
         inside = predictions[subgroup.mask]
         outside = predictions[~subgroup.mask]
-        if len(outside) == 0:
-            continue
-        rate = float(inside.mean())
-        complement = float(outside.mean())
-        test = two_proportion_z_test(
-            int(inside.sum()), len(inside), int(outside.sum()), len(outside)
-        )
-        lo, hi = wilson_interval(int(inside.sum()), len(inside))
-        findings.append(
-            SubgroupFinding(
-                subgroup=subgroup,
-                rate=rate,
-                complement_rate=complement,
-                gap=rate - complement,
-                ci_low=lo,
-                ci_high=hi,
-                p_value=test.p_value,
+        if len(outside) > 0:
+            rate = float(inside.mean())
+            complement = float(outside.mean())
+            test = two_proportion_z_test(
+                int(inside.sum()), len(inside),
+                int(outside.sum()), len(outside),
             )
-        )
+            lo, hi = wilson_interval(int(inside.sum()), len(inside))
+            findings.append(
+                SubgroupFinding(
+                    subgroup=subgroup,
+                    rate=rate,
+                    complement_rate=complement,
+                    gap=rate - complement,
+                    ci_low=lo,
+                    ci_high=hi,
+                    p_value=test.p_value,
+                )
+            )
+        evaluated = index + 1
+        if checkpoint_path is not None and (
+            evaluated % checkpoint_every == 0 or evaluated == len(subgroups)
+        ):
+            save_checkpoint(
+                checkpoint_path,
+                {
+                    "next_index": evaluated,
+                    "total": len(subgroups),
+                    "complete": evaluated == len(subgroups),
+                    "findings": [_finding_to_payload(f) for f in findings],
+                },
+                fingerprint=fingerprint,
+            )
+        if on_progress is not None:
+            on_progress(evaluated, len(subgroups))
+
     findings.sort(key=lambda f: (-abs(f.gap), f.subgroup.label()))
     return findings
 

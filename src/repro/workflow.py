@@ -21,7 +21,7 @@ guideline as a function.  Given a use-case profile, a dataset, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.audit import AuditReport, FairnessAudit
 from repro.core.criteria import (
@@ -33,6 +33,7 @@ from repro.core.legal import statutes_protecting
 from repro.core.report import render_markdown
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError
+from repro.robustness import ExecutionPolicy, StageRunner
 
 __all__ = ["ComplianceDossier", "run_compliance_workflow"]
 
@@ -48,6 +49,7 @@ class ComplianceDossier:
     audit: AuditReport
     primary_metric: str
     primary_finding_satisfied: bool | None
+    degradations: list = field(default_factory=list)
 
     @property
     def verdict(self) -> str:
@@ -56,6 +58,16 @@ class ComplianceDossier:
         if self.primary_finding_satisfied is None:
             return "inconclusive"
         return "pass" if self.primary_finding_satisfied else "fail"
+
+    @property
+    def degraded(self) -> bool:
+        """True when any workflow or audit stage errored or timed out.
+
+        A degraded dossier is partial evidence: every missing piece is
+        itemised in :attr:`degradations` so a reviewer can see exactly
+        what the verdict does — and does not — rest on.
+        """
+        return bool(self.degradations)
 
     def to_markdown(self) -> str:
         """Render the dossier as one reviewable document."""
@@ -67,6 +79,25 @@ class ComplianceDossier:
             f"- primary metric (criteria-selected): `{self.primary_metric}`",
             f"- **verdict on primary metric: {self.verdict.upper()}**",
             "",
+        ]
+        if self.degraded:
+            lines.append(
+                "## Degradations (partial evidence — paper §V)"
+            )
+            lines.append("")
+            lines.append(
+                "_The following stages errored, timed out, or were "
+                "skipped; their results are missing from this dossier._"
+            )
+            lines.append("")
+            for entry in self.degradations:
+                lines.append(
+                    f"- stage `{entry['stage']}`: "
+                    f"{entry['status'].upper()} ({entry['error_type']}) — "
+                    f"{entry['error']} [attempts={entry['attempts']}]"
+                )
+            lines.append("")
+        lines += [
             "## Applicable statutes (paper §II)",
             "",
         ]
@@ -110,20 +141,8 @@ class ComplianceDossier:
         return "\n".join(lines)
 
 
-def run_compliance_workflow(
-    dataset: TabularDataset,
-    profile: UseCaseProfile,
-    predictions=None,
-    probabilities=None,
-    tolerance: float = 0.05,
-    strata: str | None = None,
-) -> ComplianceDossier:
-    """Execute the full Section V workflow on one deployment.
-
-    The *primary metric* is the highest-ranked feasible recommendation
-    that the audit battery can actually evaluate on this dataset; its
-    verdict headlines the dossier.
-    """
+def _resolve_statutes(dataset: TabularDataset, profile: UseCaseProfile) -> dict:
+    """Applicable statutes per protected attribute (paper §II)."""
     statutes = {}
     for attribute in dataset.schema.protected_names:
         column = dataset.schema[attribute]
@@ -146,19 +165,92 @@ def run_compliance_workflow(
                 hits.append(statute)
                 seen.add(statute.key)
         statutes[attribute] = hits
+    return statutes
 
-    recommendations = recommend_metrics(profile)
-    risks = risk_flags(profile)
 
-    audit = FairnessAudit(
-        dataset,
-        predictions=predictions,
-        probabilities=probabilities,
-        tolerance=tolerance,
-        strata=strata,
-    ).run()
+def run_compliance_workflow(
+    dataset: TabularDataset,
+    profile: UseCaseProfile,
+    predictions=None,
+    probabilities=None,
+    tolerance: float = 0.05,
+    strata: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    faults=None,
+) -> ComplianceDossier:
+    """Execute the full Section V workflow on one deployment.
 
-    primary_metric, satisfied = _primary_verdict(recommendations, audit)
+    The *primary metric* is the highest-ranked feasible recommendation
+    that the audit battery can actually evaluate on this dataset; its
+    verdict headlines the dossier.
+
+    Every stage — statute resolution, metric recommendation, risk flags,
+    the audit battery, the primary verdict — runs supervised under
+    ``policy``.  Under the default fail-open policy a failed stage is
+    recorded in the dossier's ``degradations`` and the workflow carries
+    on with that piece missing; in particular, when the primary metric's
+    stage failed the verdict becomes ``"inconclusive"`` rather than a
+    crash.  A fail-closed policy (``fail_fast=True``) raises
+    :class:`~repro.exceptions.DegradedRunError` on the first failure
+    instead.  ``faults`` is the chaos-testing injection hook, threaded
+    through to the audit battery's per-metric stages.
+    """
+    runner = StageRunner(
+        policy if policy is not None else ExecutionPolicy(), faults=faults
+    )
+
+    outcome = runner.run("statutes", _resolve_statutes, dataset, profile)
+    statutes = (
+        outcome.value
+        if outcome.ok
+        else {a: [] for a in dataset.schema.protected_names}
+    )
+
+    outcome = runner.run("recommendations", recommend_metrics, profile)
+    recommendations = outcome.value if outcome.ok else []
+
+    outcome = runner.run("risk_flags", risk_flags, profile)
+    risks = outcome.value if outcome.ok else []
+
+    def _run_audit() -> AuditReport:
+        return FairnessAudit(
+            dataset,
+            predictions=predictions,
+            probabilities=probabilities,
+            tolerance=tolerance,
+            strata=strata,
+            policy=policy,
+            faults=faults,
+        ).run()
+
+    outcome = runner.run("audit", _run_audit)
+    if outcome.ok:
+        audit = outcome.value
+    else:
+        audit = AuditReport(
+            dataset_summary={
+                "n_rows": dataset.n_rows,
+                "protected_attributes": list(dataset.schema.protected_names),
+                "audits_labels": predictions is None,
+                "strata": strata,
+            },
+            tolerance=tolerance,
+        )
+
+    outcome = runner.run(
+        "primary_verdict", _primary_verdict, recommendations, audit
+    )
+    if outcome.ok:
+        primary_metric, satisfied = outcome.value
+    else:
+        # The criteria-selected metric could not be evaluated: the paper's
+        # position is that missing evidence yields "inconclusive", never a
+        # silently-defaulted verdict.
+        primary_metric = next(
+            (r.metric for r in recommendations if r.feasible), "unknown"
+        )
+        satisfied = None
+
     return ComplianceDossier(
         profile=profile,
         statutes=statutes,
@@ -167,6 +259,7 @@ def run_compliance_workflow(
         audit=audit,
         primary_metric=primary_metric,
         primary_finding_satisfied=satisfied,
+        degradations=runner.degradations + list(audit.degradations),
     )
 
 

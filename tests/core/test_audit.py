@@ -185,3 +185,86 @@ class TestPredictionColumnAudit:
     def test_missing_column_raises(self, biased_hiring):
         with pytest.raises(AuditError, match="no column"):
             FairnessAudit.from_prediction_column(biased_hiring)
+
+
+def _singleton_strata_dataset():
+    """A strata column in which every stratum under-represents a group,
+    so all conditional metrics hit the sparse-subgroup path (IV.C)."""
+    from repro.data import Column, Schema, TabularDataset
+
+    schema = Schema((
+        Column(
+            "sex", kind="categorical", role="protected",
+            categories=("male", "female"),
+        ),
+        Column("dept", kind="categorical", categories=("a", "b")),
+        Column("hired", kind="binary", role="label"),
+    ))
+    # dept=a holds every male and one female; dept=b the remaining
+    # females: each stratum has a singleton (or absent) group.
+    return TabularDataset(schema, {
+        "sex": ["male"] * 10 + ["female"] * 10,
+        "dept": ["a"] * 11 + ["b"] * 9,
+        "hired": [1, 0] * 10,
+    })
+
+
+class TestSingletonStrataSkipPath:
+    """Regression: sparse strata must yield skipped findings, never an
+    uncaught exception (the existing skip path, now under supervision)."""
+
+    def test_conditional_metrics_skipped_not_raised(self):
+        report = FairnessAudit(_singleton_strata_dataset(), strata="dept").run()
+        for metric in (
+            "conditional_statistical_parity",
+            "conditional_demographic_disparity",
+        ):
+            finding = report.finding("sex", metric)
+            assert finding.status == "skipped"
+            assert "skipped" in finding.reason or "stratum" in finding.reason
+
+    def test_no_error_findings_from_sparse_strata(self):
+        report = FairnessAudit(_singleton_strata_dataset(), strata="dept").run()
+        assert report.errors() == []
+        assert not report.degraded
+
+    def test_skip_reason_rendered_in_markdown(self):
+        report = FairnessAudit(_singleton_strata_dataset(), strata="dept").run()
+        text = render_markdown(report)
+        assert "SKIPPED" in text
+
+
+class TestInsufficientDataSurfacing:
+    """The structured ``group``/``count`` fields of
+    :class:`InsufficientDataError` must reach the finding and report."""
+
+    def _one_sided_dataset(self):
+        from repro.data import Column, Schema, TabularDataset
+
+        schema = Schema((
+            Column(
+                "sex", kind="categorical", role="protected",
+                categories=("male", "female"),
+            ),
+            Column("hired", kind="binary", role="label"),
+        ))
+        # every female outcome is positive: equalized_odds cannot
+        # estimate her false-positive rate (no actual negatives)
+        return TabularDataset(schema, {
+            "sex": ["male"] * 8 + ["female"] * 8,
+            "hired": [1, 0] * 4 + [1] * 8,
+        })
+
+    def test_group_and_count_in_reason(self):
+        data = self._one_sided_dataset()
+        predictions = [1, 0] * 8
+        report = FairnessAudit(data, predictions=predictions).run()
+        finding = report.finding("sex", "equalized_odds")
+        assert finding.status == "skipped"
+        assert "group=female" in finding.reason
+        assert "n=" in finding.reason
+
+    def test_group_reaches_markdown_report(self):
+        data = self._one_sided_dataset()
+        report = FairnessAudit(data, predictions=[1, 0] * 8).run()
+        assert "group=female" in render_markdown(report)

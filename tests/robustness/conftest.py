@@ -1,0 +1,14 @@
+"""Shared fixtures for the chaos-test suite."""
+
+import pytest
+
+from repro.robustness import FaultInjector
+
+
+@pytest.fixture
+def fault_injector():
+    """A fresh injector whose pending hangs are released at teardown, so
+    no abandoned worker thread outlives its test sleeping."""
+    injector = FaultInjector()
+    yield injector
+    injector.release()

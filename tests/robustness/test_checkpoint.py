@@ -1,0 +1,84 @@
+"""Tests for atomic checkpoint persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.robustness import (
+    atomic_write_text,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_overwrites_atomically(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "first")
+        atomic_write_text(path, "second")
+        assert path.read_text() == "second"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "x")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+
+class TestRoundtrip:
+    def test_payload_survives(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, {"next_index": 7, "findings": [1, 2]}, "fp")
+        payload = load_checkpoint(path, "fp")
+        assert payload == {"next_index": 7, "findings": [1, 2]}
+
+    def test_fingerprint_not_checked_when_omitted(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, {"a": 1}, "fp")
+        assert load_checkpoint(path) == {"a": 1}
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.json")
+
+    def test_truncated_file_reports_offset(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, {"next_index": 3}, "fp")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="byte offset"):
+            load_checkpoint(path)
+
+    def test_non_envelope_json_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(CheckpointError, match="envelope"):
+            load_checkpoint(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        path.write_text(json.dumps(
+            {"version": 999, "fingerprint": "fp", "payload": {}}
+        ))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, {"a": 1}, "run-A")
+        with pytest.raises(CheckpointError, match="different run"):
+            load_checkpoint(path, "run-B")
+
+    def test_unserialisable_payload_rejected(self, tmp_path):
+        path = tmp_path / "run.ckpt.json"
+        with pytest.raises(CheckpointError, match="JSON"):
+            save_checkpoint(path, {"bad": object()}, "fp")
+        assert not path.exists()

@@ -1,0 +1,97 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.robustness import Fault, FaultInjector
+
+
+class TestFaultSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="kind"):
+            Fault("stage", kind="explode")
+
+    def test_error_fault_requires_exception(self):
+        with pytest.raises(ValidationError, match="exception"):
+            Fault("stage", kind="error")
+
+    def test_corrupt_fault_requires_corruptor(self):
+        with pytest.raises(ValidationError, match="corruptor"):
+            Fault("stage", kind="corrupt")
+
+
+class TestDeterminism:
+    def test_fires_exactly_times(self, fault_injector):
+        fault_injector.inject_error("s", RuntimeError("x"), times=2)
+        fired = 0
+        for _ in range(5):
+            try:
+                fault_injector.fire("s")
+            except RuntimeError:
+                fired += 1
+        assert fired == 2
+        assert fault_injector.fired_count("s") == 2
+
+    def test_after_skips_initial_calls(self, fault_injector):
+        fault_injector.inject_error("s", RuntimeError("x"), times=1, after=2)
+        outcomes = []
+        for _ in range(4):
+            try:
+                fault_injector.fire("s")
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("boom")
+        assert outcomes == ["ok", "ok", "boom", "ok"]
+
+    def test_exception_factory_called_per_fire(self, fault_injector):
+        fault_injector.inject_error(
+            "s", lambda: ValueError("fresh"), times=2
+        )
+        first = pytest.raises(ValueError, fault_injector.fire, "s").value
+        second = pytest.raises(ValueError, fault_injector.fire, "s").value
+        assert first is not second
+
+    def test_unmatched_stage_untouched(self, fault_injector):
+        fault_injector.inject_error("other", RuntimeError("x"))
+        fault_injector.fire("s")  # no raise
+        assert fault_injector.fired_count() == 0
+
+
+class TestStageMatching:
+    def test_prefix_matches_sub_stages(self, fault_injector):
+        fault_injector.inject_error("audit", RuntimeError("x"), times=1)
+        with pytest.raises(RuntimeError):
+            fault_injector.fire("audit:sex:demographic_parity")
+
+    def test_exact_name_matches(self, fault_injector):
+        fault_injector.inject_error(
+            "audit:sex:equalized_odds", RuntimeError("x"), times=1
+        )
+        fault_injector.fire("audit:sex:demographic_parity")  # no raise
+        with pytest.raises(RuntimeError):
+            fault_injector.fire("audit:sex:equalized_odds")
+
+
+class TestCorruptionAndWrap:
+    def test_transform_applies_corruptor(self, fault_injector):
+        fault_injector.inject_corruption(
+            "s", lambda v: {**v, "rate": float("nan")}, times=1
+        )
+        out = fault_injector.transform("s", {"rate": 0.5})
+        assert out["rate"] != out["rate"]  # NaN
+        untouched = fault_injector.transform("s", {"rate": 0.5})
+        assert untouched["rate"] == 0.5
+
+    def test_wrap_combines_fire_and_transform(self, fault_injector):
+        fault_injector.inject_corruption("s", lambda v: -v, times=None)
+        wrapped = fault_injector.wrap("s", lambda x: x + 1)
+        assert wrapped(1) == -2
+
+    def test_release_unblocks_hangs(self, fault_injector):
+        import time
+
+        fault_injector.inject_hang("s", seconds=30.0)
+        fault_injector.release()
+        start = time.perf_counter()
+        fault_injector.fire("s")
+        assert time.perf_counter() - start < 1.0

@@ -1,0 +1,99 @@
+"""Tests for :class:`repro.robustness.ExecutionPolicy`."""
+
+import pytest
+
+from repro.exceptions import ConvergenceError, SchemaError, ValidationError
+from repro.robustness import ExecutionPolicy
+
+
+class TestValidation:
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(deadline=-1.0)
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(deadline=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(max_retries=-1)
+
+    def test_negative_failure_budget_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(max_failures=-2)
+
+    def test_backoff_factor_below_one_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionPolicy(backoff_factor=0.5)
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        policy = ExecutionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_cap=10.0
+        )
+        assert policy.backoff(0) == pytest.approx(0.1)
+        assert policy.backoff(1) == pytest.approx(0.2)
+        assert policy.backoff(2) == pytest.approx(0.4)
+
+    def test_cap_applies(self):
+        policy = ExecutionPolicy(
+            backoff_base=1.0, backoff_factor=10.0, backoff_cap=3.0
+        )
+        assert policy.backoff(5) == 3.0
+
+
+class TestRetryability:
+    def test_convergence_error_is_transient(self):
+        assert ExecutionPolicy().is_retryable(ConvergenceError("x"))
+
+    def test_schema_error_is_not(self):
+        assert not ExecutionPolicy().is_retryable(SchemaError("x"))
+
+    def test_custom_retryable_set(self):
+        policy = ExecutionPolicy(retryable=(KeyError,))
+        assert policy.is_retryable(KeyError("x"))
+        assert not policy.is_retryable(ConvergenceError("x"))
+
+
+class TestStageOverrides:
+    def test_exact_match_wins(self):
+        special = ExecutionPolicy(max_retries=5)
+        policy = ExecutionPolicy(
+            stage_overrides={"audit:sex:equalized_odds": special}
+        )
+        assert policy.for_stage("audit:sex:equalized_odds") is special
+        assert policy.for_stage("audit:sex:demographic_parity") is policy
+
+    def test_prefix_match(self):
+        special = ExecutionPolicy(deadline=1.0)
+        policy = ExecutionPolicy(stage_overrides={"audit": special})
+        assert policy.for_stage("audit:race:predictive_parity") is special
+        assert policy.for_stage("statutes") is policy
+
+    def test_no_overrides_returns_self(self):
+        policy = ExecutionPolicy()
+        assert policy.for_stage("anything") is policy
+
+
+class TestPresets:
+    def test_default_is_fail_open(self):
+        policy = ExecutionPolicy.default()
+        assert not policy.fail_fast
+        assert policy.deadline is None
+        assert policy.max_retries == 0
+
+    def test_resilient_retries_with_deadline(self):
+        policy = ExecutionPolicy.resilient(deadline=5.0, max_retries=3)
+        assert policy.deadline == 5.0
+        assert policy.max_retries == 3
+
+    def test_strict_is_fail_closed(self):
+        assert ExecutionPolicy.strict().fail_fast
+
+    def test_with_overrides_copies(self):
+        base = ExecutionPolicy()
+        tweaked = base.with_overrides(max_retries=7)
+        assert tweaked.max_retries == 7
+        assert base.max_retries == 0

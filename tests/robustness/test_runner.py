@@ -1,0 +1,182 @@
+"""Tests for :class:`repro.robustness.StageRunner` supervision."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    DegradedRunError,
+    RetryExhaustedError,
+    StageTimeoutError,
+)
+from repro.robustness import ExecutionPolicy, StageRunner
+
+
+def no_sleep(_seconds):
+    pass
+
+
+class TestIsolation:
+    def test_ok_stage_returns_value(self):
+        runner = StageRunner()
+        outcome = runner.run("work", lambda: 21 * 2)
+        assert outcome.ok
+        assert outcome.value == 42
+        assert outcome.attempts == 1
+        assert runner.degradations == []
+
+    def test_raising_stage_is_captured(self):
+        runner = StageRunner()
+        outcome = runner.run("work", lambda: 1 / 0)
+        assert outcome.status == "error"
+        assert outcome.error_type == "ZeroDivisionError"
+        assert "ZeroDivisionError" in outcome.traceback
+        assert runner.failures == 1
+
+    def test_later_stages_still_run(self):
+        runner = StageRunner()
+        runner.run("bad", lambda: 1 / 0)
+        outcome = runner.run("good", lambda: "fine")
+        assert outcome.ok
+        assert [o.status for o in runner.outcomes] == ["error", "ok"]
+
+    def test_degradations_are_jsonable(self):
+        import json
+
+        runner = StageRunner()
+        runner.run("bad", lambda: 1 / 0)
+        text = json.dumps(runner.degradations)
+        assert "ZeroDivisionError" in text
+
+
+class TestRetries:
+    def test_transient_fault_retried_until_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConvergenceError("not yet")
+            return "converged"
+
+        runner = StageRunner(ExecutionPolicy(max_retries=2, sleep=no_sleep))
+        outcome = runner.run("fit", flaky)
+        assert outcome.ok
+        assert outcome.value == "converged"
+        assert outcome.attempts == 3
+
+    def test_retry_exhaustion_reported(self):
+        def always_fails():
+            raise ConvergenceError("never")
+
+        runner = StageRunner(ExecutionPolicy(max_retries=2, sleep=no_sleep))
+        outcome = runner.run("fit", always_fails)
+        assert outcome.status == "error"
+        assert outcome.error_type == "RetryExhaustedError"
+        assert outcome.attempts == 3
+
+    def test_non_transient_fault_not_retried(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise KeyError("config")
+
+        runner = StageRunner(ExecutionPolicy(max_retries=5, sleep=no_sleep))
+        outcome = runner.run("fit", broken)
+        assert calls["n"] == 1
+        assert outcome.error_type == "KeyError"
+
+    def test_backoff_sleeps_grow(self):
+        slept = []
+        policy = ExecutionPolicy(
+            max_retries=3, backoff_base=0.1, backoff_factor=2.0,
+            backoff_cap=10.0, sleep=slept.append,
+        )
+
+        def always_fails():
+            raise ConvergenceError("never")
+
+        StageRunner(policy).run("fit", always_fails)
+        assert slept == pytest.approx([0.1, 0.2, 0.4])
+
+
+class TestDeadlines:
+    def test_hang_cut_off(self, fault_injector):
+        fault_injector.inject_hang("slow", seconds=30.0)
+        runner = StageRunner(
+            ExecutionPolicy(deadline=0.2), faults=fault_injector
+        )
+        outcome = runner.run("slow", lambda: "never seen")
+        assert outcome.status == "timeout"
+        assert outcome.error_type == "StageTimeoutError"
+        assert outcome.elapsed < 5.0
+
+    def test_fast_stage_unaffected_by_deadline(self):
+        runner = StageRunner(ExecutionPolicy(deadline=5.0))
+        outcome = runner.run("quick", lambda: 7)
+        assert outcome.ok
+        assert outcome.value == 7
+
+    def test_exception_inside_deadline_thread_relayed(self):
+        runner = StageRunner(ExecutionPolicy(deadline=5.0))
+        outcome = runner.run("bad", lambda: 1 / 0)
+        assert outcome.status == "error"
+        assert outcome.error_type == "ZeroDivisionError"
+
+    def test_timeout_error_carries_stage_and_deadline(self):
+        try:
+            raise StageTimeoutError("m", stage="s", deadline=1.5)
+        except StageTimeoutError as exc:
+            assert exc.stage == "s"
+            assert exc.deadline == 1.5
+
+
+class TestBudgets:
+    def test_fail_fast_raises_immediately(self):
+        runner = StageRunner(ExecutionPolicy(fail_fast=True))
+        with pytest.raises(DegradedRunError) as info:
+            runner.run("bad", lambda: 1 / 0)
+        assert info.value.outcomes[0]["stage"] == "bad"
+
+    def test_failure_budget_allows_then_aborts(self):
+        runner = StageRunner(ExecutionPolicy(max_failures=2))
+        runner.run("bad1", lambda: 1 / 0)
+        runner.run("bad2", lambda: 1 / 0)
+        with pytest.raises(DegradedRunError, match="budget"):
+            runner.run("bad3", lambda: 1 / 0)
+
+    def test_ok_stages_do_not_consume_budget(self):
+        runner = StageRunner(ExecutionPolicy(max_failures=1))
+        for _ in range(5):
+            runner.run("good", lambda: 1)
+        runner.run("bad", lambda: 1 / 0)
+        assert runner.failures == 1
+
+
+class TestFaultWiring:
+    def test_injected_error_fires_once(self, fault_injector):
+        fault_injector.inject_error("stage", RuntimeError("chaos"), times=1)
+        runner = StageRunner(faults=fault_injector)
+        first = runner.run("stage", lambda: "ok")
+        second = runner.run("stage", lambda: "ok")
+        assert first.status == "error"
+        assert second.ok
+
+    def test_injected_transient_fault_retried(self, fault_injector):
+        fault_injector.inject_error(
+            "fit", lambda: ConvergenceError("transient"), times=2
+        )
+        runner = StageRunner(
+            ExecutionPolicy(max_retries=3, sleep=no_sleep),
+            faults=fault_injector,
+        )
+        outcome = runner.run("fit", lambda: "done")
+        assert outcome.ok
+        assert outcome.attempts == 3
+
+    def test_corruption_applied_to_value(self, fault_injector):
+        fault_injector.inject_corruption("stage", lambda v: None, times=1)
+        runner = StageRunner(faults=fault_injector)
+        outcome = runner.run("stage", lambda: {"real": "value"})
+        assert outcome.ok
+        assert outcome.value is None
