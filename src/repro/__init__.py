@@ -18,7 +18,15 @@ See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
 full system inventory.
 """
 
-from repro.core import (
+import logging as _logging
+
+# Library logging contract: modules log under the "repro" hierarchy and
+# the root "repro" logger carries a NullHandler, so embedding
+# applications hear nothing unless they (or the CLI's configure_logging)
+# attach a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+from repro.core import (  # noqa: E402 — the handler must exist first
     METRIC_CATALOG,
     AuditReport,
     ConditionalMetricResult,
@@ -52,9 +60,9 @@ from repro.data import (
     make_intersectional,
     make_recidivism,
 )
-from repro.workflow import ComplianceDossier, run_compliance_workflow
+from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -25,11 +25,18 @@ The audit-style subcommands accept an execution policy (``--deadline``
 seconds per stage, ``--retries`` for transient faults, ``--fail-fast``
 for fail-closed semantics); ``subgroups`` adds ``--checkpoint`` /
 ``--resume`` for anytime enumeration.
+
+Observability (see ``docs/observability.md``): global ``-v``/``-q``
+control log verbosity and ``--log-json`` switches stderr logging to
+JSON lines; the audit-style subcommands take ``--trace-out PATH`` to
+write a span trace of the run, and ``repro trace summarize PATH``
+renders a per-stage timing/retry table from such a file.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.core.audit import FairnessAudit
@@ -46,9 +53,12 @@ from repro.data.generators import (
 )
 from repro.data.io import load_dataset, save_dataset
 from repro.exceptions import ReproError
+from repro.observability import Tracer, configure_logging, use_tracer
 from repro.robustness import ExecutionPolicy
 
 __all__ = ["main", "build_parser", "EXIT_DEGRADED"]
+
+_LOG = logging.getLogger(__name__)
 
 #: exit code for "completed, but degraded" — distinct from both a clean
 #: pass (0) and a fairness violation (1) so CI can treat partial
@@ -83,6 +93,15 @@ def _add_policy_flags(sub) -> None:
     )
 
 
+def _add_trace_flag(sub) -> None:
+    """The observability flag shared by the audit-style subcommands."""
+    sub.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSON-lines span trace of the run here (one span "
+        "per audit stage; summarise with 'repro trace summarize PATH')",
+    )
+
+
 def _policy_from_args(args) -> ExecutionPolicy | None:
     """Build a policy from CLI flags; None when every flag is default."""
     if (
@@ -103,6 +122,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fairness auditing at the intersection of algorithms "
         "and law (ICDE 2024 workshop paper reproduction).",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase log verbosity (-v info, -vv debug); logs go to "
+        "stderr, never mixed into report output",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines (machine-readable stderr)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -127,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--format", choices=("markdown", "text", "json"),
                        default="markdown")
     _add_policy_flags(audit)
+    _add_trace_flag(audit)
 
     scan = sub.add_parser(
         "subgroups",
@@ -152,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--checkpoint-every", type=int, default=64)
     scan.add_argument("--resume", action="store_true",
                       help="resume from --checkpoint after a killed run")
+    _add_trace_flag(scan)
 
     rec = sub.add_parser("recommend",
                          help="rank fairness metrics for a use case")
@@ -195,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--format", choices=("markdown", "text", "json"),
                          default="markdown")
     _add_policy_flags(predict)
+    _add_trace_flag(predict)
 
     definition = sub.add_parser(
         "define", help="look up a legal/technical term from the paper"
@@ -218,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
     wf.add_argument("--no-reliable-labels", action="store_true")
     wf.add_argument("--proxy-risk", action="store_true")
     _add_policy_flags(wf)
+    _add_trace_flag(wf)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a trace file written with --trace-out",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summ = trace_sub.add_parser(
+        "summarize",
+        help="per-stage timing/retry table from a trace file",
+    )
+    summ.add_argument("path", help="JSON-lines trace written by --trace-out")
+    summ.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N stages with the largest total "
+                      "time (default: all)")
+    summ.add_argument("--group", action="store_true",
+                      help="group stages by prefix (all audit:* stages "
+                      "become one row)")
 
     return parser
 
@@ -390,6 +443,17 @@ def _cmd_define(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability import render_summary_table, summarize_trace
+
+    summaries = summarize_trace(args.path, group_prefix=args.group)
+    if not summaries:
+        print(f"trace {args.path} contains no spans")
+        return 0
+    print(render_summary_table(summaries, top=args.top))
+    return 0
+
+
 def _cmd_workflow(args) -> int:
     from repro.core.criteria import UseCaseProfile
     from repro.workflow import run_compliance_workflow
@@ -431,6 +495,7 @@ _COMMANDS = {
     "statutes": _cmd_statutes,
     "define": _cmd_define,
     "workflow": _cmd_workflow,
+    "trace": _cmd_trace,
 }
 
 
@@ -438,19 +503,44 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        verbosity=-1 if args.quiet else args.verbose,
+        json_lines=args.log_json,
+    )
     import json
 
+    trace_out = getattr(args, "trace_out", None)
+    tracer = Tracer() if trace_out else None
+    snapshot: dict = {}
     try:
-        return _COMMANDS[args.command](args)
+        if tracer is None:
+            return _COMMANDS[args.command](args)
+        # A traced run gets its own metrics registry so the snapshot in
+        # the trace file covers exactly this invocation.
+        from repro.observability import use_metrics
+
+        with use_tracer(tracer), use_metrics() as registry:
+            try:
+                return _COMMANDS[args.command](args)
+            finally:
+                snapshot = registry.snapshot()
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error("%s", exc)
         return 2
     except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _LOG.error("%s", exc)
         return 2
     except json.JSONDecodeError as exc:
-        print(f"error: malformed JSON input: {exc}", file=sys.stderr)
+        _LOG.error("malformed JSON input: %s", exc)
         return 2
+    finally:
+        if tracer is not None:
+            # The trace is evidence: write it even when the run degraded
+            # or aborted, with the metrics snapshot appended.
+            tracer.write(
+                trace_out, extra=[{"kind": "metrics", **snapshot}]
+            )
+            _LOG.info("trace written to %s", trace_out)
 
 
 if __name__ == "__main__":  # pragma: no cover

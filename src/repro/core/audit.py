@@ -102,6 +102,7 @@ class AuditReport:
     intersectional_findings: list = field(default_factory=list)
     power_notes: dict = field(default_factory=dict)
     degradations: list = field(default_factory=list)
+    provenance: object = None
 
     def all_findings(self) -> list[AuditFinding]:
         return list(self.findings) + list(self.intersectional_findings)
@@ -202,6 +203,12 @@ class FairnessAudit:
     faults:
         Optional :class:`~repro.robustness.FaultInjector` fired inside
         each supervised stage (chaos-testing hook).
+    tracer:
+        Optional :class:`~repro.observability.Tracer`.  Defaults to the
+        process-current tracer (a no-op unless one was installed with
+        :func:`~repro.observability.set_tracer`), so instrumentation is
+        free when tracing is off.  When tracing, each (attribute,
+        metric) stage becomes a child span of one ``audit.run`` root.
     """
 
     def __init__(
@@ -214,6 +221,7 @@ class FairnessAudit:
         min_stratum_group_size: int = 5,
         policy: ExecutionPolicy | None = None,
         faults=None,
+        tracer=None,
     ):
         self.dataset = dataset
         self.protected_attributes = dataset.schema.protected_names
@@ -249,6 +257,7 @@ class FairnessAudit:
         self.min_stratum_group_size = int(min_stratum_group_size)
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.faults = faults
+        self.tracer = tracer
 
     @classmethod
     def from_prediction_column(
@@ -384,6 +393,10 @@ class FairnessAudit:
         exhausted ``max_failures`` budget) raises, as
         :class:`~repro.exceptions.DegradedRunError`.
         """
+        from repro.observability.provenance import ProvenanceRecord
+        from repro.observability.trace import get_tracer
+
+        tracer = self.tracer if self.tracer is not None else get_tracer()
         report = AuditReport(
             dataset_summary={
                 "n_rows": self.dataset.n_rows,
@@ -393,44 +406,54 @@ class FairnessAudit:
             },
             tolerance=self.tolerance,
         )
-        runner = StageRunner(self.policy, faults=self.faults)
-        for attribute in self.protected_attributes:
-            for metric in metrics:
+        runner = StageRunner(self.policy, faults=self.faults, tracer=tracer)
+        with tracer.span(
+            "audit.run",
+            n_rows=self.dataset.n_rows,
+            attributes=list(self.protected_attributes),
+            tolerance=self.tolerance,
+            audits_labels=self.audits_labels,
+        ):
+            for attribute in self.protected_attributes:
+                for metric in metrics:
+                    outcome = runner.run(
+                        f"audit:{attribute}:{metric}",
+                        self._evaluate, metric, attribute,
+                    )
+                    if outcome.ok:
+                        report.findings.append(outcome.value)
+                    else:
+                        report.findings.append(
+                            AuditFinding(
+                                attribute, metric, "error",
+                                reason=f"{outcome.error_type}: {outcome.error}",
+                                traceback=outcome.traceback,
+                            )
+                        )
+                note = runner.run(
+                    f"power:{attribute}", self._power_note, attribute
+                )
+                report.power_notes[attribute] = note.value if note.ok else {}
+
+            if len(self.protected_attributes) >= 2:
+                name = "×".join(self.protected_attributes)
                 outcome = runner.run(
-                    f"audit:{attribute}:{metric}",
-                    self._evaluate, metric, attribute,
+                    "audit:intersection", self._intersectional, metrics
                 )
                 if outcome.ok:
-                    report.findings.append(outcome.value)
+                    report.intersectional_findings.extend(outcome.value)
                 else:
-                    report.findings.append(
+                    report.intersectional_findings.append(
                         AuditFinding(
-                            attribute, metric, "error",
+                            name, "intersection", "error",
                             reason=f"{outcome.error_type}: {outcome.error}",
                             traceback=outcome.traceback,
                         )
                     )
-            note = runner.run(
-                f"power:{attribute}", self._power_note, attribute
-            )
-            report.power_notes[attribute] = note.value if note.ok else {}
-
-        if len(self.protected_attributes) >= 2:
-            name = "×".join(self.protected_attributes)
-            outcome = runner.run(
-                "audit:intersection", self._intersectional, metrics
-            )
-            if outcome.ok:
-                report.intersectional_findings.extend(outcome.value)
-            else:
-                report.intersectional_findings.append(
-                    AuditFinding(
-                        name, "intersection", "error",
-                        reason=f"{outcome.error_type}: {outcome.error}",
-                        traceback=outcome.traceback,
-                    )
-                )
         report.degradations = runner.degradations
+        report.provenance = ProvenanceRecord.collect(
+            self.dataset, self.policy, runner, tracer=tracer
+        )
         return report
 
     def _intersectional(self, metrics: tuple) -> list[AuditFinding]:

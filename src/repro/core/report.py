@@ -82,6 +82,13 @@ def render_markdown(report) -> str:
         )
         lines.append("")
 
+    provenance = getattr(report, "provenance", None)
+    if provenance is not None:
+        lines.append("## Provenance (audit trail)")
+        lines.append("")
+        lines.extend(provenance.markdown_lines())
+        lines.append("")
+
     by_attribute: dict[str, list] = {}
     for finding in report.findings:
         by_attribute.setdefault(finding.attribute, []).append(finding)

@@ -117,7 +117,9 @@ def finding_to_dict(finding: AuditFinding) -> dict:
 
 def report_to_dict(report: AuditReport) -> dict:
     """JSON-able dict of a full audit report."""
+    provenance = getattr(report, "provenance", None)
     return {
+        "provenance": None if provenance is None else provenance.to_dict(),
         "dataset_summary": _plain(report.dataset_summary),
         "tolerance": _plain(report.tolerance),
         "is_clean": bool(report.is_clean),

@@ -70,8 +70,14 @@ class Classifier:
                 "fit requires both classes present in y "
                 f"(got only class {int(y[0]) if len(y) else '<empty>'})"
             )
+        from repro.observability.trace import get_tracer
+
         self._n_features = X.shape[1]
-        self._fit(X, y, sample_weight)
+        with get_tracer().span(
+            "model.fit", model=type(self).__name__,
+            n_rows=int(X.shape[0]), n_features=int(X.shape[1]),
+        ):
+            self._fit(X, y, sample_weight)
         self._fitted = True
         return self
 

@@ -10,6 +10,7 @@ the model a compliance dossier refers to.
 from __future__ import annotations
 
 import json
+import logging
 
 import numpy as np
 
@@ -17,8 +18,12 @@ from repro.data.dataset import TabularDataset
 from repro.exceptions import NotFittedError, ValidationError
 from repro.models.logistic import LogisticRegression
 from repro.models.preprocessing import Standardizer
+from repro.observability.metrics import get_metrics
+from repro.observability.trace import get_tracer
 
 __all__ = ["LinearPipeline"]
+
+_LOG = logging.getLogger(__name__)
 
 _FORMAT = "repro.linear_pipeline.v1"
 
@@ -43,9 +48,16 @@ class LinearPipeline:
         """Fit on a dataset's features and labels."""
         if dataset.schema.label_name is None:
             raise ValidationError("dataset must carry labels to train on")
-        X = self._scaler.fit_transform(dataset.feature_matrix())
-        self._model.fit(X, dataset.labels())
-        self._feature_names = dataset.feature_matrix_names()
+        with get_tracer().span(
+            "pipeline.fit", n_rows=dataset.n_rows,
+        ), get_metrics().timer("pipeline.fit"):
+            X = self._scaler.fit_transform(dataset.feature_matrix())
+            self._model.fit(X, dataset.labels())
+            self._feature_names = dataset.feature_matrix_names()
+        _LOG.info(
+            "fitted LinearPipeline on %d rows × %d feature columns",
+            dataset.n_rows, len(self._feature_names),
+        )
         return self
 
     def _check_layout(self, dataset: TabularDataset) -> None:
@@ -60,8 +72,11 @@ class LinearPipeline:
 
     def predict_proba(self, dataset: TabularDataset) -> np.ndarray:
         self._check_layout(dataset)
-        X = self._scaler.transform(dataset.feature_matrix())
-        return self._model.predict_proba(X)
+        with get_tracer().span(
+            "pipeline.predict", n_rows=dataset.n_rows,
+        ), get_metrics().timer("pipeline.predict"):
+            X = self._scaler.transform(dataset.feature_matrix())
+            return self._model.predict_proba(X)
 
     def predict(self, dataset: TabularDataset) -> np.ndarray:
         return (self.predict_proba(dataset) >= self._model.threshold).astype(int)

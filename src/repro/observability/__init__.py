@@ -1,0 +1,74 @@
+"""Audit provenance and telemetry: traces, metrics, evidence trails.
+
+The paper argues fairness verdicts are only *summary evidence* — a
+human reviewer (or a court) must be able to interrogate how a verdict
+was produced.  This package is the substrate for that interrogation:
+
+* :mod:`~repro.observability.trace` — span-based tracing with
+  parent/child nesting and an atomic JSON-lines sink;
+* :mod:`~repro.observability.metrics` — process-local counters, timers,
+  and p50/p95 histograms;
+* :mod:`~repro.observability.provenance` — the
+  :class:`ProvenanceRecord` attached to every audit report and
+  compliance dossier (dataset sha256, code version, policy, per-stage
+  timings and retry history);
+* :mod:`~repro.observability.logcfg` — the CLI's logging setup
+  (human or JSON-lines stderr);
+* :mod:`~repro.observability.summarize` — per-stage timing/retry
+  tables from trace files (``repro trace summarize``).
+
+Everything defaults to *off*: instrumented hot paths run against a
+cached null tracer, so the no-trace path costs <3% (guarded by
+``benchmarks/bench_o1_observability_overhead.py``).
+"""
+
+from repro.observability.logcfg import configure_logging, verbosity_to_level
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.observability.provenance import ProvenanceRecord, dataset_fingerprint
+from repro.observability.summarize import (
+    StageSummary,
+    render_summary_table,
+    summarize_trace,
+)
+from repro.observability.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "read_trace",
+    # metrics
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    # provenance
+    "ProvenanceRecord",
+    "dataset_fingerprint",
+    # logging
+    "configure_logging",
+    "verbosity_to_level",
+    # summaries
+    "StageSummary",
+    "summarize_trace",
+    "render_summary_table",
+]

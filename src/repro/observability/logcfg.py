@@ -1,0 +1,98 @@
+"""Logging configuration for the ``repro`` logger hierarchy.
+
+Library modules log through ``logging.getLogger(__name__)`` under the
+``repro`` root logger, which carries a ``NullHandler`` (set in
+``repro/__init__.py``) so embedding applications decide what to do with
+records.  The CLI calls :func:`configure_logging` once per invocation to
+attach a stderr handler with either the human format — lowercased level
+names, matching the CLI's historical ``error: ...`` contract — or a
+JSON-lines format (``--log-json``) so error paths land in the same
+machine-readable stream as traces.
+
+Reconfiguration is idempotent: the previously installed handler is
+replaced, never stacked, so repeated ``main()`` calls (tests, REPLs)
+log each record exactly once.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+__all__ = [
+    "configure_logging",
+    "verbosity_to_level",
+    "JsonLineFormatter",
+    "HumanFormatter",
+]
+
+#: marker attribute identifying the handler this module installed
+_HANDLER_FLAG = "_repro_cli_handler"
+
+
+class HumanFormatter(logging.Formatter):
+    """``level: message`` with a lowercased level name.
+
+    The CLI's error contract predates the logging layer — scripts grep
+    stderr for ``error:`` — so the formatter preserves it exactly.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            message += f" ({record.exc_info[0].__name__})"
+        return f"{record.levelname.lower()}: {message}"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record: level, logger, message, timestamp."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "created": record.created,
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["error_type"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True)
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map ``-q``/-``v`` counts to a logging level.
+
+    ``-1`` (quiet) → ERROR, ``0`` → WARNING, ``1`` → INFO, ``2+`` → DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0,
+    json_lines: bool = False,
+    stream=None,
+) -> logging.Handler:
+    """Attach (or replace) the CLI handler on the ``repro`` logger.
+
+    Returns the installed handler.  ``stream`` defaults to the *current*
+    ``sys.stderr`` so captured streams (tests) and redirections work.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLineFormatter() if json_lines else HumanFormatter()
+    )
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_to_level(verbosity))
+    return handler

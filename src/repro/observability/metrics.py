@@ -1,0 +1,190 @@
+"""Process-local metrics: counters, timers, and latency histograms.
+
+A :class:`MetricsRegistry` is the numeric side of the telemetry layer:
+counters for throughput ("subgroups evaluated", "stages retried"),
+histograms for latency distributions (p50/p95/max snapshots), and a
+timer context manager that feeds a histogram.  Everything is in-process
+and thread-safe; :meth:`MetricsRegistry.snapshot` renders the current
+state as one plain JSON-able dict for trace files and dashboards.
+
+A module-level default registry (:func:`get_metrics`) serves the
+instrumented hot paths; tests swap it with :func:`use_metrics` to assert
+on exactly what one run recorded.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """A sample collection with percentile snapshots.
+
+    Stores raw observations (audit runs have bounded stage counts, so no
+    sketching is needed); :meth:`snapshot` reports count, total, mean,
+    p50, p95, and max.
+    """
+
+    __slots__ = ("name", "_samples", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Linear-interpolation percentile over a sorted sample."""
+        if not ordered:
+            return 0.0
+        position = (len(ordered) - 1) * q
+        low = math.floor(position)
+        high = math.ceil(position)
+        if low == high:
+            return ordered[low]
+        weight = position - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "max": 0.0}
+        total = sum(ordered)
+        return {
+            "count": len(ordered),
+            "total": round(total, 6),
+            "mean": round(total / len(ordered), 6),
+            "p50": round(self._percentile(ordered, 0.50), 6),
+            "p95": round(self._percentile(ordered, 0.95), 6),
+            "max": round(ordered[-1], 6),
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one process (or one test)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        self.histogram(name).observe(value)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time the block and feed the elapsed seconds to a histogram."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    def snapshot(self) -> dict:
+        """All metrics as one JSON-able dict, names sorted."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "histograms": {
+                name: histograms[name].snapshot()
+                for name in sorted(histograms)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (tests and long-lived processes)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+_default = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-current registry used by the instrumented hot paths."""
+    return _default
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` as current; returns the previous one.
+
+    ``None`` installs a fresh empty registry.
+    """
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = registry if registry is not None else MetricsRegistry()
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None = None):
+    """Scope a registry: install for the block, restore the previous after."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -1,0 +1,117 @@
+"""Trace-file analysis: per-stage timing and retry tables.
+
+``repro trace summarize PATH`` renders the table produced here — the
+reviewer's view of a run: every stage grouped by name, with call counts,
+latency percentiles, retry totals, and non-ok statuses.  The same
+functions work as a library (:func:`summarize_trace` returns structured
+rows) so dossier tooling can post-process traces programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.metrics import Histogram
+from repro.observability.trace import read_trace
+
+__all__ = ["StageSummary", "summarize_trace", "render_summary_table"]
+
+
+@dataclass
+class StageSummary:
+    """Aggregate of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    retries: int = 0
+    errors: int = 0
+    elapsed: list = field(default_factory=list)
+
+    @property
+    def p50(self) -> float:
+        return Histogram._percentile(sorted(self.elapsed), 0.50)
+
+    @property
+    def p95(self) -> float:
+        return Histogram._percentile(sorted(self.elapsed), 0.95)
+
+    @property
+    def max(self) -> float:
+        return max(self.elapsed, default=0.0)
+
+
+def _span_retries(span: dict) -> int:
+    """Retries recorded on a span — the explicit attribute when present,
+    otherwise the count of ``retry`` events."""
+    attempts = span.get("attrs", {}).get("attempts")
+    if isinstance(attempts, int) and attempts > 1:
+        return attempts - 1
+    return sum(
+        1 for event in span.get("events", []) if event.get("name") == "retry"
+    )
+
+
+def summarize_trace(path, group_prefix: bool = False) -> list[StageSummary]:
+    """Per-stage aggregates from a trace file, longest total first.
+
+    ``group_prefix=True`` groups stage names by their prefix up to the
+    first ``":"`` (all ``audit:*`` stages become one row) — the
+    birds-eye view; the default keeps every distinct stage.
+    """
+    summaries: dict[str, StageSummary] = {}
+    for line in read_trace(path):
+        if line.get("kind") != "span":
+            continue
+        name = line.get("name", "?")
+        if group_prefix:
+            name = name.split(":", 1)[0]
+        summary = summaries.get(name)
+        if summary is None:
+            summary = summaries[name] = StageSummary(name)
+        elapsed = float(line.get("elapsed", 0.0))
+        summary.count += 1
+        summary.total += elapsed
+        summary.elapsed.append(elapsed)
+        summary.retries += _span_retries(line)
+        if line.get("status") != "ok":
+            summary.errors += 1
+    return sorted(summaries.values(), key=lambda s: (-s.total, s.name))
+
+
+def render_summary_table(
+    summaries: list[StageSummary], top: int | None = None
+) -> str:
+    """Fixed-width table of stage summaries for terminal output."""
+    rows = summaries if top is None else summaries[:top]
+    header = ("stage", "calls", "total s", "p50 s", "p95 s", "max s",
+              "retries", "errors")
+    table = [header] + [
+        (
+            s.name,
+            str(s.count),
+            f"{s.total:.4f}",
+            f"{s.p50:.4f}",
+            f"{s.p95:.4f}",
+            f"{s.max:.4f}",
+            str(s.retries),
+            str(s.errors),
+        )
+        for s in rows
+    ]
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(header))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        cells = [
+            row[0].ljust(widths[0]),
+            *(cell.rjust(width) for cell, width in zip(row[1:], widths[1:])),
+        ]
+        lines.append("  ".join(cells))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    dropped = len(summaries) - len(rows)
+    if dropped > 0:
+        lines.append(f"... {dropped} more stage(s); raise --top to see all")
+    return "\n".join(lines)

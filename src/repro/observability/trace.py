@@ -1,0 +1,332 @@
+"""Span-based tracing for audit runs.
+
+A :class:`Tracer` records *spans* — named, timed units of work with
+attributes, parent/child nesting, and point-in-time *events* (retries,
+checkpoint writes, progress marks).  Spans time with
+:func:`time.perf_counter` (monotonic) and carry offsets from the
+tracer's epoch, so a trace file reconstructs the exact run timeline.
+
+The disabled path is a first-class concern: instrumented code runs with
+the module-level :data:`NULL_TRACER` unless a caller installs a real one
+(:func:`set_tracer` / :func:`use_tracer`), and a null span is one cached
+no-op object — tracing must cost essentially nothing when off, because
+the audit hot paths are instrumented unconditionally.
+
+Traces persist as JSON lines (one object per line; first line is a
+``trace_meta`` envelope) via the robustness layer's atomic writer, so a
+killed run never leaves a half-written evidence file.  See
+``docs/observability.md`` for the file format.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import ValidationError
+from repro.robustness.checkpoint import atomic_write_text
+
+__all__ = [
+    "TRACE_VERSION",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "read_trace",
+]
+
+TRACE_VERSION = 1
+
+
+class Span:
+    """One timed unit of work inside a trace.
+
+    Created by :meth:`Tracer.span`; not instantiated directly.  Inside
+    the ``with`` block, :meth:`set` adds attributes and :meth:`event`
+    records timestamped point events (a retry, a checkpoint write).
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "attrs", "events",
+        "t_start", "elapsed", "status", "error", "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: int | None, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.events: list[dict] = []
+        self.t_start = 0.0
+        self.elapsed = 0.0
+        self.status = "ok"
+        self.error = ""
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (attempt counts, sizes)."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time event inside this span."""
+        self.events.append({
+            "name": name,
+            "t": self._tracer._now(),
+            "attrs": attrs,
+        })
+
+    def mark(self, status: str, error: str = "") -> "Span":
+        """Set the span's final status explicitly (e.g. a *captured*
+        stage failure, which never escapes as an exception)."""
+        self.status = status
+        if error:
+            self.error = error
+        return self
+
+    def to_dict(self) -> dict:
+        payload = {
+            "kind": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "t_start": round(self.t_start, 6),
+            "elapsed": round(self.elapsed, 6),
+            "status": self.status,
+            "attrs": self.attrs,
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.events:
+            payload["events"] = self.events
+        return payload
+
+
+class Tracer:
+    """Collects spans for one run and writes them as JSON lines.
+
+    Thread-safe: the span stack is thread-local (a worker thread started
+    mid-span parents its spans to whatever that thread opened, or to the
+    root), while the finished-span list is shared under a lock so the
+    supervised runner's deadline threads are captured too.
+    """
+
+    enabled = True
+
+    def __init__(self, run_id: str = ""):
+        self.run_id = run_id or f"run-{int(time.time())}"
+        self.created = time.time()
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._records: list[Span] = []
+        self._local = threading.local()
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> float:
+        """Seconds since this tracer's epoch (monotonic)."""
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span; nesting inside another span records it as a child.
+
+        An exception escaping the block marks the span ``status="error"``
+        (with the exception repr) and re-raises — tracing never swallows
+        the fault it is documenting.
+        """
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id = self._next_id + 1
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self, name, span_id, parent_id, dict(attrs))
+        stack.append(span)
+        span.t_start = self._now()
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.error = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            span.elapsed = self._now() - span.t_start
+            stack.pop()
+            with self._lock:
+                self._records.append(span)
+
+    def event(self, name: str, **attrs) -> None:
+        """A point event outside any span (recorded as a zero-length span)."""
+        stack = self._stack()
+        if stack:
+            stack[-1].event(name, **attrs)
+            return
+        with self.span(name, **attrs):
+            pass
+
+    # -- reading / persistence -----------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def to_lines(self, extra: list[dict] | None = None) -> list[dict]:
+        """The trace as JSON-able line objects (meta first, then spans)."""
+        from repro import __version__
+
+        lines: list[dict] = [{
+            "kind": "trace_meta",
+            "version": TRACE_VERSION,
+            "run_id": self.run_id,
+            "created": self.created,
+            "repro_version": __version__,
+        }]
+        lines.extend(span.to_dict() for span in self.spans)
+        lines.extend(extra or [])
+        return lines
+
+    def write(self, path, extra: list[dict] | None = None) -> None:
+        """Atomically write the trace as JSON lines.
+
+        ``extra`` appends additional line objects — the CLI uses it for
+        the metrics snapshot and the provenance record, so one file holds
+        the whole evidence trail.
+        """
+        text = "\n".join(
+            json.dumps(line, sort_keys=True) for line in self.to_lines(extra)
+        )
+        atomic_write_text(path, text + "\n")
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing-while-disabled."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    status = "ok"
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def set(self, **attrs):
+        return self
+
+    def event(self, name, **attrs):
+        return None
+
+    def mark(self, status, error=""):
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer that records nothing; the default when tracing is off."""
+
+    enabled = False
+    run_id = ""
+    spans: list = []
+
+    def span(self, name: str, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def find(self, name: str) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_current: Tracer | NullTracer = NULL_TRACER
+_current_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The process-current tracer (the null tracer unless one is set)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None):
+    """Install ``tracer`` as current; returns the previous one.
+
+    ``None`` restores the null tracer.
+    """
+    global _current
+    with _current_lock:
+        previous = _current
+        _current = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer):
+    """Scope a tracer: install for the block, restore the previous after."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def read_trace(path) -> list[dict]:
+    """Parse a JSON-lines trace file written by :meth:`Tracer.write`.
+
+    Validates the ``trace_meta`` envelope (it must be line one and carry
+    a readable format version) and raises
+    :class:`~repro.exceptions.ValidationError` on malformed input —
+    with the line number, since a trace is evidence someone must debug.
+    """
+    from pathlib import Path
+
+    lines: list[dict] = []
+    for number, raw in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        if not raw.strip():
+            continue
+        try:
+            lines.append(json.loads(raw))
+        except json.JSONDecodeError as exc:
+            raise ValidationError(
+                f"malformed trace {path}: line {number} is not JSON "
+                f"({exc.msg})"
+            ) from exc
+    if not lines or lines[0].get("kind") != "trace_meta":
+        raise ValidationError(
+            f"malformed trace {path}: first line must be a trace_meta "
+            "envelope"
+        )
+    if lines[0].get("version") != TRACE_VERSION:
+        raise ValidationError(
+            f"trace {path} has format version {lines[0].get('version')!r}; "
+            f"this build reads {TRACE_VERSION}"
+        )
+    return lines

@@ -18,6 +18,7 @@ evaluations are.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 import traceback as traceback_module
@@ -33,6 +34,8 @@ from repro.robustness.policy import ExecutionPolicy
 
 __all__ = ["StageOutcome", "StageRunner"]
 
+_LOG = logging.getLogger(__name__)
+
 
 @dataclass
 class StageOutcome:
@@ -40,6 +43,12 @@ class StageOutcome:
 
     ``status`` is ``"ok"``, ``"error"`` (exception captured), or
     ``"timeout"`` (deadline exceeded; the worker was abandoned).
+
+    ``attempt_log`` is the retry history: one record per *failed*
+    attempt — exception type and message, elapsed seconds for that
+    attempt, and the backoff chosen before the next one (``None`` on the
+    final failure) — so traces and degradation reports can show exactly
+    what was retried instead of a bare attempt count.
     """
 
     stage: str
@@ -50,6 +59,7 @@ class StageOutcome:
     traceback: str = ""
     attempts: int = 1
     elapsed: float = 0.0
+    attempt_log: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -57,7 +67,7 @@ class StageOutcome:
 
     def to_dict(self) -> dict:
         """JSON-able summary (value omitted — it may not serialise)."""
-        return {
+        payload = {
             "stage": self.stage,
             "status": self.status,
             "error": self.error,
@@ -65,6 +75,9 @@ class StageOutcome:
             "attempts": self.attempts,
             "elapsed": round(self.elapsed, 6),
         }
+        if self.attempt_log:
+            payload["attempt_log"] = list(self.attempt_log)
+        return payload
 
 
 class StageRunner:
@@ -79,15 +92,30 @@ class StageRunner:
     faults:
         Optional :class:`~repro.robustness.faults.FaultInjector` whose
         scripted faults fire inside each stage — the chaos-testing hook.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; defaults to the
+        process-current tracer (the null tracer unless one is
+        installed), so instrumentation is free when tracing is off.
+        Each stage becomes a span named after the stage, with retry
+        events and attempt counts attached.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`;
+        defaults to the process-current registry.  Records the
+        ``stages.run`` / ``stages.failed`` / ``stages.retried``
+        counters and the ``stage.elapsed`` latency histogram.
     """
 
     def __init__(
         self,
         policy: ExecutionPolicy | None = None,
         faults=None,
+        tracer=None,
+        metrics=None,
     ):
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.faults = faults
+        self.tracer = tracer
+        self.metrics = metrics
         self.outcomes: list[StageOutcome] = []
         self._failures = 0
 
@@ -113,53 +141,114 @@ class StageRunner:
         policy's failure budget (or fail-closed semantics) says the run
         must stop.
         """
+        from repro.observability.metrics import get_metrics
+        from repro.observability.trace import get_tracer
+
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = self.metrics if self.metrics is not None else get_metrics()
         policy = self.policy.for_stage(stage)
         call = self.faults.wrap(stage, fn) if self.faults is not None else fn
-        start = time.perf_counter()
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                value = self._call(stage, call, args, kwargs, policy.deadline)
-            except StageTimeoutError as exc:
-                outcome = StageOutcome(
-                    stage, "timeout",
-                    error=str(exc),
-                    error_type=type(exc).__name__,
-                    attempts=attempts,
-                    elapsed=time.perf_counter() - start,
-                )
-                break
-            except Exception as exc:  # noqa: BLE001 — isolation is the point
-                if policy.is_retryable(exc) and attempts <= policy.max_retries:
-                    policy.sleep(policy.backoff(attempts - 1))
-                    continue
-                if policy.is_retryable(exc) and policy.max_retries > 0:
-                    exc = RetryExhaustedError(
-                        f"stage {stage!r} still failing after {attempts} "
-                        f"attempts: {exc}",
-                        stage=stage, attempts=attempts, last_error=exc,
+        attempt_log: list[dict] = []
+        with tracer.span(stage) as span:
+            start = time.perf_counter()
+            attempts = 0
+            while True:
+                attempts += 1
+                attempt_start = time.perf_counter()
+                try:
+                    value = self._call(
+                        stage, call, args, kwargs, policy.deadline
                     )
-                outcome = StageOutcome(
-                    stage, "error",
-                    error=str(exc),
-                    error_type=type(exc).__name__,
-                    traceback=traceback_module.format_exc(),
-                    attempts=attempts,
-                    elapsed=time.perf_counter() - start,
-                )
-                break
-            else:
-                outcome = StageOutcome(
-                    stage, "ok", value=value, attempts=attempts,
-                    elapsed=time.perf_counter() - start,
-                )
-                break
+                except StageTimeoutError as exc:
+                    self._log_attempt(
+                        attempt_log, attempts, exc, attempt_start, None
+                    )
+                    outcome = StageOutcome(
+                        stage, "timeout",
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                        attempts=attempts,
+                        elapsed=time.perf_counter() - start,
+                        attempt_log=attempt_log,
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                    if (
+                        policy.is_retryable(exc)
+                        and attempts <= policy.max_retries
+                    ):
+                        backoff = policy.backoff(attempts - 1)
+                        self._log_attempt(
+                            attempt_log, attempts, exc, attempt_start, backoff
+                        )
+                        span.event(
+                            "retry", attempt=attempts,
+                            error_type=type(exc).__name__, backoff=backoff,
+                        )
+                        _LOG.info(
+                            "stage %s attempt %d failed (%s: %s); retrying "
+                            "after %.3fs backoff",
+                            stage, attempts, type(exc).__name__, exc, backoff,
+                        )
+                        metrics.counter("stages.retried").inc()
+                        policy.sleep(backoff)
+                        continue
+                    self._log_attempt(
+                        attempt_log, attempts, exc, attempt_start, None
+                    )
+                    if policy.is_retryable(exc) and policy.max_retries > 0:
+                        exc = RetryExhaustedError(
+                            f"stage {stage!r} still failing after {attempts} "
+                            f"attempts: {exc}",
+                            stage=stage, attempts=attempts, last_error=exc,
+                        )
+                    outcome = StageOutcome(
+                        stage, "error",
+                        error=str(exc),
+                        error_type=type(exc).__name__,
+                        traceback=traceback_module.format_exc(),
+                        attempts=attempts,
+                        elapsed=time.perf_counter() - start,
+                        attempt_log=attempt_log,
+                    )
+                    break
+                else:
+                    outcome = StageOutcome(
+                        stage, "ok", value=value, attempts=attempts,
+                        elapsed=time.perf_counter() - start,
+                        attempt_log=attempt_log,
+                    )
+                    break
+            span.set(attempts=outcome.attempts)
+            if not outcome.ok:
+                span.mark(outcome.status, outcome.error)
+                span.set(error_type=outcome.error_type)
+        metrics.counter("stages.run").inc()
+        metrics.observe("stage.elapsed", outcome.elapsed)
         self.outcomes.append(outcome)
         if not outcome.ok:
+            metrics.counter("stages.failed").inc()
+            _LOG.info(
+                "stage %s degraded: %s after %d attempt(s) — %s",
+                stage, outcome.status, outcome.attempts, outcome.error,
+            )
             self._failures += 1
             self._enforce_budget(outcome)
         return outcome
+
+    @staticmethod
+    def _log_attempt(
+        attempt_log: list, attempt: int, exc: BaseException,
+        attempt_start: float, backoff: float | None,
+    ) -> None:
+        """Append one failed attempt to the outcome's retry history."""
+        attempt_log.append({
+            "attempt": attempt,
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+            "elapsed": round(time.perf_counter() - attempt_start, 6),
+            "backoff": backoff,
+        })
 
     def _call(self, stage, fn, args, kwargs, deadline):
         """One attempt, under the stage deadline (if any)."""

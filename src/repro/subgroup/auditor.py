@@ -168,6 +168,7 @@ def audit_subgroups(
     checkpoint_every: int = 64,
     resume: bool = False,
     on_progress=None,
+    tracer=None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
 
@@ -194,7 +195,19 @@ def audit_subgroups(
     on_progress:
         Optional callable ``(evaluated, total)`` invoked after each
         subgroup — a cancellation/reporting hook for long scans.
+    tracer:
+        Optional :class:`~repro.observability.Tracer` (defaults to the
+        process-current one).  The whole scan becomes one
+        ``subgroups.scan`` span with progress events at each checkpoint
+        interval; checkpoint writes are individually timed into the
+        ``subgroups.checkpoint_write`` histogram, and the
+        ``subgroups.evaluated`` counter tracks scan throughput.
     """
+    from repro.observability.metrics import get_metrics
+    from repro.observability.trace import get_tracer
+
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = get_metrics()
     predictions = check_binary_array(predictions, "predictions")
     if len(predictions) != dataset.n_rows:
         raise AuditError("predictions length does not match dataset")
@@ -235,45 +248,61 @@ def audit_subgroups(
                 for entry in payload["findings"]
             ]
 
-    for index in range(start, len(subgroups)):
-        subgroup = subgroups[index]
-        inside = predictions[subgroup.mask]
-        outside = predictions[~subgroup.mask]
-        if len(outside) > 0:
-            rate = float(inside.mean())
-            complement = float(outside.mean())
-            test = two_proportion_z_test(
-                int(inside.sum()), len(inside),
-                int(outside.sum()), len(outside),
-            )
-            lo, hi = wilson_interval(int(inside.sum()), len(inside))
-            findings.append(
-                SubgroupFinding(
-                    subgroup=subgroup,
-                    rate=rate,
-                    complement_rate=complement,
-                    gap=rate - complement,
-                    ci_low=lo,
-                    ci_high=hi,
-                    p_value=test.p_value,
+    with tracer.span(
+        "subgroups.scan",
+        total=len(subgroups),
+        resumed_from=start,
+        max_order=max_order,
+        min_size=min_size,
+    ) as scan_span:
+        for index in range(start, len(subgroups)):
+            subgroup = subgroups[index]
+            inside = predictions[subgroup.mask]
+            outside = predictions[~subgroup.mask]
+            if len(outside) > 0:
+                rate = float(inside.mean())
+                complement = float(outside.mean())
+                test = two_proportion_z_test(
+                    int(inside.sum()), len(inside),
+                    int(outside.sum()), len(outside),
                 )
-            )
-        evaluated = index + 1
-        if checkpoint_path is not None and (
-            evaluated % checkpoint_every == 0 or evaluated == len(subgroups)
-        ):
-            save_checkpoint(
-                checkpoint_path,
-                {
-                    "next_index": evaluated,
-                    "total": len(subgroups),
-                    "complete": evaluated == len(subgroups),
-                    "findings": [_finding_to_payload(f) for f in findings],
-                },
-                fingerprint=fingerprint,
-            )
-        if on_progress is not None:
-            on_progress(evaluated, len(subgroups))
+                lo, hi = wilson_interval(int(inside.sum()), len(inside))
+                findings.append(
+                    SubgroupFinding(
+                        subgroup=subgroup,
+                        rate=rate,
+                        complement_rate=complement,
+                        gap=rate - complement,
+                        ci_low=lo,
+                        ci_high=hi,
+                        p_value=test.p_value,
+                    )
+                )
+            evaluated = index + 1
+            metrics.counter("subgroups.evaluated").inc()
+            if checkpoint_path is not None and (
+                evaluated % checkpoint_every == 0
+                or evaluated == len(subgroups)
+            ):
+                with metrics.timer("subgroups.checkpoint_write"):
+                    save_checkpoint(
+                        checkpoint_path,
+                        {
+                            "next_index": evaluated,
+                            "total": len(subgroups),
+                            "complete": evaluated == len(subgroups),
+                            "findings": [
+                                _finding_to_payload(f) for f in findings
+                            ],
+                        },
+                        fingerprint=fingerprint,
+                    )
+                scan_span.event(
+                    "checkpoint", evaluated=evaluated, total=len(subgroups)
+                )
+            if on_progress is not None:
+                on_progress(evaluated, len(subgroups))
+        scan_span.set(evaluated=len(subgroups) - start)
 
     findings.sort(key=lambda f: (-abs(f.gap), f.subgroup.label()))
     return findings

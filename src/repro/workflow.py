@@ -50,6 +50,7 @@ class ComplianceDossier:
     primary_metric: str
     primary_finding_satisfied: bool | None
     degradations: list = field(default_factory=list)
+    provenance: object = None
 
     @property
     def verdict(self) -> str:
@@ -96,6 +97,18 @@ class ComplianceDossier:
                     f"{entry['status'].upper()} ({entry['error_type']}) — "
                     f"{entry['error']} [attempts={entry['attempts']}]"
                 )
+                for attempt in entry.get("attempt_log", [])[:-1]:
+                    lines.append(
+                        f"  - attempt {attempt['attempt']}: "
+                        f"{attempt['error_type']} after "
+                        f"{attempt['elapsed']:.3f}s; retried with "
+                        f"{attempt['backoff']:g}s backoff"
+                    )
+            lines.append("")
+        if self.provenance is not None:
+            lines.append("## Provenance (audit trail)")
+            lines.append("")
+            lines.extend(self.provenance.markdown_lines())
             lines.append("")
         lines += [
             "## Applicable statutes (paper §II)",
@@ -177,6 +190,7 @@ def run_compliance_workflow(
     strata: str | None = None,
     policy: ExecutionPolicy | None = None,
     faults=None,
+    tracer=None,
 ) -> ComplianceDossier:
     """Execute the full Section V workflow on one deployment.
 
@@ -193,63 +207,80 @@ def run_compliance_workflow(
     crash.  A fail-closed policy (``fail_fast=True``) raises
     :class:`~repro.exceptions.DegradedRunError` on the first failure
     instead.  ``faults`` is the chaos-testing injection hook, threaded
-    through to the audit battery's per-metric stages.
+    through to the audit battery's per-metric stages; ``tracer`` the
+    observability hook — one ``workflow.run`` root span with a child
+    span per supervised stage (defaults to the process-current tracer).
     """
+    from repro.observability.provenance import ProvenanceRecord
+    from repro.observability.trace import get_tracer
+
+    tracer = tracer if tracer is not None else get_tracer()
     runner = StageRunner(
-        policy if policy is not None else ExecutionPolicy(), faults=faults
+        policy if policy is not None else ExecutionPolicy(),
+        faults=faults, tracer=tracer,
     )
 
-    outcome = runner.run("statutes", _resolve_statutes, dataset, profile)
-    statutes = (
-        outcome.value
-        if outcome.ok
-        else {a: [] for a in dataset.schema.protected_names}
-    )
-
-    outcome = runner.run("recommendations", recommend_metrics, profile)
-    recommendations = outcome.value if outcome.ok else []
-
-    outcome = runner.run("risk_flags", risk_flags, profile)
-    risks = outcome.value if outcome.ok else []
-
-    def _run_audit() -> AuditReport:
-        return FairnessAudit(
-            dataset,
-            predictions=predictions,
-            probabilities=probabilities,
-            tolerance=tolerance,
-            strata=strata,
-            policy=policy,
-            faults=faults,
-        ).run()
-
-    outcome = runner.run("audit", _run_audit)
-    if outcome.ok:
-        audit = outcome.value
-    else:
-        audit = AuditReport(
-            dataset_summary={
-                "n_rows": dataset.n_rows,
-                "protected_attributes": list(dataset.schema.protected_names),
-                "audits_labels": predictions is None,
-                "strata": strata,
-            },
-            tolerance=tolerance,
+    with tracer.span(
+        "workflow.run",
+        use_case=profile.name,
+        sector=profile.sector,
+        jurisdiction=profile.jurisdiction,
+        n_rows=dataset.n_rows,
+    ):
+        outcome = runner.run("statutes", _resolve_statutes, dataset, profile)
+        statutes = (
+            outcome.value
+            if outcome.ok
+            else {a: [] for a in dataset.schema.protected_names}
         )
 
-    outcome = runner.run(
-        "primary_verdict", _primary_verdict, recommendations, audit
-    )
-    if outcome.ok:
-        primary_metric, satisfied = outcome.value
-    else:
-        # The criteria-selected metric could not be evaluated: the paper's
-        # position is that missing evidence yields "inconclusive", never a
-        # silently-defaulted verdict.
-        primary_metric = next(
-            (r.metric for r in recommendations if r.feasible), "unknown"
+        outcome = runner.run("recommendations", recommend_metrics, profile)
+        recommendations = outcome.value if outcome.ok else []
+
+        outcome = runner.run("risk_flags", risk_flags, profile)
+        risks = outcome.value if outcome.ok else []
+
+        def _run_audit() -> AuditReport:
+            return FairnessAudit(
+                dataset,
+                predictions=predictions,
+                probabilities=probabilities,
+                tolerance=tolerance,
+                strata=strata,
+                policy=policy,
+                faults=faults,
+                tracer=tracer,
+            ).run()
+
+        outcome = runner.run("audit", _run_audit)
+        if outcome.ok:
+            audit = outcome.value
+        else:
+            audit = AuditReport(
+                dataset_summary={
+                    "n_rows": dataset.n_rows,
+                    "protected_attributes": list(
+                        dataset.schema.protected_names
+                    ),
+                    "audits_labels": predictions is None,
+                    "strata": strata,
+                },
+                tolerance=tolerance,
+            )
+
+        outcome = runner.run(
+            "primary_verdict", _primary_verdict, recommendations, audit
         )
-        satisfied = None
+        if outcome.ok:
+            primary_metric, satisfied = outcome.value
+        else:
+            # The criteria-selected metric could not be evaluated: the paper's
+            # position is that missing evidence yields "inconclusive", never a
+            # silently-defaulted verdict.
+            primary_metric = next(
+                (r.metric for r in recommendations if r.feasible), "unknown"
+            )
+            satisfied = None
 
     return ComplianceDossier(
         profile=profile,
@@ -260,6 +291,9 @@ def run_compliance_workflow(
         primary_metric=primary_metric,
         primary_finding_satisfied=satisfied,
         degradations=runner.degradations + list(audit.degradations),
+        provenance=ProvenanceRecord.collect(
+            dataset, policy, runner, tracer=tracer
+        ),
     )
 
 

@@ -1,0 +1,145 @@
+"""Logging configuration and runner retry-history tests."""
+
+import io
+import json
+import logging
+
+from repro.exceptions import ConvergenceError
+from repro.observability import Tracer
+from repro.observability.logcfg import (
+    HumanFormatter,
+    JsonLineFormatter,
+    configure_logging,
+    verbosity_to_level,
+)
+from repro.robustness import ExecutionPolicy, StageRunner
+
+
+class TestLogcfg:
+    def test_repro_root_logger_has_null_handler(self):
+        import repro  # noqa: F401 — importing installs the handler
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_verbosity_mapping(self):
+        assert verbosity_to_level(-1) == logging.ERROR
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+
+    def test_human_formatter_lowercases_level(self):
+        record = logging.LogRecord(
+            "repro.x", logging.ERROR, __file__, 1, "boom %s", ("now",), None
+        )
+        assert HumanFormatter().format(record) == "error: boom now"
+
+    def test_json_formatter_emits_parseable_line(self):
+        record = logging.LogRecord(
+            "repro.x", logging.WARNING, __file__, 1, "careful", (), None
+        )
+        payload = json.loads(JsonLineFormatter().format(record))
+        assert payload["level"] == "warning"
+        assert payload["logger"] == "repro.x"
+        assert payload["message"] == "careful"
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging(verbosity=0, stream=stream)
+        configure_logging(verbosity=0, stream=stream)
+        try:
+            cli_handlers = [
+                h for h in logging.getLogger("repro").handlers
+                if getattr(h, "_repro_cli_handler", False)
+            ]
+            assert len(cli_handlers) == 1
+            logging.getLogger("repro.test").warning("once")
+            assert stream.getvalue().count("once") == 1
+        finally:
+            logging.getLogger("repro").removeHandler(cli_handlers[0])
+
+    def test_quiet_suppresses_warnings(self):
+        stream = io.StringIO()
+        handler = configure_logging(verbosity=-1, stream=stream)
+        try:
+            logging.getLogger("repro.test").warning("hidden")
+            logging.getLogger("repro.test").error("shown")
+        finally:
+            logging.getLogger("repro").removeHandler(handler)
+        assert "hidden" not in stream.getvalue()
+        assert "error: shown" in stream.getvalue()
+
+
+class TestRunnerAttemptLog:
+    def _flaky(self, failures, exc=ConvergenceError):
+        state = {"left": failures}
+
+        def fn():
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise exc("not yet")
+            return "done"
+
+        return fn
+
+    def test_attempt_log_records_each_failed_attempt(self):
+        policy = ExecutionPolicy(max_retries=2, sleep=lambda s: None)
+        runner = StageRunner(policy)
+        outcome = runner.run("flaky", self._flaky(2))
+        assert outcome.ok and outcome.value == "done"
+        assert outcome.attempts == 3
+        assert len(outcome.attempt_log) == 2
+        first = outcome.attempt_log[0]
+        assert first["attempt"] == 1
+        assert first["error_type"] == "ConvergenceError"
+        assert first["error"] == "not yet"
+        assert first["backoff"] == policy.backoff(0)
+        assert outcome.attempt_log[1]["backoff"] == policy.backoff(1)
+
+    def test_final_failure_has_no_backoff(self):
+        policy = ExecutionPolicy(max_retries=1, sleep=lambda s: None)
+        runner = StageRunner(policy)
+        outcome = runner.run("hopeless", self._flaky(5))
+        assert outcome.status == "error"
+        assert outcome.attempts == 2
+        assert len(outcome.attempt_log) == 2
+        assert outcome.attempt_log[0]["backoff"] is not None
+        assert outcome.attempt_log[-1]["backoff"] is None
+
+    def test_clean_stage_has_empty_attempt_log(self):
+        outcome = StageRunner().run("clean", lambda: 42)
+        assert outcome.attempt_log == []
+        assert "attempt_log" not in outcome.to_dict()
+
+    def test_attempt_log_serialised_in_to_dict(self):
+        policy = ExecutionPolicy(max_retries=1, sleep=lambda s: None)
+        outcome = StageRunner(policy).run("flaky", self._flaky(1))
+        payload = outcome.to_dict()
+        assert payload["attempt_log"][0]["error_type"] == "ConvergenceError"
+        json.dumps(payload)
+
+    def test_runner_emits_retry_events_into_trace(self):
+        tracer = Tracer()
+        policy = ExecutionPolicy(max_retries=2, sleep=lambda s: None)
+        runner = StageRunner(policy, tracer=tracer)
+        runner.run("flaky", self._flaky(2))
+        (span,) = tracer.find("flaky")
+        retries = [e for e in span.events if e["name"] == "retry"]
+        assert len(retries) == 2
+        assert retries[0]["attrs"]["error_type"] == "ConvergenceError"
+        assert span.attrs["attempts"] == 3
+        assert span.status == "ok"
+
+    def test_runner_marks_span_for_captured_failure(self):
+        tracer = Tracer()
+        runner = StageRunner(tracer=tracer)
+
+        def boom():
+            raise RuntimeError("kapow")
+
+        outcome = runner.run("boom", boom)
+        assert outcome.status == "error"
+        (span,) = tracer.find("boom")
+        assert span.status == "error"
+        assert span.attrs["error_type"] == "RuntimeError"

@@ -1,0 +1,104 @@
+"""Metrics registry tests: counters, timers, percentile snapshots."""
+
+import threading
+
+from repro.observability.metrics import (
+    MetricsRegistry,
+    get_metrics,
+    use_metrics,
+)
+
+
+class TestCounters:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_counters_are_named_singletons(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestHistograms:
+    def test_snapshot_percentiles(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            registry.observe("latency", float(value))
+        snap = registry.histogram("latency").snapshot()
+        assert snap["count"] == 100
+        assert snap["max"] == 100.0
+        assert abs(snap["p50"] - 50.5) < 1e-9
+        assert 95.0 <= snap["p95"] <= 96.0
+        assert abs(snap["mean"] - 50.5) < 1e-9
+
+    def test_empty_histogram_snapshot_is_zeroed(self):
+        snap = MetricsRegistry().histogram("nothing").snapshot()
+        assert snap == {"count": 0, "total": 0.0, "mean": 0.0,
+                        "p50": 0.0, "p95": 0.0, "max": 0.0}
+
+    def test_single_sample(self):
+        registry = MetricsRegistry()
+        registry.observe("one", 2.5)
+        snap = registry.histogram("one").snapshot()
+        assert snap["p50"] == snap["p95"] == snap["max"] == 2.5
+
+    def test_timer_feeds_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("block"):
+            pass
+        snap = registry.histogram("block").snapshot()
+        assert snap["count"] == 1
+        assert snap["max"] >= 0.0
+
+    def test_timer_records_even_when_block_raises(self):
+        registry = MetricsRegistry()
+        try:
+            with registry.timer("raising"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert registry.histogram("raising").count == 1
+
+
+class TestRegistry:
+    def test_snapshot_shape_is_json_able(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.observe("h", 1.0)
+        text = json.dumps(registry.snapshot())
+        assert '"counters"' in text and '"histograms"' in text
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_use_metrics_scopes_the_global_registry(self):
+        before = get_metrics()
+        with use_metrics() as registry:
+            assert get_metrics() is registry
+            get_metrics().counter("scoped").inc()
+            assert registry.counter("scoped").value == 1
+        assert get_metrics() is before

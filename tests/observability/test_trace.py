@@ -1,0 +1,174 @@
+"""Tracer unit tests: nesting, timing, events, null path, file format."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.observability.trace import (
+    NULL_TRACER,
+    TRACE_VERSION,
+    Tracer,
+    get_tracer,
+    read_trace,
+    set_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_name_attrs_and_timing(self):
+        tracer = Tracer(run_id="t")
+        with tracer.span("work", kind="demo"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.attrs == {"kind": "demo"}
+        assert span.elapsed >= 0.0
+        assert span.status == "ok"
+        assert span.parent_id is None
+
+    def test_nested_spans_link_parent_and_child(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        # completion order: inner finishes first
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_escaping_exception_marks_error_and_reraises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("kapow")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert "kapow" in span.error
+
+    def test_set_and_event_enrich_the_span(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            span.set(attempts=3)
+            span.event("retry", attempt=1, backoff=0.05)
+        (span,) = tracer.spans
+        assert span.attrs["attempts"] == 3
+        assert span.events[0]["name"] == "retry"
+        assert span.events[0]["attrs"]["backoff"] == 0.05
+
+    def test_mark_sets_captured_failure_status(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            span.mark("timeout", "deadline exceeded")
+        (span,) = tracer.spans
+        assert span.status == "timeout"
+        assert span.error == "deadline exceeded"
+
+    def test_spans_from_worker_threads_are_collected(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("threaded"):
+                pass
+
+        thread = threading.Thread(target=work)
+        thread.start()
+        thread.join()
+        assert [s.name for s in tracer.spans] == ["threaded"]
+
+    def test_tracer_event_outside_spans_records_point_span(self):
+        tracer = Tracer()
+        tracer.event("standalone", detail=1)
+        (span,) = tracer.spans
+        assert span.name == "standalone"
+        assert span.attrs == {"detail": 1}
+
+
+class TestNullTracer:
+    def test_null_tracer_is_disabled_and_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", a=1) as span:
+            span.set(b=2)
+            span.event("e")
+            span.mark("error")
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.find("anything") == []
+
+    def test_null_span_is_a_shared_singleton(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestGlobalTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_null(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert previous is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
+
+
+class TestTraceFile:
+    def test_write_then_read_roundtrip(self, tmp_path):
+        tracer = Tracer(run_id="rt")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write(path, extra=[{"kind": "metrics", "counters": {}}])
+        lines = read_trace(path)
+        assert lines[0]["kind"] == "trace_meta"
+        assert lines[0]["version"] == TRACE_VERSION
+        assert lines[0]["run_id"] == "rt"
+        names = [l["name"] for l in lines if l["kind"] == "span"]
+        assert names == ["inner", "outer"]
+        assert lines[-1]["kind"] == "metrics"
+
+    def test_every_line_is_parseable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s", note="with \"quotes\" and ünicode"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write(path)
+        for raw in path.read_text().splitlines():
+            json.loads(raw)
+
+    def test_read_rejects_malformed_line_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "trace_meta", "version": 1}\n{oops\n')
+        with pytest.raises(ValidationError, match="line 2"):
+            read_trace(path)
+
+    def test_read_rejects_missing_meta(self, tmp_path):
+        path = tmp_path / "nometa.jsonl"
+        path.write_text('{"kind": "span", "name": "x"}\n')
+        with pytest.raises(ValidationError, match="trace_meta"):
+            read_trace(path)
+
+    def test_read_rejects_foreign_version(self, tmp_path):
+        path = tmp_path / "vers.jsonl"
+        path.write_text('{"kind": "trace_meta", "version": 99}\n')
+        with pytest.raises(ValidationError, match="version"):
+            read_trace(path)
