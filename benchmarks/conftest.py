@@ -9,6 +9,12 @@ is the "row the paper reports" — compare against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -18,6 +24,26 @@ def report(experiment: str, rows: list[tuple]) -> None:
     print(f"\n[{experiment}]")
     for row in rows:
         print("   " + " | ".join(str(cell) for cell in row))
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable ``BENCH_<NAME>.json`` result file.
+
+    CI uploads these as artifacts so the bench trajectory is tracked
+    across PRs; ``REPRO_BENCH_DIR`` overrides the output directory
+    (default: current working directory).
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name.upper()}.json"
+    envelope = {
+        "bench": name.upper(),
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        **payload,
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

@@ -62,7 +62,7 @@ from repro.data import (
 )
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -53,15 +53,20 @@ def check_binary_array(values: object, name: str) -> np.ndarray:
     if arr.dtype == bool:
         return arr.astype(np.int64)
     try:
-        as_int = arr.astype(np.int64)
+        # Already-canonical arrays pass through unchanged so repeated
+        # validation of the same column stays identity-stable (the kernel
+        # caches by array id) and copy-free.
+        as_int = arr if arr.dtype == np.int64 else arr.astype(np.int64)
     except (TypeError, ValueError) as exc:
         raise ValidationError(
             f"{name} must contain binary (0/1) values, got dtype {arr.dtype}"
         ) from exc
     if arr.dtype.kind == "f" and not np.allclose(arr, as_int):
         raise ValidationError(f"{name} contains non-integer float values")
-    bad = set(np.unique(as_int)) - {0, 1}
-    if bad:
+    if len(as_int) and (
+        (as_int != 0) & (as_int != 1)
+    ).any():
+        bad = set(np.unique(as_int).tolist()) - {0, 1}
         raise ValidationError(
             f"{name} must contain only 0/1 values, found {sorted(bad)}"
         )

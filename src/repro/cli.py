@@ -9,7 +9,7 @@ Usage::
     python -m repro statutes --attribute sex --sector employment \\
         --jurisdiction us
     python -m repro subgroups --data data.csv --checkpoint scan.ckpt.json \\
-        --resume
+        --resume --jobs 4
 
 Every subcommand prints to stdout.  Exit codes:
 
@@ -24,7 +24,8 @@ Every subcommand prints to stdout.  Exit codes:
 The audit-style subcommands accept an execution policy (``--deadline``
 seconds per stage, ``--retries`` for transient faults, ``--fail-fast``
 for fail-closed semantics); ``subgroups`` adds ``--checkpoint`` /
-``--resume`` for anytime enumeration.
+``--resume`` for anytime enumeration and ``--jobs N`` for a parallel
+scan whose findings and checkpoints stay byte-identical to serial.
 
 Observability (see ``docs/observability.md``): global ``-v``/``-q``
 control log verbosity and ``--log-json`` switches stderr logging to
@@ -185,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--checkpoint-every", type=int, default=64)
     scan.add_argument("--resume", action="store_true",
                       help="resume from --checkpoint after a killed run")
+    scan.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the scan (default 1 = "
+                      "serial; results and checkpoints are byte-identical "
+                      "either way)")
     _add_trace_flag(scan)
 
     rec = sub.add_parser("recommend",
@@ -327,6 +332,7 @@ def _cmd_subgroups(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        jobs=args.jobs,
     )
     if args.adjust != "none":
         findings = adjust_for_multiple_testing(findings, method=args.adjust)

@@ -33,6 +33,7 @@ from repro.core.metrics import (
 from repro.core.types import ConditionalMetricResult, MetricResult
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, InsufficientDataError, MetricError
+from repro.kernel import get_backend
 from repro.robustness import ExecutionPolicy, StageRunner
 from repro.stats.tests import min_detectable_gap
 
@@ -166,6 +167,19 @@ def intersection_column(
     """
     if len(attributes) < 2:
         raise AuditError("intersection requires at least two attributes")
+    if get_backend() == "kernel":
+        # Concatenate the (few) category labels, not the (many) rows:
+        # one lookup-table index per row instead of per-row string joins.
+        tables = [dataset.codes(a) for a in attributes]
+        labels = tables[0].categories_array.astype(str)
+        codes = tables[0].codes
+        for table in tables[1:]:
+            part = table.categories_array.astype(str)
+            labels = np.char.add(
+                np.char.add(labels[:, None], separator), part[None, :]
+            ).ravel()
+            codes = codes * table.n_categories + table.codes
+        return labels[codes]
     parts = [dataset.column(a).astype(str) for a in attributes]
     combined = parts[0]
     for part in parts[1:]:
@@ -363,9 +377,12 @@ class FairnessAudit:
 
     def _power_note(self, attribute: str) -> dict:
         """Minimum detectable gap for this attribute's two largest groups."""
-        values, counts = np.unique(
-            self.dataset.column(attribute), return_counts=True
-        )
+        if get_backend() == "kernel":
+            counts = self.dataset.codes(attribute).counts()
+        else:
+            _values, counts = np.unique(
+                self.dataset.column(attribute), return_counts=True
+            )
         if len(counts) < 2:
             return {}
         top = np.sort(counts)[-2:]

@@ -344,6 +344,46 @@ class TabularDataset:
                 data[name].append(_parse_cell(cell, schema[name]))
         return cls(schema, data)
 
+    # -- kernel integration ----------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """sha256 content fingerprint (schema layout + column bytes)."""
+        from repro.observability.provenance import dataset_fingerprint
+
+        return dataset_fingerprint(self)
+
+    def codes(self, name: str, categories: list | None = None):
+        """The kernel :class:`~repro.kernel.CodeTable` for a column.
+
+        Each column is encoded exactly once per dataset: tables are
+        cached on the instance keyed by ``(fingerprint, name, category
+        order)``, and the table itself materialises per-category boolean
+        masks lazily.  Repeat lookups count as ``kernel.cache_hit``.
+        """
+        from repro.kernel.codes import codes_for
+        from repro.observability.metrics import get_metrics
+
+        key = (
+            self.fingerprint(),
+            name,
+            None if categories is None else tuple(categories),
+        )
+        cache = getattr(self, "_code_tables", None)
+        if cache is None:
+            cache = {}
+            self._code_tables = cache
+        table = cache.get(key)
+        if table is not None:
+            get_metrics().counter("kernel.cache_hit").inc()
+            return table
+        table = codes_for(self.column(name), categories=categories)
+        cache[key] = table
+        return table
+
+    def category_mask(self, name: str, value) -> np.ndarray:
+        """Cached read-only boolean mask of rows where ``column == value``."""
+        return self.codes(name).mask(value)
+
     # -- summaries -------------------------------------------------------------
 
     def rate(self, column: str, value=1, where: np.ndarray | None = None) -> float:

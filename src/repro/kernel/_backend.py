@@ -1,0 +1,56 @@
+"""Backend selection for the compute kernel.
+
+Two implementations of every hot path coexist:
+
+* ``"kernel"`` — cached categorical code tables plus a joint-contingency
+  engine (one ``np.bincount`` over combined codes yields the confusion
+  counts of every group at once);
+* ``"reference"`` — the original per-group boolean-mask loops, kept
+  verbatim as the ground truth for equivalence testing and for honest
+  before/after benchmarking.
+
+The default comes from ``REPRO_KERNEL_BACKEND`` (falling back to
+``"kernel"``); tests switch temporarily with :func:`use_backend`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.exceptions import ValidationError
+
+__all__ = ["BACKENDS", "get_backend", "set_backend", "use_backend"]
+
+BACKENDS = ("kernel", "reference")
+
+_backend = os.environ.get("REPRO_KERNEL_BACKEND", "kernel")
+if _backend not in BACKENDS:
+    _backend = "kernel"
+
+
+def get_backend() -> str:
+    """The active kernel backend, ``"kernel"`` or ``"reference"``."""
+    return _backend
+
+
+def set_backend(name: str) -> str:
+    """Select the backend for subsequent metric/scan evaluations."""
+    global _backend
+    if name not in BACKENDS:
+        raise ValidationError(
+            f"backend must be one of {list(BACKENDS)}, got {name!r}"
+        )
+    _backend = name
+    return _backend
+
+
+@contextmanager
+def use_backend(name: str):
+    """Temporarily select a backend (restores the previous one on exit)."""
+    previous = get_backend()
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)

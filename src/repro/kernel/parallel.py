@@ -1,0 +1,70 @@
+"""Parallel subgroup-scan scoring: pure count arithmetic, cheap to ship.
+
+The subgroup scan is embarrassingly parallel once each subgroup is
+reduced to two integers (positives inside, members inside): workers
+need no arrays, just count tuples, so dispatch cost is a few bytes per
+subgroup.  Chunk boundaries are aligned to absolute multiples of the
+checkpoint interval, which makes the parallel scan's checkpoint cadence
+— and therefore every checkpoint file — byte-identical to the serial
+scan's.
+"""
+
+from __future__ import annotations
+
+from repro.stats.tests import two_proportion_z_test, wilson_interval
+
+__all__ = ["score_counts", "score_chunk", "chunk_ranges"]
+
+
+def score_counts(
+    positives_inside: int, n_inside: int, positives_total: int, n_total: int
+) -> dict | None:
+    """Disparity statistics for one subgroup from its count pair.
+
+    Reproduces the serial mask-based scoring exactly: the rates are the
+    same integer divisions, and the z-test/Wilson interval see the same
+    integer inputs.  Returns ``None`` when the subgroup covers the whole
+    population (no complement to compare against).
+    """
+    n_outside = n_total - n_inside
+    if n_outside <= 0:
+        return None
+    positives_outside = positives_total - positives_inside
+    rate = positives_inside / n_inside
+    complement = positives_outside / n_outside
+    test = two_proportion_z_test(
+        positives_inside, n_inside, positives_outside, n_outside
+    )
+    ci_low, ci_high = wilson_interval(positives_inside, n_inside)
+    return {
+        "rate": rate,
+        "complement_rate": complement,
+        "gap": rate - complement,
+        "ci_low": ci_low,
+        "ci_high": ci_high,
+        "p_value": test.p_value,
+    }
+
+
+def score_chunk(
+    entries: list[tuple[int, int]], positives_total: int, n_total: int
+) -> list[dict | None]:
+    """Score a chunk of ``(positives_inside, n_inside)`` pairs in order."""
+    return [
+        score_counts(positives, n, positives_total, n_total)
+        for positives, n in entries
+    ]
+
+
+def chunk_ranges(start: int, total: int, chunk: int) -> list[tuple[int, int]]:
+    """Half-open index ranges covering [start, total), aligned so every
+    boundary (except possibly ``start``) is an absolute multiple of
+    ``chunk`` — the alignment that keeps parallel checkpoints identical
+    to serial ones."""
+    ranges = []
+    index = start
+    while index < total:
+        end = min(((index // chunk) + 1) * chunk, total)
+        ranges.append((index, end))
+        index = end
+    return ranges

@@ -36,6 +36,14 @@ from repro._validation import (
 )
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, CheckpointError
+from repro.kernel import (
+    chunk_ranges,
+    combined_codes,
+    get_backend,
+    joint_counts,
+    score_chunk,
+    score_counts,
+)
 from repro.models.preprocessing import OneHotEncoder
 from repro.models.tree import DecisionTree
 from repro.robustness.checkpoint import load_checkpoint, save_checkpoint
@@ -114,12 +122,19 @@ def _finding_from_payload(payload: dict, dataset: TabularDataset) -> SubgroupFin
     conditions = tuple(
         (attribute, value) for attribute, value in payload["conditions"]
     )
-    mask = np.ones(dataset.n_rows, dtype=bool)
-    for attribute, value in conditions:
-        mask &= dataset.column(attribute) == value
+
+    def build_mask(conditions=conditions, dataset=dataset) -> np.ndarray:
+        masks = [
+            dataset.codes(attribute).mask(value)
+            for attribute, value in conditions
+        ]
+        return masks[0] if len(masks) == 1 else np.logical_and.reduce(masks)
+
     return SubgroupFinding(
         subgroup=Subgroup(
-            conditions=conditions, size=int(payload["size"]), mask=mask
+            conditions=conditions,
+            size=int(payload["size"]),
+            mask_factory=build_mask,
         ),
         rate=float(payload["rate"]),
         complement_rate=float(payload["complement_rate"]),
@@ -157,6 +172,35 @@ def _scan_fingerprint(
     return digest.hexdigest()
 
 
+def _inside_counts(
+    predictions: np.ndarray,
+    dataset: TabularDataset,
+    subgroups: list[Subgroup],
+) -> list[tuple[int, int]]:
+    """(positives_inside, n_inside) per subgroup from joint contingencies.
+
+    One ``np.bincount`` per attribute subset covers every subgroup of
+    that subset, so the whole enumeration is counted in O(n · subsets)
+    instead of O(n · subgroups).
+    """
+    by_subset: dict = {}
+    entries: list[tuple[int, int]] = []
+    for subgroup in subgroups:
+        attrs = tuple(attribute for attribute, _ in subgroup.conditions)
+        cached = by_subset.get(attrs)
+        if cached is None:
+            tables = [dataset.codes(attribute) for attribute in attrs]
+            codes, n_cells = combined_codes(tables)
+            cached = (tables, joint_counts(codes, n_cells, predictions))
+            by_subset[attrs] = cached
+        tables, counts = cached
+        cell = 0
+        for table, (_, value) in zip(tables, subgroup.conditions):
+            cell = cell * table.n_categories + table.index[value]
+        entries.append((int(counts[cell, 1]), subgroup.size))
+    return entries
+
+
 def audit_subgroups(
     predictions,
     dataset: TabularDataset,
@@ -169,6 +213,8 @@ def audit_subgroups(
     resume: bool = False,
     on_progress=None,
     tracer=None,
+    jobs: int = 1,
+    executor_factory=None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
 
@@ -202,6 +248,19 @@ def audit_subgroups(
         interval; checkpoint writes are individually timed into the
         ``subgroups.checkpoint_write`` histogram, and the
         ``subgroups.evaluated`` counter tracks scan throughput.
+    jobs:
+        Number of worker processes for the scan.  The default ``1`` runs
+        serially; any higher value partitions the enumeration into
+        chunks aligned to the checkpoint interval and dispatches them to
+        a ``concurrent.futures`` pool, merging results in enumeration
+        order — findings, p-values, and checkpoint files are
+        byte-identical to the serial scan, so serial and parallel runs
+        can resume each other's checkpoints.  Requires the ``"kernel"``
+        backend (workers score plain count tuples, not arrays).
+    executor_factory:
+        Callable ``(jobs) -> Executor`` overriding the default
+        ``ProcessPoolExecutor`` — a chaos/testing hook for injecting
+        thread pools or failing workers.
     """
     from repro.observability.metrics import get_metrics
     from repro.observability.trace import get_tracer
@@ -213,6 +272,12 @@ def audit_subgroups(
         raise AuditError("predictions length does not match dataset")
     check_probability(alpha, "alpha")
     check_positive_int(checkpoint_every, "checkpoint_every")
+    check_positive_int(jobs, "jobs")
+    if jobs > 1 and get_backend() != "kernel":
+        raise AuditError(
+            "jobs > 1 requires the 'kernel' backend; the reference path "
+            "is serial-only (repro.kernel.set_backend)"
+        )
     if attributes is None:
         attributes = dataset.schema.protected_names
     if not attributes:
@@ -248,61 +313,117 @@ def audit_subgroups(
                 for entry in payload["findings"]
             ]
 
+    total = len(subgroups)
+    use_kernel = get_backend() == "kernel"
+    entries = (
+        _inside_counts(predictions, dataset, subgroups) if use_kernel else None
+    )
+    n_total = len(predictions)
+    positives_total = int(predictions.sum())
+
     with tracer.span(
         "subgroups.scan",
-        total=len(subgroups),
+        total=total,
         resumed_from=start,
         max_order=max_order,
         min_size=min_size,
+        jobs=jobs,
     ) as scan_span:
-        for index in range(start, len(subgroups)):
-            subgroup = subgroups[index]
-            inside = predictions[subgroup.mask]
-            outside = predictions[~subgroup.mask]
-            if len(outside) > 0:
-                rate = float(inside.mean())
-                complement = float(outside.mean())
-                test = two_proportion_z_test(
-                    int(inside.sum()), len(inside),
-                    int(outside.sum()), len(outside),
-                )
-                lo, hi = wilson_interval(int(inside.sum()), len(inside))
-                findings.append(
-                    SubgroupFinding(
-                        subgroup=subgroup,
-                        rate=rate,
-                        complement_rate=complement,
-                        gap=rate - complement,
-                        ci_low=lo,
-                        ci_high=hi,
-                        p_value=test.p_value,
-                    )
-                )
-            evaluated = index + 1
-            metrics.counter("subgroups.evaluated").inc()
+
+        def write_checkpoint(evaluated: int) -> None:
             if checkpoint_path is not None and (
-                evaluated % checkpoint_every == 0
-                or evaluated == len(subgroups)
+                evaluated % checkpoint_every == 0 or evaluated == total
             ):
                 with metrics.timer("subgroups.checkpoint_write"):
                     save_checkpoint(
                         checkpoint_path,
                         {
                             "next_index": evaluated,
-                            "total": len(subgroups),
-                            "complete": evaluated == len(subgroups),
+                            "total": total,
+                            "complete": evaluated == total,
                             "findings": [
                                 _finding_to_payload(f) for f in findings
                             ],
                         },
                         fingerprint=fingerprint,
                     )
-                scan_span.event(
-                    "checkpoint", evaluated=evaluated, total=len(subgroups)
-                )
-            if on_progress is not None:
-                on_progress(evaluated, len(subgroups))
-        scan_span.set(evaluated=len(subgroups) - start)
+                scan_span.event("checkpoint", evaluated=evaluated, total=total)
+
+        if jobs == 1:
+            for index in range(start, total):
+                subgroup = subgroups[index]
+                if use_kernel:
+                    payload = score_counts(
+                        entries[index][0], entries[index][1],
+                        positives_total, n_total,
+                    )
+                    if payload is not None:
+                        findings.append(
+                            SubgroupFinding(subgroup=subgroup, **payload)
+                        )
+                else:
+                    inside = predictions[subgroup.mask]
+                    outside = predictions[~subgroup.mask]
+                    if len(outside) > 0:
+                        rate = float(inside.mean())
+                        complement = float(outside.mean())
+                        test = two_proportion_z_test(
+                            int(inside.sum()), len(inside),
+                            int(outside.sum()), len(outside),
+                        )
+                        lo, hi = wilson_interval(int(inside.sum()), len(inside))
+                        findings.append(
+                            SubgroupFinding(
+                                subgroup=subgroup,
+                                rate=rate,
+                                complement_rate=complement,
+                                gap=rate - complement,
+                                ci_low=lo,
+                                ci_high=hi,
+                                p_value=test.p_value,
+                            )
+                        )
+                evaluated = index + 1
+                metrics.counter("subgroups.evaluated").inc()
+                write_checkpoint(evaluated)
+                if on_progress is not None:
+                    on_progress(evaluated, total)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            factory = executor_factory or (
+                lambda n: ProcessPoolExecutor(max_workers=n)
+            )
+            # Chunk boundaries sit on absolute multiples of the checkpoint
+            # interval, so the parallel scan checkpoints at exactly the
+            # serial cadence and the files interleave/resume either way.
+            # Without a checkpoint there is no cadence to preserve, so
+            # chunks grow to amortise the per-dispatch round trip.
+            dispatch = checkpoint_every
+            if checkpoint_path is None:
+                dispatch = max(dispatch, -(-(total - start) // (jobs * 4)))
+            ranges = chunk_ranges(start, total, dispatch)
+            with factory(jobs) as pool:
+                futures = [
+                    pool.submit(
+                        score_chunk, entries[lo:hi], positives_total, n_total
+                    )
+                    for lo, hi in ranges
+                ]
+                for (lo, hi), future in zip(ranges, futures):
+                    for offset, payload in enumerate(future.result()):
+                        if payload is not None:
+                            findings.append(
+                                SubgroupFinding(
+                                    subgroup=subgroups[lo + offset], **payload
+                                )
+                            )
+                    metrics.counter("subgroups.evaluated").inc(hi - lo)
+                    write_checkpoint(hi)
+                    if on_progress is not None:
+                        for index in range(lo, hi):
+                            on_progress(index + 1, total)
+        scan_span.set(evaluated=total - start)
 
     findings.sort(key=lambda f: (-abs(f.gap), f.subgroup.label()))
     return findings

@@ -5,11 +5,16 @@ granular subgroups, since complexity increases exponentially."*  The
 enumerator makes that cost visible: it reports, for each conjunction
 order, how many subgroups exist, and refuses to enumerate past an
 explicit budget instead of silently hanging.
+
+Sizing is done by the kernel's joint-contingency engine: one
+``np.bincount`` over combined codes counts every value combination of an
+attribute subset at once, instead of one O(n) mask build per subgroup.
+Member masks are materialised lazily from the kernel's cached
+per-category masks (``np.logical_and.reduce``) only when actually read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from itertools import combinations, product
 
 import numpy as np
@@ -17,17 +22,36 @@ import numpy as np
 from repro._validation import check_positive_int
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, ValidationError
+from repro.kernel import combined_codes, joint_counts
 
 __all__ = ["Subgroup", "enumerate_subgroups", "subgroup_space_size"]
 
 
-@dataclass(frozen=True)
 class Subgroup:
-    """A conjunction of attribute=value conditions and its member mask."""
+    """A conjunction of attribute=value conditions and its member mask.
 
-    conditions: tuple  # tuple of (attribute, value) pairs
-    size: int
-    mask: np.ndarray
+    ``mask`` is computed on first access when the subgroup was built with
+    a ``mask_factory`` (the enumerator's cached-mask conjunction); scans
+    that never touch the mask — the kernel path scores from counts —
+    skip the O(n) materialisation entirely.
+    """
+
+    __slots__ = ("conditions", "size", "_mask", "_mask_factory")
+
+    def __init__(self, conditions: tuple, size: int, mask=None, mask_factory=None):
+        self.conditions = tuple(conditions)
+        self.size = int(size)
+        if mask is None and mask_factory is None:
+            raise ValidationError("Subgroup requires a mask or a mask_factory")
+        self._mask = mask
+        self._mask_factory = mask_factory
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean member mask (materialised lazily, then kept)."""
+        if self._mask is None:
+            self._mask = self._mask_factory()
+        return self._mask
 
     @property
     def order(self) -> int:
@@ -62,6 +86,19 @@ def subgroup_space_size(category_counts: list[int], max_order: int) -> int:
                 size *= category_counts[index]
             total += size
     return total
+
+
+def _conjunction_factory(tables: list, values: tuple):
+    """Deferred AND over the tables' cached per-category masks."""
+
+    def build(tables=tables, values=values) -> np.ndarray:
+        if len(tables) == 1:
+            return tables[0].mask(values[0])
+        return np.logical_and.reduce(
+            [table.mask(value) for table, value in zip(tables, values)]
+        )
+
+    return build
 
 
 def enumerate_subgroups(
@@ -110,22 +147,25 @@ def enumerate_subgroups(
             "complexity increases exponentially)"
         )
 
-    columns = {a: dataset.column(a) for a in attributes}
+    tables = {a: dataset.codes(a) for a in attributes}
     subgroups: list[Subgroup] = []
     for order in range(1, min(max_order, len(attributes)) + 1):
         for attrs in combinations(attributes, order):
+            attr_tables = [tables[a] for a in attrs]
+            codes, n_cells = combined_codes(attr_tables)
+            sizes = joint_counts(codes, n_cells)
             for values in product(*(categories[a] for a in attrs)):
-                mask = np.ones(dataset.n_rows, dtype=bool)
-                for attribute, value in zip(attrs, values):
-                    mask &= columns[attribute] == value
-                size = int(mask.sum())
+                cell = 0
+                for table, value in zip(attr_tables, values):
+                    cell = cell * table.n_categories + table.index[value]
+                size = int(sizes[cell])
                 if size < min_size:
                     continue
                 subgroups.append(
                     Subgroup(
                         conditions=tuple(zip(attrs, values)),
                         size=size,
-                        mask=mask,
+                        mask_factory=_conjunction_factory(attr_tables, values),
                     )
                 )
     return subgroups

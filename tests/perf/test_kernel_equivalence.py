@@ -1,0 +1,238 @@
+"""Equivalence suite: kernel path ≡ reference path, bit for bit.
+
+The kernel (ISSUE 3) must be a pure performance change: every Section
+III metric — values, p-values, group ordering, skip/raise semantics —
+must be *identical* under the ``"kernel"`` and ``"reference"`` backends.
+These are property-style checks over randomized datasets, not golden
+files: the reference loop is executed alongside the kernel on the same
+inputs and the full result structures are compared with ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FairnessAudit
+from repro.core.audit import intersection_column
+from repro.core.metrics import (
+    calibration_within_groups,
+    conditional_demographic_disparity,
+    conditional_statistical_parity,
+    demographic_disparity,
+    demographic_parity,
+    disparate_impact_ratio,
+    equal_opportunity,
+    equalized_odds,
+    false_positive_rate_parity,
+    overall_accuracy_equality,
+    predictive_parity,
+    treatment_equality,
+)
+from repro.data import make_hiring, make_intersectional
+from repro.exceptions import InsufficientDataError, MetricError
+from repro.kernel import use_backend
+from repro.observability.metrics import MetricsRegistry, use_metrics
+
+
+def result_signature(result):
+    """Every observable field of a metric result, as a comparable value."""
+    if hasattr(result, "strata"):  # ConditionalMetricResult
+        return (
+            result.metric,
+            result.condition,
+            tuple((key, result_signature(value)) for key, value in result.strata.items()),
+            result.skipped_strata,
+            result.tolerance,
+            result.equality_concept,
+        )
+    significance = (
+        None
+        if result.significance is None
+        else (result.significance.statistic, result.significance.p_value)
+    )
+    return (
+        result.metric,
+        tuple(
+            (gs.group, gs.n, gs.positives, gs.rate) for gs in result.group_stats
+        ),
+        result.gap,
+        result.ratio,
+        result.tolerance,
+        result.satisfied,
+        result.equality_concept,
+        repr(result.details),
+        significance,
+    )
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    data = make_hiring(n=4000, direct_bias=1.5, proxy_strength=0.8, random_state=3)
+    rng = np.random.default_rng(11)
+    labels = data.labels()
+    predictions = np.where(
+        rng.random(len(labels)) < 0.85, labels, 1 - labels
+    ).astype(np.int64)
+    return {
+        "y_true": labels,
+        "predictions": predictions,
+        "protected": data.column("sex"),
+        "strata": data.column("university"),
+        "probabilities": rng.random(len(labels)),
+    }
+
+
+METRIC_CALLS = {
+    "demographic_parity": lambda a: demographic_parity(
+        a["predictions"], a["protected"], tolerance=0.05, with_significance=True
+    ),
+    "conditional_statistical_parity": lambda a: conditional_statistical_parity(
+        a["predictions"], a["protected"], a["strata"],
+        tolerance=0.05, min_stratum_group_size=5,
+    ),
+    "equal_opportunity": lambda a: equal_opportunity(
+        a["y_true"], a["predictions"], a["protected"], with_significance=True
+    ),
+    "equalized_odds": lambda a: equalized_odds(
+        a["y_true"], a["predictions"], a["protected"]
+    ),
+    "demographic_disparity": lambda a: demographic_disparity(
+        a["predictions"], a["protected"]
+    ),
+    "conditional_demographic_disparity": lambda a: conditional_demographic_disparity(
+        a["predictions"], a["protected"], a["strata"], min_stratum_group_size=5
+    ),
+    "predictive_parity": lambda a: predictive_parity(
+        a["y_true"], a["predictions"], a["protected"]
+    ),
+    "treatment_equality": lambda a: treatment_equality(
+        a["y_true"], a["predictions"], a["protected"]
+    ),
+    "false_positive_rate_parity": lambda a: false_positive_rate_parity(
+        a["y_true"], a["predictions"], a["protected"]
+    ),
+    "overall_accuracy_equality": lambda a: overall_accuracy_equality(
+        a["y_true"], a["predictions"], a["protected"]
+    ),
+    "disparate_impact_ratio": lambda a: disparate_impact_ratio(
+        a["predictions"], a["protected"]
+    ),
+    "calibration_within_groups": lambda a: calibration_within_groups(
+        a["y_true"], a["probabilities"], a["protected"]
+    ),
+}
+
+
+@pytest.mark.parametrize("metric", sorted(METRIC_CALLS))
+def test_every_section_iii_metric_is_backend_identical(metric, arrays):
+    call = METRIC_CALLS[metric]
+    with use_backend("reference"):
+        reference = result_signature(call(arrays))
+    with use_backend("kernel"):
+        kernel = result_signature(call(arrays))
+    assert kernel == reference
+
+
+def test_numeric_group_values_keep_repr_order():
+    # repr-sorting of int groups ([1, 10, 2], not [1, 2, 10]) is part of
+    # the public result contract; the code tables must reproduce it.
+    rng = np.random.default_rng(0)
+    protected = rng.choice([1, 2, 10], size=400)
+    predictions = rng.integers(0, 2, size=400)
+    with use_backend("reference"):
+        reference = demographic_parity(predictions, protected)
+    with use_backend("kernel"):
+        kernel = demographic_parity(predictions, protected)
+    assert [gs.group for gs in kernel.group_stats] == [1, 10, 2]
+    assert result_signature(kernel) == result_signature(reference)
+
+
+@pytest.mark.parametrize("metric", ["equal_opportunity", "equalized_odds"])
+def test_insufficient_data_raises_identically(metric, arrays):
+    # One group with no actual positives must raise the same error, with
+    # the same message and structured group evidence, on both backends.
+    y_true = arrays["y_true"].copy()
+    y_true[arrays["protected"] == "female"] = 0
+    y_true.setflags(write=False)
+    call = METRIC_CALLS[metric]
+    messages = {}
+    for backend in ("reference", "kernel"):
+        with use_backend(backend):
+            with pytest.raises(InsufficientDataError) as excinfo:
+                call({**arrays, "y_true": y_true})
+            messages[backend] = (str(excinfo.value), excinfo.value.group)
+    assert messages["kernel"] == messages["reference"]
+
+
+def test_fewer_than_two_groups_raises_identically():
+    predictions = np.array([0, 1, 1, 0])
+    protected = np.array(["only", "only", "only", "only"])
+    messages = {}
+    for backend in ("reference", "kernel"):
+        with use_backend(backend):
+            with pytest.raises(MetricError) as excinfo:
+                demographic_parity(predictions, protected)
+            messages[backend] = str(excinfo.value)
+    assert messages["kernel"] == messages["reference"]
+
+
+def test_all_strata_skipped_raises_identically(arrays):
+    messages = {}
+    for backend in ("reference", "kernel"):
+        with use_backend(backend):
+            with pytest.raises(InsufficientDataError) as excinfo:
+                conditional_statistical_parity(
+                    arrays["predictions"], arrays["protected"],
+                    arrays["strata"], min_stratum_group_size=10_000,
+                )
+            messages[backend] = str(excinfo.value)
+    assert messages["kernel"] == messages["reference"]
+
+
+def test_full_audit_battery_is_backend_identical():
+    data = make_intersectional(n=3000, random_state=7)
+    rng = np.random.default_rng(2)
+    labels = data.labels()
+    predictions = np.where(
+        rng.random(len(labels)) < 0.8, labels, 1 - labels
+    ).astype(np.int64)
+
+    def battery(backend):
+        with use_backend(backend):
+            report = FairnessAudit(
+                data, predictions=predictions, tolerance=0.05
+            ).run()
+        return (
+            [
+                (f.attribute, f.metric, f.status, f.reason,
+                 None if f.result is None else result_signature(f.result))
+                for f in report.all_findings()
+            ],
+            {k: repr(v) for k, v in report.power_notes.items()},
+        )
+
+    assert battery("kernel") == battery("reference")
+
+
+def test_intersection_column_is_backend_identical():
+    data = make_intersectional(n=500, random_state=1)
+    with use_backend("reference"):
+        reference = intersection_column(data, ["gender", "race"])
+    with use_backend("kernel"):
+        kernel = intersection_column(data, ["gender", "race"])
+    assert kernel.tolist() == reference.tolist()
+
+
+def test_kernel_cache_metrics_are_recorded():
+    rng = np.random.default_rng(4)
+    predictions = rng.integers(0, 2, size=300)
+    protected = rng.choice(["a", "b", "c"], size=300)
+    registry = MetricsRegistry()
+    with use_metrics(registry), use_backend("kernel"):
+        demographic_parity(predictions, protected)
+        demographic_parity(predictions, protected)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"].get("kernel.cache_hit", 0) > 0
+    assert snapshot["counters"].get("kernel.cache_miss", 0) > 0
+    assert snapshot["histograms"]["kernel.contingency"]["count"] > 0
