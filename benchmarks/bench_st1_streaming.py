@@ -1,0 +1,122 @@
+"""ST1 — streaming: ingest throughput and sharded-merge overhead.
+
+The streaming engine's contract is that exactness costs nothing
+operationally: chunked ingest must sustain a practical row rate, and a
+sharded (ingest shards → merge → finalize) audit must land within 10%
+of the single-pass streaming audit's wall time while producing the
+byte-identical report.  This bench measures both and fails if either
+regresses past the floor, emitting the rows into ``BENCH_ST1.json``
+for the cross-PR trajectory.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import AuditConfig
+from repro.data import make_hiring
+from repro.streaming import (
+    AuditAccumulator,
+    accumulator_for,
+    audit_stream,
+    finalize,
+)
+
+from benchmarks.conftest import report, write_bench_json
+
+N_ROWS = 200_000
+CHUNK = 10_000
+#: conservative floor — the bincount kernel sustains millions of rows/s,
+#: but CI machines are noisy; regressing below this means something
+#: structural broke (per-row Python loops, lost vectorisation).
+MIN_ROWS_PER_SECOND = 50_000
+#: sharded audit (merge of 8 shard states) must stay within 10% of the
+#: single-pass streaming audit.
+MAX_SHARD_OVERHEAD = 1.10
+
+
+def _chunks(dataset, predictions, size):
+    for lo in range(0, dataset.n_rows, size):
+        idx = np.arange(lo, min(lo + size, dataset.n_rows))
+        yield dataset.take(idx), predictions[lo: lo + size]
+
+
+def test_st1_streaming(benchmark):
+    data = make_hiring(
+        n=N_ROWS, direct_bias=1.2, proxy_strength=0.5, random_state=0
+    )
+    rng = np.random.default_rng(1)
+    predictions = (
+        data.column("hired") ^ (rng.random(N_ROWS) < 0.1)
+    ).astype(int)
+    config = AuditConfig(tolerance=0.05)
+
+    def experiment():
+        # ingest throughput
+        acc = accumulator_for(data)
+        start = time.perf_counter()
+        for chunk, preds in _chunks(data, predictions, CHUNK):
+            acc.ingest_dataset(chunk, preds)
+        ingest_s = time.perf_counter() - start
+
+        # single-pass streaming audit (ingest + finalize)
+        start = time.perf_counter()
+        single = audit_stream(_chunks(data, predictions, CHUNK), config)
+        single_s = time.perf_counter() - start
+
+        # sharded: 8 shard accumulators, merged, then finalized
+        start = time.perf_counter()
+        shards = []
+        bounds = np.linspace(0, N_ROWS, 9, dtype=int)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            shard = accumulator_for(data)
+            shard.ingest_dataset(
+                data.take(np.arange(lo, hi)), predictions[lo:hi]
+            )
+            shards.append(shard)
+        merged = AuditAccumulator.merge_all(shards)
+        sharded_report = finalize(merged, config)
+        sharded_s = time.perf_counter() - start
+        return ingest_s, single_s, sharded_s, single, sharded_report
+
+    ingest_s, single_s, sharded_s, single, sharded_report = (
+        benchmark.pedantic(experiment, rounds=1, iterations=1)
+    )
+    rows_per_s = N_ROWS / ingest_s
+    overhead = sharded_s / single_s
+
+    report("ST1 streaming throughput", [
+        ("rows", "chunk", "ingest_s", "rows/s", "single_s", "sharded_s",
+         "overhead"),
+        (N_ROWS, CHUNK, round(ingest_s, 4), round(rows_per_s),
+         round(single_s, 4), round(sharded_s, 4), round(overhead, 3)),
+    ])
+    write_bench_json("ST1", {
+        "n_rows": N_ROWS,
+        "chunk_size": CHUNK,
+        "ingest_seconds": round(ingest_s, 4),
+        "rows_per_second": round(rows_per_s),
+        "single_pass_seconds": round(single_s, 4),
+        "sharded_seconds": round(sharded_s, 4),
+        "shard_overhead": round(overhead, 4),
+        "floors": {
+            "min_rows_per_second": MIN_ROWS_PER_SECOND,
+            "max_shard_overhead": MAX_SHARD_OVERHEAD,
+        },
+    })
+
+    # the guarantee the docs advertise: identical verdicts either way
+    from repro.core.serialize import report_to_dict
+
+    lhs, rhs = report_to_dict(single), report_to_dict(sharded_report)
+    lhs.pop("provenance"), rhs.pop("provenance")
+    assert lhs == rhs, "sharded report diverged from single-pass stream"
+
+    assert rows_per_s >= MIN_ROWS_PER_SECOND, (
+        f"streaming ingest regressed: {rows_per_s:.0f} rows/s "
+        f"< floor {MIN_ROWS_PER_SECOND}"
+    )
+    assert overhead <= MAX_SHARD_OVERHEAD, (
+        f"sharded audit overhead {overhead:.2f}x exceeds "
+        f"{MAX_SHARD_OVERHEAD}x of single-pass"
+    )

@@ -8,11 +8,14 @@ legal mapping of Section II, as executable, tested code.
 
 Quickstart
 ----------
->>> from repro import make_hiring, FairnessAudit
+>>> from repro import audit, AuditConfig, make_hiring
 >>> data = make_hiring(n=2000, direct_bias=1.5, random_state=0)
->>> report = FairnessAudit(data, tolerance=0.05).run()
+>>> report = audit(data, config=AuditConfig(tolerance=0.05))
 >>> report.is_clean
 False
+
+The same call audits chunked streams and merged shard state — see
+``repro.streaming`` and ``docs/streaming.md``.
 
 See ``examples/`` for end-to-end scenarios and ``DESIGN.md`` for the
 full system inventory.
@@ -60,9 +63,16 @@ from repro.data import (
     make_intersectional,
     make_recidivism,
 )
+from repro.api import audit  # noqa: E402
+from repro.core.config import AuditConfig  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    AuditAccumulator,
+    FairnessMonitor,
+    audit_stream,
+)
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -101,4 +111,10 @@ __all__ = [
     "AuditReport",
     "ComplianceDossier",
     "run_compliance_workflow",
+    # façade / streaming
+    "audit",
+    "AuditConfig",
+    "AuditAccumulator",
+    "FairnessMonitor",
+    "audit_stream",
 ]

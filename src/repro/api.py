@@ -1,0 +1,92 @@
+"""The top-level ``repro.audit`` façade.
+
+One entry point, one config object: ``audit(data, config=...)`` accepts
+whatever form the evidence is in — an in-memory
+:class:`~repro.data.dataset.TabularDataset`, a pre-counted
+:class:`~repro.streaming.accumulator.AuditAccumulator` (e.g. merged
+from shards), or any iterable of dataset chunks — and returns the same
+:class:`~repro.core.audit.AuditReport` either way.  The report is
+byte-identical across forms (modulo the provenance timings), because
+the streaming path maintains exact joint contingency counts.
+
+This is the stable public surface; the per-call keyword arguments the
+constructors used to take are deprecated in favour of
+:class:`~repro.core.config.AuditConfig`.
+"""
+
+from __future__ import annotations
+
+from repro.core.audit import AuditReport, FairnessAudit
+from repro.core.config import AuditConfig
+from repro.data.dataset import TabularDataset
+from repro.exceptions import AuditError
+from repro.streaming.accumulator import AuditAccumulator
+from repro.streaming.stream import audit_stream, finalize
+
+__all__ = ["audit"]
+
+
+def audit(
+    data,
+    *,
+    predictions=None,
+    probabilities=None,
+    config: AuditConfig | None = None,
+) -> AuditReport:
+    """Run the fairness battery on ``data`` and return the report.
+
+    Parameters
+    ----------
+    data:
+        A :class:`~repro.data.dataset.TabularDataset` (audited in
+        memory), an :class:`~repro.streaming.accumulator.AuditAccumulator`
+        holding pre-ingested counts, or an iterable of dataset chunks /
+        ``(dataset, predictions)`` pairs (audited via the streaming
+        engine).
+    predictions:
+        Model outputs aligned with the dataset rows; omit to audit the
+        labels themselves.  Only valid for the in-memory form — chunked
+        streams carry predictions inside each chunk, accumulators
+        already counted them.
+    probabilities:
+        Continuous scores enabling ``calibration_within_groups``;
+        in-memory form only (calibration is outside the counts model).
+    config:
+        The :class:`~repro.core.config.AuditConfig` shared by every
+        audit surface; defaults to ``AuditConfig()``.
+
+    Examples
+    --------
+    >>> from repro import audit, AuditConfig, make_hiring
+    >>> report = audit(make_hiring(500, random_state=0),
+    ...                config=AuditConfig(tolerance=0.1))
+    >>> isinstance(report.is_clean, bool)
+    True
+    """
+    if config is None:
+        config = AuditConfig()
+    if isinstance(data, TabularDataset):
+        return FairnessAudit(
+            data,
+            predictions=predictions,
+            probabilities=probabilities,
+            config=config,
+        ).run()
+    if isinstance(data, AuditAccumulator):
+        if predictions is not None or probabilities is not None:
+            raise AuditError(
+                "an accumulator already carries its predictions; "
+                "pass them per-chunk at ingest time"
+            )
+        return finalize(data, config)
+    if hasattr(data, "__iter__"):
+        if predictions is not None or probabilities is not None:
+            raise AuditError(
+                "chunked streams carry predictions inside each "
+                "(dataset, predictions) chunk"
+            )
+        return audit_stream(data, config)
+    raise AuditError(
+        "audit() takes a TabularDataset, an AuditAccumulator, or an "
+        f"iterable of chunks, got {type(data).__name__}"
+    )

@@ -4,6 +4,11 @@ Usage::
 
     python -m repro generate --workload hiring --n 2000 --out data.csv
     python -m repro audit --data data.csv --tolerance 0.05 --format json
+    python -m repro audit --data data.csv --chunk-size 500 \\
+        --checkpoint stream.ckpt.json --state-out shard0.state.json
+    python -m repro merge-state shard*.state.json --audit
+    python -m repro monitor --data data.csv --window 500 \\
+        --drift-threshold 0.1
     python -m repro recommend --sector employment --jurisdiction eu \\
         --structural-bias --no-reliable-labels
     python -m repro statutes --attribute sex --sector employment \\
@@ -27,6 +32,13 @@ for fail-closed semantics); ``subgroups`` adds ``--checkpoint`` /
 ``--resume`` for anytime enumeration and ``--jobs N`` for a parallel
 scan whose findings and checkpoints stay byte-identical to serial.
 
+Streaming (see ``docs/streaming.md``): ``audit --chunk-size N`` runs
+the same audit through the streaming engine (byte-identical report),
+with ``--checkpoint``/``--resume`` for interruption-safe ingest and
+``--state-out`` to export mergeable accumulator state; ``merge-state``
+folds shard states together; ``monitor`` replays a dataset as a
+windowed stream and flags fairness drift (Section IV.E).
+
 Observability (see ``docs/observability.md``): global ``-v``/``-q``
 control log verbosity and ``--log-json`` switches stderr logging to
 JSON lines; the audit-style subcommands take ``--trace-out PATH`` to
@@ -41,6 +53,7 @@ import logging
 import sys
 
 from repro.core.audit import FairnessAudit
+from repro.core.config import AuditConfig
 from repro.core.criteria import UseCaseProfile, recommend_metrics, risk_flags
 from repro.core.legal import statutes_protecting
 from repro.core.report import render_markdown, render_text
@@ -159,8 +172,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="legitimate conditioning column")
     audit.add_argument("--format", choices=("markdown", "text", "json"),
                        default="markdown")
+    audit.add_argument("--metric", action="append", default=[],
+                       help="restrict the battery to this metric "
+                       "(repeatable; default: the full battery)")
+    audit.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                       help="stream the dataset through the audit in "
+                       "chunks of N rows (byte-identical report; "
+                       "see docs/streaming.md)")
+    audit.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="with --chunk-size: write accumulator state "
+                       "here after every chunk (atomic)")
+    audit.add_argument("--resume", action="store_true",
+                       help="with --chunk-size: resume ingest from "
+                       "--checkpoint after an interrupted run")
+    audit.add_argument("--state-out", default=None, metavar="PATH",
+                       help="with --chunk-size: export the final "
+                       "accumulator state for merge-state")
     _add_policy_flags(audit)
     _add_trace_flag(audit)
+
+    merge = sub.add_parser(
+        "merge-state",
+        help="merge streaming accumulator states from parallel shards",
+    )
+    merge.add_argument("states", nargs="+",
+                       help="state files written by audit --state-out")
+    merge.add_argument("--out", default=None, metavar="PATH",
+                       help="write the merged state here")
+    merge.add_argument("--audit", action="store_true",
+                       help="audit the merged counts and print the report")
+    merge.add_argument("--tolerance", type=float, default=0.05)
+    merge.add_argument("--format", choices=("markdown", "text", "json"),
+                       default="markdown")
+    _add_trace_flag(merge)
+
+    mon = sub.add_parser(
+        "monitor",
+        help="replay a dataset as a windowed stream and flag fairness "
+        "drift (Section IV.E)",
+    )
+    mon.add_argument("--data", required=True, help="CSV written by generate")
+    mon.add_argument("--schema", default=None,
+                     help="schema JSON (default: <data>.schema.json)")
+    mon.add_argument("--model", default=None,
+                     help="JSON pipeline written by train; without it the "
+                     "labels themselves are monitored")
+    mon.add_argument("--window", type=int, default=500, metavar="N",
+                     help="rows per evaluation window")
+    mon.add_argument("--drift-threshold", type=float, default=0.1,
+                     help="gap change vs the running baseline that "
+                     "raises a drift event")
+    mon.add_argument("--tolerance", type=float, default=0.05)
+    mon.add_argument("--metric", action="append", default=[],
+                     help="restrict each window's battery (repeatable)")
+    mon.add_argument("--format", choices=("markdown", "json"),
+                     default="markdown")
+    _add_trace_flag(mon)
 
     scan = sub.add_parser(
         "subgroups",
@@ -300,19 +367,113 @@ def _report_exit_code(report) -> int:
     return EXIT_DEGRADED if report.degraded else 0
 
 
-def _cmd_audit(args) -> int:
-    dataset = load_dataset(args.data, args.schema)
-    report = FairnessAudit(
-        dataset, tolerance=args.tolerance, strata=args.strata,
-        policy=_policy_from_args(args),
-    ).run()
-    if args.format == "json":
+def _print_report(report, fmt: str) -> None:
+    if fmt == "json":
         print(report_to_json(report))
-    elif args.format == "text":
+    elif fmt == "text":
         print(render_text(report))
     else:
         print(render_markdown(report))
+
+
+def _dataset_chunks(dataset, chunk_size: int):
+    """Slice a dataset into row-contiguous chunks for the stream engine."""
+    import numpy as np
+
+    for lo in range(0, dataset.n_rows, chunk_size):
+        yield dataset.take(np.arange(lo, min(lo + chunk_size, dataset.n_rows)))
+
+
+def _cmd_audit(args) -> int:
+    from repro.exceptions import AuditError
+
+    dataset = load_dataset(args.data, args.schema)
+    config = AuditConfig(
+        tolerance=args.tolerance,
+        strata=args.strata,
+        metrics=tuple(args.metric) or None,
+        policy=_policy_from_args(args),
+    )
+    if args.chunk_size is None:
+        for flag in ("checkpoint", "state_out"):
+            if getattr(args, flag):
+                raise AuditError(
+                    f"--{flag.replace('_', '-')} requires --chunk-size"
+                )
+        report = FairnessAudit(dataset, config=config).run()
+    else:
+        from repro.streaming import finalize, ingest_stream
+
+        if args.chunk_size < 1:
+            raise AuditError("--chunk-size must be >= 1")
+        accumulator = ingest_stream(
+            _dataset_chunks(dataset, args.chunk_size),
+            config,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+        if args.state_out:
+            accumulator.save(args.state_out)
+            _LOG.info("accumulator state written to %s", args.state_out)
+        report = finalize(accumulator, config)
+    _print_report(report, args.format)
     return _report_exit_code(report)
+
+
+def _cmd_merge_state(args) -> int:
+    from repro.streaming import finalize, merge_states
+
+    merged = merge_states(args.states)
+    print(f"merged {len(args.states)} shard states: {merged.n_rows} rows, "
+          f"{len(merged._cells)} cells, "
+          f"{merged.chunks_ingested} chunks ingested")
+    if args.out:
+        merged.save(args.out)
+        print(f"merged state written to {args.out}")
+    if not args.audit:
+        return 0
+    config = AuditConfig(tolerance=args.tolerance, strata=merged.strata)
+    report = finalize(merged, config)
+    _print_report(report, args.format)
+    return _report_exit_code(report)
+
+
+def _cmd_monitor(args) -> int:
+    from repro.streaming import FairnessMonitor
+
+    dataset = load_dataset(args.data, args.schema)
+    predictions = None
+    if args.model:
+        from repro.models.persistence import LinearPipeline
+
+        predictions = LinearPipeline.load(args.model).predict(dataset)
+    config = AuditConfig(
+        tolerance=args.tolerance, metrics=tuple(args.metric) or None
+    )
+    monitor = FairnessMonitor(
+        dataset.schema.protected_names,
+        config=config,
+        window=args.window,
+        drift_threshold=args.drift_threshold,
+        label=dataset.schema.label_name,
+        audits_labels=predictions is None,
+    )
+    monitor.observe(
+        y_true=dataset.labels(),
+        predictions=predictions,
+        protected={
+            name: dataset.column(name)
+            for name in dataset.schema.protected_names
+        },
+    )
+    monitor.flush()
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(monitor.summary(), indent=2))
+    else:
+        print(monitor.markdown())
+    return 1 if monitor.drift_events else 0
 
 
 def _cmd_subgroups(args) -> int:
@@ -326,13 +487,15 @@ def _cmd_subgroups(args) -> int:
         dataset.labels(),
         dataset,
         attributes=args.attribute or None,
-        max_order=args.max_order,
-        min_size=args.min_size,
-        alpha=args.alpha,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
-        jobs=args.jobs,
+        config=AuditConfig(
+            max_order=args.max_order,
+            min_size=args.min_size,
+            alpha=args.alpha,
+            jobs=args.jobs,
+        ),
     )
     if args.adjust != "none":
         findings = adjust_for_multiple_testing(findings, method=args.adjust)
@@ -424,15 +587,11 @@ def _cmd_predict(args) -> int:
         dataset,
         predictions=predictions,
         probabilities=probabilities,
-        tolerance=args.tolerance,
-        policy=_policy_from_args(args),
+        config=AuditConfig(
+            tolerance=args.tolerance, policy=_policy_from_args(args)
+        ),
     ).run()
-    if args.format == "json":
-        print(report_to_json(report))
-    elif args.format == "text":
-        print(render_text(report))
-    else:
-        print(render_markdown(report))
+    _print_report(report, args.format)
     return _report_exit_code(report)
 
 
@@ -480,8 +639,12 @@ def _cmd_workflow(args) -> int:
         proxy_risk=args.proxy_risk,
     )
     dossier = run_compliance_workflow(
-        dataset, profile, tolerance=args.tolerance, strata=args.strata,
-        policy=_policy_from_args(args),
+        dataset, profile,
+        config=AuditConfig(
+            tolerance=args.tolerance,
+            strata=args.strata,
+            policy=_policy_from_args(args),
+        ),
     )
     print(dossier.to_markdown())
     if dossier.verdict == "fail":
@@ -494,6 +657,8 @@ def _cmd_workflow(args) -> int:
 _COMMANDS = {
     "generate": _cmd_generate,
     "audit": _cmd_audit,
+    "merge-state": _cmd_merge_state,
+    "monitor": _cmd_monitor,
     "subgroups": _cmd_subgroups,
     "train": _cmd_train,
     "predict": _cmd_predict,

@@ -10,12 +10,14 @@ each finding.  The output :class:`AuditReport` renders to markdown via
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._validation import check_binary_array, check_probability
-from repro.core.legal import four_fifths_rule
+from repro._validation import check_binary_array
+from repro.core.config import AuditConfig
+from repro.core.legal import FourFifthsFinding, four_fifths_rule
 from repro.core.metrics import (
     calibration_within_groups,
     conditional_demographic_disparity,
@@ -34,26 +36,122 @@ from repro.core.types import ConditionalMetricResult, MetricResult
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, InsufficientDataError, MetricError
 from repro.kernel import get_backend
+from repro.observability.provenance import ProvenanceRecord
 from repro.robustness import ExecutionPolicy, StageRunner
 from repro.stats.tests import min_detectable_gap
 
-__all__ = ["AuditFinding", "AuditReport", "FairnessAudit", "intersection_column"]
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "BatteryMetric",
+    "BATTERY_REGISTRY",
+    "FairnessAudit",
+    "battery_metrics",
+    "intersection_column",
+]
 
-#: metrics runnable from (y_true, predictions, protected, strata) data alone
-_BATTERY = (
-    "demographic_parity",
-    "conditional_statistical_parity",
-    "equal_opportunity",
-    "equalized_odds",
-    "demographic_disparity",
-    "conditional_demographic_disparity",
-    "predictive_parity",
-    "treatment_equality",
-    "false_positive_rate_parity",
-    "overall_accuracy_equality",
-    "disparate_impact_ratio",
-    "calibration_within_groups",
-)
+
+@dataclass(frozen=True)
+class BatteryMetric:
+    """Registry entry for one battery metric: name plus what it needs.
+
+    The flags drive the audit's skip decisions and let callers (CLI,
+    docs, config validation) reason about a metric without importing its
+    implementation.
+    """
+
+    name: str
+    paper_section: str
+    needs_labels: bool = False
+    needs_strata: bool = False
+    needs_probabilities: bool = False
+    description: str = ""
+
+
+#: Canonical registry of every battery metric, in canonical report
+#: order.  This is the *single* source of battery names: AuditConfig
+#: subsets, ``FairnessAudit.run``, the intersectional drill-down, and
+#: the CLI ``--metric`` flag all validate against it.
+BATTERY_REGISTRY: dict[str, BatteryMetric] = {
+    entry.name: entry
+    for entry in (
+        BatteryMetric(
+            "demographic_parity", "III.A",
+            description="equal positive-prediction rates across groups",
+        ),
+        BatteryMetric(
+            "conditional_statistical_parity", "III.B", needs_strata=True,
+            description="parity within each legitimate stratum",
+        ),
+        BatteryMetric(
+            "equal_opportunity", "III.C", needs_labels=True,
+            description="equal true-positive rates across groups",
+        ),
+        BatteryMetric(
+            "equalized_odds", "III.D", needs_labels=True,
+            description="equal TPR and FPR across groups",
+        ),
+        BatteryMetric(
+            "demographic_disparity", "III.E",
+            description="share-of-positives vs share-of-population gap",
+        ),
+        BatteryMetric(
+            "conditional_demographic_disparity", "III.F", needs_strata=True,
+            description="demographic disparity within strata",
+        ),
+        BatteryMetric(
+            "predictive_parity", "III.D", needs_labels=True,
+            description="equal precision across groups",
+        ),
+        BatteryMetric(
+            "treatment_equality", "III.D", needs_labels=True,
+            description="equal FN/FP ratios across groups",
+        ),
+        BatteryMetric(
+            "false_positive_rate_parity", "III.D", needs_labels=True,
+            description="equal false-positive rates across groups",
+        ),
+        BatteryMetric(
+            "overall_accuracy_equality", "III.D", needs_labels=True,
+            description="equal accuracy across groups",
+        ),
+        BatteryMetric(
+            "disparate_impact_ratio", "II.B",
+            description="selection-rate ratio with the four-fifths screen",
+        ),
+        BatteryMetric(
+            "calibration_within_groups", "III.D", needs_labels=True,
+            needs_probabilities=True,
+            description="equal score calibration across groups",
+        ),
+    )
+}
+
+#: legacy alias — the full battery as a name tuple
+_BATTERY = tuple(BATTERY_REGISTRY)
+
+
+def battery_metrics(subset=None) -> tuple[str, ...]:
+    """Validate a battery subset against :data:`BATTERY_REGISTRY`.
+
+    ``None`` returns the full battery in canonical order; an explicit
+    subset keeps the caller's order (deduplicated) so existing reports
+    that relied on a custom evaluation order stay stable.  Unknown
+    names raise :class:`~repro.exceptions.AuditError`.
+    """
+    if subset is None:
+        return _BATTERY
+    names = list(dict.fromkeys(subset))
+    unknown = [name for name in names if name not in BATTERY_REGISTRY]
+    if unknown:
+        raise AuditError(
+            f"unknown battery metrics {unknown}; "
+            f"known: {list(BATTERY_REGISTRY)}"
+        )
+    if not names:
+        raise AuditError("battery subset is empty")
+    return tuple(names)
+
 
 #: battery metrics that compare predictions against ground-truth labels
 _LABEL_METRICS = {
@@ -82,7 +180,7 @@ class AuditFinding:
     status: str
     result: MetricResult | ConditionalMetricResult | None = None
     reason: str = ""
-    four_fifths: object = None
+    four_fifths: FourFifthsFinding | None = None
     traceback: str = ""
 
     @property
@@ -91,6 +189,19 @@ class AuditFinding:
         if self.result is None:
             return None
         return self.result.satisfied
+
+    def to_dict(self) -> dict:
+        """JSON-able dict (see :func:`repro.core.serialize.finding_to_dict`)."""
+        from repro.core.serialize import finding_to_dict
+
+        return finding_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditFinding":
+        """Rebuild a finding written by :meth:`to_dict`."""
+        from repro.core.serialize import finding_from_dict
+
+        return finding_from_dict(payload)
 
 
 @dataclass
@@ -103,7 +214,7 @@ class AuditReport:
     intersectional_findings: list = field(default_factory=list)
     power_notes: dict = field(default_factory=dict)
     degradations: list = field(default_factory=list)
-    provenance: object = None
+    provenance: ProvenanceRecord | None = None
 
     def all_findings(self) -> list[AuditFinding]:
         return list(self.findings) + list(self.intersectional_findings)
@@ -148,6 +259,19 @@ class AuditReport:
 
         return render_markdown(self)
 
+    def to_dict(self) -> dict:
+        """JSON-able dict (see :func:`repro.core.serialize.report_to_dict`)."""
+        from repro.core.serialize import report_to_dict
+
+        return report_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditReport":
+        """Rebuild a report written by :meth:`to_dict`."""
+        from repro.core.serialize import report_from_dict
+
+        return report_from_dict(payload)
+
 
 def _skip_reason(exc: Exception) -> str:
     """Human-readable skip reason, with the structured sparse-group
@@ -187,6 +311,37 @@ def intersection_column(
     return combined
 
 
+#: sentinel distinguishing "legacy kwarg passed" from its default
+_UNSET = object()
+
+_LEGACY_KWARGS_MESSAGE = (
+    "passing audit settings ({names}) as individual keywords is "
+    "deprecated; bundle them into an AuditConfig and pass config=... "
+    "(or call the repro.audit() façade)"
+)
+
+
+def _resolve_config(config: AuditConfig | None, legacy: dict) -> AuditConfig:
+    """Merge deprecated per-keyword settings into an AuditConfig.
+
+    ``legacy`` maps config field names to values, with :data:`_UNSET`
+    for keywords the caller did not pass.  Any explicitly-passed legacy
+    keyword emits one :class:`DeprecationWarning` naming the offending
+    keywords, then overrides the corresponding config field.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if passed:
+        warnings.warn(
+            _LEGACY_KWARGS_MESSAGE.format(names=", ".join(sorted(passed))),
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return (config if config is not None else AuditConfig()).replace(
+            **passed
+        )
+    return config if config is not None else AuditConfig()
+
+
 class FairnessAudit:
     """Configure and run a fairness-metric battery.
 
@@ -199,44 +354,50 @@ class FairnessAudit:
         Binary model outputs aligned with the dataset rows.  When omitted,
         the audit evaluates the dataset's *labels* instead — a data audit
         rather than a model audit (detects historical bias in Y itself).
-    tolerance:
-        Gap accepted as fair for every parity metric.
-    strata:
-        Name of a legitimate conditioning column for the conditional
-        definitions; they are skipped when absent.
     probabilities:
         Optional model scores enabling the calibration metric.
-    min_stratum_group_size:
-        Minimum per-group count within a stratum (Section IV.C guard).
-    policy:
-        :class:`~repro.robustness.ExecutionPolicy` supervising each
-        (attribute, metric) evaluation — deadline, retries, failure
-        budget, fail-open vs fail-closed.  Defaults to fail-open
-        isolation: a raising metric becomes a ``status="error"`` finding
-        instead of aborting the battery.
-    faults:
-        Optional :class:`~repro.robustness.FaultInjector` fired inside
-        each supervised stage (chaos-testing hook).
-    tracer:
-        Optional :class:`~repro.observability.Tracer`.  Defaults to the
-        process-current tracer (a no-op unless one was installed with
-        :func:`~repro.observability.set_tracer`), so instrumentation is
-        free when tracing is off.  When tracing, each (attribute,
-        metric) stage becomes a child span of one ``audit.run`` root.
+    config:
+        An :class:`~repro.core.config.AuditConfig` carrying every
+        setting: tolerance, strata column, battery subset,
+        ``min_stratum_group_size``, the supervising
+        :class:`~repro.robustness.ExecutionPolicy`, the chaos-testing
+        :class:`~repro.robustness.FaultInjector`, and the
+        :class:`~repro.observability.Tracer`.  ``None`` uses the
+        defaults.
+
+    .. deprecated:: 1.3
+        The individual ``tolerance``/``strata``/``min_stratum_group_size``
+        /``policy``/``faults``/``tracer`` keywords still work but emit a
+        :class:`DeprecationWarning`; pass ``config=AuditConfig(...)``
+        (they override the matching config fields when both are given).
     """
 
     def __init__(
         self,
         dataset: TabularDataset,
         predictions=None,
-        tolerance: float = 0.05,
-        strata: str | None = None,
+        tolerance=_UNSET,
+        strata=_UNSET,
         probabilities=None,
-        min_stratum_group_size: int = 5,
-        policy: ExecutionPolicy | None = None,
-        faults=None,
-        tracer=None,
+        min_stratum_group_size=_UNSET,
+        policy=_UNSET,
+        faults=_UNSET,
+        tracer=_UNSET,
+        *,
+        config: AuditConfig | None = None,
     ):
+        config = _resolve_config(
+            config,
+            {
+                "tolerance": tolerance,
+                "strata": strata,
+                "min_stratum_group_size": min_stratum_group_size,
+                "policy": policy,
+                "faults": faults,
+                "tracer": tracer,
+            },
+        )
+        self.config = config
         self.dataset = dataset
         self.protected_attributes = dataset.schema.protected_names
         if not self.protected_attributes:
@@ -256,10 +417,12 @@ class FairnessAudit:
                 f"predictions length {len(self.predictions)} != dataset rows "
                 f"{dataset.n_rows}"
             )
-        self.tolerance = check_probability(tolerance, "tolerance")
-        if strata is not None and strata not in dataset.schema:
-            raise AuditError(f"strata column {strata!r} not in dataset")
-        self.strata = strata
+        self.tolerance = config.tolerance
+        if config.strata is not None and config.strata not in dataset.schema:
+            raise AuditError(
+                f"strata column {config.strata!r} not in dataset"
+            )
+        self.strata = config.strata
         self.probabilities = (
             None if probabilities is None else np.asarray(probabilities, float)
         )
@@ -268,10 +431,12 @@ class FairnessAudit:
             and len(self.probabilities) != dataset.n_rows
         ):
             raise AuditError("probabilities length does not match dataset")
-        self.min_stratum_group_size = int(min_stratum_group_size)
-        self.policy = policy if policy is not None else ExecutionPolicy()
-        self.faults = faults
-        self.tracer = tracer
+        self.min_stratum_group_size = int(config.min_stratum_group_size)
+        self.policy = (
+            config.policy if config.policy is not None else ExecutionPolicy()
+        )
+        self.faults = config.faults
+        self.tracer = config.tracer
 
     @classmethod
     def from_prediction_column(
@@ -398,8 +563,13 @@ class FairnessAudit:
 
     # -- the run -----------------------------------------------------------------
 
-    def run(self, metrics: tuple = _BATTERY) -> AuditReport:
+    def run(self, metrics: tuple | None = None) -> AuditReport:
         """Execute the battery and return an :class:`AuditReport`.
+
+        ``metrics`` defaults to the config's battery subset (the full
+        battery unless ``AuditConfig.metrics`` narrowed it); an explicit
+        tuple is validated against :data:`BATTERY_REGISTRY` and
+        evaluated in the given order.
 
         Every (attribute, metric) evaluation runs as a supervised stage
         under this audit's :class:`~repro.robustness.ExecutionPolicy`:
@@ -410,8 +580,13 @@ class FairnessAudit:
         exhausted ``max_failures`` budget) raises, as
         :class:`~repro.exceptions.DegradedRunError`.
         """
-        from repro.observability.provenance import ProvenanceRecord
         from repro.observability.trace import get_tracer
+
+        metrics = (
+            self.config.battery()
+            if metrics is None
+            else battery_metrics(metrics)
+        )
 
         tracer = self.tracer if self.tracer is not None else get_tracer()
         report = AuditReport(

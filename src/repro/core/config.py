@@ -1,0 +1,186 @@
+"""One frozen configuration object for every audit entry point.
+
+Before this module, audit knobs were scattered across call signatures:
+``FairnessAudit.__init__`` took tolerance/strata/policy/faults/tracer,
+``audit_subgroups`` took max_order/min_size/alpha/jobs, and
+``run_compliance_workflow`` repeated the audit subset again.  An
+:class:`AuditConfig` captures all of them once, immutably, so batch
+(:func:`repro.audit`), streaming (:func:`repro.streaming.audit_stream`),
+monitoring (:class:`repro.streaming.FairnessMonitor`), and the subgroup
+scan share one contract — and so a configuration can be fingerprinted,
+serialised next to checkpoint state, and compared across runs.
+
+The battery itself (which metrics run) is selected by name against the
+canonical registry in :mod:`repro.core.audit` (``BATTERY_REGISTRY``);
+``metrics=None`` means the full battery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro._validation import check_positive_int, check_probability
+from repro.exceptions import AuditError
+from repro.robustness import ExecutionPolicy
+
+__all__ = ["AuditConfig"]
+
+#: ExecutionPolicy fields that an AuditConfig round-trips through JSON.
+_POLICY_FIELDS = (
+    "deadline",
+    "max_retries",
+    "backoff_base",
+    "backoff_factor",
+    "backoff_cap",
+    "max_failures",
+    "fail_fast",
+)
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Immutable settings shared by every audit entry point.
+
+    Parameters
+    ----------
+    tolerance:
+        Gap accepted as fair for every parity metric.
+    strata:
+        Name of a legitimate conditioning column for the conditional
+        definitions; they are skipped when ``None``.
+    metrics:
+        Battery subset as a tuple of metric names from
+        :data:`repro.core.audit.BATTERY_REGISTRY`; ``None`` runs the
+        full battery.  Unknown names raise at construction time.
+    min_stratum_group_size:
+        Minimum per-group count within a stratum (Section IV.C guard).
+    policy:
+        :class:`~repro.robustness.ExecutionPolicy` supervising each
+        stage; ``None`` uses the default fail-open policy.
+    faults:
+        Optional :class:`~repro.robustness.FaultInjector` (chaos hook).
+        Not serialised by :meth:`to_dict`.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; ``None`` uses the
+        process-current tracer.  Not serialised by :meth:`to_dict`.
+    max_order / min_size / alpha / correction / jobs:
+        Subgroup-scan knobs (:func:`repro.subgroup.audit_subgroups`):
+        conjunction order, minimum subgroup size, significance level,
+        multiple-testing correction (``"holm"``/``"bh"``/``"none"``),
+        and worker processes.
+    """
+
+    tolerance: float = 0.05
+    strata: str | None = None
+    metrics: tuple[str, ...] | None = None
+    min_stratum_group_size: int = 5
+    policy: ExecutionPolicy | None = None
+    faults: object = None
+    tracer: object = None
+    max_order: int = 2
+    min_size: int = 10
+    alpha: float = 0.05
+    correction: str = "holm"
+    jobs: int = 1
+
+    def __post_init__(self):
+        check_probability(self.tolerance, "tolerance")
+        check_probability(self.alpha, "alpha")
+        check_positive_int(self.jobs, "jobs")
+        check_positive_int(self.max_order, "max_order")
+        check_positive_int(self.min_size, "min_size")
+        check_positive_int(
+            self.min_stratum_group_size, "min_stratum_group_size"
+        )
+        if self.correction not in ("holm", "bh", "none"):
+            raise AuditError(
+                f"unknown correction {self.correction!r}; "
+                "use 'holm', 'bh', or 'none'"
+            )
+        if self.metrics is not None:
+            from repro.core.audit import battery_metrics
+
+            battery_metrics(tuple(self.metrics))
+            object.__setattr__(self, "metrics", tuple(self.metrics))
+
+    # -- battery -------------------------------------------------------------
+
+    def battery(self) -> tuple[str, ...]:
+        """The metric names this configuration runs, registry-validated.
+
+        Names resolve against the canonical
+        :data:`repro.core.audit.BATTERY_REGISTRY`; ``metrics=None`` runs
+        the full battery in registry order, an explicit subset runs in
+        the order given (deduplicated).
+        """
+        from repro.core.audit import battery_metrics
+
+        return battery_metrics(self.metrics)
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes) -> "AuditConfig":
+        """A new config with ``changes`` applied (the object is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able dict of every serialisable field.
+
+        ``faults`` and ``tracer`` are process-local objects and are
+        deliberately dropped; ``policy`` round-trips through its scalar
+        fields (custom ``retryable``/``sleep``/``stage_overrides`` do
+        not survive — they are process-local too).
+        """
+        payload = {
+            "tolerance": self.tolerance,
+            "strata": self.strata,
+            "metrics": None if self.metrics is None else list(self.metrics),
+            "min_stratum_group_size": self.min_stratum_group_size,
+            "max_order": self.max_order,
+            "min_size": self.min_size,
+            "alpha": self.alpha,
+            "correction": self.correction,
+            "jobs": self.jobs,
+            "policy": (
+                None
+                if self.policy is None
+                else {
+                    name: getattr(self.policy, name)
+                    for name in _POLICY_FIELDS
+                }
+            ),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AuditConfig":
+        """Rebuild a config written by :meth:`to_dict`."""
+        payload = dict(payload)
+        policy = payload.pop("policy", None)
+        metrics = payload.pop("metrics", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise AuditError(
+                f"unknown AuditConfig fields: {sorted(unknown)}"
+            )
+        return cls(
+            metrics=None if metrics is None else tuple(metrics),
+            policy=None if policy is None else ExecutionPolicy(**policy),
+            **payload,
+        )
+
+    def fingerprint(self) -> str:
+        """sha256 over the serialisable fields — stable across processes.
+
+        Streaming checkpoints embed this so accumulator state written
+        under one configuration refuses to resume under another.
+        """
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()

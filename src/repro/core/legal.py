@@ -37,6 +37,7 @@ __all__ = [
     "equality_concept_of",
     "four_fifths_rule",
     "FourFifthsFinding",
+    "FourFifthsResult",
     "ProportionalityTest",
 ]
 
@@ -443,6 +444,38 @@ class FourFifthsFinding:
             f"{self.threshold}, {verdict}; {self.disadvantaged_group!r} vs "
             f"{self.reference_group!r})"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-able dict (group labels coerced to plain Python)."""
+
+        def plain(value):
+            if hasattr(value, "item"):  # numpy scalar
+                return value.item()
+            return value
+
+        return {
+            "ratio": float(self.ratio),
+            "threshold": float(self.threshold),
+            "passes": bool(self.passes),
+            "disadvantaged_group": plain(self.disadvantaged_group),
+            "reference_group": plain(self.reference_group),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FourFifthsFinding":
+        """Rebuild a finding written by :meth:`to_dict`."""
+        return cls(
+            ratio=float(payload["ratio"]),
+            threshold=float(payload["threshold"]),
+            passes=bool(payload["passes"]),
+            disadvantaged_group=payload["disadvantaged_group"],
+            reference_group=payload["reference_group"],
+        )
+
+
+#: Preferred name for the typed four-fifths screen result: audit
+#: findings annotate their ``four_fifths`` field with this type.
+FourFifthsResult = FourFifthsFinding
 
 
 def four_fifths_rule(

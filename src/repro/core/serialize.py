@@ -3,7 +3,14 @@
 Audit findings must survive outside a Python session — attached to
 compliance tickets, archived for regulators, or diffed between model
 versions.  These helpers produce plain JSON-able dictionaries (no numpy
-scalars) for every result type.
+scalars) for every result type, and the matching ``*_from_dict``
+inverses rebuild the Python objects, so every report type round-trips:
+``report_to_dict(report_from_dict(d)) == d``.
+
+Two lossy-but-stable notes on the inverse direction: conditional
+results key their strata by ``str(stratum)`` (the JSON form), and group
+labels come back as the plain Python values JSON stored — a second
+``to_dict`` of the rebuilt object is byte-identical to the first.
 """
 
 from __future__ import annotations
@@ -13,14 +20,22 @@ import json
 import numpy as np
 
 from repro.core.audit import AuditFinding, AuditReport
-from repro.core.types import ConditionalMetricResult, MetricResult
+from repro.core.legal import FourFifthsFinding
+from repro.core.types import ConditionalMetricResult, GroupStats, MetricResult
+from repro.observability.provenance import ProvenanceRecord
+from repro.stats.tests import TestResult
 
 __all__ = [
     "metric_result_to_dict",
+    "metric_result_from_dict",
     "conditional_result_to_dict",
+    "conditional_result_from_dict",
     "finding_to_dict",
+    "finding_from_dict",
     "report_to_dict",
+    "report_from_dict",
     "report_to_json",
+    "report_from_json",
 ]
 
 
@@ -70,6 +85,39 @@ def metric_result_to_dict(result: MetricResult) -> dict:
     return payload
 
 
+def metric_result_from_dict(payload: dict) -> MetricResult:
+    """Rebuild a :class:`MetricResult` written by
+    :func:`metric_result_to_dict`."""
+    significance = payload.get("significance")
+    return MetricResult(
+        metric=payload["metric"],
+        group_stats=tuple(
+            GroupStats(
+                group=entry["group"],
+                n=int(entry["n"]),
+                positives=int(entry["positives"]),
+                rate=float(entry["rate"]),
+            )
+            for entry in payload.get("groups", [])
+        ),
+        gap=float(payload["gap"]),
+        ratio=float(payload["ratio"]),
+        tolerance=float(payload["tolerance"]),
+        satisfied=bool(payload["satisfied"]),
+        equality_concept=payload["equality_concept"],
+        significance=(
+            None
+            if significance is None
+            else TestResult(
+                statistic=float(significance["statistic"]),
+                p_value=float(significance["p_value"]),
+                method=significance["method"],
+            )
+        ),
+        details=dict(payload.get("details") or {}),
+    )
+
+
 def conditional_result_to_dict(result: ConditionalMetricResult) -> dict:
     """JSON-able dict of a per-stratum conditional result."""
     return {
@@ -85,6 +133,26 @@ def conditional_result_to_dict(result: ConditionalMetricResult) -> dict:
             for stratum, sub in result.strata.items()
         },
     }
+
+
+def conditional_result_from_dict(payload: dict) -> ConditionalMetricResult:
+    """Rebuild a :class:`ConditionalMetricResult` written by
+    :func:`conditional_result_to_dict`.
+
+    Stratum keys come back as the strings JSON stored (``worst_gap`` and
+    ``satisfied`` are derived and ignored on input).
+    """
+    return ConditionalMetricResult(
+        metric=payload["metric"],
+        condition=payload["condition"],
+        strata={
+            stratum: metric_result_from_dict(sub)
+            for stratum, sub in payload.get("strata", {}).items()
+        },
+        tolerance=float(payload["tolerance"]),
+        equality_concept=payload["equality_concept"],
+        skipped_strata=tuple(payload.get("skipped_strata", ())),
+    )
 
 
 def finding_to_dict(finding: AuditFinding) -> dict:
@@ -104,15 +172,33 @@ def finding_to_dict(finding: AuditFinding) -> dict:
     else:
         payload["result"] = None
     if finding.four_fifths is not None:
-        ff = finding.four_fifths
-        payload["four_fifths"] = {
-            "ratio": _plain(ff.ratio),
-            "threshold": _plain(ff.threshold),
-            "passes": bool(ff.passes),
-            "disadvantaged_group": _plain(ff.disadvantaged_group),
-            "reference_group": _plain(ff.reference_group),
-        }
+        payload["four_fifths"] = finding.four_fifths.to_dict()
     return payload
+
+
+def finding_from_dict(payload: dict) -> AuditFinding:
+    """Rebuild an :class:`AuditFinding` written by :func:`finding_to_dict`."""
+    result = payload.get("result")
+    if result is None:
+        rebuilt = None
+    elif "condition" in result:
+        rebuilt = conditional_result_from_dict(result)
+    else:
+        rebuilt = metric_result_from_dict(result)
+    four_fifths = payload.get("four_fifths")
+    return AuditFinding(
+        attribute=payload["attribute"],
+        metric=payload["metric"],
+        status=payload["status"],
+        result=rebuilt,
+        reason=payload.get("reason", ""),
+        four_fifths=(
+            None
+            if four_fifths is None
+            else FourFifthsFinding.from_dict(four_fifths)
+        ),
+        traceback=payload.get("traceback", ""),
+    )
 
 
 def report_to_dict(report: AuditReport) -> dict:
@@ -139,6 +225,37 @@ def report_to_dict(report: AuditReport) -> dict:
     }
 
 
+def report_from_dict(payload: dict) -> AuditReport:
+    """Rebuild an :class:`AuditReport` written by :func:`report_to_dict`.
+
+    ``is_clean``, ``degraded``, and ``counts`` are derived and ignored
+    on input; everything else round-trips, so
+    ``report_to_dict(report_from_dict(d)) == d``.
+    """
+    provenance = payload.get("provenance")
+    return AuditReport(
+        dataset_summary=dict(payload["dataset_summary"]),
+        tolerance=float(payload["tolerance"]),
+        findings=[finding_from_dict(f) for f in payload.get("findings", [])],
+        intersectional_findings=[
+            finding_from_dict(f)
+            for f in payload.get("intersectional_findings", [])
+        ],
+        power_notes=dict(payload.get("power_notes", {})),
+        degradations=list(payload.get("degradations", [])),
+        provenance=(
+            None
+            if provenance is None
+            else ProvenanceRecord.from_dict(provenance)
+        ),
+    )
+
+
 def report_to_json(report: AuditReport, indent: int = 2) -> str:
     """The audit report as a JSON string."""
     return json.dumps(report_to_dict(report), indent=indent)
+
+
+def report_from_json(text: str) -> AuditReport:
+    """Parse a report serialised with :func:`report_to_json`."""
+    return report_from_dict(json.loads(text))

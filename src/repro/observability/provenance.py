@@ -159,6 +159,24 @@ class ProvenanceRecord:
             "stages": list(self.stages),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProvenanceRecord":
+        """Rebuild a record written by :meth:`to_dict`.
+
+        ``totals`` is derived from ``stages`` and ignored on input, so
+        ``ProvenanceRecord.from_dict(r.to_dict()).to_dict() ==
+        r.to_dict()``.
+        """
+        return cls(
+            dataset_fingerprint=payload["dataset_fingerprint"],
+            n_rows=int(payload["n_rows"]),
+            repro_version=payload["repro_version"],
+            created_unix=float(payload["created_unix"]),
+            policy=dict(payload.get("policy", {})),
+            stages=[dict(entry) for entry in payload.get("stages", [])],
+            trace_run_id=payload.get("trace_run_id", ""),
+        )
+
     def markdown_lines(self) -> list[str]:
         """The report's Provenance section (without the heading)."""
         policy = self.policy

@@ -1,0 +1,31 @@
+"""Streaming, sharded, and continuous fairness audits.
+
+Exact chunked auditing (Sections IV.E/IV.F of the operational reading):
+:class:`AuditAccumulator` maintains additive joint contingency counts,
+:func:`audit_stream` turns a chunk iterable into an
+:class:`~repro.core.audit.AuditReport` byte-identical to the in-memory
+audit of the concatenated data, and :class:`FairnessMonitor` watches a
+live prediction stream for metric drift.
+"""
+
+from repro.streaming.accumulator import AuditAccumulator
+from repro.streaming.monitor import DriftEvent, FairnessMonitor, WindowResult
+from repro.streaming.stream import (
+    accumulator_for,
+    audit_stream,
+    finalize,
+    ingest_stream,
+    merge_states,
+)
+
+__all__ = [
+    "AuditAccumulator",
+    "DriftEvent",
+    "FairnessMonitor",
+    "WindowResult",
+    "accumulator_for",
+    "audit_stream",
+    "finalize",
+    "ingest_stream",
+    "merge_states",
+]

@@ -1,0 +1,209 @@
+"""Chunked audit execution: ``audit_stream`` and shard-state merging.
+
+``audit_stream`` folds an iterable of dataset chunks into an
+:class:`~repro.streaming.accumulator.AuditAccumulator` and finalises it
+into an :class:`~repro.core.audit.AuditReport`.  Because the
+accumulator keeps exact joint counts, the report — markdown and
+``report_to_dict`` alike — is byte-identical to an in-memory
+:class:`~repro.core.audit.FairnessAudit` over the concatenated chunks
+(modulo the provenance section, which records each run's own wall-clock
+timings).
+
+Checkpointing rides the robustness layer: pass ``checkpoint=`` and the
+accumulator state is written atomically every ``checkpoint_every``
+chunks, tagged with the accumulator's layout fingerprint; rerunning
+with ``resume=True`` loads the state and skips the chunks it already
+counted, so an interrupted stream completes without re-reading its
+prefix.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.audit import AuditReport, FairnessAudit
+from repro.core.config import AuditConfig
+from repro.data.dataset import TabularDataset
+from repro.exceptions import AuditError
+from repro.observability.trace import get_tracer
+from repro.streaming.accumulator import AuditAccumulator
+
+__all__ = [
+    "accumulator_for",
+    "audit_stream",
+    "finalize",
+    "ingest_stream",
+    "merge_states",
+]
+
+
+def accumulator_for(
+    dataset: TabularDataset,
+    *,
+    strata: str | None = None,
+    audits_labels: bool = False,
+) -> AuditAccumulator:
+    """An empty accumulator matching a dataset's schema.
+
+    Protected attributes are taken in schema order (the order
+    :class:`~repro.core.audit.FairnessAudit` iterates them, which is
+    what makes streamed reports byte-identical to in-memory ones).
+    """
+    protected = dataset.schema.protected_names
+    if not protected:
+        raise AuditError("dataset declares no protected attributes")
+    if strata is not None and strata not in dataset.schema.names():
+        raise AuditError(f"strata column {strata!r} is not in the dataset")
+    return AuditAccumulator(
+        protected,
+        strata=strata,
+        label=dataset.schema.label_name,
+        audits_labels=audits_labels,
+    )
+
+
+def _split_chunk(chunk):
+    """Normalise one stream element to ``(dataset, predictions | None)``."""
+    if isinstance(chunk, TabularDataset):
+        return chunk, None
+    if isinstance(chunk, (tuple, list)) and len(chunk) == 2:
+        dataset, predictions = chunk
+        if isinstance(dataset, TabularDataset):
+            return dataset, (
+                None if predictions is None else np.asarray(predictions)
+            )
+    raise AuditError(
+        "stream chunks must be TabularDataset or (TabularDataset, "
+        f"predictions) pairs, got {type(chunk).__name__}"
+    )
+
+
+def ingest_stream(
+    chunks,
+    config: AuditConfig | None = None,
+    *,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+) -> AuditAccumulator:
+    """Fold a chunk iterable into an accumulator (no finalisation).
+
+    The building block under :func:`audit_stream`, exposed for sharded
+    pipelines that want to ship accumulator state around instead of
+    reports.
+    """
+    if config is None:
+        config = AuditConfig()
+    if checkpoint_every < 1:
+        raise AuditError("checkpoint_every must be >= 1")
+    tracer = config.tracer if config.tracer is not None else get_tracer()
+    accumulator: AuditAccumulator | None = None
+    skip = 0
+    with tracer.span(
+        "streaming.ingest", resume=resume, checkpointed=checkpoint is not None
+    ):
+        for index, chunk in enumerate(chunks):
+            dataset, predictions = _split_chunk(chunk)
+            if accumulator is None:
+                accumulator = accumulator_for(
+                    dataset,
+                    strata=config.strata,
+                    audits_labels=predictions is None,
+                )
+                if (
+                    resume
+                    and checkpoint is not None
+                    and os.path.exists(checkpoint)
+                ):
+                    accumulator = AuditAccumulator.load(
+                        checkpoint, expected=accumulator
+                    )
+                    skip = accumulator.chunks_ingested
+            if index < skip:
+                continue
+            with tracer.span(
+                "streaming.chunk", index=index, rows=dataset.n_rows
+            ):
+                accumulator.ingest_dataset(dataset, predictions)
+            if (
+                checkpoint is not None
+                and accumulator.chunks_ingested % checkpoint_every == 0
+            ):
+                accumulator.save(checkpoint)
+    if accumulator is None:
+        raise AuditError("the chunk stream was empty")
+    if checkpoint is not None:
+        accumulator.save(checkpoint)
+    return accumulator
+
+
+def finalize(
+    accumulator: AuditAccumulator,
+    config: AuditConfig | None = None,
+) -> AuditReport:
+    """Audit an accumulator's counts into a full :class:`AuditReport`.
+
+    Reconstructs the canonical dataset and runs the standard battery
+    under ``config`` — identical verdicts, findings, significance tests,
+    and power notes to an in-memory audit of the stream's rows.
+    """
+    if config is None:
+        config = AuditConfig()
+    if config.strata != accumulator.strata:
+        raise AuditError(
+            f"config strata {config.strata!r} does not match the "
+            f"accumulator's tracked strata {accumulator.strata!r}"
+        )
+    dataset, predictions = accumulator.materialize()
+    audit = FairnessAudit(dataset, predictions=predictions, config=config)
+    return audit.run()
+
+
+def audit_stream(
+    chunks,
+    config: AuditConfig | None = None,
+    *,
+    checkpoint=None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+) -> AuditReport:
+    """Audit an iterable of chunks exactly as one in-memory pass would.
+
+    Parameters
+    ----------
+    chunks:
+        Iterable of :class:`~repro.data.dataset.TabularDataset` chunks
+        (data audit) or ``(dataset, predictions)`` pairs (model audit).
+        All chunks must share a schema.
+    config:
+        The same :class:`~repro.core.config.AuditConfig` an in-memory
+        audit would take; ``config.strata`` selects the conditioning
+        column tracked through the stream.
+    checkpoint / checkpoint_every / resume:
+        Optional state file written atomically every N chunks;
+        ``resume=True`` loads it and skips the already-counted prefix.
+    """
+    accumulator = ingest_stream(
+        chunks,
+        config,
+        checkpoint=checkpoint,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    return finalize(accumulator, config)
+
+
+def merge_states(paths) -> AuditAccumulator:
+    """Merge accumulator state files from parallel shards into one.
+
+    Layout compatibility is enforced by :meth:`AuditAccumulator.merge`;
+    the merged accumulator audits identically to a single pass over the
+    union of the shards' rows.
+    """
+    paths = list(paths)
+    if not paths:
+        raise AuditError("merge_states requires at least one state file")
+    shards = [AuditAccumulator.load(path) for path in paths]
+    return AuditAccumulator.merge_all(shards)

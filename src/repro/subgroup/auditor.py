@@ -34,6 +34,7 @@ from repro._validation import (
     check_positive_int,
     check_probability,
 )
+from repro.core.config import AuditConfig
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError, CheckpointError
 from repro.kernel import (
@@ -201,20 +202,26 @@ def _inside_counts(
     return entries
 
 
+#: sentinel distinguishing "keyword passed" from "take it from config"
+_FROM_CONFIG = object()
+
+
 def audit_subgroups(
     predictions,
     dataset: TabularDataset,
     attributes: list[str] | None = None,
-    max_order: int = 2,
-    min_size: int = 10,
-    alpha: float = 0.05,
+    max_order: int = _FROM_CONFIG,
+    min_size: int = _FROM_CONFIG,
+    alpha: float = _FROM_CONFIG,
     checkpoint_path=None,
     checkpoint_every: int = 64,
     resume: bool = False,
     on_progress=None,
-    tracer=None,
-    jobs: int = 1,
+    tracer=_FROM_CONFIG,
+    jobs: int = _FROM_CONFIG,
     executor_factory=None,
+    *,
+    config: AuditConfig | None = None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
 
@@ -261,10 +268,22 @@ def audit_subgroups(
         Callable ``(jobs) -> Executor`` overriding the default
         ``ProcessPoolExecutor`` — a chaos/testing hook for injecting
         thread pools or failing workers.
+    config:
+        An :class:`~repro.core.config.AuditConfig` supplying defaults
+        for ``max_order``, ``min_size``, ``alpha``, ``jobs``, and
+        ``tracer`` — the same object every other audit entry point
+        takes.  An explicitly-passed keyword overrides its config
+        counterpart.
     """
     from repro.observability.metrics import get_metrics
     from repro.observability.trace import get_tracer
 
+    base = config if config is not None else AuditConfig()
+    max_order = base.max_order if max_order is _FROM_CONFIG else max_order
+    min_size = base.min_size if min_size is _FROM_CONFIG else min_size
+    alpha = base.alpha if alpha is _FROM_CONFIG else alpha
+    jobs = base.jobs if jobs is _FROM_CONFIG else jobs
+    tracer = base.tracer if tracer is _FROM_CONFIG else tracer
     tracer = tracer if tracer is not None else get_tracer()
     metrics = get_metrics()
     predictions = check_binary_array(predictions, "predictions")

@@ -21,21 +21,51 @@ guideline as a function.  Given a use-case profile, a dataset, and
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
-from repro.core.audit import AuditReport, FairnessAudit
+from repro.core.audit import (
+    _UNSET,
+    _resolve_config,
+    AuditReport,
+    FairnessAudit,
+)
+from repro.core.config import AuditConfig
 from repro.core.criteria import (
+    Recommendation,
+    RiskFlag,
     UseCaseProfile,
     recommend_metrics,
     risk_flags,
 )
-from repro.core.legal import statutes_protecting
+from repro.core.legal import Statute, statutes_protecting
 from repro.core.report import render_markdown
 from repro.data.dataset import TabularDataset
 from repro.exceptions import AuditError
+from repro.observability.provenance import ProvenanceRecord
 from repro.robustness import ExecutionPolicy, StageRunner
 
 __all__ = ["ComplianceDossier", "run_compliance_workflow"]
+
+
+def _dataclass_to_dict(value) -> dict:
+    """Flat dataclass → JSON-able dict (tuples become lists)."""
+    payload = {}
+    for f in dataclasses.fields(value):
+        item = getattr(value, f.name)
+        payload[f.name] = list(item) if isinstance(item, tuple) else item
+    return payload
+
+
+def _dataclass_from_dict(cls, payload: dict):
+    """Rebuild a flat dataclass, restoring list fields to tuples."""
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if f.name not in payload:
+            continue
+        item = payload[f.name]
+        kwargs[f.name] = tuple(item) if isinstance(item, list) else item
+    return cls(**kwargs)
 
 
 @dataclass
@@ -50,7 +80,7 @@ class ComplianceDossier:
     primary_metric: str
     primary_finding_satisfied: bool | None
     degradations: list = field(default_factory=list)
-    provenance: object = None
+    provenance: ProvenanceRecord | None = None
 
     @property
     def verdict(self) -> str:
@@ -69,6 +99,67 @@ class ComplianceDossier:
         what the verdict does — and does not — rest on.
         """
         return bool(self.degradations)
+
+    def to_dict(self) -> dict:
+        """JSON-able dict of the full dossier (inverse of :meth:`from_dict`)."""
+        from repro.core.serialize import report_to_dict
+
+        return {
+            "profile": _dataclass_to_dict(self.profile),
+            "statutes": {
+                attribute: [_dataclass_to_dict(s) for s in statutes]
+                for attribute, statutes in self.statutes.items()
+            },
+            "recommendations": [
+                _dataclass_to_dict(r) for r in self.recommendations
+            ],
+            "risks": [_dataclass_to_dict(r) for r in self.risks],
+            "audit": report_to_dict(self.audit),
+            "primary_metric": self.primary_metric,
+            "primary_finding_satisfied": self.primary_finding_satisfied,
+            "verdict": self.verdict,
+            "degradations": list(self.degradations),
+            "provenance": (
+                None if self.provenance is None else self.provenance.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ComplianceDossier":
+        """Rebuild a dossier written by :meth:`to_dict`.
+
+        ``verdict`` is derived, not stored; everything else round-trips,
+        so ``ComplianceDossier.from_dict(d.to_dict()).to_dict() ==
+        d.to_dict()``.
+        """
+        from repro.core.serialize import report_from_dict
+
+        provenance = payload.get("provenance")
+        return cls(
+            profile=_dataclass_from_dict(UseCaseProfile, payload["profile"]),
+            statutes={
+                attribute: [
+                    _dataclass_from_dict(Statute, s) for s in statutes
+                ]
+                for attribute, statutes in payload["statutes"].items()
+            },
+            recommendations=[
+                _dataclass_from_dict(Recommendation, r)
+                for r in payload["recommendations"]
+            ],
+            risks=[
+                _dataclass_from_dict(RiskFlag, r) for r in payload["risks"]
+            ],
+            audit=report_from_dict(payload["audit"]),
+            primary_metric=payload["primary_metric"],
+            primary_finding_satisfied=payload["primary_finding_satisfied"],
+            degradations=list(payload.get("degradations", [])),
+            provenance=(
+                None
+                if provenance is None
+                else ProvenanceRecord.from_dict(provenance)
+            ),
+        )
 
     def to_markdown(self) -> str:
         """Render the dossier as one reviewable document."""
@@ -186,13 +277,22 @@ def run_compliance_workflow(
     profile: UseCaseProfile,
     predictions=None,
     probabilities=None,
-    tolerance: float = 0.05,
-    strata: str | None = None,
-    policy: ExecutionPolicy | None = None,
-    faults=None,
-    tracer=None,
+    tolerance=_UNSET,
+    strata=_UNSET,
+    policy=_UNSET,
+    faults=_UNSET,
+    tracer=_UNSET,
+    *,
+    config: AuditConfig | None = None,
 ) -> ComplianceDossier:
     """Execute the full Section V workflow on one deployment.
+
+    Settings come from ``config`` (an
+    :class:`~repro.core.config.AuditConfig`, the same object the audit
+    and streaming entry points take); the individual
+    ``tolerance``/``strata``/``policy``/``faults``/``tracer`` keywords
+    are deprecated shims that override the matching config fields with a
+    :class:`DeprecationWarning`.
 
     The *primary metric* is the highest-ranked feasible recommendation
     that the audit battery can actually evaluate on this dataset; its
@@ -211,13 +311,25 @@ def run_compliance_workflow(
     observability hook — one ``workflow.run`` root span with a child
     span per supervised stage (defaults to the process-current tracer).
     """
-    from repro.observability.provenance import ProvenanceRecord
     from repro.observability.trace import get_tracer
 
-    tracer = tracer if tracer is not None else get_tracer()
+    config = _resolve_config(
+        config,
+        {
+            "tolerance": tolerance,
+            "strata": strata,
+            "policy": policy,
+            "faults": faults,
+            "tracer": tracer,
+        },
+    )
+    tracer = config.tracer if config.tracer is not None else get_tracer()
+    # Pin the resolved tracer so the audit's spans nest under this root
+    # even when a process-current tracer is installed mid-run.
+    config = config.replace(tracer=tracer)
     runner = StageRunner(
-        policy if policy is not None else ExecutionPolicy(),
-        faults=faults, tracer=tracer,
+        config.policy if config.policy is not None else ExecutionPolicy(),
+        faults=config.faults, tracer=tracer,
     )
 
     with tracer.span(
@@ -245,11 +357,7 @@ def run_compliance_workflow(
                 dataset,
                 predictions=predictions,
                 probabilities=probabilities,
-                tolerance=tolerance,
-                strata=strata,
-                policy=policy,
-                faults=faults,
-                tracer=tracer,
+                config=config,
             ).run()
 
         outcome = runner.run("audit", _run_audit)
@@ -263,9 +371,9 @@ def run_compliance_workflow(
                         dataset.schema.protected_names
                     ),
                     "audits_labels": predictions is None,
-                    "strata": strata,
+                    "strata": config.strata,
                 },
-                tolerance=tolerance,
+                tolerance=config.tolerance,
             )
 
         outcome = runner.run(
@@ -292,7 +400,7 @@ def run_compliance_workflow(
         primary_finding_satisfied=satisfied,
         degradations=runner.degradations + list(audit.degradations),
         provenance=ProvenanceRecord.collect(
-            dataset, policy, runner, tracer=tracer
+            dataset, config.policy, runner, tracer=tracer
         ),
     )
 

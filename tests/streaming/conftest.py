@@ -1,0 +1,51 @@
+"""Shared fixtures for the streaming equivalence suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import report_to_dict
+from repro.data import make_hiring
+
+
+@pytest.fixture
+def hiring():
+    """A biased hiring population with a proxy column to stratify on."""
+    return make_hiring(
+        900, direct_bias=1.0, proxy_strength=0.5, random_state=21
+    )
+
+
+@pytest.fixture
+def predictions(hiring):
+    """Noisy model decisions aligned with the hiring rows."""
+    rng = np.random.default_rng(4)
+    flips = rng.random(hiring.n_rows) < 0.1
+    return (hiring.column("hired") ^ flips).astype(int)
+
+
+def chunked(dataset, predictions=None, size=200):
+    """Slice a dataset (and aligned predictions) into stream chunks."""
+    chunks = []
+    for lo in range(0, dataset.n_rows, size):
+        idx = np.arange(lo, min(lo + size, dataset.n_rows))
+        part = dataset.take(idx)
+        if predictions is None:
+            chunks.append(part)
+        else:
+            chunks.append((part, predictions[lo: lo + size]))
+    return chunks
+
+
+def comparable(report) -> dict:
+    """report_to_dict minus provenance (run metadata differs per run)."""
+    payload = report_to_dict(report)
+    payload.pop("provenance")
+    return payload
+
+
+def comparable_markdown(report) -> str:
+    """Markdown with the provenance section neutralised."""
+    report.provenance = None
+    return report.to_markdown()

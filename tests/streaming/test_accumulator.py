@@ -1,0 +1,178 @@
+"""AuditAccumulator: counting, merging, serialisation, reconstruction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AuditError, CheckpointError
+from repro.streaming import AuditAccumulator, accumulator_for
+
+from tests.streaming.conftest import chunked
+
+
+def _simple():
+    acc = AuditAccumulator(["sex"], label="hired")
+    acc.ingest(
+        y_true=[1, 0, 1, 1],
+        predictions=[1, 0, 0, 1],
+        protected={"sex": ["f", "m", "f", "m"]},
+    )
+    return acc
+
+
+class TestIngest:
+    def test_counts_rows_and_chunks(self):
+        acc = _simple()
+        assert acc.n_rows == 4
+        assert acc.chunks_ingested == 1
+
+    def test_counts_are_exact_cells(self):
+        acc = _simple()
+        assert acc._cells[("f", 1, 1)] == 1
+        assert acc._cells[("f", 1, 0)] == 1
+        assert acc._cells[("m", 0, 0)] == 1
+        assert acc._cells[("m", 1, 1)] == 1
+
+    def test_numpy_scalars_become_python(self):
+        acc = AuditAccumulator(["g"], label="y")
+        acc.ingest(
+            y_true=np.array([1]), predictions=np.array([0]),
+            protected={"g": np.array(["a"])},
+        )
+        (key,) = acc._cells
+        assert all(type(v) in (str, int) for v in key)
+
+    def test_empty_chunk_is_a_noop(self):
+        acc = AuditAccumulator(["g"], label="y")
+        assert acc.ingest(y_true=[], predictions=[], protected={"g": []}) == 0
+        assert acc.n_rows == 0
+        assert acc.chunks_ingested == 0
+
+    def test_missing_protected_column_rejected(self):
+        acc = AuditAccumulator(["g"], label="y")
+        with pytest.raises(AuditError, match="missing protected"):
+            acc.ingest(y_true=[1], predictions=[1], protected={"h": ["a"]})
+
+    def test_length_mismatch_rejected(self):
+        acc = AuditAccumulator(["g"], label="y")
+        with pytest.raises(AuditError, match="share one length"):
+            acc.ingest(y_true=[1, 0], predictions=[1], protected={"g": ["a", "b"]})
+
+    def test_data_audit_refuses_predictions(self):
+        acc = AuditAccumulator(["g"], label="y", audits_labels=True)
+        with pytest.raises(AuditError, match="do not pass predictions"):
+            acc.ingest(y_true=[1], predictions=[1], protected={"g": ["a"]})
+
+    def test_strata_required_when_tracked(self):
+        acc = AuditAccumulator(["g"], strata="u", label="y")
+        with pytest.raises(AuditError, match="strata"):
+            acc.ingest(y_true=[1], predictions=[1], protected={"g": ["a"]})
+
+
+class TestMerge:
+    def test_merge_adds_counts(self):
+        a, b = _simple(), _simple()
+        a.merge(b)
+        assert a.n_rows == 8
+        assert a._cells[("f", 1, 1)] == 2
+
+    def test_merge_order_independent(self):
+        x, y = _simple(), _simple()
+        y.ingest(y_true=[0], predictions=[1], protected={"sex": ["f"]})
+        ab = AuditAccumulator.merge_all([x, y])
+        ba = AuditAccumulator.merge_all([y, x])
+        assert ab.to_dict() == ba.to_dict()
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = _simple()
+        b = AuditAccumulator(["sex"], strata="u", label="hired")
+        with pytest.raises(AuditError, match="different layouts"):
+            a.merge(b)
+
+    def test_merge_rejects_non_accumulator(self):
+        with pytest.raises(AuditError, match="cannot merge"):
+            _simple().merge({"cells": {}})
+
+    def test_merge_all_requires_input(self):
+        with pytest.raises(AuditError, match="at least one"):
+            AuditAccumulator.merge_all([])
+
+
+class TestSerialisation:
+    def test_json_round_trip_is_exact(self):
+        acc = _simple()
+        clone = AuditAccumulator.from_json(acc.to_json())
+        assert clone.to_dict() == acc.to_dict()
+        assert clone.layout() == acc.layout()
+        assert clone.fingerprint() == acc.fingerprint()
+
+    def test_to_dict_is_deterministic(self):
+        a = _simple()
+        b = AuditAccumulator(["sex"], label="hired")
+        # same rows, different ingestion order
+        b.ingest(y_true=[1, 1], predictions=[0, 1],
+                 protected={"sex": ["f", "m"]})
+        b.ingest(y_true=[1, 0], predictions=[1, 0],
+                 protected={"sex": ["f", "m"]})
+        assert a.to_dict()["cells"] == b.to_dict()["cells"]
+        assert a.to_dict()["n_rows"] == b.to_dict()["n_rows"]
+
+    def test_version_gate(self):
+        payload = _simple().to_dict()
+        payload["version"] = 99
+        with pytest.raises(AuditError, match="version"):
+            AuditAccumulator.from_dict(payload)
+
+    def test_save_load_round_trip(self, tmp_path):
+        acc = _simple()
+        path = tmp_path / "state.json"
+        acc.save(path)
+        clone = AuditAccumulator.load(path, expected=acc)
+        assert clone.to_dict() == acc.to_dict()
+
+    def test_load_refuses_foreign_layout(self, tmp_path):
+        path = tmp_path / "state.json"
+        _simple().save(path)
+        foreign = AuditAccumulator(["sex"], strata="u", label="hired")
+        with pytest.raises(CheckpointError):
+            AuditAccumulator.load(path, expected=foreign)
+
+
+class TestMaterialize:
+    def test_reconstruction_preserves_all_counts(self, hiring, predictions):
+        acc = accumulator_for(hiring)
+        for chunk in chunked(hiring, predictions, size=150):
+            acc.ingest_dataset(chunk[0], chunk[1])
+        dataset, preds = acc.materialize()
+        assert dataset.n_rows == hiring.n_rows
+        sex = dataset.column("sex")
+        for group in ("male", "female"):
+            mask = sex == group
+            orig = hiring.column("sex") == group
+            assert mask.sum() == orig.sum()
+            assert preds[mask].sum() == predictions[orig].sum()
+            assert dataset.column("hired")[mask].sum() == \
+                hiring.column("hired")[orig].sum()
+
+    def test_empty_accumulator_cannot_materialize(self):
+        with pytest.raises(AuditError, match="empty"):
+            AuditAccumulator(["g"], label="y").materialize()
+
+    def test_data_audit_materializes_no_predictions(self, hiring):
+        acc = accumulator_for(hiring, audits_labels=True)
+        acc.ingest_dataset(hiring)
+        dataset, preds = acc.materialize()
+        assert preds is None
+        assert dataset.schema.label_name == "hired"
+
+
+class TestAccumulatorFor:
+    def test_takes_schema_protected_order(self, hiring):
+        acc = accumulator_for(hiring)
+        assert acc.protected == ("sex",)
+        assert acc.label == "hired"
+
+    def test_rejects_unknown_strata(self, hiring):
+        with pytest.raises(AuditError, match="strata"):
+            accumulator_for(hiring, strata="nope")

@@ -1,0 +1,119 @@
+"""CLI surface: audit --chunk-size, merge-state, monitor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.io import save_dataset
+from repro.data import make_hiring
+
+
+@pytest.fixture
+def data_csv(tmp_path):
+    dataset = make_hiring(600, direct_bias=1.2, random_state=9)
+    path = tmp_path / "d.csv"
+    save_dataset(dataset, path)
+    return str(path)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestChunkedAudit:
+    def test_streamed_report_matches_in_memory(self, data_csv, capsys):
+        code_full, full = run_cli(
+            capsys, "audit", "--data", data_csv, "--format", "json"
+        )
+        code_stream, stream = run_cli(
+            capsys, "audit", "--data", data_csv, "--format", "json",
+            "--chunk-size", "150",
+        )
+        assert code_full == code_stream == 1
+        full_payload = json.loads(full)
+        stream_payload = json.loads(stream)
+        full_payload.pop("provenance")
+        stream_payload.pop("provenance")
+        assert full_payload == stream_payload
+
+    def test_checkpoint_and_resume(self, data_csv, tmp_path, capsys):
+        ckpt = str(tmp_path / "s.ckpt.json")
+        code, _ = run_cli(
+            capsys, "audit", "--data", data_csv, "--chunk-size", "200",
+            "--checkpoint", ckpt,
+        )
+        assert code == 1
+        code, _ = run_cli(
+            capsys, "audit", "--data", data_csv, "--chunk-size", "200",
+            "--checkpoint", ckpt, "--resume",
+        )
+        assert code == 1
+
+    def test_state_out_requires_chunk_size(self, data_csv, tmp_path, capsys):
+        code, _ = run_cli(
+            capsys, "audit", "--data", data_csv,
+            "--state-out", str(tmp_path / "s.json"),
+        )
+        assert code == 2
+
+    def test_metric_subset_flag(self, data_csv, capsys):
+        code, out = run_cli(
+            capsys, "audit", "--data", data_csv, "--format", "json",
+            "--metric", "demographic_parity",
+        )
+        payload = json.loads(out)
+        metrics = {f["metric"] for f in payload["findings"]}
+        assert metrics == {"demographic_parity"}
+
+
+class TestMergeState:
+    def test_shards_merge_to_whole(self, data_csv, tmp_path, capsys):
+        shards = []
+        for index, lo in enumerate((0, 300)):
+            shard = str(tmp_path / f"shard{index}.json")
+            shards.append(shard)
+            # shard the CSV by auditing disjoint halves via chunk stream
+            run_cli(
+                capsys, "audit", "--data", data_csv, "--chunk-size", "300",
+                "--state-out", shard,
+            )
+        # identical shards here; the point is the CLI plumbing works
+        code, out = run_cli(
+            capsys, "merge-state", *shards, "--out",
+            str(tmp_path / "merged.json"), "--audit", "--format", "json",
+        )
+        assert code == 1
+        assert "merged 2 shard states" in out
+        merged = json.loads((tmp_path / "merged.json").read_text())
+        assert merged["payload"]["n_rows"] == 1200
+
+    def test_merge_without_audit_exits_zero(self, data_csv, tmp_path, capsys):
+        shard = str(tmp_path / "s.json")
+        run_cli(capsys, "audit", "--data", data_csv, "--chunk-size", "600",
+                "--state-out", shard)
+        code, out = run_cli(capsys, "merge-state", shard)
+        assert code == 0
+        assert "merged 1 shard states" in out
+
+
+class TestMonitor:
+    def test_monitor_markdown(self, data_csv, capsys):
+        code, out = run_cli(
+            capsys, "monitor", "--data", data_csv, "--window", "200",
+            "--metric", "demographic_parity",
+        )
+        assert "Fairness monitoring report" in out
+        assert code in (0, 1)
+
+    def test_monitor_json_summary(self, data_csv, capsys):
+        code, out = run_cli(
+            capsys, "monitor", "--data", data_csv, "--window", "200",
+            "--format", "json", "--metric", "demographic_parity",
+        )
+        summary = json.loads(out)
+        assert summary["windows"] == 3
+        assert summary["rows_seen"] == 600

@@ -1,0 +1,125 @@
+"""AuditConfig: validation, immutability, round-trips, battery registry."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.audit import BATTERY_REGISTRY, battery_metrics
+from repro.core.config import AuditConfig
+from repro.exceptions import AuditError, ValidationError
+from repro.robustness import ExecutionPolicy
+
+
+class TestConstruction:
+    def test_defaults_are_the_documented_contract(self):
+        config = AuditConfig()
+        assert config.tolerance == 0.05
+        assert config.strata is None
+        assert config.metrics is None
+        assert config.correction == "holm"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            AuditConfig().tolerance = 0.2
+
+    def test_validates_tolerance(self):
+        with pytest.raises(ValidationError):
+            AuditConfig(tolerance=1.5)
+
+    def test_validates_correction(self):
+        with pytest.raises(AuditError, match="unknown correction"):
+            AuditConfig(correction="bonferroni")
+
+    def test_validates_metric_names(self):
+        with pytest.raises(AuditError, match="unknown battery metrics"):
+            AuditConfig(metrics=("not_a_metric",))
+
+    def test_metrics_coerced_to_tuple(self):
+        config = AuditConfig(metrics=["demographic_parity"])
+        assert config.metrics == ("demographic_parity",)
+
+    def test_replace_returns_new_validated_config(self):
+        base = AuditConfig()
+        changed = base.replace(tolerance=0.1)
+        assert changed.tolerance == 0.1
+        assert base.tolerance == 0.05
+        with pytest.raises(ValidationError):
+            base.replace(tolerance=-1)
+
+
+class TestBattery:
+    def test_default_battery_is_registry_order(self):
+        assert AuditConfig().battery() == tuple(BATTERY_REGISTRY)
+
+    def test_subset_keeps_caller_order(self):
+        subset = ("equal_opportunity", "demographic_parity")
+        assert AuditConfig(metrics=subset).battery() == subset
+        assert battery_metrics(subset) == subset
+
+    def test_subset_deduplicates(self):
+        assert battery_metrics(
+            ("demographic_parity", "demographic_parity")
+        ) == ("demographic_parity",)
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(AuditError, match="empty"):
+            battery_metrics(())
+
+    def test_registry_entries_carry_paper_sections(self):
+        for name, spec in BATTERY_REGISTRY.items():
+            assert spec.name == name
+            assert spec.paper_section
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        config = AuditConfig(
+            tolerance=0.1,
+            strata="university",
+            metrics=("demographic_parity",),
+            policy=ExecutionPolicy(deadline=2.0, max_retries=3),
+            max_order=3,
+            correction="bh",
+        )
+        clone = AuditConfig.from_dict(config.to_dict())
+        assert clone.to_dict() == config.to_dict()
+        assert clone.policy.deadline == 2.0
+        assert clone.policy.max_retries == 3
+
+    def test_runtime_objects_are_dropped(self):
+        from repro.observability import Tracer
+
+        config = AuditConfig(tracer=Tracer())
+        payload = config.to_dict()
+        assert "tracer" not in payload
+        assert AuditConfig.from_dict(payload).tracer is None
+
+    def test_fingerprint_tracks_content(self):
+        a = AuditConfig(tolerance=0.05)
+        b = AuditConfig(tolerance=0.05)
+        c = AuditConfig(tolerance=0.06)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_shared_across_surfaces(self, hiring):
+        """One config type drives audit, stream, and monitor alike."""
+        from repro import FairnessMonitor, audit, audit_stream
+        from tests.streaming.conftest import chunked, comparable
+
+        config = AuditConfig(metrics=("demographic_parity",))
+        in_memory = audit(hiring, config=config)
+        streamed = audit_stream(chunked(hiring), config)
+        assert comparable(in_memory) == comparable(streamed)
+        monitor = FairnessMonitor(
+            ["sex"], config=config, window=hiring.n_rows,
+            label="hired", audits_labels=True,
+        )
+        (window,) = monitor.observe(
+            y_true=hiring.column("hired"),
+            protected={"sex": hiring.column("sex")},
+        )
+        assert window.gaps["sex/demographic_parity"] == pytest.approx(
+            in_memory.findings[0].result.gap
+        )

@@ -1,0 +1,115 @@
+"""The ``repro.audit`` façade and the deprecation shims for old kwargs."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.audit import FairnessAudit
+from repro.core.config import AuditConfig
+from repro.exceptions import AuditError
+from repro.workflow import run_compliance_workflow
+
+from tests.streaming.conftest import comparable
+
+
+class TestFacade:
+    def test_exported_at_top_level(self):
+        for name in ("audit", "AuditConfig", "AuditAccumulator",
+                     "FairnessMonitor", "audit_stream"):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_rejects_unknown_payload(self):
+        with pytest.raises(AuditError, match="TabularDataset"):
+            repro.audit(42)
+
+    def test_accumulator_form_rejects_predictions(self, hiring, predictions):
+        from repro.streaming import accumulator_for
+
+        acc = accumulator_for(hiring)
+        acc.ingest_dataset(hiring, predictions)
+        with pytest.raises(AuditError, match="already carries"):
+            repro.audit(acc, predictions=predictions)
+
+    def test_stream_form_rejects_predictions_kwarg(self, hiring, predictions):
+        with pytest.raises(AuditError, match="inside each"):
+            repro.audit([(hiring, predictions)], predictions=predictions)
+
+    def test_default_config_is_used(self, hiring):
+        report = repro.audit(hiring)
+        assert report.tolerance == AuditConfig().tolerance
+
+
+class TestDeprecationShims:
+    def test_legacy_tolerance_kwarg_warns(self, hiring):
+        with pytest.warns(DeprecationWarning, match="AuditConfig"):
+            FairnessAudit(hiring, tolerance=0.1)
+
+    def test_legacy_strata_kwarg_warns(self, hiring):
+        with pytest.warns(DeprecationWarning, match="strata"):
+            FairnessAudit(hiring, strata="university")
+
+    def test_config_path_does_not_warn(self, hiring):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FairnessAudit(hiring, config=AuditConfig(tolerance=0.1))
+
+    def test_legacy_kwargs_still_work(self, hiring):
+        with pytest.warns(DeprecationWarning):
+            legacy = FairnessAudit(hiring, tolerance=0.2).run()
+        modern = FairnessAudit(
+            hiring, config=AuditConfig(tolerance=0.2)
+        ).run()
+        assert comparable(legacy) == comparable(modern)
+
+    def test_legacy_kwargs_override_config(self, hiring):
+        with pytest.warns(DeprecationWarning):
+            audit = FairnessAudit(
+                hiring, tolerance=0.25, config=AuditConfig(tolerance=0.05)
+            )
+        assert audit.config.tolerance == 0.25
+
+    def test_workflow_legacy_kwargs_warn(self, hiring):
+        from repro.core.criteria import UseCaseProfile
+
+        profile = UseCaseProfile(name="t", sector="employment",
+                                 jurisdiction="eu")
+        with pytest.warns(DeprecationWarning):
+            run_compliance_workflow(hiring, profile, tolerance=0.1)
+
+    def test_workflow_config_path_does_not_warn(self, hiring):
+        from repro.core.criteria import UseCaseProfile
+
+        profile = UseCaseProfile(name="t", sector="employment",
+                                 jurisdiction="eu")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_compliance_workflow(
+                hiring, profile, config=AuditConfig(tolerance=0.1)
+            )
+
+    def test_subgroups_accepts_config(self, hiring):
+        from repro.subgroup.auditor import audit_subgroups
+
+        via_config = audit_subgroups(
+            hiring.labels(), hiring,
+            config=AuditConfig(max_order=1, min_size=5, alpha=0.05),
+        )
+        direct = audit_subgroups(
+            hiring.labels(), hiring, max_order=1, min_size=5, alpha=0.05
+        )
+        assert [f.subgroup.label() for f in via_config] == \
+            [f.subgroup.label() for f in direct]
+
+    def test_explicit_kwargs_override_subgroup_config(self, hiring):
+        from repro.subgroup.auditor import audit_subgroups
+
+        findings = audit_subgroups(
+            hiring.labels(), hiring,
+            max_order=1,
+            config=AuditConfig(max_order=2),
+        )
+        assert all(f.subgroup.order == 1 for f in findings)

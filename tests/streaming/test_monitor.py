@@ -1,0 +1,158 @@
+"""FairnessMonitor: windowing, drift detection, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import AuditConfig
+from repro.exceptions import AuditError
+from repro.streaming import FairnessMonitor
+
+CFG = AuditConfig(metrics=("demographic_parity",))
+
+
+def _population(n, *, bias, seed):
+    """Labels, predictions, and groups with a controllable selection gap."""
+    rng = np.random.default_rng(seed)
+    sex = np.where(rng.random(n) < 0.5, "female", "male")
+    y = (rng.random(n) < 0.5).astype(int)
+    p = y.copy()
+    # bias: deny this fraction of positive predictions for women
+    deny = (sex == "female") & (rng.random(n) < bias)
+    p[deny] = 0
+    return y, p, sex
+
+
+class TestWindowing:
+    def test_closes_one_window_per_n_rows(self):
+        y, p, sex = _population(1000, bias=0.0, seed=0)
+        monitor = FairnessMonitor(["sex"], config=CFG, window=250)
+        closed = monitor.observe(y_true=y, predictions=p,
+                                 protected={"sex": sex})
+        assert [w.index for w in closed] == [0, 1, 2, 3]
+        assert all(w.n_rows == 250 for w in closed)
+        assert closed[-1].end_row == 1000
+
+    def test_buffers_partial_windows_across_calls(self):
+        y, p, sex = _population(300, bias=0.0, seed=1)
+        monitor = FairnessMonitor(["sex"], config=CFG, window=200)
+        first = monitor.observe(y_true=y[:150], predictions=p[:150],
+                                protected={"sex": sex[:150]})
+        assert first == []
+        second = monitor.observe(y_true=y[150:], predictions=p[150:],
+                                 protected={"sex": sex[150:]})
+        assert len(second) == 1
+        assert second[0].n_rows == 200
+
+    def test_flush_audits_the_remainder(self):
+        y, p, sex = _population(130, bias=0.0, seed=2)
+        monitor = FairnessMonitor(["sex"], config=CFG, window=100)
+        monitor.observe(y_true=y, predictions=p, protected={"sex": sex})
+        tail = monitor.flush()
+        assert tail is not None
+        assert tail.n_rows == 30
+        assert monitor.flush() is None
+
+    def test_window_gap_matches_offline_audit(self, hiring, predictions):
+        from repro.core.audit import FairnessAudit
+
+        n = hiring.n_rows
+        monitor = FairnessMonitor(["sex"], config=CFG, window=n,
+                                  label="hired")
+        (window,) = monitor.observe(
+            y_true=hiring.column("hired"),
+            predictions=predictions,
+            protected={"sex": hiring.column("sex")},
+        )
+        report = FairnessAudit(hiring, predictions=predictions,
+                               config=CFG).run()
+        expected = report.findings[0].result.gap
+        assert window.gaps["sex/demographic_parity"] == pytest.approx(expected)
+
+
+class TestDrift:
+    def test_stable_stream_raises_no_drift(self):
+        y, p, sex = _population(2000, bias=0.0, seed=3)
+        monitor = FairnessMonitor(["sex"], config=CFG, window=400,
+                                  drift_threshold=0.1)
+        monitor.observe(y_true=y, predictions=p, protected={"sex": sex})
+        assert monitor.drift_events == []
+
+    def test_sudden_bias_raises_drift(self):
+        monitor = FairnessMonitor(["sex"], config=CFG, window=1000,
+                                  drift_threshold=0.15)
+        y, p, sex = _population(2000, bias=0.0, seed=4)
+        monitor.observe(y_true=y, predictions=p, protected={"sex": sex})
+        assert monitor.drift_events == []
+        y2, p2, sex2 = _population(1000, bias=0.9, seed=5)
+        (window,) = monitor.observe(y_true=y2, predictions=p2,
+                                    protected={"sex": sex2})
+        assert window.drifted
+        (event,) = window.drift
+        assert event.attribute == "sex"
+        assert event.metric == "demographic_parity"
+        assert abs(event.delta) > 0.15
+        assert monitor.drift_events == [event]
+
+    def test_first_window_is_baseline_not_drift(self):
+        y, p, sex = _population(400, bias=0.9, seed=6)
+        monitor = FairnessMonitor(["sex"], config=CFG, window=400,
+                                  drift_threshold=0.05)
+        (window,) = monitor.observe(y_true=y, predictions=p,
+                                    protected={"sex": sex})
+        assert not window.drifted
+
+
+class TestReporting:
+    def _drifted_monitor(self):
+        monitor = FairnessMonitor(["sex"], config=CFG, window=300,
+                                  drift_threshold=0.1)
+        y, p, sex = _population(600, bias=0.0, seed=7)
+        monitor.observe(y_true=y, predictions=p, protected={"sex": sex})
+        y2, p2, sex2 = _population(300, bias=0.9, seed=8)
+        monitor.observe(y_true=y2, predictions=p2, protected={"sex": sex2})
+        return monitor
+
+    def test_summary_is_json_able(self):
+        summary = self._drifted_monitor().summary()
+        parsed = json.loads(json.dumps(summary))
+        assert parsed["windows"] == 3
+        assert parsed["drift_events"]
+
+    def test_markdown_names_the_drifted_metric(self):
+        text = self._drifted_monitor().markdown()
+        assert "demographic_parity" in text
+        assert "re-audit" in text
+
+    def test_clean_markdown_says_representative(self):
+        monitor = FairnessMonitor(["sex"], config=CFG, window=300)
+        y, p, sex = _population(300, bias=0.0, seed=9)
+        monitor.observe(y_true=y, predictions=p, protected={"sex": sex})
+        assert "remains representative" in monitor.markdown()
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(AuditError):
+            FairnessMonitor(["sex"], window=0)
+
+    def test_threshold_range(self):
+        with pytest.raises(AuditError):
+            FairnessMonitor(["sex"], drift_threshold=0.0)
+
+    def test_predictions_required_unless_data_audit(self):
+        monitor = FairnessMonitor(["sex"], config=CFG, window=10)
+        with pytest.raises(AuditError, match="predictions"):
+            monitor.observe(y_true=[1], protected={"sex": ["f"]})
+
+    def test_data_audit_mode_needs_no_predictions(self):
+        monitor = FairnessMonitor(["sex"], config=CFG, window=4,
+                                  audits_labels=True)
+        closed = monitor.observe(
+            y_true=[1, 0, 1, 0],
+            protected={"sex": ["f", "m", "f", "m"]},
+        )
+        assert len(closed) == 1

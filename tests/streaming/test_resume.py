@@ -1,0 +1,130 @@
+"""Checkpoint/resume: interrupted streams complete without double-counting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import AuditConfig
+from repro.exceptions import AuditError, CheckpointError
+from repro.streaming import audit_stream, ingest_stream
+
+from tests.streaming.conftest import chunked, comparable
+
+
+class TestResume:
+    def test_resume_skips_counted_prefix(self, hiring, predictions, tmp_path):
+        config = AuditConfig()
+        ckpt = tmp_path / "stream.ckpt.json"
+        chunks = chunked(hiring, predictions, size=150)
+        ingest_stream(chunks[:3], config, checkpoint=ckpt)
+
+        full = audit_stream(chunks, config, checkpoint=ckpt, resume=True)
+        ref = audit_stream(chunks, config)
+        assert comparable(full) == comparable(ref)
+
+    def test_resume_without_checkpoint_file_starts_fresh(
+        self, hiring, predictions, tmp_path
+    ):
+        config = AuditConfig()
+        chunks = chunked(hiring, predictions)
+        report = audit_stream(
+            chunks, config,
+            checkpoint=tmp_path / "missing.json", resume=True,
+        )
+        assert comparable(report) == comparable(audit_stream(chunks, config))
+
+    def test_without_resume_checkpoint_is_overwritten(
+        self, hiring, predictions, tmp_path
+    ):
+        config = AuditConfig()
+        ckpt = tmp_path / "stream.ckpt.json"
+        chunks = chunked(hiring, predictions, size=150)
+        ingest_stream(chunks[:2], config, checkpoint=ckpt)
+        acc = ingest_stream(chunks, config, checkpoint=ckpt)
+        assert acc.n_rows == hiring.n_rows
+
+    def test_checkpoint_every_throttles_writes(
+        self, hiring, predictions, tmp_path, monkeypatch
+    ):
+        from repro.streaming import accumulator as accumulator_module
+
+        writes = []
+        original = accumulator_module.save_checkpoint
+
+        def counting(path, payload, fingerprint=""):
+            writes.append(path)
+            original(path, payload, fingerprint=fingerprint)
+
+        monkeypatch.setattr(
+            accumulator_module, "save_checkpoint", counting
+        )
+        ckpt = tmp_path / "stream.ckpt.json"
+        ingest_stream(
+            chunked(hiring, predictions, size=100),
+            AuditConfig(),
+            checkpoint=ckpt,
+            checkpoint_every=4,
+        )
+        # 9 chunks → writes after chunks 4 and 8, plus the final flush.
+        assert len(writes) == 3
+
+    def test_checkpoint_every_must_be_positive(self, hiring, predictions):
+        with pytest.raises(AuditError, match="checkpoint_every"):
+            ingest_stream(
+                chunked(hiring, predictions), AuditConfig(),
+                checkpoint_every=0,
+            )
+
+    def test_resume_refuses_foreign_checkpoint(
+        self, hiring, predictions, tmp_path
+    ):
+        ckpt = tmp_path / "stream.ckpt.json"
+        chunks = chunked(hiring, predictions)
+        # Checkpoint written by a *stratified* stream has another layout.
+        ingest_stream(
+            chunks, AuditConfig(strata="university"), checkpoint=ckpt
+        )
+        with pytest.raises(CheckpointError):
+            audit_stream(chunks, AuditConfig(), checkpoint=ckpt, resume=True)
+
+    def test_corrupt_checkpoint_is_reported(
+        self, hiring, predictions, tmp_path
+    ):
+        ckpt = tmp_path / "stream.ckpt.json"
+        ckpt.write_text('{"version": 1, "fingerprint": "x", "payl')
+        with pytest.raises(CheckpointError):
+            audit_stream(
+                chunked(hiring, predictions), AuditConfig(),
+                checkpoint=ckpt, resume=True,
+            )
+
+    def test_checkpoint_file_is_valid_json_envelope(
+        self, hiring, predictions, tmp_path
+    ):
+        ckpt = tmp_path / "stream.ckpt.json"
+        ingest_stream(
+            chunked(hiring, predictions), AuditConfig(), checkpoint=ckpt
+        )
+        envelope = json.loads(ckpt.read_text())
+        assert set(envelope) >= {"version", "fingerprint", "payload"}
+        assert envelope["payload"]["n_rows"] == hiring.n_rows
+
+
+class TestStreamValidation:
+    def test_empty_stream_rejected(self):
+        with pytest.raises(AuditError, match="empty"):
+            audit_stream([], AuditConfig())
+
+    def test_non_dataset_chunk_rejected(self):
+        with pytest.raises(AuditError, match="chunks must be"):
+            audit_stream([{"rows": 3}], AuditConfig())
+
+    def test_config_strata_must_match_accumulator(self, hiring, predictions):
+        from repro.streaming import accumulator_for, finalize
+
+        acc = accumulator_for(hiring)
+        acc.ingest_dataset(hiring, predictions)
+        with pytest.raises(AuditError, match="strata"):
+            finalize(acc, AuditConfig(strata="university"))

@@ -1,0 +1,133 @@
+"""Symmetric to_dict/from_dict for every report and dossier type."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.audit import AuditFinding, AuditReport, FairnessAudit
+from repro.core.config import AuditConfig
+from repro.core.criteria import UseCaseProfile
+from repro.core.legal import FourFifthsFinding, FourFifthsResult
+from repro.core.serialize import (
+    report_from_dict,
+    report_from_json,
+    report_to_dict,
+    report_to_json,
+)
+from repro.workflow import ComplianceDossier, run_compliance_workflow
+
+
+@pytest.fixture
+def report(hiring, predictions):
+    return FairnessAudit(
+        hiring,
+        predictions=predictions,
+        config=AuditConfig(tolerance=0.05, strata="university"),
+    ).run()
+
+
+class TestReportRoundTrip:
+    def test_to_dict_from_dict_identity(self, report):
+        payload = report_to_dict(report)
+        assert report_to_dict(report_from_dict(payload)) == payload
+
+    def test_json_round_trip_identity(self, report):
+        text = report_to_json(report)
+        assert report_to_json(report_from_json(text)) == text
+
+    def test_rebuilt_report_verdicts_match(self, report):
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt.is_clean == report.is_clean
+        assert rebuilt.degraded == report.degraded
+        assert len(rebuilt.violations()) == len(report.violations())
+        assert rebuilt.tolerance == report.tolerance
+
+    def test_rebuilt_findings_are_typed(self, report):
+        rebuilt = report_from_dict(report_to_dict(report))
+        for finding in rebuilt.findings:
+            assert isinstance(finding, AuditFinding)
+            if finding.four_fifths is not None:
+                assert isinstance(finding.four_fifths, FourFifthsFinding)
+
+    def test_provenance_round_trips(self, report):
+        payload = report_to_dict(report)
+        rebuilt = report_from_dict(payload)
+        assert rebuilt.provenance is not None
+        assert rebuilt.provenance.to_dict() == payload["provenance"]
+
+    def test_report_methods_delegate(self, report):
+        assert report.to_dict() == report_to_dict(report)
+        clone = AuditReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_finding_methods_delegate(self, report):
+        finding = report.findings[0]
+        clone = AuditFinding.from_dict(finding.to_dict())
+        assert clone.to_dict() == finding.to_dict()
+
+
+class TestFourFifths:
+    def test_alias_is_the_finding_type(self):
+        assert FourFifthsResult is FourFifthsFinding
+
+    def test_typed_field_on_findings(self, report):
+        typed = [f for f in report.findings if f.four_fifths is not None]
+        assert typed, "expected at least one four-fifths annotation"
+        for finding in typed:
+            assert isinstance(finding.four_fifths, FourFifthsFinding)
+
+    def test_round_trip(self, report):
+        finding = next(
+            f.four_fifths for f in report.findings
+            if f.four_fifths is not None
+        )
+        payload = finding.to_dict()
+        json.dumps(payload)
+        clone = FourFifthsFinding.from_dict(payload)
+        assert clone.to_dict() == payload
+
+
+class TestDossierRoundTrip:
+    @pytest.fixture
+    def dossier(self, hiring):
+        profile = UseCaseProfile(
+            name="stream-suite", sector="employment", jurisdiction="eu",
+            legitimate_factors=("university",),
+        )
+        return run_compliance_workflow(
+            hiring, profile,
+            config=AuditConfig(tolerance=0.05, strata="university"),
+        )
+
+    def test_to_dict_from_dict_identity(self, dossier):
+        payload = dossier.to_dict()
+        json.dumps(payload)
+        clone = ComplianceDossier.from_dict(payload)
+        assert clone.to_dict() == payload
+
+    def test_rebuilt_dossier_verdict_matches(self, dossier):
+        clone = ComplianceDossier.from_dict(dossier.to_dict())
+        assert clone.verdict == dossier.verdict
+        assert clone.degraded == dossier.degraded
+        assert len(clone.recommendations) == len(dossier.recommendations)
+        assert len(clone.statutes) == len(dossier.statutes)
+
+    def test_provenance_is_typed(self, dossier):
+        from repro.observability.provenance import ProvenanceRecord
+
+        assert isinstance(dossier.provenance, ProvenanceRecord)
+        clone = ComplianceDossier.from_dict(dossier.to_dict())
+        assert isinstance(clone.provenance, ProvenanceRecord)
+
+
+class TestStreamedReportsSerialise:
+    def test_streamed_report_round_trips(self, hiring, predictions):
+        from repro.streaming import audit_stream
+        from tests.streaming.conftest import chunked
+
+        report = audit_stream(chunked(hiring, predictions), AuditConfig())
+        payload = report_to_dict(report)
+        assert report_to_dict(report_from_dict(payload)) == payload
