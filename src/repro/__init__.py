@@ -72,7 +72,7 @@ from repro.streaming import (  # noqa: E402
 )
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

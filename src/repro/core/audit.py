@@ -412,6 +412,7 @@ class FairnessAudit:
         else:
             self.audits_labels = False
         self.predictions = check_binary_array(predictions, "predictions")
+        self._power_notes_cache: dict | None = None
         if len(self.predictions) != dataset.n_rows:
             raise AuditError(
                 f"predictions length {len(self.predictions)} != dataset rows "
@@ -543,16 +544,14 @@ class FairnessAudit:
     def _power_note(self, attribute: str) -> dict:
         """Minimum detectable gap for this attribute's two largest groups."""
         if get_backend() == "kernel":
-            counts = self.dataset.codes(attribute).counts()
-        else:
-            _values, counts = np.unique(
-                self.dataset.column(attribute), return_counts=True
-            )
+            return dict(self._power_note_table().get(attribute, {}))
+        _values, counts = np.unique(
+            self.dataset.column(attribute), return_counts=True
+        )
         if len(counts) < 2:
             return {}
         top = np.sort(counts)[-2:]
-        base_rate = float(np.mean(self.predictions))
-        base_rate = min(max(base_rate, 0.05), 0.95)
+        base_rate = self._power_base_rate()
         return {
             "n_a": int(top[1]),
             "n_b": int(top[0]),
@@ -560,6 +559,48 @@ class FairnessAudit:
                 int(top[1]), int(top[0]), base_rate=base_rate
             ),
         }
+
+    def _power_base_rate(self) -> float:
+        base_rate = float(np.mean(self.predictions))
+        return min(max(base_rate, 0.05), 0.95)
+
+    def _power_note_table(self) -> dict:
+        """Power notes for every protected attribute, one batched call.
+
+        Group sizes come from the cached kernel code tables and the
+        minimum detectable gaps for all attributes are computed with a
+        single :func:`~repro.stats.batch.batch_min_detectable_gap` —
+        values bit-identical to the per-attribute scalar path kept on
+        the ``"reference"`` backend.  Cached for the audit's lifetime.
+        """
+        if self._power_notes_cache is not None:
+            return self._power_notes_cache
+        from repro.stats.batch import batch_min_detectable_gap
+
+        eligible: list[str] = []
+        pairs: list[tuple[int, int]] = []
+        for attribute in self.protected_attributes:
+            counts = self.dataset.codes(attribute).counts()
+            if len(counts) < 2:
+                continue
+            top = np.sort(counts)[-2:]
+            eligible.append(attribute)
+            pairs.append((int(top[1]), int(top[0])))
+        table: dict = {}
+        if pairs:
+            gaps = batch_min_detectable_gap(
+                np.array([big for big, _ in pairs], dtype=np.int64),
+                np.array([small for _, small in pairs], dtype=np.int64),
+                base_rate=self._power_base_rate(),
+            )
+            for attribute, (big, small), gap in zip(eligible, pairs, gaps):
+                table[attribute] = {
+                    "n_a": big,
+                    "n_b": small,
+                    "min_detectable_gap": float(gap),
+                }
+        self._power_notes_cache = table
+        return table
 
     # -- the run -----------------------------------------------------------------
 

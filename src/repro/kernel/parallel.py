@@ -7,11 +7,20 @@ subgroup.  Chunk boundaries are aligned to absolute multiples of the
 checkpoint interval, which makes the parallel scan's checkpoint cadence
 — and therefore every checkpoint file — byte-identical to the serial
 scan's.
+
+Since ISSUE 5 scoring is *batched*: :func:`score_chunk` hands its whole
+chunk of count pairs to :func:`repro.stats.batch.batch_score_counts`,
+which runs one vectorized z-test and one Wilson batch for the entire
+chunk instead of two scalar calls per subgroup — the payloads stay
+bit-identical to the per-subgroup scalar loop (the property suite in
+``tests/perf/test_batch_stats.py`` holds the equivalence).
 """
 
 from __future__ import annotations
 
-from repro.stats.tests import two_proportion_z_test, wilson_interval
+import numpy as np
+
+from repro.stats.batch import batch_score_counts
 
 __all__ = ["score_counts", "score_chunk", "chunk_ranges"]
 
@@ -21,39 +30,35 @@ def score_counts(
 ) -> dict | None:
     """Disparity statistics for one subgroup from its count pair.
 
-    Reproduces the serial mask-based scoring exactly: the rates are the
-    same integer divisions, and the z-test/Wilson interval see the same
-    integer inputs.  Returns ``None`` when the subgroup covers the whole
-    population (no complement to compare against).
+    A length-1 batch through :func:`batch_score_counts`: the rates are
+    the same integer divisions, and the z-test/Wilson interval see the
+    same integer inputs as the scalar scoring ever did.  Returns
+    ``None`` when the subgroup covers the whole population (no
+    complement to compare against).
     """
-    n_outside = n_total - n_inside
-    if n_outside <= 0:
-        return None
-    positives_outside = positives_total - positives_inside
-    rate = positives_inside / n_inside
-    complement = positives_outside / n_outside
-    test = two_proportion_z_test(
-        positives_inside, n_inside, positives_outside, n_outside
-    )
-    ci_low, ci_high = wilson_interval(positives_inside, n_inside)
-    return {
-        "rate": rate,
-        "complement_rate": complement,
-        "gap": rate - complement,
-        "ci_low": ci_low,
-        "ci_high": ci_high,
-        "p_value": test.p_value,
-    }
+    return batch_score_counts(
+        positives_inside, n_inside, positives_total, n_total
+    )[0]
 
 
 def score_chunk(
     entries: list[tuple[int, int]], positives_total: int, n_total: int
 ) -> list[dict | None]:
-    """Score a chunk of ``(positives_inside, n_inside)`` pairs in order."""
-    return [
-        score_counts(positives, n, positives_total, n_total)
-        for positives, n in entries
-    ]
+    """Score a chunk of ``(positives_inside, n_inside)`` pairs in order.
+
+    One batch call for the whole chunk: the count pairs are folded into
+    two int64 vectors and every subgroup's z-test, Wilson interval, and
+    rate arithmetic runs as a single vectorized pass.
+    """
+    if not entries:
+        return []
+    positives = np.fromiter(
+        (entry[0] for entry in entries), dtype=np.int64, count=len(entries)
+    )
+    sizes = np.fromiter(
+        (entry[1] for entry in entries), dtype=np.int64, count=len(entries)
+    )
+    return batch_score_counts(positives, sizes, positives_total, n_total)
 
 
 def chunk_ranges(start: int, total: int, chunk: int) -> list[tuple[int, int]]:

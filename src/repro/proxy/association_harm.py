@@ -115,26 +115,29 @@ def association_harm(
     proxies = dataset.column(proxy)
 
     if disadvantaged_group is None:
-        rates = {
-            g: float(outcomes[groups == g].mean())
-            for g in np.unique(groups)
-        }
-        disadvantaged_group = min(rates, key=rates.get)
+        # One bincount pass over group codes replaces the per-group
+        # masking loop; argmin keeps the same first-wins tie behaviour
+        # as min() over the rate dict in np.unique order.
+        group_values, group_codes = np.unique(groups, return_inverse=True)
+        group_n = np.bincount(group_codes, minlength=len(group_values))
+        group_pos = np.bincount(
+            group_codes, weights=outcomes, minlength=len(group_values)
+        )
+        disadvantaged_group = group_values[np.argmin(group_pos / group_n)]
     members = groups == disadvantaged_group
     if not members.any():
         raise DatasetError(
             f"group {disadvantaged_group!r} absent from {attribute!r}"
         )
 
-    # proxy value most over-represented among the disadvantaged group
-    values = np.unique(proxies)
-    member_share = {}
-    for value in values:
-        holders = proxies == value
-        if not holders.any():
-            continue
-        member_share[value] = float(members[holders].mean())
-    associated_value = max(member_share, key=member_share.get)
+    # proxy value most over-represented among the disadvantaged group:
+    # member share per proxy value from one bincount pass.
+    proxy_values, proxy_codes = np.unique(proxies, return_inverse=True)
+    holder_n = np.bincount(proxy_codes, minlength=len(proxy_values))
+    holder_members = np.bincount(
+        proxy_codes, weights=members, minlength=len(proxy_values)
+    )
+    associated_value = proxy_values[np.argmax(holder_members / holder_n)]
 
     non_members = ~members
     associated = non_members & (proxies == associated_value)

@@ -1,5 +1,20 @@
-"""Statistical substrate: distances, hypothesis tests, sample complexity."""
+"""Statistical substrate: distances, hypothesis tests, sample complexity.
 
+The scalar primitives in :mod:`repro.stats.tests` are the public API;
+each is a thin wrapper over its vectorized counterpart in
+:mod:`repro.stats.batch`, which audits use directly to score thousands
+of subgroups in one call (see ``docs/performance.md``, "Batched
+inference").
+"""
+
+from repro.stats.batch import (
+    batch_bootstrap_ci,
+    batch_min_detectable_gap,
+    batch_permutation_test,
+    batch_score_counts,
+    batch_two_proportion_z,
+    batch_wilson_interval,
+)
 from repro.stats.distances import (
     DISTANCE_REGISTRY,
     align_distributions,
@@ -34,6 +49,12 @@ from repro.stats.tests import (
 )
 
 __all__ = [
+    "batch_two_proportion_z",
+    "batch_wilson_interval",
+    "batch_min_detectable_gap",
+    "batch_bootstrap_ci",
+    "batch_permutation_test",
+    "batch_score_counts",
     "align_distributions",
     "hellinger_distance",
     "total_variation_distance",

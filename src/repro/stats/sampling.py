@@ -77,21 +77,92 @@ def empirical_distribution(values) -> dict:
     }
 
 
+def _distribution_support(
+    distribution: Mapping[object, float],
+) -> tuple[list, np.ndarray]:
+    """Validated (keys, normalised probability vector) of a mapping."""
+    keys = list(distribution)
+    probs = np.array([float(distribution[k]) for k in keys])
+    if np.any(probs < 0) or probs.sum() <= 0:
+        raise ValidationError("distribution must have non-negative mass")
+    return keys, probs / probs.sum()
+
+
+def _keys_array(keys: list) -> np.ndarray:
+    """Keys as a 1-D array suitable for ``np.take``.
+
+    Homogeneous keys keep their natural dtype (numeric stays numeric,
+    strings stay strings); mixed-type keys get an ``object`` array so
+    no value is silently coerced (``np.array(['a', 1])`` would turn the
+    ``1`` into ``'1'``).
+    """
+    types = {type(key) for key in keys}
+    if len(types) == 1 or all(
+        isinstance(key, (int, float, np.number))
+        and not isinstance(key, bool)
+        for key in keys
+    ):
+        candidate = np.asarray(keys)
+        if candidate.ndim == 1 and len(candidate) == len(keys):
+            return candidate
+    arr = np.empty(len(keys), dtype=object)
+    arr[:] = keys
+    return arr
+
+
 def sample_from_distribution(
     distribution: Mapping[object, float],
     n: int,
     random_state: int | np.random.Generator | None = None,
 ) -> np.ndarray:
-    """Draw ``n`` iid categorical samples from a value→probability mapping."""
+    """Draw ``n`` iid categorical samples from a value→probability mapping.
+
+    The result is one vectorized ``np.take`` gather on the key array —
+    homogeneous numeric keys keep their numeric dtype, mixed-type keys
+    come back as ``object`` with every value preserved exactly.
+    """
     n = check_positive_int(n, "n")
     rng = check_random_state(random_state)
-    keys = list(distribution)
-    probs = np.array([float(distribution[k]) for k in keys])
-    if np.any(probs < 0) or probs.sum() <= 0:
-        raise ValidationError("distribution must have non-negative mass")
-    probs = probs / probs.sum()
+    keys, probs = _distribution_support(distribution)
     indices = rng.choice(len(keys), size=n, p=probs)
-    return np.array([keys[i] for i in indices])
+    return np.take(_keys_array(keys), indices)
+
+
+def _batched_estimates(
+    distance: Callable[[Mapping, Mapping], float],
+    population: Mapping[object, float],
+    reference: Mapping[object, float],
+    n: int,
+    n_trials: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """All ``n_trials`` distance estimates at one sample size, batched.
+
+    One ``(n_trials × n)`` categorical draw (stream-identical to
+    ``n_trials`` sequential draws) and one bincount per trial row;
+    empirical dicts are built in the sorted-key order
+    :func:`empirical_distribution` would produce, with zero-count
+    values dropped, so any distance callable sees the same input as on
+    the reference path.
+    """
+    from repro.stats.batch import _infer_span
+
+    keys, probs = _distribution_support(population)
+    n_keys = len(keys)
+    with _infer_span("sample_complexity", n_trials):
+        samples = rng.choice(n_keys, size=(n_trials, n), p=probs)
+        counts = np.bincount(
+            (np.arange(n_trials)[:, None] * n_keys + samples).ravel(),
+            minlength=n_trials * n_keys,
+        ).reshape(n_trials, n_keys)
+        order = sorted(range(n_keys), key=lambda i: keys[i])
+        estimates = np.empty(n_trials)
+        for t in range(n_trials):
+            empirical = {
+                keys[i]: counts[t, i] / n for i in order if counts[t, i]
+            }
+            estimates[t] = distance(empirical, reference)
+    return estimates
 
 
 @dataclass(frozen=True)
@@ -147,20 +218,37 @@ def sample_complexity_curve(
     At each n, draws ``n_trials`` samples of size n from ``population``,
     computes ``distance(empirical_sample, reference)``, and compares to the
     true ``distance(population, reference)``.
+
+    On the default kernel backend all trials for one ``n`` are drawn as
+    a single ``(n_trials × n)`` categorical sample and reduced to
+    empirical distributions with one bincount per trial row; the
+    ``"reference"`` backend keeps the original one-sample-per-trial
+    loop.  Both consume the random stream identically, so a seeded
+    curve is the same on either backend.
     """
+    from repro.kernel._backend import get_backend
+
     if not sample_sizes:
         raise ValidationError("sample_sizes must be non-empty")
     n_trials = check_positive_int(n_trials, "n_trials")
     rng = check_random_state(random_state)
     true_value = float(distance(population, reference))
+    batched = get_backend() != "reference"
 
     points = []
     for n in sorted(set(int(s) for s in sample_sizes)):
         check_positive_int(n, "sample size")
-        estimates = np.empty(n_trials)
-        for t in range(n_trials):
-            sample = sample_from_distribution(population, n, rng)
-            estimates[t] = distance(empirical_distribution(sample), reference)
+        if batched:
+            estimates = _batched_estimates(
+                distance, population, reference, n, n_trials, rng
+            )
+        else:
+            estimates = np.empty(n_trials)
+            for t in range(n_trials):
+                sample = sample_from_distribution(population, n, rng)
+                estimates[t] = distance(
+                    empirical_distribution(sample), reference
+                )
         errors = np.abs(estimates - true_value)
         points.append(
             SampleComplexityPoint(

@@ -3,6 +3,13 @@
 Section IV.C of the paper warns that sparse subgroups make bias estimates
 statistically unreliable; the audit layer therefore attaches significance
 information from these primitives to every finding.
+
+Since ISSUE 5 the scalar functions here are thin wrappers over the
+vectorized engine in :mod:`repro.stats.batch` (a scalar call is a
+length-1 batch).  The pre-batch implementations are kept verbatim in
+:mod:`repro.stats._reference` and run whenever the ``"reference"``
+kernel backend is selected (:func:`repro.kernel.use_backend`), so
+batch↔scalar equivalence stays testable forever.
 """
 
 from __future__ import annotations
@@ -13,13 +20,17 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats as sp_stats
 
-from repro._validation import (
-    check_array_1d,
-    check_positive_int,
-    check_probability,
-    check_random_state,
-)
+from repro._validation import check_positive_int, check_probability
 from repro.exceptions import ValidationError
+from repro.kernel._backend import get_backend
+from repro.stats import _reference
+from repro.stats.batch import (
+    batch_bootstrap_ci,
+    batch_min_detectable_gap,
+    batch_permutation_test,
+    batch_two_proportion_z,
+    batch_wilson_interval,
+)
 
 __all__ = [
     "TestResult",
@@ -52,36 +63,31 @@ def two_proportion_z_test(
     """Two-sided pooled z-test for equality of two proportions.
 
     The workhorse for "is the selection-rate gap between groups real?".
+    A length-1 call into :func:`repro.stats.batch.batch_two_proportion_z`
+    (the scalar loop under the ``"reference"`` backend).
     """
-    for name, value in (
-        ("successes_a", successes_a),
-        ("n_a", n_a),
-        ("successes_b", successes_b),
-        ("n_b", n_b),
-    ):
-        if value < 0:
-            raise ValidationError(f"{name} must be non-negative, got {value}")
-    if n_a == 0 or n_b == 0:
-        raise ValidationError("both groups must be non-empty")
-    if successes_a > n_a or successes_b > n_b:
-        raise ValidationError("successes cannot exceed group size")
-
-    p_a = successes_a / n_a
-    p_b = successes_b / n_b
-    pooled = (successes_a + successes_b) / (n_a + n_b)
-    variance = pooled * (1 - pooled) * (1 / n_a + 1 / n_b)
-    if variance == 0:
-        # Degenerate: all outcomes identical in the pooled sample.
-        z = 0.0 if p_a == p_b else float("inf")
-        p_value = 1.0 if p_a == p_b else 0.0
-        return TestResult(z, p_value, "two_proportion_z")
-    z = (p_a - p_b) / np.sqrt(variance)
-    p_value = float(2.0 * sp_stats.norm.sf(abs(z)))
-    return TestResult(float(z), p_value, "two_proportion_z")
+    if get_backend() == "reference":
+        z, p_value = _reference.two_proportion_z_test(
+            successes_a, n_a, successes_b, n_b
+        )
+    else:
+        zs, ps = batch_two_proportion_z(successes_a, n_a, successes_b, n_b)
+        z, p_value = float(zs[0]), float(ps[0])
+    return TestResult(z, p_value, "two_proportion_z")
 
 
-def chi_square_independence(table) -> TestResult:
-    """Chi-square test of independence on a contingency table."""
+def chi_square_independence(table, correction: bool = True) -> TestResult:
+    """Chi-square test of independence on a contingency table.
+
+    ``correction`` toggles scipy's Yates continuity correction, which
+    applies only to 2×2 tables (one degree of freedom).  The default
+    ``True`` keeps the historical behaviour, but note the discrepancy it
+    creates: on the same 2×2 counts the *uncorrected*
+    :func:`two_proportion_z_test` satisfies ``chi2 == z**2`` with an
+    identical p-value, while the Yates-corrected statistic is smaller
+    (more conservative).  Pass ``correction=False`` when cross-checking
+    a chi-square verdict against a z-test on the same table.
+    """
     table = np.asarray(table, dtype=float)
     if table.ndim != 2 or min(table.shape) < 2:
         raise ValidationError(
@@ -91,7 +97,9 @@ def chi_square_independence(table) -> TestResult:
         raise ValidationError("table counts must be non-negative")
     if table.sum() == 0:
         raise ValidationError("table must contain observations")
-    statistic, p_value, __, __ = sp_stats.chi2_contingency(table)
+    statistic, p_value, __, __ = sp_stats.chi2_contingency(
+        table, correction=correction
+    )
     return TestResult(float(statistic), float(p_value), "chi_square")
 
 
@@ -105,28 +113,23 @@ def permutation_test(
     """Two-sided permutation test for a two-sample statistic.
 
     ``statistic`` defaults to the difference in means.  The p-value uses
-    the add-one correction so it is never exactly zero.
+    the add-one correction so it is never exactly zero.  The kernel
+    backend draws one argsort-of-random-keys permutation matrix
+    (:func:`repro.stats.batch.batch_permutation_test`); the
+    ``"reference"`` backend runs the original shuffle loop, so the two
+    agree statistically but not draw-for-draw under one seed.
     """
-    x = check_array_1d(x, "x").astype(float)
-    y = check_array_1d(y, "y").astype(float)
-    if len(x) == 0 or len(y) == 0:
-        raise ValidationError("both samples must be non-empty")
-    n_permutations = check_positive_int(n_permutations, "n_permutations")
-    rng = check_random_state(random_state)
-    if statistic is None:
-        statistic = lambda a, b: float(np.mean(a) - np.mean(b))
-
-    observed = abs(statistic(x, y))
-    pooled = np.concatenate([x, y])
-    n_x = len(x)
-    exceed = 0
-    for __ in range(n_permutations):
-        rng.shuffle(pooled)
-        value = abs(statistic(pooled[:n_x], pooled[n_x:]))
-        if value >= observed - 1e-15:
-            exceed += 1
-    p_value = (exceed + 1) / (n_permutations + 1)
-    return TestResult(float(observed), float(p_value), "permutation")
+    if get_backend() == "reference":
+        observed, p_value = _reference.permutation_test(
+            x, y, statistic=statistic, n_permutations=n_permutations,
+            random_state=random_state,
+        )
+    else:
+        observed, p_value = batch_permutation_test(
+            x, y, statistic=statistic, n_permutations=n_permutations,
+            random_state=random_state,
+        )
+    return TestResult(observed, p_value, "permutation")
 
 
 def bootstrap_ci(
@@ -136,23 +139,21 @@ def bootstrap_ci(
     n_resamples: int = 2000,
     random_state: int | np.random.Generator | None = None,
 ) -> tuple[float, float]:
-    """Percentile bootstrap confidence interval for a sample statistic."""
-    values = check_array_1d(values, "values").astype(float)
-    if len(values) == 0:
-        raise ValidationError("values must be non-empty")
-    check_probability(confidence, "confidence")
-    n_resamples = check_positive_int(n_resamples, "n_resamples")
-    rng = check_random_state(random_state)
-    if statistic is None:
-        statistic = lambda a: float(np.mean(a))
+    """Percentile bootstrap confidence interval for a sample statistic.
 
-    estimates = np.empty(n_resamples)
-    n = len(values)
-    for i in range(n_resamples):
-        estimates[i] = statistic(values[rng.integers(0, n, n)])
-    alpha = 1.0 - confidence
-    lo, hi = np.quantile(estimates, [alpha / 2.0, 1.0 - alpha / 2.0])
-    return float(lo), float(hi)
+    The kernel backend draws the full resample index matrix at once
+    (:func:`repro.stats.batch.batch_bootstrap_ci`); under the same
+    ``random_state`` it is bit-identical to the ``"reference"`` loop.
+    """
+    if get_backend() == "reference":
+        return _reference.bootstrap_ci(
+            values, statistic=statistic, confidence=confidence,
+            n_resamples=n_resamples, random_state=random_state,
+        )
+    return batch_bootstrap_ci(
+        values, statistic=statistic, confidence=confidence,
+        n_resamples=n_resamples, random_state=random_state,
+    )
 
 
 def wilson_interval(
@@ -161,19 +162,16 @@ def wilson_interval(
     """Wilson score interval for a binomial proportion.
 
     Preferred over the normal approximation for the small subgroup counts
-    that intersectional audits produce.
+    that intersectional audits produce.  Both bounds are builtin
+    ``float`` (never numpy scalars), so report payloads built from them
+    serialize to JSON without coercion.
     """
-    if n <= 0:
-        raise ValidationError(f"n must be positive, got {n}")
-    if not 0 <= successes <= n:
-        raise ValidationError("successes must lie in [0, n]")
-    check_probability(confidence, "confidence")
-    z = float(sp_stats.norm.ppf(1.0 - (1.0 - confidence) / 2.0))
-    p = successes / n
-    denom = 1.0 + z**2 / n
-    centre = (p + z**2 / (2 * n)) / denom
-    half = (z / denom) * np.sqrt(p * (1 - p) / n + z**2 / (4 * n**2))
-    return max(0.0, centre - half), min(1.0, centre + half)
+    if get_backend() == "reference":
+        low, high = _reference.wilson_interval(successes, n, confidence)
+    else:
+        lows, highs = batch_wilson_interval(successes, n, confidence)
+        low, high = lows[0], highs[0]
+    return float(low), float(high)
 
 
 def min_detectable_gap(
@@ -185,12 +183,15 @@ def min_detectable_gap(
     a "no significant disparity" finding with how large a disparity could
     still be hiding (the Section IV.C uncertainty caveat).
     """
+    if get_backend() == "reference":
+        return _reference.min_detectable_gap(
+            n_a, n_b, base_rate=base_rate, alpha=alpha, power=power
+        )
+    # Scalar-strict validation (the batch engine accepts integral floats;
+    # the scalar API never did, on either backend).
     check_positive_int(n_a, "n_a")
     check_positive_int(n_b, "n_b")
-    check_probability(base_rate, "base_rate")
-    check_probability(alpha, "alpha")
-    check_probability(power, "power")
-    z_alpha = float(sp_stats.norm.ppf(1.0 - alpha / 2.0))
-    z_beta = float(sp_stats.norm.ppf(power))
-    variance = base_rate * (1.0 - base_rate) * (1.0 / n_a + 1.0 / n_b)
-    return float((z_alpha + z_beta) * np.sqrt(variance))
+    gaps = batch_min_detectable_gap(
+        n_a, n_b, base_rate=base_rate, alpha=alpha, power=power
+    )
+    return float(gaps[0])

@@ -43,7 +43,6 @@ from repro.kernel import (
     get_backend,
     joint_counts,
     score_chunk,
-    score_counts,
 )
 from repro.models.preprocessing import OneHotEncoder
 from repro.models.tree import DecisionTree
@@ -369,13 +368,20 @@ def audit_subgroups(
                 scan_span.event("checkpoint", evaluated=evaluated, total=total)
 
         if jobs == 1:
+            # One vectorized inference batch scores the whole remaining
+            # scan (z-tests + Wilson intervals for every subgroup at
+            # once); the loop below only assembles findings and keeps
+            # the checkpoint/progress cadence identical to the
+            # pre-batch per-subgroup scoring.
+            payloads = (
+                score_chunk(entries[start:], positives_total, n_total)
+                if use_kernel
+                else None
+            )
             for index in range(start, total):
                 subgroup = subgroups[index]
                 if use_kernel:
-                    payload = score_counts(
-                        entries[index][0], entries[index][1],
-                        positives_total, n_total,
-                    )
+                    payload = payloads[index - start]
                     if payload is not None:
                         findings.append(
                             SubgroupFinding(subgroup=subgroup, **payload)
@@ -540,6 +546,53 @@ class GerrymanderingAuditor:
 
         # Assign every row to its leaf and compare leaf rates.
         leaf_probs = oracle.predict_proba(X)
+        if get_backend() == "reference":
+            return self._best_leaf_reference(
+                predictions, leaf_probs, min_leaf, X, feature_names
+            )
+        # Kernel path: one bincount pass yields every leaf's size and
+        # positive count, and a single batched inference call scores all
+        # candidate leaves at once — bit-identical to the per-leaf
+        # scalar loop kept behind the reference backend.
+        from repro.stats.batch import batch_score_counts
+
+        leaf_values, leaf_codes = np.unique(leaf_probs, return_inverse=True)
+        n_in = np.bincount(leaf_codes, minlength=len(leaf_values))
+        pos_in = np.bincount(
+            leaf_codes, weights=predictions, minlength=len(leaf_values)
+        ).astype(np.int64)
+        n_total = len(predictions)
+        candidates = np.flatnonzero(
+            (n_in >= min_leaf) & (n_total - n_in > 0)
+        )
+        if len(candidates) == 0:
+            raise AuditError("oracle produced no usable leaves")
+        payloads = batch_score_counts(
+            pos_in[candidates], n_in[candidates],
+            int(predictions.sum()), n_total,
+        )
+        gaps = np.array([payload["gap"] for payload in payloads])
+        position = int(np.argmax(np.abs(gaps)))
+        winner = int(candidates[position])
+        mask = leaf_codes == winner
+        conditions = self._describe_leaf(X, mask, feature_names)
+        return SubgroupFinding(
+            subgroup=Subgroup(
+                conditions=conditions, size=int(n_in[winner]), mask=mask
+            ),
+            **payloads[position],
+        )
+
+    def _best_leaf_reference(
+        self,
+        predictions: np.ndarray,
+        leaf_probs: np.ndarray,
+        min_leaf: int,
+        X: np.ndarray,
+        feature_names: list,
+    ) -> SubgroupFinding:
+        """Pre-batch per-leaf scoring loop, kept verbatim as the
+        executable specification for the batched leaf scoring."""
         best: SubgroupFinding | None = None
         for leaf_value in np.unique(leaf_probs):
             mask = leaf_probs == leaf_value

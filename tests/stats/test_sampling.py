@@ -44,6 +44,27 @@ class TestSampleFromDistribution:
         with pytest.raises(ValidationError):
             sample_from_distribution({"a": -1.0, "b": 2.0}, 10)
 
+    def test_numeric_keys_keep_numeric_dtype(self):
+        sample = sample_from_distribution({0: 0.5, 1: 0.5}, 40, random_state=1)
+        assert np.issubdtype(sample.dtype, np.integer)
+        sample = sample_from_distribution(
+            {0.25: 0.5, 0.75: 0.5}, 40, random_state=1
+        )
+        assert np.issubdtype(sample.dtype, np.floating)
+
+    def test_string_keys_unchanged(self):
+        sample = sample_from_distribution(POPULATION, 40, random_state=1)
+        assert set(np.unique(sample)) <= {"male", "female"}
+
+    def test_mixed_keys_not_coerced(self):
+        # np.array(["a", 1]) would silently stringify the int; the
+        # sampler must keep heterogeneous keys as objects instead.
+        sample = sample_from_distribution({"a": 0.5, 1: 0.5}, 60,
+                                          random_state=2)
+        assert sample.dtype == object
+        assert set(sample.tolist()) <= {"a", 1}
+        assert any(isinstance(v, int) for v in sample.tolist())
+
 
 class TestSampleComplexityCurve:
     @pytest.mark.parametrize("name", sorted(DISTANCE_REGISTRY))

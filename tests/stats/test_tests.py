@@ -62,6 +62,24 @@ class TestChiSquare:
         with pytest.raises(ValidationError, match="observations"):
             chi_square_independence([[0, 0], [0, 0]])
 
+    def test_correction_flag_changes_statistic(self):
+        table = [[40, 60], [55, 45]]
+        corrected = chi_square_independence(table)
+        uncorrected = chi_square_independence(table, correction=False)
+        # Yates' correction shrinks the statistic, never grows it.
+        assert uncorrected.statistic > corrected.statistic
+        assert uncorrected.p_value < corrected.p_value
+
+    def test_uncorrected_chi2_equals_z_squared(self):
+        # Documented discrepancy: on a 2x2 table the *uncorrected*
+        # chi-square equals the square of the two-proportion z — the
+        # default (Yates-corrected) statistic deliberately does not.
+        table = [[40, 60], [55, 45]]
+        chi = chi_square_independence(table, correction=False)
+        z = two_proportion_z_test(40, 100, 55, 100)
+        assert chi.statistic == pytest.approx(z.statistic**2, abs=1e-9)
+        assert chi.p_value == pytest.approx(z.p_value, abs=1e-9)
+
 
 class TestPermutationTest:
     def test_shifted_samples_significant(self):
@@ -124,6 +142,13 @@ class TestWilsonInterval:
     def test_contains_point_estimate(self):
         lo, hi = wilson_interval(30, 100)
         assert lo < 0.3 < hi
+
+    def test_returns_builtin_floats(self):
+        # Regression: the bounds used to come back as np.float64, which
+        # leaks numpy scalars into serialized reports.
+        lo, hi = wilson_interval(30, 100)
+        assert type(lo) is float
+        assert type(hi) is float
 
     def test_bounds_clipped(self):
         lo, __ = wilson_interval(0, 10)
