@@ -71,8 +71,9 @@ from repro.streaming import (  # noqa: E402
     audit_stream,
 )
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
+from repro.service import JobEngine, JobRecord  # noqa: E402
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -117,4 +118,7 @@ __all__ = [
     "AuditAccumulator",
     "FairnessMonitor",
     "audit_stream",
+    # service
+    "JobEngine",
+    "JobRecord",
 ]

@@ -327,6 +327,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_policy_flags(wf)
     _add_trace_flag(wf)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant audit service (HTTP/JSON job API)",
+    )
+    srv.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="service state directory (journal, result store, "
+        "checkpoints); a restart over the same root recovers "
+        "interrupted jobs",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 (the default) binds a free port and prints it",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing jobs (default: 2)",
+    )
+    srv.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="max active jobs before submissions get 429 + Retry-After "
+        "(default: 16)",
+    )
+    srv.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the per-event journal fsync (faster; weakens the "
+        "crash guarantee to what the OS flushes)",
+    )
+    _add_policy_flags(srv)
+
     trace = sub.add_parser(
         "trace",
         help="inspect a trace file written with --trace-out",
@@ -654,6 +685,45 @@ def _cmd_workflow(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the audit service until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.service import JobEngine
+    from repro.service.httpd import serve as start_http
+
+    engine = JobEngine(
+        args.root,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        policy=_policy_from_args(args),
+        journal_fsync=not args.no_fsync,
+    )
+    server = start_http(engine, host=args.host, port=args.port)
+    print(
+        f"repro audit service listening on http://{args.host}:{server.port} "
+        f"(root {args.root}, {args.workers} workers, "
+        f"queue limit {args.queue_limit})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        server.shutdown()
+        engine.shutdown(drain=True)
+    print("drained running jobs; service stopped", flush=True)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "audit": _cmd_audit,
@@ -666,6 +736,7 @@ _COMMANDS = {
     "statutes": _cmd_statutes,
     "define": _cmd_define,
     "workflow": _cmd_workflow,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -35,6 +35,7 @@ _POLICY_FIELDS = (
     "backoff_base",
     "backoff_factor",
     "backoff_cap",
+    "backoff_jitter",
     "max_failures",
     "fail_fast",
 )
@@ -133,8 +134,8 @@ class AuditConfig:
 
         ``faults`` and ``tracer`` are process-local objects and are
         deliberately dropped; ``policy`` round-trips through its scalar
-        fields (custom ``retryable``/``sleep``/``stage_overrides`` do
-        not survive — they are process-local too).
+        fields (custom ``retryable``/``sleep``/``rng``/``stage_overrides``
+        do not survive — they are process-local too).
         """
         payload = {
             "tolerance": self.tolerance,

@@ -26,6 +26,10 @@ __all__ = [
     "RetryExhaustedError",
     "CheckpointError",
     "DegradedRunError",
+    "ServiceError",
+    "AdmissionError",
+    "EngineClosedError",
+    "JobCancelledError",
 ]
 
 
@@ -138,3 +142,47 @@ class DegradedRunError(RobustnessError):
     def __init__(self, message: str, outcomes: list | None = None):
         super().__init__(message)
         self.outcomes = list(outcomes or [])
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the fault-tolerant audit service."""
+
+
+class AdmissionError(ServiceError):
+    """The engine's queue is saturated and the submission was rejected.
+
+    Carries a structured ``retry_after`` hint (seconds) so callers — the
+    HTTP layer maps this to ``429`` plus a ``Retry-After`` header — can
+    back off instead of hammering a full queue.  Rejection is admission
+    control working, not the engine failing: running jobs are unaffected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        active: int = 0,
+        queue_limit: int = 0,
+    ):
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.active = active
+        self.queue_limit = queue_limit
+
+    def to_dict(self) -> dict:
+        return {
+            "error": "queue saturated",
+            "detail": str(self),
+            "retry_after": self.retry_after,
+            "active": self.active,
+            "queue_limit": self.queue_limit,
+        }
+
+
+class EngineClosedError(ServiceError):
+    """A submission arrived after the engine began shutting down."""
+
+
+class JobCancelledError(ServiceError):
+    """A job observed its cancellation flag and stopped cooperatively."""

@@ -69,7 +69,8 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        with self._lock:
+            return len(self._samples)
 
     @staticmethod
     def _percentile(ordered: list[float], q: float) -> float:

@@ -123,8 +123,12 @@ class FaultInjector:
     # -- firing --------------------------------------------------------------
 
     def _matching(self, stage: str) -> list[Fault]:
+        # Snapshot under the lock: concurrent jobs share one injector, so
+        # another thread may be scripting new faults while this one fires.
         prefix = stage.split(":", 1)[0]
-        return [f for f in self._faults if f.stage in (stage, prefix)]
+        with self._lock:
+            faults = list(self._faults)
+        return [f for f in faults if f.stage in (stage, prefix)]
 
     def fire(self, stage: str) -> None:
         """Called at stage entry; raises or hangs per the script."""

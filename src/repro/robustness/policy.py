@@ -14,6 +14,7 @@ is the machine-readable version of that requirement.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
@@ -46,6 +47,17 @@ class ExecutionPolicy:
     retryable:
         Exception types considered transient.  Anything else fails the
         stage on first raise.
+    backoff_jitter:
+        Bounded decorrelation for concurrent retries.  ``0.0`` (the
+        default) keeps the exact deterministic schedule; a fraction
+        ``j`` in ``(0, 1]`` spreads each sleep uniformly over
+        ``[d * (1 - j), d]`` where ``d`` is the deterministic duration —
+        so N jobs retrying the same transient fault under one policy
+        don't stampede the failing resource in lock-step.  The jittered
+        sleep never exceeds the deterministic schedule (or the cap).
+    rng:
+        Injectable uniform ``[0, 1)`` source for the jitter (tests pin
+        it to make jittered schedules reproducible).
     max_failures:
         Run-wide failure budget.  When more than this many stages fail,
         the supervising runner raises
@@ -66,6 +78,8 @@ class ExecutionPolicy:
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_cap: float = 2.0
+    backoff_jitter: float = 0.0
+    rng: Callable[[], float] = field(default=random.random, repr=False)
     retryable: tuple = TRANSIENT_ERRORS
     max_failures: int | None = None
     fail_fast: bool = False
@@ -85,6 +99,8 @@ class ExecutionPolicy:
             raise ValidationError(
                 "backoff_base must be >= 0 and backoff_factor >= 1"
             )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValidationError("backoff_jitter must be in [0, 1]")
 
     # -- derived -------------------------------------------------------------
 
@@ -104,11 +120,21 @@ class ExecutionPolicy:
         return self if override is None else override
 
     def backoff(self, retry_index: int) -> float:
-        """Sleep duration before retry number ``retry_index`` (0-based)."""
-        return min(
+        """Sleep duration before retry number ``retry_index`` (0-based).
+
+        With ``backoff_jitter == 0`` this is the deterministic capped
+        exponential schedule; otherwise each duration is drawn uniformly
+        from ``[d * (1 - jitter), d]`` so concurrent retriers decorrelate
+        without ever sleeping longer than the deterministic schedule.
+        """
+        duration = min(
             self.backoff_base * self.backoff_factor**retry_index,
             self.backoff_cap,
         )
+        if self.backoff_jitter == 0.0:
+            return duration
+        low = duration * (1.0 - self.backoff_jitter)
+        return low + (duration - low) * self.rng()
 
     def is_retryable(self, error: BaseException) -> bool:
         return isinstance(error, tuple(self.retryable))

@@ -160,6 +160,30 @@ class StageRunner:
                         stage, call, args, kwargs, policy.deadline
                     )
                 except StageTimeoutError as exc:
+                    # Timeouts are terminal by default (the worker was
+                    # abandoned), but a policy that explicitly lists
+                    # StageTimeoutError as retryable — e.g. a service job
+                    # policy treating hangs as transient — gets the same
+                    # retry/backoff treatment as any transient fault.
+                    if (
+                        policy.is_retryable(exc)
+                        and attempts <= policy.max_retries
+                    ):
+                        backoff = policy.backoff(attempts - 1)
+                        self._log_attempt(
+                            attempt_log, attempts, exc, attempt_start, backoff
+                        )
+                        span.event(
+                            "retry", attempt=attempts,
+                            error_type=type(exc).__name__, backoff=backoff,
+                        )
+                        _LOG.info(
+                            "stage %s attempt %d timed out; retrying after "
+                            "%.3fs backoff", stage, attempts, backoff,
+                        )
+                        metrics.counter("stages.retried").inc()
+                        policy.sleep(backoff)
+                        continue
                     self._log_attempt(
                         attempt_log, attempts, exc, attempt_start, None
                     )

@@ -1,0 +1,31 @@
+"""Fault-tolerant audit service: jobs, journal, cache, and HTTP API.
+
+The paper's legal framing assumes audits that serve institutions —
+regulators resubmitting the same evidence, vendors auditing at scale —
+so this package turns the library's audit surfaces into a supervised
+background service: a :class:`~repro.service.engine.JobEngine` running
+audits as journaled, cancellable, crash-recoverable jobs; a
+content-addressed :class:`~repro.service.store.ResultStore` that makes
+identical resubmissions cache hits with byte-identical reports; and a
+reference-based HTTP/JSON API (``repro serve``) that returns job and
+result references with paginated findings.
+"""
+
+from repro.service.engine import JobEngine
+from repro.service.httpd import AuditHTTPServer, serve
+from repro.service.jobs import JOB_KINDS, TERMINAL_STATUSES, JobRecord
+from repro.service.journal import JobJournal
+from repro.service.store import ResultStore, cache_key, file_fingerprint
+
+__all__ = [
+    "JOB_KINDS",
+    "TERMINAL_STATUSES",
+    "AuditHTTPServer",
+    "JobEngine",
+    "JobJournal",
+    "JobRecord",
+    "ResultStore",
+    "cache_key",
+    "file_fingerprint",
+    "serve",
+]

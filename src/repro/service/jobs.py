@@ -1,0 +1,162 @@
+"""The job model of the audit service.
+
+A :class:`JobRecord` is the durable identity of one unit of audit work:
+what was asked for (kind + parameters + configuration fingerprints),
+where it stands (status, attempts, timestamps), and — once finished —
+the *reference* to its result in the content-addressed store.  Records
+are what the journal persists and what the HTTP API returns; results
+themselves live behind the reference and are paged, never inlined.
+
+Statuses form a small machine::
+
+    queued ──> running ──> succeeded        (result_key set; degraded
+       │          │                          flags partial evidence)
+       │          ├──────> failed           (error + error_type set)
+       │          ├──────> cancelled        (cooperative cancellation)
+       │          └──────> interrupted      (process died mid-job; a
+       │                                     resumable job is requeued
+       └────────> cancelled                  on recovery instead)
+
+``interrupted`` is terminal only for jobs the journal cannot re-run —
+submissions that carried an in-process dataset object rather than a
+path.  Everything else is replayed or resumed after a crash.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "JOB_KINDS",
+    "TERMINAL_STATUSES",
+    "JobRecord",
+    "new_job_id",
+]
+
+#: the work the engine knows how to run (streamed audits are the
+#: ``audit`` kind with a ``chunk_size`` parameter).
+JOB_KINDS = ("audit", "subgroups", "workflow")
+
+TERMINAL_STATUSES = ("succeeded", "failed", "cancelled", "interrupted")
+
+_STATUSES = ("queued", "running") + TERMINAL_STATUSES
+
+
+def new_job_id() -> str:
+    """A short, unique, URL-safe job identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class JobRecord:
+    """One audit job's durable state.
+
+    ``params`` is the JSON-able request payload (``data`` path, optional
+    ``schema`` path, ``chunk_size``, workflow ``profile``, subgroup
+    ``attributes``…); ``config`` is the job's
+    :meth:`~repro.core.config.AuditConfig.to_dict`.  Together with the
+    two fingerprints they fully determine the result, which is why
+    ``(dataset_fingerprint, config_fingerprint)`` keys the result cache.
+    """
+
+    job_id: str
+    kind: str
+    params: dict = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    degraded: bool = False
+    cache_hit: bool = False
+    recovered: bool = False
+    resumable: bool = True
+    error: str = ""
+    error_type: str = ""
+    result_key: str | None = None
+    dataset_fingerprint: str = ""
+    config_fingerprint: str = ""
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ValidationError(
+                f"unknown job kind {self.kind!r}; use one of {JOB_KINDS}"
+            )
+        if self.status not in _STATUSES:
+            raise ValidationError(f"unknown job status {self.status!r}")
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def active(self) -> bool:
+        """Queued or running — the states admission control counts."""
+        return self.status in ("queued", "running")
+
+    def to_dict(self) -> dict:
+        """Full JSON-able state (what the journal persists)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": dict(self.params),
+            "config": dict(self.config),
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
+            "resumable": self.resumable,
+            "error": self.error,
+            "error_type": self.error_type,
+            "result_key": self.result_key,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "config_fingerprint": self.config_fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobRecord":
+        return cls(**{
+            key: payload[key]
+            for key in (
+                "job_id", "kind", "params", "config", "status",
+                "submitted_at", "started_at", "finished_at", "attempts",
+                "degraded", "cache_hit", "recovered", "resumable",
+                "error", "error_type", "result_key",
+                "dataset_fingerprint", "config_fingerprint",
+            )
+            if key in payload
+        })
+
+    def ref(self) -> dict:
+        """The reference-sized view the HTTP API returns.
+
+        Everything a client needs to poll, link, or fetch the result —
+        and nothing dossier-sized.
+        """
+        payload = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+            "degraded": self.degraded,
+            "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
+            "attempts": self.attempts,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "href": f"/jobs/{self.job_id}",
+        }
+        if self.result_key:
+            payload["result"] = f"/results/{self.result_key}"
+        if self.error:
+            payload["error"] = self.error
+            payload["error_type"] = self.error_type
+        return payload

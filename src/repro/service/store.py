@@ -1,0 +1,130 @@
+"""Content-addressed result store: identical audits are one object.
+
+A result's address is a sha256 over *what determines it*: the job kind,
+the dataset fingerprint (byte-exact content hash), the configuration
+fingerprint (:meth:`~repro.core.config.AuditConfig.fingerprint`), and
+any kind-specific parameters that shape the output (a workflow's
+profile, a scan's attribute list).  Two submissions of the same
+``(dataset, config)`` therefore resolve to the same key — the second is
+a cache hit that returns the stored bytes untouched, which is both the
+"millions of users" economics (audits are idempotent; never recompute
+one) and the legal-evidence property (a resubmitted audit cannot
+quietly produce a different dossier).
+
+Objects are written once, atomically, and never rewritten: if a
+recomputation races a cache hit, first write wins and every reader sees
+one canonical byte sequence for the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.exceptions import CheckpointError
+from repro.robustness.checkpoint import atomic_write_text
+
+__all__ = ["ResultStore", "cache_key", "file_fingerprint"]
+
+
+def cache_key(
+    kind: str,
+    dataset_fingerprint: str,
+    config_fingerprint: str,
+    extra: dict | None = None,
+) -> str:
+    """The content address of one job's result."""
+    return hashlib.sha256(
+        json.dumps(
+            {
+                "kind": kind,
+                "dataset": dataset_fingerprint,
+                "config": config_fingerprint,
+                "extra": extra or {},
+            },
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()
+
+
+def file_fingerprint(*paths) -> str:
+    """sha256 over the raw bytes of one or more files, in order.
+
+    The dataset-identity hash for path-based submissions: a CSV plus its
+    schema sidecar hash to the same value iff their bytes are identical,
+    which is exactly the cache-correctness requirement (a changed file
+    must miss; an untouched one must hit).  Missing optional files are
+    hashed as absent rather than erroring, so ``(data, schema)`` pairs
+    and bare CSVs both fingerprint cleanly.
+    """
+    digest = hashlib.sha256()
+    for path in paths:
+        if path is None:
+            digest.update(b"\x00absent")
+            continue
+        path = Path(path)
+        digest.update(b"\x00file")
+        digest.update(str(len(path.name)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class ResultStore:
+    """Write-once JSON objects under two-level fan-out directories."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise CheckpointError(
+                f"malformed result key {key!r}", path=self.root
+            )
+        return self.root / key[:2] / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def put(self, key: str, payload: dict) -> str:
+        """Store ``payload`` at ``key``; first write wins.
+
+        The stored text is canonical (sorted keys, fixed indent), so a
+        byte-for-byte comparison of two fetches is meaningful.
+        """
+        path = self.path_for(key)
+        if path.exists():
+            return key
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+        return key
+
+    def get_bytes(self, key: str) -> bytes:
+        """The stored object, byte-identical on every call."""
+        path = self.path_for(key)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"no stored result for key {key}", path=path
+            ) from None
+
+    def get(self, key: str) -> dict:
+        try:
+            return json.loads(self.get_bytes(key))
+        except ValueError as exc:
+            raise CheckpointError(
+                f"corrupt stored result {key}: {exc}",
+                path=self.path_for(key),
+            ) from exc
+
+    def keys(self) -> list[str]:
+        return sorted(
+            path.stem for path in self.root.glob("??/*.json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.keys())

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.data.dataset import TabularDataset
 from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
-from repro.exceptions import AuditError
+from repro.exceptions import AuditError, CheckpointError
 from repro.observability.metrics import get_metrics
 from repro.robustness.checkpoint import load_checkpoint, save_checkpoint
 
@@ -327,9 +327,23 @@ class AuditAccumulator:
         ``expected`` (an accumulator with the required layout) turns on
         fingerprint verification: state written under any other layout
         raises :class:`~repro.exceptions.CheckpointError`.
+
+        Every corruption mode — truncated or garbled JSON, a valid
+        checkpoint envelope whose payload is not accumulator state — is
+        reported as a :class:`~repro.exceptions.CheckpointError` carrying
+        the path and the underlying cause, never a raw ``json`` or
+        ``KeyError``.
         """
         fingerprint = None if expected is None else expected.fingerprint()
-        return cls.from_dict(load_checkpoint(path, fingerprint))
+        payload = load_checkpoint(path, fingerprint)
+        try:
+            return cls.from_dict(payload)
+        except (AuditError, KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"accumulator state {path} has the wrong layout: "
+                f"{type(exc).__name__}: {exc}",
+                path=path,
+            ) from exc
 
     # -- reconstruction ------------------------------------------------------
 

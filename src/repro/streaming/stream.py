@@ -26,7 +26,8 @@ import numpy as np
 from repro.core.audit import AuditReport, FairnessAudit
 from repro.core.config import AuditConfig
 from repro.data.dataset import TabularDataset
-from repro.exceptions import AuditError
+from repro.exceptions import AuditError, RetryExhaustedError
+from repro.observability.metrics import get_metrics
 from repro.observability.trace import get_tracer
 from repro.streaming.accumulator import AuditAccumulator
 
@@ -80,6 +81,56 @@ def _split_chunk(chunk):
     )
 
 
+def _ingest_supervised(
+    accumulator: AuditAccumulator,
+    dataset: TabularDataset,
+    predictions,
+    index: int,
+    config: AuditConfig,
+    span,
+) -> None:
+    """Count one chunk under the config's faults + retry policy.
+
+    The fault hook fires *before* the accumulator is touched, so a retry
+    never double-counts rows.  Retries follow ``config.policy`` exactly
+    as a supervised stage would; exhaustion raises
+    :class:`~repro.exceptions.RetryExhaustedError` because an audit must
+    not silently drop a chunk of its evidence.
+    """
+    stage = f"streaming.chunk:{index}"
+    policy = config.policy
+    faults = config.faults
+    if faults is None and (policy is None or policy.max_retries == 0):
+        accumulator.ingest_dataset(dataset, predictions)
+        return
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            if faults is not None:
+                faults.fire(stage)
+            accumulator.ingest_dataset(dataset, predictions)
+            return
+        except Exception as exc:  # noqa: BLE001 — classified just below
+            retryable = policy is not None and policy.is_retryable(exc)
+            if retryable and attempts <= policy.max_retries:
+                backoff = policy.backoff(attempts - 1)
+                span.event(
+                    "retry", attempt=attempts,
+                    error_type=type(exc).__name__, backoff=backoff,
+                )
+                get_metrics().counter("streaming.chunk_retries").inc()
+                policy.sleep(backoff)
+                continue
+            if retryable and policy.max_retries > 0:
+                raise RetryExhaustedError(
+                    f"chunk {index} still failing after {attempts} "
+                    f"attempts: {exc}",
+                    stage=stage, attempts=attempts, last_error=exc,
+                ) from exc
+            raise
+
+
 def ingest_stream(
     chunks,
     config: AuditConfig | None = None,
@@ -93,6 +144,15 @@ def ingest_stream(
     The building block under :func:`audit_stream`, exposed for sharded
     pipelines that want to ship accumulator state around instead of
     reports.
+
+    Chunk ingest runs supervised: ``config.faults`` (the chaos hook)
+    fires at stage ``streaming.chunk:<index>`` before each chunk is
+    counted, and transient errors — an injected fault, a flaky chunk
+    source — are retried with backoff per ``config.policy``.  A fault
+    that outlives the retry budget raises
+    :class:`~repro.exceptions.RetryExhaustedError`: unlike a failed
+    metric stage, a dropped chunk would silently change the evidence the
+    audit rests on, so ingest is fail-closed by construction.
     """
     if config is None:
         config = AuditConfig()
@@ -125,8 +185,11 @@ def ingest_stream(
                 continue
             with tracer.span(
                 "streaming.chunk", index=index, rows=dataset.n_rows
-            ):
-                accumulator.ingest_dataset(dataset, predictions)
+            ) as chunk_span:
+                _ingest_supervised(
+                    accumulator, dataset, predictions, index, config,
+                    chunk_span,
+                )
             if (
                 checkpoint is not None
                 and accumulator.chunks_ingested % checkpoint_every == 0

@@ -325,11 +325,21 @@ def audit_subgroups(
             else None
         )
         if payload is not None:
-            start = int(payload["next_index"])
-            findings = [
-                _finding_from_payload(entry, dataset)
-                for entry in payload["findings"]
-            ]
+            # A payload that passed the envelope + fingerprint checks can
+            # still be structurally wrong (hand-edited, wrong producer);
+            # surface that as a CheckpointError, not a raw KeyError.
+            try:
+                start = int(payload["next_index"])
+                findings = [
+                    _finding_from_payload(entry, dataset)
+                    for entry in payload["findings"]
+                ]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"scan checkpoint {checkpoint_path} has the wrong "
+                    f"layout: {type(exc).__name__}: {exc}",
+                    path=checkpoint_path,
+                ) from exc
 
     total = len(subgroups)
     use_kernel = get_backend() == "kernel"

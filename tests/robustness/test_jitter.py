@@ -1,0 +1,106 @@
+"""Bounded decorrelated jitter on the retry backoff schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.robustness import ExecutionPolicy
+
+
+class TestDefaultUnchanged:
+    def test_zero_jitter_is_exactly_the_deterministic_schedule(self):
+        policy = ExecutionPolicy(backoff_base=0.05, backoff_factor=2.0,
+                                 backoff_cap=2.0)
+        assert [policy.backoff(i) for i in range(4)] == [
+            0.05, 0.1, 0.2, 0.4
+        ]
+
+    def test_jitter_defaults_off(self):
+        assert ExecutionPolicy().backoff_jitter == 0.0
+
+
+class TestJitteredSchedule:
+    def test_draw_spans_the_jitter_window(self):
+        # rng pinned to the extremes: 0.0 gives the window floor,
+        # 1.0 gives the deterministic schedule back
+        low = ExecutionPolicy(
+            backoff_base=1.0, backoff_jitter=0.5, rng=lambda: 0.0
+        )
+        high = ExecutionPolicy(
+            backoff_base=1.0, backoff_jitter=0.5, rng=lambda: 1.0
+        )
+        assert low.backoff(0) == pytest.approx(0.5)
+        assert high.backoff(0) == pytest.approx(1.0)
+
+    def test_never_exceeds_deterministic_schedule(self):
+        policy = ExecutionPolicy(
+            backoff_base=0.05, backoff_factor=3.0, backoff_cap=1.0,
+            backoff_jitter=1.0,
+        )
+        deterministic = ExecutionPolicy(
+            backoff_base=0.05, backoff_factor=3.0, backoff_cap=1.0
+        )
+        for index in range(6):
+            ceiling = deterministic.backoff(index)
+            for _ in range(50):
+                duration = policy.backoff(index)
+                assert 0.0 <= duration <= ceiling
+
+    def test_injectable_rng_makes_jitter_reproducible(self):
+        import random
+
+        a = ExecutionPolicy(
+            backoff_base=1.0, backoff_jitter=0.3,
+            rng=random.Random(42).random,
+        )
+        b = ExecutionPolicy(
+            backoff_base=1.0, backoff_jitter=0.3,
+            rng=random.Random(42).random,
+        )
+        assert [a.backoff(i) for i in range(5)] == [
+            b.backoff(i) for i in range(5)
+        ]
+
+    def test_decorrelates_concurrent_retriers(self):
+        import random
+
+        policy = ExecutionPolicy(
+            backoff_base=1.0, backoff_jitter=0.5,
+            rng=random.Random(7).random,
+        )
+        draws = {policy.backoff(0) for _ in range(20)}
+        assert len(draws) > 1  # identical retriers no longer sleep in lockstep
+
+    def test_cap_still_applies(self):
+        policy = ExecutionPolicy(
+            backoff_base=10.0, backoff_cap=0.5, backoff_jitter=0.4,
+            rng=lambda: 1.0,
+        )
+        assert policy.backoff(3) == pytest.approx(0.5)
+
+
+class TestValidationAndRoundtrip:
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, 2.0])
+    def test_out_of_range_jitter_rejected(self, bad):
+        with pytest.raises(ValidationError, match="backoff_jitter"):
+            ExecutionPolicy(backoff_jitter=bad)
+
+    def test_jitter_survives_config_roundtrip(self):
+        from repro.core.config import AuditConfig
+
+        config = AuditConfig(
+            policy=ExecutionPolicy(max_retries=2, backoff_jitter=0.25)
+        )
+        rebuilt = AuditConfig.from_dict(config.to_dict())
+        assert rebuilt.policy.backoff_jitter == 0.25
+        assert config.fingerprint() == rebuilt.fingerprint()
+
+    def test_jitter_changes_config_fingerprint(self):
+        from repro.core.config import AuditConfig
+
+        plain = AuditConfig(policy=ExecutionPolicy(max_retries=2))
+        jittered = AuditConfig(
+            policy=ExecutionPolicy(max_retries=2, backoff_jitter=0.25)
+        )
+        assert plain.fingerprint() != jittered.fingerprint()

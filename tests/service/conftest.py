@@ -1,0 +1,51 @@
+"""Shared fixtures for the audit-service test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import make_hiring
+from repro.data.io import save_dataset
+from repro.observability.metrics import MetricsRegistry
+from repro.robustness import ExecutionPolicy, FaultInjector
+from repro.service import JobEngine
+
+
+@pytest.fixture
+def hiring_csv(tmp_path):
+    """A small hiring workload on disk, with its schema sidecar."""
+    path = tmp_path / "hiring.csv"
+    save_dataset(make_hiring(300, random_state=7), path)
+    return str(path)
+
+
+@pytest.fixture
+def fault_injector():
+    injector = FaultInjector()
+    yield injector
+    injector.release()
+
+
+@pytest.fixture
+def make_engine(tmp_path):
+    """Engine factory over a per-test root; everything shut down at exit.
+
+    Engines get their own :class:`MetricsRegistry` so counter
+    assertions are not polluted by other tests sharing the process
+    registry, and a no-sleep retry-friendly default policy so chaos
+    tests run at full speed.
+    """
+    engines = []
+
+    def build(name="svc", *, policy=None, **kwargs):
+        kwargs.setdefault("metrics", MetricsRegistry())
+        kwargs.setdefault("journal_fsync", False)
+        if policy is None:
+            policy = ExecutionPolicy(sleep=lambda s: None)
+        engine = JobEngine(tmp_path / name, policy=policy, **kwargs)
+        engines.append(engine)
+        return engine
+
+    yield build
+    for engine in engines:
+        engine.shutdown(drain=False)

@@ -1,0 +1,257 @@
+"""Chaos tests: injected errors, hangs, degradation, and kill -9 recovery."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import AuditConfig, make_hiring
+from repro.data import Column, Schema, TabularDataset
+from repro.data.io import save_dataset
+from repro.exceptions import StageTimeoutError
+from repro.observability.metrics import MetricsRegistry
+from repro.robustness import ExecutionPolicy
+from repro.service import JobEngine
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _no_sleep_policy(**kwargs):
+    return ExecutionPolicy(sleep=lambda s: None, **kwargs)
+
+
+class TestInjectedErrors:
+    def test_transient_error_retried_to_success(
+        self, make_engine, fault_injector
+    ):
+        fault_injector.inject_error("service.job", RuntimeError("flaky"), times=2)
+        engine = make_engine(
+            policy=_no_sleep_policy(max_retries=3, retryable=(RuntimeError,)),
+            faults=fault_injector,
+        )
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0)
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "succeeded"
+        assert job.attempts == 3
+
+    def test_unretried_error_fails_job_with_cause(
+        self, make_engine, fault_injector
+    ):
+        fault_injector.inject_error("service.job", RuntimeError("hard"), times=1)
+        engine = make_engine(faults=fault_injector)
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0)
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "failed"
+        assert job.error_type == "RuntimeError"
+        assert "hard" in job.error
+        assert job.result_key is None
+
+    def test_exhausted_retries_fail_with_retry_history(
+        self, make_engine, fault_injector
+    ):
+        fault_injector.inject_error(
+            "service.job", RuntimeError("always"), times=None
+        )
+        engine = make_engine(
+            policy=_no_sleep_policy(max_retries=2, retryable=(RuntimeError,)),
+            faults=fault_injector,
+        )
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0)
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "failed"
+        assert job.error_type == "RetryExhaustedError"
+        assert job.attempts == 3
+
+
+class TestHangs:
+    def test_hang_times_out_to_failed(self, make_engine, fault_injector):
+        fault_injector.inject_hang("service.job", seconds=60, times=1)
+        engine = make_engine(
+            policy=_no_sleep_policy(deadline=0.3), faults=fault_injector
+        )
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0)
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "failed"
+        assert job.error_type == "StageTimeoutError"
+
+    def test_hang_timeout_retry_succeeds(self, make_engine, fault_injector):
+        # the opt-in path: a policy that *names* StageTimeoutError as
+        # retryable treats a hang as transient — timeout, retry, succeed
+        fault_injector.inject_hang("service.job", seconds=60, times=1)
+        engine = make_engine(
+            policy=_no_sleep_policy(
+                deadline=1.0, max_retries=1, retryable=(StageTimeoutError,)
+            ),
+            faults=fault_injector,
+        )
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0)
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "succeeded"
+        assert job.attempts == 2
+
+
+class TestDegradedJobs:
+    def test_inner_stage_faults_degrade_but_succeed(self, make_engine):
+        # chaos inside the *audit* (config-level faults), not the engine:
+        # the job completes with degraded=True — the exit-code-3 analogue
+        from repro.robustness import FaultInjector
+
+        inner = FaultInjector()
+        inner.inject_error("audit", RuntimeError("metric backend down"),
+                           times=None)
+        engine = make_engine()
+        config = AuditConfig(faults=inner)
+        job = engine.wait(
+            engine.submit(
+                "audit", dataset=make_hiring(150, random_state=0),
+                config=config,
+            ).job_id,
+            timeout=30,
+        )
+        assert job.status == "succeeded"
+        assert job.degraded
+        result = engine.result(job)
+        assert result["degraded"]
+        assert result["report"]["degradations"]
+        assert engine.metrics.counter("service.jobs_degraded").value == 1
+
+
+def _wide_dataset(path, n=60000, seed=0):
+    """A dataset whose subgroup scan is slow enough to kill mid-flight."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    cats = tuple("abcde")
+    columns = [Column("score", kind="numeric")]
+    data = {"score": rng.normal(size=n)}
+    for name in ("g1", "g2", "g3", "g4"):
+        columns.append(
+            Column(name, kind="categorical", role="protected",
+                   categories=cats)
+        )
+        data[name] = rng.choice(cats, size=n)
+    columns.append(Column("y", kind="binary", role="label"))
+    data["y"] = (
+        rng.random(n) < 0.4 + 0.2 * (data["g1"] == "a")
+    ).astype(int)
+    dataset = TabularDataset(Schema(tuple(columns)), data)
+    save_dataset(dataset, path)
+    return dataset
+
+
+_DRIVER = textwrap.dedent("""
+    import json, sys, time
+    from repro import AuditConfig
+    from repro.service import JobEngine
+
+    root, data = sys.argv[1], sys.argv[2]
+    engine = JobEngine(root, workers=1)
+    job = engine.submit(
+        "subgroups",
+        {"data": data, "checkpoint_every": 8},
+        config=AuditConfig(max_order=3, min_size=25),
+    )
+    print(json.dumps({"job_id": job.job_id}), flush=True)
+    time.sleep(300)  # killed long before this returns
+""")
+
+
+@pytest.mark.slow
+class TestKillNineRecovery:
+    def test_killed_scan_resumes_from_checkpoint_byte_identical(
+        self, tmp_path
+    ):
+        data = tmp_path / "wide.csv"
+        _wide_dataset(data)
+        root = tmp_path / "victim"
+        driver = tmp_path / "driver.py"
+        driver.write_text(_DRIVER)
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, str(driver), str(root), str(data)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            import json
+
+            job_id = json.loads(proc.stdout.readline())["job_id"]
+            checkpoint = root / "checkpoints" / f"{job_id}.scan.json"
+            deadline = time.monotonic() + 60
+            while not checkpoint.exists():
+                assert proc.poll() is None, "driver died before checkpointing"
+                assert time.monotonic() < deadline, "scan never checkpointed"
+                time.sleep(0.01)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        # mid-scan state survived the kill
+        assert checkpoint.exists()
+
+        # recovery: a fresh engine over the same root requeues the job
+        # and the scan resumes from the checkpoint
+        engine = JobEngine(root, workers=1, metrics=MetricsRegistry())
+        record = engine.wait(job_id, timeout=120)
+        assert record.status == "succeeded"
+        assert record.recovered
+        assert engine.metrics.counter("service.jobs_recovered").value == 1
+        recovered_bytes = engine.store.get_bytes(record.result_key)
+
+        # byte-identity: an uninterrupted run over a pristine root
+        # produces the same key and the same stored bytes
+        clean = JobEngine(
+            tmp_path / "clean", workers=1, metrics=MetricsRegistry()
+        )
+        clean_record = clean.wait(
+            clean.submit(
+                "subgroups",
+                {"data": str(data), "checkpoint_every": 8},
+                config=AuditConfig(max_order=3, min_size=25),
+            ).job_id,
+            timeout=300,
+        )
+        assert clean_record.status == "succeeded"
+        assert clean_record.result_key == record.result_key
+        assert clean.store.get_bytes(clean_record.result_key) == recovered_bytes
+
+        # resubmission to the recovered engine is a journaled cache hit
+        resubmitted = engine.submit(
+            "subgroups",
+            {"data": str(data), "checkpoint_every": 8},
+            config=AuditConfig(max_order=3, min_size=25),
+        )
+        assert resubmitted.cache_hit
+        assert any(
+            event.get("job", {}).get("job_id") == resubmitted.job_id
+            for event in engine.journal.replay()
+        )
+        # success consumed the resume checkpoint
+        assert not checkpoint.exists()
+        clean.shutdown()
+        engine.shutdown()

@@ -1,0 +1,259 @@
+"""HTTP API tests: references, pagination, 429s, and serve-level recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import make_hiring
+from repro.service import serve
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def server(make_engine):
+    engine = make_engine()
+    httpd = serve(engine)
+    yield httpd
+    httpd.shutdown()
+
+
+def _get(httpd, path, expect=200):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{httpd.port}{path}"
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        assert error.code == expect, error.read()
+        return error.code, json.loads(error.read())
+
+
+def _post(httpd, path, body=None, expect=None):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{httpd.port}{path}",
+        data=json.dumps(body or {}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), (
+                json.loads(response.read())
+            )
+    except urllib.error.HTTPError as error:
+        if expect is not None:
+            assert error.code == expect
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _poll_done(httpd, job_id, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, job = _get(httpd, f"/jobs/{job_id}")
+        if job["status"] in ("succeeded", "failed", "cancelled", "interrupted"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+class TestRoutes:
+    def test_healthz_and_metrics(self, server):
+        status, health = _get(server, "/healthz")
+        assert status == 200 and health["status"] == "ok"
+        status, snapshot = _get(server, "/metrics")
+        assert status == 200 and isinstance(snapshot, dict)
+
+    def test_submit_poll_preview_paginate_raw(self, server, hiring_csv):
+        status, _, job = _post(
+            server, "/jobs", {"kind": "audit", "params": {"data": hiring_csv}}
+        )
+        assert status == 201
+        assert job["href"] == f"/jobs/{job['job_id']}"
+        done = _poll_done(server, job["job_id"])
+        assert done["status"] == "succeeded"
+        result_href = done["result"]
+
+        # preview: reference-sized, findings behind a link
+        status, preview = _get(server, result_href)
+        assert status == 200
+        assert preview["n_findings"] > 0
+        assert "findings" not in preview.get("report", {})
+        assert preview["is_clean"] in (True, False)
+
+        # pagination: walk every page, never a megabyte response
+        items, page_path = [], preview["findings"] + "?page=1&per_page=2"
+        while page_path:
+            status, page = _get(server, page_path)
+            assert status == 200
+            assert len(page["items"]) <= 2
+            items.extend(page["items"])
+            page_path = page["next"]
+        assert len(items) == preview["n_findings"]
+
+        # page past the end is empty, not an error
+        status, beyond = _get(
+            server, preview["findings"] + "?page=999&per_page=50"
+        )
+        assert status == 200 and beyond["items"] == []
+
+        # raw: the stored object, byte-identical across fetches
+        url = f"http://127.0.0.1:{server.port}{result_href}/raw"
+        with urllib.request.urlopen(url) as response:
+            first = response.read()
+        with urllib.request.urlopen(url) as response:
+            assert response.read() == first
+        assert json.loads(first)["kind"] == "audit"
+
+    def test_resubmission_is_200_cache_hit(self, server, hiring_csv):
+        _, _, job = _post(
+            server, "/jobs", {"kind": "audit", "params": {"data": hiring_csv}}
+        )
+        _poll_done(server, job["job_id"])
+        status, _, again = _post(
+            server, "/jobs", {"kind": "audit", "params": {"data": hiring_csv}}
+        )
+        assert status == 200
+        assert again["cache_hit"] and again["status"] == "succeeded"
+
+    def test_jobs_listing_filters_by_status(self, server, hiring_csv):
+        _, _, job = _post(
+            server, "/jobs", {"kind": "audit", "params": {"data": hiring_csv}}
+        )
+        _poll_done(server, job["job_id"])
+        status, listing = _get(server, "/jobs?status=succeeded")
+        assert status == 200
+        assert any(j["job_id"] == job["job_id"] for j in listing["jobs"])
+        _, empty = _get(server, "/jobs?status=failed")
+        assert empty["jobs"] == []
+
+    def test_cancel_endpoint(self, make_engine, fault_injector):
+        fault_injector.inject_hang("service.job", seconds=60, times=None)
+        engine = make_engine("cancel", workers=1, faults=fault_injector)
+        httpd = serve(engine)
+        try:
+            job = engine.submit(
+                "audit", dataset=make_hiring(120, random_state=0)
+            )
+            status, _, cancelled = _post(
+                httpd, f"/jobs/{job.job_id}/cancel"
+            )
+            assert status == 200
+            fault_injector.release()
+            assert _poll_done(httpd, job.job_id)["status"] == "cancelled"
+        finally:
+            httpd.shutdown()
+
+    def test_error_mapping(self, server, hiring_csv):
+        assert _get(server, "/jobs/unknown", expect=404)[0] == 404
+        assert _get(server, "/results/" + "ab" * 32, expect=404)[0] == 404
+        assert _get(server, "/nope", expect=404)[0] == 404
+        status, _, body = _post(server, "/jobs", {"kind": "nonsense"},
+                                expect=400)
+        assert status == 400 and "kind" in body["error"]
+        status, _, body = _post(server, "/jobs", {}, expect=400)
+        assert status == 400
+
+
+class TestAdmission429:
+    def test_saturated_queue_maps_to_429_with_retry_after(
+        self, make_engine, fault_injector, hiring_csv
+    ):
+        fault_injector.inject_hang("service.job", seconds=60, times=None)
+        engine = make_engine(
+            "q429", workers=1, queue_limit=1, faults=fault_injector
+        )
+        httpd = serve(engine)
+        try:
+            _, _, first = _post(
+                httpd, "/jobs",
+                {"kind": "audit", "params": {"data": hiring_csv}},
+            )
+            deadline = time.monotonic() + 10
+            while engine.get(first["job_id"]).status != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            status, headers, body = _post(
+                httpd, "/jobs",
+                {"kind": "workflow", "params": {"data": hiring_csv}},
+                expect=429,
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 1
+            assert body["error"] == "queue saturated"
+            assert body["queue_limit"] == 1
+            # the engine survives: release and the first job completes
+            fault_injector.release()
+            assert _poll_done(httpd, first["job_id"])["status"] == "succeeded"
+        finally:
+            httpd.shutdown()
+
+
+def _start_serve(root, env):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--root", str(root), "--port", "0", "--workers", "1",
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    assert "listening on" in line, line
+    port = int(line.split("http://127.0.0.1:")[1].split(" ")[0].rstrip("/"))
+    return proc, port
+
+
+def _http(port, path, body=None):
+    if body is None:
+        request = f"http://127.0.0.1:{port}{path}"
+    else:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(body).encode(), method="POST",
+        )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+@pytest.mark.slow
+class TestServeCrashRecovery:
+    def test_kill_nine_restart_recovers_and_caches(self, tmp_path, hiring_csv):
+        root = tmp_path / "serve-root"
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        proc, port = _start_serve(root, env)
+        try:
+            job = _http(
+                port, "/jobs",
+                {"kind": "audit", "params": {"data": hiring_csv}},
+            )
+            deadline = time.monotonic() + 60
+            while _http(port, f"/jobs/{job['job_id']}")["status"] != "succeeded":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()
+        # restart over the same root: journal replays the finished job,
+        # and resubmission is answered from the result store
+        proc, port = _start_serve(root, env)
+        try:
+            replayed = _http(port, f"/jobs/{job['job_id']}")
+            assert replayed["status"] == "succeeded"
+            again = _http(
+                port, "/jobs",
+                {"kind": "audit", "params": {"data": hiring_csv}},
+            )
+            assert again["cache_hit"]
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait()

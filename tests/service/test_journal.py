@@ -1,0 +1,121 @@
+"""Crash-safety tests for the append-only job journal."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.service import JobJournal
+from repro.service.journal import JOURNAL_VERSION
+
+
+class TestAppendReplay:
+    def test_roundtrip(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        events = [{"event": "submitted", "n": i} for i in range(5)]
+        for event in events:
+            journal.append(event)
+        journal.close()
+        replayed = journal.replay()
+        assert replayed[0] == {"event": "journal", "version": JOURNAL_VERSION}
+        assert replayed[1:] == events
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert JobJournal(tmp_path / "absent.jsonl").replay() == []
+
+    def test_empty_file_replays_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert JobJournal(path).replay() == []
+
+    def test_append_is_thread_safe(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        threads = [
+            threading.Thread(
+                target=lambda worker=w: [
+                    journal.append({"event": "e", "worker": worker, "i": i})
+                    for i in range(50)
+                ]
+            )
+            for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        journal.close()
+        events = journal.replay()
+        # every line parsed — no interleaved/torn writes — and none lost
+        assert len(events) == 1 + 8 * 50
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.append({"event": "b"})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "c", "truncat')  # crash mid-append
+        events = journal.replay()
+        assert [e["event"] for e in events] == ["journal", "a", "b"]
+
+    def test_torn_tail_even_when_valid_json_prefix(self, tmp_path):
+        # A complete JSON value with no trailing newline is still a torn
+        # append: the fsync'd newline is what commits an event.
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "c"}')
+        events = journal.replay()
+        assert [e["event"] for e in events] == ["journal", "a", "c"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.close()
+        text = journal.path.read_text()
+        journal.path.write_text(text + "{garbled!!\n" + '{"event": "b"}\n')
+        with pytest.raises(CheckpointError, match="line 3"):
+            journal.replay()
+
+    def test_non_object_line_raises(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.close()
+        journal.path.write_text(
+            journal.path.read_text() + "[1, 2, 3]\n"
+        )
+        with pytest.raises(CheckpointError, match="JSON objects"):
+            journal.replay()
+
+
+class TestRotation:
+    def test_rotate_compacts_and_preserves_events(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        for i in range(20):
+            journal.append({"event": "e", "i": i})
+        journal.rotate([{"event": "snapshot", "kept": True}])
+        events = journal.replay()
+        assert [e["event"] for e in events] == ["journal", "snapshot"]
+        assert journal.entries_written == 2
+
+    def test_append_after_rotate(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.append({"event": "a"})
+        journal.rotate([])
+        journal.append({"event": "b"})
+        journal.close()
+        assert [e["event"] for e in journal.replay()] == ["journal", "b"]
+
+    def test_rotated_file_is_complete_json_lines(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl", fsync=False)
+        journal.rotate([{"event": "snapshot", "i": i} for i in range(3)])
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 4
+        for line in lines:
+            assert isinstance(json.loads(line), dict)

@@ -1,0 +1,94 @@
+"""Content-addressing tests for the result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.service import ResultStore, cache_key, file_fingerprint
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key("audit", "d" * 8, "c" * 8) == cache_key(
+            "audit", "d" * 8, "c" * 8
+        )
+
+    def test_sensitive_to_every_component(self):
+        base = cache_key("audit", "dd", "cc", extra={"x": 1})
+        assert cache_key("workflow", "dd", "cc", extra={"x": 1}) != base
+        assert cache_key("audit", "DD", "cc", extra={"x": 1}) != base
+        assert cache_key("audit", "dd", "CC", extra={"x": 1}) != base
+        assert cache_key("audit", "dd", "cc", extra={"x": 2}) != base
+
+    def test_extra_key_order_irrelevant(self):
+        assert cache_key("audit", "d", "c", extra={"a": 1, "b": 2}) == (
+            cache_key("audit", "d", "c", extra={"b": 2, "a": 1})
+        )
+
+
+class TestFileFingerprint:
+    def test_changes_with_content(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b\n1,2\n")
+        before = file_fingerprint(path)
+        path.write_text("a,b\n1,3\n")
+        assert file_fingerprint(path) != before
+
+    def test_absent_schema_distinct_from_empty_file(self, tmp_path):
+        data = tmp_path / "d.csv"
+        data.write_text("a\n1\n")
+        empty = tmp_path / "s.json"
+        empty.write_text("")
+        assert file_fingerprint(data, None) != file_fingerprint(data, empty)
+
+    def test_pair_order_matters(self, tmp_path):
+        one, two = tmp_path / "one", tmp_path / "two"
+        one.write_text("1")
+        two.write_text("2")
+        assert file_fingerprint(one, two) != file_fingerprint(two, one)
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" * 32
+        store.put(key, {"x": [1, 2], "nested": {"y": True}})
+        assert store.get(key) == {"x": [1, 2], "nested": {"y": True}}
+        assert store.has(key)
+        assert store.keys() == [key]
+        assert len(store) == 1
+
+    def test_get_bytes_is_stable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        store.put(key, {"b": 2, "a": 1})
+        assert store.get_bytes(key) == store.get_bytes(key)
+        # canonical form: sorted keys, trailing newline
+        assert store.get_bytes(key).endswith(b"\n")
+
+    def test_first_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ef" * 32
+        store.put(key, {"first": True})
+        store.put(key, {"second": True})
+        assert store.get(key) == {"first": True}
+
+    def test_missing_key_raises_checkpoint_error(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(CheckpointError, match="no stored result"):
+            store.get_bytes("aa" * 32)
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "../../etc/passwd", "XYZ", "ab/cd"):
+            with pytest.raises(CheckpointError, match="malformed"):
+                store.path_for(bad)
+
+    def test_corrupt_object_raises_with_path(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "01" * 32
+        store.put(key, {"fine": True})
+        store.path_for(key).write_text("{broken")
+        with pytest.raises(CheckpointError, match="corrupt stored result"):
+            store.get(key)

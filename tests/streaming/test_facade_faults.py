@@ -1,0 +1,118 @@
+"""The ``repro.audit()`` façade under fault injection.
+
+The contract: chaos must not change evidence.  A degraded streamed
+audit reports exactly what the degraded in-memory audit reports; a
+transient chunk-ingest fault retried under the policy yields a report
+identical to the clean run; and a fault that outlives its retry budget
+fails closed instead of silently dropping a chunk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AuditConfig, audit, make_hiring
+from repro.core.serialize import report_to_dict
+from repro.exceptions import RetryExhaustedError
+from repro.robustness import ExecutionPolicy, FaultInjector
+
+
+@pytest.fixture
+def hiring():
+    return make_hiring(600, direct_bias=0.8, random_state=3)
+
+
+def _chunks(dataset, size=150):
+    import numpy as np
+
+    for low in range(0, dataset.n_rows, size):
+        yield dataset.take(np.arange(low, min(low + size, dataset.n_rows)))
+
+
+def _comparable(report) -> dict:
+    payload = report_to_dict(report)
+    payload.pop("provenance")  # wall-clock timings differ per run
+    for degradation in payload["degradations"]:
+        degradation.pop("elapsed", None)
+        for attempt in degradation.get("attempt_log", []):
+            attempt.pop("elapsed", None)
+    return payload
+
+
+class TestDegradedEquivalence:
+    def test_streamed_degraded_report_matches_in_memory(self, hiring):
+        def faulty_config():
+            faults = FaultInjector()
+            faults.inject_error(
+                "audit:sex:demographic_parity", RuntimeError("backend down"),
+                times=None,
+            )
+            return AuditConfig(faults=faults)
+
+        in_memory = audit(hiring, config=faulty_config())
+        streamed = audit(_chunks(hiring), config=faulty_config())
+        assert in_memory.degraded and streamed.degraded
+        assert _comparable(streamed) == _comparable(in_memory)
+
+    def test_clean_streamed_report_matches_in_memory(self, hiring):
+        assert _comparable(audit(_chunks(hiring))) == (
+            _comparable(audit(hiring))
+        )
+
+
+class TestChunkIngestFaults:
+    def test_transient_ingest_fault_retried_to_identical_report(self, hiring):
+        faults = FaultInjector()
+        faults.inject_error("streaming.chunk:2", RuntimeError("blip"), times=2)
+        config = AuditConfig(
+            faults=faults,
+            policy=ExecutionPolicy(
+                max_retries=3, retryable=(RuntimeError,),
+                sleep=lambda s: None,
+            ),
+        )
+        retried = audit(_chunks(hiring), config=config)
+        clean = audit(_chunks(hiring))
+        assert faults.fired_count("streaming.chunk:2") == 2
+        assert _comparable(retried) == _comparable(clean)
+
+    def test_exhausted_ingest_retries_fail_closed(self, hiring):
+        faults = FaultInjector()
+        faults.inject_error(
+            "streaming.chunk:1", RuntimeError("dead source"), times=None
+        )
+        config = AuditConfig(
+            faults=faults,
+            policy=ExecutionPolicy(
+                max_retries=2, retryable=(RuntimeError,),
+                sleep=lambda s: None,
+            ),
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            audit(_chunks(hiring), config=config)
+        assert excinfo.value.attempts == 3
+        assert excinfo.value.stage == "streaming.chunk:1"
+
+    def test_unretryable_ingest_fault_propagates(self, hiring):
+        faults = FaultInjector()
+        faults.inject_error("streaming.chunk:0", RuntimeError("hard"), times=1)
+        config = AuditConfig(faults=faults)  # no policy: no retries
+        with pytest.raises(RuntimeError, match="hard"):
+            audit(_chunks(hiring), config=config)
+
+    def test_retry_never_double_counts_rows(self, hiring):
+        # the fault fires *before* ingest, so the retried chunk is
+        # counted exactly once — total rows must equal the dataset's
+        from repro.streaming.stream import ingest_stream
+
+        faults = FaultInjector()
+        faults.inject_error("streaming.chunk:1", RuntimeError("blip"), times=1)
+        config = AuditConfig(
+            faults=faults,
+            policy=ExecutionPolicy(
+                max_retries=1, retryable=(RuntimeError,),
+                sleep=lambda s: None,
+            ),
+        )
+        accumulator = ingest_stream(_chunks(hiring), config)
+        assert accumulator.n_rows == hiring.n_rows
