@@ -15,7 +15,12 @@ from repro.service.engine import JobEngine
 from repro.service.httpd import AuditHTTPServer, serve
 from repro.service.jobs import JOB_KINDS, TERMINAL_STATUSES, JobRecord
 from repro.service.journal import JobJournal
-from repro.service.store import ResultStore, cache_key, file_fingerprint
+from repro.service.store import (
+    ResultStore,
+    array_fingerprint,
+    cache_key,
+    file_fingerprint,
+)
 
 __all__ = [
     "JOB_KINDS",
@@ -25,6 +30,7 @@ __all__ = [
     "JobJournal",
     "JobRecord",
     "ResultStore",
+    "array_fingerprint",
     "cache_key",
     "file_fingerprint",
     "serve",

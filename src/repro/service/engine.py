@@ -15,10 +15,11 @@ The design commitments, in the order the ISSUE states them:
   starts, finishes, requeues: each appends one fsynced JSON line
   carrying the full :class:`~repro.service.jobs.JobRecord`, so a
   ``kill -9`` at any instant is recoverable.  On construction the
-  engine replays the journal: jobs that were *running* are requeued
-  (their checkpoints make re-execution a resume, not a restart) or —
-  when the dataset lived only in the dead process — marked
-  ``interrupted``; jobs that were *queued* are re-enqueued.
+  engine replays the journal: path-based jobs that were *running* are
+  requeued (their checkpoints make re-execution a resume, not a
+  restart) and *queued* ones re-enqueued; active jobs whose dataset
+  lived only in the dead process are marked ``interrupted`` whether
+  they had started or not.
 
 * **Results are content-addressed.**  A job's result key is a sha256
   over ``(kind, dataset fingerprint, config fingerprint, shaping
@@ -72,7 +73,12 @@ from repro.robustness.policy import ExecutionPolicy
 from repro.robustness.runner import StageRunner
 from repro.service.jobs import JOB_KINDS, JobRecord, new_job_id
 from repro.service.journal import JobJournal
-from repro.service.store import ResultStore, cache_key, file_fingerprint
+from repro.service.store import (
+    ResultStore,
+    array_fingerprint,
+    cache_key,
+    file_fingerprint,
+)
 from repro.streaming.stream import finalize, ingest_stream
 from repro.subgroup.auditor import (
     _finding_to_payload,
@@ -205,13 +211,19 @@ class JobEngine:
 
     def _job_key(self, job: JobRecord) -> str:
         """Recompute a job's content address from its durable record."""
+        extra = self._cache_extra(
+            job.kind, job.params, job.config.get("correction", "holm")
+        )
+        if job.predictions_fingerprint:
+            # inline predictions change the result, so they must change
+            # the address — a label-only submission of the same dataset
+            # keys the bare extra and stays a distinct entry
+            extra = {**extra, "predictions": job.predictions_fingerprint}
         return cache_key(
             job.kind,
             job.dataset_fingerprint,
             job.config_fingerprint,
-            extra=self._cache_extra(
-                job.kind, job.params, job.config.get("correction", "holm")
-            ),
+            extra=extra,
         )
 
     # -- submission ----------------------------------------------------------
@@ -275,6 +287,11 @@ class JobEngine:
             resumable=resumable,
             dataset_fingerprint=ds_fp,
             config_fingerprint=config_obj.fingerprint(),
+            predictions_fingerprint=(
+                array_fingerprint(predictions)
+                if predictions is not None
+                else None
+            ),
         )
         key = self._job_key(job)
         if self.store.has(key):
@@ -437,11 +454,15 @@ class JobEngine:
         for job in sorted(jobs.values(), key=lambda j: (j.submitted_at, j.job_id)):
             if not job.active:
                 continue
-            if job.status == "running" and not job.resumable:
+            if not job.resumable:
+                # queued or running, the inline dataset object died with
+                # the crashed process — requeueing would only fail on a
+                # missing params["data"]
+                was = job.status
                 job.status = "interrupted"
                 job.finished_at = now
                 job.error = (
-                    "process died while the job was running; its dataset "
+                    f"process died while the job was {was}; its dataset "
                     "lived only in that process"
                 )
                 job.error_type = "InterruptedJob"
@@ -486,7 +507,10 @@ class JobEngine:
                 # Drained before starting: the job stays journaled as
                 # queued and the next engine over this root runs it.
                 return
-            self._run_job(job_id)
+            try:
+                self._run_job(job_id)
+            except Exception as exc:  # noqa: BLE001 — worker must survive
+                self._settle_crashed_job(job_id, exc)
 
     def _run_job(self, job_id: str) -> None:
         with self._lock:
@@ -551,6 +575,37 @@ class JobEngine:
                 error=outcome.error, error_type=outcome.error_type,
                 attempts=outcome.attempts,
             )
+
+    def _settle_crashed_job(self, job_id: str, exc: Exception) -> None:
+        """Settle a job whose engine-side plumbing raised.
+
+        ``runner.run`` captures errors inside the job body; anything
+        that still escapes ``_run_job`` — result serialisation, a full
+        disk under ``store.put`` or a journal append — must not kill
+        the worker thread (the pool would silently shrink) or strand
+        the job ``running`` forever (``wait()`` would only time out).
+        """
+        self._metrics().counter("service.worker_errors").inc()
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+        error = f"engine error after the job body ran: {exc}"
+        try:
+            self._finish(
+                job, "failed", error=error, error_type=type(exc).__name__
+            )
+        except Exception:  # noqa: BLE001 — journal may be the failing part
+            # settle in memory so waiters unblock even if the journal
+            # itself cannot record the failure
+            with self._state:
+                job.status = "failed"
+                job.finished_at = time.time()
+                job.error = error
+                job.error_type = type(exc).__name__
+                self._inline.pop(job.job_id, None)
+                self._cancel.pop(job.job_id, None)
+                self._state.notify_all()
 
     def _finish(
         self,

@@ -251,8 +251,22 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST bodies ---------------------------------------------------------
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        declared = self.headers.get("Content-Length") or "0"
+        try:
+            length = int(declared)
+        except ValueError:
+            self.close_connection = True
+            raise ValidationError(
+                f"Content-Length {declared!r} is not an integer"
+            ) from None
+        if length < 0:
+            self.close_connection = True
+            raise ValidationError("Content-Length must not be negative")
         if length > _MAX_BODY:
+            # the body is never read on rejection, so the connection
+            # cannot be reused — the unread bytes would be parsed as the
+            # next request line
+            self.close_connection = True
             raise ValidationError(
                 f"request body of {length} bytes exceeds the "
                 f"{_MAX_BODY}-byte limit"

@@ -15,7 +15,9 @@ Statuses form a small machine::
        │          ├──────> cancelled        (cooperative cancellation)
        │          └──────> interrupted      (process died mid-job; a
        │                                     resumable job is requeued
-       └────────> cancelled                  on recovery instead)
+       ├────────> cancelled                  on recovery instead)
+       └────────> interrupted               (process died before an
+                                             inline-dataset job ran)
 
 ``interrupted`` is terminal only for jobs the journal cannot re-run —
 submissions that carried an in-process dataset object rather than a
@@ -80,6 +82,7 @@ class JobRecord:
     result_key: str | None = None
     dataset_fingerprint: str = ""
     config_fingerprint: str = ""
+    predictions_fingerprint: str | None = None
 
     def __post_init__(self):
         if self.kind not in JOB_KINDS:
@@ -119,6 +122,7 @@ class JobRecord:
             "result_key": self.result_key,
             "dataset_fingerprint": self.dataset_fingerprint,
             "config_fingerprint": self.config_fingerprint,
+            "predictions_fingerprint": self.predictions_fingerprint,
         }
 
     @classmethod
@@ -131,6 +135,7 @@ class JobRecord:
                 "degraded", "cache_hit", "recovered", "resumable",
                 "error", "error_type", "result_key",
                 "dataset_fingerprint", "config_fingerprint",
+                "predictions_fingerprint",
             )
             if key in payload
         })

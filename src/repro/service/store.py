@@ -22,10 +22,12 @@ import hashlib
 import json
 from pathlib import Path
 
+import numpy as np
+
 from repro.exceptions import CheckpointError
 from repro.robustness.checkpoint import atomic_write_text
 
-__all__ = ["ResultStore", "cache_key", "file_fingerprint"]
+__all__ = ["ResultStore", "array_fingerprint", "cache_key", "file_fingerprint"]
 
 
 def cache_key(
@@ -46,6 +48,23 @@ def cache_key(
             sort_keys=True,
         ).encode()
     ).hexdigest()
+
+
+def array_fingerprint(values) -> str:
+    """sha256 over an array's dtype, shape, and bytes.
+
+    The identity hash for inline prediction arrays: two submissions of
+    one dataset with different predictions are different audits and
+    must resolve to different cache keys.
+    """
+    arr = np.ascontiguousarray(np.asarray(values))
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode())
+    digest.update(b"\x00")
+    digest.update(str(arr.shape).encode())
+    digest.update(b"\x00")
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
 
 
 def file_fingerprint(*paths) -> str:

@@ -212,6 +212,23 @@ class AuditAccumulator:
             ),
         )
 
+    def snapshot(self) -> tuple:
+        """The mutable counting state, cheaply copied.
+
+        Supervised ingest takes one before each attempt so a retry after
+        an error that escaped mid-count (cells partially incremented)
+        starts from exact pre-attempt state instead of double-counting.
+        Cell values are ints, so a shallow dict copy is a full copy.
+        """
+        return dict(self._cells), self.n_rows, self.chunks_ingested
+
+    def restore(self, state: tuple) -> None:
+        """Reset the counting state to a :meth:`snapshot`."""
+        cells, n_rows, chunks_ingested = state
+        self._cells = dict(cells)
+        self.n_rows = n_rows
+        self.chunks_ingested = chunks_ingested
+
     def _count(self, columns: list[np.ndarray], n: int) -> None:
         """One bincount over the chunk's joint codes → cell increments."""
         uniques: list[np.ndarray] = []

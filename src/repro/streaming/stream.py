@@ -91,9 +91,12 @@ def _ingest_supervised(
 ) -> None:
     """Count one chunk under the config's faults + retry policy.
 
-    The fault hook fires *before* the accumulator is touched, so a retry
-    never double-counts rows.  Retries follow ``config.policy`` exactly
-    as a supervised stage would; exhaustion raises
+    Every attempt starts from a snapshot of the accumulator's counting
+    state, restored on any error — so a retry never double-counts rows,
+    whether the failure was an injected fault (fired before ingest) or
+    an error escaping mid-count after cells were partially incremented.
+    Retries follow ``config.policy`` exactly as a supervised stage
+    would; exhaustion raises
     :class:`~repro.exceptions.RetryExhaustedError` because an audit must
     not silently drop a chunk of its evidence.
     """
@@ -104,6 +107,7 @@ def _ingest_supervised(
         accumulator.ingest_dataset(dataset, predictions)
         return
     attempts = 0
+    before = accumulator.snapshot()
     while True:
         attempts += 1
         try:
@@ -112,6 +116,7 @@ def _ingest_supervised(
             accumulator.ingest_dataset(dataset, predictions)
             return
         except Exception as exc:  # noqa: BLE001 — classified just below
+            accumulator.restore(before)
             retryable = policy is not None and policy.is_retryable(exc)
             if retryable and attempts <= policy.max_retries:
                 backoff = policy.backoff(attempts - 1)

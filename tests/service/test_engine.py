@@ -128,6 +128,41 @@ class TestResultCache:
         save_dataset(make_hiring(301, random_state=8), hiring_csv)
         assert not engine.submit("audit", {"data": hiring_csv}).cache_hit
 
+    def test_different_inline_predictions_miss(self, make_engine):
+        # regression: the prediction array is part of the content
+        # address — the same (dataset, config) audited against other
+        # predictions is a different audit, never a cache hit
+        import numpy as np
+
+        engine = make_engine()
+        dataset = make_hiring(200, random_state=5)
+        ones = np.ones(dataset.n_rows, dtype=int)
+        zeros = np.zeros(dataset.n_rows, dtype=int)
+        first = engine.wait(
+            engine.submit("audit", dataset=dataset, predictions=ones).job_id
+        )
+        second = engine.submit("audit", dataset=dataset, predictions=zeros)
+        assert not second.cache_hit
+        second = engine.wait(second.job_id)
+        assert second.result_key != first.result_key
+        assert engine.result(second) != engine.result(first)
+
+    def test_predictions_and_label_audits_do_not_collide(self, make_engine):
+        import numpy as np
+
+        engine = make_engine()
+        dataset = make_hiring(200, random_state=5)
+        labels_only = engine.wait(engine.submit("audit", dataset=dataset).job_id)
+        ones = np.ones(dataset.n_rows, dtype=int)
+        with_preds = engine.submit("audit", dataset=dataset, predictions=ones)
+        assert not with_preds.cache_hit
+        with_preds = engine.wait(with_preds.job_id)
+        assert with_preds.result_key != labels_only.result_key
+        # identical resubmission *with* the same predictions still hits
+        again = engine.submit("audit", dataset=dataset, predictions=ones)
+        assert again.cache_hit
+        assert again.result_key == with_preds.result_key
+
 
 class TestAdmissionControl:
     def test_saturated_queue_rejects_with_retry_after(
@@ -303,6 +338,35 @@ class TestDrainAndRecovery:
         assert third.get("deadbeef0002").status == "interrupted"
         third.shutdown()
 
+    def test_queued_inline_job_marked_interrupted(self, tmp_path):
+        # regression: a *queued* non-resumable job must settle as
+        # interrupted, not be requeued — its dataset object died with
+        # the process, so a requeue could only fail on the missing
+        # params["data"] with a raw KeyError
+        from repro.observability.metrics import MetricsRegistry
+
+        root = tmp_path / "inline-queued-crash"
+        root.mkdir()
+        record = JobRecord(
+            job_id="deadbeef0003",
+            kind="audit",
+            status="queued",
+            submitted_at=1.0,
+            resumable=False,
+            dataset_fingerprint="ab" * 32,
+            config_fingerprint="cd" * 32,
+        )
+        journal = JobJournal(root / "journal.jsonl", fsync=False)
+        journal.append({"event": "submitted", "job": record.to_dict()})
+        journal.close()
+        engine = JobEngine(root, metrics=MetricsRegistry(), journal_fsync=False)
+        job = engine.get("deadbeef0003")
+        assert job.status == "interrupted"
+        assert job.error_type == "InterruptedJob"
+        assert "queued" in job.error
+        assert engine.metrics.counter("service.jobs_interrupted").value == 1
+        engine.shutdown()
+
     def test_invalid_journal_record_raises_checkpoint_error(self, tmp_path):
         root = tmp_path / "bad-journal"
         root.mkdir()
@@ -311,6 +375,39 @@ class TestDrainAndRecovery:
         journal.close()
         with pytest.raises(CheckpointError, match="invalid job record"):
             JobEngine(root, journal_fsync=False)
+
+
+class TestWorkerResilience:
+    def test_store_failure_fails_job_and_keeps_worker_alive(
+        self, make_engine, hiring_csv
+    ):
+        # regression: an exception outside the supervised runner (here
+        # a full disk under store.put) must settle the job as failed —
+        # not kill the worker thread and strand the job running forever
+        engine = make_engine(workers=1)
+        original_put = engine.store.put
+        calls = {"n": 0}
+
+        def flaky_put(key, payload):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("disk full")
+            return original_put(key, payload)
+
+        engine.store.put = flaky_put
+        first = engine.wait(engine.submit("audit", {"data": hiring_csv}).job_id)
+        assert first.status == "failed"
+        assert first.error_type == "OSError"
+        assert "disk full" in first.error
+        assert engine.metrics.counter("service.worker_errors").value == 1
+        # the lone worker survived: the next job still executes
+        second = engine.wait(
+            engine.submit(
+                "audit", {"data": hiring_csv},
+                config=AuditConfig(tolerance=0.2),
+            ).job_id
+        )
+        assert second.status == "succeeded"
 
 
 class TestMultiTenant:

@@ -164,6 +164,36 @@ class TestRoutes:
         status, _, body = _post(server, "/jobs", {}, expect=400)
         assert status == 400
 
+    def test_malformed_content_length_is_rejected(self, server):
+        # regression: a non-numeric Content-Length used to raise an
+        # unhandled ValueError (connection dropped with no response),
+        # and a negative one made rfile.read(-n) block reading to EOF
+        import socket
+
+        def exchange(value: bytes) -> bytes:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5
+            ) as sock:
+                sock.sendall(
+                    b"POST /jobs HTTP/1.1\r\n"
+                    b"Host: localhost\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: " + value + b"\r\n"
+                    b"\r\n"
+                )
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    part = sock.recv(4096)
+                    if not part:
+                        break
+                    data += part
+                return data.split(b"\r\n", 1)[0]
+
+        assert b"400" in exchange(b"banana")
+        assert b"400" in exchange(b"-5")
+        # the server is still healthy afterwards
+        assert _get(server, "/healthz")[0] == 200
+
 
 class TestAdmission429:
     def test_saturated_queue_maps_to_429_with_retry_after(

@@ -70,6 +70,31 @@ class TestIngest:
             acc.ingest(y_true=[1], predictions=[1], protected={"g": ["a"]})
 
 
+class TestSnapshot:
+    def test_restore_rolls_back_to_snapshot(self):
+        acc = _simple()
+        before = acc.snapshot()
+        expected = acc.to_dict()
+        acc.ingest(
+            y_true=[0], predictions=[1], protected={"sex": ["f"]}
+        )
+        assert acc.n_rows == 5
+        acc.restore(before)
+        assert acc.to_dict() == expected
+
+    def test_snapshot_is_isolated_from_later_ingest(self):
+        # the snapshot must be a copy — mutating the live accumulator
+        # cannot corrupt the rollback point
+        acc = _simple()
+        before = acc.snapshot()
+        acc.ingest(
+            y_true=[0, 0], predictions=[1, 1], protected={"sex": ["m", "m"]}
+        )
+        cells, n_rows, chunks = before
+        assert n_rows == 4 and chunks == 1
+        assert ("m", 0, 1) not in cells
+
+
 class TestMerge:
     def test_merge_adds_counts(self):
         a, b = _simple(), _simple()

@@ -116,3 +116,34 @@ class TestChunkIngestFaults:
         )
         accumulator = ingest_stream(_chunks(hiring), config)
         assert accumulator.n_rows == hiring.n_rows
+
+    def test_midingest_failure_restores_state_before_retry(
+        self, hiring, monkeypatch
+    ):
+        # regression: an error escaping ingest *after* the cells were
+        # mutated must roll the counts back before the retry, or the
+        # chunk is double-counted
+        from repro.streaming.accumulator import AuditAccumulator
+        from repro.streaming.stream import ingest_stream
+
+        real_count = AuditAccumulator._count
+        calls = {"n": 0}
+
+        def flaky_count(self, columns, n):
+            real_count(self, columns, n)  # counts land first...
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("mid-ingest blip")  # ...then the crash
+
+        monkeypatch.setattr(AuditAccumulator, "_count", flaky_count)
+        config = AuditConfig(
+            policy=ExecutionPolicy(
+                max_retries=1, retryable=(RuntimeError,),
+                sleep=lambda s: None,
+            ),
+        )
+        retried = ingest_stream(_chunks(hiring), config)
+        monkeypatch.undo()
+        clean = ingest_stream(_chunks(hiring), AuditConfig())
+        assert retried.n_rows == hiring.n_rows
+        assert retried.to_dict() == clean.to_dict()
