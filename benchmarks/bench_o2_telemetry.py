@@ -1,0 +1,129 @@
+"""O2 — unified telemetry pipeline overhead: off vs fully enabled.
+
+PR 7 rebuilt the telemetry layer (trace contexts, labeled metrics with
+bounded histograms, the alerting event bus).  The contract is the same
+as O1's but tighter, because the new instruments sit on hotter paths:
+
+* telemetry *off* (the production default — null tracer, process
+  registry, default event bus with no subscribers or sink) must cost
+  ≤0.5% over the bare metric battery;
+* telemetry *fully enabled* (real tracer collecting every span, a fresh
+  labeled registry, an event bus writing a JSON-lines sink) must cost
+  ≤3% over bare, and ≤3% over the off path — the last ratio is the
+  pipeline's own bill, clean of the supervised-runner wrapper both
+  instrumented paths share.
+
+Each guard carries a small absolute floor: once the dataset's
+contingency caches are warm the battery is milliseconds, so per-run
+fixed costs (runner setup, provenance) would otherwise swamp a pure
+ratio.  The result envelope is written to ``BENCH_O2.json`` for the CI
+artifact trail.
+"""
+
+import statistics
+import time
+
+from repro.core import FairnessAudit
+from repro.core.audit import _BATTERY
+from repro.core.config import AuditConfig
+from repro.data import make_hiring
+from repro.observability import (
+    EventBus,
+    MetricsRegistry,
+    Tracer,
+    use_event_bus,
+    use_metrics,
+    use_tracer,
+)
+
+from benchmarks.conftest import report, write_bench_json
+
+ROUNDS = 5
+
+
+def _config():
+    return AuditConfig(tolerance=0.05, strata="university")
+
+
+def _bare_battery(audit: FairnessAudit) -> float:
+    """The same evaluations ``run()`` performs, without instrumentation."""
+    start = time.perf_counter()
+    findings = []
+    for attribute in audit.protected_attributes:
+        for metric in _BATTERY:
+            findings.append(audit._evaluate(metric, attribute))
+        audit._power_note(attribute)
+    return time.perf_counter() - start
+
+
+def _telemetry_off(audit: FairnessAudit) -> float:
+    """``run()`` on the defaults: null tracer, shared bus, no sink."""
+    start = time.perf_counter()
+    audit.run()
+    return time.perf_counter() - start
+
+
+def _telemetry_on(data, sink_path) -> float:
+    """``run()`` with every pipeline stage live: spans, registry, sink."""
+    audit = FairnessAudit(data, config=_config())
+    with use_tracer(Tracer(run_id="bench-o2")), \
+            use_metrics(MetricsRegistry()), \
+            use_event_bus(EventBus(sink=sink_path)) as bus:
+        start = time.perf_counter()
+        audit.run()
+        elapsed = time.perf_counter() - start
+        bus.close()
+    return elapsed
+
+
+def test_o2_telemetry_pipeline_overhead(benchmark, tmp_path):
+    # large enough that the battery's evaluation work dominates and the
+    # overhead ratios are measured, not floored away
+    data = make_hiring(
+        n=400_000, direct_bias=1.5, proxy_strength=0.8, random_state=0
+    )
+
+    def experiment():
+        bare, off, on = [], [], []
+        for index in range(ROUNDS):
+            bare.append(_bare_battery(FairnessAudit(data, config=_config())))
+            off.append(_telemetry_off(FairnessAudit(data, config=_config())))
+            on.append(_telemetry_on(data, tmp_path / f"events-{index}.jsonl"))
+        return (
+            statistics.median(bare),
+            statistics.median(off),
+            statistics.median(on),
+        )
+
+    bare, off, on = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    off_overhead = off / bare - 1.0
+    on_overhead = on / bare - 1.0
+    pipeline_overhead = on / off - 1.0
+    report("O2 telemetry pipeline overhead (n=400k hiring)", [
+        ("path", "median seconds"),
+        ("bare battery", round(bare, 4)),
+        ("telemetry off", round(off, 4)),
+        ("telemetry fully enabled", round(on, 4)),
+        ("off vs bare", f"{off_overhead * 100:+.2f}%"),
+        ("enabled vs bare", f"{on_overhead * 100:+.2f}%"),
+        ("enabled vs off (pipeline cost)",
+         f"{pipeline_overhead * 100:+.2f}%"),
+    ])
+    write_bench_json("O2", {
+        "n_rows": data.n_rows,
+        "rounds": ROUNDS,
+        "bare_seconds": round(bare, 6),
+        "telemetry_off_seconds": round(off, 6),
+        "telemetry_on_seconds": round(on, 6),
+        "off_overhead_pct": round(off_overhead * 100, 3),
+        "on_overhead_pct": round(on_overhead * 100, 3),
+        "pipeline_overhead_pct": round(pipeline_overhead * 100, 3),
+    })
+
+    # the PR's acceptance guards; absolute floors absorb per-run fixed
+    # costs once the dataset caches make the battery ms-scale
+    assert off - bare < max(0.005 * bare, 1.5e-3)
+    assert on - bare < max(0.03 * bare, 5e-3)
+    # the new pipeline itself: spans + labeled registry + event sink
+    # must be within 3% (or timer jitter) of running with none of them
+    assert on - off < max(0.03 * off, 1.5e-3)

@@ -150,6 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json", action="store_true",
         help="emit logs as JSON lines (machine-readable stderr)",
     )
+    # The same diagnostics flags are accepted *after* the subcommand
+    # too ("repro serve -v" and "repro -v serve" both work).  SUPPRESS
+    # defaults keep the subparser from clobbering a value the root
+    # parser already set when the flag only appears up front.
+    late = argparse.ArgumentParser(add_help=False)
+    late.add_argument(
+        "-v", "--verbose", action="count", default=argparse.SUPPRESS,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    late.add_argument(
+        "-q", "--quiet", action="store_true", default=argparse.SUPPRESS,
+        help="only log errors",
+    )
+    late.add_argument(
+        "--log-json", action="store_true", default=argparse.SUPPRESS,
+        help="emit logs as JSON lines",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="generate a synthetic workload")
@@ -208,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     mon = sub.add_parser(
         "monitor",
+        parents=[late],
         help="replay a dataset as a windowed stream and flag fairness "
         "drift (Section IV.E)",
     )
@@ -227,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="restrict each window's battery (repeatable)")
     mon.add_argument("--format", choices=("markdown", "json"),
                      default="markdown")
+    mon.add_argument("--stream-name", default="default", metavar="NAME",
+                     help="stream label on published monitor.drift "
+                     "events (default: 'default')")
+    mon.add_argument("--events-out", default=None, metavar="PATH",
+                     help="append drift events here as JSON lines "
+                     "(inspect with 'repro events tail PATH')")
     _add_trace_flag(mon)
 
     scan = sub.add_parser(
@@ -329,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     srv = sub.add_parser(
         "serve",
+        parents=[late],
         help="run the fault-tolerant audit service (HTTP/JSON job API)",
     )
     srv.add_argument(
@@ -356,7 +382,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-event journal fsync (faster; weakens the "
         "crash guarantee to what the OS flushes)",
     )
+    srv.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="P",
+        help="head-sampling probability for request traces when the "
+        "client sends no traceparent header (default: 1.0 — trace "
+        "everything)",
+    )
+    srv.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="append alerting events (drift, job failures, admission "
+        "rejections) here as JSON lines; follow with "
+        "'repro events tail PATH'",
+    )
     _add_policy_flags(srv)
+    _add_trace_flag(srv)
 
     trace = sub.add_parser(
         "trace",
@@ -374,6 +413,32 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument("--group", action="store_true",
                       help="group stages by prefix (all audit:* stages "
                       "become one row)")
+    summ.add_argument("--by-process", action="store_true",
+                      help="one table per producing process — a "
+                      "parallel scan merges child worker spans into "
+                      "the parent trace file")
+
+    ev = sub.add_parser(
+        "events",
+        help="inspect an event log written with --events-out",
+    )
+    ev_sub = ev.add_subparsers(dest="events_command", required=True)
+    tail = ev_sub.add_parser(
+        "tail",
+        help="print events from a JSON-lines event log",
+    )
+    tail.add_argument("path", help="JSON-lines sink written by --events-out")
+    tail.add_argument("--since", type=int, default=0, metavar="SEQ",
+                      help="only events with seq > SEQ (default: all)")
+    tail.add_argument("--kind", default=None, metavar="KIND",
+                      help="filter by kind, exact or dotted prefix "
+                      "('job' matches job.failed and job.rejected)")
+    tail.add_argument("--follow", "-f", action="store_true",
+                      help="keep polling the file for new events "
+                      "(Ctrl-C to stop)")
+    tail.add_argument("--json", action="store_true", dest="as_json",
+                      help="print raw JSON lines instead of the "
+                      "formatted view")
 
     return parser
 
@@ -488,16 +553,26 @@ def _cmd_monitor(args) -> int:
         drift_threshold=args.drift_threshold,
         label=dataset.schema.label_name,
         audits_labels=predictions is None,
+        name=args.stream_name,
     )
-    monitor.observe(
-        y_true=dataset.labels(),
-        predictions=predictions,
-        protected={
-            name: dataset.column(name)
-            for name in dataset.schema.protected_names
-        },
-    )
-    monitor.flush()
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        if args.events_out:
+            from repro.observability import EventBus, use_event_bus
+
+            bus = EventBus(sink=args.events_out)
+            stack.callback(bus.close)
+            stack.enter_context(use_event_bus(bus))
+        monitor.observe(
+            y_true=dataset.labels(),
+            predictions=predictions,
+            protected={
+                name: dataset.column(name)
+                for name in dataset.schema.protected_names
+            },
+        )
+        monitor.flush()
     if args.format == "json":
         import json as _json
 
@@ -640,14 +715,77 @@ def _cmd_define(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    from repro.observability import render_summary_table, summarize_trace
+    from repro.observability import (
+        render_summary_table,
+        summarize_trace,
+        summarize_trace_by_process,
+    )
 
+    if args.by_process:
+        sections = summarize_trace_by_process(
+            args.path, group_prefix=args.group
+        )
+        if not sections:
+            print(f"trace {args.path} contains no spans")
+            return 0
+        for label, summaries in sections:
+            print(f"## {label}")
+            print()
+            print(render_summary_table(summaries, top=args.top))
+            print()
+        return 0
     summaries = summarize_trace(args.path, group_prefix=args.group)
     if not summaries:
         print(f"trace {args.path} contains no spans")
         return 0
     print(render_summary_table(summaries, top=args.top))
     return 0
+
+
+def _format_event(event: dict) -> str:
+    """One human-readable line per event for the tail view."""
+    import datetime
+
+    stamp = datetime.datetime.fromtimestamp(
+        float(event.get("ts", 0.0))
+    ).strftime("%H:%M:%S")
+    payload = event.get("payload") or {}
+    detail = " ".join(f"{key}={value}" for key, value in payload.items())
+    return (
+        f"[{event.get('seq', '?'):>5}] {stamp} "
+        f"{event.get('kind', '?'):<24} {detail}"
+    )
+
+
+def _cmd_events(args) -> int:
+    import time as time_module
+
+    from repro.observability import read_events
+
+    cursor = args.since
+    try:
+        while True:
+            for event in read_events(
+                args.path, since=cursor, kind=args.kind
+            ):
+                cursor = max(cursor, int(event.get("seq", cursor)))
+                if args.as_json:
+                    import json as json_module
+
+                    print(json_module.dumps(event), flush=True)
+                else:
+                    print(_format_event(event), flush=True)
+            if not args.follow:
+                return 0
+            time_module.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover — interactive only
+        return 0
+    except BrokenPipeError:
+        # the reader (head, less) hung up mid-tail; leave quietly
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _cmd_workflow(args) -> int:
@@ -689,10 +827,20 @@ def _cmd_serve(args) -> int:
     """Run the audit service until SIGTERM/SIGINT, then drain."""
     import signal
     import threading
+    from contextlib import ExitStack
 
     from repro.service import JobEngine
     from repro.service.httpd import serve as start_http
 
+    stack = ExitStack()
+    if args.events_out:
+        from repro.observability import EventBus, use_event_bus
+
+        bus = EventBus(sink=args.events_out)
+        stack.callback(bus.close)
+        stack.enter_context(use_event_bus(bus))
+    # The bus is installed before the engine starts so crash-recovery
+    # events from a restart land in the sink too.
     engine = JobEngine(
         args.root,
         workers=args.workers,
@@ -700,7 +848,10 @@ def _cmd_serve(args) -> int:
         policy=_policy_from_args(args),
         journal_fsync=not args.no_fsync,
     )
-    server = start_http(engine, host=args.host, port=args.port)
+    server = start_http(
+        engine, host=args.host, port=args.port,
+        trace_sample_rate=args.trace_sample_rate,
+    )
     print(
         f"repro audit service listening on http://{args.host}:{server.port} "
         f"(root {args.root}, {args.workers} workers, "
@@ -720,6 +871,7 @@ def _cmd_serve(args) -> int:
     finally:
         server.shutdown()
         engine.shutdown(drain=True)
+        stack.close()
     print("drained running jobs; service stopped", flush=True)
     return 0
 
@@ -738,6 +890,7 @@ _COMMANDS = {
     "workflow": _cmd_workflow,
     "serve": _cmd_serve,
     "trace": _cmd_trace,
+    "events": _cmd_events,
 }
 
 

@@ -32,7 +32,13 @@ from repro.kernel.contingency import (
     joint_counts,
     stratified_counts,
 )
-from repro.kernel.parallel import chunk_ranges, score_chunk, score_counts
+from repro.kernel.parallel import (
+    chunk_ranges,
+    read_spills,
+    score_chunk,
+    score_chunk_telemetry,
+    score_counts,
+)
 
 __all__ = [
     "BACKENDS",
@@ -51,5 +57,7 @@ __all__ = [
     "stratified_counts",
     "score_counts",
     "score_chunk",
+    "score_chunk_telemetry",
+    "read_spills",
     "chunk_ranges",
 ]

@@ -18,11 +18,22 @@ bit-identical to the per-subgroup scalar loop (the property suite in
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.stats.batch import batch_score_counts
 
-__all__ = ["score_counts", "score_chunk", "chunk_ranges"]
+__all__ = [
+    "score_counts",
+    "score_chunk",
+    "score_chunk_telemetry",
+    "read_spills",
+    "chunk_ranges",
+]
 
 
 def score_counts(
@@ -59,6 +70,129 @@ def score_chunk(
         (entry[1] for entry in entries), dtype=np.int64, count=len(entries)
     )
     return batch_score_counts(positives, sizes, positives_total, n_total)
+
+
+def score_chunk_telemetry(
+    entries: list[tuple[int, int]],
+    positives_total: int,
+    n_total: int,
+    spill: dict,
+) -> list[dict | None]:
+    """:func:`score_chunk` plus a telemetry *spill file* for the parent.
+
+    The pool-worker entry point of the unified telemetry pipeline:
+    the chunk is scored inside a ``subgroups.score_chunk`` span that
+    continues the parent's :class:`~repro.observability.context.
+    TraceContext` (one trace_id from the HTTP edge to here), and the
+    worker's metric deltas — chunk/entry counters, scoring latency —
+    are recorded into a fresh registry instead of the worker process's
+    throwaway default.  Both are written to
+    ``<spill.dir>/chunk-<lo>-<hi>.jsonl`` for the parent to merge on
+    join.
+
+    ``spill`` keys: ``dir`` (spill directory), ``lo``/``hi`` (chunk
+    range, used for the file name and span attrs), optional ``context``
+    (a ``TraceContext.to_dict()`` payload; absent means tracing is off)
+    and ``run_id``.
+
+    The spill write is deliberately *non-atomic* (a killed worker leaves
+    a torn file); the parent-side reader (:func:`read_spills`) is
+    tolerant, and metric deltas apply all-or-nothing, so a partial spill
+    can never corrupt the parent's registry.  Scoring results are
+    returned through the future as usual — a lost spill loses telemetry,
+    never data.
+    """
+    from repro.observability.context import TraceContext
+    from repro.observability.metrics import MetricsRegistry, use_metrics
+    from repro.observability.trace import Tracer, use_tracer
+
+    registry = MetricsRegistry()
+    context = spill.get("context")
+    tracer = (
+        Tracer(
+            run_id=spill.get("run_id", ""),
+            context=TraceContext.from_dict(context),
+        )
+        if context
+        else None
+    )
+    lo, hi = spill["lo"], spill["hi"]
+    with use_metrics(registry):
+        registry.counter("subgroups.chunks_scored").inc()
+        registry.counter("subgroups.entries_scored").inc(len(entries))
+        if tracer is not None:
+            with use_tracer(tracer), tracer.span(
+                "subgroups.score_chunk", lo=lo, hi=hi, size=len(entries)
+            ), registry.timer("subgroups.chunk_seconds"):
+                result = score_chunk(entries, positives_total, n_total)
+        else:
+            with registry.timer("subgroups.chunk_seconds"):
+                result = score_chunk(entries, positives_total, n_total)
+
+    lines = tracer.to_lines() if tracer is not None else [
+        {
+            "kind": "spill_meta",
+            "created": time.time(),
+            "process_id": os.getpid(),
+        }
+    ]
+    lines.append({"kind": "metrics_delta", "delta": registry.delta()})
+    path = Path(spill["dir"]) / f"chunk-{lo}-{hi}.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            "\n".join(json.dumps(line, sort_keys=True) for line in lines)
+            + "\n"
+        )
+    return result
+
+
+def read_spills(spill_dir) -> list[dict]:
+    """Parse every spill file in a directory, tolerantly.
+
+    Returns one ``{"created": float | None, "spans": [...], "deltas":
+    [...]}`` per readable file.  Torn lines (killed workers) are
+    skipped; a file that contributed nothing parseable is omitted.  The
+    parent pairs this with :meth:`Tracer.absorb` (``created`` gives the
+    wall-clock offset) and :meth:`MetricsRegistry.merge_delta`.
+    """
+    spills = []
+    try:
+        paths = sorted(Path(spill_dir).glob("chunk-*.jsonl"))
+    except OSError:
+        return []
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        created = None
+        spans: list[dict] = []
+        deltas: list[dict] = []
+        for raw in text.splitlines():
+            if not raw.strip():
+                continue
+            try:
+                line = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn by a killed worker
+            if not isinstance(line, dict):
+                continue
+            kind = line.get("kind")
+            if kind in ("trace_meta", "spill_meta"):
+                if created is None and isinstance(
+                    line.get("created"), (int, float)
+                ):
+                    created = float(line["created"])
+            elif kind == "span":
+                spans.append(line)
+            elif kind == "metrics_delta" and isinstance(
+                line.get("delta"), dict
+            ):
+                deltas.append(line["delta"])
+        if created is None and not spans and not deltas:
+            continue
+        spills.append({"created": created, "spans": spans, "deltas": deltas})
+    return spills
 
 
 def chunk_ranges(start: int, total: int, chunk: int) -> list[tuple[int, int]]:

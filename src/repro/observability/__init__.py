@@ -1,13 +1,23 @@
-"""Audit provenance and telemetry: traces, metrics, evidence trails.
+"""Audit provenance and telemetry: traces, metrics, events, evidence.
 
 The paper argues fairness verdicts are only *summary evidence* — a
 human reviewer (or a court) must be able to interrogate how a verdict
 was produced.  This package is the substrate for that interrogation:
 
 * :mod:`~repro.observability.trace` — span-based tracing with
-  parent/child nesting and an atomic JSON-lines sink;
-* :mod:`~repro.observability.metrics` — process-local counters, timers,
-  and p50/p95 histograms;
+  parent/child nesting, cross-process merging, and an atomic JSON-lines
+  sink (trace format v2);
+* :mod:`~repro.observability.context` — the :class:`TraceContext`
+  carried across HTTP, job-journal, and process-pool boundaries
+  (W3C-``traceparent``-compatible) plus head sampling;
+* :mod:`~repro.observability.metrics` — process-local labeled counters,
+  gauges, timers, and bounded histograms, with cross-process delta
+  merging;
+* :mod:`~repro.observability.promfmt` — Prometheus text exposition
+  rendering and the strict format checker behind ``GET /metrics``;
+* :mod:`~repro.observability.events` — the ring-buffered alerting
+  event bus (drift, job failures, retry exhaustion) behind
+  ``GET /events`` and ``repro events tail``;
 * :mod:`~repro.observability.provenance` — the
   :class:`ProvenanceRecord` attached to every audit report and
   compliance dossier (dataset sha256, code version, policy, per-stage
@@ -15,28 +25,53 @@ was produced.  This package is the substrate for that interrogation:
 * :mod:`~repro.observability.logcfg` — the CLI's logging setup
   (human or JSON-lines stderr);
 * :mod:`~repro.observability.summarize` — per-stage timing/retry
-  tables from trace files (``repro trace summarize``).
+  tables from trace files (``repro trace summarize``), tolerant of
+  merged multi-process traces.
 
 Everything defaults to *off*: instrumented hot paths run against a
-cached null tracer, so the no-trace path costs <3% (guarded by
-``benchmarks/bench_o1_observability_overhead.py``).
+cached null tracer, so the no-telemetry path costs <0.5% (guarded by
+``benchmarks/bench_o2_telemetry.py``, extending ``bench_o1``).
 """
 
+from repro.observability.context import (
+    TraceContext,
+    head_sample,
+    new_span_id,
+    new_trace_id,
+)
+from repro.observability.events import (
+    Event,
+    EventBus,
+    get_event_bus,
+    read_events,
+    set_event_bus,
+    use_event_bus,
+)
 from repro.observability.logcfg import configure_logging, verbosity_to_level
 from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     get_metrics,
     set_metrics,
     use_metrics,
+)
+from repro.observability.promfmt import (
+    PROM_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
 )
 from repro.observability.provenance import ProvenanceRecord, dataset_fingerprint
 from repro.observability.summarize import (
     StageSummary,
     render_summary_table,
     summarize_trace,
+    summarize_trace_by_process,
 )
 from repro.observability.trace import (
     NULL_TRACER,
+    TRACE_VERSION,
     NullTracer,
     Span,
     Tracer,
@@ -52,15 +87,35 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "TRACE_VERSION",
     "get_tracer",
     "set_tracer",
     "use_tracer",
     "read_trace",
+    # context propagation
+    "TraceContext",
+    "head_sample",
+    "new_trace_id",
+    "new_span_id",
     # metrics
     "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "get_metrics",
     "set_metrics",
     "use_metrics",
+    # exposition
+    "PROM_CONTENT_TYPE",
+    "render_prometheus",
+    "parse_prometheus",
+    # events
+    "Event",
+    "EventBus",
+    "get_event_bus",
+    "set_event_bus",
+    "use_event_bus",
+    "read_events",
     # provenance
     "ProvenanceRecord",
     "dataset_fingerprint",
@@ -70,5 +125,6 @@ __all__ = [
     # summaries
     "StageSummary",
     "summarize_trace",
+    "summarize_trace_by_process",
     "render_summary_table",
 ]

@@ -1,0 +1,173 @@
+"""Cross-process trace context: one trace_id from HTTP edge to kernel.
+
+A :class:`TraceContext` is the portable identity of a point in a trace:
+the 128-bit ``trace_id`` shared by every span of one request, the
+64-bit ``span_id`` of the span that is currently open, and the head
+``sampled`` decision.  It serialises two ways:
+
+* :meth:`~TraceContext.to_traceparent` — the W3C Trace Context
+  ``traceparent`` header (``00-<trace_id>-<span_id>-<flags>``), carried
+  on HTTP requests into ``POST /jobs`` and honoured on the way out, so
+  an external caller's trace continues through the audit service;
+* :meth:`~TraceContext.to_dict` — a plain JSON object, carried through
+  the job journal (a crash-recovered job keeps its originating trace)
+  and pickled into process-pool chunk workers.
+
+Parsing is deliberately lenient where the W3C spec is
+(:meth:`from_traceparent` returns ``None`` on malformed input — a bad
+header must not fail the request it annotates) and strict where our own
+durable formats are (:meth:`from_dict` raises
+:class:`~repro.exceptions.ValidationError`, because a journaled context
+is evidence).
+
+:func:`head_sample` is the one sampling primitive: the decision is made
+once, at the head of the trace (the HTTP edge or the CLI entry point),
+and every downstream boundary honours the recorded flag instead of
+re-rolling the dice — the only scheme in which a sampled trace is
+always *complete*.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "head_sample",
+]
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+#: flag bit 0 of the traceparent flags byte: "the caller recorded this".
+_FLAG_SAMPLED = 0x01
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex characters."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex characters.
+
+    Random ids (rather than a per-tracer sequence) are what make traces
+    *mergeable*: spans minted in pool worker processes can be folded
+    into the parent's file without an id-collision rewrite pass.
+    """
+    return os.urandom(8).hex()
+
+
+def head_sample(rate: float, rng: random.Random | None = None) -> bool:
+    """One head-sampling decision at probability ``rate``.
+
+    ``rate`` is clamped semantics-free: ``>= 1`` always samples,
+    ``<= 0`` never does.  ``rng`` injects determinism for tests.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (rng or random).random() < rate
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace_id, span_id, sampled) triple shipped across boundaries."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self):
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id or ""):
+            raise ValidationError(
+                f"trace_id must be 32 lowercase hex chars, got "
+                f"{self.trace_id!r}"
+            )
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id or ""):
+            raise ValidationError(
+                f"span_id must be 16 lowercase hex chars, got "
+                f"{self.span_id!r}"
+            )
+
+    @classmethod
+    def generate(cls, sampled: bool = True) -> "TraceContext":
+        """A brand-new root context (trace head with no upstream caller)."""
+        return cls(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=sampled
+        )
+
+    def child(self, span_id: str | None = None) -> "TraceContext":
+        """The context a span opened under this one hands further down."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id if span_id is not None else new_span_id(),
+            sampled=self.sampled,
+        )
+
+    # -- W3C traceparent -----------------------------------------------------
+
+    def to_traceparent(self) -> str:
+        flags = _FLAG_SAMPLED if self.sampled else 0
+        return f"00-{self.trace_id}-{self.span_id}-{flags:02x}"
+
+    @classmethod
+    def from_traceparent(cls, header: str | None) -> "TraceContext | None":
+        """Parse a ``traceparent`` header; ``None`` on absent/malformed.
+
+        Per the W3C spec a receiver must not fail a request over a bad
+        header — it simply starts a new trace — so malformed input maps
+        to ``None`` rather than an exception.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT.match(header.strip().lower())
+        if match is None:
+            return None
+        if match["version"] == "ff":  # forbidden version value
+            return None
+        trace_id, span_id = match["trace_id"], match["span_id"]
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None  # all-zero ids are invalid per spec
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id,
+            sampled=bool(int(match["flags"], 16) & _FLAG_SAMPLED),
+        )
+
+    # -- durable form --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"trace context must be a mapping, got "
+                f"{type(payload).__name__}"
+            )
+        try:
+            return cls(
+                trace_id=payload["trace_id"],
+                span_id=payload["span_id"],
+                sampled=bool(payload.get("sampled", True)),
+            )
+        except KeyError as exc:
+            raise ValidationError(
+                f"trace context is missing the {exc.args[0]!r} field"
+            ) from None

@@ -1,0 +1,233 @@
+"""Alerting event bus: ring-buffered pub/sub with a JSON-lines sink.
+
+The routing substrate for the monitoring fleet: producers —
+:class:`~repro.streaming.monitor.FairnessMonitor` drift detections,
+:class:`~repro.service.engine.JobEngine` job failures and admission
+rejections, :class:`~repro.robustness.runner.StageRunner` retry
+exhaustion — call :meth:`EventBus.publish` with a dotted event kind
+(``monitor.drift``, ``job.failed``, ``stage.retry_exhausted``) and a
+JSON-able payload.  Consumers read three ways:
+
+* :meth:`EventBus.since` — cursor-style polling over the in-memory ring
+  (what ``GET /events?since=`` serves); the ring is bounded, so a slow
+  consumer loses *old* events, never blocks a producer;
+* subscriber callbacks — in-process alert routing, exceptions swallowed
+  (an alert hook must never take down the audited path);
+* a JSON-lines sink file — the durable feed ``repro events tail`` reads.
+
+Every event carries a monotonically increasing ``seq`` (the polling
+cursor), a wall-clock ``ts``, its ``kind``, and the payload.  A
+module-level default bus (:func:`get_event_bus`) serves instrumented
+code; tests scope their own with :func:`use_event_bus`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "get_event_bus",
+    "set_event_bus",
+    "use_event_bus",
+    "read_events",
+]
+
+#: default ring capacity — enough for a burst of drift events on every
+#: stream of a fleet without unbounded growth.
+DEFAULT_CAPACITY = 1024
+
+
+class Event:
+    """One published event: (seq, ts, kind, payload)."""
+
+    __slots__ = ("seq", "ts", "kind", "payload")
+
+    def __init__(self, seq: int, ts: float, kind: str, payload: dict):
+        self.seq = seq
+        self.ts = ts
+        self.kind = kind
+        self.payload = payload
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": round(self.ts, 6),
+            "kind": self.kind,
+            "payload": self.payload,
+        }
+
+
+class EventBus:
+    """Bounded in-memory event log with optional durable sink.
+
+    Thread-safe; publishing is O(1) and never blocks on consumers.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events are evicted first.
+    sink:
+        Optional path; every event is appended as one JSON line (and
+        flushed, so ``tail -f`` semantics work) — the feed for
+        ``repro events tail`` and external alert routers.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sink=None):
+        if capacity < 1:
+            raise ValidationError(
+                f"event bus capacity must be >= 1, got {capacity}"
+            )
+        self._lock = threading.Lock()
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._seq = 0
+        self._subscribers: list = []
+        self._sink_path = Path(sink) if sink is not None else None
+        self._sink_file = None
+        if self._sink_path is not None:
+            self._sink_path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink_file = open(self._sink_path, "a", encoding="utf-8")
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (0 when none published)."""
+        return self._seq
+
+    def publish(self, kind: str, **payload) -> Event:
+        """Record an event; returns it (its ``seq`` is the new cursor)."""
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, time.time(), kind, payload)
+            self._ring.append(event)
+            subscribers = list(self._subscribers)
+            if self._sink_file is not None:
+                try:
+                    self._sink_file.write(
+                        json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                    )
+                    self._sink_file.flush()
+                except OSError:
+                    pass  # a full disk must not fail the audited path
+        for callback in subscribers:
+            try:
+                callback(event)
+            except Exception:
+                pass  # alert hooks never take down the publisher
+        return event
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(event)`` for every future publish."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+    def since(self, seq: int = 0, *, kind: str | None = None,
+              limit: int | None = None) -> list[Event]:
+        """Events with ``seq`` strictly greater than the cursor.
+
+        ``kind`` filters by exact kind or dotted prefix (``"job."``
+        matches ``job.failed`` and ``job.rejected``); ``limit`` caps the
+        result from the *oldest* end so a poller never skips events.
+        """
+        with self._lock:
+            events = [e for e in self._ring if e.seq > seq]
+        if kind:
+            prefix = kind if kind.endswith(".") else kind + "."
+            events = [
+                e for e in events
+                if e.kind == kind or e.kind.startswith(prefix)
+            ]
+        if limit is not None and limit >= 0:
+            events = events[:limit]
+        return events
+
+    def close(self) -> None:
+        """Close the sink file (idempotent); the ring stays readable."""
+        with self._lock:
+            if self._sink_file is not None:
+                try:
+                    self._sink_file.close()
+                except OSError:
+                    pass
+                self._sink_file = None
+
+
+_default = EventBus()
+_default_lock = threading.Lock()
+
+
+def get_event_bus() -> EventBus:
+    """The process-current bus used by instrumented publishers."""
+    return _default
+
+
+def set_event_bus(bus: EventBus | None) -> EventBus:
+    """Install ``bus`` as current; returns the previous one.
+
+    ``None`` installs a fresh default-capacity bus with no sink.
+    """
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = bus if bus is not None else EventBus()
+    return previous
+
+
+@contextmanager
+def use_event_bus(bus: EventBus | None = None):
+    """Scope a bus: install for the block, restore the previous after."""
+    bus = bus if bus is not None else EventBus()
+    previous = set_event_bus(bus)
+    try:
+        yield bus
+    finally:
+        set_event_bus(previous)
+
+
+def read_events(path, *, since: int = 0,
+                kind: str | None = None) -> list[dict]:
+    """Parse a JSON-lines event sink file (tolerantly).
+
+    Torn trailing lines — the sink is an append-only feed, not an
+    atomic artifact — are skipped, matching the forgiving posture of
+    every forensic reader in this package.
+    """
+    events: list[dict] = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        if not raw.strip():
+            continue
+        try:
+            parsed = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(parsed, dict) or "seq" not in parsed:
+            continue
+        if parsed.get("seq", 0) <= since:
+            continue
+        event_kind = str(parsed.get("kind", ""))
+        if kind:
+            prefix = kind if kind.endswith(".") else kind + "."
+            if not (
+                event_kind == kind or event_kind.startswith(prefix)
+            ):
+                continue
+        events.append(parsed)
+    return events

@@ -1,11 +1,26 @@
-"""Process-local metrics: counters, timers, and latency histograms.
+"""Process-local metrics: counters, gauges, timers, and histograms.
 
 A :class:`MetricsRegistry` is the numeric side of the telemetry layer:
 counters for throughput ("subgroups evaluated", "stages retried"),
-histograms for latency distributions (p50/p95/max snapshots), and a
-timer context manager that feeds a histogram.  Everything is in-process
-and thread-safe; :meth:`MetricsRegistry.snapshot` renders the current
-state as one plain JSON-able dict for trace files and dashboards.
+gauges for current levels (queue depth), histograms for latency
+distributions.  Since v2 every instrument accepts *labels* (keyword
+dimensions — ``registry.counter("service.jobs", kind="subgroups")``),
+histograms are **bounded**: a fixed bucket layout for Prometheus
+exposition plus a fixed-size reservoir (Vitter's Algorithm R) for
+percentile snapshots, so a histogram on a long-lived service process
+holds a constant amount of memory no matter how many samples it sees.
+
+Everything is in-process and thread-safe.  Two serial forms exist:
+
+* :meth:`MetricsRegistry.snapshot` — the current state as one plain
+  JSON-able dict, for trace files and the JSON ``/metrics`` view;
+* :meth:`MetricsRegistry.delta` / :meth:`MetricsRegistry.merge_delta` —
+  the cross-process form: a pool worker records into a fresh registry,
+  ships ``delta()`` back in its spill file, and the parent folds it in
+  with ``merge_delta`` so scan telemetry from worker processes is no
+  longer silently dropped.  ``merge_delta`` validates shape strictly
+  (:class:`~repro.exceptions.ValidationError`) — a torn spill file from
+  a killed worker must never corrupt the parent's counters.
 
 A module-level default registry (:func:`get_metrics`) serves the
 instrumented hot paths; tests swap it with :func:`use_metrics` to assert
@@ -15,27 +30,61 @@ on exactly what one run recorded.
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
+import zlib
 from contextlib import contextmanager
+
+from repro.exceptions import ValidationError
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "RESERVOIR_SIZE",
     "get_metrics",
     "set_metrics",
     "use_metrics",
 ]
 
+#: default histogram bucket upper bounds, in seconds — tuned for audit
+#: stage latencies (sub-millisecond scoring calls up to multi-second
+#: full scans).  ``+Inf`` is implicit as the final bucket.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: reservoir capacity per histogram.  Below this count percentile
+#: snapshots are *exact* (every sample retained); above it they are
+#: estimates over a uniform random sample of everything observed.
+RESERVOIR_SIZE = 1024
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical hashable identity of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _flat_name(name: str, labels: tuple) -> str:
+    """Flat display key: ``name`` or ``name{a="b",c="d"}`` (sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing numeric metric."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: tuple = ()):
         self.name = name
+        self.labels = labels
         self._value = 0
         self._lock = threading.Lock()
 
@@ -48,29 +97,90 @@ class Counter:
         return self._value
 
 
-class Histogram:
-    """A sample collection with percentile snapshots.
+class Gauge:
+    """A metric that can go up and down (queue depth, active workers)."""
 
-    Stores raw observations (audit runs have bounded stage counts, so no
-    sketching is needed); :meth:`snapshot` reports count, total, mean,
-    p50, p95, and max.
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A bounded sample distribution: fixed buckets + percentile reservoir.
+
+    Memory is constant: ``len(buckets)+1`` integer bucket counts for the
+    Prometheus view and at most :data:`RESERVOIR_SIZE` retained samples
+    (Algorithm R, so the reservoir is a uniform sample of the full
+    stream) for p50/p95 snapshots.  The reservoir RNG is seeded from the
+    histogram's name, keeping snapshots reproducible in tests.
     """
 
-    __slots__ = ("name", "_samples", "_lock")
+    __slots__ = (
+        "name", "labels", "bounds", "_bucket_counts", "_reservoir",
+        "_count", "_total", "_max", "_rng", "_lock",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: tuple = (),
+                 buckets: tuple | None = None):
         self.name = name
-        self._samples: list[float] = []
+        self.labels = labels
+        bounds = tuple(float(b) for b in (buckets or DEFAULT_BUCKETS))
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValidationError(
+                f"histogram {name!r} bucket bounds must be strictly "
+                f"increasing, got {bounds}"
+            )
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last is +Inf
+        self._reservoir: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._rng = random.Random(zlib.crc32(name.encode()))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        value = float(value)
         with self._lock:
-            self._samples.append(float(value))
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    break
+            else:
+                self._bucket_counts[-1] += 1
+            if len(self._reservoir) < RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self._count)
+                if slot < RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
 
     @property
     def count(self) -> int:
-        with self._lock:
-            return len(self._samples)
+        return self._count
 
     @staticmethod
     def _percentile(ordered: list[float], q: float) -> float:
@@ -85,77 +195,318 @@ class Histogram:
         weight = position - low
         return ordered[low] * (1 - weight) + ordered[high] * weight
 
+    def state(self) -> dict:
+        """The raw mergeable state (bounds, bucket counts, reservoir)."""
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "bucket_counts": list(self._bucket_counts),
+                "count": self._count,
+                "total": self._total,
+                "max": self._max,
+                "reservoir": list(self._reservoir),
+            }
+
+    def merge(self, state: dict) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Bucket bounds must match exactly; reservoir samples are
+        re-sampled through Algorithm R so the merged reservoir stays an
+        (approximately) uniform sample of the combined stream.
+        """
+        bounds = state.get("bounds")
+        if list(bounds or ()) != list(self.bounds):
+            raise ValidationError(
+                f"histogram {self.name!r}: cannot merge mismatched bucket "
+                f"bounds {bounds!r} into {list(self.bounds)!r}"
+            )
+        counts = state.get("bucket_counts")
+        if (
+            not isinstance(counts, list)
+            or len(counts) != len(self._bucket_counts)
+            or not all(isinstance(c, int) and c >= 0 for c in counts)
+        ):
+            raise ValidationError(
+                f"histogram {self.name!r}: malformed bucket counts in delta"
+            )
+        reservoir = state.get("reservoir", [])
+        if not isinstance(reservoir, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in reservoir
+        ):
+            raise ValidationError(
+                f"histogram {self.name!r}: malformed reservoir in delta"
+            )
+        count = state.get("count")
+        total = state.get("total")
+        peak = state.get("max")
+        if (
+            not isinstance(count, int) or count < 0
+            or not isinstance(total, (int, float)) or isinstance(total, bool)
+            or not isinstance(peak, (int, float)) or isinstance(peak, bool)
+        ):
+            raise ValidationError(
+                f"histogram {self.name!r}: malformed summary fields in delta"
+            )
+        with self._lock:
+            for index, add in enumerate(counts):
+                self._bucket_counts[index] += add
+            self._count += count
+            self._total += float(total)
+            if float(peak) > self._max:
+                self._max = float(peak)
+            for value in reservoir:
+                if len(self._reservoir) < RESERVOIR_SIZE:
+                    self._reservoir.append(float(value))
+                else:
+                    slot = self._rng.randrange(self._count)
+                    if slot < RESERVOIR_SIZE:
+                        self._reservoir[slot] = float(value)
+
     def snapshot(self) -> dict:
         with self._lock:
-            ordered = sorted(self._samples)
-        if not ordered:
+            ordered = sorted(self._reservoir)
+            count, total, peak = self._count, self._total, self._max
+            buckets = {
+                str(bound): cumulative
+                for bound, cumulative in zip(
+                    self.bounds,
+                    _cumulate(self._bucket_counts[:-1]),
+                )
+            }
+        if not count:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "p50": 0.0, "p95": 0.0, "max": 0.0}
-        total = sum(ordered)
+                    "p50": 0.0, "p95": 0.0, "max": 0.0, "buckets": buckets}
         return {
-            "count": len(ordered),
+            "count": count,
             "total": round(total, 6),
-            "mean": round(total / len(ordered), 6),
+            "mean": round(total / count, 6),
             "p50": round(self._percentile(ordered, 0.50), 6),
             "p95": round(self._percentile(ordered, 0.95), 6),
-            "max": round(ordered[-1], 6),
+            "max": round(peak, 6),
+            "buckets": buckets,
         }
 
 
+def _cumulate(counts: list[int]) -> list[int]:
+    running, out = 0, []
+    for count in counts:
+        running += count
+        out.append(running)
+    return out
+
+
 class MetricsRegistry:
-    """Named counters and histograms for one process (or one test)."""
+    """Named, labeled counters/gauges/histograms for one process.
+
+    The label maps are plain dicts guarded by one registry lock, so
+    concurrent first-touch of the same ``(name, labels)`` pair from
+    service worker threads always converges on one instrument.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
         with self._lock:
-            counter = self._counters.get(name)
+            counter = self._counters.get(key)
             if counter is None:
-                counter = self._counters[name] = Counter(name)
+                counter = self._counters[key] = Counter(name, key[1])
         return counter
 
-    def histogram(self, name: str) -> Histogram:
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
         with self._lock:
-            histogram = self._histograms.get(name)
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge(name, key[1])
+        return gauge
+
+    def histogram(self, name: str, *, buckets: tuple | None = None,
+                  **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            histogram = self._histograms.get(key)
             if histogram is None:
-                histogram = self._histograms[name] = Histogram(name)
+                histogram = self._histograms[key] = Histogram(
+                    name, key[1], buckets=buckets
+                )
         return histogram
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(self, name: str, value: float, **labels) -> None:
         """Record one sample into the named histogram."""
-        self.histogram(name).observe(value)
+        self.histogram(name, **labels).observe(value)
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str, **labels):
         """Time the block and feed the elapsed seconds to a histogram."""
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.observe(name, time.perf_counter() - start)
+            self.observe(name, time.perf_counter() - start, **labels)
+
+    def collect(self) -> dict:
+        """Every instrument with its structured identity, for exposition.
+
+        Returns ``{"counters": [...], "gauges": [...], "histograms":
+        [...]}`` where each entry is ``(name, labels_dict, payload)`` —
+        the value for counters/gauges, the :meth:`Histogram.state` plus
+        snapshot for histograms.  Families are sorted by (name, labels).
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+        return {
+            "counters": [
+                (name, dict(labels), c.value)
+                for (name, labels), c in counters
+            ],
+            "gauges": [
+                (name, dict(labels), g.value)
+                for (name, labels), g in gauges
+            ],
+            "histograms": [
+                (name, dict(labels), h.state())
+                for (name, labels), h in histograms
+            ],
+        }
 
     def snapshot(self) -> dict:
-        """All metrics as one JSON-able dict, names sorted."""
+        """All metrics as one JSON-able dict, flat keys sorted.
+
+        Unlabeled instruments keep their plain name as the key, so the
+        pre-v2 snapshot shape is a strict subset of this one.
+        """
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
-        return {
+        payload = {
             "counters": {
-                name: counters[name].value for name in sorted(counters)
+                _flat_name(*key): counters[key].value
+                for key in sorted(counters)
             },
             "histograms": {
-                name: histograms[name].snapshot()
-                for name in sorted(histograms)
+                _flat_name(*key): histograms[key].snapshot()
+                for key in sorted(histograms)
             },
         }
+        if gauges:
+            payload["gauges"] = {
+                _flat_name(*key): gauges[key].value
+                for key in sorted(gauges)
+            }
+        return payload
+
+    # -- cross-process deltas ------------------------------------------------
+
+    def delta(self) -> dict:
+        """This registry's full contents as a mergeable JSON-able delta.
+
+        Pool workers record into a *fresh* registry, so "everything" is
+        exactly "what this worker contributed"; the parent folds it in
+        with :meth:`merge_delta`.
+        """
+        collected = self.collect()
+        return {
+            "counters": [
+                [name, labels, value]
+                for name, labels, value in collected["counters"]
+            ],
+            "gauges": [
+                [name, labels, value]
+                for name, labels, value in collected["gauges"]
+            ],
+            "histograms": [
+                [name, labels, state]
+                for name, labels, state in collected["histograms"]
+            ],
+        }
+
+    def merge_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta` into this registry.
+
+        Validation is all-or-nothing per family entry: any malformed
+        entry raises :class:`~repro.exceptions.ValidationError` *before*
+        anything from the delta is applied, so a spill file torn by a
+        killed worker can never half-corrupt the parent's counters.
+        """
+        if not isinstance(delta, dict):
+            raise ValidationError(
+                f"metrics delta must be a mapping, got {type(delta).__name__}"
+            )
+        entries = []
+        for family in ("counters", "gauges", "histograms"):
+            for entry in delta.get(family, ()):
+                if (
+                    not isinstance(entry, (list, tuple))
+                    or len(entry) != 3
+                    or not isinstance(entry[0], str)
+                    or not isinstance(entry[1], dict)
+                ):
+                    raise ValidationError(
+                        f"malformed metrics delta entry in {family!r}: "
+                        f"{entry!r}"
+                    )
+                name, labels, payload = entry
+                if family == "histograms":
+                    if not isinstance(payload, dict):
+                        raise ValidationError(
+                            f"malformed histogram state for {name!r}"
+                        )
+                elif (
+                    not isinstance(payload, (int, float))
+                    or isinstance(payload, bool)
+                ):
+                    raise ValidationError(
+                        f"malformed metrics delta value for {name!r}: "
+                        f"{payload!r}"
+                    )
+                entries.append((family, name, labels, payload))
+        # dry-run histogram validation against a scratch instrument so a
+        # bad state rejects before any counter below it was applied
+        for family, name, labels, payload in entries:
+            if family == "histograms":
+                bounds = payload.get("bounds")
+                if not isinstance(bounds, list) or not bounds or not all(
+                    isinstance(b, (int, float)) and not isinstance(b, bool)
+                    for b in bounds
+                ):
+                    raise ValidationError(
+                        f"histogram {name!r}: malformed bucket bounds in delta"
+                    )
+                Histogram(name, buckets=tuple(bounds)).merge(payload)
+                with self._lock:
+                    existing = self._histograms.get(
+                        (name, _label_key(labels))
+                    )
+                if existing is not None and list(existing.bounds) != [
+                    float(b) for b in bounds
+                ]:
+                    raise ValidationError(
+                        f"histogram {name!r}: delta bucket bounds do not "
+                        f"match the registry's"
+                    )
+        for family, name, labels, payload in entries:
+            if family == "counters":
+                self.counter(name, **labels).inc(payload)
+            elif family == "gauges":
+                self.gauge(name, **labels).inc(payload)
+            else:
+                bounds = tuple(payload["bounds"])
+                self.histogram(name, buckets=bounds, **labels).merge(payload)
 
     def reset(self) -> None:
         """Drop all recorded metrics (tests and long-lived processes)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

@@ -1,0 +1,373 @@
+"""Prometheus text exposition: rendering and a strict format checker.
+
+:func:`render_prometheus` turns a :class:`~repro.observability.metrics.
+MetricsRegistry` into text-format 0.0.4 — the lingua franca every
+standard scraper reads — so ``GET /metrics`` stops being a bespoke JSON
+shape.  Internal dotted metric names (``service.jobs_succeeded``) are
+sanitised into the ``repro_`` namespace (``repro_service_jobs_succeeded``),
+counters gain the conventional ``_total`` suffix, and histograms emit
+the full cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count`` family.
+
+:func:`parse_prometheus` is the matching *strict* checker used by the
+test suite and the CI curl smoke: it validates metric-name and label
+grammar, requires a ``# TYPE`` before any sample of a family, enforces
+counter ``_total`` naming, and checks histogram invariants (cumulative
+non-decreasing buckets, a ``+Inf`` bucket equal to ``_count``).
+Violations raise :class:`~repro.exceptions.ValidationError` with the
+offending line, so a formatting regression fails loudly rather than
+silently breaking scrapers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.exceptions import ValidationError
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["PROM_CONTENT_TYPE", "render_prometheus", "parse_prometheus"]
+
+#: the content type scrapers expect from a text-format endpoint.
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAMESPACE = "repro_"
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def _sanitize(name: str) -> str:
+    """Map an internal dotted metric name into the exposition namespace."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return _NAMESPACE + cleaned
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _fmt_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    merged.update(extra or {})
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{re.sub(r"[^a-zA-Z0-9_]", "_", str(k))}="{_escape_label(v)}"'
+        for k, v in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    value = float(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4.
+
+    One ``# TYPE`` line precedes each metric family; label sets of the
+    same family render under one declaration.  The output always ends
+    with a newline (scrapers require it).
+    """
+    collected = registry.collect()
+    lines: list[str] = []
+
+    grouped: dict[str, list] = {}
+    for name, labels, value in collected["counters"]:
+        grouped.setdefault(name, []).append((labels, value))
+    for name in sorted(grouped):
+        exposed = _sanitize(name)
+        if not exposed.endswith("_total"):
+            exposed += "_total"
+        lines.append(f"# HELP {exposed} repro counter {name}")
+        lines.append(f"# TYPE {exposed} counter")
+        for labels, value in grouped[name]:
+            lines.append(
+                f"{exposed}{_fmt_labels(labels)} {_fmt_value(value)}"
+            )
+
+    grouped = {}
+    for name, labels, value in collected["gauges"]:
+        grouped.setdefault(name, []).append((labels, value))
+    for name in sorted(grouped):
+        exposed = _sanitize(name)
+        lines.append(f"# HELP {exposed} repro gauge {name}")
+        lines.append(f"# TYPE {exposed} gauge")
+        for labels, value in grouped[name]:
+            lines.append(
+                f"{exposed}{_fmt_labels(labels)} {_fmt_value(value)}"
+            )
+
+    grouped = {}
+    for name, labels, state in collected["histograms"]:
+        grouped.setdefault(name, []).append((labels, state))
+    for name in sorted(grouped):
+        exposed = _sanitize(name)
+        lines.append(f"# HELP {exposed} repro histogram {name}")
+        lines.append(f"# TYPE {exposed} histogram")
+        for labels, state in grouped[name]:
+            cumulative = 0
+            for bound, bucket in zip(
+                state["bounds"], state["bucket_counts"]
+            ):
+                cumulative += bucket
+                lines.append(
+                    f"{exposed}_bucket"
+                    f"{_fmt_labels(labels, {'le': _fmt_value(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{exposed}_bucket{_fmt_labels(labels, {'le': '+Inf'})} "
+                f"{state['count']}"
+            )
+            lines.append(
+                f"{exposed}_sum{_fmt_labels(labels)} "
+                f"{_fmt_value(state['total'])}"
+            )
+            lines.append(
+                f"{exposed}_count{_fmt_labels(labels)} {state['count']}"
+            )
+
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+def _parse_value(token: str, line_no: int) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ValidationError(
+            f"prometheus text line {line_no}: {token!r} is not a valid "
+            "sample value"
+        ) from None
+
+
+def _parse_labels(raw: str | None, line_no: int) -> dict:
+    if not raw:
+        return {}
+    labels: dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR_RE.match(rest)
+        if match is None:
+            raise ValidationError(
+                f"prometheus text line {line_no}: malformed label "
+                f"segment {rest!r}"
+            )
+        name = match["name"]
+        if name in labels:
+            raise ValidationError(
+                f"prometheus text line {line_no}: duplicate label "
+                f"{name!r}"
+            )
+        labels[name] = (
+            match["value"]
+            .replace(r"\n", "\n")
+            .replace(r"\"", '"')
+            .replace(r"\\", "\\")
+        )
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValidationError(
+                f"prometheus text line {line_no}: expected ',' between "
+                f"labels, got {rest!r}"
+            )
+    return labels
+
+
+def _family_of(name: str, types: dict) -> str | None:
+    """The declared family a sample name belongs to, if any."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in types:
+                return base
+    return None
+
+
+def parse_prometheus(text: str) -> dict:
+    """Strictly parse/validate Prometheus text exposition format.
+
+    Returns ``{family_name: {"type": ..., "samples": [(name, labels,
+    value), ...]}}``.  Raises
+    :class:`~repro.exceptions.ValidationError` on any grammar or
+    structural violation: samples without a preceding ``# TYPE``,
+    re-declared families, counters not named ``*_total``, histogram
+    buckets that are non-cumulative or whose ``+Inf`` bucket disagrees
+    with ``_count``.
+    """
+    types: dict[str, str] = {}
+    families: dict[str, dict] = {}
+    seen_samples: dict[str, bool] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue  # free-form comments are legal
+            if parts[1] == "HELP":
+                continue
+            if len(parts) < 4:
+                raise ValidationError(
+                    f"prometheus text line {line_no}: malformed TYPE line"
+                )
+            name, kind = parts[2], parts[3].strip()
+            if not _NAME_RE.match(name):
+                raise ValidationError(
+                    f"prometheus text line {line_no}: invalid metric name "
+                    f"{name!r}"
+                )
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValidationError(
+                    f"prometheus text line {line_no}: unknown metric type "
+                    f"{kind!r}"
+                )
+            if name in types:
+                raise ValidationError(
+                    f"prometheus text line {line_no}: duplicate TYPE for "
+                    f"{name!r}"
+                )
+            if name in seen_samples:
+                raise ValidationError(
+                    f"prometheus text line {line_no}: TYPE for {name!r} "
+                    "appears after its samples"
+                )
+            types[name] = kind
+            families[name] = {"type": kind, "samples": []}
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValidationError(
+                f"prometheus text line {line_no}: not a valid sample line: "
+                f"{line!r}"
+            )
+        name = match["name"]
+        labels = _parse_labels(match["labels"], line_no)
+        value = _parse_value(match["value"], line_no)
+        family = _family_of(name, types)
+        if family is None:
+            raise ValidationError(
+                f"prometheus text line {line_no}: sample {name!r} has no "
+                "preceding # TYPE declaration"
+            )
+        kind = types[family]
+        if kind == "counter" and not name.endswith("_total"):
+            raise ValidationError(
+                f"prometheus text line {line_no}: counter sample {name!r} "
+                "must end with _total"
+            )
+        if kind == "histogram" and name == family:
+            raise ValidationError(
+                f"prometheus text line {line_no}: histogram {family!r} must "
+                "expose _bucket/_sum/_count samples, not a bare value"
+            )
+        if name.endswith("_bucket") and kind == "histogram" \
+                and "le" not in labels:
+            raise ValidationError(
+                f"prometheus text line {line_no}: histogram bucket sample "
+                "is missing its 'le' label"
+            )
+        for label_name in labels:
+            if not _LABEL_NAME_RE.match(label_name):
+                raise ValidationError(
+                    f"prometheus text line {line_no}: invalid label name "
+                    f"{label_name!r}"
+                )
+        seen_samples[family] = True
+        families[family]["samples"].append((name, labels, value))
+
+    for family, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        _check_histogram(family, info["samples"])
+    return families
+
+
+def _group_key(labels: dict) -> tuple:
+    return tuple(sorted(
+        (k, v) for k, v in labels.items() if k != "le"
+    ))
+
+
+def _check_histogram(family: str, samples: list) -> None:
+    """Histogram invariants per label set: cumulative buckets, +Inf==count."""
+    buckets: dict[tuple, list] = {}
+    counts: dict[tuple, float] = {}
+    sums: dict[tuple, float] = {}
+    for name, labels, value in samples:
+        key = _group_key(labels)
+        if name == f"{family}_bucket":
+            buckets.setdefault(key, []).append(
+                (_parse_value(labels["le"], 0), value)
+            )
+        elif name == f"{family}_count":
+            counts[key] = value
+        elif name == f"{family}_sum":
+            sums[key] = value
+    for key, series in buckets.items():
+        ordered = sorted(series, key=lambda item: item[0])
+        previous = -math.inf
+        cumulative = -1.0
+        for bound, value in ordered:
+            if bound <= previous:
+                raise ValidationError(
+                    f"histogram {family!r}: duplicate or unordered bucket "
+                    f"bound {bound!r}"
+                )
+            if value < cumulative:
+                raise ValidationError(
+                    f"histogram {family!r}: bucket counts are not "
+                    "cumulative"
+                )
+            previous, cumulative = bound, value
+        if not ordered or ordered[-1][0] != math.inf:
+            raise ValidationError(
+                f"histogram {family!r}: missing the +Inf bucket"
+            )
+        if key not in counts or key not in sums:
+            raise ValidationError(
+                f"histogram {family!r}: missing _sum or _count sample"
+            )
+        if ordered[-1][1] != counts[key]:
+            raise ValidationError(
+                f"histogram {family!r}: +Inf bucket ({ordered[-1][1]}) "
+                f"disagrees with _count ({counts[key]})"
+            )

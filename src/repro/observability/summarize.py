@@ -5,6 +5,13 @@ reviewer's view of a run: every stage grouped by name, with call counts,
 latency percentiles, retry totals, and non-ok statuses.  The same
 functions work as a library (:func:`summarize_trace` returns structured
 rows) so dossier tooling can post-process traces programmatically.
+
+Summaries read traces *forensically* (``read_trace(strict=False)``):
+merged multi-process traces can legally carry several ``trace_meta``
+envelopes, hand-concatenated ones may have lost theirs, and a killed
+run can tear a line — none of which should prevent summarising whatever
+survives.  :func:`summarize_trace_by_process` splits the same
+aggregates per producing process for merged traces.
 """
 
 from __future__ import annotations
@@ -14,7 +21,12 @@ from dataclasses import dataclass, field
 from repro.observability.metrics import Histogram
 from repro.observability.trace import read_trace
 
-__all__ = ["StageSummary", "summarize_trace", "render_summary_table"]
+__all__ = [
+    "StageSummary",
+    "summarize_trace",
+    "summarize_trace_by_process",
+    "render_summary_table",
+]
 
 
 @dataclass
@@ -52,31 +64,96 @@ def _span_retries(span: dict) -> int:
     )
 
 
+def _accumulate(summaries: dict, span: dict, group_prefix: bool) -> None:
+    name = span.get("name", "?")
+    if group_prefix:
+        name = name.split(":", 1)[0]
+    summary = summaries.get(name)
+    if summary is None:
+        summary = summaries[name] = StageSummary(name)
+    try:
+        elapsed = float(span.get("elapsed", 0.0))
+    except (TypeError, ValueError):
+        elapsed = 0.0
+    summary.count += 1
+    summary.total += elapsed
+    summary.elapsed.append(elapsed)
+    summary.retries += _span_retries(span)
+    if span.get("status") != "ok":
+        summary.errors += 1
+
+
+def _ordered(summaries: dict) -> list[StageSummary]:
+    return sorted(summaries.values(), key=lambda s: (-s.total, s.name))
+
+
+def _forensic_lines(path) -> list[dict]:
+    """Lenient trace read, but not *silent*: a file with nothing
+    parseable at all is malformed input, not an empty trace."""
+    from repro.exceptions import ValidationError
+
+    lines = read_trace(path, strict=False)
+    if not lines:
+        raise ValidationError(
+            f"trace {path} contains no parseable trace lines"
+        )
+    return lines
+
+
 def summarize_trace(path, group_prefix: bool = False) -> list[StageSummary]:
     """Per-stage aggregates from a trace file, longest total first.
 
     ``group_prefix=True`` groups stage names by their prefix up to the
     first ``":"`` (all ``audit:*`` stages become one row) — the
     birds-eye view; the default keeps every distinct stage.
+
+    Tolerant of imperfect files: missing or duplicated ``trace_meta``
+    envelopes (merged multi-process traces) and torn lines are skipped,
+    and v1 traces are accepted alongside v2.
     """
     summaries: dict[str, StageSummary] = {}
-    for line in read_trace(path):
+    for line in _forensic_lines(path):
         if line.get("kind") != "span":
             continue
-        name = line.get("name", "?")
-        if group_prefix:
-            name = name.split(":", 1)[0]
-        summary = summaries.get(name)
-        if summary is None:
-            summary = summaries[name] = StageSummary(name)
-        elapsed = float(line.get("elapsed", 0.0))
-        summary.count += 1
-        summary.total += elapsed
-        summary.elapsed.append(elapsed)
-        summary.retries += _span_retries(line)
-        if line.get("status") != "ok":
-            summary.errors += 1
-    return sorted(summaries.values(), key=lambda s: (-s.total, s.name))
+        _accumulate(summaries, line, group_prefix)
+    return _ordered(summaries)
+
+
+def summarize_trace_by_process(
+    path, group_prefix: bool = False
+) -> list[tuple[str, list[StageSummary]]]:
+    """Per-process stage aggregates from a (possibly merged) trace file.
+
+    Returns ``[(process_label, summaries), ...]`` — the process that
+    wrote the envelope first (the trace owner), then absorbed worker
+    processes by ascending pid.  v1 spans, which carry no
+    ``process_id``, land in an ``"unknown"`` section.
+    """
+    per_process: dict[str, dict[str, StageSummary]] = {}
+    order: list[str] = []
+    owner: str | None = None
+    for line in _forensic_lines(path):
+        kind = line.get("kind")
+        if kind == "trace_meta":
+            if owner is None and line.get("process_id") is not None:
+                owner = f"pid {line['process_id']}"
+            continue
+        if kind != "span":
+            continue
+        pid = line.get("process_id")
+        label = f"pid {pid}" if pid is not None else "unknown"
+        if label not in per_process:
+            per_process[label] = {}
+            order.append(label)
+        _accumulate(per_process[label], line, group_prefix)
+    order.sort(
+        key=lambda label: (
+            label != owner,  # trace owner first
+            label == "unknown",
+            label,
+        )
+    )
+    return [(label, _ordered(per_process[label])) for label in order]
 
 
 def render_summary_table(

@@ -6,6 +6,16 @@ checkpoint writes, progress marks).  Spans time with
 :func:`time.perf_counter` (monotonic) and carry offsets from the
 tracer's epoch, so a trace file reconstructs the exact run timeline.
 
+Since format v2 a trace is *distributed*: every span carries the
+128-bit ``trace_id`` it belongs to, a random 64-bit ``span_id``, the
+``parent_span_id`` that links it upward, and the ``process_id`` that
+produced it.  A :class:`~repro.observability.context.TraceContext`
+continues a trace across any boundary — HTTP header, job journal,
+pickled into a process-pool worker — and :meth:`Tracer.absorb` folds
+spans recorded in another process back into this tracer's file, so one
+``trace_id`` reaches from ``POST /jobs`` to the deepest
+``subgroups.score_chunk`` span.
+
 The disabled path is a first-class concern: instrumented code runs with
 the module-level :data:`NULL_TRACER` unless a caller installs a real one
 (:func:`set_tracer` / :func:`use_tracer`), and a null span is one cached
@@ -14,22 +24,27 @@ the audit hot paths are instrumented unconditionally.
 
 Traces persist as JSON lines (one object per line; first line is a
 ``trace_meta`` envelope) via the robustness layer's atomic writer, so a
-killed run never leaves a half-written evidence file.  See
+killed run never leaves a half-written evidence file.  The reader
+accepts both format versions (v1 lines are normalised to the v2 key
+names) and has a lenient mode for merged or truncated files.  See
 ``docs/observability.md`` for the file format.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
 
 from repro.exceptions import ValidationError
+from repro.observability.context import TraceContext, new_span_id, new_trace_id
 from repro.robustness.checkpoint import atomic_write_text
 
 __all__ = [
     "TRACE_VERSION",
+    "READABLE_TRACE_VERSIONS",
     "Span",
     "Tracer",
     "NullTracer",
@@ -40,7 +55,11 @@ __all__ = [
     "read_trace",
 ]
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+
+#: every format version :func:`read_trace` understands; v1 span lines
+#: (integer ids under ``id``/``parent``) are normalised on read.
+READABLE_TRACE_VERSIONS = (1, 2)
 
 
 class Span:
@@ -52,16 +71,19 @@ class Span:
     """
 
     __slots__ = (
-        "name", "span_id", "parent_id", "attrs", "events",
-        "t_start", "elapsed", "status", "error", "_tracer",
+        "name", "trace_id", "span_id", "parent_id", "process_id",
+        "attrs", "events", "t_start", "elapsed", "status", "error",
+        "_tracer",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, span_id: int,
-                 parent_id: int | None, attrs: dict):
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 span_id: str, parent_id: str | None, attrs: dict):
         self._tracer = tracer
         self.name = name
+        self.trace_id = trace_id
         self.span_id = span_id
         self.parent_id = parent_id
+        self.process_id = tracer.process_id
         self.attrs = attrs
         self.events: list[dict] = []
         self.t_start = 0.0
@@ -90,11 +112,17 @@ class Span:
             self.error = error
         return self
 
+    def context(self) -> TraceContext:
+        """The :class:`TraceContext` that continues the trace below here."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
     def to_dict(self) -> dict:
         payload = {
             "kind": "span",
-            "id": self.span_id,
-            "parent": self.parent_id,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_id,
+            "process_id": self.process_id,
             "name": self.name,
             "t_start": round(self.t_start, 6),
             "elapsed": round(self.elapsed, 6),
@@ -112,20 +140,35 @@ class Tracer:
     """Collects spans for one run and writes them as JSON lines.
 
     Thread-safe: the span stack is thread-local (a worker thread started
-    mid-span parents its spans to whatever that thread opened, or to the
+    mid-span parents its spans to whatever that thread opened, to the
+    context :meth:`bind` installed for that thread, or to the tracer's
     root), while the finished-span list is shared under a lock so the
     supervised runner's deadline threads are captured too.
+
+    Parameters
+    ----------
+    run_id:
+        Human-readable run label written into the ``trace_meta``
+        envelope.
+    context:
+        Optional upstream :class:`TraceContext`.  When given, this
+        tracer continues that trace: it adopts the caller's
+        ``trace_id`` and parents its root spans to the caller's span —
+        the process-pool-worker and service-job side of propagation.
     """
 
     enabled = True
 
-    def __init__(self, run_id: str = ""):
+    def __init__(self, run_id: str = "", context: TraceContext | None = None):
         self.run_id = run_id or f"run-{int(time.time())}"
         self.created = time.time()
+        self.context = context
+        self.trace_id = context.trace_id if context else new_trace_id()
+        self.process_id = os.getpid()
         self._epoch = time.perf_counter()
         self._lock = threading.Lock()
-        self._next_id = 0
         self._records: list[Span] = []
+        self._foreign: list[dict] = []
         self._local = threading.local()
 
     # -- internals -----------------------------------------------------------
@@ -142,19 +185,41 @@ class Tracer:
 
     # -- recording -----------------------------------------------------------
 
+    def bind(self, context: TraceContext | None) -> None:
+        """Install a parent context for spans opened *by this thread*.
+
+        The escape hatch for threads that cannot see the opener's span
+        stack (stage-deadline worker threads): their root spans parent
+        to ``context`` instead of the tracer's root, keeping the chain
+        resolvable across the thread hop.
+        """
+        self._local.base = context
+
     @contextmanager
-    def span(self, name: str, **attrs):
+    def span(self, name: str, *, context: TraceContext | None = None, **attrs):
         """Open a span; nesting inside another span records it as a child.
+
+        ``context`` explicitly parents the span to (and adopts the
+        ``trace_id`` of) an upstream :class:`TraceContext` — used at
+        propagation boundaries; everywhere else the innermost open span
+        on this thread is the parent.
 
         An exception escaping the block marks the span ``status="error"``
         (with the exception repr) and re-raises — tracing never swallows
         the fault it is documenting.
         """
         stack = self._stack()
-        with self._lock:
-            span_id = self._next_id = self._next_id + 1
-        parent_id = stack[-1].span_id if stack else None
-        span = Span(self, name, span_id, parent_id, dict(attrs))
+        parent = context or (
+            stack[-1].context() if stack
+            else getattr(self._local, "base", None) or self.context
+        )
+        span = Span(
+            self, name,
+            trace_id=parent.trace_id if parent else self.trace_id,
+            span_id=new_span_id(),
+            parent_id=parent.span_id if parent else None,
+            attrs=dict(attrs),
+        )
         stack.append(span)
         span.t_start = self._now()
         try:
@@ -178,11 +243,49 @@ class Tracer:
         with self.span(name, **attrs):
             pass
 
+    def current_context(self) -> TraceContext | None:
+        """The context continuing the innermost open span on this thread.
+
+        Falls back to the thread's bound context, then to the tracer's
+        creation context; ``None`` when this tracer is a trace head with
+        nothing open — callers then simply start a child trace rooted at
+        the tracer itself.
+        """
+        stack = self._stack()
+        if stack:
+            return stack[-1].context()
+        return getattr(self._local, "base", None) or self.context
+
+    # -- cross-process merging -----------------------------------------------
+
+    def absorb(self, lines: list[dict], *, clock_offset: float = 0.0) -> None:
+        """Fold span lines recorded by another tracer into this trace.
+
+        ``lines`` are v2-normalised line objects (from
+        :func:`read_trace` or a child's ``to_lines``); non-span lines
+        are ignored.  ``clock_offset`` shifts the child's ``t_start``
+        offsets onto this tracer's timeline (pass ``child_created -
+        parent_created``).  Ids are kept verbatim — random span ids make
+        collisions negligible — so parent links minted from a
+        :class:`TraceContext` resolve after the merge.
+        """
+        absorbed = []
+        for line in lines:
+            if line.get("kind") != "span":
+                continue
+            span = dict(line)
+            span["t_start"] = round(
+                float(span.get("t_start", 0.0)) + clock_offset, 6
+            )
+            absorbed.append(span)
+        with self._lock:
+            self._foreign.extend(absorbed)
+
     # -- reading / persistence -----------------------------------------------
 
     @property
     def spans(self) -> list[Span]:
-        """Finished spans, in completion order."""
+        """Finished spans recorded in this process, in completion order."""
         with self._lock:
             return list(self._records)
 
@@ -191,17 +294,22 @@ class Tracer:
         return [s for s in self.spans if s.name == name]
 
     def to_lines(self, extra: list[dict] | None = None) -> list[dict]:
-        """The trace as JSON-able line objects (meta first, then spans)."""
+        """The trace as JSON-able line objects (meta first, then spans —
+        native ones, then any absorbed from other processes)."""
         from repro import __version__
 
         lines: list[dict] = [{
             "kind": "trace_meta",
             "version": TRACE_VERSION,
             "run_id": self.run_id,
+            "trace_id": self.trace_id,
+            "process_id": self.process_id,
             "created": self.created,
             "repro_version": __version__,
         }]
         lines.extend(span.to_dict() for span in self.spans)
+        with self._lock:
+            lines.extend(dict(span) for span in self._foreign)
         lines.extend(extra or [])
         return lines
 
@@ -223,8 +331,10 @@ class _NullSpan:
 
     __slots__ = ()
     name = ""
+    trace_id = ""
     span_id = None
     parent_id = None
+    process_id = 0
     status = "ok"
 
     def __enter__(self):
@@ -242,6 +352,9 @@ class _NullSpan:
     def mark(self, status, error=""):
         return self
 
+    def context(self):
+        return None
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -251,9 +364,11 @@ class NullTracer:
 
     enabled = False
     run_id = ""
+    trace_id = ""
+    process_id = 0
     spans: list = []
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, *, context=None, **attrs):
         return _NULL_SPAN
 
     def event(self, name: str, **attrs) -> None:
@@ -261,6 +376,15 @@ class NullTracer:
 
     def find(self, name: str) -> list:
         return []
+
+    def bind(self, context) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
+
+    def absorb(self, lines, *, clock_offset: float = 0.0) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()
@@ -296,13 +420,34 @@ def use_tracer(tracer: Tracer | NullTracer):
         set_tracer(previous)
 
 
-def read_trace(path) -> list[dict]:
+def _normalize_line(line: dict) -> dict:
+    """Rewrite a v1 span line to the v2 key names (idempotent on v2)."""
+    if line.get("kind") != "span" or "span_id" in line:
+        return line
+    span = dict(line)
+    if "id" in span:
+        span["span_id"] = span.pop("id")
+    if "parent" in span:
+        span["parent_span_id"] = span.pop("parent")
+    return span
+
+
+def read_trace(path, *, strict: bool = True) -> list[dict]:
     """Parse a JSON-lines trace file written by :meth:`Tracer.write`.
 
-    Validates the ``trace_meta`` envelope (it must be line one and carry
-    a readable format version) and raises
-    :class:`~repro.exceptions.ValidationError` on malformed input —
-    with the line number, since a trace is evidence someone must debug.
+    In strict mode (the default) the ``trace_meta`` envelope must be
+    line one and carry a readable format version, and every line must
+    be JSON — violations raise
+    :class:`~repro.exceptions.ValidationError` with the line number,
+    since a trace is evidence someone must debug.  v1 files are
+    accepted and their span lines normalised to the v2 key names
+    (``span_id`` / ``parent_span_id``).
+
+    ``strict=False`` is the forensic mode for imperfect files — traces
+    concatenated from several processes (duplicate ``trace_meta``
+    lines), missing their envelope, or torn mid-line by a kill: bad
+    lines are skipped, any envelope anywhere is kept in place, and
+    whatever parses is returned.
     """
     from pathlib import Path
 
@@ -313,20 +458,31 @@ def read_trace(path) -> list[dict]:
         if not raw.strip():
             continue
         try:
-            lines.append(json.loads(raw))
+            parsed = json.loads(raw)
         except json.JSONDecodeError as exc:
+            if strict:
+                raise ValidationError(
+                    f"malformed trace {path}: line {number} is not JSON "
+                    f"({exc.msg})"
+                ) from exc
+            continue
+        if not isinstance(parsed, dict):
+            if strict:
+                raise ValidationError(
+                    f"malformed trace {path}: line {number} is not an object"
+                )
+            continue
+        lines.append(_normalize_line(parsed))
+    if strict:
+        if not lines or lines[0].get("kind") != "trace_meta":
             raise ValidationError(
-                f"malformed trace {path}: line {number} is not JSON "
-                f"({exc.msg})"
-            ) from exc
-    if not lines or lines[0].get("kind") != "trace_meta":
-        raise ValidationError(
-            f"malformed trace {path}: first line must be a trace_meta "
-            "envelope"
-        )
-    if lines[0].get("version") != TRACE_VERSION:
-        raise ValidationError(
-            f"trace {path} has format version {lines[0].get('version')!r}; "
-            f"this build reads {TRACE_VERSION}"
-        )
+                f"malformed trace {path}: first line must be a trace_meta "
+                "envelope"
+            )
+        if lines[0].get("version") not in READABLE_TRACE_VERSIONS:
+            raise ValidationError(
+                f"trace {path} has format version "
+                f"{lines[0].get('version')!r}; this build reads "
+                f"{READABLE_TRACE_VERSIONS}"
+            )
     return lines

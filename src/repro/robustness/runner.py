@@ -141,6 +141,7 @@ class StageRunner:
         policy's failure budget (or fail-closed semantics) says the run
         must stop.
         """
+        from repro.observability.events import get_event_bus
         from repro.observability.metrics import get_metrics
         from repro.observability.trace import get_tracer
 
@@ -226,6 +227,13 @@ class StageRunner:
                             f"attempts: {exc}",
                             stage=stage, attempts=attempts, last_error=exc,
                         )
+                        get_event_bus().publish(
+                            "stage.retry_exhausted",
+                            stage=stage,
+                            attempts=attempts,
+                            error=str(exc.last_error),
+                            error_type=type(exc.last_error).__name__,
+                        )
                     outcome = StageOutcome(
                         stage, "error",
                         error=str(exc),
@@ -278,11 +286,25 @@ class StageRunner:
         """One attempt, under the stage deadline (if any)."""
         if deadline is None:
             return fn(*args, **kwargs)
+        from repro.observability.trace import get_tracer
+
         box: dict = {}
         done = threading.Event()
+        # The deadline worker is a fresh thread: it cannot see this
+        # thread's span stack, so spans it opens would detach from the
+        # stage span.  Bind the stage's context into the worker so the
+        # parent chain survives the thread hop.
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        context = (
+            tracer.current_context()
+            if getattr(tracer, "enabled", False)
+            else None
+        )
 
         def work():
             try:
+                if context is not None:
+                    tracer.bind(context)
                 box["value"] = fn(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 — relayed below
                 box["error"] = exc

@@ -66,6 +66,8 @@ from repro.exceptions import (
     ServiceError,
     ValidationError,
 )
+from repro.observability.context import TraceContext
+from repro.observability.events import get_event_bus
 from repro.observability.metrics import get_metrics
 from repro.observability.provenance import dataset_fingerprint
 from repro.observability.trace import get_tracer
@@ -236,6 +238,7 @@ class JobEngine:
         config: AuditConfig | dict | None = None,
         dataset=None,
         predictions=None,
+        trace_context: TraceContext | None = None,
     ) -> JobRecord:
         """Enqueue one job (or answer it from the result cache).
 
@@ -249,6 +252,12 @@ class JobEngine:
 
         Cache hits bypass admission control — they consume no queue
         slot, so a saturated engine still answers repeat audits.
+
+        ``trace_context`` continues the submitter's trace: the job's
+        ``service.job`` span (and everything inside it, down to
+        pool-worker chunk spans) parents to the submitting request's
+        span.  The context rides in the journaled record, so even a
+        crash-recovered rerun stays attached to the originating trace.
         """
         if kind not in JOB_KINDS:
             raise ValidationError(
@@ -292,6 +301,11 @@ class JobEngine:
                 if predictions is not None
                 else None
             ),
+            trace=(
+                trace_context.to_dict()
+                if trace_context is not None and trace_context.sampled
+                else None
+            ),
         )
         key = self._job_key(job)
         if self.store.has(key):
@@ -318,6 +332,13 @@ class JobEngine:
                 self._metrics().counter("service.jobs_rejected").inc()
                 hint = self.retry_after * max(
                     1.0, active / max(1, len(self._workers))
+                )
+                get_event_bus().publish(
+                    "job.rejected",
+                    job_kind=kind,
+                    active=active,
+                    queue_limit=self.queue_limit,
+                    retry_after=round(hint, 3),
                 )
                 raise AdmissionError(
                     f"queue saturated: {active} active jobs at limit "
@@ -468,6 +489,13 @@ class JobEngine:
                 job.error_type = "InterruptedJob"
                 self.journal.append({"event": "interrupted", "job": job.to_dict()})
                 metrics.counter("service.jobs_interrupted").inc()
+                get_event_bus().publish(
+                    "job.interrupted",
+                    job_id=job.job_id,
+                    job_kind=job.kind,
+                    error=job.error,
+                    error_type=job.error_type,
+                )
                 continue
             job.status = "queued"
             job.recovered = True
@@ -536,8 +564,16 @@ class JobEngine:
             self.policy, faults=self.faults,
             tracer=self.tracer, metrics=self.metrics,
         )
+        # A journaled context may predate this build or be hand-edited;
+        # a bad one must not fail the job it annotates.
+        context = None
+        if job.trace:
+            try:
+                context = TraceContext.from_dict(job.trace)
+            except ValidationError:
+                context = None
         with self._tracer().span(
-            "service.job", job_id=job_id, kind=job.kind,
+            "service.job", context=context, job_id=job_id, kind=job.kind,
             recovered=job.recovered,
         ):
             with metrics.timer("service.job_elapsed"):
@@ -628,6 +664,14 @@ class JobEngine:
             self._state.notify_all()
         self.journal.append({"event": status, "job": job.to_dict()})
         self._metrics().counter(f"service.jobs_{status}").inc()
+        if status in ("failed", "interrupted"):
+            get_event_bus().publish(
+                f"job.{status}",
+                job_id=job.job_id,
+                job_kind=job.kind,
+                error=error,
+                error_type=error_type,
+            )
         self._maybe_rotate()
 
     def _cleanup_checkpoints(self, job_id: str) -> None:
@@ -705,6 +749,15 @@ class JobEngine:
         def progress(done, total):
             self._check_cancel(cancel, job.job_id)
 
+        scan_kwargs = {}
+        if self.tracer is not None:
+            # the engine's own tracer (not the process-global one) holds
+            # the service.job span this scan must nest under
+            scan_kwargs["tracer"] = self.tracer
+        if self.metrics is not None:
+            # likewise: pool-worker deltas must merge into the registry
+            # GET /metrics actually serves
+            scan_kwargs["metrics"] = self.metrics
         findings = audit_subgroups(
             dataset.labels(),
             dataset,
@@ -714,6 +767,7 @@ class JobEngine:
             resume=checkpoint.exists(),
             on_progress=progress,
             config=config,
+            **scan_kwargs,
         )
         adjust = job.params.get("adjust", config.correction)
         if adjust and adjust != "none":

@@ -9,7 +9,9 @@ response.  The full stored object stays available, byte-identical, at
 Routes::
 
     GET  /healthz                    liveness + job counts
-    GET  /metrics                    process metrics snapshot
+    GET  /metrics                    Prometheus text exposition (JSON
+                                     behind ``Accept: application/json``)
+    GET  /events[?since=&kind=]      alerting event bus, cursor-style
     GET  /jobs[?status=...]          job references, oldest first
     POST /jobs                       submit {kind, params, config}
     GET  /jobs/<id>                  one job reference
@@ -17,6 +19,13 @@ Routes::
     GET  /results/<key>              result preview (no findings body)
     GET  /results/<key>/findings     paginated findings (?page=&per_page=)
     GET  /results/<key>/raw          the stored object, byte-identical
+
+``POST /jobs`` honours a W3C ``traceparent`` request header: the
+submission's ``http.request`` span continues the caller's trace, and
+the job (and its audit spans, down to process-pool chunk workers)
+parents under it — one trace_id from the external caller to the
+deepest ``subgroups.score_chunk`` span.  Headerless submissions make
+their own head-sampling decision at ``trace_sample_rate``.
 
 Failure mapping: a saturated queue answers ``429`` with a
 ``Retry-After`` header and the structured
@@ -39,10 +48,17 @@ from repro.exceptions import (
     ReproError,
     ValidationError,
 )
+from repro.observability.context import TraceContext, head_sample
+from repro.observability.events import get_event_bus
 from repro.observability.metrics import get_metrics
+from repro.observability.promfmt import PROM_CONTENT_TYPE, render_prometheus
+from repro.observability.trace import get_tracer
 from repro.service.engine import JobEngine
 
 __all__ = ["AuditHTTPServer", "serve", "MAX_PER_PAGE"]
+
+#: ceiling on one /events response, mirroring the findings-page cap.
+MAX_EVENTS = 500
 
 #: hard ceiling on one findings page — the "never megabyte responses"
 #: contract is enforced here, not trusted to clients.
@@ -101,9 +117,10 @@ class _Handler(BaseHTTPRequestHandler):
             return
         super().log_message(format, *args)
 
-    def _send_bytes(self, status: int, body: bytes, *, headers=None):
+    def _send_bytes(self, status: int, body: bytes, *, headers=None,
+                    content_type: str = "application/json"):
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -131,7 +148,9 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["healthz"]:
                 return self._get_healthz()
             if parts == ["metrics"]:
-                return self._send_json(200, self._metrics().snapshot())
+                return self._get_metrics()
+            if parts == ["events"]:
+                return self._get_events(query)
             if parts == ["jobs"]:
                 return self._get_jobs(query)
             if len(parts) == 2 and parts[0] == "jobs":
@@ -177,7 +196,52 @@ class _Handler(BaseHTTPRequestHandler):
             else get_metrics()
         )
 
+    def _tracer(self):
+        return (
+            self.engine.tracer
+            if self.engine.tracer is not None
+            else get_tracer()
+        )
+
     # -- GET bodies ----------------------------------------------------------
+
+    def _get_metrics(self):
+        """Prometheus text by default; the JSON snapshot on request.
+
+        Content negotiation keeps both consumers: any standard scraper
+        reads the default, and the pre-v2 JSON shape stays available
+        behind ``Accept: application/json``.
+        """
+        accept = self.headers.get("Accept") or ""
+        if "application/json" in accept:
+            return self._send_json(200, self._metrics().snapshot())
+        body = render_prometheus(self._metrics()).encode()
+        self._send_bytes(200, body, content_type=PROM_CONTENT_TYPE)
+
+    def _get_events(self, query):
+        """Cursor-style poll over the alerting event bus.
+
+        ``?since=<seq>`` returns events strictly after that sequence
+        number (clients poll with the ``last_seq`` they saw);
+        ``?kind=job.`` filters by kind or dotted prefix; ``?limit=``
+        caps the page from the oldest end so nothing is skipped.
+        """
+        try:
+            since = int((query.get("since") or ["0"])[0])
+            limit = int((query.get("limit") or [str(MAX_EVENTS)])[0])
+        except ValueError:
+            return self._send_error(400, "since and limit must be integers")
+        kind = (query.get("kind") or [None])[0]
+        bus = get_event_bus()
+        events = bus.since(since, kind=kind, limit=min(limit, MAX_EVENTS))
+        self._send_json(
+            200,
+            {
+                "events": [event.to_dict() for event in events],
+                "last_seq": bus.last_seq,
+                "capacity": bus.capacity,
+            },
+        )
 
     def _get_healthz(self):
         jobs = self.engine.jobs()
@@ -287,11 +351,45 @@ class _Handler(BaseHTTPRequestHandler):
         kind = body.get("kind")
         if not kind:
             raise ValidationError("submissions need a 'kind'")
-        job = self.engine.submit(
-            kind,
-            params=body.get("params") or {},
-            config=body.get("config"),
+        incoming = TraceContext.from_traceparent(
+            self.headers.get("traceparent")
         )
+        sampled = (
+            incoming.sampled
+            if incoming is not None
+            else head_sample(
+                getattr(self.server, "trace_sample_rate", 1.0)
+            )
+        )
+        tracer = self._tracer()
+        if tracer.enabled and sampled:
+            # The request becomes a span continuing the caller's trace
+            # (or heading a new one); the job inherits the span's child
+            # context, so everything below — engine job, audit stages,
+            # pool-worker chunks — shares this trace_id.
+            with tracer.span(
+                "http.request", context=incoming,
+                method="POST", path="/jobs", kind=kind,
+            ) as span:
+                job = self.engine.submit(
+                    kind,
+                    params=body.get("params") or {},
+                    config=body.get("config"),
+                    trace_context=span.context(),
+                )
+                span.set(job_id=job.job_id, cache_hit=job.cache_hit)
+        else:
+            # No local tracer (or head-sampled out): still forward a
+            # sampled caller's context so an engine-side tracer can
+            # attach the job to the caller's trace.
+            job = self.engine.submit(
+                kind,
+                params=body.get("params") or {},
+                config=body.get("config"),
+                trace_context=(
+                    incoming if incoming and incoming.sampled else None
+                ),
+            )
         status = 200 if job.cache_hit else 201
         self._send_json(status, job.ref())
 
@@ -301,14 +399,21 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class AuditHTTPServer(ThreadingHTTPServer):
-    """A threaded HTTP server bound to one :class:`JobEngine`."""
+    """A threaded HTTP server bound to one :class:`JobEngine`.
+
+    ``trace_sample_rate`` is the head-sampling probability for
+    submissions that arrive without a ``traceparent`` header; requests
+    that carry one honour the caller's recorded decision instead.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, engine: JobEngine, *, quiet: bool = True):
+    def __init__(self, address, engine: JobEngine, *, quiet: bool = True,
+                 trace_sample_rate: float = 1.0):
         super().__init__(address, _Handler)
         self.engine = engine
         self.quiet = quiet
+        self.trace_sample_rate = trace_sample_rate
 
     @property
     def port(self) -> int:
@@ -321,6 +426,7 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
+    trace_sample_rate: float = 1.0,
 ) -> AuditHTTPServer:
     """Bind an :class:`AuditHTTPServer` and serve it on a daemon thread.
 
@@ -328,7 +434,10 @@ def serve(
     ``server.shutdown()`` then ``engine.shutdown()`` to stop — which is
     exactly what the CLI's ``repro serve`` does on SIGTERM.
     """
-    server = AuditHTTPServer((host, port), engine, quiet=quiet)
+    server = AuditHTTPServer(
+        (host, port), engine, quiet=quiet,
+        trace_sample_rate=trace_sample_rate,
+    )
     thread = threading.Thread(
         target=server.serve_forever, daemon=True, name="repro-httpd"
     )

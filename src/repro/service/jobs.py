@@ -83,6 +83,10 @@ class JobRecord:
     dataset_fingerprint: str = ""
     config_fingerprint: str = ""
     predictions_fingerprint: str | None = None
+    #: the submitting request's TraceContext.to_dict() (or None): a
+    #: crash-recovered job keeps the trace that caused it, so the merged
+    #: trace still reaches from the original HTTP request to the rerun.
+    trace: dict | None = None
 
     def __post_init__(self):
         if self.kind not in JOB_KINDS:
@@ -123,6 +127,7 @@ class JobRecord:
             "dataset_fingerprint": self.dataset_fingerprint,
             "config_fingerprint": self.config_fingerprint,
             "predictions_fingerprint": self.predictions_fingerprint,
+            "trace": dict(self.trace) if self.trace else None,
         }
 
     @classmethod
@@ -135,7 +140,7 @@ class JobRecord:
                 "degraded", "cache_hit", "recovered", "resumable",
                 "error", "error_type", "result_key",
                 "dataset_fingerprint", "config_fingerprint",
-                "predictions_fingerprint",
+                "predictions_fingerprint", "trace",
             )
             if key in payload
         })
@@ -159,6 +164,8 @@ class JobRecord:
             "finished_at": self.finished_at,
             "href": f"/jobs/{self.job_id}",
         }
+        if self.trace:
+            payload["trace_id"] = self.trace.get("trace_id")
         if self.result_key:
             payload["result"] = f"/results/{self.result_key}"
         if self.error:

@@ -101,6 +101,10 @@ class FairnessMonitor:
         that raises a :class:`DriftEvent`.
     label / audits_labels:
         As on :class:`~repro.streaming.accumulator.AuditAccumulator`.
+    name:
+        Stream label attached to the ``monitor.drift`` events this
+        monitor publishes on the observability event bus — how a
+        monitoring fleet tells its streams apart in one merged feed.
 
     Examples
     --------
@@ -119,11 +123,13 @@ class FairnessMonitor:
         drift_threshold: float = 0.1,
         label: str | None = "outcome",
         audits_labels: bool = False,
+        name: str = "default",
     ):
         if window < 1:
             raise AuditError("window must be >= 1")
         if not 0 < drift_threshold <= 1:
             raise AuditError("drift_threshold must be in (0, 1]")
+        self.name = str(name)
         self.protected = tuple(protected)
         self.config = config if config is not None else AuditConfig()
         self.window = int(window)
@@ -221,6 +227,16 @@ class FairnessMonitor:
         metrics.counter("streaming.windows_evaluated").inc()
         if drift:
             metrics.counter("streaming.drift_events").inc(len(drift))
+            from repro.observability.events import get_event_bus
+
+            bus = get_event_bus()
+            for event in drift:
+                bus.publish(
+                    "monitor.drift",
+                    stream=self.name,
+                    rows=[start, self._rows_seen],
+                    **event.to_dict(),
+                )
         return result
 
     def _audit_window(self, taken: dict) -> tuple[dict, tuple]:

@@ -42,7 +42,9 @@ from repro.kernel import (
     combined_codes,
     get_backend,
     joint_counts,
+    read_spills,
     score_chunk,
+    score_chunk_telemetry,
 )
 from repro.models.preprocessing import OneHotEncoder
 from repro.models.tree import DecisionTree
@@ -201,6 +203,30 @@ def _inside_counts(
     return entries
 
 
+def _merge_spills(tracer, metrics, spill_dir) -> None:
+    """Fold pool-worker telemetry spills into the parent tracer/registry.
+
+    Tolerant by construction: :func:`repro.kernel.read_spills` already
+    skips torn lines from killed workers, and a delta that fails
+    :meth:`~repro.observability.MetricsRegistry.merge_delta` validation
+    is dropped whole — worker telemetry is best-effort evidence and must
+    never corrupt the parent's, or fail a scan that scored correctly.
+    """
+    from repro.exceptions import ValidationError
+
+    for spill in read_spills(spill_dir):
+        if spill["spans"] and getattr(tracer, "enabled", False):
+            offset = 0.0
+            if spill["created"] is not None:
+                offset = spill["created"] - tracer.created
+            tracer.absorb(spill["spans"], clock_offset=offset)
+        for delta in spill["deltas"]:
+            try:
+                metrics.merge_delta(delta)
+            except ValidationError:
+                continue
+
+
 #: sentinel distinguishing "keyword passed" from "take it from config"
 _FROM_CONFIG = object()
 
@@ -220,6 +246,7 @@ def audit_subgroups(
     jobs: int = _FROM_CONFIG,
     executor_factory=None,
     *,
+    metrics=None,
     config: AuditConfig | None = None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
@@ -267,6 +294,10 @@ def audit_subgroups(
         Callable ``(jobs) -> Executor`` overriding the default
         ``ProcessPoolExecutor`` — a chaos/testing hook for injecting
         thread pools or failing workers.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry` the
+        scan's counters (and merged pool-worker deltas) record into;
+        defaults to the process-current registry.
     config:
         An :class:`~repro.core.config.AuditConfig` supplying defaults
         for ``max_order``, ``min_size``, ``alpha``, ``jobs``, and
@@ -284,7 +315,7 @@ def audit_subgroups(
     jobs = base.jobs if jobs is _FROM_CONFIG else jobs
     tracer = base.tracer if tracer is _FROM_CONFIG else tracer
     tracer = tracer if tracer is not None else get_tracer()
-    metrics = get_metrics()
+    metrics = metrics if metrics is not None else get_metrics()
     predictions = check_binary_array(predictions, "predictions")
     if len(predictions) != dataset.n_rows:
         raise AuditError("predictions length does not match dataset")
@@ -424,11 +455,25 @@ def audit_subgroups(
                 if on_progress is not None:
                     on_progress(evaluated, total)
         else:
+            import shutil
+            import tempfile
             from concurrent.futures import ProcessPoolExecutor
 
             factory = executor_factory or (
                 lambda n: ProcessPoolExecutor(max_workers=n)
             )
+            # Workers spill their telemetry (chunk spans continuing this
+            # scan's trace context, plus metric deltas) to files the
+            # parent merges on join — but only for the real process
+            # pool: an injected executor may run chunks as threads in
+            # this very process, where the spill's registry/tracer swaps
+            # would race the parent's.
+            spill_dir = None
+            scan_context = None
+            if executor_factory is None:
+                spill_dir = tempfile.mkdtemp(prefix="repro-scan-spill-")
+                context = tracer.current_context()
+                scan_context = context.to_dict() if context else None
             # Chunk boundaries sit on absolute multiples of the checkpoint
             # interval, so the parallel scan checkpoints at exactly the
             # serial cadence and the files interleave/resume either way.
@@ -438,26 +483,45 @@ def audit_subgroups(
             if checkpoint_path is None:
                 dispatch = max(dispatch, -(-(total - start) // (jobs * 4)))
             ranges = chunk_ranges(start, total, dispatch)
-            with factory(jobs) as pool:
-                futures = [
-                    pool.submit(
-                        score_chunk, entries[lo:hi], positives_total, n_total
-                    )
-                    for lo, hi in ranges
-                ]
-                for (lo, hi), future in zip(ranges, futures):
-                    for offset, payload in enumerate(future.result()):
-                        if payload is not None:
-                            findings.append(
-                                SubgroupFinding(
-                                    subgroup=subgroups[lo + offset], **payload
+            try:
+                with factory(jobs) as pool:
+                    futures = [
+                        pool.submit(
+                            score_chunk_telemetry,
+                            entries[lo:hi], positives_total, n_total,
+                            {
+                                "dir": spill_dir,
+                                "lo": lo,
+                                "hi": hi,
+                                "context": scan_context,
+                                "run_id": getattr(tracer, "run_id", ""),
+                            },
+                        )
+                        if spill_dir is not None
+                        else pool.submit(
+                            score_chunk,
+                            entries[lo:hi], positives_total, n_total,
+                        )
+                        for lo, hi in ranges
+                    ]
+                    for (lo, hi), future in zip(ranges, futures):
+                        for offset, payload in enumerate(future.result()):
+                            if payload is not None:
+                                findings.append(
+                                    SubgroupFinding(
+                                        subgroup=subgroups[lo + offset],
+                                        **payload,
+                                    )
                                 )
-                            )
-                    metrics.counter("subgroups.evaluated").inc(hi - lo)
-                    write_checkpoint(hi)
-                    if on_progress is not None:
-                        for index in range(lo, hi):
-                            on_progress(index + 1, total)
+                        metrics.counter("subgroups.evaluated").inc(hi - lo)
+                        write_checkpoint(hi)
+                        if on_progress is not None:
+                            for index in range(lo, hi):
+                                on_progress(index + 1, total)
+            finally:
+                if spill_dir is not None:
+                    _merge_spills(tracer, metrics, spill_dir)
+                    shutil.rmtree(spill_dir, ignore_errors=True)
         scan_span.set(evaluated=total - start)
 
     findings.sort(key=lambda f: (-abs(f.gap), f.subgroup.label()))

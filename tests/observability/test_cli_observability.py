@@ -60,7 +60,8 @@ class TestTraceOut:
         root = next(s for s in spans if s["name"] == "audit.run")
         stages = [s for s in spans if s["name"].startswith("audit:")]
         assert stages
-        assert all(s["parent"] == root["id"] for s in stages)
+        assert all(s["parent_span_id"] == root["span_id"] for s in stages)
+        assert all(s["trace_id"] == root["trace_id"] for s in stages)
 
     def test_trace_ends_with_metrics_snapshot(
         self, clean_csv, tmp_path, capsys
@@ -216,3 +217,109 @@ class TestLoggingFlags:
         assert code == 0
         out = capsys.readouterr().out
         json.loads(out)  # stdout is still pure JSON
+
+
+class TestByProcessSummary:
+    @pytest.fixture
+    def parallel_trace(self, intersectional_csv, tmp_path, capsys):
+        trace_path = tmp_path / "scan.trace.jsonl"
+        main(["subgroups", "--data", str(intersectional_csv),
+              "--jobs", "2", "--trace-out", str(trace_path)])
+        capsys.readouterr()
+        return trace_path
+
+    def test_by_process_labels_each_pid_section(
+        self, parallel_trace, capsys
+    ):
+        assert main(["trace", "summarize", str(parallel_trace),
+                     "--by-process"]) == 0
+        out = capsys.readouterr().out
+        sections = [line for line in out.splitlines()
+                    if line.startswith("## pid ")]
+        # the scan parent plus at least one pool worker
+        assert len(sections) >= 2
+        assert "subgroups.score_chunk" in out
+
+    def test_by_process_composes_with_group(self, parallel_trace, capsys):
+        assert main(["trace", "summarize", str(parallel_trace),
+                     "--by-process", "--group"]) == 0
+        assert "## pid " in capsys.readouterr().out
+
+    def test_flat_summary_still_works_on_merged_trace(
+        self, parallel_trace, capsys
+    ):
+        assert main(["trace", "summarize", str(parallel_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "subgroups.scan" in out
+
+
+class TestEventsTail:
+    @pytest.fixture
+    def event_log(self, tmp_path):
+        from repro.observability import EventBus
+
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(sink=path)
+        bus.publish("monitor.drift", stream="s1", delta=0.21)
+        bus.publish("job.failed", job_id="abc", error_type="RuntimeError")
+        bus.publish("job.rejected", job_kind="audit")
+        bus.close()
+        return path
+
+    def test_tail_prints_every_event(self, event_log, capsys):
+        assert main(["events", "tail", str(event_log)]) == 0
+        out = capsys.readouterr().out
+        assert "monitor.drift" in out
+        assert "job.failed" in out
+        assert "job_id=abc" in out
+
+    def test_since_and_kind_filter(self, event_log, capsys):
+        assert main(["events", "tail", str(event_log),
+                     "--since", "1", "--kind", "job"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor.drift" not in out
+        assert "job.failed" in out and "job.rejected" in out
+
+    def test_json_mode_emits_parseable_lines(self, event_log, capsys):
+        assert main(["events", "tail", str(event_log), "--json"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.strip()]
+        assert len(lines) == 3
+        assert json.loads(lines[0])["kind"] == "monitor.drift"
+
+    def test_monitor_events_out_feeds_tail(
+        self, tmp_path, capsys
+    ):
+        data = tmp_path / "drift.csv"
+        assert main(["generate", "--workload", "hiring", "--n", "400",
+                     "--seed", "3", "--bias", "0.4",
+                     "--out", str(data)]) == 0
+        events_path = tmp_path / "monitor-events.jsonl"
+        main(["monitor", "--data", str(data), "--window", "100",
+              "--drift-threshold", "0.01", "--stream-name", "hiring-ab",
+              "--events-out", str(events_path)])
+        capsys.readouterr()
+        assert main(["events", "tail", str(events_path),
+                     "--kind", "monitor.drift"]) == 0
+        out = capsys.readouterr().out
+        assert "stream=hiring-ab" in out
+
+
+class TestLateGlobalFlags:
+    def test_flags_accepted_after_the_subcommand(
+        self, clean_csv, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "late.trace.jsonl"
+        code = main(["monitor", "--data", str(clean_csv),
+                     "--window", "1000", "-v",
+                     "--trace-out", str(trace_path)])
+        assert code in (0, 1)
+        err = capsys.readouterr().err
+        assert f"info: trace written to {trace_path}" in err
+        assert trace_path.exists()
+
+    def test_early_flag_survives_subparser(self, clean_csv, capsys):
+        code = main(["-q", "monitor", "--data", str(clean_csv),
+                     "--window", "1000"])
+        assert code in (0, 1)
+        assert "info:" not in capsys.readouterr().err

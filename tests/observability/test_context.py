@@ -1,0 +1,113 @@
+"""TraceContext: W3C traceparent propagation and head sampling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.observability import TraceContext, head_sample, new_span_id, new_trace_id
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+
+    def test_span_id_is_16_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceContext:
+    def test_generate_makes_a_sampled_root(self):
+        context = TraceContext.generate()
+        assert context.sampled
+        assert len(context.trace_id) == 32
+        assert len(context.span_id) == 16
+
+    def test_child_keeps_trace_id_and_changes_span_id(self):
+        parent = TraceContext.generate()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled == parent.sampled
+
+    def test_invalid_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceContext(trace_id="xyz", span_id=new_span_id())
+        with pytest.raises(ValidationError):
+            TraceContext(trace_id=new_trace_id(), span_id="123")
+
+    def test_dict_roundtrip(self):
+        context = TraceContext.generate()
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            TraceContext.from_dict({"trace_id": "nope"})
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        context = TraceContext.generate()
+        header = context.to_traceparent()
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed == context
+
+    def test_header_shape(self):
+        header = TraceContext.generate().to_traceparent()
+        version, trace_id, span_id, flags = header.split("-")
+        assert version == "00"
+        assert len(trace_id) == 32 and len(span_id) == 16
+        assert flags in ("00", "01")
+
+    def test_unsampled_flag(self):
+        context = TraceContext(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=False
+        )
+        assert context.to_traceparent().endswith("-00")
+        assert not TraceContext.from_traceparent(
+            context.to_traceparent()
+        ).sampled
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "not-a-traceparent",
+        "00-zz-zz-01",
+        # version ff is explicitly invalid in the W3C spec
+        "ff-" + "a" * 32 + "-" + "b" * 16 + "-01",
+        # all-zero ids mean "no trace"
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",
+        # truncated ids
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",
+    ])
+    def test_malformed_headers_parse_to_none(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_incoming_header_from_another_vendor(self):
+        # longer flag fields and future versions must still parse
+        header = "01-" + "a" * 32 + "-" + "b" * 16 + "-01"
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None and parsed.trace_id == "a" * 32
+
+
+class TestHeadSampling:
+    def test_rate_one_always_samples(self):
+        assert all(head_sample(1.0) for _ in range(32))
+
+    def test_rate_zero_never_samples(self):
+        assert not any(head_sample(0.0) for _ in range(32))
+
+    def test_fractional_rate_is_probabilistic(self):
+        rng = random.Random(7)
+        hits = sum(head_sample(0.5, rng=rng) for _ in range(2000))
+        assert 850 < hits < 1150

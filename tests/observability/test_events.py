@@ -1,0 +1,164 @@
+"""EventBus: ring semantics, cursors, sinks, and the tolerant reader."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.observability import (
+    EventBus,
+    get_event_bus,
+    read_events,
+    use_event_bus,
+)
+
+
+class TestPublish:
+    def test_events_get_monotonic_seq(self):
+        bus = EventBus()
+        first = bus.publish("job.failed", job_id="a")
+        second = bus.publish("job.failed", job_id="b")
+        assert second.seq == first.seq + 1
+        assert bus.last_seq == second.seq
+
+    def test_payload_and_kind_captured(self):
+        bus = EventBus()
+        event = bus.publish("monitor.drift", stream="s1", delta=0.2)
+        assert event.kind == "monitor.drift"
+        assert event.payload == {"stream": "s1", "delta": 0.2}
+        assert event.to_dict()["payload"]["stream"] == "s1"
+
+    def test_ring_evicts_oldest(self):
+        bus = EventBus(capacity=4)
+        for index in range(10):
+            bus.publish("k", index=index)
+        events = bus.since(0)
+        assert len(events) == 4
+        assert [e.payload["index"] for e in events] == [6, 7, 8, 9]
+        # seq keeps counting across evictions
+        assert bus.last_seq == 10
+
+
+class TestSince:
+    def test_cursor_excludes_already_seen(self):
+        bus = EventBus()
+        bus.publish("a")
+        second = bus.publish("b")
+        assert [e.seq for e in bus.since(second.seq - 1)] == [second.seq]
+        assert bus.since(second.seq) == []
+
+    def test_kind_filter_exact_and_dotted_prefix(self):
+        bus = EventBus()
+        bus.publish("job.failed")
+        bus.publish("job.rejected")
+        bus.publish("jobx.other")
+        bus.publish("monitor.drift")
+        assert len(bus.since(0, kind="job")) == 2
+        assert len(bus.since(0, kind="job.failed")) == 1
+        assert len(bus.since(0, kind="monitor.drift")) == 1
+
+    def test_limit_keeps_oldest(self):
+        bus = EventBus()
+        for index in range(5):
+            bus.publish("k", index=index)
+        limited = bus.since(0, limit=2)
+        assert [e.payload["index"] for e in limited] == [0, 1]
+
+
+class TestSubscribers:
+    def test_subscribers_see_each_event(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("a")
+        bus.publish("b")
+        assert [e.kind for e in seen] == ["a", "b"]
+
+    def test_subscriber_exception_never_breaks_publish(self):
+        bus = EventBus()
+
+        def explode(event):
+            raise RuntimeError("alert hook down")
+
+        seen = []
+        bus.subscribe(explode)
+        bus.subscribe(seen.append)
+        event = bus.publish("job.failed")
+        assert event.seq == 1
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.unsubscribe(seen.append)
+        bus.publish("a")
+        assert seen == []
+
+    def test_concurrent_publishers_never_lose_seq(self):
+        bus = EventBus(capacity=4096)
+
+        def pump():
+            for _ in range(200):
+                bus.publish("k")
+
+        threads = [threading.Thread(target=pump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = bus.since(0)
+        assert bus.last_seq == 800
+        assert len({e.seq for e in events}) == len(events)
+
+
+class TestSink:
+    def test_sink_is_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(sink=path)
+        bus.publish("job.failed", job_id="x")
+        bus.publish("monitor.drift", delta=0.3)
+        bus.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = json.loads(lines[0])
+        assert parsed["kind"] == "job.failed"
+        assert parsed["payload"]["job_id"] == "x"
+
+    def test_read_events_roundtrip_with_filters(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(sink=path)
+        for index in range(5):
+            bus.publish("job.failed" if index % 2 else "monitor.drift",
+                        index=index)
+        bus.close()
+        assert len(read_events(path)) == 5
+        assert len(read_events(path, since=3)) == 2
+        assert all(e["kind"] == "job.failed"
+                   for e in read_events(path, kind="job"))
+
+    def test_read_events_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus(sink=path)
+        bus.publish("a")
+        bus.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "kind": "b", "pay')  # torn write
+        events = read_events(path)
+        assert [e["kind"] for e in events] == ["a"]
+
+    def test_close_is_idempotent_and_ring_survives(self, tmp_path):
+        bus = EventBus(sink=tmp_path / "e.jsonl")
+        bus.publish("a")
+        bus.close()
+        bus.close()
+        assert len(bus.since(0)) == 1
+
+
+class TestGlobalBus:
+    def test_use_event_bus_scopes_and_restores(self):
+        default = get_event_bus()
+        with use_event_bus() as scoped:
+            assert get_event_bus() is scoped
+            assert scoped is not default
+        assert get_event_bus() is default

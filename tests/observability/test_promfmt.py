@@ -1,0 +1,163 @@
+"""Prometheus text exposition: rendering and the strict checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.observability import (
+    MetricsRegistry,
+    PROM_CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("service.jobs_submitted").inc(3)
+    registry.counter("subgroups.chunks_scored", backend="kernel").inc(2)
+    registry.gauge("service.queue_depth").set(5)
+    for value in (0.003, 0.02, 0.3, 1.7):
+        registry.observe("stage.elapsed", value)
+    return registry
+
+
+class TestRender:
+    def test_content_type_is_prometheus_text(self):
+        assert PROM_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROM_CONTENT_TYPE
+
+    def test_names_are_sanitised_and_namespaced(self, registry):
+        text = render_prometheus(registry)
+        assert "repro_service_jobs_submitted_total 3" in text
+        assert "repro_service_queue_depth 5" in text
+        # dots become underscores in metric names; the original dotted
+        # name survives only in HELP comments
+        samples = [line for line in text.splitlines()
+                   if line and not line.startswith("#")]
+        assert all("service.jobs" not in line for line in samples)
+
+    def test_counter_labels_render(self, registry):
+        text = render_prometheus(registry)
+        assert (
+            'repro_subgroups_chunks_scored_total{backend="kernel"} 2'
+            in text
+        )
+
+    def test_histogram_is_cumulative_with_inf(self, registry):
+        text = render_prometheus(registry)
+        assert 'repro_stage_elapsed_bucket{le="+Inf"} 4' in text
+        assert "repro_stage_elapsed_count 4" in text
+        assert "repro_stage_elapsed_sum" in text
+
+    def test_help_and_type_lines_present(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE repro_service_jobs_submitted_total counter" in text
+        assert "# TYPE repro_stage_elapsed histogram" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd", path='a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parse_prometheus(text)
+
+
+class TestRoundtrip:
+    def test_rendered_output_passes_the_strict_checker(self, registry):
+        families = parse_prometheus(render_prometheus(registry))
+        assert "repro_service_jobs_submitted_total" in families
+        assert families["repro_service_jobs_submitted_total"]["type"] == (
+            "counter"
+        )
+        histogram = families["repro_stage_elapsed"]
+        assert histogram["type"] == "histogram"
+
+    def test_empty_registry_renders_valid_empty_exposition(self):
+        assert parse_prometheus(render_prometheus(MetricsRegistry())) == {}
+
+
+class TestStrictChecker:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus("repro_x_total 1\n")
+
+    def test_duplicate_type_rejected(self):
+        text = (
+            "# TYPE repro_x_total counter\nrepro_x_total 1\n"
+            "# TYPE repro_x_total counter\nrepro_x_total 2\n"
+        )
+        with pytest.raises(ValidationError):
+            parse_prometheus(text)
+
+    def test_counter_must_end_in_total(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus("# TYPE repro_x counter\nrepro_x 1\n")
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1"} 3\n'
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValidationError):
+            parse_prometheus(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 6\n"
+        )
+        with pytest.raises(ValidationError):
+            parse_prometheus(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValidationError):
+            parse_prometheus(text)
+
+    def test_bucket_without_le_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            "repro_h_bucket 5\n"
+            "repro_h_sum 1\n"
+            "repro_h_count 5\n"
+        )
+        with pytest.raises(ValidationError):
+            parse_prometheus(text)
+
+    def test_malformed_label_grammar_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_prometheus(
+                "# TYPE repro_x_total counter\n"
+                "repro_x_total{oops} 1\n"
+            )
+
+    def test_histograms_validated_per_label_group(self):
+        # two label groups, each internally consistent → accepted
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{kind="a",le="1"} 2\n'
+            'repro_h_bucket{kind="a",le="+Inf"} 2\n'
+            'repro_h_sum{kind="a"} 0.5\n'
+            'repro_h_count{kind="a"} 2\n'
+            'repro_h_bucket{kind="b",le="1"} 1\n'
+            'repro_h_bucket{kind="b",le="+Inf"} 3\n'
+            'repro_h_sum{kind="b"} 4.0\n'
+            'repro_h_count{kind="b"} 3\n'
+        )
+        families = parse_prometheus(text)
+        assert families["repro_h"]["type"] == "histogram"

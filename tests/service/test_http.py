@@ -69,10 +69,31 @@ def _poll_done(httpd, job_id, timeout=60):
 
 class TestRoutes:
     def test_healthz_and_metrics(self, server):
+        from repro.observability import PROM_CONTENT_TYPE, parse_prometheus
+
         status, health = _get(server, "/healthz")
         assert status == 200 and health["status"] == "ok"
-        status, snapshot = _get(server, "/metrics")
-        assert status == 200 and isinstance(snapshot, dict)
+
+        # default representation: Prometheus text that the strict
+        # in-repo checker accepts
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{server.port}/metrics"
+        ) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROM_CONTENT_TYPE
+            families = parse_prometheus(response.read().decode())
+        assert isinstance(families, dict)
+        assert all(name.startswith("repro_") for name in families)
+
+        # JSON snapshot behind content negotiation
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/metrics",
+            headers={"Accept": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            assert response.status == 200
+            snapshot = json.loads(response.read())
+        assert isinstance(snapshot, dict)
 
     def test_submit_poll_preview_paginate_raw(self, server, hiring_csv):
         status, _, job = _post(
