@@ -1,0 +1,244 @@
+"""S2 — out-of-core: full audit battery over 100M rows in bounded memory.
+
+The out-of-core data plane's promise is that dataset size stops being a
+memory question.  This bench packs ``REPRO_S2_ROWS`` rows (default
+100M; CI runs 1M) and audits them in child processes whose peak RSS is
+measured from the outside:
+
+* **scan child** — a checkpointed subgroup scan (interrupted, then
+  resumed with ``jobs=2``) runs under a *constant* RSS ceiling: every
+  scan path reads fixed-size chunks, so the bound is the same at 1M
+  and 100M rows, and the resumed findings must equal the uninterrupted
+  scan's exactly.
+* **battery child** — the streaming battery's chunked ingest is
+  constant-memory too; finalisation materialises the count
+  reconstruction (one int/str cell value per dimension per row), so
+  the battery child gets a *per-row byte budget* on top of the base
+  ceiling — linear with a small audited constant, never an
+  object-per-row blowup.
+
+Throughput must clear ``MIN_ROWS_PER_SECOND``.  Results land in
+``BENCH_S2.json`` for the cross-PR trajectory.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import Column, Schema
+from repro.data.ooc import PackedWriter
+
+from benchmarks.conftest import report, write_bench_json
+
+N_ROWS = int(os.environ.get("REPRO_S2_ROWS", str(100_000_000)))
+GEN_CHUNK = 1_000_000
+#: conservative floor for the streaming battery's chunked ingest — the
+#: bincount kernel sustains millions of rows/s; falling below this
+#: means a per-row path crept into the chunk loop.
+MIN_ROWS_PER_SECOND = 500_000
+#: constant ceiling on the scan child's peak RSS.  Deliberately NOT a
+#: function of the row count: every subgroup-scan path reads bounded
+#: chunks, so the same number must hold at 1M rows (CI) and 100M rows.
+SCAN_MAX_RSS_MB = 800
+#: the battery child gets the same base plus a per-row byte budget for
+#: finalisation: the count reconstruction (3 int64 dims here) plus the
+#: audit's own code tables, intersection labels, and metric masks.
+#: Measured ~230 B/row peak; 384 gives headroom while still catching an
+#: object-per-row regression (Python-object columns alone cost more).
+BATTERY_BASE_MB = 800
+BATTERY_BYTES_PER_ROW = 384
+
+_SCHEMA = Schema(
+    (
+        Column(name="gender", kind="categorical", role="protected",
+               categories=(0, 1)),
+        Column(name="race", kind="categorical", role="protected",
+               categories=(0, 1, 2)),
+        Column(name="promoted", kind="binary", role="label"),
+        Column(name="pred", kind="binary", role="prediction"),
+    )
+)
+
+
+def _pack(path: Path, n_rows: int) -> float:
+    """Write the synthetic pack chunk-by-chunk; returns wall seconds."""
+    rng = np.random.default_rng(29)
+    start = time.perf_counter()
+    with PackedWriter(path, _SCHEMA, chunk_rows=GEN_CHUNK) as writer:
+        remaining = n_rows
+        while remaining:
+            size = min(GEN_CHUNK, remaining)
+            gender = rng.integers(0, 2, size=size)
+            race = rng.integers(0, 3, size=size)
+            base = 0.35 + 0.08 * gender - 0.05 * (race == 2)
+            promoted = (rng.random(size) < base).astype(np.int64)
+            pred = (rng.random(size) < base + 0.04 * gender).astype(np.int64)
+            writer.append({
+                "gender": gender, "race": race,
+                "promoted": promoted, "pred": pred,
+            })
+            remaining -= size
+    return time.perf_counter() - start
+
+
+_CHILD = """
+import json, resource, sys, time
+import numpy as np
+from repro.data import open_dataset
+
+mode, pack_path, work_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+data = open_dataset(pack_path)
+out = {"n_rows": data.n_rows}
+
+if mode == "battery":
+    from repro.core.serialize import report_to_dict
+    from repro.data.ooc import stream_chunks
+    from repro.streaming import finalize, ingest_stream
+
+    # chunked ingest is the part that scales with rows; finalize is the
+    # fixed per-battery cost over the count reconstruction — timed
+    # apart so the throughput floor measures the out-of-core read path.
+    start = time.perf_counter()
+    accumulator = ingest_stream(stream_chunks(data), None)
+    out["ingest_seconds"] = time.perf_counter() - start
+    start = time.perf_counter()
+    battery = report_to_dict(finalize(accumulator, None))
+    out["finalize_seconds"] = time.perf_counter() - start
+    battery.pop("provenance", None)
+    out["battery_metrics"] = len(battery.get("metrics", battery))
+else:
+    from repro.subgroup import audit_subgroups
+
+    predictions = data.column("pred")
+
+    def signatures(findings):
+        return [
+            (list(f.subgroup.conditions), f.subgroup.size, f.rate,
+             f.complement_rate, f.gap, f.ci_low, f.ci_high, f.p_value)
+            for f in findings
+        ]
+
+    scan_kwargs = dict(max_order=2, min_size=max(100, data.n_rows // 1000),
+                       checkpoint_every=3)
+    start = time.perf_counter()
+    full = audit_subgroups(predictions, data, jobs=2,
+                           checkpoint_path=work_dir + "/full.json",
+                           **scan_kwargs)
+    out["scan_seconds"] = time.perf_counter() - start
+    out["n_findings"] = len(full)
+
+    class Stop(Exception):
+        pass
+
+    def stop_after(evaluated, total):
+        if evaluated >= 4:
+            raise Stop
+
+    start = time.perf_counter()
+    try:
+        audit_subgroups(predictions, data, on_progress=stop_after,
+                        checkpoint_path=work_dir + "/resume.json",
+                        **scan_kwargs)
+        out["interrupted"] = False
+    except Stop:
+        out["interrupted"] = True
+    resumed = audit_subgroups(predictions, data, jobs=2, resume=True,
+                              checkpoint_path=work_dir + "/resume.json",
+                              **scan_kwargs)
+    out["resume_seconds"] = time.perf_counter() - start
+    out["resume_identical"] = signatures(resumed) == signatures(full)
+
+out["max_rss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+json.dump(out, sys.stdout)
+"""
+
+
+def _run_child(mode: str, pack_path: Path, work_dir: Path, env: dict) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(pack_path), str(work_dir)],
+        env=env, capture_output=True, text=True, timeout=7200,
+    )
+    assert proc.returncode == 0, f"{mode} child failed: {proc.stderr[-4000:]}"
+    return json.loads(proc.stdout)
+
+
+def test_s2_outofcore(benchmark, tmp_path):
+    pack_path = tmp_path / "s2-pack"
+    pack_s = _pack(pack_path, N_ROWS)
+    pack_bytes = sum(f.stat().st_size for f in pack_path.iterdir())
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [src, env.get("PYTHONPATH", "")] if p
+    )
+
+    def experiment():
+        return (
+            _run_child("battery", pack_path, tmp_path, env),
+            _run_child("scan", pack_path, tmp_path, env),
+        )
+
+    battery, scan = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows_per_s = N_ROWS / battery["ingest_seconds"]
+    battery_rss_mb = battery["max_rss_kb"] / 1024
+    scan_rss_mb = scan["max_rss_kb"] / 1024
+    battery_budget_mb = (
+        BATTERY_BASE_MB + N_ROWS * BATTERY_BYTES_PER_ROW / 2**20
+    )
+
+    report("S2 out-of-core audit", [
+        ("rows", "pack_s", "pack_mb", "ingest_s", "rows/s", "finalize_s",
+         "battery_rss_mb", "scan_s", "resume_s", "scan_rss_mb"),
+        (N_ROWS, round(pack_s, 1), round(pack_bytes / 2**20),
+         round(battery["ingest_seconds"], 2), round(rows_per_s),
+         round(battery["finalize_seconds"], 2), round(battery_rss_mb),
+         round(scan["scan_seconds"], 2), round(scan["resume_seconds"], 2),
+         round(scan_rss_mb)),
+    ])
+    write_bench_json("S2", {
+        "n_rows": N_ROWS,
+        "pack_seconds": round(pack_s, 3),
+        "pack_bytes": pack_bytes,
+        "ingest_seconds": round(battery["ingest_seconds"], 3),
+        "finalize_seconds": round(battery["finalize_seconds"], 3),
+        "battery_rows_per_second": round(rows_per_s),
+        "battery_rss_mb": round(battery_rss_mb, 1),
+        "scan_seconds": round(scan["scan_seconds"], 3),
+        "resume_seconds": round(scan["resume_seconds"], 3),
+        "scan_rss_mb": round(scan_rss_mb, 1),
+        "n_findings": scan["n_findings"],
+        "floors": {
+            "min_rows_per_second": MIN_ROWS_PER_SECOND,
+            "scan_max_rss_mb": SCAN_MAX_RSS_MB,
+            "battery_base_mb": BATTERY_BASE_MB,
+            "battery_bytes_per_row": BATTERY_BYTES_PER_ROW,
+            "battery_budget_mb": round(battery_budget_mb, 1),
+        },
+    })
+
+    assert scan["interrupted"], "interrupt hook never fired"
+    assert scan["resume_identical"], (
+        "resumed scan diverged from the uninterrupted scan"
+    )
+    assert rows_per_s >= MIN_ROWS_PER_SECOND, (
+        f"streaming battery regressed: {rows_per_s:.0f} rows/s "
+        f"< floor {MIN_ROWS_PER_SECOND}"
+    )
+    assert scan_rss_mb <= SCAN_MAX_RSS_MB, (
+        f"scan child peaked at {scan_rss_mb:.0f} MB RSS "
+        f"> constant ceiling {SCAN_MAX_RSS_MB} MB — scan memory is "
+        f"scaling with rows"
+    )
+    assert battery_rss_mb <= battery_budget_mb, (
+        f"battery child peaked at {battery_rss_mb:.0f} MB RSS "
+        f"> budget {battery_budget_mb:.0f} MB "
+        f"({BATTERY_BASE_MB} MB + {BATTERY_BYTES_PER_ROW} B/row) — "
+        f"finalisation is spending more than its per-row byte budget"
+    )

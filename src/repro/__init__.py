@@ -73,7 +73,7 @@ from repro.streaming import (  # noqa: E402
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 from repro.service import JobEngine, JobRecord  # noqa: E402
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

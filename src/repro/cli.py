@@ -39,6 +39,12 @@ with ``--checkpoint``/``--resume`` for interruption-safe ingest and
 folds shard states together; ``monitor`` replays a dataset as a
 windowed stream and flags fairness drift (Section IV.E).
 
+Out-of-core (see ``docs/performance.md``): ``repro data pack`` converts
+a CSV into the packed columnar format (one memmap-openable ``.npy`` per
+column + ``dataset.json`` sidecar) and ``repro data inspect`` summarises
+or re-verifies a pack; every ``--data`` flag accepts a packed directory
+in place of a CSV, so full-population audits run in bounded memory.
+
 Observability (see ``docs/observability.md``): global ``-v``/``-q``
 control log verbosity and ``--log-json`` switches stderr logging to
 JSON lines; the audit-style subcommands take ``--trace-out PATH`` to
@@ -439,6 +445,35 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--json", action="store_true", dest="as_json",
                       help="print raw JSON lines instead of the "
                       "formatted view")
+
+    data = sub.add_parser(
+        "data",
+        help="pack/inspect out-of-core columnar datasets",
+    )
+    data_sub = data.add_subparsers(dest="data_command", required=True)
+    pack = data_sub.add_parser(
+        "pack",
+        help="pack a CSV dataset into the columnar on-disk format "
+        "(one memmap-openable .npy per column + dataset.json sidecar)",
+    )
+    pack.add_argument("--data", required=True, help="CSV written by generate")
+    pack.add_argument("--schema", default=None,
+                      help="schema JSON (default: <data>.schema.json)")
+    pack.add_argument("--out", required=True, metavar="DIR",
+                      help="output directory for the packed dataset")
+    pack.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                      help="rows per packed write chunk (default 1Mi)")
+    inspect = data_sub.add_parser(
+        "inspect",
+        help="summarise a packed dataset's sidecar (rows, schema, "
+        "fingerprint) without reading column data",
+    )
+    inspect.add_argument("path", help="packed dataset directory")
+    inspect.add_argument("--verify", action="store_true",
+                         help="re-hash the column bytes against the "
+                         "recorded fingerprint (reads the whole pack)")
+    inspect.add_argument("--format", choices=("text", "json"),
+                         default="text")
 
     return parser
 
@@ -876,6 +911,56 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_data(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.data.ooc import (
+        DEFAULT_CHUNK_ROWS,
+        PACK_SIDECAR,
+        open_dataset,
+        pack_dataset,
+        packed_fingerprint,
+    )
+
+    if args.data_command == "pack":
+        dataset = load_dataset(args.data, args.schema)
+        chunk_rows = args.chunk_rows or DEFAULT_CHUNK_ROWS
+        path = pack_dataset(dataset, args.out, chunk_rows=chunk_rows)
+        print(
+            f"packed {dataset.n_rows} rows x {len(list(dataset.schema))} "
+            f"columns -> {path}"
+        )
+        print(f"fingerprint {packed_fingerprint(path)}")
+        return 0
+
+    dataset = open_dataset(args.path, verify=args.verify)
+    payload = json_module.loads((Path(args.path) / PACK_SIDECAR).read_text())
+    if args.format == "json":
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"packed dataset {dataset.path}")
+    print(f"rows           {dataset.n_rows}")
+    print(f"fingerprint    {payload['fingerprint']}")
+    if args.verify:
+        print("verify         OK (column bytes match the fingerprint)")
+    print()
+    print(f"{'column':<24} {'kind':<12} {'role':<12} {'dtype':<8} categories")
+    for entry in payload["columns"]:
+        col = dataset.schema[entry["name"]]
+        codes = entry.get("codes")
+        cats = (
+            ", ".join(repr(c) for c in codes["categories"])
+            if codes
+            else "-"
+        )
+        print(
+            f"{entry['name']:<24} {col.kind:<12} {col.role:<12} "
+            f"{entry['dtype']:<8} {cats}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "audit": _cmd_audit,
@@ -891,6 +976,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "trace": _cmd_trace,
     "events": _cmd_events,
+    "data": _cmd_data,
 }
 
 

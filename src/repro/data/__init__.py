@@ -17,6 +17,15 @@ from repro.data.generators import (
     make_recidivism,
 )
 from repro.data.marginals import PopulationMarginals
+from repro.data.ooc import (
+    MemmapDataset,
+    PackedWriter,
+    is_packed,
+    open_dataset,
+    pack_dataset,
+    packed_fingerprint,
+    stream_chunks,
+)
 from repro.data.schema import Column, ColumnKind, ColumnRole, Schema
 
 __all__ = [
@@ -25,6 +34,13 @@ __all__ = [
     "ColumnRole",
     "Schema",
     "TabularDataset",
+    "MemmapDataset",
+    "PackedWriter",
+    "pack_dataset",
+    "open_dataset",
+    "is_packed",
+    "packed_fingerprint",
+    "stream_chunks",
     "PopulationMarginals",
     "make_hiring",
     "make_credit",

@@ -96,6 +96,24 @@ class TabularDataset:
             raise DatasetError(f"columns have mismatched lengths: {lengths}")
         self._n_rows = next(iter(lengths.values())) if lengths else 0
 
+    @classmethod
+    def _trusted(
+        cls, schema: Schema, columns: dict[str, np.ndarray], n_rows: int
+    ) -> "TabularDataset":
+        """Build a dataset from already-canonical column arrays.
+
+        Internal fast path for operations whose outputs are canonical by
+        construction (``take``/``concat`` of validated columns, packed
+        chunk reads): skips the per-column re-validation *and the copy*
+        of ``__init__``.  Callers guarantee the arrays are 1-D, schema
+        complete, length-consistent, read-only, and dtype-canonical.
+        """
+        ds = object.__new__(cls)
+        ds._schema = schema
+        ds._columns = columns
+        ds._n_rows = n_rows
+        return ds
+
     # -- basic access ------------------------------------------------------
 
     @property
@@ -195,10 +213,20 @@ class TabularDataset:
                     f"boolean mask length {len(indices)} != n_rows {self._n_rows}"
                 )
             indices = np.flatnonzero(indices)
-        return TabularDataset(
-            self._schema,
-            {name: arr[indices] for name, arr in self._columns.items()},
-        )
+        if indices.ndim != 1:
+            raise DatasetError(
+                f"take indices must be 1-dimensional, got shape {indices.shape}"
+            )
+        # fancy indexing of already-canonical columns yields canonical
+        # arrays (dtype preserved, fresh contiguous copy), so the
+        # re-validating constructor — and its second full copy — is
+        # unnecessary here.
+        columns: dict[str, np.ndarray] = {}
+        for name, arr in self._columns.items():
+            picked = arr[indices]
+            picked.setflags(write=False)
+            columns[name] = picked
+        return TabularDataset._trusted(self._schema, columns, len(indices))
 
     def filter(self, **conditions) -> "TabularDataset":
         """Rows where every ``column=value`` condition holds.
@@ -291,6 +319,18 @@ class TabularDataset:
             raise DatasetError(
                 "cannot concat datasets with different columns: "
                 f"{self._schema.names()} vs {other.schema.names()}"
+            )
+        if other.schema == self._schema:
+            # identical schemas mean both sides' columns are already
+            # canonical for *this* schema; concatenate once and skip the
+            # validating constructor's second full copy.
+            columns: dict[str, np.ndarray] = {}
+            for name in self._schema.names():
+                joined = np.concatenate([self._columns[name], other.column(name)])
+                joined.setflags(write=False)
+                columns[name] = joined
+            return TabularDataset._trusted(
+                self._schema, columns, self._n_rows + other.n_rows
             )
         data = {
             name: np.concatenate([self._columns[name], other.column(name)])

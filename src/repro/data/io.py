@@ -113,8 +113,18 @@ def load_dataset(data_path, schema_path=None) -> TabularDataset:
     DatasetError` naming the offending file — and, for truncated or
     malformed content, the byte offset of the corruption — rather than
     letting a raw ``json``/``ValueError`` escape into the audit.
+
+    A *directory* is treated as a packed columnar dataset and opened as
+    a :class:`~repro.data.ooc.MemmapDataset` (``schema_path`` is ignored
+    — packed datasets carry their schema in the ``dataset.json``
+    sidecar).  Every CLI/service path that loads by file name therefore
+    accepts packed datasets transparently.
     """
     data_path = Path(data_path)
+    if data_path.is_dir():
+        from repro.data.ooc import open_dataset
+
+        return open_dataset(data_path)
     if schema_path is None:
         schema_path = data_path.with_suffix(data_path.suffix + ".schema.json")
     schema_path = Path(schema_path)

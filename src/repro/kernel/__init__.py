@@ -34,11 +34,13 @@ from repro.kernel.contingency import (
 )
 from repro.kernel.parallel import (
     chunk_ranges,
+    count_score_chunk,
     read_spills,
     score_chunk,
     score_chunk_telemetry,
     score_counts,
 )
+from repro.kernel.shm import attach_array, publish, release_all
 
 __all__ = [
     "BACKENDS",
@@ -58,6 +60,10 @@ __all__ = [
     "score_counts",
     "score_chunk",
     "score_chunk_telemetry",
+    "count_score_chunk",
     "read_spills",
     "chunk_ranges",
+    "publish",
+    "attach_array",
+    "release_all",
 ]

@@ -181,8 +181,17 @@ def cache_put(arrays: tuple, extra, value):
 
 
 def clear_cache() -> None:
-    """Drop every cached table/count tensor (test isolation hook)."""
+    """Drop every cached table/count tensor and published shm segment.
+
+    Shared-memory segments published for ``jobs=N`` scans (see
+    :mod:`repro.kernel.shm`) are part of the code-table cache lifecycle:
+    clearing the cache must also unlink them, or every cleared scan
+    would leak a ``/dev/shm`` file until interpreter exit.
+    """
     _cache.clear()
+    from repro.kernel import shm
+
+    shm.release_all()
 
 
 def codes_for(values, categories: list | None = None) -> CodeTable:

@@ -31,6 +31,7 @@ __all__ = [
     "score_counts",
     "score_chunk",
     "score_chunk_telemetry",
+    "count_score_chunk",
     "read_spills",
     "chunk_ranges",
 ]
@@ -144,6 +145,141 @@ def score_chunk_telemetry(
             + "\n"
         )
     return result
+
+
+# -- zero-copy counting workers (out-of-core data plane) ---------------------
+#
+# Since ISSUE 8 the parent no longer counts: workers receive *source
+# manifests* — ``{"kind": "shm", ...}`` naming a shared-memory segment
+# published by :mod:`repro.kernel.shm`, or ``{"kind": "npy", ...}``
+# locating a packed column file — and derive the count pairs themselves.
+# No column-sized array ever crosses the pickle boundary.
+
+#: per-process source cache, keyed by the scan token: attached segments,
+#: their array views, and per-subset count tensors.  Reset whenever a
+#: different scan's token arrives, so a long-lived pool worker holds at
+#: most one scan's attachments.
+_WORKER_SOURCES: dict = {
+    "token": None,
+    "segments": {},
+    "arrays": {},
+    "counts": {},
+}
+
+
+def _reset_worker_sources() -> None:
+    for segment in _WORKER_SOURCES["segments"].values():
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover — mapping already gone
+            pass
+    _WORKER_SOURCES.update(token=None, segments={}, arrays={}, counts={})
+
+
+def _ensure_token(token: str) -> dict:
+    if _WORKER_SOURCES["token"] != token:
+        _reset_worker_sources()
+        _WORKER_SOURCES["token"] = token
+    return _WORKER_SOURCES
+
+
+def _read_int64(manifest: dict, lo: int, hi: int, fresh: bool) -> np.ndarray:
+    """Rows ``[lo, hi)`` of a source manifest as int64.
+
+    ``fresh=True`` guarantees a private writable array (the accumulator
+    the caller mutates in place); ``fresh=False`` may return a read-only
+    view into shared memory (used only as a right-hand side).
+    """
+    if manifest["kind"] == "shm":
+        arrays = _WORKER_SOURCES["arrays"]
+        array = arrays.get(manifest["name"])
+        if array is None:
+            from repro.kernel import shm as _shm
+
+            array, segment = _shm.attach_array(manifest)
+            _WORKER_SOURCES["segments"][manifest["name"]] = segment
+            arrays[manifest["name"]] = array
+        chunk = array[lo:hi]
+        return np.array(chunk, dtype=np.int64) if fresh else chunk
+    dtype = np.dtype(manifest["dtype"])
+    count = hi - lo
+    chunk = np.fromfile(
+        manifest["path"],
+        dtype=dtype,
+        count=count,
+        offset=manifest["offset"] + lo * dtype.itemsize,
+    )
+    if len(chunk) != count:
+        raise OSError(
+            f"short read from {manifest['path']}: wanted rows [{lo}, {hi}), "
+            f"got {len(chunk)}"
+        )
+    return chunk if chunk.dtype == np.int64 else chunk.astype(np.int64)
+
+
+def _subset_cell_counts(sources: dict, subset_idx: int) -> np.ndarray:
+    """``(n_cells, 2)`` joint counts for one attribute subset, cached.
+
+    Chunked row-major fold of the subset's code sources against the
+    prediction source — integer bincount accumulation, so the result is
+    bit-identical to a one-shot :func:`repro.kernel.contingency.
+    joint_counts` over the whole column.
+    """
+    state = _ensure_token(sources["token"])
+    cached = state["counts"].get(subset_idx)
+    if cached is not None:
+        return cached
+    subset = sources["subsets"][subset_idx]
+    manifests = subset["columns"]
+    n_categories = subset["n_categories"]
+    n_cells = 1
+    for n in n_categories:
+        n_cells *= n
+    n_rows = sources["n_rows"]
+    step = sources["chunk_rows"]
+    totals = np.zeros(n_cells * 2, dtype=np.int64)
+    for lo in range(0, n_rows, step):
+        hi = min(lo + step, n_rows)
+        combined = _read_int64(manifests[0], lo, hi, fresh=True)
+        for manifest, n_cats in zip(manifests[1:], n_categories[1:]):
+            combined *= n_cats
+            combined += _read_int64(manifest, lo, hi, fresh=False)
+        combined *= 2
+        combined += _read_int64(sources["predictions"], lo, hi, fresh=False)
+        totals += np.bincount(combined, minlength=n_cells * 2)
+    counts = totals.reshape(n_cells, 2)
+    state["counts"][subset_idx] = counts
+    return counts
+
+
+def count_score_chunk(
+    sources: dict,
+    items: list[tuple[int, int, int]],
+    positives_total: int,
+    n_total: int,
+    spill: dict | None = None,
+) -> list[dict | None]:
+    """Derive count pairs from shared sources, then score the chunk.
+
+    ``sources`` carries the scan ``token``, ``n_rows``, ``chunk_rows``,
+    a ``predictions`` manifest, and per-subset column manifests;
+    ``items`` is the chunk's ``(subset_idx, cell, size)`` triples.  The
+    per-subset count tensors are computed once per worker process and
+    reused across chunks of the same scan, so each worker reads every
+    source row at most once however many chunks it scores.
+
+    With ``spill`` the scoring runs through
+    :func:`score_chunk_telemetry`, preserving the frozen telemetry
+    contract (``subgroups.score_chunk`` spans, chunk/entry counters,
+    spill file format) byte-for-byte.
+    """
+    entries = [
+        (int(_subset_cell_counts(sources, subset_idx)[cell, 1]), size)
+        for subset_idx, cell, size in items
+    ]
+    if spill is None:
+        return score_chunk(entries, positives_total, n_total)
+    return score_chunk_telemetry(entries, positives_total, n_total, spill)
 
 
 def read_spills(spill_dir) -> list[dict]:

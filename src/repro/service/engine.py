@@ -280,11 +280,22 @@ class JobEngine:
                     "submit() needs params['data'] (a dataset path) or an "
                     "in-process dataset= argument"
                 )
-            schema = params.get("schema")
-            if schema is None:
-                sidecar = Path(str(data) + ".schema.json")
-                schema = str(sidecar) if sidecar.exists() else None
-            ds_fp = file_fingerprint(data, schema)
+            if Path(str(data)).is_dir():
+                # packed columnar dataset: its sidecar already records
+                # the content fingerprint, so the cache key costs one
+                # JSON read however many rows the pack holds.
+                from repro.data.ooc import packed_fingerprint
+
+                try:
+                    ds_fp = packed_fingerprint(data)
+                except DatasetError as exc:
+                    raise ValidationError(str(exc)) from exc
+            else:
+                schema = params.get("schema")
+                if schema is None:
+                    sidecar = Path(str(data) + ".schema.json")
+                    schema = str(sidecar) if sidecar.exists() else None
+                ds_fp = file_fingerprint(data, schema)
             resumable = True
             predictions = None  # path jobs audit the labels on disk
         job = JobRecord(
@@ -703,6 +714,11 @@ class JobEngine:
 
     def _run_audit(self, job, dataset, predictions, config, cancel):
         chunk_size = job.params.get("chunk_size")
+        if not chunk_size and hasattr(dataset, "chunk_rows"):
+            # packed datasets default to chunked ingestion: a full-
+            # population audit must never materialise the pack, and the
+            # streaming path is byte-identical to the in-memory one.
+            chunk_size = dataset.chunk_rows
         if not chunk_size:
             from repro.api import audit as run_audit
 

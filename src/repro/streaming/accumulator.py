@@ -383,16 +383,26 @@ class AuditAccumulator:
         if self.n_rows == 0:
             raise AuditError("accumulator is empty; ingest chunks first")
         dims = self._dims
-        columns: dict[str, list] = {name: [] for name in dims}
-        for key, count in self._sorted_cells():
-            for name, value in zip(dims, key):
-                columns[name].extend([value] * count)
+        cells = self._sorted_cells()
+        counts = np.asarray([count for _key, count in cells])
+        # one np.repeat per dimension over the per-cell value list — the
+        # reconstruction costs O(n_rows) array bytes, never O(n_rows)
+        # Python objects (a list-of-objects build is a ~10x memory
+        # amplification that breaks out-of-core finalisation).
+        columns = {
+            name: np.repeat(
+                np.asarray([key[axis] for key, _count in cells]), counts
+            )
+            for axis, name in enumerate(dims)
+        }
+
+        def cell_values(name):
+            return [key[dims.index(name)] for key, _count in cells]
 
         schema_columns = []
         data = {}
         for name in self.protected:
-            values = columns[name]
-            categories = sorted(set(values), key=repr)
+            categories = sorted(set(cell_values(name)), key=repr)
             schema_columns.append(
                 Column(
                     name,
@@ -401,30 +411,29 @@ class AuditAccumulator:
                     categories=tuple(categories),
                 )
             )
-            data[name] = np.asarray(values)
+            data[name] = columns[name]
         if self.strata is not None:
-            values = columns["__strata__"]
             schema_columns.append(
                 Column(
                     self.strata,
                     kind=ColumnKind.CATEGORICAL,
                     role=ColumnRole.FEATURE,
-                    categories=tuple(sorted(set(values), key=repr)),
+                    categories=tuple(
+                        sorted(set(cell_values("__strata__")), key=repr)
+                    ),
                 )
             )
-            data[self.strata] = np.asarray(values)
+            data[self.strata] = columns["__strata__"]
         if self.label is not None:
             schema_columns.append(
                 Column(
                     self.label, kind=ColumnKind.BINARY, role=ColumnRole.LABEL
                 )
             )
-            data[self.label] = np.asarray(columns["__label__"])
+            data[self.label] = columns["__label__"]
         dataset = TabularDataset(Schema(tuple(schema_columns)), data)
         predictions = (
-            None
-            if self.audits_labels
-            else np.asarray(columns["__prediction__"])
+            None if self.audits_labels else columns["__prediction__"]
         )
         return dataset, predictions
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import uuid
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,12 +41,13 @@ from repro.exceptions import AuditError, CheckpointError
 from repro.kernel import (
     chunk_ranges,
     combined_codes,
+    count_score_chunk,
     get_backend,
     joint_counts,
     read_spills,
     score_chunk,
-    score_chunk_telemetry,
 )
+from repro.kernel.shm import publish as shm_publish
 from repro.models.preprocessing import OneHotEncoder
 from repro.models.tree import DecisionTree
 from repro.robustness.checkpoint import load_checkpoint, save_checkpoint
@@ -147,15 +149,38 @@ def _finding_from_payload(payload: dict, dataset: TabularDataset) -> SubgroupFin
     )
 
 
+#: rows hashed/validated/counted per bounded-memory pass over a reader
+_READER_CHUNK_ROWS = 1 << 20
+
+
+def _hash_source(digest, source) -> None:
+    """Feed a column source — array or bounded reader — into a digest.
+
+    Chunked sha256 updates produce the same hex digest as one whole-array
+    update, so packed and in-memory scans of identical content agree.
+    """
+    if isinstance(source, np.ndarray):
+        digest.update(np.ascontiguousarray(source).tobytes())
+        return
+    for lo in range(0, source.n_rows, _READER_CHUNK_ROWS):
+        chunk = source.read(lo, min(lo + _READER_CHUNK_ROWS, source.n_rows))
+        digest.update(np.ascontiguousarray(chunk).tobytes())
+
+
 def _scan_fingerprint(
-    predictions: np.ndarray,
+    pred_source,
     dataset: TabularDataset,
     attributes: list[str],
     max_order: int,
     min_size: int,
 ) -> str:
     """Hash of everything that determines the scan's enumeration order
-    and results — a checkpoint from a different run must not resume."""
+    and results — a checkpoint from a different run must not resume.
+
+    ``pred_source`` may be the prediction array or, for packed datasets,
+    a bounded column reader; either way the bytes (and so the digest)
+    match, keeping checkpoints resumable across representations.
+    """
     digest = hashlib.sha256()
     digest.update(
         json.dumps(
@@ -168,10 +193,40 @@ def _scan_fingerprint(
             sort_keys=True,
         ).encode()
     )
-    digest.update(np.ascontiguousarray(predictions).tobytes())
+    _hash_source(digest, pred_source)
+    open_column = getattr(dataset, "open_column", None)
     for attribute in attributes:
-        digest.update(np.asarray(dataset.column(attribute)).tobytes())
+        if open_column is not None:
+            _hash_source(digest, open_column(attribute))
+        else:
+            digest.update(np.asarray(dataset.column(attribute)).tobytes())
     return digest.hexdigest()
+
+
+def _validate_binary_reader(reader, name: str = "predictions") -> int:
+    """Chunked 0/1 validation of a packed column; returns the positive count.
+
+    The bounded-memory stand-in for :func:`check_binary_array`: same
+    rejections, but never materialises the column or full-size
+    temporaries.
+    """
+    from repro.exceptions import ValidationError
+
+    if reader.dtype.kind not in "iub":
+        raise ValidationError(
+            f"{name} must be an integer/boolean array, got dtype {reader.dtype}"
+        )
+    positives = 0
+    for lo in range(0, reader.n_rows, _READER_CHUNK_ROWS):
+        chunk = reader.read(lo, min(lo + _READER_CHUNK_ROWS, reader.n_rows))
+        bad = (chunk != 0) & (chunk != 1)
+        if bad.any():
+            raise ValidationError(
+                f"{name} must contain only 0/1 values, found "
+                f"{np.unique(chunk[bad]).tolist()[:5]}"
+            )
+        positives += int(chunk.sum())
+    return positives
 
 
 def _inside_counts(
@@ -201,6 +256,96 @@ def _inside_counts(
             cell = cell * table.n_categories + table.index[value]
         entries.append((int(counts[cell, 1]), subgroup.size))
     return entries
+
+
+def _inside_counts_ooc(
+    pred_source,
+    dataset,
+    subgroups: list[Subgroup],
+) -> list[tuple[int, int]]:
+    """:func:`_inside_counts` for packed datasets, in bounded memory.
+
+    ``dataset.subset_counts`` accumulates each attribute subset's joint
+    contingency chunk by chunk (integer bincounts, so bit-identical to
+    the in-memory tensor); only the ``(n_cells, 2)`` tensors are held.
+    """
+    by_subset: dict = {}
+    entries: list[tuple[int, int]] = []
+    for subgroup in subgroups:
+        attrs = tuple(attribute for attribute, _ in subgroup.conditions)
+        cached = by_subset.get(attrs)
+        if cached is None:
+            tables = [dataset.codes(attribute) for attribute in attrs]
+            cached = (tables, dataset.subset_counts(attrs, pred_source))
+            by_subset[attrs] = cached
+        tables, counts = cached
+        cell = 0
+        for table, (_, value) in zip(tables, subgroup.conditions):
+            cell = cell * table.n_categories + table.index[value]
+        entries.append((int(counts[cell, 1]), subgroup.size))
+    return entries
+
+
+def _scan_sources(
+    pred_source,
+    dataset,
+    subgroups: list[Subgroup],
+    token: str,
+    chunk_rows: int,
+) -> tuple[dict, list[tuple[int, int, int]]]:
+    """Build the zero-copy worker sources and per-subgroup work items.
+
+    Packed datasets contribute ``npy`` manifests (workers re-open the
+    column files themselves); in-memory datasets have their code arrays
+    and predictions published once into shared memory (``shm``
+    manifests).  Either way a work item is three integers — no column
+    array crosses the pickle boundary.
+    """
+    packed = hasattr(dataset, "codes_reader")
+
+    def column_manifest(attribute: str) -> dict:
+        if packed:
+            return dataset.codes_reader(attribute).manifest()
+        return shm_publish(dataset.codes(attribute).codes)
+
+    if isinstance(pred_source, np.ndarray):
+        pred_manifest = shm_publish(pred_source)
+    else:
+        pred_manifest = pred_source.manifest()
+
+    subset_index: dict[tuple, int] = {}
+    subsets: list[dict] = []
+    items: list[tuple[int, int, int]] = []
+    for subgroup in subgroups:
+        attrs = tuple(attribute for attribute, _ in subgroup.conditions)
+        position = subset_index.get(attrs)
+        if position is None:
+            tables = [dataset.codes(attribute) for attribute in attrs]
+            position = len(subsets)
+            subset_index[attrs] = position
+            subsets.append(
+                {
+                    "columns": [column_manifest(a) for a in attrs],
+                    "n_categories": [t.n_categories for t in tables],
+                    "tables": tables,
+                }
+            )
+        tables = subsets[position]["tables"]
+        cell = 0
+        for table, (_, value) in zip(tables, subgroup.conditions):
+            cell = cell * table.n_categories + table.index[value]
+        items.append((position, cell, subgroup.size))
+    sources = {
+        "token": token,
+        "n_rows": dataset.n_rows,
+        "chunk_rows": int(chunk_rows),
+        "predictions": pred_manifest,
+        "subsets": [
+            {k: v for k, v in subset.items() if k != "tables"}
+            for subset in subsets
+        ],
+    }
+    return sources, items
 
 
 def _merge_spills(tracer, metrics, spill_dir) -> None:
@@ -289,7 +434,10 @@ def audit_subgroups(
         order — findings, p-values, and checkpoint files are
         byte-identical to the serial scan, so serial and parallel runs
         can resume each other's checkpoints.  Requires the ``"kernel"``
-        backend (workers score plain count tuples, not arrays).
+        backend.  Workers attach to the scan's sources by name — shared
+        memory segments for in-memory datasets, packed column files for
+        :class:`~repro.data.ooc.MemmapDataset` — and derive their own
+        counts; no column array is ever pickled to a worker.
     executor_factory:
         Callable ``(jobs) -> Executor`` overriding the default
         ``ProcessPoolExecutor`` — a chaos/testing hook for injecting
@@ -316,9 +464,23 @@ def audit_subgroups(
     tracer = base.tracer if tracer is _FROM_CONFIG else tracer
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
-    predictions = check_binary_array(predictions, "predictions")
-    if len(predictions) != dataset.n_rows:
-        raise AuditError("predictions length does not match dataset")
+    # A packed dataset hands out memmapped columns; when the predictions
+    # are one of them (``dataset.labels()``), recover the bounded reader
+    # behind it and validate/hash/count through buffered reads instead
+    # of materialising the mapping.
+    pred_reader = None
+    reader_for = getattr(dataset, "reader_for", None)
+    if reader_for is not None and isinstance(predictions, np.ndarray):
+        pred_reader = reader_for(predictions)
+    if pred_reader is not None:
+        positives_total = _validate_binary_reader(pred_reader, "predictions")
+        n_total = dataset.n_rows
+    else:
+        predictions = check_binary_array(predictions, "predictions")
+        if len(predictions) != dataset.n_rows:
+            raise AuditError("predictions length does not match dataset")
+        n_total = len(predictions)
+        positives_total = int(predictions.sum())
     check_probability(alpha, "alpha")
     check_positive_int(checkpoint_every, "checkpoint_every")
     check_positive_int(jobs, "jobs")
@@ -340,7 +502,11 @@ def audit_subgroups(
     fingerprint = ""
     if checkpoint_path is not None:
         fingerprint = _scan_fingerprint(
-            predictions, dataset, attributes, max_order, min_size
+            pred_reader if pred_reader is not None else predictions,
+            dataset,
+            attributes,
+            max_order,
+            min_size,
         )
 
     start = 0
@@ -374,11 +540,19 @@ def audit_subgroups(
 
     total = len(subgroups)
     use_kernel = get_backend() == "kernel"
-    entries = (
-        _inside_counts(predictions, dataset, subgroups) if use_kernel else None
-    )
-    n_total = len(predictions)
-    positives_total = int(predictions.sum())
+    # Count pairs are derived up front only for the serial kernel scan;
+    # the parallel path ships source manifests and lets workers count
+    # (see _scan_sources / count_score_chunk).
+    entries = None
+    if use_kernel and jobs == 1:
+        if hasattr(dataset, "subset_counts"):
+            entries = _inside_counts_ooc(
+                pred_reader if pred_reader is not None else predictions,
+                dataset,
+                subgroups,
+            )
+        else:
+            entries = _inside_counts(predictions, dataset, subgroups)
 
     with tracer.span(
         "subgroups.scan",
@@ -482,25 +656,36 @@ def audit_subgroups(
             dispatch = checkpoint_every
             if checkpoint_path is None:
                 dispatch = max(dispatch, -(-(total - start) // (jobs * 4)))
+            # Workers attach to the scan's sources by name (shared
+            # memory for in-memory datasets, packed files on disk) and
+            # derive their own count pairs: a submitted chunk is source
+            # manifests plus (subset, cell, size) integer triples —
+            # never a column array.  The token keys each worker's
+            # per-scan source cache.
+            scan_token = fingerprint or uuid.uuid4().hex
+            sources, items = _scan_sources(
+                pred_reader if pred_reader is not None else predictions,
+                dataset,
+                subgroups,
+                scan_token,
+                getattr(dataset, "chunk_rows", _READER_CHUNK_ROWS),
+            )
             ranges = chunk_ranges(start, total, dispatch)
             try:
                 with factory(jobs) as pool:
                     futures = [
                         pool.submit(
-                            score_chunk_telemetry,
-                            entries[lo:hi], positives_total, n_total,
+                            count_score_chunk,
+                            sources, items[lo:hi], positives_total, n_total,
                             {
                                 "dir": spill_dir,
                                 "lo": lo,
                                 "hi": hi,
                                 "context": scan_context,
                                 "run_id": getattr(tracer, "run_id", ""),
-                            },
-                        )
-                        if spill_dir is not None
-                        else pool.submit(
-                            score_chunk,
-                            entries[lo:hi], positives_total, n_total,
+                            }
+                            if spill_dir is not None
+                            else None,
                         )
                         for lo, hi in ranges
                     ]

@@ -134,8 +134,15 @@ def enumerate_subgroups(
                 f"subgroup enumeration requires discrete columns; "
                 f"{attribute!r} is {column.kind}"
             )
-        present = set(dataset.column(attribute).tolist())
-        categories[attribute] = [c for c in column.categories if c in present]
+        if hasattr(dataset, "present_categories"):
+            # packed datasets recorded the present categories at pack
+            # time — no column scan needed.
+            categories[attribute] = dataset.present_categories(attribute)
+        else:
+            present = set(dataset.column(attribute).tolist())
+            categories[attribute] = [
+                c for c in column.categories if c in present
+            ]
 
     space = subgroup_space_size(
         [len(categories[a]) for a in attributes], max_order
@@ -148,12 +155,18 @@ def enumerate_subgroups(
         )
 
     tables = {a: dataset.codes(a) for a in attributes}
+    chunked_counts = getattr(dataset, "subset_counts", None)
     subgroups: list[Subgroup] = []
     for order in range(1, min(max_order, len(attributes)) + 1):
         for attrs in combinations(attributes, order):
             attr_tables = [tables[a] for a in attrs]
-            codes, n_cells = combined_codes(attr_tables)
-            sizes = joint_counts(codes, n_cells)
+            if chunked_counts is not None:
+                # bounded-memory accumulation over the packed code
+                # files; bit-identical to the one-shot bincount below.
+                sizes = chunked_counts(attrs)
+            else:
+                codes, n_cells = combined_codes(attr_tables)
+                sizes = joint_counts(codes, n_cells)
             for values in product(*(categories[a] for a in attrs)):
                 cell = 0
                 for table, value in zip(attr_tables, values):

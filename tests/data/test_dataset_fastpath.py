@@ -1,0 +1,188 @@
+"""``take``/``concat`` fast paths: dtype-exact, copy-free of re-validation.
+
+Both operations used to route their outputs back through the validating
+constructor, paying a second full-column copy and an O(n) category scan
+on arrays that are canonical by construction.  These tests pin the fast
+paths to the validated-constructor reference: identical values, exact
+dtypes, immutability — and prove validation really is skipped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.data.dataset as dataset_module
+from repro.data import Column, Schema, TabularDataset
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture()
+def schema():
+    return Schema(
+        (
+            Column(name="score", kind="numeric", role="feature"),
+            Column(
+                name="group",
+                kind="categorical",
+                role="protected",
+                categories=("a", "b", "c"),
+            ),
+            Column(
+                name="tier",
+                kind="categorical",
+                role="feature",
+                categories=(1, 2, 3),
+            ),
+            Column(name="hired", kind="binary", role="label"),
+        )
+    )
+
+
+@pytest.fixture()
+def data(schema):
+    rng = np.random.default_rng(19)
+    n = 500
+    return TabularDataset(
+        schema,
+        {
+            "score": rng.normal(size=n),
+            "group": rng.choice(["a", "b", "c"], size=n),
+            "tier": rng.choice([1, 2, 3], size=n),
+            "hired": rng.integers(0, 2, size=n),
+        },
+    )
+
+
+def _reference(dataset, columns):
+    """What the validating constructor would have produced."""
+    return TabularDataset(
+        dataset.schema, {n: np.asarray(c) for n, c in columns.items()}
+    )
+
+
+def assert_datasets_identical(got, want):
+    assert got.schema == want.schema
+    assert got.n_rows == want.n_rows
+    for name in want.schema.names():
+        a, b = got.column(name), want.column(name)
+        assert a.dtype == b.dtype, name
+        np.testing.assert_array_equal(a, b)
+        assert not a.flags.writeable, name
+
+
+@pytest.mark.parametrize(
+    "indices",
+    [
+        np.arange(0, 500, 7),
+        np.array([499, 0, 250, 0, 3]),  # out of order, with repeats
+        np.array([], dtype=np.int64),
+    ],
+    ids=["strided", "unordered", "empty"],
+)
+def test_take_matches_validated_reference(data, indices):
+    got = data.take(indices)
+    want = _reference(
+        data, {n: data.column(n)[indices] for n in data.schema.names()}
+    )
+    if len(indices):
+        assert_datasets_identical(got, want)
+    else:
+        # the validating constructor refuses empty input; the fast path
+        # must still produce a dtype-exact empty dataset.
+        assert got.n_rows == 0
+        for name in data.schema.names():
+            assert got.column(name).dtype == data.column(name).dtype
+
+
+def test_take_boolean_mask(data):
+    mask = np.asarray(data.column("score")) > 0
+    got = data.take(mask)
+    want = _reference(
+        data, {n: data.column(n)[mask] for n in data.schema.names()}
+    )
+    assert_datasets_identical(got, want)
+
+
+def test_take_rejects_bad_mask_and_shape(data):
+    with pytest.raises(DatasetError, match="boolean mask length"):
+        data.take(np.ones(3, dtype=bool))
+    with pytest.raises(DatasetError, match="1-dimensional"):
+        data.take(np.zeros((2, 2), dtype=np.int64))
+
+
+def test_take_result_is_independent_of_source(data):
+    taken = data.take(np.arange(10))
+    assert not np.shares_memory(
+        taken.column("score"), data.column("score")
+    )
+
+
+def test_concat_matches_validated_reference(data):
+    left = data.take(np.arange(0, 200))
+    right = data.take(np.arange(200, 500))
+    got = left.concat(right)
+    assert_datasets_identical(got, data)
+
+
+def test_concat_rejects_different_columns(data, schema):
+    other_schema = Schema(tuple(schema)[:2])
+    other = TabularDataset(
+        other_schema,
+        {"score": np.zeros(4), "group": np.array(["a", "a", "b", "c"])},
+    )
+    with pytest.raises(DatasetError, match="different columns"):
+        data.concat(other)
+
+
+def test_concat_different_category_sets_falls_back_to_validation(data, schema):
+    """Same names, different declared categories: the validated path runs."""
+    wider = Schema(
+        tuple(
+            col if col.name != "group" else Column(
+                name="group",
+                kind="categorical",
+                role="protected",
+                categories=("a", "b", "c", "d"),
+            )
+            for col in schema
+        )
+    )
+    other = TabularDataset(
+        wider,
+        {
+            "score": np.zeros(4),
+            "group": np.array(["d", "d", "d", "d"]),
+            "tier": np.array([1, 1, 2, 3]),
+            "hired": np.array([0, 1, 0, 1]),
+        },
+    )
+    # 'd' is outside self's declared categories — validation must catch it.
+    with pytest.raises(DatasetError, match="outside its declared"):
+        data.concat(other)
+
+
+def test_fast_paths_skip_revalidation(data, monkeypatch):
+    """take/concat on canonical inputs never re-enter ``_as_column_array``."""
+
+    def boom(values, column):
+        raise AssertionError(
+            f"_as_column_array re-entered for column {column.name!r}"
+        )
+
+    monkeypatch.setattr(dataset_module, "_as_column_array", boom)
+    taken = data.take(np.arange(50))
+    joined = taken.concat(data.take(np.arange(50, 100)))
+    assert joined.n_rows == 100
+
+
+def test_fast_path_outputs_compose_with_library_ops(data):
+    """Trusted outputs behave like validated datasets downstream."""
+    half = data.take(np.arange(0, 500, 2))
+    rejoined = half.concat(data.take(np.arange(1, 500, 2)))
+    assert rejoined.n_rows == 500
+    table = rejoined.codes("group")
+    assert list(table.categories) == ["a", "b", "c"]
+    assert sorted(rejoined.filter(group="a").column("group").tolist()) == sorted(
+        v for v in rejoined.column("group").tolist() if v == "a"
+    )
