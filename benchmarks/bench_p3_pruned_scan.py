@@ -1,0 +1,132 @@
+"""P3 — pruned subgroup scan: branch-and-bound vs exhaustive scoring.
+
+One lattice at the BENCH_P2 operating point (3,955 enumerable
+subgroups: five 7-category protected attributes at ``max_order=3``),
+one planted order-2 disparity, heavy null noise everywhere else.  The
+experiment runs the same :class:`~repro.core.config.ScanConfig` lattice
+through both strategies and checks, in this order:
+
+1. **Equivalence, unconditionally** — the best-first scan's flagged
+   set, adjusted p-values, and final checkpoint bytes must be identical
+   to the exhaustive scan's before any speed/pruning number means
+   anything.  A fast wrong answer must fail the bench.
+2. **Pruning guard** (ISSUE 9 acceptance) — the statistical bounds must
+   skip at least 60% of the enumerated subgroups at this point.
+
+Wall times for both strategies are reported and written to
+``BENCH_P3.json`` (uploaded by the CI benchmark job) so the trajectory
+is tracked across PRs, but timing is informational: the enforced
+contract is equal findings with most of the work skipped.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import ScanConfig
+from repro.data import Column, Schema, TabularDataset
+from repro.subgroup import scan_subgroups, subgroup_space_size
+
+from benchmarks.conftest import report, write_bench_json
+
+N_ROWS = 24_000
+N_ATTRS = 5
+N_CATS = 7
+MAX_ORDER = 3
+MIN_PRUNED_FRACTION = 0.60
+REPEATS = 2
+
+
+def _lattice_dataset(seed=11):
+    rng = np.random.default_rng(seed)
+    cats = tuple(f"c{i}" for i in range(N_CATS))
+    columns = []
+    data = {}
+    for i in range(N_ATTRS):
+        name = f"g{i}"
+        columns.append(
+            Column(name, kind="categorical", role="protected",
+                   categories=cats)
+        )
+        data[name] = rng.choice(cats, size=N_ROWS)
+    columns.append(Column("y", kind="binary", role="label"))
+    rate = 0.5 + 0.22 * ((data["g0"] == "c0") & (data["g1"] == "c1"))
+    data["y"] = (rng.random(N_ROWS) < rate).astype(int)
+    return TabularDataset(Schema(tuple(columns)), data)
+
+
+def _best(fn):
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _flag_key(result):
+    return [
+        (f.subgroup.label(), f.p_value, f.adjusted_p_value)
+        for f in result.flagged
+    ]
+
+
+def test_p3_pruned_scan_equivalence_and_skip_rate(benchmark, tmp_path):
+    dataset = _lattice_dataset()
+    config = ScanConfig(min_size=20, max_order=MAX_ORDER)
+    space = subgroup_space_size([N_CATS] * N_ATTRS, max_order=MAX_ORDER)
+    exhaustive_ckpt = tmp_path / "exhaustive.ckpt.json"
+    pruned_ckpt = tmp_path / "pruned.ckpt.json"
+
+    def experiment():
+        exhaustive_s, exhaustive = _best(lambda: scan_subgroups(
+            dataset.labels(), dataset, config=config,
+            checkpoint_path=str(exhaustive_ckpt),
+        ))
+        pruned_s, pruned = _best(lambda: scan_subgroups(
+            dataset.labels(), dataset,
+            config=config.replace(strategy="best_first"),
+            checkpoint_path=str(pruned_ckpt),
+        ))
+        return exhaustive_s, exhaustive, pruned_s, pruned
+
+    exhaustive_s, exhaustive, pruned_s, pruned = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    # 1. Equivalence first, unconditionally.
+    assert _flag_key(pruned) == _flag_key(exhaustive)
+    assert pruned.total == exhaustive.total
+    assert pruned.family == exhaustive.family
+    assert exhaustive_ckpt.read_bytes() == pruned_ckpt.read_bytes()
+
+    # 2. The pruning guard at the ~4k-subgroup operating point.
+    fraction = pruned.pruned_fraction
+    speedup = exhaustive_s / max(pruned_s, 1e-9)
+    report(f"P3 pruned scan, {space} subgroup lattice", [
+        ("strategy", "seconds", "scored", "pruned"),
+        ("exhaustive", round(exhaustive_s, 4), exhaustive.evaluated, 0),
+        ("best_first", round(pruned_s, 4), pruned.evaluated, pruned.pruned),
+        ("pruned fraction", f"{fraction:.1%}", "", ""),
+        ("flagged (both)", len(pruned.flagged), "", ""),
+        ("speedup", round(speedup, 2), "", ""),
+    ])
+    write_bench_json("P3", {
+        "lattice_size": int(space),
+        "enumerated": pruned.total,
+        "family": pruned.family,
+        "evaluated": pruned.evaluated,
+        "pruned": pruned.pruned,
+        "pruned_fraction": fraction,
+        "flagged": len(pruned.flagged),
+        "exhaustive_seconds": exhaustive_s,
+        "best_first_seconds": pruned_s,
+        "speedup": speedup,
+    })
+    # five 7-category attributes at order 3 enumerate 3,955 subgroups —
+    # the ~4k BENCH_P2 scoring point
+    assert space >= 3_900, "operating point shrank below the P2 scale"
+    assert fraction >= MIN_PRUNED_FRACTION, (
+        f"bounds pruned only {fraction:.1%} of the lattice "
+        f"(guard: >= {MIN_PRUNED_FRACTION:.0%})"
+    )

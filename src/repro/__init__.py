@@ -64,7 +64,7 @@ from repro.data import (
     make_recidivism,
 )
 from repro.api import audit  # noqa: E402
-from repro.core.config import AuditConfig  # noqa: E402
+from repro.core.config import AuditConfig, ScanConfig  # noqa: E402
 from repro.streaming import (  # noqa: E402
     AuditAccumulator,
     FairnessMonitor,
@@ -73,7 +73,7 @@ from repro.streaming import (  # noqa: E402
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 from repro.service import JobEngine, JobRecord  # noqa: E402
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -115,6 +115,7 @@ __all__ = [
     # façade / streaming
     "audit",
     "AuditConfig",
+    "ScanConfig",
     "AuditAccumulator",
     "FairnessMonitor",
     "audit_stream",

@@ -15,6 +15,8 @@ Usage::
         --jurisdiction us
     python -m repro subgroups --data data.csv --checkpoint scan.ckpt.json \\
         --resume --jobs 4
+    python -m repro subgroups --data data.csv --strategy incremental \\
+        --state scan.state.json
 
 Every subcommand prints to stdout.  Exit codes:
 
@@ -29,8 +31,11 @@ Every subcommand prints to stdout.  Exit codes:
 The audit-style subcommands accept an execution policy (``--deadline``
 seconds per stage, ``--retries`` for transient faults, ``--fail-fast``
 for fail-closed semantics); ``subgroups`` adds ``--checkpoint`` /
-``--resume`` for anytime enumeration and ``--jobs N`` for a parallel
-scan whose findings and checkpoints stay byte-identical to serial.
+``--resume`` for anytime enumeration, ``--jobs N`` for a parallel
+scan whose findings and checkpoints stay byte-identical to serial,
+and ``--strategy``/``--scan-config``/``--state`` for the bound-pruned
+and incremental scanners (see ``docs/subgroups.md``; identical flagged
+set either way).
 
 Streaming (see ``docs/streaming.md``): ``audit --chunk-size N`` runs
 the same audit through the streaming engine (byte-identical report),
@@ -262,7 +267,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     scan = sub.add_parser(
         "subgroups",
-        help="exhaustive subgroup disparity scan with checkpoint/resume",
+        help="subgroup disparity scan (exhaustive, bound-pruned, or "
+        "incremental) with checkpoint/resume",
     )
     scan.add_argument("--data", required=True, help="CSV written by generate")
     scan.add_argument("--schema", default=None,
@@ -270,21 +276,44 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--attribute", action="append", default=[],
                       help="attribute to conjoin (repeatable; default: "
                       "all protected attributes)")
-    scan.add_argument("--max-order", type=int, default=2)
-    scan.add_argument("--min-size", type=int, default=10)
-    scan.add_argument("--alpha", type=float, default=0.05)
+    scan.add_argument("--strategy",
+                      choices=("exhaustive", "best_first", "incremental"),
+                      default=None,
+                      help="scan strategy (default exhaustive; best_first "
+                      "prunes via statistical bounds with identical "
+                      "findings; incremental persists --state for delta "
+                      "re-scoring)")
+    scan.add_argument("--scan-config", default=None, metavar="PATH",
+                      help="JSON ScanConfig file; explicit flags below "
+                      "override its fields")
+    scan.add_argument("--state", default=None, metavar="PATH",
+                      help="ScanState path for --strategy incremental "
+                      "(created on first run, re-scored from the data "
+                      "delta afterwards)")
+    scan.add_argument("--max-order", type=int, default=None,
+                      help="maximum conjunction order (default 2)")
+    scan.add_argument("--min-size", type=int, default=None,
+                      help="minimum subgroup size scored (default 10)")
+    scan.add_argument("--alpha", type=float, default=None,
+                      help="significance level (default 0.05)")
     scan.add_argument("--adjust", choices=("holm", "bh", "none"),
-                      default="holm",
-                      help="multiple-testing correction for significance")
+                      default=None,
+                      help="multiple-testing correction for significance "
+                      "(default holm)")
+    scan.add_argument("--bound-slack", type=float, default=None,
+                      help="extra prune-threshold headroom for "
+                      "best_first/incremental (default 0.0)")
     scan.add_argument("--top", type=int, default=10,
                       help="findings to print (most disparate first)")
     scan.add_argument("--checkpoint", default=None, metavar="PATH",
                       help="write an atomic JSON checkpoint here "
                       "periodically (anytime scan)")
-    scan.add_argument("--checkpoint-every", type=int, default=64)
+    scan.add_argument("--checkpoint-every", type=int, default=None,
+                      help="scored subgroups between checkpoints "
+                      "(default 64)")
     scan.add_argument("--resume", action="store_true",
                       help="resume from --checkpoint after a killed run")
-    scan.add_argument("--jobs", type=int, default=1, metavar="N",
+    scan.add_argument("--jobs", type=int, default=None, metavar="N",
                       help="worker processes for the scan (default 1 = "
                       "serial; results and checkpoints are byte-identical "
                       "either way)")
@@ -618,34 +647,72 @@ def _cmd_monitor(args) -> int:
 
 
 def _cmd_subgroups(args) -> int:
+    import json as _json
+
+    from repro.core.config import ScanConfig
     from repro.subgroup.auditor import (
         adjust_for_multiple_testing,
         audit_subgroups,
     )
+    from repro.subgroup.search import scan_subgroups
 
     dataset = load_dataset(args.data, args.schema)
-    findings = audit_subgroups(
-        dataset.labels(),
-        dataset,
-        attributes=args.attribute or None,
-        checkpoint_path=args.checkpoint,
-        checkpoint_every=args.checkpoint_every,
-        resume=args.resume,
-        config=AuditConfig(
-            max_order=args.max_order,
-            min_size=args.min_size,
-            alpha=args.alpha,
-            jobs=args.jobs,
-        ),
-    )
-    if args.adjust != "none":
-        findings = adjust_for_multiple_testing(findings, method=args.adjust)
-    significant = [f for f in findings if f.significant(args.alpha)]
+    if args.scan_config:
+        with open(args.scan_config, encoding="utf-8") as handle:
+            base = ScanConfig.from_dict(_json.load(handle))
+    else:
+        base = ScanConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("strategy", args.strategy),
+            ("max_order", args.max_order),
+            ("min_size", args.min_size),
+            ("alpha", args.alpha),
+            ("correction", args.adjust),
+            ("checkpoint_every", args.checkpoint_every),
+            ("jobs", args.jobs),
+            ("bound_slack", args.bound_slack),
+        )
+        if value is not None
+    }
+    scan = base.replace(**overrides) if overrides else base
+    if scan.strategy == "exhaustive":
+        findings = audit_subgroups(
+            dataset.labels(),
+            dataset,
+            attributes=args.attribute or None,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            scan_config=scan,
+        )
+        if scan.correction != "none":
+            findings = adjust_for_multiple_testing(
+                findings, method=scan.correction
+            )
+        stats = ""
+    else:
+        result = scan_subgroups(
+            dataset.labels(),
+            dataset,
+            attributes=args.attribute or None,
+            config=scan,
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
+            state_path=args.state,
+        )
+        findings = result.findings
+        stats = (f"; {scan.strategy}: {result.evaluated} scored, "
+                 f"{result.pruned} pruned "
+                 f"({result.pruned_fraction:.0%} of {result.total})")
+        if result.rescored:
+            stats += f", {result.rescored} re-scored from delta"
+    significant = [f for f in findings if f.significant(scan.alpha)]
     print(f"scanned {len(findings)} subgroups "
-          f"({len(significant)} significant at alpha={args.alpha:g}, "
-          f"{args.adjust} correction)")
+          f"({len(significant)} significant at alpha={scan.alpha:g}, "
+          f"{scan.correction} correction{stats})")
     for finding in findings[: args.top]:
-        flag = "!" if finding.significant(args.alpha) else " "
+        flag = "!" if finding.significant(scan.alpha) else " "
         print(f" {flag} {finding.subgroup.label()}: "
               f"rate {finding.rate:.3f} vs {finding.complement_rate:.3f} "
               f"(gap {finding.gap:+.3f}, n={finding.subgroup.size}, "

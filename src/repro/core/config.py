@@ -22,11 +22,19 @@ import hashlib
 import json
 from dataclasses import dataclass
 
-from repro._validation import check_positive_int, check_probability
+from repro._validation import (
+    check_membership,
+    check_nonnegative,
+    check_positive_int,
+    check_probability,
+)
 from repro.exceptions import AuditError
 from repro.robustness import ExecutionPolicy
 
-__all__ = ["AuditConfig"]
+__all__ = ["AuditConfig", "ScanConfig", "SCAN_STRATEGIES"]
+
+#: Subgroup-scan strategies accepted by :class:`ScanConfig`.
+SCAN_STRATEGIES = ("exhaustive", "best_first", "incremental")
 
 #: ExecutionPolicy fields that an AuditConfig round-trips through JSON.
 _POLICY_FIELDS = (
@@ -39,6 +47,144 @@ _POLICY_FIELDS = (
     "max_failures",
     "fail_fast",
 )
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """Immutable settings for one subgroup-lattice scan.
+
+    Mirrors :class:`AuditConfig` for the subgroup scanner: validated at
+    construction, frozen, serialisable, and fingerprintable so results
+    produced under different strategies never collide in caches.
+
+    Parameters
+    ----------
+    strategy:
+        ``"exhaustive"`` visits every subgroup; ``"best_first"`` runs
+        the bound-driven branch-and-bound (provably the same flagged
+        set); ``"incremental"`` additionally persists a
+        :class:`~repro.subgroup.search.ScanState` so a grown dataset can
+        be re-scored from the delta.
+    max_order:
+        Maximum conjunction order (number of attributes combined).
+    min_size:
+        Minimum subgroup size scored (and counted in the correction
+        family).
+    alpha:
+        Significance level for flagging after correction.
+    correction:
+        Multiple-testing correction: ``"holm"``, ``"bh"``, or ``"none"``.
+    checkpoint_every:
+        Scored-subgroup cadence between checkpoint writes (must be
+        >= 1).
+    jobs:
+        Worker processes for counting/scoring (>= 1).
+    bound_slack:
+        Non-negative widening of the prune threshold: a subgroup is
+        pruned only when its p-value lower bound exceeds
+        ``alpha + bound_slack``.  ``0.0`` is already sound; slack buys
+        extra headroom against floating-point edge effects at the cost
+        of fewer pruned subgroups.
+    """
+
+    strategy: str = "exhaustive"
+    max_order: int = 2
+    min_size: int = 10
+    alpha: float = 0.05
+    correction: str = "holm"
+    checkpoint_every: int = 64
+    jobs: int = 1
+    bound_slack: float = 0.0
+
+    def __post_init__(self):
+        check_membership(self.strategy, "strategy", SCAN_STRATEGIES)
+        check_positive_int(self.max_order, "max_order")
+        check_positive_int(self.min_size, "min_size")
+        check_probability(self.alpha, "alpha")
+        check_membership(self.correction, "correction", ("holm", "bh", "none"))
+        check_positive_int(self.checkpoint_every, "checkpoint_every")
+        check_positive_int(self.jobs, "jobs")
+        check_nonnegative(self.bound_slack, "bound_slack")
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes) -> "ScanConfig":
+        """A new config with ``changes`` applied (the object is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    @classmethod
+    def from_audit(cls, config: "AuditConfig", **overrides) -> "ScanConfig":
+        """Derive a scan config from an :class:`AuditConfig`.
+
+        When the audit config already carries an explicit ``scan``, that
+        object (with ``overrides`` applied) wins; otherwise the shared
+        subgroup knobs (``max_order``/``min_size``/``alpha``/
+        ``correction``/``jobs``) are lifted into a fresh
+        :class:`ScanConfig`.
+        """
+        if config.scan is not None:
+            return config.scan.replace(**overrides) if overrides else config.scan
+        base = cls(
+            max_order=config.max_order,
+            min_size=config.min_size,
+            alpha=config.alpha,
+            correction=config.correction,
+            jobs=config.jobs,
+        )
+        return base.replace(**overrides) if overrides else base
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able dict of every field."""
+        return {
+            "strategy": self.strategy,
+            "max_order": self.max_order,
+            "min_size": self.min_size,
+            "alpha": self.alpha,
+            "correction": self.correction,
+            "checkpoint_every": self.checkpoint_every,
+            "jobs": self.jobs,
+            "bound_slack": self.bound_slack,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScanConfig":
+        """Rebuild a config written by :meth:`to_dict`."""
+        payload = dict(payload)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise AuditError(
+                f"unknown ScanConfig fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+    def fingerprint(self) -> str:
+        """sha256 over every field — the result-cache key component.
+
+        Includes ``strategy``, so exhaustive and best-first results are
+        cached under distinct keys even for identical lattice settings.
+        """
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+
+    def equivalence_key(self) -> dict:
+        """The fields that determine the flagged set and final findings.
+
+        Strategy, parallelism, checkpoint cadence, and bound slack are
+        execution details — two scans agreeing on this key must produce
+        identical findings, corrections, and final checkpoint bytes.
+        Scan checkpoints embed a hash of this key so state written under
+        one lattice configuration refuses to resume under another.
+        """
+        return {
+            "max_order": self.max_order,
+            "min_size": self.min_size,
+            "alpha": self.alpha,
+            "correction": self.correction,
+        }
 
 
 @dataclass(frozen=True)
@@ -72,6 +218,13 @@ class AuditConfig:
         conjunction order, minimum subgroup size, significance level,
         multiple-testing correction (``"holm"``/``"bh"``/``"none"``),
         and worker processes.
+    scan:
+        Optional :class:`ScanConfig` controlling subgroup-scan strategy
+        (exhaustive / best-first / incremental).  When set it wins over
+        the loose subgroup knobs above; when ``None`` the scan derives
+        its settings from them (see :meth:`ScanConfig.from_audit`).
+        Omitted from :meth:`to_dict` when ``None`` so fingerprints of
+        pre-existing configurations are unchanged.
     """
 
     tolerance: float = 0.05
@@ -86,8 +239,17 @@ class AuditConfig:
     alpha: float = 0.05
     correction: str = "holm"
     jobs: int = 1
+    scan: ScanConfig | None = None
 
     def __post_init__(self):
+        if self.scan is not None and not isinstance(self.scan, ScanConfig):
+            if isinstance(self.scan, dict):
+                object.__setattr__(self, "scan", ScanConfig.from_dict(self.scan))
+            else:
+                raise AuditError(
+                    "scan must be a ScanConfig (or a ScanConfig.to_dict() "
+                    f"mapping), got {type(self.scan).__name__}"
+                )
         check_probability(self.tolerance, "tolerance")
         check_probability(self.alpha, "alpha")
         check_positive_int(self.jobs, "jobs")
@@ -156,6 +318,8 @@ class AuditConfig:
                 }
             ),
         }
+        if self.scan is not None:
+            payload["scan"] = self.scan.to_dict()
         return payload
 
     @classmethod
@@ -164,6 +328,7 @@ class AuditConfig:
         payload = dict(payload)
         policy = payload.pop("policy", None)
         metrics = payload.pop("metrics", None)
+        scan = payload.pop("scan", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -173,6 +338,7 @@ class AuditConfig:
         return cls(
             metrics=None if metrics is None else tuple(metrics),
             policy=None if policy is None else ExecutionPolicy(**policy),
+            scan=None if scan is None else ScanConfig.from_dict(scan),
             **payload,
         )
 

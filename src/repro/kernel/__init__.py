@@ -34,7 +34,9 @@ from repro.kernel.contingency import (
 )
 from repro.kernel.parallel import (
     chunk_ranges,
+    count_cells_chunk,
     count_score_chunk,
+    pruned_ranges,
     read_spills,
     score_chunk,
     score_chunk_telemetry,
@@ -61,8 +63,10 @@ __all__ = [
     "score_chunk",
     "score_chunk_telemetry",
     "count_score_chunk",
+    "count_cells_chunk",
     "read_spills",
     "chunk_ranges",
+    "pruned_ranges",
     "publish",
     "attach_array",
     "release_all",

@@ -32,8 +32,10 @@ __all__ = [
     "score_chunk",
     "score_chunk_telemetry",
     "count_score_chunk",
+    "count_cells_chunk",
     "read_spills",
     "chunk_ranges",
+    "pruned_ranges",
 ]
 
 
@@ -282,6 +284,34 @@ def count_score_chunk(
     return score_chunk_telemetry(entries, positives_total, n_total, spill)
 
 
+def count_cells_chunk(
+    sources: dict, lo: int, hi: int
+) -> tuple[list[int], list[int]]:
+    """Sparse joint-cell counts for rows ``[lo, hi)`` of a scan's sources.
+
+    The ingest worker of the lattice scan (:mod:`repro.subgroup.search`):
+    folds every protected column plus the prediction column into one
+    row-major combined code per row — the same mixed-radix fold as
+    :func:`repro.kernel.contingency.combined_codes` — and returns the
+    observed ``(code, count)`` pairs.  ``sources`` carries the scan
+    ``token``, per-column manifests under ``columns``, their full-schema
+    ``n_categories``, and a ``predictions`` manifest.  Counts are plain
+    integers, so the parent's merge (integer addition per cell) is
+    independent of how rows were chunked across workers.
+    """
+    _ensure_token(sources["token"])
+    manifests = sources["columns"]
+    n_categories = sources["n_categories"]
+    combined = _read_int64(manifests[0], lo, hi, fresh=True)
+    for manifest, n_cats in zip(manifests[1:], n_categories[1:]):
+        combined *= n_cats
+        combined += _read_int64(manifest, lo, hi, fresh=False)
+    combined *= 2
+    combined += _read_int64(sources["predictions"], lo, hi, fresh=False)
+    codes, counts = np.unique(combined, return_counts=True)
+    return [int(c) for c in codes], [int(c) for c in counts]
+
+
 def read_spills(spill_dir) -> list[dict]:
     """Parse every spill file in a directory, tolerantly.
 
@@ -343,3 +373,22 @@ def chunk_ranges(start: int, total: int, chunk: int) -> list[tuple[int, int]]:
         ranges.append((index, end))
         index = end
     return ranges
+
+
+def pruned_ranges(
+    keep: list[bool], chunk: int, start: int = 0
+) -> list[tuple[int, int]]:
+    """:func:`chunk_ranges` minus the ranges with nothing left to score.
+
+    The bound-aware scheduler of the pruned scan: boundaries stay on the
+    same absolute multiples of ``chunk`` as the exhaustive scan's (so
+    checkpoint cadence — and checkpoint bytes — are unchanged), but a
+    range whose every subgroup was pruned is never dispatched, so with
+    ``jobs=N`` the workers only ever receive chunks that contain live
+    work.
+    """
+    return [
+        (lo, hi)
+        for lo, hi in chunk_ranges(start, len(keep), chunk)
+        if any(keep[lo:hi])
+    ]

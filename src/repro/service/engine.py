@@ -53,12 +53,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.config import AuditConfig
+from repro.core.config import AuditConfig, ScanConfig
 from repro.core.criteria import UseCaseProfile
 from repro.core.serialize import report_to_dict
 from repro.data.io import load_dataset
 from repro.exceptions import (
     AdmissionError,
+    AuditError,
     CheckpointError,
     DegradedRunError,
     EngineClosedError,
@@ -87,6 +88,7 @@ from repro.subgroup.auditor import (
     adjust_for_multiple_testing,
     audit_subgroups,
 )
+from repro.subgroup.search import scan_subgroups
 from repro.workflow import _dataclass_from_dict, run_compliance_workflow
 
 __all__ = ["JobEngine"]
@@ -203,10 +205,19 @@ class JobEngine:
         """
         if kind == "subgroups":
             attributes = params.get("attributes")
-            return {
+            extra = {
                 "attributes": list(attributes) if attributes else None,
                 "adjust": params.get("adjust", correction),
             }
+            scan_payload = params.get("scan_config")
+            if scan_payload is not None:
+                # an inline ScanConfig shapes the result bytes exactly
+                # like AuditConfig.scan does through config_fingerprint,
+                # so it must enter the content address the same way
+                extra["scan"] = ScanConfig.from_dict(
+                    dict(scan_payload)
+                ).fingerprint()
+            return extra
         if kind == "workflow":
             return {"profile": dict(params.get("profile") or {})}
         return {}
@@ -264,6 +275,18 @@ class JobEngine:
                 f"unknown job kind {kind!r}; use one of {JOB_KINDS}"
             )
         params = dict(params or {})
+        if params.get("scan_config") is not None:
+            # validate at admission and journal the canonical full dict,
+            # so recovery re-materialises exactly the scan that was
+            # admitted (and a bad strategy fails the request, not the job)
+            try:
+                params["scan_config"] = ScanConfig.from_dict(
+                    dict(params["scan_config"])
+                ).to_dict()
+            except (AuditError, ValueError, TypeError) as exc:
+                raise ValidationError(f"invalid scan_config: {exc}") from exc
+        if params.get("state") is not None:
+            self._scan_state_name(params["state"])  # validate early
         if isinstance(config, AuditConfig):
             config_obj = config
         elif config is not None:
@@ -686,8 +709,37 @@ class JobEngine:
         self._maybe_rotate()
 
     def _cleanup_checkpoints(self, job_id: str) -> None:
+        # mid-run resume state only; ``.scanstate.json`` files are the
+        # durable output of incremental scans and must survive the job
+        # that wrote them — the next rescan over grown data starts there
         for suffix in (".state.json", ".scan.json"):
             (self.checkpoint_dir / f"{job_id}{suffix}").unlink(missing_ok=True)
+
+    @staticmethod
+    def _scan_state_name(value) -> str:
+        """Validate a client-supplied scan-state name (no path tricks)."""
+        name = str(value)
+        ok = name and len(name) <= 100 and not name.startswith(".") and all(
+            c.isalnum() or c in "._-" for c in name
+        )
+        if not ok:
+            raise ValidationError(
+                "params['state'] must be a plain name (letters, digits, "
+                "'.', '_', '-'; not starting with '.')"
+            )
+        return name
+
+    def _scan_state_path(self, job: JobRecord) -> Path:
+        """Where an incremental job's ScanState lives.
+
+        A client-chosen ``params['state']`` name lets successive jobs
+        over a growing dataset share one state file; without it the
+        job id keys the state, which still lets a crash-recovered rerun
+        of the *same* job resume its delta re-score.
+        """
+        named = job.params.get("state")
+        key = self._scan_state_name(named) if named is not None else job.job_id
+        return self.checkpoint_dir / f"{key}.scanstate.json"
 
     # -- job bodies ----------------------------------------------------------
 
@@ -774,15 +826,79 @@ class JobEngine:
             # likewise: pool-worker deltas must merge into the registry
             # GET /metrics actually serves
             scan_kwargs["metrics"] = self.metrics
+        scan_payload = job.params.get("scan_config")
+        if scan_payload is not None or config.scan is not None:
+            scan = (
+                ScanConfig.from_dict(dict(scan_payload))
+                if scan_payload is not None
+                else config.scan
+            )
+            adjust = job.params.get("adjust")
+            if adjust is not None:
+                # one semantic for both code paths: the job-level
+                # correction override also governs a ScanConfig scan
+                scan = scan.replace(correction=adjust)
+            state_path = None
+            if scan.strategy == "incremental":
+                state_path = self._scan_state_path(job)
+                # journal the durable state location before the scan so
+                # a kill -9 recovery knows where the delta re-score left
+                # its per-subgroup counts and scores
+                self.journal.append(
+                    {
+                        "event": "scan_state",
+                        "job_id": job.job_id,
+                        "path": str(state_path),
+                        "ts": time.time(),
+                    }
+                )
+            result = scan_subgroups(
+                dataset.labels(),
+                dataset,
+                attributes=list(attributes) if attributes else None,
+                config=scan,
+                checkpoint_path=str(checkpoint),
+                resume=checkpoint.exists(),
+                state_path=str(state_path) if state_path else None,
+                on_progress=progress,
+                **scan_kwargs,
+            )
+            payload = {
+                "schema_version": RESULT_SCHEMA_VERSION,
+                "kind": "subgroups",
+                "degraded": False,
+                "alpha": scan.alpha,
+                "adjust": scan.correction,
+                "strategy": scan.strategy,
+                "scan": result.summary(),
+                "state_path": str(state_path) if state_path else None,
+                "n_subgroups": len(result.findings),
+                "n_significant": len(result.flagged),
+                "findings": [
+                    {
+                        **_finding_to_payload(finding),
+                        "adjusted_p_value": finding.adjusted_p_value,
+                        "significant": finding.significant(scan.alpha),
+                    }
+                    for finding in result.findings
+                ],
+            }
+            return payload, False
+        # legacy path: byte-identical to pre-ScanConfig payloads; the
+        # exhaustive ScanConfig below only bundles the loose knobs so the
+        # call avoids the deprecated individual keywords
+        exhaustive = ScanConfig.from_audit(config).replace(
+            checkpoint_every=int(job.params.get("checkpoint_every", 64)),
+        )
         findings = audit_subgroups(
             dataset.labels(),
             dataset,
             attributes=list(attributes) if attributes else None,
             checkpoint_path=str(checkpoint),
-            checkpoint_every=int(job.params.get("checkpoint_every", 64)),
             resume=checkpoint.exists(),
             on_progress=progress,
             config=config,
+            scan_config=exhaustive,
             **scan_kwargs,
         )
         adjust = job.params.get("adjust", config.correction)

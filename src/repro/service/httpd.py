@@ -351,6 +351,13 @@ class _Handler(BaseHTTPRequestHandler):
         kind = body.get("kind")
         if not kind:
             raise ValidationError("submissions need a 'kind'")
+        params = dict(body.get("params") or {})
+        if body.get("scan_config") is not None:
+            # a top-level inline ScanConfig is sugar for
+            # params["scan_config"]; the engine validates it at admission
+            if not isinstance(body["scan_config"], dict):
+                raise ValidationError("'scan_config' must be a JSON object")
+            params["scan_config"] = body["scan_config"]
         incoming = TraceContext.from_traceparent(
             self.headers.get("traceparent")
         )
@@ -373,7 +380,7 @@ class _Handler(BaseHTTPRequestHandler):
             ) as span:
                 job = self.engine.submit(
                     kind,
-                    params=body.get("params") or {},
+                    params=params,
                     config=body.get("config"),
                     trace_context=span.context(),
                 )
@@ -384,7 +391,7 @@ class _Handler(BaseHTTPRequestHandler):
             # attach the job to the caller's trace.
             job = self.engine.submit(
                 kind,
-                params=body.get("params") or {},
+                params=params,
                 config=body.get("config"),
                 trace_context=(
                     incoming if incoming and incoming.sampled else None

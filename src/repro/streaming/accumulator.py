@@ -274,6 +274,60 @@ class AuditAccumulator:
         get_metrics().counter("streaming.merges").inc()
         return self
 
+    def diff(self, base: "AuditAccumulator") -> "AuditAccumulator":
+        """The cell-wise delta that grew ``base`` into this accumulator.
+
+        Returns a fresh accumulator with ``result.merge(base) == self``
+        in counts — the inverse of :meth:`merge`, and the input the
+        incremental subgroup scan (:func:`repro.subgroup.search.rescan`)
+        re-scores from.  Requires ``base`` to be a true predecessor:
+        same layout, and no cell where ``base`` counts more than
+        ``self`` (append-only growth).  Anything else raises
+        :class:`~repro.exceptions.AuditError` rather than returning a
+        negative count.
+        """
+        if not isinstance(base, AuditAccumulator):
+            raise AuditError(
+                f"cannot diff an accumulator against {type(base).__name__}"
+            )
+        if self.layout() != base.layout():
+            raise AuditError(
+                "cannot diff accumulators with different layouts: "
+                f"{self.layout()} vs {base.layout()}"
+            )
+        if base.n_rows > self.n_rows:
+            raise AuditError(
+                f"diff base has {base.n_rows} rows but this accumulator "
+                f"has {self.n_rows}; the base must be a prefix"
+            )
+        delta = AuditAccumulator(
+            self.protected,
+            strata=self.strata,
+            label=self.label,
+            audits_labels=self.audits_labels,
+        )
+        for key, count in self._cells.items():
+            remaining = count - base._cells.get(key, 0)
+            if remaining < 0:
+                raise AuditError(
+                    f"diff base counts {base._cells[key]} in cell {key!r} "
+                    f"but this accumulator has only {count}; the base is "
+                    "not a prefix of this state"
+                )
+            if remaining:
+                delta._cells[key] = remaining
+        missing = [key for key in base._cells if key not in self._cells]
+        if missing:
+            raise AuditError(
+                f"diff base has cells absent from this accumulator "
+                f"(e.g. {missing[0]!r}); the base is not a prefix"
+            )
+        delta.n_rows = self.n_rows - base.n_rows
+        delta.chunks_ingested = max(
+            self.chunks_ingested - base.chunks_ingested, 0
+        )
+        return delta
+
     @classmethod
     def merge_all(cls, accumulators) -> "AuditAccumulator":
         """Merge shard accumulators into one fresh accumulator."""

@@ -11,6 +11,12 @@ from repro.subgroup.enumeration import (
     enumerate_subgroups,
     subgroup_space_size,
 )
+from repro.subgroup.search import (
+    ScanResult,
+    ScanState,
+    rescan,
+    scan_subgroups,
+)
 
 __all__ = [
     "Subgroup",
@@ -20,4 +26,8 @@ __all__ = [
     "audit_subgroups",
     "adjust_for_multiple_testing",
     "GerrymanderingAuditor",
+    "ScanResult",
+    "ScanState",
+    "scan_subgroups",
+    "rescan",
 ]

@@ -375,24 +375,70 @@ def _merge_spills(tracer, metrics, spill_dir) -> None:
 #: sentinel distinguishing "keyword passed" from "take it from config"
 _FROM_CONFIG = object()
 
+#: sentinel distinguishing "legacy kwarg passed" from its default
+_UNSET = object()
+
+_LEGACY_KWARGS_MESSAGE = (
+    "passing scan settings ({names}) as individual keywords is "
+    "deprecated; bundle them into a ScanConfig and pass scan_config=... "
+    "(or set AuditConfig.scan)"
+)
+
+
+def _resolve_scan_config(scan_config, config, legacy: dict):
+    """Merge deprecated per-keyword scan settings into a ScanConfig.
+
+    Precedence, lowest to highest: defaults < ``AuditConfig`` (loose
+    subgroup knobs, or its explicit ``scan``) < ``scan_config=`` <
+    explicitly-passed legacy keywords.  Any legacy keyword emits one
+    :class:`DeprecationWarning` naming the offending keywords — the
+    same shim contract :func:`repro.core.audit._resolve_config`
+    established for :class:`AuditConfig` — then overrides the
+    corresponding field.  The override goes through
+    :meth:`ScanConfig.replace`, so legacy values get ScanConfig's
+    validation (``checkpoint_every < 1``, ``max_order < 1``, … raise a
+    ``ValueError`` naming the field).
+    """
+    import warnings
+
+    from repro.core.config import ScanConfig
+
+    if scan_config is not None:
+        base = scan_config
+    elif config is not None:
+        base = ScanConfig.from_audit(config)
+    else:
+        base = ScanConfig()
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if passed:
+        warnings.warn(
+            _LEGACY_KWARGS_MESSAGE.format(names=", ".join(sorted(passed))),
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        base = base.replace(**passed)
+    return base
+
 
 def audit_subgroups(
     predictions,
     dataset: TabularDataset,
     attributes: list[str] | None = None,
-    max_order: int = _FROM_CONFIG,
-    min_size: int = _FROM_CONFIG,
-    alpha: float = _FROM_CONFIG,
+    max_order: int = _UNSET,
+    min_size: int = _UNSET,
+    alpha: float = _UNSET,
     checkpoint_path=None,
-    checkpoint_every: int = 64,
+    checkpoint_every: int = _UNSET,
     resume: bool = False,
     on_progress=None,
     tracer=_FROM_CONFIG,
-    jobs: int = _FROM_CONFIG,
+    jobs: int = _UNSET,
     executor_factory=None,
     *,
     metrics=None,
     config: AuditConfig | None = None,
+    scan_config=None,
+    state_path=None,
 ) -> list[SubgroupFinding]:
     """Exhaustive subgroup disparity scan, most disparate first.
 
@@ -450,20 +496,71 @@ def audit_subgroups(
         An :class:`~repro.core.config.AuditConfig` supplying defaults
         for ``max_order``, ``min_size``, ``alpha``, ``jobs``, and
         ``tracer`` — the same object every other audit entry point
-        takes.  An explicitly-passed keyword overrides its config
-        counterpart.
+        takes.  When it carries an explicit ``scan``
+        (:class:`~repro.core.config.ScanConfig`), that wins over the
+        loose knobs.
+    scan_config:
+        A :class:`~repro.core.config.ScanConfig` controlling the scan
+        outright — strategy, lattice shape, significance, checkpoint
+        cadence, parallelism.  Overrides ``config``; overridden only by
+        explicitly-passed legacy keywords (which are deprecated: each
+        use emits a :class:`DeprecationWarning` asking for a
+        ``ScanConfig``).  With ``strategy="best_first"`` or
+        ``"incremental"`` the call dispatches to
+        :func:`repro.subgroup.search.scan_subgroups` and returns its
+        findings — the same flagged set, with adjusted p-values already
+        attached; do **not** run :func:`adjust_for_multiple_testing`
+        on that result (the censored correction cannot be re-derived
+        from the surviving findings alone).
+    state_path:
+        Where an ``"incremental"`` scan persists its
+        :class:`~repro.subgroup.search.ScanState` (required for that
+        strategy; ignored otherwise).
     """
     from repro.observability.metrics import get_metrics
     from repro.observability.trace import get_tracer
 
+    scan = _resolve_scan_config(
+        scan_config,
+        config,
+        {
+            "max_order": max_order,
+            "min_size": min_size,
+            "alpha": alpha,
+            "checkpoint_every": checkpoint_every,
+            "jobs": jobs,
+        },
+    )
     base = config if config is not None else AuditConfig()
-    max_order = base.max_order if max_order is _FROM_CONFIG else max_order
-    min_size = base.min_size if min_size is _FROM_CONFIG else min_size
-    alpha = base.alpha if alpha is _FROM_CONFIG else alpha
-    jobs = base.jobs if jobs is _FROM_CONFIG else jobs
     tracer = base.tracer if tracer is _FROM_CONFIG else tracer
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
+    if scan.strategy != "exhaustive":
+        # Strategy dispatch: the lattice-pruned / incremental engine
+        # returns the provably-identical flagged set with corrections
+        # already attached (its censored family bookkeeping cannot be
+        # re-derived from the surviving findings alone — do not run
+        # adjust_for_multiple_testing on this result).
+        from repro.subgroup.search import scan_subgroups
+
+        return scan_subgroups(
+            predictions,
+            dataset,
+            attributes,
+            config=scan,
+            checkpoint_path=checkpoint_path,
+            resume=resume,
+            state_path=state_path,
+            on_progress=on_progress,
+            tracer=tracer,
+            metrics=metrics,
+            executor_factory=executor_factory,
+        ).findings
+    max_order = scan.max_order
+    min_size = scan.min_size
+    alpha = scan.alpha
+    jobs = scan.jobs
+    checkpoint_every = scan.checkpoint_every
     # A packed dataset hands out memmapped columns; when the predictions
     # are one of them (``dataset.labels()``), recover the bounded reader
     # behind it and validate/hash/count through buffered reads instead
