@@ -64,16 +64,21 @@ from repro.data import (
     make_recidivism,
 )
 from repro.api import audit  # noqa: E402
-from repro.core.config import AuditConfig, ScanConfig  # noqa: E402
+from repro.core.config import (  # noqa: E402
+    AuditConfig,
+    MonitorConfig,
+    ScanConfig,
+)
 from repro.streaming import (  # noqa: E402
     AuditAccumulator,
     FairnessMonitor,
     audit_stream,
 )
+from repro.monitor import MonitorFleet  # noqa: E402
 from repro.workflow import ComplianceDossier, run_compliance_workflow  # noqa: E402
 from repro.service import JobEngine, JobRecord  # noqa: E402
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",
@@ -115,9 +120,11 @@ __all__ = [
     # façade / streaming
     "audit",
     "AuditConfig",
+    "MonitorConfig",
     "ScanConfig",
     "AuditAccumulator",
     "FairnessMonitor",
+    "MonitorFleet",
     "audit_stream",
     # service
     "JobEngine",

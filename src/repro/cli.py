@@ -239,9 +239,57 @@ def build_parser() -> argparse.ArgumentParser:
         "monitor",
         parents=[late],
         help="replay a dataset as a windowed stream and flag fairness "
-        "drift (Section IV.E)",
+        "drift (Section IV.E), or 'monitor serve' a shard spool",
     )
-    mon.add_argument("--data", required=True, help="CSV written by generate")
+    mon_sub = mon.add_subparsers(dest="monitor_command")
+    mserve = mon_sub.add_parser(
+        "serve",
+        help="tail a spool of append-only shard files (one "
+        "subdirectory per stream) into a monitoring fleet and "
+        "expose /metrics, /events, /healthz over HTTP",
+    )
+    mserve.add_argument("--root", required=True, metavar="DIR",
+                        help="spool root; each subdirectory is one "
+                        "named stream of shard files (CSV or packed)")
+    mserve.add_argument("--schema", required=True,
+                        help="schema JSON describing the shards "
+                        "(protected attributes, label)")
+    mserve.add_argument("--prediction-column", default=None, metavar="NAME",
+                        help="shard column holding model decisions; "
+                        "without it the labels themselves are monitored")
+    mserve.add_argument("--monitor-config", default=None, metavar="PATH",
+                        help="JSON MonitorConfig file; explicit flags "
+                        "below override its fields")
+    mserve.add_argument("--window", type=int, default=None, metavar="N",
+                        help="rows per evaluation window (default 500)")
+    mserve.add_argument("--drift-threshold", type=float, default=None,
+                        help="gap change vs the running baseline that "
+                        "raises a drift event (default 0.1)")
+    mserve.add_argument("--detectors", default=None, metavar="LIST",
+                        help="comma-separated drift detectors: "
+                        "threshold, spending, cusum (default: threshold)")
+    mserve.add_argument("--tolerance", type=float, default=0.05)
+    mserve.add_argument("--metric", action="append", default=[],
+                        help="restrict each window's battery (repeatable)")
+    mserve.add_argument("--host", default="127.0.0.1")
+    mserve.add_argument("--port", type=int, default=8300)
+    mserve.add_argument("--poll-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="seconds between spool scans")
+    mserve.add_argument("--chunk-rows", type=int, default=None, metavar="N",
+                        help="rows per in-memory chunk when reading "
+                        "a shard")
+    mserve.add_argument("--once", action="store_true",
+                        help="ingest the shards present now, flush "
+                        "partial windows, print the fleet summary, "
+                        "and exit (no HTTP server)")
+    mserve.add_argument("--format", choices=("markdown", "json"),
+                        default="markdown")
+    mserve.add_argument("--events-out", default=None, metavar="PATH",
+                        help="append alerting events here as JSON "
+                        "lines; follow with 'repro events tail PATH'")
+    _add_trace_flag(mserve)
+    mon.add_argument("--data", default=None, help="CSV written by generate")
     mon.add_argument("--schema", default=None,
                      help="schema JSON (default: <data>.schema.json)")
     mon.add_argument("--model", default=None,
@@ -468,6 +516,9 @@ def build_parser() -> argparse.ArgumentParser:
     tail.add_argument("--kind", default=None, metavar="KIND",
                       help="filter by kind, exact or dotted prefix "
                       "('job' matches job.failed and job.rejected)")
+    tail.add_argument("--stream", default=None, metavar="NAME",
+                      help="only events whose payload carries this "
+                      "monitoring stream label")
     tail.add_argument("--follow", "-f", action="store_true",
                       help="keep polling the file for new events "
                       "(Ctrl-C to stop)")
@@ -599,8 +650,13 @@ def _cmd_merge_state(args) -> int:
 
 
 def _cmd_monitor(args) -> int:
+    if getattr(args, "monitor_command", None) == "serve":
+        return _cmd_monitor_serve(args)
     from repro.streaming import FairnessMonitor
 
+    if not args.data:
+        raise SystemExit("repro monitor: --data is required (or use "
+                         "'repro monitor serve --root DIR')")
     dataset = load_dataset(args.data, args.schema)
     predictions = None
     if args.model:
@@ -644,6 +700,105 @@ def _cmd_monitor(args) -> int:
     else:
         print(monitor.markdown())
     return 1 if monitor.drift_events else 0
+
+
+def _cmd_monitor_serve(args) -> int:
+    """Tail a shard spool into a monitoring fleet until SIGTERM."""
+    import json as _json
+    import signal
+    import threading
+    from contextlib import ExitStack
+
+    from repro.core.config import MonitorConfig
+    from repro.data.io import schema_from_dict
+    from repro.monitor import MonitorFleet, MonitorService, serve_http
+
+    with open(args.schema, encoding="utf-8") as handle:
+        schema = schema_from_dict(_json.load(handle))
+    if args.monitor_config:
+        with open(args.monitor_config, encoding="utf-8") as handle:
+            base = MonitorConfig.from_dict(_json.load(handle))
+    else:
+        base = MonitorConfig()
+    overrides = {
+        name: value
+        for name, value in (
+            ("window", args.window),
+            ("drift_threshold", args.drift_threshold),
+            (
+                "detectors",
+                tuple(
+                    part.strip()
+                    for part in args.detectors.split(",")
+                    if part.strip()
+                )
+                if args.detectors
+                else None,
+            ),
+        )
+        if value is not None
+    }
+    monitor_config = base.replace(**overrides) if overrides else base
+    fleet = MonitorFleet(
+        schema.protected_names,
+        config=AuditConfig(
+            tolerance=args.tolerance, metrics=tuple(args.metric) or None
+        ),
+        monitor=monitor_config,
+        label=schema.label_name,
+        audits_labels=args.prediction_column is None,
+    )
+    with ExitStack() as stack:
+        if args.events_out:
+            from repro.observability import EventBus, use_event_bus
+
+            bus = EventBus(sink=args.events_out)
+            stack.callback(bus.close)
+            stack.enter_context(use_event_bus(bus))
+        service = MonitorService(
+            fleet,
+            args.root,
+            schema=args.schema,
+            prediction_column=args.prediction_column,
+            **(
+                {"chunk_rows": args.chunk_rows}
+                if args.chunk_rows is not None
+                else {}
+            ),
+            poll_interval=args.poll_interval,
+        )
+        if args.once:
+            service.scan_once()
+            fleet.flush()
+        else:
+            server = serve_http(service, host=args.host, port=args.port)
+            print(
+                f"repro monitor fleet tailing {args.root} on "
+                f"http://{args.host}:{server.port} "
+                f"(window {monitor_config.window}, detectors "
+                f"{', '.join(monitor_config.detectors)})",
+                flush=True,
+            )
+            stop = threading.Event()
+
+            def _request_stop(signum, frame):
+                stop.set()
+
+            signal.signal(signal.SIGTERM, _request_stop)
+            signal.signal(signal.SIGINT, _request_stop)
+            try:
+                service.run(stop)
+            finally:
+                server.shutdown()
+                fleet.flush()
+    if args.format == "json":
+        print(_json.dumps(fleet.summary(), indent=2))
+    else:
+        print(fleet.markdown())
+    drifted = any(
+        fleet.stream(name).drift_events for name in fleet.stream_names
+    )
+    return 1 if drifted else 0
 
 
 def _cmd_subgroups(args) -> int:
@@ -868,7 +1023,8 @@ def _cmd_events(args) -> int:
     try:
         while True:
             for event in read_events(
-                args.path, since=cursor, kind=args.kind
+                args.path, since=cursor, kind=args.kind,
+                stream=getattr(args, "stream", None),
             ):
                 cursor = max(cursor, int(event.get("seq", cursor)))
                 if args.as_json:

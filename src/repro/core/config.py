@@ -31,10 +31,21 @@ from repro._validation import (
 from repro.exceptions import AuditError
 from repro.robustness import ExecutionPolicy
 
-__all__ = ["AuditConfig", "ScanConfig", "SCAN_STRATEGIES"]
+__all__ = [
+    "AuditConfig",
+    "MonitorConfig",
+    "ScanConfig",
+    "MONITOR_DETECTORS",
+    "SCAN_STRATEGIES",
+]
 
 #: Subgroup-scan strategies accepted by :class:`ScanConfig`.
 SCAN_STRATEGIES = ("exhaustive", "best_first", "incremental")
+
+#: Drift detectors accepted by :class:`MonitorConfig`, in precedence
+#: order (when several fire on one window/metric, the event records the
+#: first).
+MONITOR_DETECTORS = ("threshold", "spending", "cusum")
 
 #: ExecutionPolicy fields that an AuditConfig round-trips through JSON.
 _POLICY_FIELDS = (
@@ -188,6 +199,164 @@ class ScanConfig:
 
 
 @dataclass(frozen=True)
+class MonitorConfig:
+    """Immutable settings for continuous fairness monitoring.
+
+    Mirrors :class:`ScanConfig` for the monitoring fleet
+    (:class:`repro.monitor.MonitorFleet`): validated at construction,
+    frozen, serialisable, and fingerprintable, so a monitoring session's
+    alerting semantics can be recorded next to its evidence.
+
+    Parameters
+    ----------
+    window:
+        Rows per evaluation window.
+    drift_threshold:
+        Absolute change in a metric's gap, relative to the running
+        baseline (mean of that metric's gap over previous windows),
+        that the ``"threshold"`` detector flags.
+    detectors:
+        Which drift detectors run, a non-empty subset of
+        :data:`MONITOR_DETECTORS`.  ``"threshold"`` is the legacy
+        per-window rule; ``"spending"`` is an alpha-spending sequential
+        z-test (Pocock-style per-window budgets over ``horizon``
+        windows, so repeated testing does not inflate false alarms);
+        ``"cusum"`` accumulates small sustained gap shifts in a
+        CUSUM-style tracker.  At most one
+        :class:`~repro.monitor.DriftEvent` fires per (window, metric),
+        attributed to the first detector in this order that alarmed.
+    alpha:
+        Total type-I error budget the ``"spending"`` detector spreads
+        over each ``horizon``-window cycle.
+    horizon:
+        Windows per alpha-spending cycle (the budget refreshes after
+        ``horizon`` tested windows per metric).
+    cusum_k:
+        CUSUM drift allowance per window (the slack subtracted from
+        each deviation before it accumulates).  ``None`` derives
+        ``drift_threshold / 2``.
+    cusum_h:
+        CUSUM decision interval: an alarm fires when the accumulated
+        one-sided deviation exceeds it.  ``None`` derives
+        ``2 * drift_threshold``.
+    """
+
+    window: int = 500
+    drift_threshold: float = 0.1
+    detectors: tuple[str, ...] = ("threshold",)
+    alpha: float = 0.05
+    horizon: int = 200
+    cusum_k: float | None = None
+    cusum_h: float | None = None
+
+    def __post_init__(self):
+        check_positive_int(self.window, "window")
+        if not 0 < self.drift_threshold <= 1:
+            raise AuditError(
+                f"drift_threshold must be in (0, 1], got "
+                f"{self.drift_threshold!r}"
+            )
+        detectors = tuple(self.detectors)
+        object.__setattr__(self, "detectors", detectors)
+        if not detectors:
+            raise AuditError("detectors must name at least one detector")
+        for detector in detectors:
+            check_membership(detector, "detectors", MONITOR_DETECTORS)
+        if len(set(detectors)) != len(detectors):
+            raise AuditError(f"duplicate detectors: {list(detectors)}")
+        check_probability(self.alpha, "alpha")
+        check_positive_int(self.horizon, "horizon")
+        if self.cusum_k is not None:
+            check_nonnegative(self.cusum_k, "cusum_k")
+        if self.cusum_h is not None and self.cusum_h <= 0:
+            raise AuditError(
+                f"cusum_h must be positive, got {self.cusum_h!r}"
+            )
+
+    # -- derived detector parameters -----------------------------------------
+
+    def resolved_cusum_k(self) -> float:
+        """The CUSUM per-window allowance, defaulted off the threshold."""
+        return (
+            self.drift_threshold / 2.0
+            if self.cusum_k is None
+            else float(self.cusum_k)
+        )
+
+    def resolved_cusum_h(self) -> float:
+        """The CUSUM decision interval, defaulted off the threshold."""
+        return (
+            2.0 * self.drift_threshold
+            if self.cusum_h is None
+            else float(self.cusum_h)
+        )
+
+    def spending_allowance(self, look: int) -> float:
+        """The alpha budget window number ``look`` (1-based) may spend.
+
+        Pocock-style spending function
+        ``alpha(t) = alpha * ln(1 + (e - 1) * t)`` with ``t`` the
+        fraction of the horizon consumed; the allowance is the budget
+        *increment* between consecutive looks, so the alarms of a whole
+        ``horizon``-window cycle spend at most ``alpha`` in total.
+        Looks beyond the horizon start a fresh cycle.
+        """
+        import math
+
+        if look < 1:
+            raise AuditError(f"look must be >= 1, got {look}")
+        position = (look - 1) % self.horizon + 1
+
+        def spent(t: float) -> float:
+            return self.alpha * math.log(1.0 + (math.e - 1.0) * t)
+
+        return spent(position / self.horizon) - spent(
+            (position - 1) / self.horizon
+        )
+
+    # -- derivation ----------------------------------------------------------
+
+    def replace(self, **changes) -> "MonitorConfig":
+        """A new config with ``changes`` applied (the object is frozen)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-able dict of every field."""
+        return {
+            "window": self.window,
+            "drift_threshold": self.drift_threshold,
+            "detectors": list(self.detectors),
+            "alpha": self.alpha,
+            "horizon": self.horizon,
+            "cusum_k": self.cusum_k,
+            "cusum_h": self.cusum_h,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MonitorConfig":
+        """Rebuild a config written by :meth:`to_dict`."""
+        payload = dict(payload)
+        detectors = payload.pop("detectors", None)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise AuditError(
+                f"unknown MonitorConfig fields: {sorted(unknown)}"
+            )
+        if detectors is not None:
+            payload["detectors"] = tuple(detectors)
+        return cls(**payload)
+
+    def fingerprint(self) -> str:
+        """sha256 over every field — stable across processes."""
+        return hashlib.sha256(
+            json.dumps(self.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+
+
+@dataclass(frozen=True)
 class AuditConfig:
     """Immutable settings shared by every audit entry point.
 
@@ -225,6 +394,12 @@ class AuditConfig:
         its settings from them (see :meth:`ScanConfig.from_audit`).
         Omitted from :meth:`to_dict` when ``None`` so fingerprints of
         pre-existing configurations are unchanged.
+    monitor:
+        Optional :class:`MonitorConfig` for continuous monitoring
+        (:class:`repro.monitor.MonitorFleet` and the legacy
+        :class:`repro.streaming.FairnessMonitor` wrapper): window size,
+        drift threshold, and the sequential-testing detectors.  Like
+        ``scan``, omitted from :meth:`to_dict` when ``None``.
     """
 
     tolerance: float = 0.05
@@ -240,6 +415,7 @@ class AuditConfig:
     correction: str = "holm"
     jobs: int = 1
     scan: ScanConfig | None = None
+    monitor: MonitorConfig | None = None
 
     def __post_init__(self):
         if self.scan is not None and not isinstance(self.scan, ScanConfig):
@@ -249,6 +425,19 @@ class AuditConfig:
                 raise AuditError(
                     "scan must be a ScanConfig (or a ScanConfig.to_dict() "
                     f"mapping), got {type(self.scan).__name__}"
+                )
+        if self.monitor is not None and not isinstance(
+            self.monitor, MonitorConfig
+        ):
+            if isinstance(self.monitor, dict):
+                object.__setattr__(
+                    self, "monitor", MonitorConfig.from_dict(self.monitor)
+                )
+            else:
+                raise AuditError(
+                    "monitor must be a MonitorConfig (or a "
+                    "MonitorConfig.to_dict() mapping), got "
+                    f"{type(self.monitor).__name__}"
                 )
         check_probability(self.tolerance, "tolerance")
         check_probability(self.alpha, "alpha")
@@ -320,6 +509,8 @@ class AuditConfig:
         }
         if self.scan is not None:
             payload["scan"] = self.scan.to_dict()
+        if self.monitor is not None:
+            payload["monitor"] = self.monitor.to_dict()
         return payload
 
     @classmethod
@@ -329,6 +520,7 @@ class AuditConfig:
         policy = payload.pop("policy", None)
         metrics = payload.pop("metrics", None)
         scan = payload.pop("scan", None)
+        monitor = payload.pop("monitor", None)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(payload) - known
         if unknown:
@@ -339,6 +531,9 @@ class AuditConfig:
             metrics=None if metrics is None else tuple(metrics),
             policy=None if policy is None else ExecutionPolicy(**policy),
             scan=None if scan is None else ScanConfig.from_dict(scan),
+            monitor=(
+                None if monitor is None else MonitorConfig.from_dict(monitor)
+            ),
             **payload,
         )
 

@@ -1,0 +1,30 @@
+"""Production monitoring fleet: many streams, one vectorized data plane.
+
+The continuous-compliance engine behind Section IV.E at scale —
+:class:`MonitorFleet` multiplexes N named prediction streams over
+shared code tables and cumulative accumulators, evaluates windows from
+count deltas, and batches every stream's drift statistics through
+:mod:`repro.stats.batch` with sequential-testing-aware alerting
+(alpha-spending + CUSUM) configured on a frozen
+:class:`~repro.core.config.MonitorConfig`.  ``repro monitor serve``
+(see :mod:`repro.monitor.serve`) tails append-only shard files and
+routes alerts through the observability event bus.
+"""
+
+from repro.core.config import MONITOR_DETECTORS, MonitorConfig
+from repro.monitor.engine import MonitorFleet, StreamState
+from repro.monitor.serve import MonitorService, ShardSpool, serve_http
+from repro.streaming.monitor import DriftEvent, FairnessMonitor, WindowResult
+
+__all__ = [
+    "MONITOR_DETECTORS",
+    "DriftEvent",
+    "FairnessMonitor",
+    "MonitorConfig",
+    "MonitorFleet",
+    "MonitorService",
+    "ShardSpool",
+    "StreamState",
+    "WindowResult",
+    "serve_http",
+]

@@ -140,12 +140,16 @@ class EventBus:
                 pass
 
     def since(self, seq: int = 0, *, kind: str | None = None,
+              stream: str | None = None,
               limit: int | None = None) -> list[Event]:
         """Events with ``seq`` strictly greater than the cursor.
 
         ``kind`` filters by exact kind or dotted prefix (``"job."``
-        matches ``job.failed`` and ``job.rejected``); ``limit`` caps the
-        result from the *oldest* end so a poller never skips events.
+        matches ``job.failed`` and ``job.rejected``); ``stream`` keeps
+        only events whose payload carries that ``stream`` label (how a
+        fleet's merged ``monitor.drift`` feed is split per stream);
+        ``limit`` caps the result from the *oldest* end so a poller
+        never skips events.
         """
         with self._lock:
             events = [e for e in self._ring if e.seq > seq]
@@ -154,6 +158,10 @@ class EventBus:
             events = [
                 e for e in events
                 if e.kind == kind or e.kind.startswith(prefix)
+            ]
+        if stream is not None:
+            events = [
+                e for e in events if e.payload.get("stream") == stream
             ]
         if limit is not None and limit >= 0:
             events = events[:limit]
@@ -202,8 +210,8 @@ def use_event_bus(bus: EventBus | None = None):
         set_event_bus(previous)
 
 
-def read_events(path, *, since: int = 0,
-                kind: str | None = None) -> list[dict]:
+def read_events(path, *, since: int = 0, kind: str | None = None,
+                stream: str | None = None) -> list[dict]:
     """Parse a JSON-lines event sink file (tolerantly).
 
     Torn trailing lines — the sink is an append-only feed, not an
@@ -227,6 +235,13 @@ def read_events(path, *, since: int = 0,
             prefix = kind if kind.endswith(".") else kind + "."
             if not (
                 event_kind == kind or event_kind.startswith(prefix)
+            ):
+                continue
+        if stream is not None:
+            payload = parsed.get("payload")
+            if (
+                not isinstance(payload, dict)
+                or payload.get("stream") != stream
             ):
                 continue
         events.append(parsed)

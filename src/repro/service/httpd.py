@@ -11,7 +11,7 @@ Routes::
     GET  /healthz                    liveness + job counts
     GET  /metrics                    Prometheus text exposition (JSON
                                      behind ``Accept: application/json``)
-    GET  /events[?since=&kind=]      alerting event bus, cursor-style
+    GET  /events[?since=&kind=&stream=]  alerting event bus, cursor-style
     GET  /jobs[?status=...]          job references, oldest first
     POST /jobs                       submit {kind, params, config}
     GET  /jobs/<id>                  one job reference
@@ -223,8 +223,10 @@ class _Handler(BaseHTTPRequestHandler):
 
         ``?since=<seq>`` returns events strictly after that sequence
         number (clients poll with the ``last_seq`` they saw);
-        ``?kind=job.`` filters by kind or dotted prefix; ``?limit=``
-        caps the page from the oldest end so nothing is skipped.
+        ``?kind=job.`` filters by kind or dotted prefix;
+        ``?stream=<name>`` keeps only events labeled with that
+        monitoring stream; ``?limit=`` caps the page from the oldest
+        end so nothing is skipped.
         """
         try:
             since = int((query.get("since") or ["0"])[0])
@@ -232,8 +234,11 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError:
             return self._send_error(400, "since and limit must be integers")
         kind = (query.get("kind") or [None])[0]
+        stream = (query.get("stream") or [None])[0]
         bus = get_event_bus()
-        events = bus.since(since, kind=kind, limit=min(limit, MAX_EVENTS))
+        events = bus.since(
+            since, kind=kind, stream=stream, limit=min(limit, MAX_EVENTS)
+        )
         self._send_json(
             200,
             {

@@ -212,6 +212,53 @@ class AuditAccumulator:
             ),
         )
 
+    def ingest_counts(self, items) -> int:
+        """Fold pre-aggregated ``(cell_key, count)`` pairs; returns rows.
+
+        The monitoring fleet's fast path: chunks are encoded once into
+        joint-contingency code space (:func:`repro.kernel.codes.encode`
+        over fleet-persistent category tables +
+        :func:`repro.kernel.contingency.combined_codes` + one bincount)
+        and the resulting sparse cells land here without any per-row
+        Python work.  Cell keys must be tuples of plain Python scalars
+        in this accumulator's :attr:`_dims` order — exactly what
+        :meth:`ingest` would have produced for the same rows, so counts
+        folded through either path are interchangeable.
+        """
+        total = 0
+        cells = self._cells
+        for key, count in items:
+            count = int(count)
+            if count < 0:
+                raise AuditError(
+                    f"cell {key!r} has negative count {count}"
+                )
+            if count:
+                cells[key] = cells.get(key, 0) + count
+                total += count
+        self.n_rows += total
+        self.chunks_ingested += 1
+        metrics = get_metrics()
+        metrics.counter("streaming.chunks_ingested").inc()
+        metrics.counter("streaming.rows_ingested").inc(total)
+        return total
+
+    def copy(self) -> "AuditAccumulator":
+        """An independent accumulator with identical counts.
+
+        Cell values are ints, so a shallow dict copy is a full copy;
+        the fleet uses this to pin each stream's window-base state
+        before computing the next :meth:`diff`.
+        """
+        clone = AuditAccumulator(
+            self.protected,
+            strata=self.strata,
+            label=self.label,
+            audits_labels=self.audits_labels,
+        )
+        clone.restore(self.snapshot())
+        return clone
+
     def snapshot(self) -> tuple:
         """The mutable counting state, cheaply copied.
 

@@ -3,12 +3,22 @@
 The paper's Section IV.E argues that a fairness verdict is evidence
 about a *moment*: models drift as the population, the product, and the
 decision process drift, so compliance requires re-measurement over
-time, not a one-off certificate.  :class:`FairnessMonitor` operationalises
-that: it buffers an ongoing prediction stream, closes fixed-size
-windows, audits each window with the same battery as an offline audit
-(one :class:`~repro.streaming.accumulator.AuditAccumulator` per
-window), and flags *drift* — a window whose metric gap moved more than
-``drift_threshold`` away from the running baseline of previous windows.
+time, not a one-off certificate.  :class:`FairnessMonitor`
+operationalises that for one stream: it buffers an ongoing prediction
+stream, closes fixed-size windows, audits each window with the same
+battery as an offline audit, and flags *drift* — a window whose metric
+gap moved more than ``drift_threshold`` away from the running baseline
+of previous windows.
+
+Since the monitoring-fleet PR the class is a thin single-stream wrapper
+over :class:`repro.monitor.MonitorFleet`: ingest is vectorized (numpy
+chunk queues folded straight into joint-contingency code space — no
+``tolist()``, no per-window re-encode) and windows are evaluated from
+cumulative count deltas, while every output — ``WindowResult`` values,
+``summary()``, ``markdown()`` — is identical to the original
+implementation.  Fleet-wide concerns (many streams, shared code
+tables, batched sequential drift tests) live in
+:mod:`repro.monitor.engine`.
 
 A drift event is not automatically a violation (each window's own
 verdicts are reported separately); it is the trigger the paper asks
@@ -20,20 +30,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core.config import AuditConfig
+from repro.core.config import AuditConfig, MonitorConfig
 from repro.exceptions import AuditError
-from repro.observability.metrics import get_metrics
-from repro.observability.trace import get_tracer
-from repro.streaming.accumulator import AuditAccumulator
 
 __all__ = ["DriftEvent", "FairnessMonitor", "WindowResult"]
 
 
 @dataclass(frozen=True)
 class DriftEvent:
-    """One metric whose gap moved beyond the drift threshold."""
+    """One metric whose gap moved beyond a detector's alarm line.
+
+    ``reason`` names the detector that fired (``"threshold"``,
+    ``"spending"``, or ``"cusum"`` — see
+    :data:`repro.core.config.MONITOR_DETECTORS`); the sequential
+    detectors attach their evidence (``statistic``, ``p_value``, and
+    the alarming group's Wilson interval).  Threshold events serialise
+    exactly as they always have, so stored monitoring evidence stays
+    byte-stable.
+    """
 
     window: int
     attribute: str
@@ -41,9 +55,14 @@ class DriftEvent:
     value: float
     baseline: float
     delta: float
+    reason: str = "threshold"
+    statistic: float | None = None
+    p_value: float | None = None
+    ci_low: float | None = None
+    ci_high: float | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "window": self.window,
             "attribute": self.attribute,
             "metric": self.metric,
@@ -51,11 +70,23 @@ class DriftEvent:
             "baseline": round(self.baseline, 6),
             "delta": round(self.delta, 6),
         }
+        if self.reason != "threshold":
+            payload["reason"] = self.reason
+            if self.statistic is not None:
+                payload["statistic"] = round(self.statistic, 6)
+            if self.p_value is not None:
+                payload["p_value"] = round(self.p_value, 9)
+            if self.ci_low is not None and self.ci_high is not None:
+                payload["interval"] = [
+                    round(self.ci_low, 6),
+                    round(self.ci_high, 6),
+                ]
+        return payload
 
 
 @dataclass(frozen=True)
 class WindowResult:
-    """The audit of one closed window of the stream."""
+    """The audit of one closed window of one stream."""
 
     index: int
     start_row: int
@@ -63,6 +94,7 @@ class WindowResult:
     gaps: dict = field(default_factory=dict)
     violations: tuple = ()
     drift: tuple = ()
+    stream: str = "default"
 
     @property
     def n_rows(self) -> int:
@@ -83,7 +115,7 @@ class WindowResult:
 
 
 class FairnessMonitor:
-    """Sliding-window fairness drift monitor over a prediction stream.
+    """Sliding-window fairness drift monitor over one prediction stream.
 
     Parameters
     ----------
@@ -92,7 +124,10 @@ class FairnessMonitor:
     config:
         Audit configuration for each window's battery run (tolerance,
         metric subset, strata, …); window audits and offline audits
-        share one config type by design.
+        share one config type by design.  When ``config.monitor`` is
+        set it governs the window size, threshold, and drift detectors
+        wholesale and the ``window``/``drift_threshold`` arguments are
+        ignored.
     window:
         Rows per evaluation window.
     drift_threshold:
@@ -103,8 +138,9 @@ class FairnessMonitor:
         As on :class:`~repro.streaming.accumulator.AuditAccumulator`.
     name:
         Stream label attached to the ``monitor.drift`` events this
-        monitor publishes on the observability event bus — how a
-        monitoring fleet tells its streams apart in one merged feed.
+        monitor publishes on the observability event bus and to its
+        ``streaming.*`` metrics/spans — how a monitoring fleet tells
+        its streams apart in one merged feed.
 
     Examples
     --------
@@ -129,18 +165,29 @@ class FairnessMonitor:
             raise AuditError("window must be >= 1")
         if not 0 < drift_threshold <= 1:
             raise AuditError("drift_threshold must be in (0, 1]")
+        from repro.monitor.engine import MonitorFleet
+
         self.name = str(name)
         self.protected = tuple(protected)
         self.config = config if config is not None else AuditConfig()
-        self.window = int(window)
-        self.drift_threshold = float(drift_threshold)
+        if self.config.monitor is not None:
+            monitor = self.config.monitor
+        else:
+            monitor = MonitorConfig(
+                window=int(window), drift_threshold=float(drift_threshold)
+            )
+        self.window = monitor.window
+        self.drift_threshold = monitor.drift_threshold
         self.label = label
         self.audits_labels = bool(audits_labels)
-        self.windows: list[WindowResult] = []
-        self.drift_events: list[DriftEvent] = []
-        self._gap_history: dict[str, list[float]] = {}
-        self._rows_seen = 0
-        self._buffer: dict[str, list] = {}
+        self._fleet = MonitorFleet(
+            self.protected,
+            config=self.config,
+            monitor=monitor,
+            label=label,
+            audits_labels=audits_labels,
+        )
+        self._state = self._fleet.add_stream(self.name)
 
     # -- ingestion -----------------------------------------------------------
 
@@ -148,145 +195,31 @@ class FairnessMonitor:
         self, y_true=None, predictions=None, protected=None, strata=None
     ) -> list[WindowResult]:
         """Buffer aligned arrays; audit and return any windows they close."""
-        if protected is None:
-            raise AuditError("observe requires the protected value arrays")
-        columns: dict[str, np.ndarray] = {}
-        for name in self.protected:
-            if name not in protected:
-                raise AuditError(f"missing protected column {name!r}")
-            columns[name] = np.asarray(protected[name])
-        if self.config.strata is not None:
-            if strata is None:
-                raise AuditError(
-                    f"monitor tracks strata {self.config.strata!r}; "
-                    "pass the strata array"
-                )
-            columns["__strata__"] = np.asarray(strata)
-        if self.label is not None:
-            if y_true is None:
-                raise AuditError("monitor tracks labels; pass y_true")
-            columns["__label__"] = np.asarray(y_true)
-        if not self.audits_labels:
-            if predictions is None:
-                raise AuditError("pass the predictions to monitor")
-            columns["__prediction__"] = np.asarray(predictions)
-
-        lengths = {len(arr) for arr in columns.values()}
-        if len(lengths) != 1:
-            raise AuditError("observed arrays must share one length")
-        for name, arr in columns.items():
-            self._buffer.setdefault(name, []).extend(arr.tolist())
-
-        closed: list[WindowResult] = []
-        while self._buffered_rows() >= self.window:
-            closed.append(self._close_window(self.window))
-        return closed
+        return self._fleet.observe(
+            self.name,
+            y_true=y_true,
+            predictions=predictions,
+            protected=protected,
+            strata=strata,
+        )
 
     def flush(self) -> WindowResult | None:
         """Audit whatever partial window remains in the buffer."""
-        remaining = self._buffered_rows()
-        if remaining == 0:
-            return None
-        return self._close_window(remaining)
+        return self._fleet.flush(self.name)
 
-    def _buffered_rows(self) -> int:
-        return len(next(iter(self._buffer.values()), []))
+    # -- state ---------------------------------------------------------------
 
-    # -- evaluation ----------------------------------------------------------
+    @property
+    def windows(self) -> list[WindowResult]:
+        return self._state.windows
 
-    def _close_window(self, size: int) -> WindowResult:
-        taken = {
-            name: values[:size] for name, values in self._buffer.items()
-        }
-        self._buffer = {
-            name: values[size:] for name, values in self._buffer.items()
-        }
-        start = self._rows_seen
-        self._rows_seen += size
-        index = len(self.windows)
+    @property
+    def drift_events(self) -> list[DriftEvent]:
+        return self._state.drift_events
 
-        tracer = (
-            self.config.tracer
-            if self.config.tracer is not None
-            else get_tracer()
-        )
-        with tracer.span("streaming.window", index=index, rows=size):
-            gaps, violations = self._audit_window(taken)
-            drift = self._detect_drift(index, gaps)
-        result = WindowResult(
-            index=index,
-            start_row=start,
-            end_row=self._rows_seen,
-            gaps=gaps,
-            violations=violations,
-            drift=drift,
-        )
-        self.windows.append(result)
-        self.drift_events.extend(drift)
-        metrics = get_metrics()
-        metrics.counter("streaming.windows_evaluated").inc()
-        if drift:
-            metrics.counter("streaming.drift_events").inc(len(drift))
-            from repro.observability.events import get_event_bus
-
-            bus = get_event_bus()
-            for event in drift:
-                bus.publish(
-                    "monitor.drift",
-                    stream=self.name,
-                    rows=[start, self._rows_seen],
-                    **event.to_dict(),
-                )
-        return result
-
-    def _audit_window(self, taken: dict) -> tuple[dict, tuple]:
-        from repro.streaming.stream import finalize
-
-        accumulator = AuditAccumulator(
-            self.protected,
-            strata=self.config.strata,
-            label=self.label,
-            audits_labels=self.audits_labels,
-        )
-        accumulator.ingest(
-            y_true=taken.get("__label__"),
-            predictions=taken.get("__prediction__"),
-            protected={name: taken[name] for name in self.protected},
-            strata=taken.get("__strata__"),
-        )
-        report = finalize(accumulator, self.config)
-        gaps: dict[str, float] = {}
-        violations: list[str] = []
-        for finding in report.findings:
-            if finding.result is None:
-                continue
-            key = f"{finding.attribute}/{finding.metric}"
-            gaps[key] = float(finding.result.gap)
-            if finding.status == "violation":
-                violations.append(key)
-        return gaps, tuple(violations)
-
-    def _detect_drift(self, index: int, gaps: dict) -> tuple:
-        events = []
-        for key, gap in gaps.items():
-            history = self._gap_history.setdefault(key, [])
-            if history:
-                baseline = float(np.mean(history))
-                delta = gap - baseline
-                if abs(delta) > self.drift_threshold:
-                    attribute, metric = key.split("/", 1)
-                    events.append(
-                        DriftEvent(
-                            window=index,
-                            attribute=attribute,
-                            metric=metric,
-                            value=gap,
-                            baseline=baseline,
-                            delta=delta,
-                        )
-                    )
-            history.append(gap)
-        return tuple(events)
+    @property
+    def _rows_seen(self) -> int:
+        return self._state.rows_seen
 
     # -- reporting -----------------------------------------------------------
 
@@ -294,7 +227,7 @@ class FairnessMonitor:
         """JSON-able digest of the monitoring session so far."""
         return {
             "windows": len(self.windows),
-            "rows_seen": self._rows_seen,
+            "rows_seen": self._state.rows_seen,
             "window_size": self.window,
             "drift_threshold": self.drift_threshold,
             "drift_events": [event.to_dict() for event in self.drift_events],
@@ -307,7 +240,7 @@ class FairnessMonitor:
             "# Fairness monitoring report",
             "",
             f"- windows evaluated: {len(self.windows)} "
-            f"({self._rows_seen} rows, window size {self.window})",
+            f"({self._state.rows_seen} rows, window size {self.window})",
             f"- drift threshold: {self.drift_threshold}",
             f"- drift events: {len(self.drift_events)}",
         ]

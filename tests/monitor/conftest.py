@@ -1,0 +1,66 @@
+"""Shared fixtures for the monitoring-fleet test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import AuditConfig
+from repro.observability.events import use_event_bus
+from repro.observability.metrics import MetricsRegistry, use_metrics
+
+#: one-metric battery keeps window audits fast and gap keys predictable.
+CFG = AuditConfig(metrics=("demographic_parity",))
+
+
+@pytest.fixture
+def registry():
+    """A private metrics registry scoped to the test."""
+    with use_metrics(MetricsRegistry()) as reg:
+        yield reg
+
+
+@pytest.fixture
+def bus():
+    """A private event bus scoped to the test."""
+    with use_event_bus() as scoped:
+        yield scoped
+
+
+@pytest.fixture
+def population():
+    """Labels, predictions, and groups with a controllable selection gap."""
+
+    def build(n, *, bias, seed):
+        rng = np.random.default_rng(seed)
+        sex = np.where(rng.random(n) < 0.5, "female", "male")
+        y = (rng.random(n) < 0.5).astype(int)
+        p = y.copy()
+        deny = (sex == "female") & (rng.random(n) < bias)
+        p[deny] = 0
+        return y, p, sex
+
+    return build
+
+
+@pytest.fixture
+def exact_window():
+    """One window with *exact* per-group selection rates.
+
+    Deterministic by construction — ``rate_f``/``rate_m`` are hit to
+    the row, so the demographic-parity gap of the window is known in
+    advance and sequential-detector tests need no random tuning.
+    """
+
+    def build(rate_f, rate_m, *, per_group=100):
+        pos_f = round(rate_f * per_group)
+        pos_m = round(rate_m * per_group)
+        sex = np.array(["female"] * per_group + ["male"] * per_group)
+        p = np.concatenate([
+            np.r_[np.ones(pos_f), np.zeros(per_group - pos_f)],
+            np.r_[np.ones(pos_m), np.zeros(per_group - pos_m)],
+        ]).astype(int)
+        y = np.ones(2 * per_group, dtype=int)
+        return y, p, sex
+
+    return build

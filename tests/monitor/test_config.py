@@ -1,0 +1,162 @@
+"""MonitorConfig: validation, derivation, serialisation, fingerprints."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.config import MONITOR_DETECTORS, AuditConfig, MonitorConfig
+from repro.exceptions import AuditError, ValidationError
+
+
+class TestValidation:
+    def test_defaults_are_the_legacy_monitor_settings(self):
+        cfg = MonitorConfig()
+        assert cfg.window == 500
+        assert cfg.drift_threshold == 0.1
+        assert cfg.detectors == ("threshold",)
+        assert cfg.alpha == 0.05
+        assert cfg.horizon == 200
+
+    @pytest.mark.parametrize("window", [0, -1])
+    def test_window_must_be_positive(self, window):
+        with pytest.raises(ValidationError):
+            MonitorConfig(window=window)
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.1, 1.5])
+    def test_drift_threshold_range(self, threshold):
+        with pytest.raises(AuditError):
+            MonitorConfig(drift_threshold=threshold)
+
+    def test_detectors_must_be_known(self):
+        with pytest.raises(ValidationError):
+            MonitorConfig(detectors=("threshold", "psychic"))
+
+    def test_detectors_must_be_nonempty(self):
+        with pytest.raises(AuditError, match="at least one"):
+            MonitorConfig(detectors=())
+
+    def test_detectors_must_be_unique(self):
+        with pytest.raises(AuditError, match="duplicate"):
+            MonitorConfig(detectors=("cusum", "cusum"))
+
+    def test_every_canonical_detector_is_accepted(self):
+        cfg = MonitorConfig(detectors=MONITOR_DETECTORS)
+        assert cfg.detectors == ("threshold", "spending", "cusum")
+
+    def test_alpha_is_a_probability(self):
+        with pytest.raises(ValidationError):
+            MonitorConfig(alpha=1.5)
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            MonitorConfig(horizon=0)
+
+    def test_cusum_parameters_validated(self):
+        with pytest.raises(ValidationError):
+            MonitorConfig(cusum_k=-0.1)
+        with pytest.raises(AuditError):
+            MonitorConfig(cusum_h=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            MonitorConfig().window = 10
+
+
+class TestDerivedParameters:
+    def test_cusum_defaults_derive_from_the_threshold(self):
+        cfg = MonitorConfig(drift_threshold=0.2)
+        assert cfg.resolved_cusum_k() == pytest.approx(0.1)
+        assert cfg.resolved_cusum_h() == pytest.approx(0.4)
+
+    def test_explicit_cusum_values_win(self):
+        cfg = MonitorConfig(cusum_k=0.01, cusum_h=0.3)
+        assert cfg.resolved_cusum_k() == 0.01
+        assert cfg.resolved_cusum_h() == 0.3
+
+    def test_spending_allowances_sum_to_alpha_over_the_horizon(self):
+        cfg = MonitorConfig(alpha=0.05, horizon=20)
+        total = sum(cfg.spending_allowance(k) for k in range(1, 21))
+        # Pocock spend at t=1 is alpha * ln(1 + (e-1)) = alpha exactly
+        assert total == pytest.approx(cfg.alpha)
+
+    def test_spending_allowances_decrease(self):
+        cfg = MonitorConfig(alpha=0.05, horizon=10)
+        allowances = [cfg.spending_allowance(k) for k in range(1, 11)]
+        assert all(a > 0 for a in allowances)
+        assert allowances == sorted(allowances, reverse=True)
+
+    def test_spending_cycle_restarts_past_the_horizon(self):
+        cfg = MonitorConfig(horizon=5)
+        assert cfg.spending_allowance(6) == cfg.spending_allowance(1)
+        assert cfg.spending_allowance(12) == cfg.spending_allowance(2)
+
+    def test_first_allowance_matches_the_pocock_curve(self):
+        cfg = MonitorConfig(alpha=0.05, horizon=100)
+        expected = 0.05 * math.log(1 + (math.e - 1) / 100)
+        assert cfg.spending_allowance(1) == pytest.approx(expected)
+
+    def test_look_must_be_positive(self):
+        with pytest.raises(AuditError):
+            MonitorConfig().spending_allowance(0)
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        cfg = MonitorConfig(
+            window=64, drift_threshold=0.2,
+            detectors=("threshold", "cusum"),
+            alpha=0.01, horizon=50, cusum_k=0.02, cusum_h=0.4,
+        )
+        clone = MonitorConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict()))
+        )
+        assert clone == cfg
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(AuditError, match="unknown MonitorConfig"):
+            MonitorConfig.from_dict({"window": 10, "widnow": 20})
+
+    def test_replace_returns_a_new_validated_config(self):
+        cfg = MonitorConfig()
+        other = cfg.replace(window=128)
+        assert other.window == 128
+        assert cfg.window == 500
+        with pytest.raises(AuditError):
+            cfg.replace(drift_threshold=0.0)
+
+    def test_fingerprint_is_stable_and_sensitive(self):
+        a, b = MonitorConfig(), MonitorConfig()
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != a.replace(window=64).fingerprint()
+
+
+class TestAuditConfigIntegration:
+    def test_audit_config_coerces_monitor_dicts(self):
+        cfg = AuditConfig(monitor={"window": 32, "detectors": ["cusum"]})
+        assert isinstance(cfg.monitor, MonitorConfig)
+        assert cfg.monitor.window == 32
+        assert cfg.monitor.detectors == ("cusum",)
+
+    def test_audit_config_rejects_non_monitor_values(self):
+        with pytest.raises(AuditError):
+            AuditConfig(monitor="window=32")
+
+    def test_monitor_omitted_from_to_dict_when_unset(self):
+        assert "monitor" not in AuditConfig().to_dict()
+
+    def test_audit_config_round_trip_carries_the_monitor(self):
+        cfg = AuditConfig(monitor=MonitorConfig(window=77))
+        clone = AuditConfig.from_dict(
+            json.loads(json.dumps(cfg.to_dict()))
+        )
+        assert clone.monitor == cfg.monitor
+        assert clone.fingerprint() == cfg.fingerprint()
+
+    def test_monitor_changes_the_audit_fingerprint(self):
+        assert (
+            AuditConfig().fingerprint()
+            != AuditConfig(monitor=MonitorConfig()).fingerprint()
+        )

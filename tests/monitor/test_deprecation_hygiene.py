@@ -1,0 +1,118 @@
+"""Deprecation hygiene: the config-object call paths stay warning-free.
+
+The PR 4 / PR 9 ``_UNSET`` shims keep legacy per-keyword call forms
+alive behind a :class:`DeprecationWarning`.  This suite pins both
+directions: the modern public surface — including every monitoring
+entry point — runs clean under ``error::DeprecationWarning``, and the
+shims themselves still warn (so nothing silently un-deprecates).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import audit
+from repro.core.audit import FairnessAudit
+from repro.core.config import AuditConfig, MonitorConfig
+from repro.core.criteria import UseCaseProfile
+from repro.data import make_hiring
+from repro.monitor import MonitorFleet
+from repro.streaming import FairnessMonitor
+from repro.subgroup.auditor import audit_subgroups
+from repro.workflow import run_compliance_workflow
+
+CFG = AuditConfig(metrics=("demographic_parity",))
+
+
+@pytest.fixture
+def deprecations_are_errors():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+@pytest.fixture
+def hiring():
+    return make_hiring(n=400, random_state=0)
+
+
+class TestModernSurfaceIsClean:
+    def test_audit_facade(self, deprecations_are_errors, hiring):
+        report = audit(hiring, config=AuditConfig(tolerance=0.05))
+        assert report.findings
+
+    def test_fairness_audit_with_config(
+        self, deprecations_are_errors, hiring
+    ):
+        report = FairnessAudit(
+            hiring, predictions=hiring.labels(), config=AuditConfig()
+        ).run()
+        assert report.findings
+
+    def test_audit_subgroups_with_scan_config(
+        self, deprecations_are_errors, hiring
+    ):
+        findings = audit_subgroups(hiring.labels(), hiring)
+        assert findings
+
+    def test_compliance_workflow_with_config(
+        self, deprecations_are_errors, hiring
+    ):
+        profile = UseCaseProfile(
+            name="hygiene", sector="employment", jurisdiction="eu",
+            n_protected_attributes=1,
+        )
+        dossier = run_compliance_workflow(
+            hiring, profile, config=AuditConfig()
+        )
+        assert dossier.verdict
+
+    def test_monitor_wrapper_and_fleet(
+        self, deprecations_are_errors, hiring
+    ):
+        y = hiring.labels()
+        sex = hiring.column("sex")
+        monitor = FairnessMonitor(["sex"], config=CFG, window=100)
+        monitor.observe(y_true=y, predictions=y, protected={"sex": sex})
+        monitor.flush()
+        fleet = MonitorFleet(
+            ["sex"], config=CFG, monitor=MonitorConfig(window=100)
+        )
+        fleet.observe(
+            "live", y_true=y, predictions=y, protected={"sex": sex}
+        )
+        fleet.flush()
+        assert fleet.stream("live").rows_seen == hiring.n_rows
+
+    def test_cli_audit_path(self, deprecations_are_errors, tmp_path, capsys):
+        from repro.cli import main
+        from repro.data.io import save_dataset
+
+        path = tmp_path / "hiring.csv"
+        save_dataset(make_hiring(300, random_state=1), path)
+        assert main(["audit", "--data", str(path),
+                     "--tolerance", "0.2"]) in (0, 1)
+        capsys.readouterr()
+
+
+class TestShimsStillWarn:
+    def test_fairness_audit_legacy_keywords(self, hiring):
+        with pytest.warns(DeprecationWarning, match="tolerance"):
+            FairnessAudit(
+                hiring, predictions=hiring.labels(), tolerance=0.05
+            )
+
+    def test_audit_subgroups_legacy_keywords(self, hiring):
+        with pytest.warns(DeprecationWarning, match="max_order"):
+            audit_subgroups(hiring.labels(), hiring, max_order=2)
+
+    def test_workflow_legacy_keywords(self, hiring):
+        profile = UseCaseProfile(
+            name="hygiene", sector="employment", jurisdiction="eu",
+            n_protected_attributes=1,
+        )
+        with pytest.warns(DeprecationWarning, match="tolerance"):
+            run_compliance_workflow(hiring, profile, tolerance=0.05)

@@ -1,0 +1,239 @@
+"""Monitor serve mode: shard spools, the tailing service, HTTP surface."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import AuditConfig, MonitorConfig
+from repro.data import Column, Schema, TabularDataset
+from repro.data.io import save_dataset
+from repro.data.ooc import pack_dataset
+from repro.exceptions import AuditError
+from repro.monitor import MonitorFleet, MonitorService, ShardSpool, serve_http
+
+CFG = AuditConfig(metrics=("demographic_parity",))
+
+
+def _shard_dataset(n, *, bias, seed):
+    rng = np.random.default_rng(seed)
+    sex = np.where(rng.random(n) < 0.5, "female", "male")
+    outcome = (rng.random(n) < 0.5).astype(int)
+    decision = outcome.copy()
+    deny = (sex == "female") & (rng.random(n) < bias)
+    decision[deny] = 0
+    schema = Schema((
+        Column("sex", kind="categorical", role="protected",
+               categories=("female", "male")),
+        Column("outcome", kind="binary", role="label"),
+        Column("decision", kind="binary", role="prediction"),
+    ))
+    return TabularDataset(
+        schema,
+        {"sex": sex, "outcome": outcome, "decision": decision},
+    )
+
+
+def _write_shard(spool_dir, name, dataset):
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    path = spool_dir / f"{name}.csv"
+    save_dataset(dataset, path)
+    return path
+
+
+def _service(root, **kwargs):
+    fleet = MonitorFleet(
+        ["sex"], config=CFG,
+        monitor=MonitorConfig(window=100, drift_threshold=0.1),
+        label="outcome",
+    )
+    kwargs.setdefault("prediction_column", "decision")
+    return MonitorService(fleet, root, **kwargs)
+
+
+class TestShardSpool:
+    def test_only_ready_shards_surface(self, tmp_path):
+        spool_dir = tmp_path / "live"
+        spool_dir.mkdir()
+        (spool_dir / "shard-2.csv").write_text("x\n1\n")
+        (spool_dir / "shard-1.csv").write_text("x\n1\n")
+        (spool_dir / ".shard-3.csv").write_text("x\n1\n")
+        (spool_dir / "shard-4.csv.tmp").write_text("x\n1\n")
+        (spool_dir / "shard-5.partial").write_text("x\n1\n")
+        (spool_dir / "shard-1.csv.schema.json").write_text("{}")
+        (spool_dir / "not-packed").mkdir()
+        spool = ShardSpool("live", spool_dir)
+        assert [p.name for p in spool.poll()] == [
+            "shard-1.csv", "shard-2.csv",
+        ]
+
+    def test_consumed_shards_never_repeat(self, tmp_path):
+        spool_dir = tmp_path / "live"
+        spool_dir.mkdir()
+        (spool_dir / "shard-1.csv").write_text("x\n1\n")
+        spool = ShardSpool("live", spool_dir)
+        assert len(spool.poll()) == 1
+        assert spool.poll() == []
+        (spool_dir / "shard-2.csv").write_text("x\n1\n")
+        assert [p.name for p in spool.poll()] == ["shard-2.csv"]
+
+    def test_packed_directories_ready_once_complete(self, tmp_path):
+        spool_dir = tmp_path / "live"
+        spool_dir.mkdir()
+        pack_dataset(
+            _shard_dataset(40, bias=0.0, seed=0),
+            spool_dir / "shard-1.packed",
+        )
+        spool = ShardSpool("live", spool_dir)
+        assert [p.name for p in spool.poll()] == ["shard-1.packed"]
+
+
+class TestMonitorService:
+    def test_root_must_be_a_directory(self, tmp_path):
+        with pytest.raises(AuditError, match="not a directory"):
+            _service(tmp_path / "missing")
+
+    def test_prediction_column_consistency(self, tmp_path):
+        data_audit = MonitorFleet(
+            ["sex"], config=CFG, label="outcome", audits_labels=True
+        )
+        with pytest.raises(AuditError, match="no prediction column"):
+            MonitorService(
+                data_audit, tmp_path, prediction_column="decision"
+            )
+        predicting = MonitorFleet(["sex"], config=CFG, label="outcome")
+        with pytest.raises(AuditError, match="prediction_column"):
+            MonitorService(predicting, tmp_path)
+
+    def test_scan_once_feeds_every_stream(self, tmp_path):
+        _write_shard(
+            tmp_path / "checkout", "shard-1",
+            _shard_dataset(150, bias=0.0, seed=1),
+        )
+        _write_shard(
+            tmp_path / "signup", "shard-1",
+            _shard_dataset(80, bias=0.0, seed=2),
+        )
+        service = _service(tmp_path)
+        rows = service.scan_once()
+        assert rows == 230
+        assert service.shards_ingested == 2
+        fleet = service.fleet
+        assert set(fleet.stream_names) == {"checkout", "signup"}
+        assert len(fleet.stream("checkout").windows) == 1
+        assert fleet.stream("signup").buffered == 80
+        # a second scan with nothing new is a no-op
+        assert service.scan_once() == 0
+
+    def test_packed_shards_ingest_identically_to_csv(self, tmp_path):
+        dataset = _shard_dataset(120, bias=0.3, seed=3)
+        _write_shard(tmp_path / "csv", "shard-1", dataset)
+        pack_dataset(dataset, tmp_path / "packed" / "shard-1.packed")
+        service = _service(tmp_path)
+        service.scan_once()
+        fleet = service.fleet
+        lhs = fleet.flush("csv").to_dict()
+        rhs = fleet.flush("packed").to_dict()
+        assert lhs == rhs
+
+    def test_service_wide_schema_covers_bare_csv_shards(self, tmp_path):
+        dataset = _shard_dataset(60, bias=0.0, seed=4)
+        shard = _write_shard(tmp_path / "live", "shard-1", dataset)
+        schema = shard.with_suffix(".csv.schema.json")
+        shared = tmp_path / "schema.json"
+        schema.rename(shared)
+        service = _service(tmp_path, schema=shared)
+        assert service.scan_once() == 60
+
+    def test_run_stops_on_the_event(self, tmp_path):
+        _write_shard(
+            tmp_path / "live", "shard-1",
+            _shard_dataset(50, bias=0.0, seed=5),
+        )
+        service = _service(tmp_path, poll_interval=0.01)
+        stop = threading.Event()
+        timer = threading.Timer(0.1, stop.set)
+        timer.start()
+        try:
+            assert service.run(stop) == 50
+        finally:
+            timer.cancel()
+
+    def test_status_reports_per_stream_state(self, tmp_path):
+        _write_shard(
+            tmp_path / "live", "shard-1",
+            _shard_dataset(130, bias=0.0, seed=6),
+        )
+        service = _service(tmp_path)
+        service.scan_once()
+        status = service.status()
+        assert status["status"] == "ok"
+        assert status["rows_ingested"] == 130
+        assert status["streams"]["live"]["windows"] == 1
+        assert status["streams"]["live"]["buffered"] == 30
+
+
+class TestHTTPSurface:
+    @pytest.fixture
+    def server(self, tmp_path, registry, bus):
+        _write_shard(
+            tmp_path / "live", "shard-1",
+            _shard_dataset(300, bias=0.0, seed=7),
+        )
+        service = _service(tmp_path)
+        service.scan_once()
+        server = serve_http(service)
+        yield server
+        server.shutdown()
+
+    def _get(self, server, path, headers=None):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            headers=headers or {},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_healthz(self, server):
+        status, _, body = self._get(server, "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["streams"]["live"]["windows"] == 3
+
+    def test_metrics_prometheus_and_json(self, server):
+        _, headers, body = self._get(server, "/metrics")
+        assert "text/plain" in headers["Content-Type"]
+        assert (
+            'repro_streaming_windows_evaluated_total{stream="live"} 3'
+            in body.decode()
+        )
+        _, _, body = self._get(
+            server, "/metrics", {"Accept": "application/json"}
+        )
+        assert "counters" in json.loads(body)
+
+    def test_events_endpoint_filters(self, server, bus):
+        bus.publish("monitor.drift", stream="live", window=0)
+        bus.publish("monitor.drift", stream="other", window=1)
+        bus.publish("job.failed", stream="live")
+        _, _, body = self._get(
+            server, "/events?kind=monitor.drift&stream=live"
+        )
+        payload = json.loads(body)
+        assert len(payload["events"]) == 1
+        assert payload["events"][0]["payload"]["stream"] == "live"
+        assert payload["last_seq"] == 3
+
+    def test_events_rejects_bad_cursor(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/events?since=nope")
+        assert err.value.code == 400
+
+    def test_unknown_route_404s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server, "/nope")
+        assert err.value.code == 404

@@ -1,0 +1,171 @@
+"""End-to-end fleet alerting: drift -> event bus -> HTTP feed -> CLI tail.
+
+The monitoring fleet's alert path has four hops — the drift detector
+publishes on the event bus, the bus fans out to its JSON-lines sink,
+the monitor HTTP server serves the ring at ``GET /events``, and
+``repro events tail --follow`` follows the sink like a log.  This suite
+drives real drift through a :class:`~repro.monitor.MonitorFleet` and
+checks each hop sees the same ``stream``-labeled events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.config import AuditConfig, MonitorConfig
+from repro.monitor import MonitorFleet, MonitorService, serve_http
+from repro.observability.events import EventBus, read_events, use_event_bus
+
+CFG = AuditConfig(metrics=("demographic_parity",))
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _population(n, *, bias, seed):
+    rng = np.random.default_rng(seed)
+    sex = np.where(rng.random(n) < 0.5, "female", "male")
+    y = (rng.random(n) < 0.5).astype(int)
+    p = y.copy()
+    deny = (sex == "female") & (rng.random(n) < bias)
+    p[deny] = 0
+    return y, p, sex
+
+
+def _drive_drift(fleet):
+    """Two streams: "checkout" drifts hard, "signup" stays clean."""
+    for stream, biases in (
+        ("checkout", (0.0, 0.0, 0.9)),
+        ("signup", (0.0, 0.0, 0.0)),
+    ):
+        for index, bias in enumerate(biases):
+            y, p, sex = _population(300, bias=bias, seed=index)
+            fleet.observe(
+                stream, y_true=y, predictions=p, protected={"sex": sex}
+            )
+
+
+@pytest.fixture
+def sink(tmp_path):
+    return tmp_path / "events.jsonl"
+
+
+@pytest.fixture
+def drifted(sink):
+    """A fleet driven to drift inside a sink-backed scoped bus."""
+    with use_event_bus(EventBus(sink=sink)) as bus:
+        fleet = MonitorFleet(
+            ["sex"], config=CFG,
+            monitor=MonitorConfig(window=300, drift_threshold=0.1),
+        )
+        _drive_drift(fleet)
+        yield fleet, bus
+
+
+class TestBusHop:
+    def test_drift_reaches_the_bus_with_stream_labels(self, drifted):
+        fleet, bus = drifted
+        events = bus.since(0, kind="monitor.drift")
+        assert events
+        assert {e.payload["stream"] for e in events} == {"checkout"}
+        payload = events[0].payload
+        assert payload["attribute"] == "sex"
+        assert payload["metric"] == "demographic_parity"
+        assert payload["rows"] == [600, 900]
+
+    def test_sink_file_carries_the_same_events(self, drifted, sink):
+        fleet, bus = drifted
+        on_bus = bus.since(0, kind="monitor.drift", stream="checkout")
+        on_disk = read_events(sink, kind="monitor.drift", stream="checkout")
+        assert [e.to_dict() for e in on_bus] == on_disk
+        assert read_events(sink, kind="monitor.drift", stream="signup") == []
+
+
+class TestHTTPHop:
+    def test_events_endpoint_filters_by_kind_and_stream(
+        self, drifted, tmp_path
+    ):
+        fleet, bus = drifted
+        bus.publish("job.failed", stream="checkout")  # must be filtered out
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        service = MonitorService(
+            fleet, spool, prediction_column="decision"
+        )
+        server = serve_http(service)
+        try:
+            url = (
+                f"http://127.0.0.1:{server.port}"
+                "/events?kind=monitor.drift&stream=checkout"
+            )
+            with urllib.request.urlopen(url) as response:
+                payload = json.loads(response.read())
+        finally:
+            server.shutdown()
+        assert payload["events"]
+        kinds = {e["kind"] for e in payload["events"]}
+        streams = {e["payload"]["stream"] for e in payload["events"]}
+        assert kinds == {"monitor.drift"}
+        assert streams == {"checkout"}
+        expected = bus.since(0, kind="monitor.drift", stream="checkout")
+        assert payload["events"] == [e.to_dict() for e in expected]
+
+
+class TestCLITailHop:
+    def test_follow_sees_a_live_event(self, sink):
+        sink.touch()
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "events", "tail", str(sink),
+             "--follow", "--kind", "monitor.drift",
+             "--stream", "checkout", "--json"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            # give the tailer a poll cycle, then publish live drift
+            time.sleep(0.5)
+            with use_event_bus(EventBus(sink=sink)) as bus:
+                fleet = MonitorFleet(
+                    ["sex"], config=CFG,
+                    monitor=MonitorConfig(window=300, drift_threshold=0.1),
+                )
+                _drive_drift(fleet)
+            line = proc.stdout.readline()
+            event = json.loads(line)
+            assert event["kind"] == "monitor.drift"
+            assert event["payload"]["stream"] == "checkout"
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_without_follow_prints_existing_and_exits(self, sink):
+        with use_event_bus(EventBus(sink=sink)):
+            fleet = MonitorFleet(
+                ["sex"], config=CFG,
+                monitor=MonitorConfig(window=300, drift_threshold=0.1),
+            )
+            _drive_drift(fleet)
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "events", "tail", str(sink),
+             "--kind", "monitor.drift", "--stream", "signup", "--json"],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert done.returncode == 0
+        assert done.stdout.strip() == ""
+        done = subprocess.run(
+            [sys.executable, "-m", "repro", "events", "tail", str(sink),
+             "--kind", "monitor.drift", "--stream", "checkout", "--json"],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        lines = [json.loads(l) for l in done.stdout.splitlines()]
+        assert lines
+        assert all(l["payload"]["stream"] == "checkout" for l in lines)
